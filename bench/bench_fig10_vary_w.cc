@@ -1,0 +1,65 @@
+// Figure 10: M4 query latency vs the number of time spans w.
+//
+// Paper shape: M4-UDF is flat in w (it always loads and merges everything);
+// M4-LSM grows with w because more chunks are split by span boundaries, but
+// stays well below the baseline for typical pixel-column counts; the skewed
+// KOB/RcvTime datasets grow more slowly because their many short chunks are
+// rarely split.
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+
+namespace tsviz::bench {
+namespace {
+
+int Run() {
+  const double scale = ScaleFromEnv();
+  const std::vector<int64_t> ws = {10, 100, 1000, 10000};
+
+  ResultTable table({"dataset", "w", "udf_ms", "lsm_ms", "speedup",
+                     "udf_chunks", "lsm_chunks", "udf_pages", "lsm_pages"});
+  for (DatasetKind kind : AllDatasetKinds()) {
+    StorageSpec spec;
+    spec.overlap_fraction = 0.1;
+    spec.delete_fraction = 0.1;
+    auto built = BuildDatasetStore(kind, scale, spec);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    const TimeRange range = built->data_range;
+    for (int64_t w : ws) {
+      M4Query query{range.start, range.end + 1, w};
+      auto comparison = CompareOperators(*built->store, query);
+      if (!comparison.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     comparison.status().ToString().c_str());
+        return 1;
+      }
+      const Measurement& udf = comparison->udf;
+      const Measurement& lsm = comparison->lsm;
+      table.AddRow({DatasetName(kind), std::to_string(w),
+                    FormatMillis(udf.millis), FormatMillis(lsm.millis),
+                    FormatMillis(udf.millis / std::max(lsm.millis, 1e-3)),
+                    FormatCount(udf.stats.chunks_loaded),
+                    FormatCount(lsm.stats.chunks_loaded),
+                    FormatCount(udf.stats.pages_decoded),
+                    FormatCount(lsm.stats.pages_decoded)});
+    }
+  }
+  std::printf("Figure 10: varying the number of time spans w (scale=%.3f)\n\n",
+              scale);
+  table.Print();
+  if (Status s = table.WriteCsv("fig10_vary_w"); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsviz::bench
+
+int main() { return tsviz::bench::Run(); }

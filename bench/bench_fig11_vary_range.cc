@@ -1,0 +1,73 @@
+// Figure 11: M4 query latency vs query time range length.
+//
+// Paper shape: M4-UDF grows steeply with the range (more chunks to load and
+// merge); M4-LSM grows far more slowly because the longer the range, the
+// smaller the fraction of chunks split by span boundaries — most chunks are
+// pruned via metadata.
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+
+namespace tsviz::bench {
+namespace {
+
+int Run() {
+  const double scale = ScaleFromEnv();
+  // Query range as a fraction of the full series range; w fixed at 1000.
+  const std::vector<int> divisors = {16, 8, 4, 2, 1};
+
+  ResultTable table({"dataset", "range_frac", "udf_ms", "lsm_ms", "speedup",
+                     "udf_chunks", "lsm_chunks", "udf_mb", "lsm_mb"});
+  for (DatasetKind kind : AllDatasetKinds()) {
+    StorageSpec spec;
+    spec.overlap_fraction = 0.1;
+    spec.delete_fraction = 0.1;
+    auto built = BuildDatasetStore(kind, scale, spec);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    const TimeRange full = built->data_range;
+    const int64_t full_len = full.end - full.start + 1;
+    for (int divisor : divisors) {
+      M4Query query{full.start, full.start + full_len / divisor, 1000};
+      auto comparison = CompareOperators(*built->store, query);
+      if (!comparison.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     comparison.status().ToString().c_str());
+        return 1;
+      }
+      const Measurement& udf = comparison->udf;
+      const Measurement& lsm = comparison->lsm;
+      char frac[16];
+      std::snprintf(frac, sizeof(frac), "1/%d", divisor);
+      char udf_mb[32];
+      char lsm_mb[32];
+      std::snprintf(udf_mb, sizeof(udf_mb), "%.2f",
+                    static_cast<double>(udf.stats.bytes_read) / (1 << 20));
+      std::snprintf(lsm_mb, sizeof(lsm_mb), "%.2f",
+                    static_cast<double>(lsm.stats.bytes_read) / (1 << 20));
+      table.AddRow({DatasetName(kind), frac, FormatMillis(udf.millis),
+                    FormatMillis(lsm.millis),
+                    FormatMillis(udf.millis / std::max(lsm.millis, 1e-3)),
+                    FormatCount(udf.stats.chunks_loaded),
+                    FormatCount(lsm.stats.chunks_loaded), udf_mb, lsm_mb});
+    }
+  }
+  std::printf(
+      "Figure 11: varying query time range length (w=1000, scale=%.3f)\n\n",
+      scale);
+  table.Print();
+  if (Status s = table.WriteCsv("fig11_vary_range"); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsviz::bench
+
+int main() { return tsviz::bench::Run(); }

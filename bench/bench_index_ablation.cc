@@ -1,0 +1,173 @@
+// Ablation: chunk-index lookups (Section 3.5) — step regression vs binary
+// search over the page directory vs decoding the whole chunk. Uses
+// google-benchmark; the interesting outputs are the relative lookup costs
+// and the pages-decoded counters.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "index/binary_search_index.h"
+#include "index/chunk_searcher.h"
+#include "index/page_provider.h"
+#include "workload/generator.h"
+
+namespace tsviz {
+namespace {
+
+// In-memory paged chunk with a decode cost proportional to page size,
+// mimicking the real decompression work without file I/O noise.
+class CountingProvider : public PageProvider {
+ public:
+  CountingProvider(std::vector<Point> points, size_t page_size)
+      : points_(std::move(points)) {
+    for (size_t begin = 0; begin < points_.size(); begin += page_size) {
+      size_t end = std::min(points_.size(), begin + page_size);
+      PageInfo info;
+      info.count = static_cast<uint32_t>(end - begin);
+      info.min_t = points_[begin].t;
+      info.max_t = points_[end - 1].t;
+      info.offset = static_cast<uint32_t>(begin);
+      pages_.push_back(info);
+      cache_.emplace_back();
+    }
+  }
+
+  const std::vector<PageInfo>& pages() const override { return pages_; }
+
+  Result<const std::vector<Point>*> GetPage(size_t i) override {
+    if (!cache_[i].has_value()) {
+      ++decodes_;
+      const PageInfo& page = pages_[i];
+      // Simulated decode: copy the page (the dominant memory traffic of a
+      // real delta+XOR decode).
+      cache_[i] = std::vector<Point>(
+          points_.begin() + page.offset,
+          points_.begin() + page.offset + page.count);
+    }
+    return &*cache_[i];
+  }
+
+  uint64_t num_points() const override { return points_.size(); }
+
+  void ResetCache() {
+    for (auto& page : cache_) page.reset();
+    decodes_ = 0;
+  }
+  uint64_t decodes() const { return decodes_; }
+
+ private:
+  std::vector<Point> points_;
+  std::vector<PageInfo> pages_;
+  std::vector<std::optional<std::vector<Point>>> cache_;
+  uint64_t decodes_ = 0;
+};
+
+std::vector<Point> BenchPoints(size_t n) {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kKob;  // gap-heavy: the index's design domain
+  spec.num_points = n;
+  return GenerateDataset(spec);
+}
+
+void BM_LookupStepRegression(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  CountingProvider provider(BenchPoints(n), 200);
+  StepRegressionModel model = FitStepRegression(BenchPoints(n));
+  ChunkSearcher searcher(&provider, &model, LocateStrategy::kStepRegression,
+                         nullptr);
+  Rng rng(1);
+  Timestamp lo = provider.pages().front().min_t;
+  Timestamp hi = provider.pages().back().max_t;
+  for (auto _ : state) {
+    auto hit = searcher.FirstAtOrAfter(rng.Uniform(lo, hi));
+    benchmark::DoNotOptimize(hit);
+  }
+  state.counters["pages_decoded"] =
+      static_cast<double>(provider.decodes());
+}
+BENCHMARK(BM_LookupStepRegression)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_LookupBinarySearch(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  CountingProvider provider(BenchPoints(n), 200);
+  ChunkSearcher searcher(&provider, nullptr, LocateStrategy::kBinarySearch,
+                         nullptr);
+  Rng rng(1);
+  Timestamp lo = provider.pages().front().min_t;
+  Timestamp hi = provider.pages().back().max_t;
+  for (auto _ : state) {
+    auto hit = searcher.FirstAtOrAfter(rng.Uniform(lo, hi));
+    benchmark::DoNotOptimize(hit);
+  }
+  state.counters["pages_decoded"] =
+      static_cast<double>(provider.decodes());
+}
+BENCHMARK(BM_LookupBinarySearch)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_LookupFullDecode(benchmark::State& state) {
+  // The no-index baseline: decode every page, then binary search points.
+  size_t n = static_cast<size_t>(state.range(0));
+  CountingProvider provider(BenchPoints(n), 200);
+  Rng rng(1);
+  Timestamp lo = provider.pages().front().min_t;
+  Timestamp hi = provider.pages().back().max_t;
+  for (auto _ : state) {
+    provider.ResetCache();  // each lookup pays the full decode
+    Timestamp t = rng.Uniform(lo, hi);
+    const Point* found = nullptr;
+    for (size_t i = 0; i < provider.pages().size(); ++i) {
+      auto page = provider.GetPage(i);
+      for (const Point& p : **page) {
+        if (p.t >= t) {
+          found = &p;
+          break;
+        }
+      }
+      if (found != nullptr) break;
+    }
+    benchmark::DoNotOptimize(found);
+  }
+}
+BENCHMARK(BM_LookupFullDecode)->Arg(1000)->Arg(10000);
+
+void BM_FitStepRegression(benchmark::State& state) {
+  std::vector<Point> points = BenchPoints(
+      static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    StepRegressionModel model = FitStepRegression(points);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FitStepRegression)->Arg(1000)->Arg(10000);
+
+void BM_ModelEval(benchmark::State& state) {
+  StepRegressionModel model = FitStepRegression(BenchPoints(10000));
+  Rng rng(2);
+  Timestamp lo = model.splits.front();
+  Timestamp hi = model.splits.back();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Eval(rng.Uniform(lo, hi)));
+  }
+}
+BENCHMARK(BM_ModelEval);
+
+void BM_DirectoryBinarySearch(benchmark::State& state) {
+  CountingProvider provider(BenchPoints(100000), 200);
+  Rng rng(3);
+  Timestamp lo = provider.pages().front().min_t;
+  Timestamp hi = provider.pages().back().max_t;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        LocatePageBinary(provider.pages(), rng.Uniform(lo, hi)));
+  }
+}
+BENCHMARK(BM_DirectoryBinarySearch);
+
+}  // namespace
+}  // namespace tsviz
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Ablation: the chunk index inside the full M4-LSM operator. Runs the same
+// queries with the step-regression locator and the binary-search locator at
+// a w where partial scans and boundary probes dominate, reporting latency
+// and probe counts. (Section 4.3 credits the chunk index for keeping the
+// BP/TP verification CPU cost down.)
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+#include "m4/m4_lsm.h"
+
+namespace tsviz::bench {
+namespace {
+
+int Run() {
+  const double scale = ScaleFromEnv();
+  ResultTable table({"dataset", "strategy", "lsm_ms", "index_probes",
+                     "pages_decoded"});
+  for (DatasetKind kind : AllDatasetKinds()) {
+    StorageSpec spec;
+    spec.overlap_fraction = 0.3;  // overlap forces existence probes
+    spec.delete_fraction = 0.1;
+    auto built = BuildDatasetStore(kind, scale, spec);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    M4Query query{built->data_range.start, built->data_range.end + 1, 1000};
+
+    struct Variant {
+      const char* name;
+      LocateStrategy strategy;
+    };
+    const Variant variants[] = {
+        {"step-regression", LocateStrategy::kStepRegression},
+        {"binary-search", LocateStrategy::kBinarySearch},
+    };
+    for (const Variant& variant : variants) {
+      M4LsmOptions options;
+      options.locate_strategy = variant.strategy;
+      Measurement m = TimeQuery(3, [&](QueryStats* stats) {
+        return RunM4Lsm(*built->store, query, stats, options);
+      });
+      table.AddRow({DatasetName(kind), variant.name,
+                    FormatMillis(m.millis),
+                    FormatCount(m.stats.index_lookups),
+                    FormatCount(m.stats.pages_decoded)});
+    }
+  }
+  std::printf(
+      "M4-LSM chunk-index strategy ablation (w=1000, overlap 30%%, "
+      "scale=%.3f)\n\n",
+      scale);
+  table.Print();
+  if (Status s = table.WriteCsv("m4_index_strategies"); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsviz::bench
+
+int main() { return tsviz::bench::Run(); }

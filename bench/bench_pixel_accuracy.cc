@@ -1,0 +1,105 @@
+// Figure 1 (qualitative claim): M4 is error-free for two-color line charts.
+//
+// Renders each dataset at 1000x500 (the paper's canvas) from (a) the full
+// merged series, (b) the M4-LSM representation, (c) a MinMax reduction and
+// (d) systematic sampling with the same point budget, and reports pixel
+// error against (a). Expected: M4 has exactly 0 differing pixels; the other
+// reductions do not.
+
+#include <cstdio>
+
+#include "harness.h"
+#include "m4/m4_lsm.h"
+#include "read/series_reader.h"
+#include "viz/pixel_diff.h"
+#include "viz/lttb.h"
+#include "viz/rasterize.h"
+#include "viz/ssim.h"
+
+namespace tsviz::bench {
+namespace {
+
+int Run() {
+  const double scale = ScaleFromEnv();
+  const int width = 1000;
+  const int height = 500;
+
+  ResultTable table({"dataset", "method", "diff_pixels", "error_pct",
+                     "ssim", "points_kept"});
+  for (DatasetKind kind : AllDatasetKinds()) {
+    StorageSpec spec;
+    spec.overlap_fraction = 0.1;
+    auto built = BuildDatasetStore(kind, scale, spec);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    const TimeRange range = built->data_range;
+    M4Query query{range.start, range.end + 1, width};
+
+    auto merged = ReadMergedSeries(*built->store, range, nullptr);
+    if (!merged.ok()) {
+      std::fprintf(stderr, "merge failed\n");
+      return 1;
+    }
+    CanvasSpec canvas = FitCanvas(*merged, query, width, height);
+    Bitmap ground_truth = RasterizeSeries(*merged, canvas);
+
+    auto m4_rows = RunM4Lsm(*built->store, query, nullptr);
+    if (!m4_rows.ok()) {
+      std::fprintf(stderr, "m4-lsm failed\n");
+      return 1;
+    }
+    // Same point budget for the competing reductions: 4 points per column
+    // for sampling, 2 for MinMax (its natural budget).
+    size_t m4_points = M4Polyline(*m4_rows).size();
+    size_t stride = std::max<size_t>(1, merged->size() / (4 * width));
+    struct Candidate {
+      const char* name;
+      Bitmap bitmap;
+      size_t kept;
+    };
+    std::vector<Candidate> candidates;
+    candidates.push_back({"M4-LSM", RasterizeM4(*m4_rows, canvas),
+                          m4_points});
+    candidates.push_back(
+        {"MinMax",
+         RasterizeM4(MinMaxRepresentation(*merged, query), canvas),
+         static_cast<size_t>(2 * width)});
+    candidates.push_back(
+        {"Sampling",
+         RasterizeM4(SampledRepresentation(*merged, query, stride), canvas),
+         merged->size() / stride});
+    std::vector<Point> lttb = DownsampleLttb(*merged, 4 * width);
+    candidates.push_back(
+        {"LTTB", RasterizeSeries(lttb, canvas), lttb.size()});
+
+    for (const Candidate& candidate : candidates) {
+      PixelAccuracyReport report =
+          ComparePixels(ground_truth, candidate.bitmap);
+      char pct[32];
+      std::snprintf(pct, sizeof(pct), "%.4f%%", report.ErrorRatio() * 100);
+      char ssim[32];
+      std::snprintf(ssim, sizeof(ssim), "%.4f",
+                    Ssim(ground_truth, candidate.bitmap));
+      table.AddRow({DatasetName(kind), candidate.name,
+                    FormatCount(report.differing_pixels), pct, ssim,
+                    FormatCount(candidate.kept)});
+    }
+  }
+  std::printf(
+      "Pixel accuracy at %dx%d: M4 must be error-free, reductions are not "
+      "(scale=%.3f)\n\n",
+      width, height, scale);
+  table.Print();
+  if (Status s = table.WriteCsv("pixel_accuracy"); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsviz::bench
+
+int main() { return tsviz::bench::Run(); }

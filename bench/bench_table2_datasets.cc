@@ -1,0 +1,73 @@
+// Table 2: dataset summary — entire time range and point count per dataset,
+// plus the on-disk footprint our LSM store gives them. At TSVIZ_SCALE=1 the
+// point counts equal the paper's exactly; the time ranges follow from the
+// generators' cadences (BallSpeed ~71 minutes, MF03 ~28 hours, KOB ~4
+// months, RcvTime ~1 year).
+
+#include <cstdio>
+#include <string>
+
+#include "harness.h"
+
+namespace tsviz::bench {
+namespace {
+
+std::string HumanDuration(double seconds) {
+  char buf[64];
+  if (seconds < 120 * 60) {
+    std::snprintf(buf, sizeof(buf), "%.0f minutes", seconds / 60);
+  } else if (seconds < 72 * 3600) {
+    std::snprintf(buf, sizeof(buf), "%.0f hours", seconds / 3600);
+  } else if (seconds < 90 * 86400) {
+    std::snprintf(buf, sizeof(buf), "%.1f days", seconds / 86400);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f months", seconds / (30 * 86400.0));
+  }
+  return buf;
+}
+
+int Run() {
+  const double scale = ScaleFromEnv();
+  ResultTable table({"dataset", "time_range", "points", "paper_points",
+                     "chunks", "disk_mb", "bytes_per_point"});
+  for (DatasetKind kind : AllDatasetKinds()) {
+    StorageSpec spec;
+    auto built = BuildDatasetStore(kind, scale, spec);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    uint64_t disk_bytes = 0;
+    for (const ChunkHandle& chunk : built->store->chunks()) {
+      disk_bytes += chunk.meta->data_length;
+    }
+    uint64_t points = built->store->TotalStoredPoints();
+    // Timestamps are microseconds.
+    double range_seconds =
+        static_cast<double>(built->data_range.end -
+                            built->data_range.start) /
+        1e6;
+    char mb[32];
+    std::snprintf(mb, sizeof(mb), "%.2f",
+                  static_cast<double>(disk_bytes) / (1 << 20));
+    char bpp[32];
+    std::snprintf(bpp, sizeof(bpp), "%.2f",
+                  static_cast<double>(disk_bytes) /
+                      static_cast<double>(points));
+    table.AddRow({DatasetName(kind), HumanDuration(range_seconds),
+                  FormatCount(points), FormatCount(PaperPointCount(kind)),
+                  FormatCount(built->store->chunks().size()), mb, bpp});
+  }
+  std::printf("Table 2: dataset summary (scale=%.3f)\n\n", scale);
+  table.Print();
+  if (Status s = table.WriteCsv("table2_datasets"); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsviz::bench
+
+int main() { return tsviz::bench::Run(); }

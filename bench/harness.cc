@@ -1,0 +1,192 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "m4/m4_lsm.h"
+#include "m4/m4_udf.h"
+#include "workload/ooo.h"
+
+namespace tsviz::bench {
+
+namespace fs = std::filesystem;
+
+double ScaleFromEnv() {
+  const char* env = std::getenv("TSVIZ_SCALE");
+  if (env != nullptr) {
+    double scale = std::atof(env);
+    if (scale > 0.0 && scale <= 1.0) return scale;
+    std::fprintf(stderr, "ignoring invalid TSVIZ_SCALE=%s\n", env);
+  }
+  return 0.05;
+}
+
+size_t ScaledPoints(DatasetKind kind, double scale) {
+  double n = static_cast<double>(PaperPointCount(kind)) * scale;
+  return std::max<size_t>(20000, static_cast<size_t>(n));
+}
+
+BuiltStore::~BuiltStore() {
+  store.reset();  // close files before removing them
+  if (!dir.empty()) {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+}
+
+Result<BuiltStore> BuildDatasetStore(DatasetKind kind, double scale,
+                                     const StorageSpec& spec) {
+  BuiltStore built;
+  std::string tmpl =
+      (fs::temp_directory_path() / "tsviz_bench_XXXXXX").string();
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    return Status::IoError("mkdtemp failed");
+  }
+  built.dir = buf.data();
+
+  StoreConfig config;
+  config.data_dir = built.dir;
+  config.points_per_chunk = spec.points_per_chunk;
+  config.memtable_flush_threshold = spec.points_per_chunk;
+  config.encoding.page_size_points = spec.page_size_points;
+  TSVIZ_ASSIGN_OR_RETURN(built.store, TsStore::Open(std::move(config)));
+
+  DatasetSpec data_spec;
+  data_spec.kind = kind;
+  data_spec.num_points = ScaledPoints(kind, scale);
+  data_spec.seed = spec.seed;
+  std::vector<Point> points = GenerateDataset(data_spec);
+
+  Rng rng(spec.seed + 1);
+  std::vector<Point> arrivals = MakeOverlappingOrder(
+      points, spec.points_per_chunk, spec.overlap_fraction, &rng);
+  TSVIZ_RETURN_IF_ERROR(built.store->WriteAll(arrivals));
+  TSVIZ_RETURN_IF_ERROR(built.store->Flush());
+
+  if (spec.delete_fraction > 0.0) {
+    DeleteWorkloadSpec del_spec;
+    del_spec.delete_fraction = spec.delete_fraction;
+    del_spec.range_scale = spec.delete_range_scale;
+    del_spec.seed = spec.seed + 2;
+    TSVIZ_RETURN_IF_ERROR(
+        ApplyDeleteWorkload(built.store.get(), del_spec));
+  }
+
+  built.data_range = built.store->DataInterval();
+  return built;
+}
+
+Measurement TimeQuery(
+    int reps,
+    const std::function<Result<M4Result>(QueryStats*)>& query_fn) {
+  std::vector<Measurement> runs;
+  runs.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Measurement m;
+    Timer timer;
+    Result<M4Result> result = query_fn(&m.stats);
+    m.millis = timer.ElapsedMillis();
+    TSVIZ_CHECK(result.ok());
+    runs.push_back(m);
+  }
+  std::sort(runs.begin(), runs.end(),
+            [](const Measurement& a, const Measurement& b) {
+              return a.millis < b.millis;
+            });
+  return runs[runs.size() / 2];
+}
+
+Result<Comparison> CompareOperators(const TsStore& store,
+                                    const M4Query& query, int reps) {
+  // Correctness gate before timing.
+  QueryStats scratch;
+  TSVIZ_ASSIGN_OR_RETURN(M4Result udf_result,
+                         RunM4Udf(store, query, &scratch));
+  TSVIZ_ASSIGN_OR_RETURN(M4Result lsm_result,
+                         RunM4Lsm(store, query, &scratch));
+  if (!ResultsEquivalent(udf_result, lsm_result)) {
+    return Status::Internal("operators disagree: " +
+                            FirstMismatch(udf_result, lsm_result));
+  }
+
+  Comparison comparison;
+  comparison.udf = TimeQuery(reps, [&](QueryStats* stats) {
+    return RunM4Udf(store, query, stats);
+  });
+  comparison.lsm = TimeQuery(reps, [&](QueryStats* stats) {
+    return RunM4Lsm(store, query, stats);
+  });
+  return comparison;
+}
+
+ResultTable::ResultTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void ResultTable::AddRow(std::vector<std::string> cells) {
+  TSVIZ_CHECK(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void ResultTable::Print() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      line += cells[c];
+      line.append(widths[c] - cells[c].size() + 2, ' ');
+    }
+    std::printf("%s\n", line.c_str());
+  };
+  print_row(columns_);
+  std::string rule;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    rule.append(widths[c], '-');
+    rule.append(2, ' ');
+  }
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+  std::printf("\n");
+}
+
+Status ResultTable::WriteCsv(const std::string& name) const {
+  std::error_code ec;
+  fs::create_directories("bench_results", ec);
+  if (ec) return Status::IoError("cannot create bench_results");
+  std::ofstream out("bench_results/" + name + ".csv");
+  if (!out.good()) return Status::IoError("cannot open csv for " + name);
+  auto write_row = [&out](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ",";
+      out << cells[c];
+    }
+    out << "\n";
+  };
+  write_row(columns_);
+  for (const auto& row : rows_) write_row(row);
+  return out.good() ? Status::OK()
+                    : Status::IoError("short csv write for " + name);
+}
+
+std::string FormatMillis(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", ms);
+  return buf;
+}
+
+std::string FormatCount(uint64_t n) { return std::to_string(n); }
+
+}  // namespace tsviz::bench

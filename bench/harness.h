@@ -1,0 +1,105 @@
+#ifndef TSVIZ_BENCH_HARNESS_H_
+#define TSVIZ_BENCH_HARNESS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "m4/m4_types.h"
+#include "m4/span.h"
+#include "storage/store.h"
+#include "workload/deletes.h"
+#include "workload/generator.h"
+
+namespace tsviz::bench {
+
+// Shared experiment scaffolding for the paper-reproduction benches. Every
+// bench binary prints the paper's series (dataset x parameter -> latency of
+// M4-UDF and M4-LSM plus cost counters) as an aligned table and writes the
+// same rows to bench_results/<name>.csv.
+
+// Scale factor for dataset sizes: points = PaperPointCount * scale (min
+// 20k). Default 0.05 keeps each bench to seconds; TSVIZ_SCALE=1 reproduces
+// the paper's full sizes (Table 2).
+double ScaleFromEnv();
+
+size_t ScaledPoints(DatasetKind kind, double scale);
+
+// Storage knobs. The paper's IoTDB config stores 1000 points per chunk,
+// giving 10k chunks on the 10M-point datasets; at bench scale we shrink the
+// chunk so the chunks-per-span ratio — which drives every figure's shape —
+// stays comparable.
+struct StorageSpec {
+  size_t points_per_chunk = 200;
+  size_t page_size_points = 50;
+  double overlap_fraction = 0.0;  // out-of-order arrival (Section 4.3)
+  double delete_fraction = 0.0;   // deletes per chunk (Section 4.4)
+  double delete_range_scale = 0.1;
+  uint64_t seed = 42;
+};
+
+// One fully built experiment input: the store on disk plus its data range.
+struct BuiltStore {
+  std::unique_ptr<TsStore> store;
+  std::string dir;  // owned temp dir; removed by the destructor
+  TimeRange data_range;
+
+  BuiltStore() = default;
+  BuiltStore(BuiltStore&&) = default;
+  BuiltStore& operator=(BuiltStore&&) = default;
+  ~BuiltStore();
+};
+
+// Generates the dataset at scale, applies the out-of-order arrival order and
+// delete workload, and flushes everything to a fresh temp directory.
+Result<BuiltStore> BuildDatasetStore(DatasetKind kind, double scale,
+                                     const StorageSpec& spec);
+
+// Latency + counters of one operator run.
+struct Measurement {
+  double millis = 0.0;
+  QueryStats stats;
+};
+
+// Runs `query_fn` `reps` times and keeps the median-latency run.
+Measurement TimeQuery(
+    int reps,
+    const std::function<Result<M4Result>(QueryStats*)>& query_fn);
+
+// Runs both operators on the same query, verifies they agree (aborting the
+// bench loudly if not — a benchmark of wrong answers is worthless), and
+// returns {udf, lsm}.
+struct Comparison {
+  Measurement udf;
+  Measurement lsm;
+};
+Result<Comparison> CompareOperators(const TsStore& store,
+                                    const M4Query& query, int reps = 3);
+
+// Minimal fixed-width table + CSV writer.
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Prints the aligned table to stdout.
+  void Print() const;
+
+  // Writes bench_results/<name>.csv (directory created on demand).
+  Status WriteCsv(const std::string& name) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string FormatMillis(double ms);
+std::string FormatCount(uint64_t n);
+
+}  // namespace tsviz::bench
+
+#endif  // TSVIZ_BENCH_HARNESS_H_

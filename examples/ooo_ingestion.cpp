@@ -1,0 +1,96 @@
+// Out-of-order ingestion: demonstrates how late arrivals create overlapping
+// chunks (the LSM state of Figure 2(a)), how updates and deletes resolve by
+// version number (Figure 5), and that M4-LSM answers correctly on top of all
+// of it while loading only a fraction of the chunks.
+//
+//   ./build/examples/ooo_ingestion [data_dir]
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/random.h"
+#include "m4/m4_lsm.h"
+#include "m4/m4_udf.h"
+#include "storage/store.h"
+#include "workload/generator.h"
+#include "workload/ooo.h"
+
+using namespace tsviz;
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "/tmp/tsviz_ooo";
+  std::filesystem::remove_all(dir);
+
+  StoreConfig config;
+  config.data_dir = dir;
+  config.points_per_chunk = 1000;
+  auto store_or = TsStore::Open(config);
+  if (!store_or.ok()) return 1;
+  std::unique_ptr<TsStore> store = std::move(store_or).value();
+
+  // Generate a KOB-like (time-skewed) series and scramble its arrival
+  // order so ~30% of the flushed chunks overlap in time.
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kKob;
+  spec.num_points = 100000;
+  std::vector<Point> points = GenerateDataset(spec);
+  Rng rng(1);
+  std::vector<Point> arrivals = MakeOverlappingOrder(
+      points, config.points_per_chunk, 0.3, &rng);
+  if (!store->WriteAll(arrivals).ok() || !store->Flush().ok()) return 1;
+  std::printf("wrote %zu points out of order -> %zu chunks, %.1f%% "
+              "overlapping in time\n",
+              arrivals.size(), store->chunks().size(),
+              store->OverlapFraction() * 100);
+
+  // Re-write a window with corrected values (updates land in new chunks
+  // with higher versions)...
+  Timestamp fix_start = points[20000].t;
+  Timestamp fix_end = points[20500].t;
+  for (const Point& p : points) {
+    if (p.t >= fix_start && p.t <= fix_end) {
+      if (!store->Write(p.t, p.v + 1000.0).ok()) return 1;
+    }
+  }
+  if (!store->Flush().ok()) return 1;
+  // ...and delete a decommissioned sensor's window.
+  if (!store->DeleteRange(TimeRange(points[50000].t, points[52000].t)).ok()) {
+    return 1;
+  }
+  std::printf("applied 501 overwrites and 1 range delete\n\n");
+
+  TimeRange range = store->DataInterval();
+  // 50 pixel columns over ~100 chunks: most chunks sit inside one span.
+  M4Query query{range.start, range.end + 1, 50};
+
+  QueryStats lsm_stats;
+  auto lsm = RunM4Lsm(*store, query, &lsm_stats);
+  QueryStats udf_stats;
+  auto udf = RunM4Udf(*store, query, &udf_stats);
+  if (!lsm.ok() || !udf.ok()) return 1;
+
+  std::printf("M4-UDF  : loaded %llu/%llu chunks, decoded %llu pages, "
+              "scanned %llu points\n",
+              static_cast<unsigned long long>(udf_stats.chunks_loaded),
+              static_cast<unsigned long long>(udf_stats.chunks_total),
+              static_cast<unsigned long long>(udf_stats.pages_decoded),
+              static_cast<unsigned long long>(udf_stats.points_scanned));
+  std::printf("M4-LSM  : loaded %llu/%llu chunks, decoded %llu pages, "
+              "scanned %llu points, %llu index probes\n",
+              static_cast<unsigned long long>(lsm_stats.chunks_loaded),
+              static_cast<unsigned long long>(lsm_stats.chunks_total),
+              static_cast<unsigned long long>(lsm_stats.pages_decoded),
+              static_cast<unsigned long long>(lsm_stats.points_scanned),
+              static_cast<unsigned long long>(lsm_stats.index_lookups));
+
+  if (!ResultsEquivalent(*lsm, *udf)) {
+    std::fprintf(stderr, "MISMATCH: %s\n",
+                 FirstMismatch(*lsm, *udf).c_str());
+    return 1;
+  }
+  std::printf("\nidentical M4 representations from both operators, "
+              "with the merge-free one reading %.1f%% of the bytes\n",
+              100.0 * static_cast<double>(lsm_stats.bytes_read) /
+                  static_cast<double>(udf_stats.bytes_read));
+  return 0;
+}

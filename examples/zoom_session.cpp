@@ -1,0 +1,83 @@
+// Zoom session: simulates the interactive exploration the paper motivates —
+// an analyst looks at the full series, zooms into a quarter of it four
+// times, pans, and jumps back out. Each interaction is one M4 query at
+// screen resolution; the query cache makes revisited views free.
+//
+//   ./build/examples/zoom_session [data_dir]
+
+#include <cstdio>
+#include <filesystem>
+
+#include "m4/cache.h"
+#include "storage/store.h"
+#include "workload/generator.h"
+
+using namespace tsviz;
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "/tmp/tsviz_zoom";
+  std::filesystem::remove_all(dir);
+
+  StoreConfig config;
+  config.data_dir = dir;
+  auto store_or = TsStore::Open(config);
+  if (!store_or.ok()) return 1;
+  std::unique_ptr<TsStore> store = std::move(store_or).value();
+
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kMf03;
+  spec.num_points = 1000000;
+  if (!store->WriteAll(GenerateDataset(spec)).ok() || !store->Flush().ok()) {
+    return 1;
+  }
+  TimeRange data = store->DataInterval();
+  std::printf("series: %llu points over %lld us\n\n",
+              static_cast<unsigned long long>(store->TotalStoredPoints()),
+              static_cast<long long>(data.end - data.start));
+
+  const int width = 1000;
+  M4QueryCache cache(32);
+
+  struct Step {
+    const char* action;
+    double frac_start;  // of the full range
+    double frac_len;
+  };
+  // Zoom in 4x three times, pan right, zoom out to full, revisit.
+  const Step session[] = {
+      {"full view", 0.0, 1.0},       {"zoom 4x", 0.375, 0.25},
+      {"zoom 16x", 0.4375, 0.0625},  {"zoom 64x", 0.453, 0.0156},
+      {"pan right", 0.469, 0.0156},  {"zoom out", 0.0, 1.0},
+      {"re-zoom 4x", 0.375, 0.25},   {"re-zoom 16x", 0.4375, 0.0625},
+  };
+
+  double total_len = static_cast<double>(data.end - data.start + 1);
+  for (const Step& step : session) {
+    M4Query query;
+    query.tqs = data.start +
+                static_cast<Timestamp>(total_len * step.frac_start);
+    query.tqe = query.tqs +
+                std::max<Timestamp>(
+                    width, static_cast<Timestamp>(total_len * step.frac_len));
+    query.w = width;
+
+    Timer timer;
+    QueryStats stats;
+    auto rows = cache.GetOrCompute(*store, query, &stats);
+    if (!rows.ok()) {
+      std::fprintf(stderr, "%s\n", rows.status().ToString().c_str());
+      return 1;
+    }
+    double ms = timer.ElapsedMillis();
+    bool cached = stats.metadata_reads == 0;
+    std::printf("%-11s  %7.2f ms  %s (chunks %llu/%llu, pages %llu)\n",
+                step.action, ms, cached ? "cache hit " : "cache miss",
+                static_cast<unsigned long long>(stats.chunks_loaded),
+                static_cast<unsigned long long>(stats.chunks_total),
+                static_cast<unsigned long long>(stats.pages_decoded));
+  }
+  std::printf("\ncache: %llu hits, %llu misses\n",
+              static_cast<unsigned long long>(cache.hits()),
+              static_cast<unsigned long long>(cache.misses()));
+  return 0;
+}

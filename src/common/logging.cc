@@ -1,0 +1,70 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tsviz {
+
+namespace {
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("TSVIZ_LOG_LEVEL");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v >= 0 && v <= 3) return static_cast<LogLevel>(v);
+  }
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel>& LevelVar() {
+  static std::atomic<LogLevel> level{InitialLevel()};
+  return level;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return LevelVar().load(std::memory_order_relaxed); }
+
+void SetLogLevel(LogLevel level) {
+  LevelVar().store(level, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelTag(level_) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+}
+
+void CheckFail(const char* file, int line, const char* cond) {
+  { LogMessage(LogLevel::kError, file, line) << "CHECK failed: " << cond; }
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace tsviz

@@ -1,0 +1,67 @@
+#ifndef TSVIZ_COMMON_LOGGING_H_
+#define TSVIZ_COMMON_LOGGING_H_
+
+#include <sstream>
+
+namespace tsviz {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Minimum level that is emitted; defaults to kInfo, overridable with the
+// TSVIZ_LOG_LEVEL environment variable (0-3) or SetLogLevel().
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+// Collects one log line and writes it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Prints the failed condition and aborts. Out of line so the check macro
+// stays small at every call site.
+[[noreturn]] void CheckFail(const char* file, int line, const char* cond);
+
+}  // namespace internal
+
+// Streaming log statements: TSVIZ_INFO << "x=" << x;
+#define TSVIZ_DEBUG                                               \
+  if (::tsviz::GetLogLevel() <= ::tsviz::LogLevel::kDebug)        \
+  ::tsviz::internal::LogMessage(::tsviz::LogLevel::kDebug, __FILE__, __LINE__)
+#define TSVIZ_INFO                                                \
+  if (::tsviz::GetLogLevel() <= ::tsviz::LogLevel::kInfo)         \
+  ::tsviz::internal::LogMessage(::tsviz::LogLevel::kInfo, __FILE__, __LINE__)
+#define TSVIZ_WARN                                                \
+  if (::tsviz::GetLogLevel() <= ::tsviz::LogLevel::kWarn)         \
+  ::tsviz::internal::LogMessage(::tsviz::LogLevel::kWarn, __FILE__, __LINE__)
+#define TSVIZ_ERROR                                               \
+  if (::tsviz::GetLogLevel() <= ::tsviz::LogLevel::kError)        \
+  ::tsviz::internal::LogMessage(::tsviz::LogLevel::kError, __FILE__, __LINE__)
+
+// Invariant check that aborts with a message; active in all build types.
+#define TSVIZ_CHECK(cond)                                          \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::tsviz::internal::CheckFail(__FILE__, __LINE__, #cond);     \
+    }                                                              \
+  } while (false)
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_COMMON_LOGGING_H_

@@ -1,0 +1,57 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsviz {
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformReal(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double Rng::Exponential(double mean) {
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  // Rejection-inversion sampling (Hormann & Derflinger). Good enough for
+  // workload generation; exact distribution shape is not load-bearing.
+  if (n <= 1) return 0;
+  const double nd = static_cast<double>(n);
+  auto h = [s](double x) {
+    return s == 1.0 ? std::log(x) : std::pow(x, 1.0 - s) / (1.0 - s);
+  };
+  auto h_inv = [s](double y) {
+    return s == 1.0 ? std::exp(y) : std::pow(y * (1.0 - s), 1.0 / (1.0 - s));
+  };
+  const double hx0 = h(0.5) - 1.0;
+  const double hxn = h(nd + 0.5);
+  while (true) {
+    double u = UniformReal(hx0, hxn);
+    double x = h_inv(u);
+    int64_t k = static_cast<int64_t>(std::llround(x));
+    k = std::clamp<int64_t>(k, 1, n);
+    double kd = static_cast<double>(k);
+    if (u >= h(kd + 0.5) - std::pow(kd, -s)) return k - 1;
+  }
+}
+
+}  // namespace tsviz

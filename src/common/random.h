@@ -1,0 +1,53 @@
+#ifndef TSVIZ_COMMON_RANDOM_H_
+#define TSVIZ_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace tsviz {
+
+// Deterministic PRNG wrapper used by workload generators and property tests.
+// All randomness in the repository flows through explicitly seeded Rng
+// instances so every experiment and test is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] (inclusive).
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  // Uniform double in [lo, hi).
+  double UniformReal(double lo, double hi);
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Zipf-distributed integer in [0, n), skew s > 0. Used by the skewed
+  // (KOB/RcvTime-like) arrival processes.
+  int64_t Zipf(int64_t n, double s);
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_COMMON_RANDOM_H_

@@ -1,0 +1,28 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace tsviz {
+
+QueryStats& QueryStats::operator+=(const QueryStats& other) {
+  chunks_total += other.chunks_total;
+  chunks_loaded += other.chunks_loaded;
+  pages_decoded += other.pages_decoded;
+  points_scanned += other.points_scanned;
+  bytes_read += other.bytes_read;
+  metadata_reads += other.metadata_reads;
+  candidate_rounds += other.candidate_rounds;
+  index_lookups += other.index_lookups;
+  return *this;
+}
+
+std::string QueryStats::ToString() const {
+  std::ostringstream os;
+  os << "chunks=" << chunks_loaded << "/" << chunks_total
+     << " pages=" << pages_decoded << " points=" << points_scanned
+     << " bytes=" << bytes_read << " meta=" << metadata_reads
+     << " rounds=" << candidate_rounds << " idx=" << index_lookups;
+  return os.str();
+}
+
+}  // namespace tsviz

@@ -1,0 +1,46 @@
+#ifndef TSVIZ_COMMON_STATS_H_
+#define TSVIZ_COMMON_STATS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace tsviz {
+
+// Cost counters accumulated while serving one query (or one experiment run).
+// The benches report these alongside wall-clock latency so that the
+// M4-UDF-vs-M4-LSM asymmetry (chunks loaded, bytes decoded, points scanned)
+// is visible independently of machine speed.
+struct QueryStats {
+  uint64_t chunks_total = 0;       // chunks overlapping the query range
+  uint64_t chunks_loaded = 0;      // chunks whose data was read from disk
+  uint64_t pages_decoded = 0;      // pages actually decompressed
+  uint64_t points_scanned = 0;     // decoded points examined
+  uint64_t bytes_read = 0;         // raw bytes read from chunk data regions
+  uint64_t metadata_reads = 0;     // chunk metadata entries consulted
+  uint64_t candidate_rounds = 0;   // candidate generate/verify iterations
+  uint64_t index_lookups = 0;      // step-regression index probes
+
+  void Reset() { *this = QueryStats(); }
+  QueryStats& operator+=(const QueryStats& other);
+  std::string ToString() const;
+};
+
+// Simple wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+  void Reset() { start_ = Clock::now(); }
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_COMMON_STATS_H_

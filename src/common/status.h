@@ -1,0 +1,130 @@
+#ifndef TSVIZ_COMMON_STATUS_H_
+#define TSVIZ_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tsviz {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kCorruption,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+// Error-or-success return type for all fallible library operations. The
+// library does not throw exceptions; constructors that can fail are replaced
+// by factory functions returning Status or Result<T>.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" form for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Value-or-error: holds either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from values and from error Status keeps call sites
+  // (`return value;`, `return Status::IoError(...);`) readable.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    return ok() ? kOkStatus : std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+// Propagates a non-OK Status out of the enclosing function.
+#define TSVIZ_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::tsviz::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+// Evaluates a Result<T> expression and either binds its value or propagates
+// the error. `lhs` may declare a new variable (e.g. `auto x`).
+#define TSVIZ_ASSIGN_OR_RETURN(lhs, expr)              \
+  TSVIZ_ASSIGN_OR_RETURN_IMPL_(                        \
+      TSVIZ_STATUS_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define TSVIZ_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define TSVIZ_STATUS_CONCAT_(a, b) TSVIZ_STATUS_CONCAT_IMPL_(a, b)
+#define TSVIZ_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_COMMON_STATUS_H_

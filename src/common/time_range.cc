@@ -1,0 +1,21 @@
+#include "common/time_range.h"
+
+#include <string>
+
+namespace tsviz {
+
+uint64_t TimeRange::Length() const {
+  if (Empty()) return 0;
+  // start <= end here; compute end - start + 1 in unsigned space to avoid
+  // signed overflow when the endpoints span the full Timestamp domain.
+  uint64_t diff =
+      static_cast<uint64_t>(end) - static_cast<uint64_t>(start);
+  if (diff == std::numeric_limits<uint64_t>::max()) return diff;
+  return diff + 1;
+}
+
+std::string TimeRange::ToString() const {
+  return "[" + std::to_string(start) + ", " + std::to_string(end) + "]";
+}
+
+}  // namespace tsviz

@@ -1,0 +1,49 @@
+#ifndef TSVIZ_COMMON_TIME_RANGE_H_
+#define TSVIZ_COMMON_TIME_RANGE_H_
+
+#include <algorithm>
+#include <string>
+
+#include "common/types.h"
+
+namespace tsviz {
+
+// Closed time interval [start, end]. This is the shape of both a delete's
+// time range (Definition 2.5: t is covered iff tds <= t <= tde) and a chunk's
+// time interval [FP(C).t, LP(C).t].
+struct TimeRange {
+  Timestamp start = 0;
+  Timestamp end = 0;
+
+  TimeRange() = default;
+  TimeRange(Timestamp s, Timestamp e) : start(s), end(e) {}
+
+  bool Contains(Timestamp t) const { return start <= t && t <= end; }
+
+  bool Overlaps(const TimeRange& other) const {
+    return start <= other.end && other.start <= end;
+  }
+
+  // True iff `other` lies entirely inside this range.
+  bool Covers(const TimeRange& other) const {
+    return start <= other.start && other.end <= end;
+  }
+
+  bool Empty() const { return start > end; }
+
+  // Number of representable timestamps in the range (0 if empty). Saturates
+  // instead of overflowing for sentinel-sized ranges.
+  uint64_t Length() const;
+
+  TimeRange Intersect(const TimeRange& other) const {
+    return TimeRange(std::max(start, other.start), std::min(end, other.end));
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const TimeRange&, const TimeRange&) = default;
+};
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_COMMON_TIME_RANGE_H_

@@ -1,0 +1,41 @@
+#ifndef TSVIZ_COMMON_TYPES_H_
+#define TSVIZ_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace tsviz {
+
+// Milliseconds since epoch, matching Apache IoTDB's time unit. Signed so that
+// deltas and virtual-delete sentinels (+/- infinity) are representable.
+using Timestamp = int64_t;
+
+// Sensor reading value. The paper's datasets are numeric series; double
+// covers all of them.
+using Value = double;
+
+// Global incremental version number assigned to each chunk or delete
+// (Definition 2.4/2.5). Larger versions apply later.
+using Version = uint64_t;
+
+inline constexpr Timestamp kMinTimestamp =
+    std::numeric_limits<Timestamp>::min();
+inline constexpr Timestamp kMaxTimestamp =
+    std::numeric_limits<Timestamp>::max();
+
+// Version larger than any real chunk/delete version; used for the virtual
+// deletes that clip a chunk to an M4 time span (Section 3.1).
+inline constexpr Version kInfiniteVersion =
+    std::numeric_limits<Version>::max();
+
+// A time-value pair (Section 2.1).
+struct Point {
+  Timestamp t = 0;
+  Value v = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_COMMON_TYPES_H_

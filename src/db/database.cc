@@ -1,0 +1,118 @@
+#include "db/database.h"
+
+#include <filesystem>
+
+namespace tsviz {
+
+namespace fs = std::filesystem;
+
+bool IsValidSeriesName(const std::string& name) {
+  if (name.empty() || name.size() > 128) return false;
+  if (name == "." || name == "..") return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Result<std::unique_ptr<Database>> Database::Open(DatabaseConfig config) {
+  if (config.root_dir.empty()) {
+    return Status::InvalidArgument("root_dir must be set");
+  }
+  std::error_code ec;
+  fs::create_directories(config.root_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + config.root_dir + ": " +
+                           ec.message());
+  }
+  auto db = std::unique_ptr<Database>(new Database(std::move(config)));
+  TSVIZ_RETURN_IF_ERROR(db->Discover());
+  return db;
+}
+
+Status Database::Discover() {
+  for (const auto& entry : fs::directory_iterator(config_.root_dir)) {
+    if (!entry.is_directory()) continue;
+    std::string name = entry.path().filename().string();
+    if (!IsValidSeriesName(name)) continue;
+    StoreConfig store_config = config_.series_defaults;
+    store_config.data_dir = entry.path().string();
+    TSVIZ_ASSIGN_OR_RETURN(series_[name],
+                           TsStore::Open(std::move(store_config)));
+  }
+  return Status::OK();
+}
+
+Result<TsStore*> Database::GetOrCreateSeries(const std::string& name) {
+  if (!IsValidSeriesName(name)) {
+    return Status::InvalidArgument("invalid series name: " + name);
+  }
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    StoreConfig store_config = config_.series_defaults;
+    store_config.data_dir = config_.root_dir + "/" + name;
+    TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<TsStore> store,
+                           TsStore::Open(std::move(store_config)));
+    it = series_.emplace(name, std::move(store)).first;
+  }
+  return it->second.get();
+}
+
+Result<TsStore*> Database::GetSeries(const std::string& name) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    return Status::NotFound("no such series: " + name);
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> Database::ListSeries() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, store] : series_) names.push_back(name);
+  return names;
+}
+
+Status Database::DropSeries(const std::string& name) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    return Status::NotFound("no such series: " + name);
+  }
+  series_.erase(it);  // closes the store's files first
+  std::error_code ec;
+  fs::remove_all(config_.root_dir + "/" + name, ec);
+  if (ec) {
+    return Status::IoError("cannot remove series " + name + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Status Database::FlushAll() {
+  for (auto& [name, store] : series_) {
+    TSVIZ_RETURN_IF_ERROR(store->Flush());
+  }
+  return Status::OK();
+}
+
+Status Database::Write(const std::string& series, Timestamp t, Value v) {
+  TSVIZ_ASSIGN_OR_RETURN(TsStore * store, GetOrCreateSeries(series));
+  return store->Write(t, v);
+}
+
+Status Database::DeleteRange(const std::string& series,
+                             const TimeRange& range) {
+  TSVIZ_ASSIGN_OR_RETURN(TsStore * store, GetSeries(series));
+  return store->DeleteRange(range);
+}
+
+Result<M4Result> Database::QueryM4(const std::string& series,
+                                   const M4Query& query, QueryStats* stats,
+                                   const M4LsmOptions& options) {
+  TSVIZ_ASSIGN_OR_RETURN(TsStore * store, GetSeries(series));
+  return RunM4Lsm(*store, query, stats, options);
+}
+
+}  // namespace tsviz

@@ -1,0 +1,74 @@
+#ifndef TSVIZ_DB_DATABASE_H_
+#define TSVIZ_DB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "m4/m4_lsm.h"
+#include "m4/m4_types.h"
+#include "m4/span.h"
+#include "storage/store.h"
+
+namespace tsviz {
+
+struct DatabaseConfig {
+  // Root directory; each series lives in its own subdirectory.
+  std::string root_dir;
+
+  // Defaults applied to newly created series (data_dir is overridden).
+  StoreConfig series_defaults;
+};
+
+// Multi-series façade over TsStore: one LSM store per named series under a
+// shared root, discovered on open. This is the shape of a real deployment —
+// IoTDB manages one chunk stream per (device, measurement) path — while each
+// series keeps the single-series semantics the paper defines.
+class Database {
+ public:
+  static Result<std::unique_ptr<Database>> Open(DatabaseConfig config);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // The store for `name`, creating it on first use. Series names are
+  // restricted to [A-Za-z0-9_.-] (they become directory names).
+  Result<TsStore*> GetOrCreateSeries(const std::string& name);
+
+  // The store for an existing series; kNotFound if absent.
+  Result<TsStore*> GetSeries(const std::string& name);
+
+  // Sorted list of series names.
+  std::vector<std::string> ListSeries() const;
+
+  // Removes a series and its on-disk data.
+  Status DropSeries(const std::string& name);
+
+  // Flushes every series' memtable.
+  Status FlushAll();
+
+  // Convenience write/delete/query forwarding to the named series
+  // (creating it for writes).
+  Status Write(const std::string& series, Timestamp t, Value v);
+  Status DeleteRange(const std::string& series, const TimeRange& range);
+  Result<M4Result> QueryM4(const std::string& series, const M4Query& query,
+                           QueryStats* stats,
+                           const M4LsmOptions& options = {});
+
+ private:
+  explicit Database(DatabaseConfig config) : config_(std::move(config)) {}
+
+  Status Discover();
+
+  DatabaseConfig config_;
+  std::map<std::string, std::unique_ptr<TsStore>> series_;
+};
+
+// Whether `name` is a legal series name.
+bool IsValidSeriesName(const std::string& name);
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_DB_DATABASE_H_

@@ -1,0 +1,52 @@
+#ifndef TSVIZ_ENCODING_BIT_STREAM_H_
+#define TSVIZ_ENCODING_BIT_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tsviz {
+
+// Append-only MSB-first bit writer over a byte buffer. Used by the Gorilla
+// value codec, which emits sub-byte control codes.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  // Appends the lowest `bits` bits of `value`, most significant bit first.
+  void WriteBits(uint64_t value, int bits);
+  void WriteBit(bool bit) { WriteBits(bit ? 1 : 0, 1); }
+
+  // Pads the current byte with zero bits and returns the buffer.
+  std::string Finish();
+
+  size_t bit_count() const { return bit_count_; }
+
+ private:
+  std::string bytes_;
+  int bits_in_last_ = 0;  // number of valid bits in the last byte (0..7)
+  size_t bit_count_ = 0;
+};
+
+// MSB-first bit reader over a byte view. Reads past the end are reported via
+// Status rather than undefined behaviour so corrupt pages fail cleanly.
+class BitReader {
+ public:
+  explicit BitReader(std::string_view data) : data_(data) {}
+
+  Result<uint64_t> ReadBits(int bits);
+  Result<bool> ReadBit();
+
+  size_t bits_consumed() const { return pos_; }
+  size_t bits_remaining() const { return data_.size() * 8 - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;  // bit offset from the start of data_
+};
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_ENCODING_BIT_STREAM_H_

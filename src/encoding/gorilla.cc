@@ -1,0 +1,109 @@
+#include "encoding/gorilla.h"
+
+#include <bit>
+#include <cstring>
+
+#include "encoding/bit_stream.h"
+
+namespace tsviz {
+
+namespace {
+
+uint64_t DoubleToBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+Status EncodeGorilla(const std::vector<Value>& values, std::string* dst) {
+  if (values.empty()) return Status::OK();
+  BitWriter writer;
+  uint64_t prev = DoubleToBits(values[0]);
+  writer.WriteBits(prev, 64);
+  int prev_leading = -1;   // leading zeros of the previous XOR window
+  int prev_trailing = -1;  // trailing zeros of the previous XOR window
+  for (size_t i = 1; i < values.size(); ++i) {
+    uint64_t bits = DoubleToBits(values[i]);
+    uint64_t x = bits ^ prev;
+    prev = bits;
+    if (x == 0) {
+      writer.WriteBit(false);  // control '0': same value
+      continue;
+    }
+    writer.WriteBit(true);
+    int leading = std::countl_zero(x);
+    int trailing = std::countr_zero(x);
+    if (leading > 31) leading = 31;  // 5-bit field
+    if (prev_leading >= 0 && leading >= prev_leading &&
+        trailing >= prev_trailing) {
+      // Control '10': meaningful bits fit inside the previous window.
+      writer.WriteBit(false);
+      int meaningful = 64 - prev_leading - prev_trailing;
+      writer.WriteBits(x >> prev_trailing, meaningful);
+    } else {
+      // Control '11': new window = 5-bit leading count + 6-bit length.
+      writer.WriteBit(true);
+      int meaningful = 64 - leading - trailing;
+      writer.WriteBits(static_cast<uint64_t>(leading), 5);
+      // meaningful is in [1, 64]; store 64 as 0 in the 6-bit field.
+      writer.WriteBits(static_cast<uint64_t>(meaningful & 63), 6);
+      writer.WriteBits(x >> trailing, meaningful);
+      prev_leading = leading;
+      prev_trailing = trailing;
+    }
+  }
+  dst->append(writer.Finish());
+  return Status::OK();
+}
+
+Status DecodeGorilla(std::string_view src, size_t count,
+                     std::vector<Value>* out) {
+  out->clear();
+  if (count == 0) return Status::OK();
+  out->reserve(count);
+  BitReader reader(src);
+  TSVIZ_ASSIGN_OR_RETURN(uint64_t prev, reader.ReadBits(64));
+  out->push_back(BitsToDouble(prev));
+  int prev_leading = -1;
+  int prev_trailing = -1;
+  for (size_t i = 1; i < count; ++i) {
+    TSVIZ_ASSIGN_OR_RETURN(bool changed, reader.ReadBit());
+    if (!changed) {
+      out->push_back(BitsToDouble(prev));
+      continue;
+    }
+    TSVIZ_ASSIGN_OR_RETURN(bool new_window, reader.ReadBit());
+    int leading;
+    int meaningful;
+    if (new_window) {
+      TSVIZ_ASSIGN_OR_RETURN(uint64_t lead_bits, reader.ReadBits(5));
+      TSVIZ_ASSIGN_OR_RETURN(uint64_t len_bits, reader.ReadBits(6));
+      leading = static_cast<int>(lead_bits);
+      meaningful = len_bits == 0 ? 64 : static_cast<int>(len_bits);
+      prev_leading = leading;
+      prev_trailing = 64 - leading - meaningful;
+      if (prev_trailing < 0) return Status::Corruption("bad gorilla window");
+    } else {
+      if (prev_leading < 0) {
+        return Status::Corruption("gorilla reuse before any window");
+      }
+      leading = prev_leading;
+      meaningful = 64 - prev_leading - prev_trailing;
+    }
+    TSVIZ_ASSIGN_OR_RETURN(uint64_t payload, reader.ReadBits(meaningful));
+    uint64_t x = payload << prev_trailing;
+    prev ^= x;
+    out->push_back(BitsToDouble(prev));
+  }
+  return Status::OK();
+}
+
+}  // namespace tsviz

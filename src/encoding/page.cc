@@ -1,0 +1,138 @@
+#include "encoding/page.h"
+
+#include "encoding/gorilla.h"
+#include "encoding/plain.h"
+#include "encoding/rle.h"
+#include "encoding/ts2diff.h"
+#include "encoding/varint.h"
+
+namespace tsviz {
+
+Status EncodePage(const Point* points, size_t count, TsCodec ts_codec,
+                  ValueCodec value_codec, std::string* dst, PageInfo* info) {
+  if (count == 0) return Status::InvalidArgument("empty page");
+  const size_t start = dst->size();
+
+  std::vector<Timestamp> timestamps(count);
+  std::vector<Value> values(count);
+  for (size_t i = 0; i < count; ++i) {
+    timestamps[i] = points[i].t;
+    values[i] = points[i].v;
+  }
+
+  std::string body;
+  PutVarint64(&body, count);
+  body.push_back(static_cast<char>(ts_codec));
+  body.push_back(static_cast<char>(value_codec));
+  PutFixed64(&body, static_cast<uint64_t>(timestamps.front()));
+  PutFixed64(&body, static_cast<uint64_t>(timestamps.back()));
+
+  std::string ts_block;
+  switch (ts_codec) {
+    case TsCodec::kPlain:
+      TSVIZ_RETURN_IF_ERROR(EncodePlainTimestamps(timestamps, &ts_block));
+      break;
+    case TsCodec::kTs2Diff:
+      TSVIZ_RETURN_IF_ERROR(EncodeTs2Diff(timestamps, &ts_block));
+      break;
+  }
+  PutLengthPrefixed(&body, ts_block);
+
+  std::string value_block;
+  switch (value_codec) {
+    case ValueCodec::kPlain:
+      TSVIZ_RETURN_IF_ERROR(EncodePlainValues(values, &value_block));
+      break;
+    case ValueCodec::kGorilla:
+      TSVIZ_RETURN_IF_ERROR(EncodeGorilla(values, &value_block));
+      break;
+    case ValueCodec::kRle:
+      TSVIZ_RETURN_IF_ERROR(EncodeRle(values, &value_block));
+      break;
+  }
+  PutLengthPrefixed(&body, value_block);
+
+  PutFixed64(&body, Fnv1a64(body));
+  dst->append(body);
+
+  if (info != nullptr) {
+    info->count = static_cast<uint32_t>(count);
+    info->min_t = timestamps.front();
+    info->max_t = timestamps.back();
+    info->offset = static_cast<uint32_t>(start);
+    info->length = static_cast<uint32_t>(dst->size() - start);
+  }
+  return Status::OK();
+}
+
+Status DecodePage(std::string_view src, std::vector<Point>* out) {
+  if (src.size() < 8) return Status::Corruption("page too small");
+  std::string_view body = src.substr(0, src.size() - 8);
+  std::string_view checksum_view = src.substr(src.size() - 8);
+  TSVIZ_ASSIGN_OR_RETURN(uint64_t stored_checksum,
+                         GetFixed64(&checksum_view));
+  if (Fnv1a64(body) != stored_checksum) {
+    return Status::Corruption("page checksum mismatch");
+  }
+
+  TSVIZ_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(&body));
+  if (body.size() < 2) return Status::Corruption("truncated page header");
+  auto ts_codec = static_cast<TsCodec>(body[0]);
+  auto value_codec = static_cast<ValueCodec>(body[1]);
+  body.remove_prefix(2);
+  // min/max timestamps: validated against decoded data below.
+  TSVIZ_ASSIGN_OR_RETURN(uint64_t min_raw, GetFixed64(&body));
+  TSVIZ_ASSIGN_OR_RETURN(uint64_t max_raw, GetFixed64(&body));
+
+  TSVIZ_ASSIGN_OR_RETURN(std::string_view ts_block, GetLengthPrefixed(&body));
+  TSVIZ_ASSIGN_OR_RETURN(std::string_view value_block,
+                         GetLengthPrefixed(&body));
+
+  std::vector<Timestamp> timestamps;
+  switch (ts_codec) {
+    case TsCodec::kPlain: {
+      std::string_view cursor = ts_block;
+      TSVIZ_RETURN_IF_ERROR(DecodePlainTimestamps(&cursor, count,
+                                                  &timestamps));
+      break;
+    }
+    case TsCodec::kTs2Diff: {
+      std::string_view cursor = ts_block;
+      TSVIZ_RETURN_IF_ERROR(DecodeTs2Diff(&cursor, count, &timestamps));
+      break;
+    }
+    default:
+      return Status::Corruption("unknown timestamp codec");
+  }
+
+  std::vector<Value> values;
+  switch (value_codec) {
+    case ValueCodec::kPlain:
+      TSVIZ_RETURN_IF_ERROR(DecodePlainValues(value_block, count, &values));
+      break;
+    case ValueCodec::kGorilla:
+      TSVIZ_RETURN_IF_ERROR(DecodeGorilla(value_block, count, &values));
+      break;
+    case ValueCodec::kRle:
+      TSVIZ_RETURN_IF_ERROR(DecodeRle(value_block, count, &values));
+      break;
+    default:
+      return Status::Corruption("unknown value codec");
+  }
+
+  if (timestamps.size() != count || values.size() != count || count == 0) {
+    return Status::Corruption("page block size mismatch");
+  }
+  if (timestamps.front() != static_cast<Timestamp>(min_raw) ||
+      timestamps.back() != static_cast<Timestamp>(max_raw)) {
+    return Status::Corruption("page time bounds mismatch");
+  }
+
+  out->reserve(out->size() + count);
+  for (size_t i = 0; i < count; ++i) {
+    out->push_back(Point{timestamps[i], values[i]});
+  }
+  return Status::OK();
+}
+
+}  // namespace tsviz

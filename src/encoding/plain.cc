@@ -1,0 +1,50 @@
+#include "encoding/plain.h"
+
+#include <cstring>
+
+#include "encoding/varint.h"
+
+namespace tsviz {
+
+Status EncodePlainTimestamps(const std::vector<Timestamp>& timestamps,
+                             std::string* dst) {
+  for (Timestamp t : timestamps) {
+    PutFixed64(dst, static_cast<uint64_t>(t));
+  }
+  return Status::OK();
+}
+
+Status DecodePlainTimestamps(std::string_view* src, size_t count,
+                             std::vector<Timestamp>* out) {
+  out->clear();
+  out->reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    TSVIZ_ASSIGN_OR_RETURN(uint64_t raw, GetFixed64(src));
+    out->push_back(static_cast<Timestamp>(raw));
+  }
+  return Status::OK();
+}
+
+Status EncodePlainValues(const std::vector<Value>& values, std::string* dst) {
+  for (Value v : values) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutFixed64(dst, bits);
+  }
+  return Status::OK();
+}
+
+Status DecodePlainValues(std::string_view src, size_t count,
+                         std::vector<Value>* out) {
+  out->clear();
+  out->reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    TSVIZ_ASSIGN_OR_RETURN(uint64_t bits, GetFixed64(&src));
+    Value v;
+    std::memcpy(&v, &bits, sizeof(v));
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+}  // namespace tsviz

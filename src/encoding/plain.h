@@ -1,0 +1,27 @@
+#ifndef TSVIZ_ENCODING_PLAIN_H_
+#define TSVIZ_ENCODING_PLAIN_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace tsviz {
+
+// Uncompressed little-endian codecs; the baseline for the encoding bench and
+// the fallback when compression is disabled in StoreConfig.
+
+Status EncodePlainTimestamps(const std::vector<Timestamp>& timestamps,
+                             std::string* dst);
+Status DecodePlainTimestamps(std::string_view* src, size_t count,
+                             std::vector<Timestamp>* out);
+
+Status EncodePlainValues(const std::vector<Value>& values, std::string* dst);
+Status DecodePlainValues(std::string_view src, size_t count,
+                         std::vector<Value>* out);
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_ENCODING_PLAIN_H_

@@ -1,0 +1,56 @@
+#include "encoding/rle.h"
+
+#include <cstring>
+
+#include "encoding/varint.h"
+
+namespace tsviz {
+
+namespace {
+
+uint64_t DoubleToBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+Status EncodeRle(const std::vector<Value>& values, std::string* dst) {
+  size_t i = 0;
+  while (i < values.size()) {
+    uint64_t bits = DoubleToBits(values[i]);
+    size_t run = 1;
+    while (i + run < values.size() &&
+           DoubleToBits(values[i + run]) == bits) {
+      ++run;
+    }
+    PutVarint64(dst, run);
+    PutFixed64(dst, bits);
+    i += run;
+  }
+  return Status::OK();
+}
+
+Status DecodeRle(std::string_view src, size_t count,
+                 std::vector<Value>* out) {
+  out->clear();
+  out->reserve(count);
+  while (out->size() < count) {
+    TSVIZ_ASSIGN_OR_RETURN(uint64_t run, GetVarint64(&src));
+    if (run == 0 || run > count - out->size()) {
+      return Status::Corruption("rle run overflows value count");
+    }
+    TSVIZ_ASSIGN_OR_RETURN(uint64_t bits, GetFixed64(&src));
+    out->insert(out->end(), run, BitsToDouble(bits));
+  }
+  return Status::OK();
+}
+
+}  // namespace tsviz

@@ -1,0 +1,44 @@
+#include "encoding/ts2diff.h"
+
+#include "encoding/varint.h"
+
+namespace tsviz {
+
+Status EncodeTs2Diff(const std::vector<Timestamp>& timestamps,
+                     std::string* dst) {
+  if (timestamps.empty()) return Status::OK();
+  PutFixed64(dst, static_cast<uint64_t>(timestamps[0]));
+  int64_t prev_delta = 0;
+  for (size_t i = 1; i < timestamps.size(); ++i) {
+    if (timestamps[i] <= timestamps[i - 1]) {
+      return Status::InvalidArgument(
+          "timestamps must be strictly increasing within a chunk");
+    }
+    int64_t delta = timestamps[i] - timestamps[i - 1];
+    PutSignedVarint64(dst, delta - prev_delta);
+    prev_delta = delta;
+  }
+  return Status::OK();
+}
+
+Status DecodeTs2Diff(std::string_view* src, size_t count,
+                     std::vector<Timestamp>* out) {
+  out->clear();
+  if (count == 0) return Status::OK();
+  out->reserve(count);
+  TSVIZ_ASSIGN_OR_RETURN(uint64_t first, GetFixed64(src));
+  Timestamp prev = static_cast<Timestamp>(first);
+  out->push_back(prev);
+  int64_t prev_delta = 0;
+  for (size_t i = 1; i < count; ++i) {
+    TSVIZ_ASSIGN_OR_RETURN(int64_t dd, GetSignedVarint64(src));
+    int64_t delta = prev_delta + dd;
+    if (delta <= 0) return Status::Corruption("non-increasing timestamp");
+    prev += delta;
+    prev_delta = delta;
+    out->push_back(prev);
+  }
+  return Status::OK();
+}
+
+}  // namespace tsviz

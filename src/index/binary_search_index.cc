@@ -1,0 +1,38 @@
+#include "index/binary_search_index.h"
+
+namespace tsviz {
+
+size_t LocatePageBinary(const std::vector<PageInfo>& pages, Timestamp t,
+                        size_t* probes) {
+  size_t lo = 0;
+  size_t hi = pages.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (probes != nullptr) ++*probes;
+    if (pages[mid].max_t < t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t LocatePageBinaryBackward(const std::vector<PageInfo>& pages,
+                                Timestamp t, size_t* probes) {
+  // First page with min_t > t, minus one.
+  size_t lo = 0;
+  size_t hi = pages.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (probes != nullptr) ++*probes;
+    if (pages[mid].min_t <= t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo == 0 ? pages.size() : lo - 1;
+}
+
+}  // namespace tsviz

@@ -1,0 +1,29 @@
+#ifndef TSVIZ_INDEX_BINARY_SEARCH_INDEX_H_
+#define TSVIZ_INDEX_BINARY_SEARCH_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "encoding/page.h"
+
+namespace tsviz {
+
+// Baseline page locator used in the index ablation: binary search over the
+// page directory's exact time bounds. O(log pages) directory probes versus
+// the step regression's O(1) model evaluation.
+
+// Index of the first page whose max_t >= t, i.e. the unique page that could
+// contain t or the first point after it. Returns pages.size() when t is past
+// the end of the chunk. *probes (optional) counts directory comparisons.
+size_t LocatePageBinary(const std::vector<PageInfo>& pages, Timestamp t,
+                        size_t* probes = nullptr);
+
+// Index of the last page whose min_t <= t (for backward searches). Returns
+// pages.size() when t precedes the chunk.
+size_t LocatePageBinaryBackward(const std::vector<PageInfo>& pages,
+                                Timestamp t, size_t* probes = nullptr);
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_INDEX_BINARY_SEARCH_INDEX_H_

@@ -1,0 +1,142 @@
+#include "index/chunk_searcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "index/binary_search_index.h"
+
+namespace tsviz {
+
+ChunkSearcher::ChunkSearcher(PageProvider* provider,
+                             const StepRegressionModel* model,
+                             LocateStrategy strategy, QueryStats* stats)
+    : provider_(provider), model_(model), strategy_(strategy), stats_(stats) {
+  TSVIZ_CHECK(provider_ != nullptr);
+  TSVIZ_CHECK(model_ != nullptr || strategy_ == LocateStrategy::kBinarySearch);
+  const auto& pages = provider_->pages();
+  page_start_.reserve(pages.size());
+  uint64_t start = 0;
+  for (const PageInfo& page : pages) {
+    page_start_.push_back(start);
+    start += page.count;
+  }
+}
+
+size_t ChunkSearcher::PageOfPosition(uint64_t pos) const {
+  // Last page whose first position is <= pos.
+  auto it = std::upper_bound(page_start_.begin(), page_start_.end(), pos);
+  if (it == page_start_.begin()) return 0;
+  return static_cast<size_t>(it - page_start_.begin()) - 1;
+}
+
+size_t ChunkSearcher::LocateForward(Timestamp t) {
+  const auto& pages = provider_->pages();
+  if (pages.empty()) return 0;
+  if (stats_ != nullptr) ++stats_->index_lookups;
+  if (strategy_ == LocateStrategy::kBinarySearch) {
+    return LocatePageBinary(pages, t);
+  }
+  // Model gives a 1-based position estimate; start at its page and correct
+  // locally against the exact page bounds in the directory.
+  double est = model_->Eval(t);
+  uint64_t pos = static_cast<uint64_t>(
+      std::clamp<int64_t>(std::llround(est) - 1, 0,
+                 static_cast<int64_t>(provider_->num_points()) - 1));
+  size_t page = PageOfPosition(pos);
+  while (page < pages.size() && pages[page].max_t < t) ++page;
+  while (page > 0 && pages[page - 1].max_t >= t) --page;
+  return page;
+}
+
+size_t ChunkSearcher::LocateBackward(Timestamp t) {
+  const auto& pages = provider_->pages();
+  if (pages.empty()) return 0;
+  if (stats_ != nullptr) ++stats_->index_lookups;
+  if (strategy_ == LocateStrategy::kBinarySearch) {
+    return LocatePageBinaryBackward(pages, t);
+  }
+  if (pages.front().min_t > t) return pages.size();
+  double est = model_->Eval(t);
+  uint64_t pos = static_cast<uint64_t>(
+      std::clamp<int64_t>(std::llround(est) - 1, 0,
+                 static_cast<int64_t>(provider_->num_points()) - 1));
+  size_t page = PageOfPosition(pos);
+  while (page > 0 && pages[page].min_t > t) --page;
+  while (page + 1 < pages.size() && pages[page + 1].min_t <= t) ++page;
+  return page;
+}
+
+Result<std::optional<PointPos>> ChunkSearcher::FindExact(Timestamp t) {
+  const auto& pages = provider_->pages();
+  if (pages.empty() || t < pages.front().min_t || t > pages.back().max_t) {
+    return std::optional<PointPos>();
+  }
+  size_t page = LocateForward(t);
+  if (page >= pages.size() || pages[page].min_t > t) {
+    return std::optional<PointPos>();  // t falls in a gap between pages
+  }
+  TSVIZ_ASSIGN_OR_RETURN(const std::vector<Point>* points,
+                         provider_->GetPage(page));
+  auto it = std::lower_bound(
+      points->begin(), points->end(), t,
+      [](const Point& p, Timestamp value) { return p.t < value; });
+  if (it == points->end() || it->t != t) return std::optional<PointPos>();
+  size_t idx = static_cast<size_t>(it - points->begin());
+  return std::optional<PointPos>(
+      PointPos{static_cast<size_t>(page_start_[page]) + idx, *it});
+}
+
+Result<std::optional<PointPos>> ChunkSearcher::FirstAtOrAfter(Timestamp t) {
+  const auto& pages = provider_->pages();
+  if (pages.empty() || t > pages.back().max_t) {
+    return std::optional<PointPos>();
+  }
+  size_t page = LocateForward(t);
+  if (page >= pages.size()) return std::optional<PointPos>();
+  TSVIZ_ASSIGN_OR_RETURN(const std::vector<Point>* points,
+                         provider_->GetPage(page));
+  auto it = std::lower_bound(
+      points->begin(), points->end(), t,
+      [](const Point& p, Timestamp value) { return p.t < value; });
+  // LocateForward guarantees pages[page].max_t >= t, so `it` is valid.
+  if (it == points->end()) {
+    return Status::Internal("page directory bounds inconsistent with data");
+  }
+  size_t idx = static_cast<size_t>(it - points->begin());
+  return std::optional<PointPos>(
+      PointPos{static_cast<size_t>(page_start_[page]) + idx, *it});
+}
+
+Result<std::optional<PointPos>> ChunkSearcher::LastAtOrBefore(Timestamp t) {
+  const auto& pages = provider_->pages();
+  if (pages.empty() || t < pages.front().min_t) {
+    return std::optional<PointPos>();
+  }
+  size_t page = LocateBackward(t);
+  if (page >= pages.size()) return std::optional<PointPos>();
+  TSVIZ_ASSIGN_OR_RETURN(const std::vector<Point>* points,
+                         provider_->GetPage(page));
+  auto it = std::upper_bound(
+      points->begin(), points->end(), t,
+      [](Timestamp value, const Point& p) { return value < p.t; });
+  if (it == points->begin()) {
+    return Status::Internal("page directory bounds inconsistent with data");
+  }
+  --it;
+  size_t idx = static_cast<size_t>(it - points->begin());
+  return std::optional<PointPos>(
+      PointPos{static_cast<size_t>(page_start_[page]) + idx, *it});
+}
+
+Result<Point> ChunkSearcher::PointAt(size_t pos) {
+  if (pos >= provider_->num_points()) {
+    return Status::OutOfRange("position past end of chunk");
+  }
+  size_t page = PageOfPosition(pos);
+  TSVIZ_ASSIGN_OR_RETURN(const std::vector<Point>* points,
+                         provider_->GetPage(page));
+  return (*points)[pos - page_start_[page]];
+}
+
+}  // namespace tsviz

@@ -1,0 +1,71 @@
+#ifndef TSVIZ_INDEX_CHUNK_SEARCHER_H_
+#define TSVIZ_INDEX_CHUNK_SEARCHER_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "index/page_provider.h"
+#include "index/step_regression.h"
+
+namespace tsviz {
+
+// How the searcher locates the page containing a lookup timestamp.
+enum class LocateStrategy {
+  kStepRegression,  // evaluate the learned model, then correct locally
+  kBinarySearch,    // binary search the page directory (ablation baseline)
+};
+
+// A point together with its 0-based position in the chunk.
+struct PointPos {
+  size_t pos = 0;
+  Point point;
+};
+
+// Implements the three chunk index operations of Definition 3.5 on top of a
+// paged chunk: existence at a timestamp (candidate verification for BP/TP,
+// Table 1 case a) and closest point at-or-after / at-or-before a timestamp
+// (FP/LP recalculation under deletes, case b). Only the pages actually
+// touched are decoded; the locate strategy decides how the target page is
+// found.
+class ChunkSearcher {
+ public:
+  // `provider` and `model` must outlive the searcher; `model` may be null
+  // only with kBinarySearch. `stats` (optional) accumulates index_lookups
+  // and points_scanned.
+  ChunkSearcher(PageProvider* provider, const StepRegressionModel* model,
+                LocateStrategy strategy, QueryStats* stats);
+
+  // Point at exactly `t`, if the chunk stores one.
+  Result<std::optional<PointPos>> FindExact(Timestamp t);
+
+  // Closest point with time >= t (strictly-after = FirstAtOrAfter(t + 1)).
+  Result<std::optional<PointPos>> FirstAtOrAfter(Timestamp t);
+
+  // Closest point with time <= t (strictly-before = LastAtOrBefore(t - 1)).
+  Result<std::optional<PointPos>> LastAtOrBefore(Timestamp t);
+
+  // Point at the given 0-based position (decodes one page).
+  Result<Point> PointAt(size_t pos);
+
+ private:
+  // First page whose max_t >= t, or pages().size() if none.
+  size_t LocateForward(Timestamp t);
+  // Last page whose min_t <= t, or pages().size() if none.
+  size_t LocateBackward(Timestamp t);
+  // Page index such that global position `pos` lives in it.
+  size_t PageOfPosition(uint64_t pos) const;
+
+  PageProvider* provider_;
+  const StepRegressionModel* model_;
+  LocateStrategy strategy_;
+  QueryStats* stats_;
+  std::vector<uint64_t> page_start_;  // cumulative first position per page
+};
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_INDEX_CHUNK_SEARCHER_H_

@@ -1,0 +1,33 @@
+#ifndef TSVIZ_INDEX_PAGE_PROVIDER_H_
+#define TSVIZ_INDEX_PAGE_PROVIDER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "encoding/page.h"
+
+namespace tsviz {
+
+// Read access to a chunk's pages without committing to a storage layer.
+// `read/LazyChunk` implements this on top of on-disk chunk blobs; tests use
+// in-memory fakes. Decoding a page is the expensive operation the searcher
+// tries to minimize.
+class PageProvider {
+ public:
+  virtual ~PageProvider() = default;
+
+  // Page directory: counts and exact time bounds per page, in time order.
+  virtual const std::vector<PageInfo>& pages() const = 0;
+
+  // Decodes page `i` (reading it from disk if necessary) and returns the
+  // points; the pointer stays valid for the provider's lifetime.
+  virtual Result<const std::vector<Point>*> GetPage(size_t i) = 0;
+
+  // Total number of points in the chunk.
+  virtual uint64_t num_points() const = 0;
+};
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_INDEX_PAGE_PROVIDER_H_

@@ -1,0 +1,190 @@
+#include "index/step_regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstring>
+
+#include "encoding/varint.h"
+
+namespace tsviz {
+
+namespace {
+
+uint64_t DoubleToBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// Fallback when no changing points are found or the derived splits are
+// inconsistent: one tilt segment anchored at the first point (Def. 3.6's
+// "the first segment is tilt by default").
+StepRegressionModel SingleTiltModel(double k, const std::vector<Timestamp>& ts) {
+  StepRegressionModel m;
+  m.k = k;
+  m.count = ts.size();
+  m.splits = {ts.front(), ts.back()};
+  m.intercepts = {1.0 - k * static_cast<double>(ts.front())};
+  return m;
+}
+
+}  // namespace
+
+double StepRegressionModel::Eval(Timestamp t) const {
+  if (count == 0) return 0.0;
+  if (count == 1 || splits.size() < 2) return 1.0;
+  if (t <= splits.front()) return 1.0;
+  if (t >= splits.back()) return static_cast<double>(count);
+  // Largest segment start <= t; segments are 0-based here, so even indexes
+  // correspond to the paper's odd (tilt) segments.
+  auto it = std::upper_bound(splits.begin(), splits.end(), t);
+  size_t seg = static_cast<size_t>(it - splits.begin()) - 1;
+  if (seg >= intercepts.size()) seg = intercepts.size() - 1;
+  double f = (seg % 2 == 0) ? k * static_cast<double>(t) + intercepts[seg]
+                            : intercepts[seg];
+  return std::clamp(f, 1.0, static_cast<double>(count));
+}
+
+void StepRegressionModel::SerializeTo(std::string* dst) const {
+  PutFixed64(dst, DoubleToBits(k));
+  PutVarint64(dst, count);
+  PutVarint64(dst, splits.size());
+  Timestamp prev = 0;
+  for (Timestamp t : splits) {
+    PutSignedVarint64(dst, t - prev);
+    prev = t;
+  }
+  PutVarint64(dst, intercepts.size());
+  for (double b : intercepts) {
+    PutFixed64(dst, DoubleToBits(b));
+  }
+}
+
+Result<StepRegressionModel> StepRegressionModel::Deserialize(
+    std::string_view* src) {
+  StepRegressionModel m;
+  TSVIZ_ASSIGN_OR_RETURN(uint64_t k_bits, GetFixed64(src));
+  m.k = BitsToDouble(k_bits);
+  TSVIZ_ASSIGN_OR_RETURN(m.count, GetVarint64(src));
+  TSVIZ_ASSIGN_OR_RETURN(uint64_t n_splits, GetVarint64(src));
+  if (n_splits > (1u << 24)) return Status::Corruption("absurd split count");
+  m.splits.reserve(n_splits);
+  Timestamp prev = 0;
+  for (uint64_t i = 0; i < n_splits; ++i) {
+    TSVIZ_ASSIGN_OR_RETURN(int64_t delta, GetSignedVarint64(src));
+    prev += delta;
+    m.splits.push_back(prev);
+  }
+  TSVIZ_ASSIGN_OR_RETURN(uint64_t n_intercepts, GetVarint64(src));
+  if (n_splits >= 2 && n_intercepts != n_splits - 1) {
+    return Status::Corruption("intercept/split count mismatch");
+  }
+  m.intercepts.reserve(n_intercepts);
+  for (uint64_t i = 0; i < n_intercepts; ++i) {
+    TSVIZ_ASSIGN_OR_RETURN(uint64_t bits, GetFixed64(src));
+    m.intercepts.push_back(BitsToDouble(bits));
+  }
+  return m;
+}
+
+StepRegressionModel FitStepRegression(const std::vector<Timestamp>& ts) {
+  StepRegressionModel model;
+  model.count = ts.size();
+  if (ts.size() < 2) {
+    if (!ts.empty()) {
+      model.splits = {ts.front(), ts.front()};
+      model.intercepts = {1.0};
+      model.k = 0.0;
+    }
+    return model;
+  }
+
+  const size_t n = ts.size();
+  std::vector<int64_t> deltas(n - 1);
+  for (size_t i = 1; i < n; ++i) deltas[i - 1] = ts[i] - ts[i - 1];
+
+  // Slope K = 1 / median(deltas) (Section 3.5.2).
+  std::vector<int64_t> sorted = deltas;
+  auto mid = sorted.begin() + static_cast<ptrdiff_t>(sorted.size() / 2);
+  std::nth_element(sorted.begin(), mid, sorted.end());
+  int64_t median = *mid;
+  if (median < 1) median = 1;
+  const double k = 1.0 / static_cast<double>(median);
+
+  // Changing points by the 3-sigma rule on deltas (Section 3.5.3).
+  double mean = 0.0;
+  for (int64_t d : deltas) mean += static_cast<double>(d);
+  mean /= static_cast<double>(deltas.size());
+  double var = 0.0;
+  for (int64_t d : deltas) {
+    double diff = static_cast<double>(d) - mean;
+    var += diff * diff;
+  }
+  var /= static_cast<double>(deltas.size());
+  const double threshold = mean + 3.0 * std::sqrt(var);
+
+  // (1-based position in the chunk, timestamp) of each changing point.
+  std::vector<std::pair<uint64_t, Timestamp>> changing;
+  for (size_t p = 1; p + 1 < n; ++p) {
+    const double din = static_cast<double>(ts[p] - ts[p - 1]);
+    const double dout = static_cast<double>(ts[p + 1] - ts[p]);
+    const bool in_small = din <= threshold;
+    const bool out_small = dout <= threshold;
+    if (in_small != out_small) {
+      changing.emplace_back(p + 1, ts[p]);
+    }
+  }
+
+  if (changing.empty()) return SingleTiltModel(k, ts);
+
+  // m - 1 segments, alternating tilt (odd) / level (even), 1-based.
+  const size_t m = changing.size() + 2;
+  std::vector<double> b(m);  // b[1..m-1] used
+  b[1] = 1.0 - k * static_cast<double>(ts.front());
+  for (size_t i = 2; i + 1 < m; ++i) {
+    const auto& [j, t] = changing[i - 2];
+    b[i] = (i % 2 == 1) ? static_cast<double>(j) - k * static_cast<double>(t)
+                        : static_cast<double>(j);
+  }
+  const size_t last = m - 1;
+  if (last >= 2) {
+    b[last] = (last % 2 == 1)
+                  ? static_cast<double>(ts.size()) -
+                        k * static_cast<double>(ts.back())
+                  : static_cast<double>(ts.size());
+  }
+
+  // Split timestamps by intersecting adjacent segments.
+  std::vector<Timestamp> splits(m);
+  splits[0] = ts.front();
+  splits[m - 1] = ts.back();
+  for (size_t i = 2; i <= m - 1; ++i) {
+    const double t = (i % 2 == 1) ? (b[i - 1] - b[i]) / k
+                                  : (b[i] - b[i - 1]) / k;
+    splits[i - 1] = static_cast<Timestamp>(std::llround(t));
+  }
+  for (size_t i = 1; i < m; ++i) {
+    if (splits[i] < splits[i - 1]) return SingleTiltModel(k, ts);
+  }
+
+  model.k = k;
+  model.splits = std::move(splits);
+  model.intercepts.assign(b.begin() + 1, b.end());
+  return model;
+}
+
+StepRegressionModel FitStepRegression(const std::vector<Point>& points) {
+  std::vector<Timestamp> ts;
+  ts.reserve(points.size());
+  for (const Point& p : points) ts.push_back(p.t);
+  return FitStepRegression(ts);
+}
+
+}  // namespace tsviz

@@ -1,0 +1,57 @@
+#ifndef TSVIZ_INDEX_STEP_REGRESSION_H_
+#define TSVIZ_INDEX_STEP_REGRESSION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace tsviz {
+
+// Step regression chunk index (Section 3.5). Models the map from a data
+// point's timestamp to its 1-based position inside the chunk as alternating
+// "tilt" segments (fixed positive slope K, the preset collection frequency)
+// and "level" segments (slope zero, covering transmission gaps):
+//
+//   f(t) = 1_{tilt}(t) * K * t + sum_i 1_{I_i}(t) * b_i ,  t in [t_1, t_m].
+//
+// The model is fully determined by the slope K and the split timestamps
+// S = {t_1..t_m}; intercepts are stored too so evaluation is direct. Odd
+// segments (1-based) are tilts, even segments are levels, as in Def. 3.6.
+struct StepRegressionModel {
+  double k = 0.0;                     // points per time unit (1/median delta)
+  uint64_t count = 0;                 // |C|, number of points in the chunk
+  std::vector<Timestamp> splits;      // S, size m >= 2 (or empty if count<2)
+  std::vector<double> intercepts;     // b_1..b_{m-1}
+
+  // Estimated 1-based position of timestamp t, clamped to [1, count].
+  // Proposition 3.7: Eval(first.t) == 1 and Eval(last.t) == count.
+  double Eval(Timestamp t) const;
+
+  size_t SegmentCount() const {
+    return splits.size() < 2 ? 0 : splits.size() - 1;
+  }
+
+  void SerializeTo(std::string* dst) const;
+  static Result<StepRegressionModel> Deserialize(std::string_view* src);
+
+  friend bool operator==(const StepRegressionModel&,
+                         const StepRegressionModel&) = default;
+};
+
+// Learns K (Section 3.5.2: inverse of the median timestamp delta) and the
+// split timestamps (Section 3.5.3: changing points by the 3-sigma rule on
+// deltas, intercepts from Proposition 3.7 and the changing-point positions,
+// splits by intersecting adjacent segments) from the sorted timestamps of a
+// chunk. Never fails: degenerate inputs (fewer than two points, zero median)
+// produce a usable fallback model.
+StepRegressionModel FitStepRegression(const std::vector<Timestamp>& ts);
+
+// Convenience overload over points.
+StepRegressionModel FitStepRegression(const std::vector<Point>& points);
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_INDEX_STEP_REGRESSION_H_

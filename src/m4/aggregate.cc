@@ -1,0 +1,118 @@
+#include "m4/aggregate.h"
+
+#include "read/data_reader.h"
+#include "read/merge_reader.h"
+#include "read/metadata_reader.h"
+
+namespace tsviz {
+
+namespace {
+
+Result<std::vector<AggregateRow>> RunScanAggregate(const TsStore& store,
+                                                   const M4Query& query,
+                                                   Aggregation aggregation,
+                                                   QueryStats* stats) {
+  SpanSet spans(query);
+  TimeRange range(query.tqs, query.tqe - 1);
+  std::vector<ChunkHandle> handles =
+      SelectOverlappingChunks(store, range, stats);
+  DataReader data_reader(stats);
+  std::vector<LazyChunk*> chunks;
+  chunks.reserve(handles.size());
+  for (const ChunkHandle& handle : handles) {
+    chunks.push_back(data_reader.GetChunk(handle));
+  }
+  MergeReader merger(std::move(chunks),
+                     SelectOverlappingDeletes(store, range), range);
+
+  struct Accumulator {
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<Accumulator> accumulators(
+      static_cast<size_t>(spans.num_spans()));
+  Point p;
+  while (true) {
+    TSVIZ_ASSIGN_OR_RETURN(bool more, merger.Next(&p));
+    if (!more) break;
+    if (stats != nullptr) ++stats->points_scanned;
+    Accumulator& acc =
+        accumulators[static_cast<size_t>(spans.IndexOf(p.t))];
+    ++acc.count;
+    acc.sum += p.v;
+  }
+
+  std::vector<AggregateRow> rows(accumulators.size());
+  for (size_t i = 0; i < accumulators.size(); ++i) {
+    const Accumulator& acc = accumulators[i];
+    if (acc.count == 0) continue;
+    rows[i].has_data = true;
+    switch (aggregation) {
+      case Aggregation::kCount:
+        rows[i].value = static_cast<double>(acc.count);
+        break;
+      case Aggregation::kSum:
+        rows[i].value = acc.sum;
+        break;
+      case Aggregation::kAvg:
+        rows[i].value = acc.sum / static_cast<double>(acc.count);
+        break;
+      default:
+        return Status::Internal("scan aggregate called for merge-free agg");
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+bool IsMergeFree(Aggregation aggregation) {
+  switch (aggregation) {
+    case Aggregation::kFirstValue:
+    case Aggregation::kLastValue:
+    case Aggregation::kMin:
+    case Aggregation::kMax:
+      return true;
+    case Aggregation::kCount:
+    case Aggregation::kSum:
+    case Aggregation::kAvg:
+      return false;
+  }
+  return false;
+}
+
+Result<std::vector<AggregateRow>> RunGroupBy(const TsStore& store,
+                                             const M4Query& query,
+                                             Aggregation aggregation,
+                                             QueryStats* stats,
+                                             const M4LsmOptions& options) {
+  TSVIZ_RETURN_IF_ERROR(query.Validate());
+  if (!IsMergeFree(aggregation)) {
+    return RunScanAggregate(store, query, aggregation, stats);
+  }
+  TSVIZ_ASSIGN_OR_RETURN(M4Result m4, RunM4Lsm(store, query, stats, options));
+  std::vector<AggregateRow> rows(m4.size());
+  for (size_t i = 0; i < m4.size(); ++i) {
+    if (!m4[i].has_data) continue;
+    rows[i].has_data = true;
+    switch (aggregation) {
+      case Aggregation::kFirstValue:
+        rows[i].value = m4[i].first.v;
+        break;
+      case Aggregation::kLastValue:
+        rows[i].value = m4[i].last.v;
+        break;
+      case Aggregation::kMin:
+        rows[i].value = m4[i].bottom.v;
+        break;
+      case Aggregation::kMax:
+        rows[i].value = m4[i].top.v;
+        break;
+      default:
+        return Status::Internal("unexpected aggregation");
+    }
+  }
+  return rows;
+}
+
+}  // namespace tsviz

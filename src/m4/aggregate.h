@@ -1,0 +1,54 @@
+#ifndef TSVIZ_M4_AGGREGATE_H_
+#define TSVIZ_M4_AGGREGATE_H_
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "m4/m4_lsm.h"
+#include "m4/span.h"
+#include "storage/store.h"
+
+namespace tsviz {
+
+// Per-span GroupBy aggregations (the IoTDB GROUP BY family the M4 function
+// ships alongside; Appendix A.1 expresses M4 itself through FirstTime /
+// FirstValue / ... aggregators).
+//
+// kFirstValue/kLastValue/kMin/kMax are answered by the merge-free M4-LSM
+// machinery — they are exactly the FP/LP values and BP/TP extremes.
+// kCount/kSum/kAvg depend on every live point, which chunk metadata cannot
+// provide under overlaps and deletes, so they fall back to the full
+// merge-scan path (the M4-UDF read strategy).
+enum class Aggregation {
+  kFirstValue,
+  kLastValue,
+  kMin,
+  kMax,
+  kCount,
+  kSum,
+  kAvg,
+};
+
+// True when the aggregation is served from chunk metadata without merging.
+bool IsMergeFree(Aggregation aggregation);
+
+struct AggregateRow {
+  bool has_data = false;
+  double value = 0.0;
+
+  friend bool operator==(const AggregateRow&, const AggregateRow&) = default;
+};
+
+// One row per span, in span order (kCount yields 0-valued rows with
+// has_data=true only when the span is non-empty, matching SQL COUNT over
+// grouped buckets).
+Result<std::vector<AggregateRow>> RunGroupBy(const TsStore& store,
+                                             const M4Query& query,
+                                             Aggregation aggregation,
+                                             QueryStats* stats,
+                                             const M4LsmOptions& options = {});
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_M4_AGGREGATE_H_

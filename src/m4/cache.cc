@@ -1,0 +1,51 @@
+#include "m4/cache.h"
+
+namespace tsviz {
+
+Result<M4Result> M4QueryCache::GetOrCompute(const TsStore& store,
+                                            const M4Query& query,
+                                            QueryStats* stats,
+                                            const M4LsmOptions& options) {
+  TSVIZ_RETURN_IF_ERROR(query.Validate());
+  Key key{&store,    store.state_version(), query.tqs,
+          query.tqe, query.w,               options.locate_strategy};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);  // bump to front
+      return it->second->second;
+    }
+  }
+
+  // Compute outside the lock; concurrent misses on the same key may race,
+  // which only costs a duplicate computation, never a wrong result.
+  TSVIZ_ASSIGN_OR_RETURN(M4Result result, RunM4Lsm(store, query, stats,
+                                                   options));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++misses_;
+  auto it = index_.find(key);
+  if (it == index_.end() && capacity_ > 0) {
+    lru_.emplace_front(key, result);
+    index_[key] = lru_.begin();
+    while (lru_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+  }
+  return result;
+}
+
+size_t M4QueryCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+void M4QueryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace tsviz

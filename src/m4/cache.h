@@ -1,0 +1,63 @@
+#ifndef TSVIZ_M4_CACHE_H_
+#define TSVIZ_M4_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+
+#include "common/status.h"
+#include "m4/m4_lsm.h"
+#include "m4/m4_types.h"
+#include "m4/span.h"
+#include "storage/store.h"
+
+namespace tsviz {
+
+// LRU cache of M4 results, keyed by the query geometry and the store's
+// state version — interactive dashboards repeat the same zoom levels, and a
+// pan/zoom session revisits its history constantly. Any flush, delete or
+// compaction bumps the store's state version and implicitly invalidates
+// every cached result for it. Thread-safe.
+class M4QueryCache {
+ public:
+  explicit M4QueryCache(size_t capacity) : capacity_(capacity) {}
+
+  M4QueryCache(const M4QueryCache&) = delete;
+  M4QueryCache& operator=(const M4QueryCache&) = delete;
+
+  // Returns the cached result or computes it with RunM4Lsm and caches it.
+  // `stats` (optional) is only charged on a miss — a hit costs no I/O.
+  Result<M4Result> GetOrCompute(const TsStore& store, const M4Query& query,
+                                QueryStats* stats,
+                                const M4LsmOptions& options = {});
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t size() const;
+
+  void Clear();
+
+ private:
+  struct Key {
+    const TsStore* store;
+    uint64_t state_version;
+    Timestamp tqs;
+    Timestamp tqe;
+    int64_t w;
+    LocateStrategy strategy;
+
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<std::pair<Key, M4Result>> lru_;  // front = most recent
+  std::map<Key, std::list<std::pair<Key, M4Result>>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_M4_CACHE_H_

@@ -1,0 +1,49 @@
+#ifndef TSVIZ_M4_M4_LSM_H_
+#define TSVIZ_M4_M4_LSM_H_
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "index/chunk_searcher.h"
+#include "m4/m4_types.h"
+#include "m4/span.h"
+#include "storage/store.h"
+
+namespace tsviz {
+
+struct M4LsmOptions {
+  // How partial scans locate the page for a lookup timestamp (Section 3.5).
+  LocateStrategy locate_strategy = LocateStrategy::kStepRegression;
+};
+
+// The chunk-merge-free operator (Section 3). For every time span it clips
+// chunks with two virtual deletes of infinite version (Section 3.1), then
+// iterates candidate generation from chunk metadata (Section 3.2) and
+// candidate verification:
+//
+//  - FP/LP (Section 3.3, Prop. 3.1): a candidate only needs checking against
+//    later deletes; on failure the chunk's time interval is tightened by the
+//    delete boundary instead of loading the chunk, and the chunk is read —
+//    with single-page index probes — only if its bound still wins.
+//  - BP/TP (Section 3.4, Prop. 3.3): a candidate additionally needs an
+//    overwrite check against later overlapping chunks, answered by a partial
+//    scan of exactly one page via the chunk index (Table 1 case a). Failed
+//    candidates fall back to the remaining extreme points, and only when all
+//    metadata candidates die does the operator load the affected chunks and
+//    recompute their statistics under deletes and updates (case c).
+//
+// No MergeReader is involved anywhere: chunks that are neither split by span
+// boundaries nor touched by deletes/updates are served purely from metadata.
+Result<M4Result> RunM4Lsm(const TsStore& store, const M4Query& query,
+                          QueryStats* stats, const M4LsmOptions& options = {});
+
+// Computes only the rows for span indexes [span_begin, span_end) — the
+// building block of the parallel driver (m4/parallel.h). Returns
+// span_end - span_begin rows; metadata outside the window is never touched.
+Result<M4Result> RunM4LsmSpans(const TsStore& store, const M4Query& query,
+                               int64_t span_begin, int64_t span_end,
+                               QueryStats* stats,
+                               const M4LsmOptions& options = {});
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_M4_M4_LSM_H_

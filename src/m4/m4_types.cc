@@ -1,0 +1,87 @@
+#include "m4/m4_types.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace tsviz {
+
+namespace {
+
+void AppendPoint(std::ostringstream* os, const char* tag, const Point& p) {
+  *os << tag << "=(" << p.t << ", " << p.v << ") ";
+}
+
+bool SameValue(Value a, Value b) {
+  // Values flow through lossless codecs, so equality is exact; NaN-safe.
+  return a == b || (std::isnan(a) && std::isnan(b));
+}
+
+bool SamePoint(const Point& a, const Point& b) {
+  return a.t == b.t && SameValue(a.v, b.v);
+}
+
+}  // namespace
+
+std::string M4Row::ToString() const {
+  if (!has_data) return "(empty)";
+  std::ostringstream os;
+  AppendPoint(&os, "first", first);
+  AppendPoint(&os, "last", last);
+  AppendPoint(&os, "bottom", bottom);
+  AppendPoint(&os, "top", top);
+  return os.str();
+}
+
+bool RowsEquivalent(const M4Row& a, const M4Row& b) {
+  if (a.has_data != b.has_data) return false;
+  if (!a.has_data) return true;
+  return SamePoint(a.first, b.first) && SamePoint(a.last, b.last) &&
+         SameValue(a.bottom.v, b.bottom.v) && SameValue(a.top.v, b.top.v);
+}
+
+bool ResultsEquivalent(const M4Result& a, const M4Result& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!RowsEquivalent(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+std::string FirstMismatch(const M4Result& a, const M4Result& b) {
+  if (a.size() != b.size()) {
+    return "size mismatch: " + std::to_string(a.size()) + " vs " +
+           std::to_string(b.size());
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!RowsEquivalent(a[i], b[i])) {
+      return "span " + std::to_string(i) + ": " + a[i].ToString() + " vs " +
+             b[i].ToString();
+    }
+  }
+  return "";
+}
+
+std::string ValidateResultInvariants(const M4Result& result) {
+  for (size_t i = 0; i < result.size(); ++i) {
+    const M4Row& row = result[i];
+    if (!row.has_data) continue;
+    std::string where = "span " + std::to_string(i) + ": ";
+    if (row.first.t > row.last.t) return where + "first.t > last.t";
+    if (row.bottom.t < row.first.t || row.bottom.t > row.last.t) {
+      return where + "bottom outside [first.t, last.t]";
+    }
+    if (row.top.t < row.first.t || row.top.t > row.last.t) {
+      return where + "top outside [first.t, last.t]";
+    }
+    if (row.bottom.v > row.top.v) return where + "bottom.v > top.v";
+    if (row.first.v < row.bottom.v || row.first.v > row.top.v) {
+      return where + "first.v outside [bottom.v, top.v]";
+    }
+    if (row.last.v < row.bottom.v || row.last.v > row.top.v) {
+      return where + "last.v outside [bottom.v, top.v]";
+    }
+  }
+  return "";
+}
+
+}  // namespace tsviz

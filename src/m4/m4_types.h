@@ -1,0 +1,46 @@
+#ifndef TSVIZ_M4_M4_TYPES_H_
+#define TSVIZ_M4_M4_TYPES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tsviz {
+
+// The four representation points of one time span (pixel column). Empty
+// spans (no live data point in the span) have has_data == false.
+struct M4Row {
+  bool has_data = false;
+  Point first;   // FP(T_i)
+  Point last;    // LP(T_i)
+  Point bottom;  // BP(T_i): some point with the minimal value
+  Point top;     // TP(T_i): some point with the maximal value
+
+  std::string ToString() const;
+};
+
+// One row per span, in span order: the output of Definition 2.9.
+using M4Result = std::vector<M4Row>;
+
+// Whether two rows agree as M4 representations. FP/LP must match exactly;
+// BP/TP are compared on value only, since Definition 2.1 allows returning
+// any point attaining the extreme value (their pixels depend only on the
+// value, Section 2.1).
+bool RowsEquivalent(const M4Row& a, const M4Row& b);
+
+// All-rows form of RowsEquivalent; size mismatch is inequivalent.
+bool ResultsEquivalent(const M4Result& a, const M4Result& b);
+
+// Human-readable diff of the first mismatching row, for test failures.
+std::string FirstMismatch(const M4Result& a, const M4Result& b);
+
+// Checks internal invariants of a result: within each non-empty row,
+// first.t <= last.t, bottom.t and top.t lie in [first.t, last.t], and
+// bottom.v <= {first,last,top}.v <= top.v. Returns an empty string when
+// valid, else a description of the first violation.
+std::string ValidateResultInvariants(const M4Result& result);
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_M4_M4_TYPES_H_

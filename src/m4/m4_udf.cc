@@ -1,0 +1,47 @@
+#include "m4/m4_udf.h"
+
+#include "read/data_reader.h"
+#include "read/merge_reader.h"
+#include "read/metadata_reader.h"
+
+namespace tsviz {
+
+Result<M4Result> RunM4Udf(const TsStore& store, const M4Query& query,
+                          QueryStats* stats) {
+  TSVIZ_RETURN_IF_ERROR(query.Validate());
+  SpanSet spans(query);
+  // The query range [tqs, tqe) as a closed range for chunk selection.
+  TimeRange range(query.tqs, query.tqe - 1);
+
+  std::vector<ChunkHandle> handles =
+      SelectOverlappingChunks(store, range, stats);
+  DataReader data_reader(stats);
+  std::vector<LazyChunk*> chunks;
+  chunks.reserve(handles.size());
+  for (const ChunkHandle& handle : handles) {
+    chunks.push_back(data_reader.GetChunk(handle));
+  }
+
+  MergeReader merger(std::move(chunks),
+                     SelectOverlappingDeletes(store, range), range);
+  M4Result result(static_cast<size_t>(spans.num_spans()));
+  Point p;
+  while (true) {
+    TSVIZ_ASSIGN_OR_RETURN(bool more, merger.Next(&p));
+    if (!more) break;
+    if (stats != nullptr) ++stats->points_scanned;
+    M4Row& row = result[static_cast<size_t>(spans.IndexOf(p.t))];
+    if (!row.has_data) {
+      row.has_data = true;
+      row.first = row.last = row.bottom = row.top = p;
+      continue;
+    }
+    // Points arrive in increasing time order, so `p` is always the new last.
+    row.last = p;
+    if (p.v < row.bottom.v) row.bottom = p;
+    if (p.v > row.top.v) row.top = p;
+  }
+  return result;
+}
+
+}  // namespace tsviz

@@ -1,0 +1,23 @@
+#ifndef TSVIZ_M4_M4_UDF_H_
+#define TSVIZ_M4_M4_UDF_H_
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "m4/m4_types.h"
+#include "m4/span.h"
+#include "storage/store.h"
+
+namespace tsviz {
+
+// The baseline operator (Section 1.1, Appendix A.5.2): the original
+// RDBMS-oriented M4 algorithm implemented as a UDF over the assembled
+// series. It loads every chunk overlapping the query range from disk,
+// decodes all their pages, merges them into the latest-only series, and
+// computes the four representation functions per span in one ordered scan —
+// paying full I/O and decompression cost regardless of w.
+Result<M4Result> RunM4Udf(const TsStore& store, const M4Query& query,
+                          QueryStats* stats);
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_M4_M4_UDF_H_

@@ -1,0 +1,56 @@
+#include "m4/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace tsviz {
+
+Result<M4Result> RunM4LsmParallel(const TsStore& store, const M4Query& query,
+                                  int num_threads, QueryStats* stats,
+                                  const M4LsmOptions& options) {
+  TSVIZ_RETURN_IF_ERROR(query.Validate());
+  if (num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be positive");
+  }
+  const int64_t w = query.w;
+  const int64_t blocks = std::min<int64_t>(num_threads, w);
+  if (blocks == 1) {
+    return RunM4Lsm(store, query, stats, options);
+  }
+
+  struct BlockResult {
+    Status status;
+    M4Result rows;
+    QueryStats stats;
+  };
+  std::vector<BlockResult> results(static_cast<size_t>(blocks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(blocks));
+  for (int64_t b = 0; b < blocks; ++b) {
+    const int64_t begin = w * b / blocks;
+    const int64_t end = w * (b + 1) / blocks;
+    threads.emplace_back([&store, &query, &options, begin, end,
+                          out = &results[static_cast<size_t>(b)]]() {
+      Result<M4Result> rows =
+          RunM4LsmSpans(store, query, begin, end, &out->stats, options);
+      if (rows.ok()) {
+        out->rows = std::move(rows).value();
+      } else {
+        out->status = rows.status();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  M4Result merged;
+  merged.reserve(static_cast<size_t>(w));
+  for (BlockResult& block : results) {
+    TSVIZ_RETURN_IF_ERROR(block.status);
+    merged.insert(merged.end(), block.rows.begin(), block.rows.end());
+    if (stats != nullptr) *stats += block.stats;
+  }
+  return merged;
+}
+
+}  // namespace tsviz

@@ -1,0 +1,28 @@
+#ifndef TSVIZ_M4_PARALLEL_H_
+#define TSVIZ_M4_PARALLEL_H_
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "m4/m4_lsm.h"
+#include "m4/m4_types.h"
+#include "m4/span.h"
+#include "storage/store.h"
+
+namespace tsviz {
+
+// Data-parallel M4-LSM: spans are independent (each pixel column only
+// depends on the chunks overlapping it), so the query splits into
+// contiguous span blocks computed on separate threads, each with its own
+// chunk cache. Chunks straddling a block boundary are loaded by both
+// neighbours — a bounded duplication of at most (threads - 1) chunks.
+//
+// The store must not be mutated during the call (same contract as the
+// serial operator); file access uses positional reads and is thread-safe.
+// `stats` (optional) receives the summed counters of all threads.
+Result<M4Result> RunM4LsmParallel(const TsStore& store, const M4Query& query,
+                                  int num_threads, QueryStats* stats,
+                                  const M4LsmOptions& options = {});
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_M4_PARALLEL_H_

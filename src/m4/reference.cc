@@ -1,0 +1,56 @@
+#include "m4/reference.h"
+
+#include <map>
+
+namespace tsviz {
+
+M4Result ReferenceM4(const std::vector<Point>& merged_series,
+                     const M4Query& query) {
+  SpanSet spans(query);
+  M4Result result(static_cast<size_t>(spans.num_spans()));
+  for (const Point& p : merged_series) {
+    if (!spans.InQueryRange(p.t)) continue;
+    M4Row& row = result[static_cast<size_t>(spans.IndexOf(p.t))];
+    if (!row.has_data) {
+      row.has_data = true;
+      row.first = row.last = row.bottom = row.top = p;
+      continue;
+    }
+    if (p.t < row.first.t) row.first = p;
+    if (p.t > row.last.t) row.last = p;
+    if (p.v < row.bottom.v) row.bottom = p;
+    if (p.v > row.top.v) row.top = p;
+  }
+  return result;
+}
+
+std::vector<Point> ReferenceMerge(
+    const std::vector<std::pair<Version, std::vector<Point>>>& chunks,
+    const std::vector<std::pair<Version, TimeRange>>& deletes) {
+  // Timestamp -> (version, value): keep the highest-version write.
+  std::map<Timestamp, std::pair<Version, Value>> latest;
+  for (const auto& [version, points] : chunks) {
+    for (const Point& p : points) {
+      auto it = latest.find(p.t);
+      if (it == latest.end() || it->second.first < version) {
+        latest[p.t] = {version, p.v};
+      }
+    }
+  }
+  std::vector<Point> merged;
+  merged.reserve(latest.size());
+  for (const auto& [t, entry] : latest) {
+    const auto& [version, value] = entry;
+    bool deleted = false;
+    for (const auto& [del_version, range] : deletes) {
+      if (del_version > version && range.Contains(t)) {
+        deleted = true;
+        break;
+      }
+    }
+    if (!deleted) merged.push_back(Point{t, value});
+  }
+  return merged;
+}
+
+}  // namespace tsviz

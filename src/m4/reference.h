@@ -1,0 +1,26 @@
+#ifndef TSVIZ_M4_REFERENCE_H_
+#define TSVIZ_M4_REFERENCE_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "m4/m4_types.h"
+#include "m4/span.h"
+
+namespace tsviz {
+
+// Oracle evaluator for tests: applies Definition 2.3 literally to an
+// already-merged, time-ordered series. Both executors must be equivalent to
+// this on every input.
+M4Result ReferenceM4(const std::vector<Point>& merged_series,
+                     const M4Query& query);
+
+// Oracle merge: applies Definition 2.7 literally with per-timestamp maps.
+// Quadratic-ish and memory-hungry; for tests only.
+std::vector<Point> ReferenceMerge(
+    const std::vector<std::pair<Version, std::vector<Point>>>& chunks,
+    const std::vector<std::pair<Version, TimeRange>>& deletes);
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_M4_REFERENCE_H_

@@ -1,0 +1,41 @@
+#include "m4/span.h"
+
+#include "common/logging.h"
+
+namespace tsviz {
+
+Status M4Query::Validate() const {
+  if (w <= 0) return Status::InvalidArgument("w must be positive");
+  if (tqe <= tqs) {
+    return Status::InvalidArgument("query range must be non-empty");
+  }
+  return Status::OK();
+}
+
+SpanSet::SpanSet(const M4Query& query)
+    : tqs_(query.tqs), tqe_(query.tqe), w_(query.w) {
+  TSVIZ_CHECK(query.Validate().ok());
+}
+
+int64_t SpanSet::IndexOf(Timestamp t) const {
+  TSVIZ_CHECK(InQueryRange(t));
+  using I128 = __int128;
+  I128 numerator = static_cast<I128>(w_) * (static_cast<I128>(t) - tqs_);
+  return static_cast<int64_t>(numerator / (static_cast<I128>(tqe_) - tqs_));
+}
+
+Timestamp SpanSet::SpanStart(int64_t i) const {
+  TSVIZ_CHECK(i >= 0 && i <= w_);
+  using I128 = __int128;
+  I128 range = static_cast<I128>(tqe_) - tqs_;
+  I128 product = static_cast<I128>(i) * range;
+  // ceil(product / w) with non-negative operands.
+  I128 offset = (product + w_ - 1) / w_;
+  return static_cast<Timestamp>(static_cast<I128>(tqs_) + offset);
+}
+
+TimeRange SpanSet::SpanRange(int64_t i) const {
+  return TimeRange(SpanStart(i), SpanStart(i + 1) - 1);
+}
+
+}  // namespace tsviz

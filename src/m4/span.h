@@ -1,0 +1,57 @@
+#ifndef TSVIZ_M4_SPAN_H_
+#define TSVIZ_M4_SPAN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/time_range.h"
+#include "common/types.h"
+
+namespace tsviz {
+
+// Parameters of an M4 representation query (Definition 2.3): a half-open
+// query time range [tqs, tqe) divided into w equal time spans, one per pixel
+// column.
+struct M4Query {
+  Timestamp tqs = 0;
+  Timestamp tqe = 0;
+  int64_t w = 0;
+
+  Status Validate() const;
+};
+
+// Exact integer span arithmetic shared by both executors. The i-th (0-based)
+// span is I_i = { t : floor(w * (t - tqs) / (tqe - tqs)) == i } — the
+// grouping key of the SQL form in Appendix A.1 — whose boundaries are
+// b_i = tqs + ceil(i * (tqe - tqs) / w), giving I_i = [b_i, b_{i+1}). All
+// intermediate products run in 128-bit so 10M-point millisecond ranges can
+// never overflow.
+class SpanSet {
+ public:
+  // query must be valid (Validate() == OK).
+  explicit SpanSet(const M4Query& query);
+
+  int64_t num_spans() const { return w_; }
+
+  // 0-based span index of timestamp t; t must lie in [tqs, tqe).
+  int64_t IndexOf(Timestamp t) const;
+
+  // Whether t falls inside the query range at all.
+  bool InQueryRange(Timestamp t) const { return t >= tqs_ && t < tqe_; }
+
+  // Inclusive start of span i: the smallest timestamp mapping to span i.
+  Timestamp SpanStart(int64_t i) const;
+
+  // The span as a closed TimeRange [SpanStart(i), SpanStart(i+1) - 1],
+  // matching the coverage convention of deletes and chunk intervals.
+  TimeRange SpanRange(int64_t i) const;
+
+ private:
+  Timestamp tqs_;
+  Timestamp tqe_;
+  int64_t w_;
+};
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_M4_SPAN_H_

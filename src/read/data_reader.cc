@@ -1,0 +1,16 @@
+#include "read/data_reader.h"
+
+namespace tsviz {
+
+LazyChunk* DataReader::GetChunk(const ChunkHandle& handle) {
+  auto it = cache_.find(handle.meta->version);
+  if (it == cache_.end()) {
+    it = cache_
+             .emplace(handle.meta->version,
+                      std::make_unique<LazyChunk>(handle, stats_))
+             .first;
+  }
+  return it->second.get();
+}
+
+}  // namespace tsviz

@@ -1,0 +1,33 @@
+#ifndef TSVIZ_READ_DATA_READER_H_
+#define TSVIZ_READ_DATA_READER_H_
+
+#include <map>
+#include <memory>
+
+#include "common/stats.h"
+#include "read/lazy_chunk.h"
+
+namespace tsviz {
+
+// The DataReader of Figure 15: hands out LazyChunk views and guarantees that
+// a query materializes each chunk at most once, no matter how many time
+// spans it intersects.
+class DataReader {
+ public:
+  explicit DataReader(QueryStats* stats) : stats_(stats) {}
+
+  DataReader(const DataReader&) = delete;
+  DataReader& operator=(const DataReader&) = delete;
+
+  // LazyChunk for `handle`, created on first use. The pointer stays valid
+  // for the reader's lifetime.
+  LazyChunk* GetChunk(const ChunkHandle& handle);
+
+ private:
+  QueryStats* stats_;
+  std::map<Version, std::unique_ptr<LazyChunk>> cache_;
+};
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_READ_DATA_READER_H_

@@ -1,0 +1,47 @@
+#include "read/lazy_chunk.h"
+
+namespace tsviz {
+
+LazyChunk::LazyChunk(ChunkHandle handle, QueryStats* stats)
+    : handle_(std::move(handle)), stats_(stats) {
+  cache_.resize(handle_.meta->pages.size());
+}
+
+Result<const std::vector<Point>*> LazyChunk::GetPage(size_t i) {
+  if (i >= cache_.size()) {
+    return Status::OutOfRange("page index past end of chunk");
+  }
+  if (cache_[i].has_value()) {
+    return const_cast<const std::vector<Point>*>(&*cache_[i]);
+  }
+  const PageInfo& page = handle_.meta->pages[i];
+  TSVIZ_ASSIGN_OR_RETURN(
+      std::string raw,
+      handle_.file->ReadRange(handle_.meta->data_offset + page.offset,
+                              page.length));
+  std::vector<Point> points;
+  TSVIZ_RETURN_IF_ERROR(DecodePage(raw, &points));
+  if (points.size() != page.count) {
+    return Status::Corruption("page count mismatch with directory");
+  }
+  if (stats_ != nullptr) {
+    stats_->bytes_read += page.length;
+    ++stats_->pages_decoded;
+    if (!loaded_) ++stats_->chunks_loaded;
+  }
+  loaded_ = true;
+  cache_[i] = std::move(points);
+  return const_cast<const std::vector<Point>*>(&*cache_[i]);
+}
+
+Result<std::vector<Point>> LazyChunk::ReadAllPoints() {
+  std::vector<Point> out;
+  out.reserve(num_points());
+  for (size_t i = 0; i < cache_.size(); ++i) {
+    TSVIZ_ASSIGN_OR_RETURN(const std::vector<Point>* page, GetPage(i));
+    out.insert(out.end(), page->begin(), page->end());
+  }
+  return out;
+}
+
+}  // namespace tsviz

@@ -1,0 +1,49 @@
+#ifndef TSVIZ_READ_LAZY_CHUNK_H_
+#define TSVIZ_READ_LAZY_CHUNK_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "index/page_provider.h"
+#include "storage/store.h"
+
+namespace tsviz {
+
+// Page-granular view of an on-disk chunk. Construction touches no data;
+// each page is fetched with one positional read and decoded on first access,
+// then cached. This is the mechanism behind both lazy chunk loading and the
+// partial scans of Section 3.4: a candidate probe that touches one page pays
+// for one page.
+class LazyChunk : public PageProvider {
+ public:
+  // `stats` (optional) accrues bytes_read / pages_decoded / chunks_loaded.
+  LazyChunk(ChunkHandle handle, QueryStats* stats);
+
+  const std::vector<PageInfo>& pages() const override {
+    return handle_.meta->pages;
+  }
+  Result<const std::vector<Point>*> GetPage(size_t i) override;
+  uint64_t num_points() const override { return handle_.meta->count; }
+
+  const ChunkMetadata& meta() const { return *handle_.meta; }
+  Version version() const { return handle_.meta->version; }
+
+  // Decodes every page and returns all points in time order.
+  Result<std::vector<Point>> ReadAllPoints();
+
+  // Whether any page of this chunk has been read from disk.
+  bool loaded() const { return loaded_; }
+
+ private:
+  ChunkHandle handle_;
+  QueryStats* stats_;
+  std::vector<std::optional<std::vector<Point>>> cache_;
+  bool loaded_ = false;
+};
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_READ_LAZY_CHUNK_H_

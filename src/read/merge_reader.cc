@@ -1,0 +1,115 @@
+#include "read/merge_reader.h"
+
+#include <algorithm>
+
+#include "index/binary_search_index.h"
+
+namespace tsviz {
+
+MergeReader::MergeReader(std::vector<LazyChunk*> chunks,
+                         std::vector<DeleteRecord> deletes, TimeRange range)
+    : range_(range), deletes_(std::move(deletes)) {
+  std::sort(deletes_.begin(), deletes_.end(),
+            [](const DeleteRecord& a, const DeleteRecord& b) {
+              return a.range.start < b.range.start;
+            });
+  cursors_.reserve(chunks.size());
+  for (LazyChunk* chunk : chunks) {
+    Cursor cursor;
+    cursor.chunk = chunk;
+    // Start at the first page that can contain range.start.
+    cursor.page_idx = LocatePageBinary(chunk->pages(), range_.start);
+    cursors_.push_back(cursor);
+  }
+}
+
+Status MergeReader::PushNext(size_t cursor_idx) {
+  Cursor& cursor = cursors_[cursor_idx];
+  const auto& pages = cursor.chunk->pages();
+  while (true) {
+    if (cursor.page_idx >= pages.size()) return Status::OK();  // exhausted
+    if (pages[cursor.page_idx].min_t > range_.end) {
+      cursor.page_idx = pages.size();
+      return Status::OK();
+    }
+    if (cursor.page == nullptr) {
+      TSVIZ_ASSIGN_OR_RETURN(cursor.page,
+                             cursor.chunk->GetPage(cursor.page_idx));
+      // Skip the sub-range before range.start in the first touched page.
+      auto it = std::lower_bound(
+          cursor.page->begin() + static_cast<ptrdiff_t>(cursor.point_idx),
+          cursor.page->end(), range_.start,
+          [](const Point& p, Timestamp t) { return p.t < t; });
+      cursor.point_idx = static_cast<size_t>(it - cursor.page->begin());
+    }
+    if (cursor.point_idx >= cursor.page->size()) {
+      ++cursor.page_idx;
+      cursor.page = nullptr;
+      cursor.point_idx = 0;
+      continue;
+    }
+    const Point& p = (*cursor.page)[cursor.point_idx];
+    if (p.t > range_.end) {
+      cursor.page_idx = pages.size();
+      return Status::OK();
+    }
+    heap_.push(HeapEntry{p.t, cursor.chunk->version(), cursor_idx});
+    return Status::OK();
+  }
+}
+
+bool MergeReader::Deleted(Timestamp t, Version version) {
+  while (delete_cursor_ < deletes_.size() &&
+         deletes_[delete_cursor_].range.start <= t) {
+    active_deletes_.push_back(deletes_[delete_cursor_]);
+    ++delete_cursor_;
+  }
+  // Drop deletes that ended before t; the remainder all cover t.
+  std::erase_if(active_deletes_, [t](const DeleteRecord& del) {
+    return del.range.end < t;
+  });
+  for (const DeleteRecord& del : active_deletes_) {
+    if (del.version > version) return true;
+  }
+  return false;
+}
+
+Result<bool> MergeReader::Next(Point* out) {
+  if (!primed_) {
+    primed_ = true;
+    for (size_t i = 0; i < cursors_.size(); ++i) {
+      TSVIZ_RETURN_IF_ERROR(PushNext(i));
+    }
+  }
+  while (!heap_.empty()) {
+    HeapEntry top = heap_.top();
+    heap_.pop();
+    Cursor& cursor = cursors_[top.cursor];
+    Point p = (*cursor.page)[cursor.point_idx];
+    ++cursor.point_idx;
+    TSVIZ_RETURN_IF_ERROR(PushNext(top.cursor));
+
+    // The first pop at a timestamp carries the largest version; every later
+    // pop at the same timestamp is an overwritten point (Definition 2.7).
+    if (has_last_emitted_ && p.t == last_emitted_) continue;
+    has_last_emitted_ = true;
+    last_emitted_ = p.t;
+    if (Deleted(p.t, top.version)) continue;
+    *out = p;
+    return true;
+  }
+  return false;
+}
+
+Result<std::vector<Point>> MergeReader::ReadAll() {
+  std::vector<Point> points;
+  Point p;
+  while (true) {
+    TSVIZ_ASSIGN_OR_RETURN(bool more, Next(&p));
+    if (!more) break;
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace tsviz

@@ -1,0 +1,79 @@
+#ifndef TSVIZ_READ_MERGE_READER_H_
+#define TSVIZ_READ_MERGE_READER_H_
+
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_range.h"
+#include "common/types.h"
+#include "read/lazy_chunk.h"
+#include "storage/delete_record.h"
+
+namespace tsviz {
+
+// The MergeReader of Figure 15: streams the merged time series
+// M(C, D) of Definition 2.7 in increasing time order, clipped to a closed
+// time range. A k-way heap merges the chunk cursors; at each timestamp only
+// the highest-version point can be live, and it survives iff no delete with
+// a larger version covers it. Deletes are applied with a sorted sweep (the
+// CPU-efficient delete handling the paper credits for M4-UDF's flat latency
+// under growing delete counts, Section 4.4).
+//
+// This is the full-cost read path: every page of every input chunk that
+// overlaps the range is read and decoded.
+class MergeReader {
+ public:
+  MergeReader(std::vector<LazyChunk*> chunks,
+              std::vector<DeleteRecord> deletes, TimeRange range);
+
+  // Produces the next live point. Returns false when the stream (or the
+  // clip range) is exhausted.
+  Result<bool> Next(Point* out);
+
+  // Drains the remainder of the stream into a vector.
+  Result<std::vector<Point>> ReadAll();
+
+ private:
+  struct Cursor {
+    LazyChunk* chunk = nullptr;
+    size_t page_idx = 0;
+    size_t point_idx = 0;
+    const std::vector<Point>* page = nullptr;  // current decoded page
+  };
+
+  struct HeapEntry {
+    Timestamp t;
+    Version version;
+    size_t cursor;
+    // Min-heap by time; ties broken so the largest version pops first.
+    bool operator>(const HeapEntry& other) const {
+      if (t != other.t) return t > other.t;
+      return version < other.version;
+    }
+  };
+
+  // Positions `cursor` at its next point and pushes it onto the heap;
+  // no-op when the cursor is exhausted or past the clip range.
+  Status PushNext(size_t cursor_idx);
+
+  // True iff a delete with version > `version` covers `t`. Only valid for
+  // non-decreasing `t` across calls (sweep).
+  bool Deleted(Timestamp t, Version version);
+
+  TimeRange range_;
+  std::vector<Cursor> cursors_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap_;
+  std::vector<DeleteRecord> deletes_;   // sorted by range.start
+  size_t delete_cursor_ = 0;
+  std::vector<DeleteRecord> active_deletes_;
+  bool primed_ = false;
+  bool has_last_emitted_ = false;
+  Timestamp last_emitted_ = 0;
+};
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_READ_MERGE_READER_H_

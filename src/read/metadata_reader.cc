@@ -1,0 +1,37 @@
+#include "read/metadata_reader.h"
+
+namespace tsviz {
+
+std::vector<ChunkHandle> SelectOverlappingChunks(const TsStore& store,
+                                                 const TimeRange& range,
+                                                 QueryStats* stats) {
+  std::vector<ChunkHandle> out;
+  // Two-level pruning, as in IoTDB's metadata hierarchy: the file-level
+  // summary rules out whole files with one comparison, then per-chunk
+  // metadata is consulted only inside overlapping files.
+  for (const auto& file : store.files()) {
+    if (stats != nullptr) ++stats->metadata_reads;
+    if (!file->interval().Overlaps(range)) continue;
+    for (const ChunkMetadata& meta : file->chunks()) {
+      if (stats != nullptr) ++stats->metadata_reads;
+      if (meta.Interval().Overlaps(range)) {
+        out.push_back(ChunkHandle{file, &meta});
+      }
+    }
+  }
+  if (stats != nullptr) stats->chunks_total += out.size();
+  return out;
+}
+
+std::vector<DeleteRecord> SelectOverlappingDeletes(const TsStore& store,
+                                                   const TimeRange& range) {
+  std::vector<DeleteRecord> out;
+  for (const DeleteRecord& del : store.deletes()) {
+    if (del.range.Overlaps(range)) {
+      out.push_back(del);
+    }
+  }
+  return out;
+}
+
+}  // namespace tsviz

@@ -1,0 +1,26 @@
+#ifndef TSVIZ_READ_METADATA_READER_H_
+#define TSVIZ_READ_METADATA_READER_H_
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/time_range.h"
+#include "storage/store.h"
+
+namespace tsviz {
+
+// The MetadataReader of Figure 15: selects chunks and deletes relevant to a
+// query using metadata only — no chunk data is touched.
+
+// Chunk handles whose time interval overlaps `range`, in version order.
+std::vector<ChunkHandle> SelectOverlappingChunks(const TsStore& store,
+                                                 const TimeRange& range,
+                                                 QueryStats* stats);
+
+// Deletes whose range overlaps `range`, in version order.
+std::vector<DeleteRecord> SelectOverlappingDeletes(const TsStore& store,
+                                                   const TimeRange& range);
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_READ_METADATA_READER_H_

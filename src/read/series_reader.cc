@@ -1,0 +1,44 @@
+#include "read/series_reader.h"
+
+#include "read/data_reader.h"
+#include "read/merge_reader.h"
+#include "read/metadata_reader.h"
+
+namespace tsviz {
+
+Result<std::vector<Point>> ReadMergedSeries(const TsStore& store,
+                                            const TimeRange& range,
+                                            QueryStats* stats) {
+  std::vector<ChunkHandle> handles =
+      SelectOverlappingChunks(store, range, stats);
+  DataReader data_reader(stats);
+  std::vector<LazyChunk*> chunks;
+  chunks.reserve(handles.size());
+  for (const ChunkHandle& handle : handles) {
+    chunks.push_back(data_reader.GetChunk(handle));
+  }
+  MergeReader merger(std::move(chunks),
+                     SelectOverlappingDeletes(store, range), range);
+  return merger.ReadAll();
+}
+
+SeriesCursor::SeriesCursor() = default;
+SeriesCursor::~SeriesCursor() = default;
+
+Result<std::unique_ptr<SeriesCursor>> SeriesCursor::Open(
+    const TsStore& store, const TimeRange& range, QueryStats* stats) {
+  auto cursor = std::unique_ptr<SeriesCursor>(new SeriesCursor());
+  cursor->data_reader_ = std::make_unique<DataReader>(stats);
+  std::vector<LazyChunk*> chunks;
+  for (const ChunkHandle& handle :
+       SelectOverlappingChunks(store, range, stats)) {
+    chunks.push_back(cursor->data_reader_->GetChunk(handle));
+  }
+  cursor->merger_ = std::make_unique<MergeReader>(
+      std::move(chunks), SelectOverlappingDeletes(store, range), range);
+  return cursor;
+}
+
+Result<bool> SeriesCursor::Next(Point* out) { return merger_->Next(out); }
+
+}  // namespace tsviz

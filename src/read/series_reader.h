@@ -1,0 +1,54 @@
+#ifndef TSVIZ_READ_SERIES_READER_H_
+#define TSVIZ_READ_SERIES_READER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/time_range.h"
+#include "common/types.h"
+#include "storage/store.h"
+
+namespace tsviz {
+
+// The SeriesRawDataBatchReader analog (Appendix A.5): assembles the fully
+// merged, latest-only time series for a closed time range by loading and
+// merging every overlapping chunk. This is the read path of the M4-UDF
+// baseline and of correctness oracles in tests.
+Result<std::vector<Point>> ReadMergedSeries(const TsStore& store,
+                                            const TimeRange& range,
+                                            QueryStats* stats);
+
+// Forward declarations for the cursor's internals.
+class DataReader;
+class MergeReader;
+
+// Streaming variant of ReadMergedSeries: pulls merged, latest-only points
+// one at a time without materializing the series — the public read API for
+// consumers iterating large ranges. The store must not be mutated while a
+// cursor is open.
+class SeriesCursor {
+ public:
+  // `stats` (optional) must outlive the cursor.
+  static Result<std::unique_ptr<SeriesCursor>> Open(const TsStore& store,
+                                                    const TimeRange& range,
+                                                    QueryStats* stats = nullptr);
+
+  ~SeriesCursor();
+  SeriesCursor(const SeriesCursor&) = delete;
+  SeriesCursor& operator=(const SeriesCursor&) = delete;
+
+  // Produces the next live point in time order; false at end of range.
+  Result<bool> Next(Point* out);
+
+ private:
+  SeriesCursor();
+
+  std::unique_ptr<DataReader> data_reader_;  // owns the lazy chunks
+  std::unique_ptr<MergeReader> merger_;      // borrows them
+};
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_READ_SERIES_READER_H_

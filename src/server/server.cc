@@ -1,0 +1,144 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "sql/executor.h"
+
+namespace tsviz {
+
+namespace {
+
+// Writes the whole buffer, retrying on EINTR and short writes.
+bool WriteAll(int fd, const std::string& data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::send(fd, data.data() + done, data.size() - done,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status SqlServer::Start(int port) {
+  if (listen_fd_ >= 0) return Status::InvalidArgument("already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError(std::string("bind: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("getsockname failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError(std::string("listen: ") + std::strerror(errno));
+  }
+  stopping_ = false;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  TSVIZ_INFO << "sql server listening on 127.0.0.1:" << port_;
+  return Status::OK();
+}
+
+void SqlServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by Stop()
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_.load()) {
+      ::close(client);
+      break;
+    }
+    client_fds_.push_back(client);
+    workers_.emplace_back([this, client] { HandleClient(client); });
+  }
+}
+
+void SqlServer::HandleClient(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (!stopping_.load()) {
+    size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;  // client gone or shutdown
+      buffer.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line == "quit" || line == "QUIT") break;
+
+    std::string reply;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto result = sql::ExecuteQuery(db_, line, nullptr);
+      reply = result.ok() ? result->ToCsv()
+                          : "ERROR: " + result.status().ToString() + "\n";
+    }
+    reply += "\n";  // blank-line terminator
+    if (!WriteAll(fd, reply)) break;
+  }
+  ::close(fd);
+}
+
+void SqlServer::Stop() {
+  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
+  stopping_ = true;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int fd : client_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+    client_fds_.clear();
+    workers = std::move(workers_);
+  }
+  for (std::thread& worker : workers) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+}  // namespace tsviz

@@ -1,0 +1,60 @@
+#ifndef TSVIZ_SERVER_SERVER_H_
+#define TSVIZ_SERVER_SERVER_H_
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "db/database.h"
+
+namespace tsviz {
+
+// Minimal TCP SQL endpoint with a newline-delimited protocol:
+//
+//   client:  one SQL statement per line
+//   server:  the result as CSV, terminated by one blank line,
+//            or "ERROR: <message>" followed by a blank line
+//   client:  "quit" closes the connection
+//
+// Queries are serialized on the database (the storage layer has a
+// single-writer contract); each connection gets its own handler thread.
+// This is the network face a deployment needs — the analog of IoTDB's
+// session service, reduced to the query dialect this library implements.
+class SqlServer {
+ public:
+  explicit SqlServer(Database* db) : db_(db) {}
+  ~SqlServer() { Stop(); }
+
+  SqlServer(const SqlServer&) = delete;
+  SqlServer& operator=(const SqlServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts the
+  // accept loop on a background thread.
+  Status Start(int port);
+
+  // Shuts the listener and every open connection down and joins all
+  // threads. Idempotent.
+  void Stop();
+
+  // The bound port (valid after a successful Start).
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void HandleClient(int fd);
+
+  Database* db_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex mutex_;  // guards workers_/client_fds_ and serializes queries
+  std::vector<std::thread> workers_;
+  std::vector<int> client_fds_;
+};
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_SERVER_SERVER_H_

@@ -1,0 +1,96 @@
+#ifndef TSVIZ_SQL_AST_H_
+#define TSVIZ_SQL_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sql/token.h"
+
+namespace tsviz::sql {
+
+// The supported SELECT functions. The first eight are the M4 aggregators of
+// Appendix A.1; kM4 is shorthand expanding to all of them. kMin/kMax (and
+// the IoTDB spellings MIN_VALUE/MAX_VALUE) alias the bottom/top values.
+// kRawColumn selects the merged raw points.
+enum class FuncKind {
+  kM4,
+  kFirstTime,
+  kFirstValue,
+  kLastTime,
+  kLastValue,
+  kBottomTime,
+  kBottomValue,
+  kTopTime,
+  kTopValue,
+  kCount,
+  kSum,
+  kAvg,
+  kRawColumn,
+};
+
+// Whether the function is part of the M4 family (answered merge-free).
+bool IsM4Family(FuncKind kind);
+
+// Display name used for result column headers.
+std::string FuncName(FuncKind kind);
+
+struct SelectItem {
+  FuncKind kind = FuncKind::kRawColumn;
+  std::string argument;  // column name inside the call, informational
+
+  friend bool operator==(const SelectItem&, const SelectItem&) = default;
+};
+
+// One `time <op> literal` conjunct of the WHERE clause.
+struct TimeCondition {
+  TokenType op = TokenType::kLess;  // kLess/kLessEq/kGreater/kGreaterEq/kEq
+  Timestamp value = 0;
+
+  friend bool operator==(const TimeCondition&, const TimeCondition&) = default;
+};
+
+// One `value <op> literal` conjunct — only legal for raw point selection,
+// where it filters the merged stream.
+struct ValueCondition {
+  TokenType op = TokenType::kLess;
+  double value = 0.0;
+
+  bool Matches(double v) const {
+    switch (op) {
+      case TokenType::kLess:
+        return v < value;
+      case TokenType::kLessEq:
+        return v <= value;
+      case TokenType::kGreater:
+        return v > value;
+      case TokenType::kGreaterEq:
+        return v >= value;
+      case TokenType::kEq:
+        return v == value;
+      default:
+        return false;
+    }
+  }
+
+  friend bool operator==(const ValueCondition&,
+                         const ValueCondition&) = default;
+};
+
+struct SelectStatement {
+  bool explain = false;  // EXPLAIN SELECT ... : describe the plan instead
+  std::vector<SelectItem> items;
+  std::string series;
+  std::vector<TimeCondition> where;        // conjunction, on time
+  std::vector<ValueCondition> value_where;  // conjunction, on value
+  std::optional<int64_t> spans;      // GROUP BY SPANS(w)
+  std::optional<int64_t> limit;      // LIMIT n
+
+  friend bool operator==(const SelectStatement&,
+                         const SelectStatement&) = default;
+};
+
+}  // namespace tsviz::sql
+
+#endif  // TSVIZ_SQL_AST_H_

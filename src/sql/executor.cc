@@ -1,0 +1,322 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+
+#include "m4/m4_lsm.h"
+#include "m4/span.h"
+#include "read/data_reader.h"
+#include "read/merge_reader.h"
+#include "read/metadata_reader.h"
+#include "read/series_reader.h"
+#include "sql/parser.h"
+
+namespace tsviz::sql {
+
+namespace {
+
+// Resolves the WHERE conjunction into the half-open query range [tqs, tqe),
+// defaulting to the series' full data interval.
+Result<std::pair<Timestamp, Timestamp>> ResolveTimeRange(
+    const TsStore& store, const SelectStatement& stmt) {
+  Timestamp tqs = kMinTimestamp;
+  Timestamp tqe = kMaxTimestamp;
+  bool has_lower = false;
+  bool has_upper = false;
+  for (const TimeCondition& cond : stmt.where) {
+    switch (cond.op) {
+      case TokenType::kGreaterEq:
+        tqs = has_lower ? std::max(tqs, cond.value) : cond.value;
+        has_lower = true;
+        break;
+      case TokenType::kGreater:
+        if (cond.value == kMaxTimestamp) {
+          return Status::InvalidArgument("time > MAX is empty");
+        }
+        tqs = has_lower ? std::max(tqs, cond.value + 1) : cond.value + 1;
+        has_lower = true;
+        break;
+      case TokenType::kLess:
+        tqe = has_upper ? std::min(tqe, cond.value) : cond.value;
+        has_upper = true;
+        break;
+      case TokenType::kLessEq:
+        if (cond.value == kMaxTimestamp) {
+          return Status::InvalidArgument("time <= MAX overflows");
+        }
+        tqe = has_upper ? std::min(tqe, cond.value + 1) : cond.value + 1;
+        has_upper = true;
+        break;
+      case TokenType::kEq:
+        tqs = has_lower ? std::max(tqs, cond.value) : cond.value;
+        tqe = has_upper ? std::min(tqe, cond.value + 1) : cond.value + 1;
+        has_lower = has_upper = true;
+        break;
+      default:
+        return Status::Internal("unexpected operator in time condition");
+    }
+  }
+  if (!has_lower || !has_upper) {
+    TimeRange data = store.DataInterval();
+    if (data.Empty()) {
+      return Status::NotFound("series is empty and WHERE gives no range");
+    }
+    if (!has_lower) tqs = data.start;
+    if (!has_upper) tqe = data.end + 1;
+  }
+  if (tqe <= tqs) {
+    return Status::InvalidArgument("WHERE clause selects an empty range");
+  }
+  return std::make_pair(tqs, tqe);
+}
+
+Result<ResultSet> ExecuteRawSelect(const TsStore& store,
+                                   const SelectStatement& stmt,
+                                   Timestamp tqs, Timestamp tqe,
+                                   QueryStats* stats) {
+  if (stmt.spans.has_value()) {
+    return Status::InvalidArgument(
+        "GROUP BY requires aggregation functions");
+  }
+  for (const SelectItem& item : stmt.items) {
+    if (item.kind != FuncKind::kRawColumn) {
+      return Status::InvalidArgument(
+          "cannot mix raw columns with aggregations");
+    }
+  }
+  TSVIZ_ASSIGN_OR_RETURN(
+      std::vector<Point> merged,
+      ReadMergedSeries(store, TimeRange(tqs, tqe - 1), stats));
+  ResultSet result({"time", "value"});
+  for (const Point& p : merged) {
+    bool keep = true;
+    for (const ValueCondition& cond : stmt.value_where) {
+      if (!cond.Matches(p.v)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) result.AddRow({ResultSet::Cell(p.t), ResultSet::Cell(p.v)});
+  }
+  return result;
+}
+
+// The scan-side accumulators for COUNT/SUM/AVG.
+struct ScanAggregates {
+  std::vector<uint64_t> counts;
+  std::vector<double> sums;
+};
+
+Result<ScanAggregates> RunScan(const TsStore& store, const M4Query& query,
+                               QueryStats* stats) {
+  SpanSet spans(query);
+  TimeRange range(query.tqs, query.tqe - 1);
+  std::vector<ChunkHandle> handles =
+      SelectOverlappingChunks(store, range, stats);
+  DataReader data_reader(stats);
+  std::vector<LazyChunk*> chunks;
+  chunks.reserve(handles.size());
+  for (const ChunkHandle& handle : handles) {
+    chunks.push_back(data_reader.GetChunk(handle));
+  }
+  MergeReader merger(std::move(chunks),
+                     SelectOverlappingDeletes(store, range), range);
+  ScanAggregates agg;
+  agg.counts.assign(static_cast<size_t>(spans.num_spans()), 0);
+  agg.sums.assign(static_cast<size_t>(spans.num_spans()), 0.0);
+  Point p;
+  while (true) {
+    TSVIZ_ASSIGN_OR_RETURN(bool more, merger.Next(&p));
+    if (!more) break;
+    if (stats != nullptr) ++stats->points_scanned;
+    size_t i = static_cast<size_t>(spans.IndexOf(p.t));
+    ++agg.counts[i];
+    agg.sums[i] += p.v;
+  }
+  return agg;
+}
+
+// Expands kM4 into its eight constituent columns.
+std::vector<FuncKind> ExpandItem(const SelectItem& item) {
+  if (item.kind != FuncKind::kM4) return {item.kind};
+  return {FuncKind::kFirstTime,  FuncKind::kFirstValue,
+          FuncKind::kLastTime,   FuncKind::kLastValue,
+          FuncKind::kBottomTime, FuncKind::kBottomValue,
+          FuncKind::kTopTime,    FuncKind::kTopValue};
+}
+
+ResultSet::Cell M4Cell(const M4Row& row, FuncKind kind) {
+  if (!row.has_data) return std::monostate{};
+  switch (kind) {
+    case FuncKind::kFirstTime:
+      return row.first.t;
+    case FuncKind::kFirstValue:
+      return row.first.v;
+    case FuncKind::kLastTime:
+      return row.last.t;
+    case FuncKind::kLastValue:
+      return row.last.v;
+    case FuncKind::kBottomTime:
+      return row.bottom.t;
+    case FuncKind::kBottomValue:
+      return row.bottom.v;
+    case FuncKind::kTopTime:
+      return row.top.t;
+    case FuncKind::kTopValue:
+      return row.top.v;
+    default:
+      return std::monostate{};
+  }
+}
+
+// EXPLAIN output: the plan, resolved against store metadata only — no
+// chunk data is read.
+Result<ResultSet> ExplainSelect(const TsStore& store,
+                                const SelectStatement& stmt, Timestamp tqs,
+                                Timestamp tqe, bool any_raw, bool any_m4,
+                                bool any_scan) {
+  ResultSet result({"step", "detail"});
+  auto add = [&result](const std::string& step, const std::string& detail) {
+    result.AddRow({ResultSet::Cell(step), ResultSet::Cell(detail)});
+  };
+  add("series", stmt.series);
+  add("time_range",
+      "[" + std::to_string(tqs) + ", " + std::to_string(tqe) + ")");
+  add("spans", std::to_string(stmt.spans.value_or(1)));
+  TimeRange range(tqs, tqe - 1);
+  size_t chunks = 0;
+  for (const ChunkHandle& chunk : store.chunks()) {
+    if (chunk.meta->Interval().Overlaps(range)) ++chunks;
+  }
+  size_t deletes = 0;
+  for (const DeleteRecord& del : store.deletes()) {
+    if (del.range.Overlaps(range)) ++deletes;
+  }
+  add("chunks_overlapping", std::to_string(chunks));
+  add("deletes_overlapping", std::to_string(deletes));
+  if (any_raw) {
+    add("path", "raw merged points (loads and merges every chunk)");
+  }
+  if (any_m4) {
+    add("path", "merge-free M4-LSM (metadata candidates, lazy page loads)");
+  }
+  if (any_scan) {
+    add("path", "merged scan for COUNT/SUM/AVG");
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<ResultSet> ExecuteSelect(const TsStore& store,
+                                const SelectStatement& stmt,
+                                QueryStats* stats) {
+  if (stmt.items.empty()) {
+    return Status::InvalidArgument("empty select list");
+  }
+  TSVIZ_ASSIGN_OR_RETURN(auto range, ResolveTimeRange(store, stmt));
+  const auto [tqs, tqe] = range;
+
+  bool any_raw = false;
+  bool any_m4 = false;
+  bool any_scan = false;
+  for (const SelectItem& item : stmt.items) {
+    if (item.kind == FuncKind::kRawColumn) {
+      any_raw = true;
+    } else if (IsM4Family(item.kind)) {
+      any_m4 = true;
+    } else {
+      any_scan = true;
+    }
+  }
+  if (stmt.explain) {
+    return ExplainSelect(store, stmt, tqs, tqe, any_raw, any_m4, any_scan);
+  }
+  if (any_raw) {
+    if (any_m4 || any_scan) {
+      return Status::InvalidArgument(
+          "cannot mix raw columns with aggregations");
+    }
+    TSVIZ_ASSIGN_OR_RETURN(ResultSet raw,
+                           ExecuteRawSelect(store, stmt, tqs, tqe, stats));
+    if (stmt.limit.has_value()) {
+      raw.Truncate(static_cast<size_t>(*stmt.limit));
+    }
+    return raw;
+  }
+
+  if (!stmt.value_where.empty()) {
+    return Status::InvalidArgument(
+        "value conditions are only supported for raw point selection");
+  }
+  M4Query query{tqs, tqe, stmt.spans.value_or(1)};
+  TSVIZ_RETURN_IF_ERROR(query.Validate());
+  SpanSet spans(query);
+
+  M4Result m4;
+  if (any_m4) {
+    TSVIZ_ASSIGN_OR_RETURN(m4, RunM4Lsm(store, query, stats));
+  }
+  ScanAggregates scan;
+  if (any_scan) {
+    TSVIZ_ASSIGN_OR_RETURN(scan, RunScan(store, query, stats));
+  }
+
+  // Column headers: implicit span_start, then one column per expanded item.
+  std::vector<std::string> columns = {"span_start"};
+  std::vector<FuncKind> kinds;
+  for (const SelectItem& item : stmt.items) {
+    for (FuncKind kind : ExpandItem(item)) {
+      kinds.push_back(kind);
+      std::string arg = item.argument.empty() ? "v" : item.argument;
+      columns.push_back(FuncName(kind) + "(" + arg + ")");
+    }
+  }
+
+  ResultSet result(std::move(columns));
+  for (int64_t i = 0; i < spans.num_spans(); ++i) {
+    std::vector<ResultSet::Cell> cells;
+    cells.reserve(kinds.size() + 1);
+    cells.emplace_back(spans.SpanStart(i));
+    size_t si = static_cast<size_t>(i);
+    for (FuncKind kind : kinds) {
+      switch (kind) {
+        case FuncKind::kCount:
+          cells.emplace_back(static_cast<int64_t>(scan.counts[si]));
+          break;
+        case FuncKind::kSum:
+          if (scan.counts[si] == 0) {
+            cells.emplace_back(std::monostate{});
+          } else {
+            cells.emplace_back(scan.sums[si]);
+          }
+          break;
+        case FuncKind::kAvg:
+          if (scan.counts[si] == 0) {
+            cells.emplace_back(std::monostate{});
+          } else {
+            cells.emplace_back(scan.sums[si] /
+                               static_cast<double>(scan.counts[si]));
+          }
+          break;
+        default:
+          cells.push_back(M4Cell(m4[si], kind));
+          break;
+      }
+    }
+    result.AddRow(std::move(cells));
+  }
+  return result;
+}
+
+Result<ResultSet> ExecuteQuery(Database* db, const std::string& statement,
+                               QueryStats* stats) {
+  TSVIZ_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(statement));
+  TSVIZ_ASSIGN_OR_RETURN(TsStore * store, db->GetSeries(stmt.series));
+  TSVIZ_ASSIGN_OR_RETURN(ResultSet result, ExecuteSelect(*store, stmt, stats));
+  if (stmt.limit.has_value()) {
+    result.Truncate(static_cast<size_t>(*stmt.limit));
+  }
+  return result;
+}
+
+}  // namespace tsviz::sql

@@ -1,0 +1,38 @@
+#ifndef TSVIZ_SQL_EXECUTOR_H_
+#define TSVIZ_SQL_EXECUTOR_H_
+
+#include <string>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "db/database.h"
+#include "sql/ast.h"
+#include "sql/result_set.h"
+
+namespace tsviz::sql {
+
+// Parses and executes one SELECT statement against a database.
+//
+// Execution strategy:
+//  - raw column selection (`SELECT v FROM s ...`): the full merge path,
+//    returning (time, value) rows;
+//  - M4-family aggregations: the merge-free M4-LSM operator, one result row
+//    per span with an implicit leading `span_start` column;
+//  - COUNT/SUM/AVG: one merged scan, shared across all three;
+//  - mixes of M4-family and scan aggregations run both paths and join on
+//    the span index.
+//
+// WHERE defaults to the series' full data interval; GROUP BY SPANS defaults
+// to a single span. Raw selection cannot be mixed with aggregations or
+// GROUP BY.
+Result<ResultSet> ExecuteQuery(Database* db, const std::string& statement,
+                               QueryStats* stats = nullptr);
+
+// Executes an already-parsed statement against a specific store.
+Result<ResultSet> ExecuteSelect(const TsStore& store,
+                                const SelectStatement& statement,
+                                QueryStats* stats = nullptr);
+
+}  // namespace tsviz::sql
+
+#endif  // TSVIZ_SQL_EXECUTOR_H_

@@ -1,0 +1,125 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace tsviz::sql {
+
+bool IdentEquals(const std::string& a, const char* b) {
+  size_t i = 0;
+  for (; i < a.size() && b[i] != '\0'; ++i) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return i == a.size() && b[i] == '\0';
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& statement) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = statement.size();
+  while (i < n) {
+    char c = statement[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (IsIdentStart(c)) {
+      size_t begin = i;
+      while (i < n && IsIdentBody(statement[i])) ++i;
+      token.type = TokenType::kIdentifier;
+      token.text = statement.substr(begin, i - begin);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(statement[i + 1])))) {
+      size_t begin = i;
+      if (c == '-') ++i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(statement[i])) ||
+                       statement[i] == '.' || statement[i] == 'e' ||
+                       statement[i] == 'E' ||
+                       ((statement[i] == '+' || statement[i] == '-') && i > begin &&
+                        (statement[i - 1] == 'e' || statement[i - 1] == 'E')))) {
+        ++i;
+      }
+      token.type = TokenType::kNumber;
+      token.text = statement.substr(begin, i - begin);
+      char* end = nullptr;
+      token.number = std::strtod(token.text.c_str(), &end);
+      if (end != token.text.c_str() + token.text.size()) {
+        return Status::InvalidArgument("bad number '" + token.text +
+                                       "' at offset " +
+                                       std::to_string(token.offset));
+      }
+    } else {
+      switch (c) {
+        case ',':
+          token.type = TokenType::kComma;
+          ++i;
+          break;
+        case '(':
+          token.type = TokenType::kLParen;
+          ++i;
+          break;
+        case ')':
+          token.type = TokenType::kRParen;
+          ++i;
+          break;
+        case '*':
+          token.type = TokenType::kStar;
+          ++i;
+          break;
+        case '=':
+          token.type = TokenType::kEq;
+          ++i;
+          break;
+        case '<':
+          if (i + 1 < n && statement[i + 1] == '=') {
+            token.type = TokenType::kLessEq;
+            i += 2;
+          } else {
+            token.type = TokenType::kLess;
+            ++i;
+          }
+          break;
+        case '>':
+          if (i + 1 < n && statement[i + 1] == '=') {
+            token.type = TokenType::kGreaterEq;
+            i += 2;
+          } else {
+            token.type = TokenType::kGreater;
+            ++i;
+          }
+          break;
+        default:
+          return Status::InvalidArgument(
+              std::string("unexpected character '") + c + "' at offset " +
+              std::to_string(i));
+      }
+      token.text = statement.substr(token.offset, i - token.offset);
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end_token;
+  end_token.type = TokenType::kEnd;
+  end_token.offset = n;
+  tokens.push_back(end_token);
+  return tokens;
+}
+
+}  // namespace tsviz::sql

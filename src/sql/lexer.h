@@ -1,0 +1,20 @@
+#ifndef TSVIZ_SQL_LEXER_H_
+#define TSVIZ_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace tsviz::sql {
+
+// Tokenizes one SQL statement. Identifiers are [A-Za-z_][A-Za-z0-9_.]* (the
+// dots admit IoTDB-style series paths like root.sg1.d1.s1); numbers are
+// integer or decimal with an optional leading '-'. Fails with
+// kInvalidArgument on any unrecognized character, reporting its offset.
+Result<std::vector<Token>> Tokenize(const std::string& statement);
+
+}  // namespace tsviz::sql
+
+#endif  // TSVIZ_SQL_LEXER_H_

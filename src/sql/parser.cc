@@ -1,0 +1,324 @@
+#include "sql/parser.h"
+
+#include <cmath>
+
+#include "sql/lexer.h"
+
+namespace tsviz::sql {
+
+bool IsM4Family(FuncKind kind) {
+  switch (kind) {
+    case FuncKind::kM4:
+    case FuncKind::kFirstTime:
+    case FuncKind::kFirstValue:
+    case FuncKind::kLastTime:
+    case FuncKind::kLastValue:
+    case FuncKind::kBottomTime:
+    case FuncKind::kBottomValue:
+    case FuncKind::kTopTime:
+    case FuncKind::kTopValue:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string FuncName(FuncKind kind) {
+  switch (kind) {
+    case FuncKind::kM4:
+      return "M4";
+    case FuncKind::kFirstTime:
+      return "FIRST_TIME";
+    case FuncKind::kFirstValue:
+      return "FIRST_VALUE";
+    case FuncKind::kLastTime:
+      return "LAST_TIME";
+    case FuncKind::kLastValue:
+      return "LAST_VALUE";
+    case FuncKind::kBottomTime:
+      return "BOTTOM_TIME";
+    case FuncKind::kBottomValue:
+      return "BOTTOM_VALUE";
+    case FuncKind::kTopTime:
+      return "TOP_TIME";
+    case FuncKind::kTopValue:
+      return "TOP_VALUE";
+    case FuncKind::kCount:
+      return "COUNT";
+    case FuncKind::kSum:
+      return "SUM";
+    case FuncKind::kAvg:
+      return "AVG";
+    case FuncKind::kRawColumn:
+      return "RAW";
+  }
+  return "?";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> Run() {
+    SelectStatement stmt;
+    if (AtKeyword("EXPLAIN")) {
+      stmt.explain = true;
+      Advance();
+    }
+    TSVIZ_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    TSVIZ_RETURN_IF_ERROR(ParseSelectList(&stmt));
+    TSVIZ_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    TSVIZ_ASSIGN_OR_RETURN(stmt.series, ExpectIdentifier("series name"));
+    if (AtKeyword("WHERE")) {
+      Advance();
+      TSVIZ_RETURN_IF_ERROR(ParseWhere(&stmt));
+    }
+    if (AtKeyword("GROUP")) {
+      Advance();
+      TSVIZ_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      TSVIZ_RETURN_IF_ERROR(ParseGroupBy(&stmt));
+    }
+    if (AtKeyword("LIMIT")) {
+      Advance();
+      if (Current().type != TokenType::kNumber || Current().number < 0 ||
+          Current().number != std::floor(Current().number)) {
+        return Error("expected non-negative integer after LIMIT");
+      }
+      stmt.limit = static_cast<int64_t>(Current().number);
+      Advance();
+    }
+    if (Current().type != TokenType::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  bool AtKeyword(const char* keyword) const {
+    return Current().type == TokenType::kIdentifier &&
+           IdentEquals(Current().text, keyword);
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " at offset " +
+                                   std::to_string(Current().offset));
+  }
+
+  Status ExpectKeyword(const char* keyword) {
+    if (!AtKeyword(keyword)) {
+      return Error(std::string("expected ") + keyword);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Current().type != TokenType::kIdentifier) {
+      return Error(std::string("expected ") + what);
+    }
+    std::string text = Current().text;
+    Advance();
+    return text;
+  }
+
+  Status Expect(TokenType type, const char* what) {
+    if (Current().type != type) {
+      return Error(std::string("expected ") + what);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<FuncKind> ResolveFunc(const std::string& name) {
+    struct Mapping {
+      const char* name;
+      FuncKind kind;
+    };
+    static constexpr Mapping kMappings[] = {
+        {"M4", FuncKind::kM4},
+        {"FIRST_TIME", FuncKind::kFirstTime},
+        {"FIRSTTIME", FuncKind::kFirstTime},
+        {"FIRST_VALUE", FuncKind::kFirstValue},
+        {"FIRSTVALUE", FuncKind::kFirstValue},
+        {"LAST_TIME", FuncKind::kLastTime},
+        {"LASTTIME", FuncKind::kLastTime},
+        {"LAST_VALUE", FuncKind::kLastValue},
+        {"LASTVALUE", FuncKind::kLastValue},
+        {"BOTTOM_TIME", FuncKind::kBottomTime},
+        {"BOTTOMTIME", FuncKind::kBottomTime},
+        {"BOTTOM_VALUE", FuncKind::kBottomValue},
+        {"BOTTOMVALUE", FuncKind::kBottomValue},
+        {"MIN_VALUE", FuncKind::kBottomValue},
+        {"MIN", FuncKind::kBottomValue},
+        {"TOP_TIME", FuncKind::kTopTime},
+        {"TOPTIME", FuncKind::kTopTime},
+        {"TOP_VALUE", FuncKind::kTopValue},
+        {"TOPVALUE", FuncKind::kTopValue},
+        {"MAX_VALUE", FuncKind::kTopValue},
+        {"MAX", FuncKind::kTopValue},
+        {"COUNT", FuncKind::kCount},
+        {"SUM", FuncKind::kSum},
+        {"AVG", FuncKind::kAvg},
+    };
+    for (const Mapping& mapping : kMappings) {
+      if (IdentEquals(name, mapping.name)) return mapping.kind;
+    }
+    return Status::InvalidArgument("unknown function '" + name + "'");
+  }
+
+  Status ParseSelectList(SelectStatement* stmt) {
+    while (true) {
+      TSVIZ_ASSIGN_OR_RETURN(std::string name,
+                             ExpectIdentifier("select item"));
+      SelectItem item;
+      if (Current().type == TokenType::kLParen) {
+        Advance();
+        TSVIZ_ASSIGN_OR_RETURN(item.kind, ResolveFunc(name));
+        if (Current().type == TokenType::kIdentifier) {
+          item.argument = Current().text;
+          Advance();
+        } else if (Current().type == TokenType::kStar) {
+          item.argument = "*";
+          Advance();
+        }
+        TSVIZ_RETURN_IF_ERROR(Expect(TokenType::kRParen, ")"));
+      } else {
+        item.kind = FuncKind::kRawColumn;
+        item.argument = name;
+      }
+      stmt->items.push_back(std::move(item));
+      if (Current().type != TokenType::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  static TokenType MirrorOp(TokenType op) {
+    switch (op) {
+      case TokenType::kLess:
+        return TokenType::kGreater;
+      case TokenType::kLessEq:
+        return TokenType::kGreaterEq;
+      case TokenType::kGreater:
+        return TokenType::kLess;
+      case TokenType::kGreaterEq:
+        return TokenType::kLessEq;
+      default:
+        return op;
+    }
+  }
+
+  static bool IsComparison(TokenType op) {
+    return op == TokenType::kLess || op == TokenType::kLessEq ||
+           op == TokenType::kGreater || op == TokenType::kGreaterEq ||
+           op == TokenType::kEq;
+  }
+
+  Status ParseWhere(SelectStatement* stmt) {
+    while (true) {
+      TimeCondition cond;
+      // `value op number` / `number op value` filter conditions.
+      if (AtKeyword("VALUE")) {
+        Advance();
+        ValueCondition vcond;
+        vcond.op = Current().type;
+        if (!IsComparison(vcond.op)) {
+          return Error("expected comparison operator");
+        }
+        Advance();
+        if (Current().type != TokenType::kNumber) {
+          return Error("expected value literal");
+        }
+        vcond.value = Current().number;
+        Advance();
+        stmt->value_where.push_back(vcond);
+        if (!AtKeyword("AND")) break;
+        Advance();
+        continue;
+      }
+      // Either `time op number` or `number op time`.
+      if (AtKeyword("TIME")) {
+        Advance();
+        cond.op = Current().type;
+        if (cond.op != TokenType::kLess && cond.op != TokenType::kLessEq &&
+            cond.op != TokenType::kGreater &&
+            cond.op != TokenType::kGreaterEq && cond.op != TokenType::kEq) {
+          return Error("expected comparison operator");
+        }
+        Advance();
+        if (Current().type != TokenType::kNumber) {
+          return Error("expected timestamp literal");
+        }
+        cond.value = static_cast<Timestamp>(std::llround(Current().number));
+        Advance();
+      } else if (Current().type == TokenType::kNumber) {
+        double literal = Current().number;
+        Advance();
+        TokenType op = Current().type;
+        if (!IsComparison(op)) {
+          return Error("expected comparison operator");
+        }
+        Advance();
+        if (AtKeyword("VALUE")) {
+          Advance();
+          ValueCondition vcond;
+          vcond.op = MirrorOp(op);
+          vcond.value = literal;
+          stmt->value_where.push_back(vcond);
+          if (!AtKeyword("AND")) break;
+          Advance();
+          continue;
+        }
+        TSVIZ_RETURN_IF_ERROR(ExpectKeyword("TIME"));
+        cond.value = static_cast<Timestamp>(std::llround(literal));
+        // Mirror `literal op time` into `time op' literal`.
+        cond.op = MirrorOp(op);
+      } else {
+        return Error("expected time condition");
+      }
+      stmt->where.push_back(cond);
+      if (!AtKeyword("AND")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseGroupBy(SelectStatement* stmt) {
+    if (!AtKeyword("SPANS") && !AtKeyword("COLUMNS")) {
+      return Error("expected SPANS(w) or COLUMNS(w)");
+    }
+    Advance();
+    TSVIZ_RETURN_IF_ERROR(Expect(TokenType::kLParen, "("));
+    if (Current().type != TokenType::kNumber) {
+      return Error("expected span count");
+    }
+    double w = Current().number;
+    if (w < 1 || w != std::floor(w)) {
+      return Error("span count must be a positive integer");
+    }
+    stmt->spans = static_cast<int64_t>(w);
+    Advance();
+    TSVIZ_RETURN_IF_ERROR(Expect(TokenType::kRParen, ")"));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> ParseSelect(const std::string& statement) {
+  TSVIZ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(statement));
+  Parser parser(std::move(tokens));
+  return parser.Run();
+}
+
+}  // namespace tsviz::sql

@@ -1,0 +1,33 @@
+#ifndef TSVIZ_SQL_PARSER_H_
+#define TSVIZ_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace tsviz::sql {
+
+// Parses one SELECT statement of the dialect:
+//
+//   [EXPLAIN] SELECT select_item (',' select_item)*
+//   FROM series_name
+//   [WHERE time_cond (AND time_cond)*]
+//   [GROUP BY SPANS '(' integer ')']
+//   [LIMIT integer]
+//
+//   select_item := func '(' [ident | '*'] ')' | ident
+//   func        := M4 | FIRST_TIME | FIRST_VALUE | LAST_TIME | LAST_VALUE
+//               | BOTTOM_TIME | BOTTOM_VALUE | TOP_TIME | TOP_VALUE
+//               | MIN_VALUE | MAX_VALUE | MIN | MAX | COUNT | SUM | AVG
+//   time_cond   := TIME op number | number op TIME
+//                | VALUE op number | number op VALUE   (raw selects only)
+//   op          := '<' | '<=' | '>' | '>=' | '='
+//
+// Keywords are case-insensitive; `COLUMNS` is accepted as a synonym for
+// SPANS (pixel columns). Bare identifiers select raw merged points.
+Result<SelectStatement> ParseSelect(const std::string& statement);
+
+}  // namespace tsviz::sql
+
+#endif  // TSVIZ_SQL_PARSER_H_

@@ -1,0 +1,84 @@
+#include "sql/result_set.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace tsviz::sql {
+
+void ResultSet::AddRow(std::vector<Cell> cells) {
+  TSVIZ_CHECK(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string ResultSet::CellToString(const Cell& cell) {
+  if (std::holds_alternative<std::monostate>(cell)) return "null";
+  if (std::holds_alternative<int64_t>(cell)) {
+    return std::to_string(std::get<int64_t>(cell));
+  }
+  if (std::holds_alternative<std::string>(cell)) {
+    return std::get<std::string>(cell);
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", std::get<double>(cell));
+  return buf;
+}
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(columns_.size());
+  std::vector<std::vector<std::string>> printable;
+  printable.reserve(std::min(rows_.size(), max_rows));
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (size_t r = 0; r < rows_.size() && r < max_rows; ++r) {
+    std::vector<std::string> cells;
+    cells.reserve(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      cells.push_back(CellToString(rows_[r][c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    printable.push_back(std::move(cells));
+  }
+
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out += cells[c];
+      out.append(widths[c] - cells[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  append_row(columns_);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out.append(widths[c], '-');
+    out.append(2, ' ');
+  }
+  out += '\n';
+  for (const auto& cells : printable) append_row(cells);
+  if (rows_.size() > max_rows) {
+    out += "... (" + std::to_string(rows_.size() - max_rows) +
+           " more rows)\n";
+  }
+  return out;
+}
+
+std::string ResultSet::ToCsv() const {
+  std::string out;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) out += ',';
+    out += columns_[c];
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += CellToString(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tsviz::sql

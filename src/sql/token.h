@@ -1,0 +1,37 @@
+#ifndef TSVIZ_SQL_TOKEN_H_
+#define TSVIZ_SQL_TOKEN_H_
+
+#include <string>
+
+namespace tsviz::sql {
+
+enum class TokenType {
+  kIdentifier,  // series names, function names, column names
+  kNumber,      // integer or decimal literal (optionally signed)
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kLess,
+  kLessEq,
+  kGreater,
+  kGreaterEq,
+  kEq,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // original spelling
+  double number = 0;  // valid for kNumber
+  size_t offset = 0;  // byte offset in the statement, for error messages
+
+  friend bool operator==(const Token&, const Token&) = default;
+};
+
+// Case-insensitive keyword/identifier comparison helper.
+bool IdentEquals(const std::string& a, const char* b);
+
+}  // namespace tsviz::sql
+
+#endif  // TSVIZ_SQL_TOKEN_H_

@@ -1,0 +1,94 @@
+#include "storage/chunk_metadata.h"
+
+#include <cstring>
+
+#include "encoding/varint.h"
+
+namespace tsviz {
+
+namespace {
+
+void PutPoint(std::string* dst, const Point& p) {
+  PutFixed64(dst, static_cast<uint64_t>(p.t));
+  uint64_t bits;
+  std::memcpy(&bits, &p.v, sizeof(bits));
+  PutFixed64(dst, bits);
+}
+
+Result<Point> GetPoint(std::string_view* src) {
+  Point p;
+  TSVIZ_ASSIGN_OR_RETURN(uint64_t t_raw, GetFixed64(src));
+  TSVIZ_ASSIGN_OR_RETURN(uint64_t v_bits, GetFixed64(src));
+  p.t = static_cast<Timestamp>(t_raw);
+  std::memcpy(&p.v, &v_bits, sizeof(p.v));
+  return p;
+}
+
+}  // namespace
+
+void ChunkMetadata::SerializeTo(std::string* dst) const {
+  PutVarint64(dst, version);
+  PutVarint64(dst, count);
+  PutPoint(dst, stats.first);
+  PutPoint(dst, stats.last);
+  PutPoint(dst, stats.bottom);
+  PutPoint(dst, stats.top);
+  PutVarint64(dst, data_offset);
+  PutVarint64(dst, data_length);
+  PutVarint64(dst, pages.size());
+  for (const PageInfo& page : pages) {
+    PutVarint64(dst, page.count);
+    PutFixed64(dst, static_cast<uint64_t>(page.min_t));
+    PutFixed64(dst, static_cast<uint64_t>(page.max_t));
+    PutVarint64(dst, page.offset);
+    PutVarint64(dst, page.length);
+  }
+  index.SerializeTo(dst);
+}
+
+Result<ChunkMetadata> ChunkMetadata::Deserialize(std::string_view* src) {
+  ChunkMetadata meta;
+  TSVIZ_ASSIGN_OR_RETURN(meta.version, GetVarint64(src));
+  TSVIZ_ASSIGN_OR_RETURN(meta.count, GetVarint64(src));
+  TSVIZ_ASSIGN_OR_RETURN(meta.stats.first, GetPoint(src));
+  TSVIZ_ASSIGN_OR_RETURN(meta.stats.last, GetPoint(src));
+  TSVIZ_ASSIGN_OR_RETURN(meta.stats.bottom, GetPoint(src));
+  TSVIZ_ASSIGN_OR_RETURN(meta.stats.top, GetPoint(src));
+  TSVIZ_ASSIGN_OR_RETURN(meta.data_offset, GetVarint64(src));
+  TSVIZ_ASSIGN_OR_RETURN(meta.data_length, GetVarint64(src));
+  TSVIZ_ASSIGN_OR_RETURN(uint64_t n_pages, GetVarint64(src));
+  if (n_pages > (1u << 26)) return Status::Corruption("absurd page count");
+  meta.pages.reserve(n_pages);
+  for (uint64_t i = 0; i < n_pages; ++i) {
+    PageInfo page;
+    TSVIZ_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(src));
+    page.count = static_cast<uint32_t>(count);
+    TSVIZ_ASSIGN_OR_RETURN(uint64_t min_raw, GetFixed64(src));
+    TSVIZ_ASSIGN_OR_RETURN(uint64_t max_raw, GetFixed64(src));
+    page.min_t = static_cast<Timestamp>(min_raw);
+    page.max_t = static_cast<Timestamp>(max_raw);
+    TSVIZ_ASSIGN_OR_RETURN(uint64_t offset, GetVarint64(src));
+    TSVIZ_ASSIGN_OR_RETURN(uint64_t length, GetVarint64(src));
+    page.offset = static_cast<uint32_t>(offset);
+    page.length = static_cast<uint32_t>(length);
+    meta.pages.push_back(page);
+  }
+  TSVIZ_ASSIGN_OR_RETURN(meta.index, StepRegressionModel::Deserialize(src));
+  return meta;
+}
+
+ChunkStats ComputeChunkStats(const std::vector<Point>& points) {
+  ChunkStats stats;
+  if (points.empty()) return stats;
+  stats.first = points.front();
+  stats.last = points.back();
+  stats.bottom = points.front();
+  stats.top = points.front();
+  for (const Point& p : points) {
+    if (p.v < stats.bottom.v) stats.bottom = p;
+    if (p.v > stats.top.v) stats.top = p;
+  }
+  return stats;
+}
+
+}  // namespace tsviz

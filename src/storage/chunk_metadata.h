@@ -1,0 +1,55 @@
+#ifndef TSVIZ_STORAGE_CHUNK_METADATA_H_
+#define TSVIZ_STORAGE_CHUNK_METADATA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_range.h"
+#include "common/types.h"
+#include "encoding/page.h"
+#include "index/step_regression.h"
+
+namespace tsviz {
+
+// The four M4 representation points every chunk maintains as metadata
+// (Section 2.2.1): {G(C) | G in {FP, LP, BP, TP}}.
+struct ChunkStats {
+  Point first;   // FP(C): minimal time
+  Point last;    // LP(C): maximal time
+  Point bottom;  // BP(C): a point with minimal value
+  Point top;     // TP(C): a point with maximal value
+
+  friend bool operator==(const ChunkStats&, const ChunkStats&) = default;
+};
+
+// Everything a reader can know about a chunk without touching its data:
+// statistics, page directory, learned index, and the blob's location in its
+// file. Stored in the file footer (the ChunkMetadata region of a TsFile).
+struct ChunkMetadata {
+  Version version = 0;
+  uint64_t count = 0;
+  ChunkStats stats;
+  std::vector<PageInfo> pages;
+  StepRegressionModel index;
+  uint64_t data_offset = 0;  // chunk blob offset within the file
+  uint64_t data_length = 0;  // chunk blob length in bytes
+
+  // The chunk's time interval [FP(C).t, LP(C).t].
+  TimeRange Interval() const { return TimeRange(stats.first.t, stats.last.t); }
+
+  void SerializeTo(std::string* dst) const;
+  static Result<ChunkMetadata> Deserialize(std::string_view* src);
+
+  friend bool operator==(const ChunkMetadata&,
+                         const ChunkMetadata&) = default;
+};
+
+// Computes the four statistics from sorted points (ties on extreme values
+// resolved to the earliest point, matching the writer).
+ChunkStats ComputeChunkStats(const std::vector<Point>& points);
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_STORAGE_CHUNK_METADATA_H_

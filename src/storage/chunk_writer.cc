@@ -1,0 +1,51 @@
+#include "storage/chunk_writer.h"
+
+#include <algorithm>
+
+namespace tsviz {
+
+Result<EncodedChunk> EncodeChunk(const std::vector<Point>& points,
+                                 Version version,
+                                 const ChunkEncodingOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("cannot encode an empty chunk");
+  }
+  if (options.page_size_points == 0) {
+    return Status::InvalidArgument("page_size_points must be positive");
+  }
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (points[i].t <= points[i - 1].t) {
+      return Status::InvalidArgument(
+          "chunk points must be strictly increasing in time");
+    }
+  }
+
+  EncodedChunk chunk;
+  chunk.meta.version = version;
+  chunk.meta.count = points.size();
+  chunk.meta.stats = ComputeChunkStats(points);
+
+  for (size_t begin = 0; begin < points.size();
+       begin += options.page_size_points) {
+    size_t count =
+        std::min(options.page_size_points, points.size() - begin);
+    PageInfo info;
+    TSVIZ_RETURN_IF_ERROR(EncodePage(points.data() + begin, count,
+                                     options.ts_codec, options.value_codec,
+                                     &chunk.blob, &info));
+    chunk.meta.pages.push_back(info);
+  }
+
+  if (options.build_index) {
+    chunk.meta.index = FitStepRegression(points);
+  } else {
+    // A count-only model so Eval degenerates gracefully.
+    chunk.meta.index.count = points.size();
+  }
+
+  chunk.meta.data_offset = 0;
+  chunk.meta.data_length = chunk.blob.size();
+  return chunk;
+}
+
+}  // namespace tsviz

@@ -1,0 +1,31 @@
+#ifndef TSVIZ_STORAGE_CHUNK_WRITER_H_
+#define TSVIZ_STORAGE_CHUNK_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/chunk_metadata.h"
+#include "storage/options.h"
+
+namespace tsviz {
+
+// One encoded chunk: the page blob plus its metadata (data_offset is
+// relative to the blob start; the file writer rebases it).
+struct EncodedChunk {
+  std::string blob;
+  ChunkMetadata meta;
+};
+
+// Encodes `points` (sorted by time, strictly increasing, non-empty) into a
+// paged chunk blob, computing statistics and fitting the step-regression
+// index (Definition 2.4: a chunk is a read-only segment of the series with
+// its own metadata).
+Result<EncodedChunk> EncodeChunk(const std::vector<Point>& points,
+                                 Version version,
+                                 const ChunkEncodingOptions& options);
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_STORAGE_CHUNK_WRITER_H_

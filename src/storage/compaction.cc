@@ -1,0 +1,107 @@
+// Full compaction for TsStore: rewrites the store as one file of disjoint,
+// latest-only chunks. Compaction applies the merge function of Definition
+// 2.7 once, eagerly, which is exactly the work M4-LSM exists to avoid doing
+// per query.
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+
+#include "common/logging.h"
+#include "storage/file_format.h"
+#include "storage/store.h"
+
+namespace tsviz {
+
+namespace fs = std::filesystem;
+
+Status TsStore::Compact() {
+  TSVIZ_RETURN_IF_ERROR(Flush());
+  if (chunks_.empty()) {
+    // Nothing to merge; still drop any orphan tombstones.
+    deletes_.clear();
+    std::error_code ec;
+    fs::remove(ModsPath(), ec);
+    return Status::OK();
+  }
+
+  // Merge: iterate chunks in ascending version so later writes overwrite
+  // earlier ones, keeping the winning version for delete filtering.
+  std::vector<ChunkHandle> ordered = chunks_;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ChunkHandle& a, const ChunkHandle& b) {
+              return a.meta->version < b.meta->version;
+            });
+  std::map<Timestamp, std::pair<Version, Value>> latest;
+  for (const ChunkHandle& handle : ordered) {
+    for (const PageInfo& page : handle.meta->pages) {
+      TSVIZ_ASSIGN_OR_RETURN(
+          std::string raw,
+          handle.file->ReadRange(handle.meta->data_offset + page.offset,
+                                 page.length));
+      std::vector<Point> points;
+      TSVIZ_RETURN_IF_ERROR(DecodePage(raw, &points));
+      for (const Point& p : points) {
+        latest[p.t] = {handle.meta->version, p.v};
+      }
+    }
+  }
+  std::vector<Point> merged;
+  merged.reserve(latest.size());
+  for (const auto& [t, entry] : latest) {
+    const auto& [version, value] = entry;
+    bool deleted = false;
+    for (const DeleteRecord& del : deletes_) {
+      if (del.Deletes(t, version)) {
+        deleted = true;
+        break;
+      }
+    }
+    if (!deleted) merged.push_back(Point{t, value});
+  }
+
+  // Write the compacted file before touching the old state.
+  const uint64_t file_id = next_file_id_++;
+  const std::string path = FilePath(file_id);
+  if (!merged.empty()) {
+    TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<FileWriter> writer,
+                           FileWriter::Create(path));
+    for (size_t begin = 0; begin < merged.size();
+         begin += config_.points_per_chunk) {
+      size_t count =
+          std::min(config_.points_per_chunk, merged.size() - begin);
+      std::vector<Point> slice(merged.begin() + begin,
+                               merged.begin() + begin + count);
+      TSVIZ_RETURN_IF_ERROR(writer->AppendChunk(slice, next_version_++,
+                                                config_.encoding, nullptr));
+    }
+    TSVIZ_RETURN_IF_ERROR(writer->Finish());
+  }
+
+  // Swap in the new state: drop old files, tombstones become no-ops.
+  std::vector<std::string> old_paths;
+  old_paths.reserve(files_.size());
+  for (const auto& file : files_) old_paths.push_back(file->path());
+  chunks_.clear();
+  files_.clear();
+  deletes_.clear();
+  std::error_code ec;
+  for (const std::string& old_path : old_paths) {
+    fs::remove(old_path, ec);
+    if (ec) TSVIZ_WARN << "could not remove " << old_path;
+  }
+  fs::remove(ModsPath(), ec);
+
+  if (!merged.empty()) {
+    TSVIZ_ASSIGN_OR_RETURN(std::shared_ptr<FileReader> reader,
+                           FileReader::Open(path));
+    for (const ChunkMetadata& meta : reader->chunks()) {
+      chunks_.push_back(ChunkHandle{reader, &meta});
+    }
+    files_.push_back(std::move(reader));
+  }
+  ++state_version_;
+  return Status::OK();
+}
+
+}  // namespace tsviz

@@ -1,0 +1,27 @@
+#ifndef TSVIZ_STORAGE_DELETE_RECORD_H_
+#define TSVIZ_STORAGE_DELETE_RECORD_H_
+
+#include "common/time_range.h"
+#include "common/types.h"
+
+namespace tsviz {
+
+// A delete D^k (Definition 2.5): an append-only range tombstone. A timestamp
+// t is covered iff range.Contains(t); the delete applies to a point from
+// chunk C^j iff version > j.
+struct DeleteRecord {
+  TimeRange range;
+  Version version = 0;
+
+  // Whether this delete removes a point at time `t` written by a chunk with
+  // version `chunk_version`.
+  bool Deletes(Timestamp t, Version chunk_version) const {
+    return version > chunk_version && range.Contains(t);
+  }
+
+  friend bool operator==(const DeleteRecord&, const DeleteRecord&) = default;
+};
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_STORAGE_DELETE_RECORD_H_

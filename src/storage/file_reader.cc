@@ -1,0 +1,95 @@
+#include "storage/file_reader.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "storage/file_format.h"
+
+namespace tsviz {
+
+FileReader::FileReader(int fd, std::string path, uint64_t file_size)
+    : fd_(fd), path_(std::move(path)), file_size_(file_size) {}
+
+FileReader::~FileReader() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Result<std::shared_ptr<FileReader>> FileReader::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat " + path);
+  }
+  auto reader = std::shared_ptr<FileReader>(
+      new FileReader(fd, path, static_cast<uint64_t>(size)));
+
+  if (reader->file_size_ <
+      kFileMagic.size() + kFileTrailerSize) {
+    return Status::Corruption(path + ": file too small");
+  }
+  // Read the fixed trailer to learn the footer length, then the footer.
+  TSVIZ_ASSIGN_OR_RETURN(
+      std::string trailer,
+      reader->ReadRange(reader->file_size_ - kFileTrailerSize,
+                        kFileTrailerSize));
+  std::string_view trailer_view = trailer;
+  // Footer length is the first fixed64 of the trailer.
+  uint64_t footer_len = 0;
+  for (int i = 7; i >= 0; --i) {
+    footer_len = (footer_len << 8) | static_cast<uint8_t>(trailer_view[i]);
+  }
+  uint64_t tail_size = footer_len + kFileTrailerSize;
+  if (tail_size > reader->file_size_ - kFileMagic.size()) {
+    return Status::Corruption(path + ": footer larger than file");
+  }
+  TSVIZ_ASSIGN_OR_RETURN(
+      std::string tail,
+      reader->ReadRange(reader->file_size_ - tail_size, tail_size));
+  TSVIZ_ASSIGN_OR_RETURN(reader->chunks_,
+                         ParseFileTail(tail, reader->file_size_));
+  for (const ChunkMetadata& meta : reader->chunks_) {
+    if (reader->total_points_ == 0) {
+      reader->interval_ = meta.Interval();
+    } else {
+      reader->interval_.start =
+          std::min(reader->interval_.start, meta.stats.first.t);
+      reader->interval_.end =
+          std::max(reader->interval_.end, meta.stats.last.t);
+    }
+    reader->total_points_ += meta.count;
+  }
+  return reader;
+}
+
+Result<std::string> FileReader::ReadRange(uint64_t offset,
+                                          uint64_t length) const {
+  if (offset + length > file_size_) {
+    return Status::OutOfRange(path_ + ": read past end of file");
+  }
+  std::string buffer(length, '\0');
+  size_t done = 0;
+  while (done < length) {
+    ssize_t n = ::pread(fd_, buffer.data() + done, length - done,
+                        static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(path_ + ": pread: " + std::strerror(errno));
+    }
+    if (n == 0) return Status::IoError(path_ + ": unexpected EOF");
+    done += static_cast<size_t>(n);
+  }
+  return buffer;
+}
+
+}  // namespace tsviz

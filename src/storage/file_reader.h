@@ -1,0 +1,51 @@
+#ifndef TSVIZ_STORAGE_FILE_READER_H_
+#define TSVIZ_STORAGE_FILE_READER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_range.h"
+#include "storage/chunk_metadata.h"
+
+namespace tsviz {
+
+// Random-access reader over one data file. Opening a file reads only the
+// footer; chunk data is fetched with positional reads on demand, which is
+// what makes lazy/partial chunk loading a genuine I/O saving.
+class FileReader {
+ public:
+  static Result<std::shared_ptr<FileReader>> Open(const std::string& path);
+
+  ~FileReader();
+  FileReader(const FileReader&) = delete;
+  FileReader& operator=(const FileReader&) = delete;
+
+  const std::vector<ChunkMetadata>& chunks() const { return chunks_; }
+  const std::string& path() const { return path_; }
+  uint64_t file_size() const { return file_size_; }
+
+  // File-level summary (the TimeseriesMetadata analog of Figure 15):
+  // aggregated over all chunks at open time, so readers can prune a whole
+  // file with one comparison instead of touching per-chunk metadata.
+  const TimeRange& interval() const { return interval_; }
+  uint64_t total_points() const { return total_points_; }
+
+  // Reads `length` bytes starting at absolute file offset `offset`.
+  Result<std::string> ReadRange(uint64_t offset, uint64_t length) const;
+
+ private:
+  FileReader(int fd, std::string path, uint64_t file_size);
+
+  int fd_;
+  std::string path_;
+  uint64_t file_size_;
+  std::vector<ChunkMetadata> chunks_;
+  TimeRange interval_{1, 0};  // empty until chunks are loaded
+  uint64_t total_points_ = 0;
+};
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_STORAGE_FILE_READER_H_

@@ -1,0 +1,69 @@
+#include "storage/file_writer.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "storage/file_format.h"
+
+namespace tsviz {
+
+FileWriter::FileWriter(std::FILE* file, std::string path)
+    : file_(file), path_(std::move(path)) {}
+
+FileWriter::~FileWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Result<std::unique_ptr<FileWriter>> FileWriter::Create(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot create " + path + ": " +
+                           std::strerror(errno));
+  }
+  auto writer =
+      std::unique_ptr<FileWriter>(new FileWriter(file, path));
+  if (std::fwrite(kFileMagic.data(), 1, kFileMagic.size(), file) !=
+      kFileMagic.size()) {
+    return Status::IoError("cannot write magic to " + path);
+  }
+  writer->offset_ = kFileMagic.size();
+  return writer;
+}
+
+Status FileWriter::AppendChunk(const std::vector<Point>& points,
+                               Version version,
+                               const ChunkEncodingOptions& options,
+                               ChunkMetadata* out_meta) {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  TSVIZ_ASSIGN_OR_RETURN(EncodedChunk chunk,
+                         EncodeChunk(points, version, options));
+  if (std::fwrite(chunk.blob.data(), 1, chunk.blob.size(), file_) !=
+      chunk.blob.size()) {
+    return Status::IoError("short write to " + path_);
+  }
+  chunk.meta.data_offset = offset_;
+  offset_ += chunk.blob.size();
+  chunks_.push_back(chunk.meta);
+  if (out_meta != nullptr) *out_meta = chunk.meta;
+  return Status::OK();
+}
+
+Status FileWriter::Finish() {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  finished_ = true;
+  std::string tail = SerializeFileTail(chunks_);
+  if (std::fwrite(tail.data(), 1, tail.size(), file_) != tail.size()) {
+    return Status::IoError("short footer write to " + path_);
+  }
+  if (std::fflush(file_) != 0 || std::fclose(file_) != 0) {
+    file_ = nullptr;
+    return Status::IoError("cannot close " + path_);
+  }
+  file_ = nullptr;
+  return Status::OK();
+}
+
+}  // namespace tsviz

@@ -1,0 +1,48 @@
+#ifndef TSVIZ_STORAGE_FILE_WRITER_H_
+#define TSVIZ_STORAGE_FILE_WRITER_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/chunk_writer.h"
+
+namespace tsviz {
+
+// Writes one data file: a sequence of encoded chunks followed by the
+// metadata footer. Append-only; Finish() must be called exactly once to make
+// the file readable.
+class FileWriter {
+ public:
+  static Result<std::unique_ptr<FileWriter>> Create(const std::string& path);
+
+  ~FileWriter();
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+
+  // Encodes `points` as one chunk with the given version and appends it.
+  // On success, *out_meta (optional) receives the file-rebased metadata.
+  Status AppendChunk(const std::vector<Point>& points, Version version,
+                     const ChunkEncodingOptions& options,
+                     ChunkMetadata* out_meta);
+
+  // Writes the footer + trailer and closes the file.
+  Status Finish();
+
+  size_t num_chunks() const { return chunks_.size(); }
+
+ private:
+  FileWriter(std::FILE* file, std::string path);
+
+  std::FILE* file_;
+  std::string path_;
+  uint64_t offset_ = 0;
+  std::vector<ChunkMetadata> chunks_;
+  bool finished_ = false;
+};
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_STORAGE_FILE_WRITER_H_

@@ -1,0 +1,15 @@
+#include "storage/memtable.h"
+
+namespace tsviz {
+
+std::vector<Point> MemTable::Drain() {
+  std::vector<Point> out;
+  out.reserve(points_.size());
+  for (const auto& [t, v] : points_) {
+    out.push_back(Point{t, v});
+  }
+  points_.clear();
+  return out;
+}
+
+}  // namespace tsviz

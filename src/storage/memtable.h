@@ -1,0 +1,42 @@
+#ifndef TSVIZ_STORAGE_MEMTABLE_H_
+#define TSVIZ_STORAGE_MEMTABLE_H_
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "common/time_range.h"
+#include "common/types.h"
+
+namespace tsviz {
+
+// The in-memory write buffer of the LSM tree. Keyed by timestamp with
+// last-write-wins semantics, so a flush always emits strictly increasing
+// timestamps; out-of-order arrivals across flushes are what produce
+// overlapping chunks on disk (Section 2.2, Figure 2(a)).
+class MemTable {
+ public:
+  // Inserts or overwrites the value at `t`.
+  void Put(Timestamp t, Value v) { points_[t] = v; }
+
+  // Removes every buffered point inside the closed range. Mirrors IoTDB,
+  // where a delete applies to in-memory data immediately (flushed chunks
+  // are handled by version-ordered tombstones instead).
+  void EraseRange(const TimeRange& range) {
+    points_.erase(points_.lower_bound(range.start),
+                  points_.upper_bound(range.end));
+  }
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  // Returns the buffered points sorted by time and clears the table.
+  std::vector<Point> Drain();
+
+ private:
+  std::map<Timestamp, Value> points_;
+};
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_STORAGE_MEMTABLE_H_

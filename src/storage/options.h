@@ -1,0 +1,44 @@
+#ifndef TSVIZ_STORAGE_OPTIONS_H_
+#define TSVIZ_STORAGE_OPTIONS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "encoding/page.h"
+
+namespace tsviz {
+
+// Knobs controlling how a flushed chunk is encoded. Defaults mirror the
+// paper's IoTDB settings (Table 4): avg_series_point_number_threshold = 1000
+// points per chunk; compaction is never run, so chunks are immutable once
+// flushed.
+struct ChunkEncodingOptions {
+  size_t page_size_points = 200;
+  TsCodec ts_codec = TsCodec::kTs2Diff;
+  ValueCodec value_codec = ValueCodec::kGorilla;
+  bool build_index = true;  // fit the step-regression index at flush time
+};
+
+struct StoreConfig {
+  // Directory holding data files; created if missing.
+  std::string data_dir;
+
+  // Points per flushed chunk (avg_series_point_number_threshold).
+  size_t points_per_chunk = 1000;
+
+  // Memtable size (in points) that triggers an automatic flush. Workloads
+  // usually keep this equal to points_per_chunk so each flush emits exactly
+  // one chunk; out-of-order experiments rely on that.
+  size_t memtable_flush_threshold = 1000;
+
+  // Log every write/delete to a WAL before applying it, so the unflushed
+  // memtable survives a crash. Disable for bulk loads where losing the
+  // memtable is acceptable.
+  bool enable_wal = true;
+
+  ChunkEncodingOptions encoding;
+};
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_STORAGE_OPTIONS_H_

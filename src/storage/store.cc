@@ -1,0 +1,299 @@
+#include "storage/store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/logging.h"
+#include "storage/file_format.h"
+
+namespace tsviz {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Data files are named f<id>.tsdat; ids increase with creation order.
+constexpr char kDataSuffix[] = ".tsdat";
+
+Result<uint64_t> ParseFileId(const std::string& name) {
+  if (name.size() < 2 || name[0] != 'f') {
+    return Status::InvalidArgument("not a data file: " + name);
+  }
+  uint64_t id = 0;
+  for (size_t i = 1; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') {
+      return Status::InvalidArgument("not a data file: " + name);
+    }
+    id = id * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return id;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TsStore>> TsStore::Open(StoreConfig config) {
+  if (config.data_dir.empty()) {
+    return Status::InvalidArgument("data_dir must be set");
+  }
+  if (config.points_per_chunk == 0 || config.memtable_flush_threshold == 0) {
+    return Status::InvalidArgument("chunk/flush sizes must be positive");
+  }
+  std::error_code ec;
+  fs::create_directories(config.data_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + config.data_dir + ": " +
+                           ec.message());
+  }
+  auto store = std::unique_ptr<TsStore>(new TsStore(std::move(config)));
+  TSVIZ_RETURN_IF_ERROR(store->Recover());
+  return store;
+}
+
+Status TsStore::Recover() {
+  // Collect data files ordered by id so chunk versions replay in order.
+  std::vector<std::pair<uint64_t, std::string>> data_files;
+  for (const auto& entry : fs::directory_iterator(config_.data_dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (name.size() > sizeof(kDataSuffix) &&
+        name.ends_with(kDataSuffix)) {
+      std::string stem = name.substr(0, name.size() - strlen(kDataSuffix));
+      auto id = ParseFileId(stem);
+      if (id.ok()) data_files.emplace_back(*id, entry.path().string());
+    }
+  }
+  std::sort(data_files.begin(), data_files.end());
+
+  for (const auto& [id, path] : data_files) {
+    TSVIZ_ASSIGN_OR_RETURN(std::shared_ptr<FileReader> reader,
+                           FileReader::Open(path));
+    for (const ChunkMetadata& meta : reader->chunks()) {
+      chunks_.push_back(ChunkHandle{reader, &meta});
+      next_version_ = std::max(next_version_, meta.version + 1);
+    }
+    files_.push_back(std::move(reader));
+    next_file_id_ = std::max(next_file_id_, id + 1);
+  }
+
+  // Replay delete tombstones.
+  std::FILE* mods = std::fopen(ModsPath().c_str(), "rb");
+  if (mods != nullptr) {
+    std::string content;
+    char buffer[4096];
+    size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), mods)) > 0) {
+      content.append(buffer, n);
+    }
+    std::fclose(mods);
+    std::string_view cursor = content;
+    if (cursor.size() < kModsMagic.size() ||
+        cursor.substr(0, kModsMagic.size()) != kModsMagic) {
+      return Status::Corruption("bad mods file magic");
+    }
+    cursor.remove_prefix(kModsMagic.size());
+    while (!cursor.empty()) {
+      TSVIZ_ASSIGN_OR_RETURN(DeleteRecord del, ParseDeleteRecord(&cursor));
+      deletes_.push_back(del);
+      next_version_ = std::max(next_version_, del.version + 1);
+    }
+  }
+
+  // Replay the WAL into the memtable (deletes there are the memtable
+  // purges; their versioned tombstones were already restored from mods).
+  if (config_.enable_wal) {
+    bool truncated = false;
+    TSVIZ_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
+                           ReadWal(WalPath(), &truncated));
+    for (const WalRecord& record : records) {
+      if (record.type == WalRecord::Type::kPut) {
+        memtable_.Put(record.point.t, record.point.v);
+      } else {
+        memtable_.EraseRange(record.range);
+      }
+    }
+    TSVIZ_ASSIGN_OR_RETURN(wal_, WalWriter::Open(WalPath()));
+    if (truncated) {
+      TSVIZ_WARN << "wal had a torn tail; replayed " << records.size()
+                 << " records and rewriting the log";
+      TSVIZ_RETURN_IF_ERROR(wal_->Reset());
+      for (const WalRecord& record : records) {
+        TSVIZ_RETURN_IF_ERROR(
+            record.type == WalRecord::Type::kPut
+                ? wal_->AppendPut(record.point)
+                : wal_->AppendDelete(record.range));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string TsStore::FilePath(uint64_t file_id) const {
+  return config_.data_dir + "/f" + std::to_string(file_id) + kDataSuffix;
+}
+
+std::string TsStore::ModsPath() const {
+  return config_.data_dir + "/deletes.mods";
+}
+
+std::string TsStore::WalPath() const { return config_.data_dir + "/wal.log"; }
+
+Status TsStore::Write(Timestamp t, Value v) {
+  if (!std::isfinite(v)) {
+    // NaN/Inf would poison the value-ordered chunk statistics (BP/TP) and
+    // the merge semantics; reject at the door like IoTDB does.
+    return Status::InvalidArgument("value must be finite");
+  }
+  if (wal_ != nullptr) {
+    TSVIZ_RETURN_IF_ERROR(wal_->AppendPut(Point{t, v}));
+  }
+  memtable_.Put(t, v);
+  if (memtable_.size() >= config_.memtable_flush_threshold) {
+    return Flush();
+  }
+  return Status::OK();
+}
+
+Status TsStore::WriteAll(const std::vector<Point>& points) {
+  for (const Point& p : points) {
+    TSVIZ_RETURN_IF_ERROR(Write(p.t, p.v));
+  }
+  return Status::OK();
+}
+
+Status TsStore::DeleteRange(const TimeRange& range) {
+  if (range.Empty()) {
+    return Status::InvalidArgument("empty delete range");
+  }
+  DeleteRecord del{range, next_version_++};
+  TSVIZ_RETURN_IF_ERROR(AppendModsRecord(del));
+  if (wal_ != nullptr) {
+    TSVIZ_RETURN_IF_ERROR(wal_->AppendDelete(range));
+  }
+  deletes_.push_back(del);
+  // Deletes apply to unflushed data immediately; flushed chunks are
+  // filtered at read time via the versioned tombstone.
+  memtable_.EraseRange(range);
+  ++state_version_;
+  return Status::OK();
+}
+
+Status TsStore::AppendModsRecord(const DeleteRecord& del) {
+  const std::string path = ModsPath();
+  const bool fresh = !fs::exists(path);
+  std::FILE* mods = std::fopen(path.c_str(), "ab");
+  if (mods == nullptr) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::string record;
+  if (fresh) record.append(kModsMagic);
+  SerializeDeleteRecord(del, &record);
+  size_t written = std::fwrite(record.data(), 1, record.size(), mods);
+  int close_rc = std::fclose(mods);
+  if (written != record.size() || close_rc != 0) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Status TsStore::Flush() {
+  if (memtable_.empty()) return Status::OK();
+  std::vector<Point> points = memtable_.Drain();
+
+  const uint64_t file_id = next_file_id_++;
+  const std::string path = FilePath(file_id);
+  TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<FileWriter> writer,
+                         FileWriter::Create(path));
+  for (size_t begin = 0; begin < points.size();
+       begin += config_.points_per_chunk) {
+    size_t count = std::min(config_.points_per_chunk, points.size() - begin);
+    std::vector<Point> slice(points.begin() + begin,
+                             points.begin() + begin + count);
+    TSVIZ_RETURN_IF_ERROR(writer->AppendChunk(slice, next_version_++,
+                                              config_.encoding, nullptr));
+  }
+  TSVIZ_RETURN_IF_ERROR(writer->Finish());
+
+  TSVIZ_ASSIGN_OR_RETURN(std::shared_ptr<FileReader> reader,
+                         FileReader::Open(path));
+  for (const ChunkMetadata& meta : reader->chunks()) {
+    chunks_.push_back(ChunkHandle{reader, &meta});
+  }
+  files_.push_back(std::move(reader));
+  if (wal_ != nullptr) {
+    TSVIZ_RETURN_IF_ERROR(wal_->Reset());
+  }
+  ++state_version_;
+  return Status::OK();
+}
+
+uint64_t TsStore::TotalStoredPoints() const {
+  uint64_t total = 0;
+  for (const ChunkHandle& chunk : chunks_) {
+    total += chunk.meta->count;
+  }
+  return total;
+}
+
+TimeRange TsStore::DataInterval() const {
+  if (chunks_.empty()) return TimeRange(1, 0);  // empty
+  Timestamp lo = kMaxTimestamp;
+  Timestamp hi = kMinTimestamp;
+  for (const ChunkHandle& chunk : chunks_) {
+    lo = std::min(lo, chunk.meta->stats.first.t);
+    hi = std::max(hi, chunk.meta->stats.last.t);
+  }
+  return TimeRange(lo, hi);
+}
+
+size_t TsStore::CountUnsequenceFiles() const {
+  size_t unseq = 0;
+  Timestamp max_end = kMinTimestamp;
+  bool any = false;
+  for (const auto& file : files_) {
+    Timestamp file_min = kMaxTimestamp;
+    Timestamp file_max = kMinTimestamp;
+    for (const ChunkMetadata& meta : file->chunks()) {
+      file_min = std::min(file_min, meta.stats.first.t);
+      file_max = std::max(file_max, meta.stats.last.t);
+    }
+    if (file->chunks().empty()) continue;
+    if (any && file_min <= max_end) ++unseq;
+    max_end = std::max(max_end, file_max);
+    any = true;
+  }
+  return unseq;
+}
+
+double TsStore::OverlapFraction() const {
+  if (chunks_.size() < 2) return 0.0;
+  std::vector<TimeRange> intervals;
+  intervals.reserve(chunks_.size());
+  for (const ChunkHandle& chunk : chunks_) {
+    intervals.push_back(chunk.meta->Interval());
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const TimeRange& a, const TimeRange& b) {
+              return a.start < b.start;
+            });
+  // With intervals sorted by start, interval i overlaps an earlier one iff
+  // its start is <= the max end seen so far, and a later one iff the next
+  // start is <= its end.
+  size_t overlapping = 0;
+  Timestamp max_end_before = kMinTimestamp;
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    bool with_earlier = i > 0 && intervals[i].start <= max_end_before;
+    bool with_later =
+        i + 1 < intervals.size() && intervals[i + 1].start <= intervals[i].end;
+    if (with_earlier || with_later) ++overlapping;
+    max_end_before = std::max(max_end_before, intervals[i].end);
+  }
+  return static_cast<double>(overlapping) /
+         static_cast<double>(intervals.size());
+}
+
+}  // namespace tsviz

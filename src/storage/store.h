@@ -1,0 +1,115 @@
+#ifndef TSVIZ_STORAGE_STORE_H_
+#define TSVIZ_STORAGE_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_range.h"
+#include "common/types.h"
+#include "storage/delete_record.h"
+#include "storage/file_reader.h"
+#include "storage/file_writer.h"
+#include "storage/memtable.h"
+#include "storage/options.h"
+#include "storage/wal.h"
+
+namespace tsviz {
+
+// A chunk on disk: its metadata plus the file it lives in.
+struct ChunkHandle {
+  std::shared_ptr<FileReader> file;
+  const ChunkMetadata* meta = nullptr;  // owned by `file`
+};
+
+// Single-series LSM store (Section 2.2): writes buffer in a memtable and
+// flush to immutable chunks on disk; deletes are append-only range
+// tombstones; every chunk and delete carries a global version number. No
+// compaction ever runs (Table 4 disables it), so chunks written from
+// out-of-order data overlap in time until query time — exactly the storage
+// state M4-LSM is designed for.
+class TsStore {
+ public:
+  // Opens (or creates) the store in config.data_dir, recovering chunks,
+  // deletes and the version counter from existing files.
+  static Result<std::unique_ptr<TsStore>> Open(StoreConfig config);
+
+  TsStore(const TsStore&) = delete;
+  TsStore& operator=(const TsStore&) = delete;
+
+  // Buffers one point; flushes automatically when the memtable reaches
+  // config.memtable_flush_threshold points. Non-finite values are rejected
+  // (they would poison the value-ordered chunk statistics).
+  Status Write(Timestamp t, Value v);
+
+  // Writes points in the given (possibly out-of-order) arrival order.
+  Status WriteAll(const std::vector<Point>& points);
+
+  // Appends a range tombstone with the next version number.
+  Status DeleteRange(const TimeRange& range);
+
+  // Flushes the memtable to a new data file (no-op when empty). The file
+  // holds ceil(n / points_per_chunk) chunks, each with its own version.
+  Status Flush();
+
+  // Full compaction: merges every chunk and delete into a fresh file of
+  // disjoint latest-only chunks and drops the tombstones. The paper's
+  // evaluation keeps compaction off (Table 4) because M4-LSM is designed to
+  // cope with the uncompacted state; this exists because a real LSM store
+  // ships with one, and as the ablation target (bench_compaction_ablation).
+  Status Compact();
+
+  const StoreConfig& config() const { return config_; }
+  const std::vector<ChunkHandle>& chunks() const { return chunks_; }
+  const std::vector<std::shared_ptr<FileReader>>& files() const {
+    return files_;
+  }
+  const std::vector<DeleteRecord>& deletes() const { return deletes_; }
+  size_t memtable_size() const { return memtable_.size(); }
+
+  // Monotonic counter bumped by every state change visible to queries
+  // (flush, delete, compaction); result caches key on it.
+  uint64_t state_version() const { return state_version_; }
+
+  // Total points across all chunks (including overwritten ones).
+  uint64_t TotalStoredPoints() const;
+
+  // Union time interval across chunk metadata; empty range when no chunks.
+  TimeRange DataInterval() const;
+
+  // Fraction of chunks whose time interval overlaps at least one other
+  // chunk's (the x-axis of Figure 12).
+  double OverlapFraction() const;
+
+  // Number of data files written out of time order — files whose earliest
+  // point is not later than everything flushed before them. These are
+  // IoTDB's "unsequence" TsFiles (Appendix A.5.1), the product of
+  // out-of-order arrivals.
+  size_t CountUnsequenceFiles() const;
+
+  size_t NumFiles() const { return files_.size(); }
+
+ private:
+  explicit TsStore(StoreConfig config) : config_(std::move(config)) {}
+
+  Status Recover();
+  Status AppendModsRecord(const DeleteRecord& del);
+  std::string FilePath(uint64_t file_id) const;
+  std::string ModsPath() const;
+  std::string WalPath() const;
+
+  StoreConfig config_;
+  MemTable memtable_;
+  std::unique_ptr<WalWriter> wal_;
+  std::vector<std::shared_ptr<FileReader>> files_;
+  std::vector<ChunkHandle> chunks_;
+  std::vector<DeleteRecord> deletes_;
+  Version next_version_ = 1;
+  uint64_t next_file_id_ = 1;
+  uint64_t state_version_ = 0;
+};
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_STORAGE_STORE_H_

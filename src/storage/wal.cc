@@ -1,0 +1,133 @@
+#include "storage/wal.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "encoding/varint.h"
+
+namespace tsviz {
+
+namespace {
+
+std::string EncodeBody(const WalRecord& record) {
+  std::string body;
+  body.push_back(static_cast<char>(record.type));
+  switch (record.type) {
+    case WalRecord::Type::kPut: {
+      PutFixed64(&body, static_cast<uint64_t>(record.point.t));
+      uint64_t bits;
+      std::memcpy(&bits, &record.point.v, sizeof(bits));
+      PutFixed64(&body, bits);
+      break;
+    }
+    case WalRecord::Type::kDelete:
+      PutFixed64(&body, static_cast<uint64_t>(record.range.start));
+      PutFixed64(&body, static_cast<uint64_t>(record.range.end));
+      break;
+  }
+  return body;
+}
+
+// One record is type byte + two fixed64 + fixed64 checksum.
+constexpr size_t kRecordSize = 1 + 16 + 8;
+
+}  // namespace
+
+WalWriter::WalWriter(std::FILE* file, std::string path)
+    : file_(file), path_(std::move(path)) {}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::IoError("cannot open wal " + path + ": " +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(file, path));
+}
+
+Status WalWriter::AppendRecord(const WalRecord& record) {
+  std::string body = EncodeBody(record);
+  std::string entry = body;
+  PutFixed64(&entry, Fnv1a64(body));
+  if (std::fwrite(entry.data(), 1, entry.size(), file_) != entry.size()) {
+    return Status::IoError("short wal write to " + path_);
+  }
+  return Status::OK();
+}
+
+Status WalWriter::AppendPut(const Point& p) {
+  WalRecord record;
+  record.type = WalRecord::Type::kPut;
+  record.point = p;
+  return AppendRecord(record);
+}
+
+Status WalWriter::AppendDelete(const TimeRange& range) {
+  WalRecord record;
+  record.type = WalRecord::Type::kDelete;
+  record.range = range;
+  return AppendRecord(record);
+}
+
+Status WalWriter::Reset() {
+  // Reopen with truncation; keep appending to the same path afterwards.
+  std::FILE* file = std::freopen(path_.c_str(), "wb", file_);
+  if (file == nullptr) {
+    file_ = nullptr;
+    return Status::IoError("cannot truncate wal " + path_);
+  }
+  file_ = file;
+  return Status::OK();
+}
+
+Result<std::vector<WalRecord>> ReadWal(const std::string& path,
+                                       bool* truncated_tail) {
+  if (truncated_tail != nullptr) *truncated_tail = false;
+  std::vector<WalRecord> records;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return records;  // no log yet
+
+  std::string content;
+  char buffer[8192];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    content.append(buffer, n);
+  }
+  std::fclose(file);
+
+  std::string_view cursor = content;
+  while (cursor.size() >= kRecordSize) {
+    std::string_view body = cursor.substr(0, kRecordSize - 8);
+    std::string_view checksum_view = cursor.substr(kRecordSize - 8, 8);
+    auto checksum = GetFixed64(&checksum_view);
+    if (!checksum.ok() || Fnv1a64(body) != *checksum) break;  // torn tail
+
+    WalRecord record;
+    auto type = static_cast<WalRecord::Type>(body[0]);
+    body.remove_prefix(1);
+    auto a = GetFixed64(&body);
+    auto b = GetFixed64(&body);
+    if (!a.ok() || !b.ok()) break;
+    if (type == WalRecord::Type::kPut) {
+      record.type = WalRecord::Type::kPut;
+      record.point.t = static_cast<Timestamp>(*a);
+      std::memcpy(&record.point.v, &*b, sizeof(record.point.v));
+    } else if (type == WalRecord::Type::kDelete) {
+      record.type = WalRecord::Type::kDelete;
+      record.range.start = static_cast<Timestamp>(*a);
+      record.range.end = static_cast<Timestamp>(*b);
+    } else {
+      break;  // unknown type: treat as corruption boundary
+    }
+    records.push_back(record);
+    cursor.remove_prefix(kRecordSize);
+  }
+  if (!cursor.empty() && truncated_tail != nullptr) *truncated_tail = true;
+  return records;
+}
+
+}  // namespace tsviz

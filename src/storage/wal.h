@@ -1,0 +1,68 @@
+#ifndef TSVIZ_STORAGE_WAL_H_
+#define TSVIZ_STORAGE_WAL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_range.h"
+#include "common/types.h"
+
+namespace tsviz {
+
+// Write-ahead log for the memtable: every point write and range delete is
+// appended (checksummed) before it is applied, so an unflushed memtable
+// survives a crash. The log is truncated after each successful flush — the
+// flushed chunks and the .mods file then carry the state.
+//
+// Record layout: u8 type | payload | fixed64 FNV-1a of (type | payload).
+//   type 1 (put):    fixed64 timestamp, fixed64 value bits
+//   type 2 (delete): fixed64 start, fixed64 end
+//
+// Replay is torn-tail tolerant: a truncated or corrupt record ends the
+// replay at the last good record, which is the standard WAL contract for a
+// crash mid-append.
+
+struct WalRecord {
+  enum class Type : uint8_t { kPut = 1, kDelete = 2 };
+  Type type = Type::kPut;
+  Point point;      // kPut
+  TimeRange range;  // kDelete
+
+  friend bool operator==(const WalRecord&, const WalRecord&) = default;
+};
+
+class WalWriter {
+ public:
+  // Opens the log for appending (creating it if missing).
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  Status AppendPut(const Point& p);
+  Status AppendDelete(const TimeRange& range);
+
+  // Discards the log contents (after a successful flush).
+  Status Reset();
+
+ private:
+  WalWriter(std::FILE* file, std::string path);
+  Status AppendRecord(const WalRecord& record);
+
+  std::FILE* file_;
+  std::string path_;
+};
+
+// Replays a log. Missing file yields an empty vector; a corrupt tail stops
+// the replay (records before it are returned). *truncated_tail (optional)
+// reports whether a bad tail was skipped.
+Result<std::vector<WalRecord>> ReadWal(const std::string& path,
+                                       bool* truncated_tail = nullptr);
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_STORAGE_WAL_H_

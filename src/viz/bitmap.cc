@@ -1,0 +1,87 @@
+#include "viz/bitmap.h"
+
+#include <bit>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace tsviz {
+
+Bitmap::Bitmap(int width, int height) : width_(width), height_(height) {
+  TSVIZ_CHECK(width > 0 && height > 0);
+  bits_.assign((static_cast<size_t>(width) * height + 63) / 64, 0);
+}
+
+void Bitmap::Set(int x, int y) {
+  if (!InBounds(x, y)) return;
+  size_t idx = static_cast<size_t>(y) * width_ + x;
+  bits_[idx / 64] |= uint64_t{1} << (idx % 64);
+}
+
+bool Bitmap::Get(int x, int y) const {
+  if (!InBounds(x, y)) return false;
+  size_t idx = static_cast<size_t>(y) * width_ + x;
+  return (bits_[idx / 64] >> (idx % 64)) & 1;
+}
+
+uint64_t Bitmap::CountSet() const {
+  uint64_t total = 0;
+  for (uint64_t word : bits_) total += std::popcount(word);
+  return total;
+}
+
+std::string Bitmap::ToPgm() const {
+  std::string out = "P5\n" + std::to_string(width_) + " " +
+                    std::to_string(height_) + "\n255\n";
+  out.reserve(out.size() + static_cast<size_t>(width_) * height_);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      out.push_back(Get(x, y) ? '\0' : static_cast<char>(0xff));
+    }
+  }
+  return out;
+}
+
+Status Bitmap::WritePgm(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return Status::IoError("cannot create " + path);
+  std::string pgm = ToPgm();
+  size_t written = std::fwrite(pgm.data(), 1, pgm.size(), file);
+  int rc = std::fclose(file);
+  if (written != pgm.size() || rc != 0) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+std::string Bitmap::ToAscii(int max_cols) const {
+  int step = width_ <= max_cols ? 1 : (width_ + max_cols - 1) / max_cols;
+  std::string out;
+  for (int y = 0; y < height_; y += step) {
+    for (int x = 0; x < width_; x += step) {
+      // A cell is lit if any pixel in its block is lit.
+      bool lit = false;
+      for (int dy = 0; dy < step && !lit; ++dy) {
+        for (int dx = 0; dx < step && !lit; ++dx) {
+          lit = Get(x + dx, y + dy);
+        }
+      }
+      out.push_back(lit ? '#' : '.');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+uint64_t PixelDiff(const Bitmap& a, const Bitmap& b) {
+  TSVIZ_CHECK(a.width() == b.width() && a.height() == b.height());
+  uint64_t diff = 0;
+  for (int y = 0; y < a.height(); ++y) {
+    for (int x = 0; x < a.width(); ++x) {
+      if (a.Get(x, y) != b.Get(x, y)) ++diff;
+    }
+  }
+  return diff;
+}
+
+}  // namespace tsviz

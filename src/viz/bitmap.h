@@ -1,0 +1,57 @@
+#ifndef TSVIZ_VIZ_BITMAP_H_
+#define TSVIZ_VIZ_BITMAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tsviz {
+
+// Two-color pixel matrix for binary line-chart rendering (Section 1: M4 is
+// error-free specifically for two-color line charts). Origin is the top-left
+// corner; x grows right (time), y grows down.
+class Bitmap {
+ public:
+  Bitmap(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  void Set(int x, int y);
+  bool Get(int x, int y) const;
+
+  // Number of lit pixels.
+  uint64_t CountSet() const;
+
+  // Binary PGM (P5) serialization, for viewing the chart with any image
+  // tool; lit pixels are black on white.
+  std::string ToPgm() const;
+
+  // Writes the PGM to a file.
+  Status WritePgm(const std::string& path) const;
+
+  // Rough terminal rendering: '#' for lit, '.' for unlit, downsampled to at
+  // most max_cols columns.
+  std::string ToAscii(int max_cols = 100) const;
+
+  friend bool operator==(const Bitmap&, const Bitmap&) = default;
+
+ private:
+  bool InBounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  int width_;
+  int height_;
+  std::vector<uint64_t> bits_;
+};
+
+// Number of pixels where the two bitmaps differ; the paper's "pixel error"
+// is diff / total.
+uint64_t PixelDiff(const Bitmap& a, const Bitmap& b);
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_VIZ_BITMAP_H_

@@ -1,0 +1,78 @@
+#include "viz/lttb.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace tsviz {
+
+std::vector<Point> DownsampleLttb(const std::vector<Point>& points,
+                                  size_t n_out) {
+  if (n_out >= points.size() || points.size() <= 2 || n_out <= 2) {
+    if (n_out >= points.size()) return points;
+    if (points.empty()) return {};
+    if (n_out <= 1) return {points.front()};
+    return {points.front(), points.back()};
+  }
+
+  std::vector<Point> out;
+  out.reserve(n_out);
+  out.push_back(points.front());
+
+  // n_out - 2 interior buckets over points [1, n-1).
+  const double bucket_size =
+      static_cast<double>(points.size() - 2) / static_cast<double>(n_out - 2);
+  size_t a = 0;  // index of the previously selected point
+  for (size_t bucket = 0; bucket + 2 < n_out; ++bucket) {
+    size_t range_begin =
+        1 + static_cast<size_t>(std::floor(bucket_size * bucket));
+    size_t range_end = 1 + static_cast<size_t>(
+                               std::floor(bucket_size * (bucket + 1)));
+    if (range_end <= range_begin) range_end = range_begin + 1;
+    if (range_end > points.size() - 1) range_end = points.size() - 1;
+
+    // Centroid of the *next* bucket (or the last point for the final one).
+    size_t next_begin = range_end;
+    size_t next_end = 1 + static_cast<size_t>(
+                              std::floor(bucket_size * (bucket + 2)));
+    if (next_end > points.size() - 1) next_end = points.size() - 1;
+    if (next_end <= next_begin) next_end = next_begin + 1;
+    double avg_t = 0.0;
+    double avg_v = 0.0;
+    size_t next_count = 0;
+    for (size_t i = next_begin; i < next_end && i < points.size();
+         ++i, ++next_count) {
+      avg_t += static_cast<double>(points[i].t);
+      avg_v += points[i].v;
+    }
+    if (next_count == 0) {
+      avg_t = static_cast<double>(points.back().t);
+      avg_v = points.back().v;
+    } else {
+      avg_t /= static_cast<double>(next_count);
+      avg_v /= static_cast<double>(next_count);
+    }
+
+    // Pick the bucket point maximizing the triangle area with points[a] and
+    // the next-bucket centroid.
+    const double at = static_cast<double>(points[a].t);
+    const double av = points[a].v;
+    double best_area = -1.0;
+    size_t best = range_begin;
+    for (size_t i = range_begin; i < range_end; ++i) {
+      double area =
+          std::abs((at - avg_t) * (points[i].v - av) -
+                   (at - static_cast<double>(points[i].t)) * (avg_v - av));
+      if (area > best_area) {
+        best_area = area;
+        best = i;
+      }
+    }
+    out.push_back(points[best]);
+    a = best;
+  }
+
+  out.push_back(points.back());
+  return out;
+}
+
+}  // namespace tsviz

@@ -1,0 +1,24 @@
+#ifndef TSVIZ_VIZ_LTTB_H_
+#define TSVIZ_VIZ_LTTB_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tsviz {
+
+// Largest-Triangle-Three-Buckets downsampling (Steinarsson, 2013) — the de
+// facto standard line-chart reduction outside the M4 line of work, included
+// as a strong comparator in the pixel-accuracy experiment. Keeps the first
+// and last points and, per bucket, the point forming the largest triangle
+// with the previously kept point and the next bucket's centroid.
+//
+// `points` must be sorted by time; returns min(n_out, points.size()) points
+// (all of them when n_out >= size, at least 2 when possible).
+std::vector<Point> DownsampleLttb(const std::vector<Point>& points,
+                                  size_t n_out);
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_VIZ_LTTB_H_

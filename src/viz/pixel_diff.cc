@@ -1,0 +1,24 @@
+#include "viz/pixel_diff.h"
+
+#include <sstream>
+
+namespace tsviz {
+
+std::string PixelAccuracyReport::ToString() const {
+  std::ostringstream os;
+  os << differing_pixels << "/" << total_pixels << " pixels differ ("
+     << ErrorRatio() * 100.0 << "%), ground truth lit " << ground_truth_lit;
+  return os.str();
+}
+
+PixelAccuracyReport ComparePixels(const Bitmap& ground_truth,
+                                  const Bitmap& rendered) {
+  PixelAccuracyReport report;
+  report.total_pixels = static_cast<uint64_t>(ground_truth.width()) *
+                        static_cast<uint64_t>(ground_truth.height());
+  report.differing_pixels = PixelDiff(ground_truth, rendered);
+  report.ground_truth_lit = ground_truth.CountSet();
+  return report;
+}
+
+}  // namespace tsviz

@@ -1,0 +1,33 @@
+#ifndef TSVIZ_VIZ_PIXEL_DIFF_H_
+#define TSVIZ_VIZ_PIXEL_DIFF_H_
+
+#include <string>
+
+#include "viz/bitmap.h"
+
+namespace tsviz {
+
+// Comparison of a reduced rendering against the ground-truth rendering of
+// the full series: the "pixel error" metric of the M4 line of work.
+struct PixelAccuracyReport {
+  uint64_t differing_pixels = 0;
+  uint64_t total_pixels = 0;
+  uint64_t ground_truth_lit = 0;
+
+  double ErrorRatio() const {
+    return total_pixels == 0
+               ? 0.0
+               : static_cast<double>(differing_pixels) /
+                     static_cast<double>(total_pixels);
+  }
+
+  std::string ToString() const;
+};
+
+// Compares `rendered` against `ground_truth` (same dimensions required).
+PixelAccuracyReport ComparePixels(const Bitmap& ground_truth,
+                                  const Bitmap& rendered);
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_VIZ_PIXEL_DIFF_H_

@@ -1,0 +1,192 @@
+#include "viz/rasterize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tsviz {
+
+namespace {
+
+// Column of a timestamp: floor(width * (t - tqs) / (tqe - tqs)), in exact
+// integer arithmetic so it agrees with SpanSet::IndexOf.
+int ColumnOf(const CanvasSpec& spec, Timestamp t) {
+  using I128 = __int128;
+  I128 numerator =
+      static_cast<I128>(spec.width) * (static_cast<I128>(t) - spec.tqs);
+  return static_cast<int>(numerator /
+                          (static_cast<I128>(spec.tqe) - spec.tqs));
+}
+
+// Continuous vertical position of a value: vmax maps to 0 (top), vmin to
+// `height` (clamped into the last row when discretized).
+double HeightOf(const CanvasSpec& spec, Value v) {
+  if (spec.vmax <= spec.vmin) return spec.height / 2.0;
+  return (spec.vmax - v) / (spec.vmax - spec.vmin) * spec.height;
+}
+
+int RowOf(const CanvasSpec& spec, double y) {
+  int row = static_cast<int>(std::floor(y));
+  return std::clamp(row, 0, spec.height - 1);
+}
+
+// Continuous time at which the path crosses from column c-1 into column c.
+double BoundaryTime(const CanvasSpec& spec, int c) {
+  return static_cast<double>(spec.tqs) +
+         static_cast<double>(c) *
+             static_cast<double>(spec.tqe - spec.tqs) /
+             static_cast<double>(spec.width);
+}
+
+void FillColumn(Bitmap* bitmap, const CanvasSpec& spec, int c, double y0,
+                double y1) {
+  int r0 = RowOf(spec, std::min(y0, y1));
+  int r1 = RowOf(spec, std::max(y0, y1));
+  for (int r = r0; r <= r1; ++r) {
+    bitmap->Set(c, r);
+  }
+}
+
+void DrawSegment(Bitmap* bitmap, const CanvasSpec& spec, const Point& a,
+                 const Point& b) {
+  const int ca = ColumnOf(spec, a.t);
+  const int cb = ColumnOf(spec, b.t);
+  const double ya = HeightOf(spec, a.v);
+  const double yb = HeightOf(spec, b.v);
+  if (ca == cb) {
+    FillColumn(bitmap, spec, ca, ya, yb);
+    return;
+  }
+  const double ta = static_cast<double>(a.t);
+  const double tb = static_cast<double>(b.t);
+  auto interp = [&](double t) {
+    return ya + (yb - ya) * (t - ta) / (tb - ta);
+  };
+  for (int c = ca; c <= cb; ++c) {
+    double t0 = std::max(ta, BoundaryTime(spec, c));
+    double t1 = std::min(tb, BoundaryTime(spec, c + 1));
+    FillColumn(bitmap, spec, c, interp(t0), interp(t1));
+  }
+}
+
+}  // namespace
+
+CanvasSpec FitCanvas(const std::vector<Point>& points, const M4Query& query,
+                     int width, int height) {
+  CanvasSpec spec;
+  spec.width = width;
+  spec.height = height;
+  spec.tqs = query.tqs;
+  spec.tqe = query.tqe;
+  bool any = false;
+  for (const Point& p : points) {
+    if (p.t < query.tqs || p.t >= query.tqe) continue;
+    if (!any) {
+      spec.vmin = spec.vmax = p.v;
+      any = true;
+    } else {
+      spec.vmin = std::min(spec.vmin, p.v);
+      spec.vmax = std::max(spec.vmax, p.v);
+    }
+  }
+  return spec;
+}
+
+Bitmap RasterizeSeries(const std::vector<Point>& points,
+                       const CanvasSpec& spec) {
+  TSVIZ_CHECK(spec.width > 0 && spec.height > 0 && spec.tqe > spec.tqs);
+  Bitmap bitmap(spec.width, spec.height);
+  const Point* prev = nullptr;
+  for (const Point& p : points) {
+    if (p.t < spec.tqs || p.t >= spec.tqe) continue;
+    if (prev == nullptr) {
+      FillColumn(&bitmap, spec, ColumnOf(spec, p.t), HeightOf(spec, p.v),
+                 HeightOf(spec, p.v));
+    } else {
+      DrawSegment(&bitmap, spec, *prev, p);
+    }
+    prev = &p;
+  }
+  return bitmap;
+}
+
+std::vector<Point> M4Polyline(const M4Result& rows) {
+  std::vector<Point> points;
+  points.reserve(rows.size() * 4);
+  for (const M4Row& row : rows) {
+    if (!row.has_data) continue;
+    points.push_back(row.first);
+    points.push_back(row.bottom);
+    points.push_back(row.top);
+    points.push_back(row.last);
+  }
+  std::sort(points.begin(), points.end(),
+            [](const Point& a, const Point& b) { return a.t < b.t; });
+  points.erase(std::unique(points.begin(), points.end(),
+                           [](const Point& a, const Point& b) {
+                             return a.t == b.t;
+                           }),
+               points.end());
+  return points;
+}
+
+Bitmap RasterizeM4(const M4Result& rows, const CanvasSpec& spec) {
+  return RasterizeSeries(M4Polyline(rows), spec);
+}
+
+M4Result MinMaxRepresentation(const std::vector<Point>& merged,
+                              const M4Query& query) {
+  SpanSet spans(query);
+  M4Result rows(static_cast<size_t>(spans.num_spans()));
+  for (const Point& p : merged) {
+    if (!spans.InQueryRange(p.t)) continue;
+    M4Row& row = rows[static_cast<size_t>(spans.IndexOf(p.t))];
+    if (!row.has_data) {
+      row.has_data = true;
+      row.first = row.last = row.bottom = row.top = p;
+      continue;
+    }
+    if (p.v < row.bottom.v) row.bottom = p;
+    if (p.v > row.top.v) row.top = p;
+  }
+  // MinMax keeps only the extremes: present them as first/last by time so
+  // the polyline builder connects them faithfully.
+  for (M4Row& row : rows) {
+    if (!row.has_data) continue;
+    const Point& earlier =
+        row.bottom.t <= row.top.t ? row.bottom : row.top;
+    const Point& later = row.bottom.t <= row.top.t ? row.top : row.bottom;
+    row.first = earlier;
+    row.last = later;
+  }
+  return rows;
+}
+
+M4Result SampledRepresentation(const std::vector<Point>& merged,
+                               const M4Query& query, size_t stride) {
+  TSVIZ_CHECK(stride > 0);
+  std::vector<Point> sampled;
+  sampled.reserve(merged.size() / stride + 1);
+  for (size_t i = 0; i < merged.size(); i += stride) {
+    sampled.push_back(merged[i]);
+  }
+  SpanSet spans(query);
+  M4Result rows(static_cast<size_t>(spans.num_spans()));
+  for (const Point& p : sampled) {
+    if (!spans.InQueryRange(p.t)) continue;
+    M4Row& row = rows[static_cast<size_t>(spans.IndexOf(p.t))];
+    if (!row.has_data) {
+      row.has_data = true;
+      row.first = row.last = row.bottom = row.top = p;
+      continue;
+    }
+    if (p.t < row.first.t) row.first = p;
+    if (p.t > row.last.t) row.last = p;
+    if (p.v < row.bottom.v) row.bottom = p;
+    if (p.v > row.top.v) row.top = p;
+  }
+  return rows;
+}
+
+}  // namespace tsviz

@@ -1,0 +1,60 @@
+#ifndef TSVIZ_VIZ_RASTERIZE_H_
+#define TSVIZ_VIZ_RASTERIZE_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "m4/m4_types.h"
+#include "m4/span.h"
+#include "viz/bitmap.h"
+
+namespace tsviz {
+
+// Rendering target: `width` pixel columns over the half-open time domain
+// [tqs, tqe) — the column of a timestamp is exactly the span index of an M4
+// query with w == width — and `height` pixel rows over the closed value
+// domain [vmin, vmax].
+struct CanvasSpec {
+  int width = 0;
+  int height = 0;
+  Timestamp tqs = 0;
+  Timestamp tqe = 0;
+  Value vmin = 0.0;
+  Value vmax = 0.0;
+};
+
+// Canvas spanning `query`'s time range with the value domain fitted to the
+// given points (vmin == vmax degenerates to a single-row band).
+CanvasSpec FitCanvas(const std::vector<Point>& points, const M4Query& query,
+                     int width, int height);
+
+// Draws the polyline through `points` (sorted by time) with the column-exact
+// line model of the M4 paper: for every pixel column a segment crosses, the
+// vertical run between the segment's entry and exit heights is lit. Under
+// this model a connected path lights exactly the rows between its per-column
+// min and max heights, which is what makes the M4 subset pixel-exact.
+Bitmap RasterizeSeries(const std::vector<Point>& points,
+                       const CanvasSpec& spec);
+
+// Flattens an M4 result into the deduplicated, time-ordered polyline of the
+// (up to) 4 representation points per span.
+std::vector<Point> M4Polyline(const M4Result& rows);
+
+// Convenience: rasterize an M4 result.
+Bitmap RasterizeM4(const M4Result& rows, const CanvasSpec& spec);
+
+// Lossy baseline representations used by the pixel-accuracy experiment to
+// show that M4's zero pixel error is not shared by other reductions
+// (Section 5.1's MinMax remark).
+
+// MinMax: per span keep only the bottom and top points.
+M4Result MinMaxRepresentation(const std::vector<Point>& merged,
+                              const M4Query& query);
+
+// Systematic sampling: keep every k-th point, presented as per-span rows.
+M4Result SampledRepresentation(const std::vector<Point>& merged,
+                               const M4Query& query, size_t stride);
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_VIZ_RASTERIZE_H_

@@ -1,0 +1,92 @@
+#include "viz/ssim.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace tsviz {
+
+double Ssim(const Bitmap& a, const Bitmap& b) {
+  TSVIZ_CHECK(a.width() == b.width() && a.height() == b.height());
+  // Standard constants for dynamic range L = 1 (binary images).
+  constexpr double kC1 = 0.01 * 0.01;
+  constexpr double kC2 = 0.03 * 0.03;
+  constexpr int kWindow = 8;
+
+  double total = 0.0;
+  size_t windows = 0;
+  for (int y0 = 0; y0 < a.height(); y0 += kWindow) {
+    for (int x0 = 0; x0 < a.width(); x0 += kWindow) {
+      const int w = std::min(kWindow, a.width() - x0);
+      const int h = std::min(kWindow, a.height() - y0);
+      const double n = static_cast<double>(w) * h;
+      double sum_a = 0;
+      double sum_b = 0;
+      double sum_aa = 0;
+      double sum_bb = 0;
+      double sum_ab = 0;
+      for (int y = y0; y < y0 + h; ++y) {
+        for (int x = x0; x < x0 + w; ++x) {
+          double pa = a.Get(x, y) ? 1.0 : 0.0;
+          double pb = b.Get(x, y) ? 1.0 : 0.0;
+          sum_a += pa;
+          sum_b += pb;
+          sum_aa += pa * pa;
+          sum_bb += pb * pb;
+          sum_ab += pa * pb;
+        }
+      }
+      double mu_a = sum_a / n;
+      double mu_b = sum_b / n;
+      double var_a = sum_aa / n - mu_a * mu_a;
+      double var_b = sum_bb / n - mu_b * mu_b;
+      double cov = sum_ab / n - mu_a * mu_b;
+      double ssim = ((2 * mu_a * mu_b + kC1) * (2 * cov + kC2)) /
+                    ((mu_a * mu_a + mu_b * mu_b + kC1) *
+                     (var_a + var_b + kC2));
+      total += ssim;
+      ++windows;
+    }
+  }
+  return windows == 0 ? 1.0 : total / static_cast<double>(windows);
+}
+
+Status WriteDiffPpm(const Bitmap& ground_truth, const Bitmap& rendered,
+                    const std::string& path) {
+  if (ground_truth.width() != rendered.width() ||
+      ground_truth.height() != rendered.height()) {
+    return Status::InvalidArgument("bitmap dimensions differ");
+  }
+  std::string ppm = "P6\n" + std::to_string(ground_truth.width()) + " " +
+                    std::to_string(ground_truth.height()) + "\n255\n";
+  for (int y = 0; y < ground_truth.height(); ++y) {
+    for (int x = 0; x < ground_truth.width(); ++x) {
+      bool truth = ground_truth.Get(x, y);
+      bool got = rendered.Get(x, y);
+      uint8_t r = 255;
+      uint8_t g = 255;
+      uint8_t b = 255;
+      if (truth && got) {
+        r = g = b = 0;  // correct: black
+      } else if (truth) {
+        g = b = 0;  // missed: red
+      } else if (got) {
+        r = g = 0;  // spurious: blue
+      }
+      ppm.push_back(static_cast<char>(r));
+      ppm.push_back(static_cast<char>(g));
+      ppm.push_back(static_cast<char>(b));
+    }
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return Status::IoError("cannot create " + path);
+  size_t written = std::fwrite(ppm.data(), 1, ppm.size(), file);
+  int rc = std::fclose(file);
+  if (written != ppm.size() || rc != 0) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace tsviz

@@ -1,0 +1,25 @@
+#ifndef TSVIZ_VIZ_SSIM_H_
+#define TSVIZ_VIZ_SSIM_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "viz/bitmap.h"
+
+namespace tsviz {
+
+// Structural similarity (SSIM, Wang et al. 2004) between two binary
+// renderings, computed over 8x8 windows with the standard stabilizing
+// constants — the perceptual metric the original M4 evaluation (VLDB'14)
+// reports alongside raw pixel error. 1.0 means structurally identical.
+double Ssim(const Bitmap& a, const Bitmap& b);
+
+// Color diff overlay for visual debugging: pixels lit in both renderings
+// are black, pixels only in `ground_truth` (missed) are red, pixels only in
+// `rendered` (spurious) are blue. Written as a binary PPM (P6).
+Status WriteDiffPpm(const Bitmap& ground_truth, const Bitmap& rendered,
+                    const std::string& path);
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_VIZ_SSIM_H_

@@ -1,0 +1,67 @@
+#include "workload/csv.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace tsviz {
+
+Status SavePointsCsv(const std::vector<Point>& points,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    return Status::IoError("cannot create " + path);
+  }
+  out << "timestamp,value\n";
+  out.precision(17);
+  for (const Point& p : points) {
+    out << p.t << "," << p.v << "\n";
+  }
+  out.flush();
+  if (!out.good()) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Point>> LoadPointsCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::vector<Point> points;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    // Skip a header line.
+    if (line_no == 1 && line.find_first_not_of("0123456789-") == 0 &&
+        !std::isdigit(static_cast<unsigned char>(line[0])) &&
+        line[0] != '-') {
+      continue;
+    }
+    size_t comma = line.find(',');
+    if (comma == std::string::npos) {
+      return Status::Corruption(path + ":" + std::to_string(line_no) +
+                                ": missing comma");
+    }
+    errno = 0;
+    char* end = nullptr;
+    long long t = std::strtoll(line.c_str(), &end, 10);
+    if (errno != 0 || end != line.c_str() + comma) {
+      return Status::Corruption(path + ":" + std::to_string(line_no) +
+                                ": bad timestamp");
+    }
+    errno = 0;
+    double v = std::strtod(line.c_str() + comma + 1, &end);
+    if (errno != 0 || end == line.c_str() + comma + 1) {
+      return Status::Corruption(path + ":" + std::to_string(line_no) +
+                                ": bad value");
+    }
+    points.push_back(Point{static_cast<Timestamp>(t), v});
+  }
+  return points;
+}
+
+}  // namespace tsviz

@@ -1,0 +1,22 @@
+#ifndef TSVIZ_WORKLOAD_CSV_H_
+#define TSVIZ_WORKLOAD_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace tsviz {
+
+// Minimal CSV import/export ("timestamp,value" per line, optional header)
+// so users can run the operators over their own series.
+
+Status SavePointsCsv(const std::vector<Point>& points,
+                     const std::string& path);
+
+Result<std::vector<Point>> LoadPointsCsv(const std::string& path);
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_WORKLOAD_CSV_H_

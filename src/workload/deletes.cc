@@ -1,0 +1,43 @@
+#include "workload/deletes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsviz {
+
+std::vector<TimeRange> PlanDeleteRanges(const TsStore& store,
+                                        const DeleteWorkloadSpec& spec) {
+  std::vector<TimeRange> ranges;
+  const auto& chunks = store.chunks();
+  if (chunks.empty() || spec.delete_fraction <= 0.0) return ranges;
+
+  Rng rng(spec.seed);
+  size_t n_deletes = static_cast<size_t>(std::llround(
+      spec.delete_fraction * static_cast<double>(chunks.size())));
+  ranges.reserve(n_deletes);
+  for (size_t i = 0; i < n_deletes; ++i) {
+    const ChunkHandle& chunk =
+        chunks[static_cast<size_t>(rng.Uniform(
+            0, static_cast<int64_t>(chunks.size()) - 1))];
+    TimeRange interval = chunk.meta->Interval();
+    // Interval length 0 (single-point chunk) still yields a 1-tick delete.
+    int64_t span = interval.end - interval.start;
+    int64_t length = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(
+               spec.range_scale * static_cast<double>(span))));
+    Timestamp start =
+        interval.start +
+        (span > 0 ? rng.Uniform(0, span) : 0);
+    ranges.push_back(TimeRange(start, start + length - 1));
+  }
+  return ranges;
+}
+
+Status ApplyDeleteWorkload(TsStore* store, const DeleteWorkloadSpec& spec) {
+  for (const TimeRange& range : PlanDeleteRanges(*store, spec)) {
+    TSVIZ_RETURN_IF_ERROR(store->DeleteRange(range));
+  }
+  return Status::OK();
+}
+
+}  // namespace tsviz

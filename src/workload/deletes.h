@@ -1,0 +1,38 @@
+#ifndef TSVIZ_WORKLOAD_DELETES_H_
+#define TSVIZ_WORKLOAD_DELETES_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/time_range.h"
+#include "storage/store.h"
+
+namespace tsviz {
+
+// Delete workload for the experiments of Sections 4.4 and 4.5.
+struct DeleteWorkloadSpec {
+  // Number of deletes as a fraction of the number of chunks ("delete
+  // percentage", Figure 13's x-axis).
+  double delete_fraction = 0.0;
+
+  // Length of each delete range as a fraction of the targeted chunk's time
+  // interval. Small by default ("the delete time range of each delete is
+  // small compared to the chunk time interval length"); Figure 14 scales it.
+  double range_scale = 0.1;
+
+  uint64_t seed = 7;
+};
+
+// Plans the delete ranges against the store's current chunks: each delete
+// lands at a random position inside a randomly picked chunk, sized relative
+// to that chunk's interval.
+std::vector<TimeRange> PlanDeleteRanges(const TsStore& store,
+                                        const DeleteWorkloadSpec& spec);
+
+// Plans and applies the deletes.
+Status ApplyDeleteWorkload(TsStore* store, const DeleteWorkloadSpec& spec);
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_WORKLOAD_DELETES_H_

@@ -1,0 +1,187 @@
+#include "workload/generator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace tsviz {
+
+namespace {
+
+// Timestamps are microseconds throughout the generators.
+constexpr int64_t kMillisecond = 1000;
+constexpr int64_t kSecond = 1000 * kMillisecond;
+
+// Appends `n` timestamps at a fixed cadence with occasional transmission
+// gaps (probability `gap_prob` per point, gap length `gap_lo..gap_hi`
+// multiples of the cadence) — producing exactly the tilt/level step shape of
+// Figure 8.
+void RegularWithGaps(size_t n, Timestamp start, int64_t delta,
+                     double gap_prob, int64_t gap_lo, int64_t gap_hi,
+                     Rng* rng, std::vector<Timestamp>* out) {
+  Timestamp t = start;
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(t);
+    t += delta;
+    if (gap_prob > 0.0 && rng->Bernoulli(gap_prob)) {
+      t += delta * rng->Uniform(gap_lo, gap_hi);
+    }
+  }
+}
+
+// Two-state (dense/sparse) Markov arrival process: long dense runs at
+// `dense_delta` alternate with sparse stretches at `sparse_delta`, yielding
+// the skewed time distribution of KOB/RcvTime where consecutive chunks cover
+// wildly different time-interval lengths.
+void SkewedArrivals(size_t n, Timestamp start, int64_t dense_delta,
+                    int64_t sparse_delta, double switch_to_sparse,
+                    double switch_to_dense, Rng* rng,
+                    std::vector<Timestamp>* out) {
+  Timestamp t = start;
+  bool dense = true;
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(t);
+    int64_t base = dense ? dense_delta : sparse_delta;
+    // Small jitter keeps deltas non-degenerate without breaking the regime.
+    t += base + rng->Uniform(0, base / 8);
+    if (dense ? rng->Bernoulli(switch_to_sparse)
+              : rng->Bernoulli(switch_to_dense)) {
+      dense = !dense;
+    }
+  }
+}
+
+std::vector<Point> BallSpeedLike(const DatasetSpec& spec, size_t n) {
+  Rng rng(spec.seed);
+  std::vector<Timestamp> ts;
+  ts.reserve(n);
+  // 2000 Hz -> 500us cadence; rare short interruptions.
+  RegularWithGaps(n, spec.start_time, 500, 2e-4, 50, 2000, &rng, &ts);
+  std::vector<Point> points;
+  points.reserve(n);
+  // Ball speed: near-zero idling with exponentially decaying kick spikes.
+  double speed = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(5e-5)) {
+      speed = rng.UniformReal(20.0, 120.0);  // a kick
+    }
+    speed *= 0.9995;
+    double v = speed + std::abs(rng.Gaussian(0.0, 0.3));
+    points.push_back(Point{ts[i], v});
+  }
+  return points;
+}
+
+std::vector<Point> Mf03Like(const DatasetSpec& spec, size_t n) {
+  Rng rng(spec.seed + 1);
+  std::vector<Timestamp> ts;
+  ts.reserve(n);
+  // ~100 Hz -> 10ms cadence; occasional equipment stalls.
+  RegularWithGaps(n, spec.start_time, 10 * kMillisecond, 1e-4, 100, 5000,
+                  &rng, &ts);
+  std::vector<Point> points;
+  points.reserve(n);
+  // Electrical power main phase: mains hum + slow drift + noise.
+  double drift = 60.0;
+  for (size_t i = 0; i < n; ++i) {
+    drift += rng.Gaussian(0.0, 0.002);
+    double hum =
+        8.0 * std::sin(2.0 * M_PI * static_cast<double>(i) / 1024.0);
+    points.push_back(Point{ts[i], drift + hum + rng.Gaussian(0.0, 0.5)});
+  }
+  return points;
+}
+
+std::vector<Point> KobLike(const DatasetSpec& spec, size_t n) {
+  Rng rng(spec.seed + 2);
+  std::vector<Timestamp> ts;
+  ts.reserve(n);
+  // 4 months / ~1.9M points: dense bursts at 1s, sparse stretches ~2min.
+  SkewedArrivals(n, spec.start_time, kSecond, 120 * kSecond, 0.002, 0.02,
+                 &rng, &ts);
+  std::vector<Point> points;
+  points.reserve(n);
+  double level = 500.0;
+  for (size_t i = 0; i < n; ++i) {
+    level += rng.Gaussian(0.0, 1.5);  // random walk
+    points.push_back(Point{ts[i], level});
+  }
+  return points;
+}
+
+std::vector<Point> RcvTimeLike(const DatasetSpec& spec, size_t n) {
+  Rng rng(spec.seed + 3);
+  std::vector<Timestamp> ts;
+  ts.reserve(n);
+  // 1 year / ~1.3M points: strong skew, long silent periods.
+  SkewedArrivals(n, spec.start_time, 2 * kSecond, 900 * kSecond, 0.001, 0.05,
+                 &rng, &ts);
+  std::vector<Point> points;
+  points.reserve(n);
+  // Mostly flat with occasional level shifts and outliers.
+  double level = 100.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(2e-5)) level = rng.UniformReal(50.0, 300.0);
+    double v = level + rng.Gaussian(0.0, 0.8);
+    if (rng.Bernoulli(1e-4)) v += rng.UniformReal(200.0, 800.0);  // outlier
+    points.push_back(Point{ts[i], v});
+  }
+  return points;
+}
+
+}  // namespace
+
+std::string DatasetName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kBallSpeed:
+      return "BallSpeed";
+    case DatasetKind::kMf03:
+      return "MF03";
+    case DatasetKind::kKob:
+      return "KOB";
+    case DatasetKind::kRcvTime:
+      return "RcvTime";
+  }
+  return "unknown";
+}
+
+size_t PaperPointCount(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kBallSpeed:
+      return 7193200;
+    case DatasetKind::kMf03:
+      return 10000000;
+    case DatasetKind::kKob:
+      return 1943180;
+    case DatasetKind::kRcvTime:
+      return 1330764;
+  }
+  return 0;
+}
+
+const std::vector<DatasetKind>& AllDatasetKinds() {
+  static const std::vector<DatasetKind> kKinds = {
+      DatasetKind::kBallSpeed, DatasetKind::kMf03, DatasetKind::kKob,
+      DatasetKind::kRcvTime};
+  return kKinds;
+}
+
+std::vector<Point> GenerateDataset(const DatasetSpec& spec) {
+  size_t n = spec.num_points == 0 ? PaperPointCount(spec.kind)
+                                  : spec.num_points;
+  TSVIZ_CHECK(n > 0);
+  switch (spec.kind) {
+    case DatasetKind::kBallSpeed:
+      return BallSpeedLike(spec, n);
+    case DatasetKind::kMf03:
+      return Mf03Like(spec, n);
+    case DatasetKind::kKob:
+      return KobLike(spec, n);
+    case DatasetKind::kRcvTime:
+      return RcvTimeLike(spec, n);
+  }
+  return {};
+}
+
+}  // namespace tsviz

@@ -1,0 +1,42 @@
+#ifndef TSVIZ_WORKLOAD_GENERATOR_H_
+#define TSVIZ_WORKLOAD_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tsviz {
+
+// Synthetic stand-ins for the paper's four real-world datasets (Table 2).
+// The raw data (Fraunhofer BallSpeed, DEBS'12 MF03, and the proprietary
+// KOB/RcvTime customer series) is not available offline; these generators
+// reproduce the properties the experiments actually exercise — cardinality,
+// collection frequency, transmission-gap structure (the step pattern of
+// Figure 8) and time-distribution skew (which drives the KOB/RcvTime
+// behaviour in Figures 10/14) — as documented in DESIGN.md.
+enum class DatasetKind { kBallSpeed, kMf03, kKob, kRcvTime };
+
+struct DatasetSpec {
+  DatasetKind kind = DatasetKind::kMf03;
+  size_t num_points = 0;        // 0 = the paper's full size (Table 2)
+  Timestamp start_time = 1600000000000000;  // microseconds
+  uint64_t seed = 42;
+};
+
+// Name as used in the paper's figures.
+std::string DatasetName(DatasetKind kind);
+
+// The paper's full point count for a dataset (Table 2).
+size_t PaperPointCount(DatasetKind kind);
+
+// All four kinds, in the paper's order.
+const std::vector<DatasetKind>& AllDatasetKinds();
+
+// Generates the series: strictly increasing timestamps, values per the
+// dataset's characteristic model. Deterministic in spec.seed.
+std::vector<Point> GenerateDataset(const DatasetSpec& spec);
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,88 @@
+#include "workload/ooo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/time_range.h"
+
+namespace tsviz {
+
+std::vector<Point> MakeOverlappingOrder(const std::vector<Point>& sorted,
+                                        size_t chunk_size,
+                                        double overlap_fraction, Rng* rng) {
+  TSVIZ_CHECK(chunk_size > 1);
+  std::vector<Point> arrivals = sorted;
+  const size_t n_batches = arrivals.size() / chunk_size;
+  if (n_batches < 2 || overlap_fraction <= 0.0) return arrivals;
+
+  // Each selected boundary makes 2 chunks overlapping.
+  size_t target_overlapping = static_cast<size_t>(
+      std::llround(overlap_fraction * static_cast<double>(n_batches)));
+  size_t n_boundaries =
+      std::min(target_overlapping / 2, (n_batches - 1) / 2 + 1);
+  if (n_boundaries == 0 && target_overlapping > 0) n_boundaries = 1;
+  if (n_boundaries == 0) return arrivals;
+
+  // Evenly spaced boundaries, never adjacent, so overlaps do not chain.
+  const double step =
+      static_cast<double>(n_batches - 1) / static_cast<double>(n_boundaries);
+  size_t swap = std::max<size_t>(1, chunk_size / 4);
+  size_t prev_boundary = static_cast<size_t>(-2);
+  for (size_t b = 0; b < n_boundaries; ++b) {
+    size_t boundary = static_cast<size_t>(
+        std::llround(static_cast<double>(b) * step)) ;
+    if (boundary >= n_batches - 1) boundary = n_batches - 2;
+    if (prev_boundary != static_cast<size_t>(-2) &&
+        boundary <= prev_boundary + 1) {
+      boundary = prev_boundary + 2;
+      if (boundary >= n_batches - 1) break;
+    }
+    prev_boundary = boundary;
+    // Swap the tail of batch `boundary` with the head of the next batch in
+    // the arrival stream: the late tail lands in the next chunk and the
+    // early head in this one, making both chunks overlap in time.
+    Point* tail = arrivals.data() + (boundary + 1) * chunk_size - swap;
+    Point* head = arrivals.data() + (boundary + 1) * chunk_size;
+    for (size_t i = 0; i < swap; ++i) {
+      std::swap(tail[i], head[i]);
+    }
+  }
+  return arrivals;
+}
+
+double MeasureBatchOverlap(const std::vector<Point>& arrivals,
+                           size_t chunk_size) {
+  const size_t n_batches = arrivals.size() / chunk_size;
+  if (n_batches < 2) return 0.0;
+  std::vector<TimeRange> intervals;
+  intervals.reserve(n_batches + 1);
+  for (size_t b = 0; b * chunk_size < arrivals.size(); ++b) {
+    size_t begin = b * chunk_size;
+    size_t end = std::min(arrivals.size(), begin + chunk_size);
+    Timestamp lo = kMaxTimestamp;
+    Timestamp hi = kMinTimestamp;
+    for (size_t i = begin; i < end; ++i) {
+      lo = std::min(lo, arrivals[i].t);
+      hi = std::max(hi, arrivals[i].t);
+    }
+    intervals.push_back(TimeRange(lo, hi));
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const TimeRange& a, const TimeRange& b) {
+              return a.start < b.start;
+            });
+  size_t overlapping = 0;
+  Timestamp max_end_before = kMinTimestamp;
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    bool with_earlier = i > 0 && intervals[i].start <= max_end_before;
+    bool with_later =
+        i + 1 < intervals.size() && intervals[i + 1].start <= intervals[i].end;
+    if (with_earlier || with_later) ++overlapping;
+    max_end_before = std::max(max_end_before, intervals[i].end);
+  }
+  return static_cast<double>(overlapping) /
+         static_cast<double>(intervals.size());
+}
+
+}  // namespace tsviz

@@ -1,0 +1,34 @@
+#ifndef TSVIZ_WORKLOAD_OOO_H_
+#define TSVIZ_WORKLOAD_OOO_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace tsviz {
+
+// Out-of-order arrival synthesis for the chunk-overlap experiment
+// (Section 4.3): "write the points in different orders, leading to various
+// chunk overlap rates".
+//
+// Points are partitioned into consecutive batches of `chunk_size`, the unit
+// the memtable flushes at (one batch = one chunk on disk). At a selected
+// batch boundary the tail of the earlier batch arrives late — swapped with
+// the head of the next batch — so both resulting chunks cover overlapping
+// time intervals. Boundaries are spaced out so each selection turns exactly
+// two chunks into overlapping ones, letting `overlap_fraction` (0.0 - ~0.9)
+// hit its target.
+std::vector<Point> MakeOverlappingOrder(const std::vector<Point>& sorted,
+                                        size_t chunk_size,
+                                        double overlap_fraction, Rng* rng);
+
+// Measures the fraction of batches whose time interval overlaps another
+// batch's under the given arrival order — the ground truth for what the
+// store will exhibit.
+double MeasureBatchOverlap(const std::vector<Point>& arrivals,
+                           size_t chunk_size);
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_WORKLOAD_OOO_H_

@@ -1,0 +1,194 @@
+#include "m4/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/random.h"
+#include "m4/reference.h"
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+StoreConfig TestConfig(const std::string& dir) {
+  StoreConfig config;
+  config.data_dir = dir;
+  config.points_per_chunk = 40;
+  config.memtable_flush_threshold = 40;
+  config.encoding.page_size_points = 16;
+  return config;
+}
+
+// Naive per-span aggregation over a merged series.
+std::vector<AggregateRow> NaiveGroupBy(const std::vector<Point>& merged,
+                                       const M4Query& query,
+                                       Aggregation aggregation) {
+  SpanSet spans(query);
+  std::vector<uint64_t> counts(static_cast<size_t>(spans.num_spans()));
+  std::vector<double> sums(counts.size());
+  std::vector<double> mins(counts.size());
+  std::vector<double> maxs(counts.size());
+  std::vector<double> firsts(counts.size());
+  std::vector<double> lasts(counts.size());
+  for (const Point& p : merged) {
+    if (!spans.InQueryRange(p.t)) continue;
+    size_t i = static_cast<size_t>(spans.IndexOf(p.t));
+    if (counts[i] == 0) {
+      mins[i] = maxs[i] = firsts[i] = p.v;
+    } else {
+      mins[i] = std::min(mins[i], p.v);
+      maxs[i] = std::max(maxs[i], p.v);
+    }
+    lasts[i] = p.v;
+    sums[i] += p.v;
+    ++counts[i];
+  }
+  std::vector<AggregateRow> rows(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    rows[i].has_data = true;
+    switch (aggregation) {
+      case Aggregation::kFirstValue:
+        rows[i].value = firsts[i];
+        break;
+      case Aggregation::kLastValue:
+        rows[i].value = lasts[i];
+        break;
+      case Aggregation::kMin:
+        rows[i].value = mins[i];
+        break;
+      case Aggregation::kMax:
+        rows[i].value = maxs[i];
+        break;
+      case Aggregation::kCount:
+        rows[i].value = static_cast<double>(counts[i]);
+        break;
+      case Aggregation::kSum:
+        rows[i].value = sums[i];
+        break;
+      case Aggregation::kAvg:
+        rows[i].value = sums[i] / static_cast<double>(counts[i]);
+        break;
+    }
+  }
+  return rows;
+}
+
+constexpr Aggregation kAllAggregations[] = {
+    Aggregation::kFirstValue, Aggregation::kLastValue, Aggregation::kMin,
+    Aggregation::kMax,        Aggregation::kCount,     Aggregation::kSum,
+    Aggregation::kAvg};
+
+TEST(AggregateTest, MergeFreeClassification) {
+  EXPECT_TRUE(IsMergeFree(Aggregation::kFirstValue));
+  EXPECT_TRUE(IsMergeFree(Aggregation::kLastValue));
+  EXPECT_TRUE(IsMergeFree(Aggregation::kMin));
+  EXPECT_TRUE(IsMergeFree(Aggregation::kMax));
+  EXPECT_FALSE(IsMergeFree(Aggregation::kCount));
+  EXPECT_FALSE(IsMergeFree(Aggregation::kSum));
+  EXPECT_FALSE(IsMergeFree(Aggregation::kAvg));
+}
+
+TEST(AggregateTest, SimpleSeriesAllAggregations) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  std::vector<Point> points;
+  for (int i = 0; i < 80; ++i) {
+    points.push_back(Point{i * 5, static_cast<double>((i * 11) % 23)});
+  }
+  ASSERT_OK(store->WriteAll(points));
+  ASSERT_OK(store->Flush());
+
+  M4Query query{0, 400, 8};
+  for (Aggregation aggregation : kAllAggregations) {
+    ASSERT_OK_AND_ASSIGN(
+        std::vector<AggregateRow> rows,
+        RunGroupBy(*store, query, aggregation, nullptr));
+    std::vector<AggregateRow> expected =
+        NaiveGroupBy(points, query, aggregation);
+    ASSERT_EQ(rows.size(), expected.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(rows[i].has_data, expected[i].has_data);
+      EXPECT_DOUBLE_EQ(rows[i].value, expected[i].value)
+          << "agg " << static_cast<int>(aggregation) << " span " << i;
+    }
+  }
+}
+
+TEST(AggregateTest, MergeFreeAggsAvoidChunkLoads) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  ASSERT_OK(store->WriteAll(MakeLinearSeries(400, 0, 10)));
+  ASSERT_OK(store->Flush());
+  // Spans aligned with whole chunks.
+  M4Query query{0, 4000, 2};
+  QueryStats min_stats;
+  ASSERT_OK(RunGroupBy(*store, query, Aggregation::kMin, &min_stats)
+                .status());
+  EXPECT_EQ(min_stats.chunks_loaded, 0u);
+  QueryStats count_stats;
+  ASSERT_OK(RunGroupBy(*store, query, Aggregation::kCount, &count_stats)
+                .status());
+  EXPECT_EQ(count_stats.chunks_loaded, 10u);  // scan path loads everything
+}
+
+TEST(AggregateTest, InvalidQueryRejected) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  EXPECT_FALSE(
+      RunGroupBy(*store, M4Query{0, 0, 4}, Aggregation::kMin, nullptr).ok());
+}
+
+class AggregateProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AggregateProperty, MatchesNaiveOnMessyStores) {
+  Rng rng(GetParam());
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  const Timestamp domain = 2000;
+  for (int round = 0; round < 4; ++round) {
+    if (round > 0 && rng.Bernoulli(0.5)) {
+      Timestamp start = rng.Uniform(0, domain);
+      ASSERT_OK(store->DeleteRange(
+          TimeRange(start, start + rng.Uniform(1, domain / 5))));
+    }
+    int n = static_cast<int>(rng.Uniform(10, 120));
+    for (int i = 0; i < n; ++i) {
+      ASSERT_OK(store->Write(rng.Uniform(0, domain),
+                             std::round(rng.Gaussian(0, 40))));
+    }
+    ASSERT_OK(store->Flush());
+  }
+  std::vector<Point> merged =
+      ReferenceMerge(DumpChunks(*store), DumpDeletes(*store));
+
+  M4Query query{rng.Uniform(0, 100), 0, rng.Uniform(1, 40)};
+  query.tqe = query.tqs + rng.Uniform(1, domain);
+  for (Aggregation aggregation : kAllAggregations) {
+    ASSERT_OK_AND_ASSIGN(
+        std::vector<AggregateRow> rows,
+        RunGroupBy(*store, query, aggregation, nullptr));
+    std::vector<AggregateRow> expected =
+        NaiveGroupBy(merged, query, aggregation);
+    ASSERT_EQ(rows.size(), expected.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      ASSERT_EQ(rows[i].has_data, expected[i].has_data)
+          << "seed " << GetParam() << " span " << i;
+      ASSERT_NEAR(rows[i].value, expected[i].value, 1e-9)
+          << "seed " << GetParam() << " agg "
+          << static_cast<int>(aggregation) << " span " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregateProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+}  // namespace
+}  // namespace tsviz

@@ -1,0 +1,114 @@
+#include "encoding/bit_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+TEST(BitStreamTest, SingleBits) {
+  BitWriter writer;
+  writer.WriteBit(true);
+  writer.WriteBit(false);
+  writer.WriteBit(true);
+  std::string bytes = writer.Finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[0]), 0b10100000);
+
+  BitReader reader(bytes);
+  ASSERT_OK_AND_ASSIGN(bool b1, reader.ReadBit());
+  ASSERT_OK_AND_ASSIGN(bool b2, reader.ReadBit());
+  ASSERT_OK_AND_ASSIGN(bool b3, reader.ReadBit());
+  EXPECT_TRUE(b1);
+  EXPECT_FALSE(b2);
+  EXPECT_TRUE(b3);
+}
+
+TEST(BitStreamTest, MultiBitValuesCrossByteBoundaries) {
+  BitWriter writer;
+  writer.WriteBits(0b101, 3);
+  writer.WriteBits(0xdead, 16);
+  writer.WriteBits(0x1ffffffffull, 33);
+  std::string bytes = writer.Finish();
+
+  BitReader reader(bytes);
+  ASSERT_OK_AND_ASSIGN(uint64_t a, reader.ReadBits(3));
+  ASSERT_OK_AND_ASSIGN(uint64_t b, reader.ReadBits(16));
+  ASSERT_OK_AND_ASSIGN(uint64_t c, reader.ReadBits(33));
+  EXPECT_EQ(a, 0b101u);
+  EXPECT_EQ(b, 0xdeadu);
+  EXPECT_EQ(c, 0x1ffffffffull);
+}
+
+TEST(BitStreamTest, Full64BitValue) {
+  BitWriter writer;
+  writer.WriteBits(0xfedcba9876543210ull, 64);
+  std::string bytes = writer.Finish();
+  BitReader reader(bytes);
+  ASSERT_OK_AND_ASSIGN(uint64_t v, reader.ReadBits(64));
+  EXPECT_EQ(v, 0xfedcba9876543210ull);
+}
+
+TEST(BitStreamTest, WriterMasksHighBits) {
+  BitWriter writer;
+  writer.WriteBits(0xff, 4);  // only the low 4 bits count
+  std::string bytes = writer.Finish();
+  BitReader reader(bytes);
+  ASSERT_OK_AND_ASSIGN(uint64_t v, reader.ReadBits(4));
+  EXPECT_EQ(v, 0xfu);
+}
+
+TEST(BitStreamTest, ZeroBitWriteAndRead) {
+  BitWriter writer;
+  writer.WriteBits(123, 0);
+  EXPECT_EQ(writer.bit_count(), 0u);
+  std::string bytes = writer.Finish();
+  EXPECT_TRUE(bytes.empty());
+  BitReader reader(bytes);
+  ASSERT_OK_AND_ASSIGN(uint64_t v, reader.ReadBits(0));
+  EXPECT_EQ(v, 0u);
+}
+
+TEST(BitStreamTest, ReadPastEndIsCorruption) {
+  BitWriter writer;
+  writer.WriteBits(0b1010, 4);
+  std::string bytes = writer.Finish();  // padded to 8 bits
+  BitReader reader(bytes);
+  ASSERT_OK(reader.ReadBits(8).status());
+  EXPECT_EQ(reader.ReadBits(1).status().code(), StatusCode::kCorruption);
+}
+
+TEST(BitStreamTest, InvalidBitCountRejected) {
+  BitReader reader("somedata");
+  EXPECT_EQ(reader.ReadBits(65).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(reader.ReadBits(-1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BitStreamTest, RandomRoundTrip) {
+  Rng rng(99);
+  std::vector<std::pair<uint64_t, int>> items;
+  BitWriter writer;
+  for (int i = 0; i < 2000; ++i) {
+    int bits = static_cast<int>(rng.Uniform(1, 64));
+    uint64_t value = static_cast<uint64_t>(rng.Uniform(0, 1 << 30)) *
+                     static_cast<uint64_t>(rng.Uniform(0, 1 << 30));
+    if (bits < 64) value &= (uint64_t{1} << bits) - 1;
+    items.emplace_back(value, bits);
+    writer.WriteBits(value, bits);
+  }
+  std::string bytes = writer.Finish();
+  BitReader reader(bytes);
+  for (const auto& [value, bits] : items) {
+    ASSERT_OK_AND_ASSIGN(uint64_t decoded, reader.ReadBits(bits));
+    ASSERT_EQ(decoded, value);
+  }
+}
+
+}  // namespace
+}  // namespace tsviz

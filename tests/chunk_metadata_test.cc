@@ -1,0 +1,106 @@
+#include "storage/chunk_metadata.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+TEST(ComputeChunkStatsTest, BasicStats) {
+  std::vector<Point> points = {
+      {10, 5.0}, {20, -2.0}, {30, 9.0}, {40, 1.0}, {50, 3.0}};
+  ChunkStats stats = ComputeChunkStats(points);
+  EXPECT_EQ(stats.first, (Point{10, 5.0}));
+  EXPECT_EQ(stats.last, (Point{50, 3.0}));
+  EXPECT_EQ(stats.bottom, (Point{20, -2.0}));
+  EXPECT_EQ(stats.top, (Point{30, 9.0}));
+}
+
+TEST(ComputeChunkStatsTest, TiesResolveToEarliestPoint) {
+  std::vector<Point> points = {{1, 7.0}, {2, 7.0}, {3, 7.0}};
+  ChunkStats stats = ComputeChunkStats(points);
+  EXPECT_EQ(stats.bottom.t, 1);
+  EXPECT_EQ(stats.top.t, 1);
+}
+
+TEST(ComputeChunkStatsTest, SinglePoint) {
+  ChunkStats stats = ComputeChunkStats({{42, 3.14}});
+  EXPECT_EQ(stats.first, stats.last);
+  EXPECT_EQ(stats.bottom, stats.top);
+  EXPECT_EQ(stats.first, (Point{42, 3.14}));
+}
+
+TEST(ComputeChunkStatsTest, NegativeValuesAndTimes) {
+  std::vector<Point> points = {{-100, -1e9}, {-50, 1e9}, {0, 0.0}};
+  ChunkStats stats = ComputeChunkStats(points);
+  EXPECT_EQ(stats.first.t, -100);
+  EXPECT_EQ(stats.bottom.v, -1e9);
+  EXPECT_EQ(stats.top.v, 1e9);
+}
+
+ChunkMetadata SampleMetadata() {
+  ChunkMetadata meta;
+  meta.version = 17;
+  meta.count = 1000;
+  meta.stats.first = {100, 1.5};
+  meta.stats.last = {10090, -2.5};
+  meta.stats.bottom = {505, -77.25};
+  meta.stats.top = {9999, 1234.0};
+  meta.data_offset = 4096;
+  meta.data_length = 8192;
+  meta.pages = {{200, 100, 2090, 0, 900}, {300, 2100, 5090, 900, 1200},
+                {500, 5100, 10090, 2100, 6092}};
+  std::vector<Timestamp> ts;
+  for (int i = 0; i < 1000; ++i) ts.push_back(100 + i * 10);
+  meta.index = FitStepRegression(ts);
+  return meta;
+}
+
+TEST(ChunkMetadataTest, SerializationRoundTrip) {
+  ChunkMetadata meta = SampleMetadata();
+  std::string buf;
+  meta.SerializeTo(&buf);
+  std::string_view view = buf;
+  ASSERT_OK_AND_ASSIGN(ChunkMetadata decoded,
+                       ChunkMetadata::Deserialize(&view));
+  EXPECT_EQ(decoded, meta);
+  EXPECT_TRUE(view.empty());
+}
+
+TEST(ChunkMetadataTest, IntervalComesFromFirstAndLast) {
+  ChunkMetadata meta = SampleMetadata();
+  EXPECT_EQ(meta.Interval(), TimeRange(100, 10090));
+}
+
+TEST(ChunkMetadataTest, TruncatedDeserializeFails) {
+  ChunkMetadata meta = SampleMetadata();
+  std::string buf;
+  meta.SerializeTo(&buf);
+  for (size_t keep = 0; keep < buf.size(); keep += 13) {
+    std::string_view view(buf.data(), keep);
+    EXPECT_FALSE(ChunkMetadata::Deserialize(&view).ok())
+        << "prefix of " << keep << " bytes decoded successfully";
+  }
+}
+
+TEST(ChunkMetadataTest, MultipleSerializedBackToBack) {
+  ChunkMetadata a = SampleMetadata();
+  ChunkMetadata b = SampleMetadata();
+  b.version = 18;
+  b.data_offset = 999;
+  std::string buf;
+  a.SerializeTo(&buf);
+  b.SerializeTo(&buf);
+  std::string_view view = buf;
+  ASSERT_OK_AND_ASSIGN(ChunkMetadata da, ChunkMetadata::Deserialize(&view));
+  ASSERT_OK_AND_ASSIGN(ChunkMetadata db, ChunkMetadata::Deserialize(&view));
+  EXPECT_EQ(da, a);
+  EXPECT_EQ(db, b);
+  EXPECT_TRUE(view.empty());
+}
+
+}  // namespace
+}  // namespace tsviz

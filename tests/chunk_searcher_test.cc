@@ -1,0 +1,209 @@
+#include "index/chunk_searcher.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "encoding/page.h"
+#include "index/binary_search_index.h"
+#include "index/page_provider.h"
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+// In-memory provider that also counts page materializations.
+class FakeProvider : public PageProvider {
+ public:
+  FakeProvider(std::vector<Point> points, size_t page_size) {
+    for (size_t begin = 0; begin < points.size(); begin += page_size) {
+      size_t end = std::min(points.size(), begin + page_size);
+      std::vector<Point> page(points.begin() + begin, points.begin() + end);
+      PageInfo info;
+      info.count = static_cast<uint32_t>(page.size());
+      info.min_t = page.front().t;
+      info.max_t = page.back().t;
+      pages_meta_.push_back(info);
+      pages_data_.push_back(std::move(page));
+    }
+    total_ = points.size();
+  }
+
+  const std::vector<PageInfo>& pages() const override { return pages_meta_; }
+
+  Result<const std::vector<Point>*> GetPage(size_t i) override {
+    if (i >= pages_data_.size()) return Status::OutOfRange("bad page");
+    ++decodes_;
+    return &pages_data_[i];
+  }
+
+  uint64_t num_points() const override { return total_; }
+  uint64_t decodes() const { return decodes_; }
+
+ private:
+  std::vector<PageInfo> pages_meta_;
+  std::vector<std::vector<Point>> pages_data_;
+  uint64_t total_ = 0;
+  uint64_t decodes_ = 0;
+};
+
+std::vector<Point> GappyPoints(size_t n) {
+  std::vector<Point> points;
+  Timestamp t = 1000;
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back(Point{t, static_cast<double>(i)});
+    t += 10;
+    if (i == n / 3) t += 100000;  // one big transmission gap
+    if (i % 97 == 0) t += 5;     // mild jitter
+  }
+  return points;
+}
+
+class SearcherStrategyTest : public ::testing::TestWithParam<LocateStrategy> {
+ protected:
+  void Init(std::vector<Point> points, size_t page_size) {
+    points_ = std::move(points);
+    provider_ = std::make_unique<FakeProvider>(points_, page_size);
+    model_ = FitStepRegression(points_);
+    searcher_ = std::make_unique<ChunkSearcher>(provider_.get(), &model_,
+                                                GetParam(), &stats_);
+  }
+
+  std::vector<Point> points_;
+  std::unique_ptr<FakeProvider> provider_;
+  StepRegressionModel model_;
+  QueryStats stats_;
+  std::unique_ptr<ChunkSearcher> searcher_;
+};
+
+TEST_P(SearcherStrategyTest, FindExactHitsEveryStoredTimestamp) {
+  Init(GappyPoints(1200), 100);
+  for (size_t i = 0; i < points_.size(); i += 7) {
+    ASSERT_OK_AND_ASSIGN(std::optional<PointPos> hit,
+                         searcher_->FindExact(points_[i].t));
+    ASSERT_TRUE(hit.has_value()) << "t=" << points_[i].t;
+    EXPECT_EQ(hit->pos, i);
+    EXPECT_EQ(hit->point, points_[i]);
+  }
+}
+
+TEST_P(SearcherStrategyTest, FindExactMissesAbsentTimestamps) {
+  Init(GappyPoints(500), 64);
+  // Between two stored timestamps.
+  ASSERT_OK_AND_ASSIGN(std::optional<PointPos> miss,
+                       searcher_->FindExact(points_[10].t + 1));
+  EXPECT_FALSE(miss.has_value());
+  // Before the chunk and after the chunk.
+  ASSERT_OK_AND_ASSIGN(miss, searcher_->FindExact(points_.front().t - 1));
+  EXPECT_FALSE(miss.has_value());
+  ASSERT_OK_AND_ASSIGN(miss, searcher_->FindExact(points_.back().t + 1));
+  EXPECT_FALSE(miss.has_value());
+  // Deep inside the transmission gap.
+  ASSERT_OK_AND_ASSIGN(miss,
+                       searcher_->FindExact(points_[500 / 3].t + 50000));
+  EXPECT_FALSE(miss.has_value());
+}
+
+TEST_P(SearcherStrategyTest, FirstAtOrAfterMatchesNaive) {
+  Init(GappyPoints(800), 50);
+  Rng rng(13);
+  for (int trial = 0; trial < 500; ++trial) {
+    Timestamp t = rng.Uniform(points_.front().t - 100,
+                              points_.back().t + 100);
+    ASSERT_OK_AND_ASSIGN(std::optional<PointPos> hit,
+                         searcher_->FirstAtOrAfter(t));
+    // Naive scan.
+    const Point* expected = nullptr;
+    size_t expected_pos = 0;
+    for (size_t i = 0; i < points_.size(); ++i) {
+      if (points_[i].t >= t) {
+        expected = &points_[i];
+        expected_pos = i;
+        break;
+      }
+    }
+    if (expected == nullptr) {
+      EXPECT_FALSE(hit.has_value()) << "t=" << t;
+    } else {
+      ASSERT_TRUE(hit.has_value()) << "t=" << t;
+      EXPECT_EQ(hit->pos, expected_pos);
+      EXPECT_EQ(hit->point, *expected);
+    }
+  }
+}
+
+TEST_P(SearcherStrategyTest, LastAtOrBeforeMatchesNaive) {
+  Init(GappyPoints(800), 50);
+  Rng rng(14);
+  for (int trial = 0; trial < 500; ++trial) {
+    Timestamp t = rng.Uniform(points_.front().t - 100,
+                              points_.back().t + 100);
+    ASSERT_OK_AND_ASSIGN(std::optional<PointPos> hit,
+                         searcher_->LastAtOrBefore(t));
+    const Point* expected = nullptr;
+    size_t expected_pos = 0;
+    for (size_t i = points_.size(); i > 0; --i) {
+      if (points_[i - 1].t <= t) {
+        expected = &points_[i - 1];
+        expected_pos = i - 1;
+        break;
+      }
+    }
+    if (expected == nullptr) {
+      EXPECT_FALSE(hit.has_value()) << "t=" << t;
+    } else {
+      ASSERT_TRUE(hit.has_value()) << "t=" << t;
+      EXPECT_EQ(hit->pos, expected_pos);
+      EXPECT_EQ(hit->point, *expected);
+    }
+  }
+}
+
+TEST_P(SearcherStrategyTest, PointAtEveryPosition) {
+  Init(GappyPoints(300), 37);
+  for (size_t i = 0; i < points_.size(); ++i) {
+    ASSERT_OK_AND_ASSIGN(Point p, searcher_->PointAt(i));
+    EXPECT_EQ(p, points_[i]);
+  }
+  EXPECT_EQ(searcher_->PointAt(points_.size()).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_P(SearcherStrategyTest, LookupTouchesOnePage) {
+  Init(GappyPoints(10000), 100);
+  ASSERT_OK(searcher_->FindExact(points_[5550].t).status());
+  // Exactly one page materialized for a single probe.
+  EXPECT_EQ(provider_->decodes(), 1u);
+  EXPECT_GE(stats_.index_lookups, 1u);
+}
+
+TEST_P(SearcherStrategyTest, SinglePageChunk) {
+  Init(MakeLinearSeries(10, 100, 10), 100);
+  ASSERT_OK_AND_ASSIGN(std::optional<PointPos> hit,
+                       searcher_->FindExact(150));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->pos, 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, SearcherStrategyTest,
+                         ::testing::Values(LocateStrategy::kStepRegression,
+                                           LocateStrategy::kBinarySearch));
+
+TEST(BinarySearchLocatorTest, ForwardAndBackwardBounds) {
+  FakeProvider provider(MakeLinearSeries(100, 0, 10), 10);
+  const auto& pages = provider.pages();
+  // t before everything -> page 0 forward, none backward.
+  EXPECT_EQ(LocatePageBinary(pages, -5), 0u);
+  EXPECT_EQ(LocatePageBinaryBackward(pages, -5), pages.size());
+  // t past everything -> none forward, last page backward.
+  EXPECT_EQ(LocatePageBinary(pages, 10000), pages.size());
+  EXPECT_EQ(LocatePageBinaryBackward(pages, 10000), pages.size() - 1);
+  // t inside page 3 (timestamps 300..390).
+  EXPECT_EQ(LocatePageBinary(pages, 305), 3u);
+  EXPECT_EQ(LocatePageBinaryBackward(pages, 305), 3u);
+}
+
+}  // namespace
+}  // namespace tsviz

@@ -1,0 +1,119 @@
+#include "storage/chunk_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "encoding/page.h"
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+ChunkEncodingOptions SmallPages() {
+  ChunkEncodingOptions options;
+  options.page_size_points = 100;
+  return options;
+}
+
+TEST(ChunkWriterTest, EncodesPagesAndStats) {
+  std::vector<Point> points = MakeLinearSeries(450, 1000, 5);
+  ASSERT_OK_AND_ASSIGN(EncodedChunk chunk,
+                       EncodeChunk(points, 9, SmallPages()));
+  EXPECT_EQ(chunk.meta.version, 9u);
+  EXPECT_EQ(chunk.meta.count, 450u);
+  EXPECT_EQ(chunk.meta.pages.size(), 5u);  // 4 full + 1 partial page
+  EXPECT_EQ(chunk.meta.pages.back().count, 50u);
+  EXPECT_EQ(chunk.meta.stats.first, points.front());
+  EXPECT_EQ(chunk.meta.stats.last, points.back());
+  EXPECT_EQ(chunk.meta.data_length, chunk.blob.size());
+  EXPECT_EQ(chunk.meta.index.count, 450u);
+
+  // Pages decode back to the original points and agree with the directory.
+  std::vector<Point> decoded;
+  for (const PageInfo& page : chunk.meta.pages) {
+    std::vector<Point> page_points;
+    ASSERT_OK(DecodePage(
+        std::string_view(chunk.blob).substr(page.offset, page.length),
+        &page_points));
+    ASSERT_EQ(page_points.size(), page.count);
+    EXPECT_EQ(page_points.front().t, page.min_t);
+    EXPECT_EQ(page_points.back().t, page.max_t);
+    decoded.insert(decoded.end(), page_points.begin(), page_points.end());
+  }
+  EXPECT_EQ(decoded, points);
+}
+
+TEST(ChunkWriterTest, PageDirectoryOffsetsAreContiguous) {
+  std::vector<Point> points = MakeLinearSeries(1000, 0, 1);
+  ASSERT_OK_AND_ASSIGN(EncodedChunk chunk,
+                       EncodeChunk(points, 1, SmallPages()));
+  uint32_t expected_offset = 0;
+  for (const PageInfo& page : chunk.meta.pages) {
+    EXPECT_EQ(page.offset, expected_offset);
+    expected_offset += page.length;
+  }
+  EXPECT_EQ(expected_offset, chunk.blob.size());
+}
+
+TEST(ChunkWriterTest, RejectsEmptyChunk) {
+  EXPECT_EQ(EncodeChunk({}, 1, SmallPages()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ChunkWriterTest, RejectsUnsortedOrDuplicateTimestamps) {
+  EXPECT_EQ(EncodeChunk({{10, 1.0}, {5, 2.0}}, 1, SmallPages())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(EncodeChunk({{10, 1.0}, {10, 2.0}}, 1, SmallPages())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ChunkWriterTest, RejectsZeroPageSize) {
+  ChunkEncodingOptions options;
+  options.page_size_points = 0;
+  EXPECT_EQ(EncodeChunk({{1, 1.0}}, 1, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ChunkWriterTest, IndexDisabledStillRecordsCount) {
+  ChunkEncodingOptions options = SmallPages();
+  options.build_index = false;
+  std::vector<Point> points = MakeLinearSeries(10);
+  ASSERT_OK_AND_ASSIGN(EncodedChunk chunk, EncodeChunk(points, 1, options));
+  EXPECT_EQ(chunk.meta.index.count, 10u);
+  EXPECT_TRUE(chunk.meta.index.splits.empty());
+}
+
+TEST(ChunkWriterTest, PlainCodecsRoundTrip) {
+  ChunkEncodingOptions options = SmallPages();
+  options.ts_codec = TsCodec::kPlain;
+  options.value_codec = ValueCodec::kPlain;
+  std::vector<Point> points = MakeLinearSeries(123, -500, 3);
+  ASSERT_OK_AND_ASSIGN(EncodedChunk chunk, EncodeChunk(points, 2, options));
+  std::vector<Point> decoded;
+  for (const PageInfo& page : chunk.meta.pages) {
+    ASSERT_OK(DecodePage(
+        std::string_view(chunk.blob).substr(page.offset, page.length),
+        &decoded));
+  }
+  EXPECT_EQ(decoded, points);
+}
+
+TEST(ChunkWriterTest, CompressionBeatsPlainOnRegularData) {
+  std::vector<Point> points =
+      MakeSeries(5000, 0, 1000, [](size_t) { return 25.0; });
+  ChunkEncodingOptions compressed = SmallPages();
+  ChunkEncodingOptions plain = SmallPages();
+  plain.ts_codec = TsCodec::kPlain;
+  plain.value_codec = ValueCodec::kPlain;
+  ASSERT_OK_AND_ASSIGN(EncodedChunk c, EncodeChunk(points, 1, compressed));
+  ASSERT_OK_AND_ASSIGN(EncodedChunk p, EncodeChunk(points, 1, plain));
+  EXPECT_LT(c.blob.size() * 5, p.blob.size());
+}
+
+}  // namespace
+}  // namespace tsviz

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "common/random.h"
+#include "m4/m4_lsm.h"
+#include "m4/m4_udf.h"
+#include "read/series_reader.h"
+#include "test_util.h"
+#include "workload/generator.h"
+#include "workload/ooo.h"
+
+namespace tsviz {
+namespace {
+
+StoreConfig TestConfig(const std::string& dir) {
+  StoreConfig config;
+  config.data_dir = dir;
+  config.points_per_chunk = 50;
+  config.memtable_flush_threshold = 50;
+  config.encoding.page_size_points = 16;
+  return config;
+}
+
+TEST(CompactionTest, EmptyStoreIsNoop) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  ASSERT_OK(store->Compact());
+  EXPECT_TRUE(store->chunks().empty());
+}
+
+TEST(CompactionTest, MergesOverwritesAndAppliesDeletes) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  for (int i = 0; i < 100; ++i) ASSERT_OK(store->Write(i, 1.0));  // 2 chunks
+  for (int i = 0; i < 50; ++i) ASSERT_OK(store->Write(i * 2, 2.0));
+  ASSERT_OK(store->Flush());
+  ASSERT_OK(store->DeleteRange(TimeRange(90, 99)));
+  ASSERT_GT(store->OverlapFraction(), 0.0);
+
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Point> before,
+      ReadMergedSeries(*store, TimeRange(0, 200), nullptr));
+  ASSERT_OK(store->Compact());
+
+  // Post-conditions: no tombstones, disjoint chunks, one data file, and the
+  // merged view is unchanged.
+  EXPECT_TRUE(store->deletes().empty());
+  EXPECT_EQ(store->OverlapFraction(), 0.0);
+  EXPECT_EQ(store->TotalStoredPoints(), before.size());
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Point> after,
+      ReadMergedSeries(*store, TimeRange(0, 200), nullptr));
+  EXPECT_EQ(after, before);
+  for (const Point& p : after) {
+    EXPECT_EQ(p.v, p.t % 2 == 0 ? 2.0 : 1.0) << "t=" << p.t;
+    EXPECT_LT(p.t, 90);
+  }
+}
+
+TEST(CompactionTest, EverythingDeletedLeavesEmptyStore) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  for (int i = 0; i < 50; ++i) ASSERT_OK(store->Write(i, 1.0));
+  ASSERT_OK(store->DeleteRange(TimeRange(kMinTimestamp, kMaxTimestamp)));
+  ASSERT_OK(store->Compact());
+  EXPECT_TRUE(store->chunks().empty());
+  EXPECT_EQ(store->TotalStoredPoints(), 0u);
+}
+
+TEST(CompactionTest, SurvivesReopen) {
+  TempDir dir;
+  std::vector<Point> before;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                         TsStore::Open(TestConfig(dir.path())));
+    for (int i = 0; i < 200; ++i) ASSERT_OK(store->Write(i * 3, i * 0.5));
+    ASSERT_OK(store->Flush());
+    ASSERT_OK(store->DeleteRange(TimeRange(30, 60)));
+    ASSERT_OK(store->Compact());
+    ASSERT_OK_AND_ASSIGN(
+        before, ReadMergedSeries(*store, TimeRange(0, 1000), nullptr));
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  EXPECT_TRUE(store->deletes().empty());
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Point> after,
+      ReadMergedSeries(*store, TimeRange(0, 1000), nullptr));
+  EXPECT_EQ(after, before);
+}
+
+TEST(CompactionTest, WritesContinueAfterCompaction) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  for (int i = 0; i < 50; ++i) ASSERT_OK(store->Write(i, 1.0));
+  ASSERT_OK(store->Compact());
+  // Overwrite compacted data: the new chunk has a higher version.
+  for (int i = 0; i < 50; ++i) ASSERT_OK(store->Write(i, 9.0));
+  ASSERT_OK(store->Flush());
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Point> merged,
+      ReadMergedSeries(*store, TimeRange(0, 100), nullptr));
+  ASSERT_EQ(merged.size(), 50u);
+  for (const Point& p : merged) EXPECT_EQ(p.v, 9.0);
+}
+
+// Property: M4 results are invariant under compaction.
+class CompactionProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompactionProperty, M4ResultsUnchanged) {
+  Rng rng(GetParam());
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  const Timestamp domain = 3000;
+  int n_rounds = static_cast<int>(rng.Uniform(2, 6));
+  for (int round = 0; round < n_rounds; ++round) {
+    if (round > 0 && rng.Bernoulli(0.5)) {
+      Timestamp start = rng.Uniform(0, domain);
+      ASSERT_OK(store->DeleteRange(
+          TimeRange(start, start + rng.Uniform(1, domain / 4))));
+    }
+    int n = static_cast<int>(rng.Uniform(20, 150));
+    Timestamp base = rng.Uniform(0, domain / 2);
+    for (int i = 0; i < n; ++i) {
+      ASSERT_OK(store->Write(base + rng.Uniform(0, domain / 2),
+                             std::round(rng.Gaussian(0, 30))));
+    }
+    ASSERT_OK(store->Flush());
+  }
+
+  M4Query query{0, domain, rng.Uniform(1, 60)};
+  ASSERT_OK_AND_ASSIGN(M4Result before_lsm, RunM4Lsm(*store, query, nullptr));
+  ASSERT_OK(store->Compact());
+  ASSERT_OK_AND_ASSIGN(M4Result after_lsm, RunM4Lsm(*store, query, nullptr));
+  ASSERT_OK_AND_ASSIGN(M4Result after_udf, RunM4Udf(*store, query, nullptr));
+  EXPECT_TRUE(ResultsEquivalent(before_lsm, after_lsm))
+      << "seed " << GetParam() << ": "
+      << FirstMismatch(before_lsm, after_lsm);
+  EXPECT_TRUE(ResultsEquivalent(after_lsm, after_udf))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompactionProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+}  // namespace
+}  // namespace tsviz

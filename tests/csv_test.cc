@@ -1,0 +1,70 @@
+#include "workload/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+TEST(CsvTest, RoundTrip) {
+  TempDir dir;
+  std::string path = dir.path() + "/points.csv";
+  std::vector<Point> points = {{-100, -1.5}, {0, 0.0}, {42, 3.25},
+                               {1600000000000, 1e-9}};
+  ASSERT_OK(SavePointsCsv(points, path));
+  ASSERT_OK_AND_ASSIGN(std::vector<Point> loaded, LoadPointsCsv(path));
+  EXPECT_EQ(loaded, points);
+}
+
+TEST(CsvTest, EmptySeries) {
+  TempDir dir;
+  std::string path = dir.path() + "/empty.csv";
+  ASSERT_OK(SavePointsCsv({}, path));
+  ASSERT_OK_AND_ASSIGN(std::vector<Point> loaded, LoadPointsCsv(path));
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(CsvTest, LoadsHeaderlessFile) {
+  TempDir dir;
+  std::string path = dir.path() + "/raw.csv";
+  {
+    std::ofstream out(path);
+    out << "10,1.5\n20,2.5\n";
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<Point> loaded, LoadPointsCsv(path));
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0], (Point{10, 1.5}));
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  EXPECT_EQ(LoadPointsCsv("/nonexistent/nowhere.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(CsvTest, MalformedLinesAreCorruption) {
+  TempDir dir;
+  std::string path = dir.path() + "/bad.csv";
+  {
+    std::ofstream out(path);
+    out << "timestamp,value\n10;1.5\n";
+  }
+  EXPECT_EQ(LoadPointsCsv(path).status().code(), StatusCode::kCorruption);
+  {
+    // A non-numeric first line is treated as a header, so the bad
+    // timestamp must sit on a later line to be an error.
+    std::ofstream out(path);
+    out << "timestamp,value\nabc,1.5\n";
+  }
+  EXPECT_EQ(LoadPointsCsv(path).status().code(), StatusCode::kCorruption);
+  {
+    std::ofstream out(path);
+    out << "10,xyz\n";
+  }
+  EXPECT_EQ(LoadPointsCsv(path).status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace tsviz

@@ -1,0 +1,129 @@
+#include "db/database.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+DatabaseConfig TestConfig(const std::string& root) {
+  DatabaseConfig config;
+  config.root_dir = root;
+  config.series_defaults.points_per_chunk = 50;
+  config.series_defaults.memtable_flush_threshold = 50;
+  return config;
+}
+
+TEST(SeriesNameTest, Validation) {
+  EXPECT_TRUE(IsValidSeriesName("root.sg1.d1.s1"));
+  EXPECT_TRUE(IsValidSeriesName("sensor_42-b"));
+  EXPECT_FALSE(IsValidSeriesName(""));
+  EXPECT_FALSE(IsValidSeriesName("has space"));
+  EXPECT_FALSE(IsValidSeriesName("slash/attack"));
+  EXPECT_FALSE(IsValidSeriesName(".."));
+  EXPECT_FALSE(IsValidSeriesName(std::string(200, 'a')));
+}
+
+TEST(DatabaseTest, OpenRequiresRoot) {
+  EXPECT_EQ(Database::Open(DatabaseConfig{}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, CreateListAndIsolateSeries) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                       Database::Open(TestConfig(dir.path())));
+  EXPECT_TRUE(db->ListSeries().empty());
+
+  ASSERT_OK(db->Write("temp", 10, 21.5));
+  ASSERT_OK(db->Write("pressure", 10, 1013.0));
+  ASSERT_OK(db->Write("temp", 20, 22.0));
+  EXPECT_EQ(db->ListSeries(), (std::vector<std::string>{"pressure", "temp"}));
+
+  ASSERT_OK(db->FlushAll());
+  ASSERT_OK_AND_ASSIGN(TsStore * temp, db->GetSeries("temp"));
+  ASSERT_OK_AND_ASSIGN(TsStore * pressure, db->GetSeries("pressure"));
+  EXPECT_EQ(temp->TotalStoredPoints(), 2u);
+  EXPECT_EQ(pressure->TotalStoredPoints(), 1u);
+}
+
+TEST(DatabaseTest, RejectsBadNames) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                       Database::Open(TestConfig(dir.path())));
+  EXPECT_EQ(db->Write("../escape", 1, 1.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db->GetOrCreateSeries("a/b").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, GetMissingSeriesIsNotFound) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                       Database::Open(TestConfig(dir.path())));
+  EXPECT_EQ(db->GetSeries("ghost").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(db->DeleteRange("ghost", TimeRange(0, 1)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, DiscoveryOnReopen) {
+  TempDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                         Database::Open(TestConfig(dir.path())));
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_OK(db->Write("engine.rpm", i * 10, i * 1.0));
+    }
+    ASSERT_OK(db->FlushAll());
+    ASSERT_OK(db->DeleteRange("engine.rpm", TimeRange(0, 95)));
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                       Database::Open(TestConfig(dir.path())));
+  EXPECT_EQ(db->ListSeries(), (std::vector<std::string>{"engine.rpm"}));
+  ASSERT_OK_AND_ASSIGN(TsStore * store, db->GetSeries("engine.rpm"));
+  EXPECT_EQ(store->deletes().size(), 1u);
+  EXPECT_EQ(store->TotalStoredPoints(), 100u);
+}
+
+TEST(DatabaseTest, DropSeriesRemovesData) {
+  TempDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                         Database::Open(TestConfig(dir.path())));
+    ASSERT_OK(db->Write("doomed", 1, 1.0));
+    ASSERT_OK(db->FlushAll());
+    ASSERT_OK(db->DropSeries("doomed"));
+    EXPECT_TRUE(db->ListSeries().empty());
+    EXPECT_EQ(db->DropSeries("doomed").code(), StatusCode::kNotFound);
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                       Database::Open(TestConfig(dir.path())));
+  EXPECT_TRUE(db->ListSeries().empty());
+}
+
+TEST(DatabaseTest, QueryM4PerSeries) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                       Database::Open(TestConfig(dir.path())));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(db->Write("a", i, i * 1.0));
+    ASSERT_OK(db->Write("b", i, -i * 1.0));
+  }
+  ASSERT_OK(db->FlushAll());
+
+  M4Query query{0, 100, 4};
+  QueryStats stats;
+  ASSERT_OK_AND_ASSIGN(M4Result a_rows, db->QueryM4("a", query, &stats));
+  ASSERT_OK_AND_ASSIGN(M4Result b_rows, db->QueryM4("b", query, nullptr));
+  ASSERT_EQ(a_rows.size(), 4u);
+  EXPECT_EQ(a_rows[0].top.v, 24.0);
+  EXPECT_EQ(b_rows[0].bottom.v, -24.0);
+  EXPECT_EQ(db->QueryM4("c", query, nullptr).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace tsviz

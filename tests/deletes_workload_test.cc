@@ -1,0 +1,99 @@
+#include "workload/deletes.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+class DeleteWorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StoreConfig config;
+    config.data_dir = dir_.path();
+    config.points_per_chunk = 100;
+    config.memtable_flush_threshold = 100;
+    auto store = TsStore::Open(config);
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(store).value();
+    ASSERT_OK(store_->WriteAll(MakeLinearSeries(2000, 0, 10)));
+    ASSERT_OK(store_->Flush());
+    ASSERT_EQ(store_->chunks().size(), 20u);
+  }
+
+  TempDir dir_;
+  std::unique_ptr<TsStore> store_;
+};
+
+TEST_F(DeleteWorkloadTest, CountTracksDeleteFraction) {
+  DeleteWorkloadSpec spec;
+  spec.delete_fraction = 0.25;
+  EXPECT_EQ(PlanDeleteRanges(*store_, spec).size(), 5u);  // 25% of 20 chunks
+  spec.delete_fraction = 0.0;
+  EXPECT_TRUE(PlanDeleteRanges(*store_, spec).empty());
+  spec.delete_fraction = 2.0;  // more deletes than chunks is allowed
+  EXPECT_EQ(PlanDeleteRanges(*store_, spec).size(), 40u);
+}
+
+TEST_F(DeleteWorkloadTest, RangesLieWithinDataAndScaleWithSpec) {
+  DeleteWorkloadSpec small;
+  small.delete_fraction = 1.0;
+  small.range_scale = 0.1;
+  DeleteWorkloadSpec large = small;
+  large.range_scale = 1.0;
+
+  TimeRange data = store_->DataInterval();
+  uint64_t small_total = 0;
+  uint64_t large_total = 0;
+  for (const TimeRange& r : PlanDeleteRanges(*store_, small)) {
+    EXPECT_GE(r.start, data.start);
+    EXPECT_FALSE(r.Empty());
+    small_total += r.Length();
+  }
+  for (const TimeRange& r : PlanDeleteRanges(*store_, large)) {
+    large_total += r.Length();
+  }
+  EXPECT_GT(large_total, small_total * 5);
+}
+
+TEST_F(DeleteWorkloadTest, DeterministicInSeed) {
+  DeleteWorkloadSpec spec;
+  spec.delete_fraction = 0.5;
+  EXPECT_EQ(PlanDeleteRanges(*store_, spec), PlanDeleteRanges(*store_, spec));
+  DeleteWorkloadSpec other = spec;
+  other.seed = 99;
+  EXPECT_NE(PlanDeleteRanges(*store_, spec),
+            PlanDeleteRanges(*store_, other));
+}
+
+TEST_F(DeleteWorkloadTest, ApplyRegistersTombstones) {
+  DeleteWorkloadSpec spec;
+  spec.delete_fraction = 0.3;
+  ASSERT_OK(ApplyDeleteWorkload(store_.get(), spec));
+  EXPECT_EQ(store_->deletes().size(), 6u);
+  // Versions are newer than every chunk.
+  Version max_chunk_version = 0;
+  for (const ChunkHandle& chunk : store_->chunks()) {
+    max_chunk_version = std::max(max_chunk_version, chunk.meta->version);
+  }
+  for (const DeleteRecord& del : store_->deletes()) {
+    EXPECT_GT(del.version, max_chunk_version);
+  }
+}
+
+TEST(DeleteWorkloadEmptyStoreTest, NoChunksNoDeletes) {
+  TempDir dir;
+  StoreConfig config;
+  config.data_dir = dir.path();
+  auto store = TsStore::Open(config);
+  ASSERT_TRUE(store.ok());
+  DeleteWorkloadSpec spec;
+  spec.delete_fraction = 1.0;
+  EXPECT_TRUE(PlanDeleteRanges(**store, spec).empty());
+}
+
+}  // namespace
+}  // namespace tsviz

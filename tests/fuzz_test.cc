@@ -1,0 +1,155 @@
+// Failure-injection sweeps: random corruption anywhere in the on-disk state
+// must surface as a Status error or clean recovery — never a crash, hang, or
+// silent wrong answer that the checksums should have caught.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include "common/random.h"
+#include "encoding/page.h"
+#include "m4/m4_udf.h"
+#include "read/series_reader.h"
+#include "storage/chunk_metadata.h"
+#include "storage/wal.h"
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+namespace fs = std::filesystem;
+
+StoreConfig TestConfig(const std::string& dir) {
+  StoreConfig config;
+  config.data_dir = dir;
+  config.points_per_chunk = 50;
+  config.memtable_flush_threshold = 50;
+  config.encoding.page_size_points = 16;
+  return config;
+}
+
+void FlipByteAt(const std::string& path, size_t pos, uint8_t mask) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekg(static_cast<std::streamoff>(pos));
+  char c;
+  f.read(&c, 1);
+  f.seekp(static_cast<std::streamoff>(pos));
+  c = static_cast<char>(c ^ mask);
+  f.write(&c, 1);
+}
+
+// Builds a store, flips one random byte of the data file, and checks that
+// every outcome is clean: open fails, or open succeeds and reads either
+// fail or return data.
+class DataFileFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DataFileFuzz, SingleByteFlipNeverCrashes) {
+  Rng rng(GetParam());
+  TempDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                         TsStore::Open(TestConfig(dir.path())));
+    ASSERT_OK(store->WriteAll(MakeLinearSeries(200, 0, 10)));
+    ASSERT_OK(store->Flush());
+    ASSERT_OK(store->DeleteRange(TimeRange(50, 120)));
+  }
+  std::string data_file = dir.path() + "/f1.tsdat";
+  auto size = fs::file_size(data_file);
+  for (int flip = 0; flip < 16; ++flip) {
+    size_t pos = static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(size) - 1));
+    uint8_t mask = static_cast<uint8_t>(rng.Uniform(1, 255));
+    FlipByteAt(data_file, pos, mask);
+
+    auto store = TsStore::Open(TestConfig(dir.path()));
+    if (store.ok()) {
+      // Metadata survived (flip hit the data region or was masked):
+      // reading chunk data must fail cleanly or produce points.
+      for (const ChunkHandle& handle : (*store)->chunks()) {
+        LazyChunk chunk(handle, nullptr);
+        auto points = chunk.ReadAllPoints();
+        if (points.ok()) {
+          EXPECT_EQ(points->size(), handle.meta->count);
+        }
+      }
+      auto m4 = RunM4Udf(**store, M4Query{0, 2000, 8}, nullptr);
+      (void)m4;  // any Status is fine; absence of UB is the assertion
+      store->reset();
+    }
+    FlipByteAt(data_file, pos, mask);  // restore for the next round
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DataFileFuzz,
+                         ::testing::Range(uint64_t{1}, uint64_t{11}));
+
+TEST(FuzzTest, GarbageModsFileRejected) {
+  TempDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                         TsStore::Open(TestConfig(dir.path())));
+    ASSERT_OK(store->WriteAll(MakeLinearSeries(50, 0, 10)));
+  }
+  {
+    std::ofstream mods(dir.path() + "/deletes.mods", std::ios::binary);
+    mods << "not a mods file at all";
+  }
+  EXPECT_EQ(TsStore::Open(TestConfig(dir.path())).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(FuzzTest, GarbageWalIsSkippedAsTornTail) {
+  TempDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                         TsStore::Open(TestConfig(dir.path())));
+    ASSERT_OK(store->WriteAll(MakeLinearSeries(50, 0, 10)));
+    ASSERT_OK(store->Flush());
+  }
+  {
+    std::ofstream wal(dir.path() + "/wal.log", std::ios::binary);
+    std::string junk(300, '\x5a');
+    wal.write(junk.data(), static_cast<std::streamsize>(junk.size()));
+  }
+  // The whole log reads as a torn tail: recovered store has an empty
+  // memtable but intact flushed data.
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  EXPECT_EQ(store->memtable_size(), 0u);
+  EXPECT_EQ(store->TotalStoredPoints(), 50u);
+}
+
+// Random-bytes decoders: every parser must reject garbage via Status.
+class RandomBytesFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomBytesFuzz, ParsersRejectGarbage) {
+  Rng rng(GetParam());
+  std::string junk;
+  size_t n = static_cast<size_t>(rng.Uniform(0, 500));
+  for (size_t i = 0; i < n; ++i) {
+    junk.push_back(static_cast<char>(rng.Uniform(0, 255)));
+  }
+
+  {
+    std::vector<Point> out;
+    (void)DecodePage(junk, &out);  // must not crash
+  }
+  {
+    std::string_view cursor = junk;
+    (void)ChunkMetadata::Deserialize(&cursor);
+  }
+  {
+    std::string_view cursor = junk;
+    (void)StepRegressionModel::Deserialize(&cursor);
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBytesFuzz,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+}  // namespace
+}  // namespace tsviz

@@ -1,0 +1,107 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+DatasetSpec SmallSpec(DatasetKind kind, size_t n = 20000) {
+  DatasetSpec spec;
+  spec.kind = kind;
+  spec.num_points = n;
+  return spec;
+}
+
+class AllDatasets : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(AllDatasets, ProducesRequestedCountStrictlyIncreasing) {
+  std::vector<Point> points = GenerateDataset(SmallSpec(GetParam()));
+  ASSERT_EQ(points.size(), 20000u);
+  for (size_t i = 1; i < points.size(); ++i) {
+    ASSERT_GT(points[i].t, points[i - 1].t) << "at " << i;
+  }
+  for (const Point& p : points) {
+    ASSERT_TRUE(std::isfinite(p.v));
+  }
+}
+
+TEST_P(AllDatasets, DeterministicForSameSeed) {
+  std::vector<Point> a = GenerateDataset(SmallSpec(GetParam(), 5000));
+  std::vector<Point> b = GenerateDataset(SmallSpec(GetParam(), 5000));
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(AllDatasets, DifferentSeedsDiffer) {
+  DatasetSpec spec = SmallSpec(GetParam(), 5000);
+  std::vector<Point> a = GenerateDataset(spec);
+  spec.seed = 777;
+  std::vector<Point> b = GenerateDataset(spec);
+  EXPECT_NE(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, AllDatasets,
+    ::testing::ValuesIn(AllDatasetKinds()),
+    [](const ::testing::TestParamInfo<DatasetKind>& info) {
+      return DatasetName(info.param);
+    });
+
+TEST(GeneratorTest, PaperPointCountsMatchTable2) {
+  EXPECT_EQ(PaperPointCount(DatasetKind::kBallSpeed), 7193200u);
+  EXPECT_EQ(PaperPointCount(DatasetKind::kMf03), 10000000u);
+  EXPECT_EQ(PaperPointCount(DatasetKind::kKob), 1943180u);
+  EXPECT_EQ(PaperPointCount(DatasetKind::kRcvTime), 1330764u);
+}
+
+TEST(GeneratorTest, NamesMatchPaper) {
+  EXPECT_EQ(DatasetName(DatasetKind::kBallSpeed), "BallSpeed");
+  EXPECT_EQ(DatasetName(DatasetKind::kMf03), "MF03");
+  EXPECT_EQ(DatasetName(DatasetKind::kKob), "KOB");
+  EXPECT_EQ(DatasetName(DatasetKind::kRcvTime), "RcvTime");
+}
+
+// Chunk-interval skew: cut the series into 1000-point batches and compare
+// interval lengths. KOB/RcvTime must be far more skewed than
+// BallSpeed/MF03 — this drives Figures 10 and 14.
+double IntervalSkew(DatasetKind kind) {
+  std::vector<Point> points = GenerateDataset(SmallSpec(kind, 50000));
+  std::vector<double> lengths;
+  for (size_t b = 0; b + 1000 <= points.size(); b += 1000) {
+    lengths.push_back(
+        static_cast<double>(points[b + 999].t - points[b].t));
+  }
+  double max_len = *std::max_element(lengths.begin(), lengths.end());
+  double min_len = *std::min_element(lengths.begin(), lengths.end());
+  return max_len / std::max(1.0, min_len);
+}
+
+TEST(GeneratorTest, KobAndRcvTimeAreTimeSkewed) {
+  double ballspeed = IntervalSkew(DatasetKind::kBallSpeed);
+  double kob = IntervalSkew(DatasetKind::kKob);
+  double rcvtime = IntervalSkew(DatasetKind::kRcvTime);
+  EXPECT_GT(kob, ballspeed * 3);
+  EXPECT_GT(rcvtime, ballspeed * 3);
+}
+
+TEST(GeneratorTest, CadencesRoughlyMatchDatasets) {
+  // BallSpeed ~2kHz (500us), MF03 ~100Hz (10ms): check median deltas.
+  auto median_delta = [](DatasetKind kind) {
+    std::vector<Point> points = GenerateDataset(SmallSpec(kind, 10001));
+    std::vector<int64_t> deltas;
+    for (size_t i = 1; i < points.size(); ++i) {
+      deltas.push_back(points[i].t - points[i - 1].t);
+    }
+    std::nth_element(deltas.begin(), deltas.begin() + 5000, deltas.end());
+    return deltas[5000];
+  };
+  EXPECT_EQ(median_delta(DatasetKind::kBallSpeed), 500);
+  EXPECT_EQ(median_delta(DatasetKind::kMf03), 10000);
+}
+
+}  // namespace
+}  // namespace tsviz

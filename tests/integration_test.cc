@@ -1,0 +1,217 @@
+// End-to-end flows combining workload generation, the LSM store, both M4
+// operators, and the rasterizer — the pipeline every experiment runs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "m4/m4_lsm.h"
+#include "m4/m4_udf.h"
+#include "m4/reference.h"
+#include "read/series_reader.h"
+#include "test_util.h"
+#include "viz/pixel_diff.h"
+#include "viz/rasterize.h"
+#include "workload/deletes.h"
+#include "workload/generator.h"
+#include "workload/ooo.h"
+
+namespace tsviz {
+namespace {
+
+StoreConfig SmallChunks(const std::string& dir) {
+  StoreConfig config;
+  config.data_dir = dir;
+  config.points_per_chunk = 500;
+  config.memtable_flush_threshold = 500;
+  config.encoding.page_size_points = 100;
+  return config;
+}
+
+class DatasetPipeline : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(DatasetPipeline, GenerateStoreQueryAgree) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(SmallChunks(dir.path())));
+  DatasetSpec spec;
+  spec.kind = GetParam();
+  spec.num_points = 20000;
+  std::vector<Point> points = GenerateDataset(spec);
+
+  // Out-of-order arrival with 20% chunk overlap plus a delete workload.
+  Rng rng(9);
+  ASSERT_OK(store->WriteAll(MakeOverlappingOrder(points, 500, 0.2, &rng)));
+  ASSERT_OK(store->Flush());
+  DeleteWorkloadSpec del_spec;
+  del_spec.delete_fraction = 0.2;
+  ASSERT_OK(ApplyDeleteWorkload(store.get(), del_spec));
+
+  // w well below the chunk count, so most chunks sit entirely inside one
+  // span and can be answered from metadata.
+  TimeRange data = store->DataInterval();
+  M4Query query{data.start, data.end + 1, 13};
+
+  QueryStats udf_stats;
+  QueryStats lsm_stats;
+  ASSERT_OK_AND_ASSIGN(M4Result udf, RunM4Udf(*store, query, &udf_stats));
+  ASSERT_OK_AND_ASSIGN(M4Result lsm, RunM4Lsm(*store, query, &lsm_stats));
+  EXPECT_TRUE(ResultsEquivalent(udf, lsm)) << FirstMismatch(udf, lsm);
+  EXPECT_EQ(ValidateResultInvariants(lsm), "");
+
+  // The merge-free operator must do strictly less I/O than the baseline.
+  EXPECT_EQ(udf_stats.chunks_loaded, store->chunks().size());
+  EXPECT_LT(lsm_stats.chunks_loaded, udf_stats.chunks_loaded);
+  EXPECT_LT(lsm_stats.bytes_read, udf_stats.bytes_read);
+  EXPECT_LT(lsm_stats.points_scanned, udf_stats.points_scanned);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, DatasetPipeline, ::testing::ValuesIn(AllDatasetKinds()),
+    [](const ::testing::TestParamInfo<DatasetKind>& info) {
+      return DatasetName(info.param);
+    });
+
+TEST(IntegrationTest, M4LsmResultRendersPixelExactly) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(SmallChunks(dir.path())));
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kMf03;
+  spec.num_points = 30000;
+  std::vector<Point> points = GenerateDataset(spec);
+  ASSERT_OK(store->WriteAll(points));
+  ASSERT_OK(store->Flush());
+
+  TimeRange data = store->DataInterval();
+  const int width = 200;
+  const int height = 150;
+  M4Query query{data.start, data.end + 1, width};
+  ASSERT_OK_AND_ASSIGN(M4Result rows, RunM4Lsm(*store, query, nullptr));
+
+  ASSERT_OK_AND_ASSIGN(std::vector<Point> merged,
+                       ReadMergedSeries(*store, data, nullptr));
+  CanvasSpec canvas = FitCanvas(merged, query, width, height);
+  Bitmap ground_truth = RasterizeSeries(merged, canvas);
+  Bitmap rendered = RasterizeM4(rows, canvas);
+  PixelAccuracyReport report = ComparePixels(ground_truth, rendered);
+  EXPECT_EQ(report.differing_pixels, 0u) << report.ToString();
+  EXPECT_GT(report.ground_truth_lit, 0u);
+}
+
+TEST(IntegrationTest, RecoveredStoreServesIdenticalResults) {
+  TempDir dir;
+  M4Result before;
+  M4Query query{0, 0, 50};
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                         TsStore::Open(SmallChunks(dir.path())));
+    DatasetSpec spec;
+    spec.kind = DatasetKind::kKob;
+    spec.num_points = 10000;
+    std::vector<Point> points = GenerateDataset(spec);
+    ASSERT_OK(store->WriteAll(points));
+    ASSERT_OK(store->Flush());
+    ASSERT_OK(store->DeleteRange(TimeRange(points[100].t, points[400].t)));
+    TimeRange data = store->DataInterval();
+    query.tqs = data.start;
+    query.tqe = data.end + 1;
+    ASSERT_OK_AND_ASSIGN(before, RunM4Lsm(*store, query, nullptr));
+  }
+  // Reopen from disk and re-run.
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(SmallChunks(dir.path())));
+  ASSERT_OK_AND_ASSIGN(M4Result after, RunM4Lsm(*store, query, nullptr));
+  EXPECT_TRUE(ResultsEquivalent(before, after))
+      << FirstMismatch(before, after);
+}
+
+// The paper's headline configuration at reduced scale: a long regular
+// series visualized in 1000 pixel columns. The merge-free operator must
+// decode a small fraction of the baseline's pages.
+TEST(IntegrationTest, HeadlineThousandColumns) {
+  TempDir dir;
+  StoreConfig config;
+  config.data_dir = dir.path();
+  config.points_per_chunk = 50;
+  config.memtable_flush_threshold = 50;
+  config.encoding.page_size_points = 50;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(std::move(config)));
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kMf03;
+  spec.num_points = 200000;  // 4000 chunks, ~4 per pixel column
+  ASSERT_OK(store->WriteAll(GenerateDataset(spec)));
+  ASSERT_OK(store->Flush());
+
+  TimeRange data = store->DataInterval();
+  M4Query query{data.start, data.end + 1, 1000};
+  QueryStats udf_stats;
+  QueryStats lsm_stats;
+  ASSERT_OK_AND_ASSIGN(M4Result udf, RunM4Udf(*store, query, &udf_stats));
+  ASSERT_OK_AND_ASSIGN(M4Result lsm, RunM4Lsm(*store, query, &lsm_stats));
+  EXPECT_TRUE(ResultsEquivalent(udf, lsm)) << FirstMismatch(udf, lsm);
+  // Most rows populated (transmission stalls can empty a few columns).
+  size_t populated = 0;
+  for (const M4Row& row : lsm) populated += row.has_data ? 1 : 0;
+  EXPECT_GT(populated, lsm.size() * 3 / 4);
+  // With ~4 chunks per span only the boundary chunks split: the operator
+  // must stay well under the baseline's full decode.
+  EXPECT_LT(lsm_stats.pages_decoded, udf_stats.pages_decoded / 2);
+  EXPECT_LT(lsm_stats.bytes_read, udf_stats.bytes_read / 2);
+}
+
+TEST(IntegrationTest, HigherWLoadsMoreChunksForLsm) {
+  // The Figure 10 mechanism: more spans -> more chunks split by span
+  // boundaries -> more loads for M4-LSM, while M4-UDF is flat.
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(SmallChunks(dir.path())));
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kBallSpeed;
+  spec.num_points = 50000;
+  ASSERT_OK(store->WriteAll(GenerateDataset(spec)));
+  ASSERT_OK(store->Flush());
+  TimeRange data = store->DataInterval();
+
+  uint64_t loads_small_w = 0;
+  uint64_t loads_large_w = 0;
+  uint64_t udf_small = 0;
+  uint64_t udf_large = 0;
+  {
+    QueryStats stats;
+    ASSERT_OK(
+        RunM4Lsm(*store, M4Query{data.start, data.end + 1, 10}, &stats)
+            .status());
+    loads_small_w = stats.chunks_loaded;
+  }
+  {
+    QueryStats stats;
+    ASSERT_OK(
+        RunM4Lsm(*store, M4Query{data.start, data.end + 1, 80}, &stats)
+            .status());
+    loads_large_w = stats.chunks_loaded;
+  }
+  {
+    QueryStats stats;
+    ASSERT_OK(
+        RunM4Udf(*store, M4Query{data.start, data.end + 1, 10}, &stats)
+            .status());
+    udf_small = stats.chunks_loaded;
+  }
+  {
+    QueryStats stats;
+    ASSERT_OK(
+        RunM4Udf(*store, M4Query{data.start, data.end + 1, 80}, &stats)
+            .status());
+    udf_large = stats.chunks_loaded;
+  }
+  EXPECT_LT(loads_small_w, loads_large_w);
+  EXPECT_EQ(udf_small, udf_large);  // baseline loads everything regardless
+  EXPECT_LT(loads_large_w, udf_large);
+}
+
+}  // namespace
+}  // namespace tsviz

@@ -1,0 +1,90 @@
+#include "read/lazy_chunk.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+class LazyChunkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StoreConfig config;
+    config.data_dir = dir_.path();
+    config.points_per_chunk = 1000;
+    config.memtable_flush_threshold = 1000;
+    config.encoding.page_size_points = 100;
+    auto store = TsStore::Open(config);
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(store).value();
+    points_ = MakeLinearSeries(1000, 0, 10);
+    ASSERT_OK(store_->WriteAll(points_));
+    ASSERT_OK(store_->Flush());
+    ASSERT_EQ(store_->chunks().size(), 1u);
+  }
+
+  TempDir dir_;
+  std::unique_ptr<TsStore> store_;
+  std::vector<Point> points_;
+};
+
+TEST_F(LazyChunkTest, ConstructionTouchesNoData) {
+  QueryStats stats;
+  LazyChunk chunk(store_->chunks()[0], &stats);
+  EXPECT_EQ(stats.bytes_read, 0u);
+  EXPECT_EQ(stats.pages_decoded, 0u);
+  EXPECT_EQ(stats.chunks_loaded, 0u);
+  EXPECT_FALSE(chunk.loaded());
+  EXPECT_EQ(chunk.num_points(), 1000u);
+  EXPECT_EQ(chunk.pages().size(), 10u);
+}
+
+TEST_F(LazyChunkTest, SinglePageReadCostsOnePage) {
+  QueryStats stats;
+  LazyChunk chunk(store_->chunks()[0], &stats);
+  ASSERT_OK_AND_ASSIGN(const std::vector<Point>* page, chunk.GetPage(3));
+  ASSERT_EQ(page->size(), 100u);
+  EXPECT_EQ(page->front(), points_[300]);
+  EXPECT_EQ(stats.pages_decoded, 1u);
+  EXPECT_EQ(stats.chunks_loaded, 1u);
+  EXPECT_EQ(stats.bytes_read, chunk.pages()[3].length);
+  // Far less I/O than the whole chunk.
+  EXPECT_LT(stats.bytes_read, store_->chunks()[0].meta->data_length);
+}
+
+TEST_F(LazyChunkTest, PagesAreCached) {
+  QueryStats stats;
+  LazyChunk chunk(store_->chunks()[0], &stats);
+  ASSERT_OK_AND_ASSIGN(const std::vector<Point>* first, chunk.GetPage(5));
+  ASSERT_OK_AND_ASSIGN(const std::vector<Point>* second, chunk.GetPage(5));
+  EXPECT_EQ(first, second);  // same cached vector
+  EXPECT_EQ(stats.pages_decoded, 1u);
+  EXPECT_EQ(stats.chunks_loaded, 1u);
+}
+
+TEST_F(LazyChunkTest, ReadAllPointsRoundTrips) {
+  QueryStats stats;
+  LazyChunk chunk(store_->chunks()[0], &stats);
+  ASSERT_OK_AND_ASSIGN(std::vector<Point> all, chunk.ReadAllPoints());
+  EXPECT_EQ(all, points_);
+  EXPECT_EQ(stats.pages_decoded, 10u);
+  EXPECT_EQ(stats.chunks_loaded, 1u);  // counted once despite 10 pages
+  EXPECT_EQ(stats.bytes_read, store_->chunks()[0].meta->data_length);
+}
+
+TEST_F(LazyChunkTest, OutOfRangePageRejected) {
+  LazyChunk chunk(store_->chunks()[0], nullptr);
+  EXPECT_EQ(chunk.GetPage(10).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(LazyChunkTest, NullStatsIsSupported) {
+  LazyChunk chunk(store_->chunks()[0], nullptr);
+  ASSERT_OK_AND_ASSIGN(std::vector<Point> all, chunk.ReadAllPoints());
+  EXPECT_EQ(all.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace tsviz

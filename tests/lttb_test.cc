@@ -1,0 +1,95 @@
+#include "viz/lttb.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "m4/reference.h"
+#include "test_util.h"
+#include "viz/pixel_diff.h"
+#include "viz/rasterize.h"
+
+namespace tsviz {
+namespace {
+
+std::vector<Point> NoisySeries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  Timestamp t = 0;
+  double v = 0;
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back(Point{t, v});
+    t += rng.Uniform(1, 10);
+    v += rng.Gaussian(0, 3);
+  }
+  return points;
+}
+
+TEST(LttbTest, DegenerateInputs) {
+  EXPECT_TRUE(DownsampleLttb({}, 10).empty());
+  std::vector<Point> one = {{5, 1.0}};
+  EXPECT_EQ(DownsampleLttb(one, 10), one);
+  std::vector<Point> two = {{5, 1.0}, {6, 2.0}};
+  EXPECT_EQ(DownsampleLttb(two, 10), two);
+  EXPECT_EQ(DownsampleLttb(two, 2), two);
+  EXPECT_EQ(DownsampleLttb(two, 1).size(), 1u);
+}
+
+TEST(LttbTest, KeepsEndpointsAndRequestedCount) {
+  std::vector<Point> points = NoisySeries(5000, 1);
+  for (size_t n_out : {3u, 10u, 100u, 999u}) {
+    std::vector<Point> reduced = DownsampleLttb(points, n_out);
+    ASSERT_EQ(reduced.size(), n_out);
+    EXPECT_EQ(reduced.front(), points.front());
+    EXPECT_EQ(reduced.back(), points.back());
+    // Output stays sorted by time and is a subset of the input.
+    for (size_t i = 1; i < reduced.size(); ++i) {
+      EXPECT_GT(reduced[i].t, reduced[i - 1].t);
+    }
+  }
+}
+
+TEST(LttbTest, OutputIsSubsetOfInput) {
+  std::vector<Point> points = NoisySeries(1000, 2);
+  std::vector<Point> reduced = DownsampleLttb(points, 50);
+  for (const Point& p : reduced) {
+    EXPECT_TRUE(std::find(points.begin(), points.end(), p) != points.end());
+  }
+}
+
+TEST(LttbTest, CapturesSpikes) {
+  // A flat series with one huge spike: LTTB must keep the spike point.
+  std::vector<Point> points;
+  for (int i = 0; i < 1000; ++i) {
+    points.push_back(Point{i, i == 617 ? 1000.0 : 0.0});
+  }
+  std::vector<Point> reduced = DownsampleLttb(points, 20);
+  bool has_spike = false;
+  for (const Point& p : reduced) {
+    if (p.v == 1000.0) has_spike = true;
+  }
+  EXPECT_TRUE(has_spike);
+}
+
+TEST(LttbTest, BetterThanStridedSamplingButNotPixelPerfect) {
+  std::vector<Point> points = NoisySeries(20000, 3);
+  M4Query query{0, points.back().t + 1, 100};
+  CanvasSpec spec = FitCanvas(points, query, 100, 80);
+  Bitmap truth = RasterizeSeries(points, spec);
+
+  Bitmap lttb = RasterizeSeries(DownsampleLttb(points, 400), spec);
+  std::vector<Point> strided;
+  for (size_t i = 0; i < points.size(); i += points.size() / 400) {
+    strided.push_back(points[i]);
+  }
+  Bitmap sampled = RasterizeSeries(strided, spec);
+
+  uint64_t lttb_err = PixelDiff(truth, lttb);
+  uint64_t sampled_err = PixelDiff(truth, sampled);
+  EXPECT_GT(lttb_err, 0u);              // unlike M4, LTTB is lossy
+  EXPECT_LT(lttb_err, sampled_err);     // but far better than striding
+}
+
+}  // namespace
+}  // namespace tsviz

@@ -1,0 +1,94 @@
+#include "m4/m4_types.h"
+
+#include <gtest/gtest.h>
+
+namespace tsviz {
+namespace {
+
+M4Row SampleRow() {
+  M4Row row;
+  row.has_data = true;
+  row.first = {10, 5.0};
+  row.last = {90, 6.0};
+  row.bottom = {40, -1.0};
+  row.top = {60, 9.0};
+  return row;
+}
+
+TEST(RowsEquivalentTest, IdenticalRowsMatch) {
+  EXPECT_TRUE(RowsEquivalent(SampleRow(), SampleRow()));
+}
+
+TEST(RowsEquivalentTest, EmptyRowsMatch) {
+  EXPECT_TRUE(RowsEquivalent(M4Row{}, M4Row{}));
+  EXPECT_FALSE(RowsEquivalent(M4Row{}, SampleRow()));
+}
+
+TEST(RowsEquivalentTest, FirstLastRequireExactPoints) {
+  M4Row a = SampleRow();
+  M4Row b = SampleRow();
+  b.first.t += 1;
+  EXPECT_FALSE(RowsEquivalent(a, b));
+  b = SampleRow();
+  b.last.v += 0.5;
+  EXPECT_FALSE(RowsEquivalent(a, b));
+}
+
+TEST(RowsEquivalentTest, BottomTopCompareOnValueOnly) {
+  // Definition 2.1: BP/TP may return any point attaining the extreme value.
+  M4Row a = SampleRow();
+  M4Row b = SampleRow();
+  b.bottom.t = 55;  // different argmin, same value
+  b.top.t = 61;
+  EXPECT_TRUE(RowsEquivalent(a, b));
+  b.bottom.v -= 0.1;
+  EXPECT_FALSE(RowsEquivalent(a, b));
+}
+
+TEST(ResultsEquivalentTest, SizeAndContent) {
+  M4Result a = {SampleRow(), M4Row{}};
+  M4Result b = {SampleRow(), M4Row{}};
+  EXPECT_TRUE(ResultsEquivalent(a, b));
+  b.pop_back();
+  EXPECT_FALSE(ResultsEquivalent(a, b));
+  EXPECT_NE(FirstMismatch(a, b), "");
+}
+
+TEST(FirstMismatchTest, PinpointsSpan) {
+  M4Result a = {M4Row{}, SampleRow()};
+  M4Result b = {M4Row{}, SampleRow()};
+  EXPECT_EQ(FirstMismatch(a, b), "");
+  b[1].top.v = 100.0;
+  std::string diff = FirstMismatch(a, b);
+  EXPECT_NE(diff.find("span 1"), std::string::npos);
+}
+
+TEST(ValidateResultInvariantsTest, AcceptsValidRows) {
+  EXPECT_EQ(ValidateResultInvariants({SampleRow(), M4Row{}}), "");
+}
+
+TEST(ValidateResultInvariantsTest, CatchesViolations) {
+  M4Row row = SampleRow();
+  row.first.t = 95;  // first after last
+  EXPECT_NE(ValidateResultInvariants({row}), "");
+
+  row = SampleRow();
+  row.bottom.t = 5;  // bottom outside time window
+  EXPECT_NE(ValidateResultInvariants({row}), "");
+
+  row = SampleRow();
+  row.bottom.v = 100.0;  // bottom above top
+  EXPECT_NE(ValidateResultInvariants({row}), "");
+
+  row = SampleRow();
+  row.first.v = -50.0;  // first below bottom
+  EXPECT_NE(ValidateResultInvariants({row}), "");
+}
+
+TEST(M4RowTest, ToStringShowsEmptiness) {
+  EXPECT_EQ(M4Row{}.ToString(), "(empty)");
+  EXPECT_NE(SampleRow().ToString().find("first=(10, 5)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsviz

@@ -1,0 +1,164 @@
+#include "m4/m4_udf.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "m4/reference.h"
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+StoreConfig TestConfig(const std::string& dir) {
+  StoreConfig config;
+  config.data_dir = dir;
+  config.points_per_chunk = 40;
+  config.memtable_flush_threshold = 40;
+  config.encoding.page_size_points = 16;
+  return config;
+}
+
+TEST(M4UdfTest, SingleChunkBasic) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  // Values form a V within each span so bottom != first/last.
+  std::vector<Point> points;
+  for (int i = 0; i < 40; ++i) {
+    points.push_back(Point{i * 10, static_cast<double>((i * 7) % 13)});
+  }
+  ASSERT_OK(store->WriteAll(points));
+  ASSERT_OK(store->Flush());
+
+  M4Query query{0, 400, 4};
+  ASSERT_OK_AND_ASSIGN(M4Result result, RunM4Udf(*store, query, nullptr));
+  M4Result expected = ReferenceM4(points, query);
+  EXPECT_TRUE(ResultsEquivalent(result, expected))
+      << FirstMismatch(result, expected);
+  EXPECT_EQ(ValidateResultInvariants(result), "");
+}
+
+TEST(M4UdfTest, InvalidQueryRejected) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  EXPECT_EQ(RunM4Udf(*store, M4Query{0, 0, 4}, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunM4Udf(*store, M4Query{0, 10, 0}, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(M4UdfTest, EmptySpansAreMarkedEmpty) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  // Data only in the second half of the query range.
+  ASSERT_OK(store->WriteAll(MakeLinearSeries(40, 500, 10)));
+  ASSERT_OK(store->Flush());
+  M4Query query{0, 1000, 10};
+  ASSERT_OK_AND_ASSIGN(M4Result result, RunM4Udf(*store, query, nullptr));
+  ASSERT_EQ(result.size(), 10u);
+  // Points cover [500, 890]: spans 0-4 and 9 are empty, 5-8 populated.
+  for (size_t i = 0; i < 5; ++i) EXPECT_FALSE(result[i].has_data) << i;
+  for (size_t i = 5; i < 9; ++i) EXPECT_TRUE(result[i].has_data) << i;
+  EXPECT_FALSE(result[9].has_data);
+}
+
+TEST(M4UdfTest, QuerySubrangeExcludesOutsidePoints) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  std::vector<Point> points = MakeLinearSeries(120, 0, 10);
+  ASSERT_OK(store->WriteAll(points));
+  ASSERT_OK(store->Flush());
+  M4Query query{300, 700, 4};
+  ASSERT_OK_AND_ASSIGN(M4Result result, RunM4Udf(*store, query, nullptr));
+  M4Result expected = ReferenceM4(points, query);
+  EXPECT_TRUE(ResultsEquivalent(result, expected))
+      << FirstMismatch(result, expected);
+  // The first representation point of span 0 is exactly t=300.
+  EXPECT_EQ(result[0].first.t, 300);
+  EXPECT_EQ(result[3].last.t, 690);  // tqe is exclusive
+}
+
+TEST(M4UdfTest, CountsFullLoadInStats) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  ASSERT_OK(store->WriteAll(MakeLinearSeries(400, 0, 10)));
+  ASSERT_OK(store->Flush());
+  ASSERT_EQ(store->chunks().size(), 10u);
+  QueryStats stats;
+  ASSERT_OK(RunM4Udf(*store, M4Query{0, 4000, 4}, &stats).status());
+  // The UDF baseline loads and scans everything.
+  EXPECT_EQ(stats.chunks_loaded, 10u);
+  EXPECT_EQ(stats.points_scanned, 400u);
+  EXPECT_GT(stats.bytes_read, 0u);
+}
+
+TEST(M4UdfTest, OverwritesAndDeletesRespected) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  for (int i = 0; i < 40; ++i) ASSERT_OK(store->Write(i * 10, 1.0));  // v1
+  ASSERT_OK(store->DeleteRange(TimeRange(100, 150)));                 // v2
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_OK(store->Write(200 + i * 5, 2.0));  // v3, overwrites some of v1
+  }
+  ASSERT_OK(store->Flush());
+
+  M4Query query{0, 400, 2};
+  ASSERT_OK_AND_ASSIGN(M4Result result, RunM4Udf(*store, query, nullptr));
+  M4Result expected = ReferenceM4(
+      ReferenceMerge(DumpChunks(*store), DumpDeletes(*store)), query);
+  EXPECT_TRUE(ResultsEquivalent(result, expected))
+      << FirstMismatch(result, expected);
+}
+
+// Property: M4-UDF over arbitrary LSM states equals the oracle pipeline
+// (reference merge + reference M4 grouping).
+class M4UdfProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(M4UdfProperty, MatchesOracle) {
+  Rng rng(GetParam());
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  const Timestamp domain = 3000;
+  int n_rounds = static_cast<int>(rng.Uniform(1, 6));
+  for (int round = 0; round < n_rounds; ++round) {
+    if (round > 0 && rng.Bernoulli(0.4)) {
+      Timestamp start = rng.Uniform(0, domain);
+      ASSERT_OK(store->DeleteRange(
+          TimeRange(start, start + rng.Uniform(1, domain / 5))));
+    }
+    Timestamp base = rng.Uniform(0, domain / 2);
+    int n = static_cast<int>(rng.Uniform(5, 150));
+    for (int i = 0; i < n; ++i) {
+      ASSERT_OK(store->Write(base + rng.Uniform(0, domain / 2),
+                             std::round(rng.Gaussian(0, 50))));
+    }
+    ASSERT_OK(store->Flush());
+  }
+
+  M4Query query;
+  query.tqs = rng.Uniform(-10, domain / 2);
+  query.tqe = query.tqs + rng.Uniform(1, domain);
+  query.w = rng.Uniform(1, 50);
+
+  ASSERT_OK_AND_ASSIGN(M4Result result, RunM4Udf(*store, query, nullptr));
+  M4Result expected = ReferenceM4(
+      ReferenceMerge(DumpChunks(*store), DumpDeletes(*store)), query);
+  EXPECT_TRUE(ResultsEquivalent(result, expected))
+      << "seed " << GetParam() << ": " << FirstMismatch(result, expected);
+  EXPECT_EQ(ValidateResultInvariants(result), "") << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, M4UdfProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{31}));
+
+}  // namespace
+}  // namespace tsviz

@@ -1,0 +1,177 @@
+#include "read/merge_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "m4/reference.h"
+#include "read/data_reader.h"
+#include "read/series_reader.h"
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+StoreConfig TestConfig(const std::string& dir) {
+  StoreConfig config;
+  config.data_dir = dir;
+  config.points_per_chunk = 50;
+  config.memtable_flush_threshold = 50;
+  config.encoding.page_size_points = 16;
+  return config;
+}
+
+TEST(MergeReaderTest, SingleChunkPassThrough) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  std::vector<Point> points = MakeLinearSeries(50, 0, 10);
+  ASSERT_OK(store->WriteAll(points));
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Point> merged,
+      ReadMergedSeries(*store, TimeRange(0, 1000), nullptr));
+  EXPECT_EQ(merged, points);
+}
+
+TEST(MergeReaderTest, ClipsToRange) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  ASSERT_OK(store->WriteAll(MakeLinearSeries(100, 0, 10)));
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Point> merged,
+      ReadMergedSeries(*store, TimeRange(105, 305), nullptr));
+  ASSERT_FALSE(merged.empty());
+  EXPECT_EQ(merged.front().t, 110);
+  EXPECT_EQ(merged.back().t, 300);
+  EXPECT_EQ(merged.size(), 20u);
+}
+
+TEST(MergeReaderTest, LaterVersionOverwritesSameTimestamp) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  // First flush: values 0; second flush overwrites odd timestamps with 1.
+  for (int i = 0; i < 50; ++i) ASSERT_OK(store->Write(i, 0.0));
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(store->Write(i * 2 + 1, 1.0));  // overwrites odd t < 50
+  }
+  ASSERT_OK(store->Flush());
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Point> merged,
+      ReadMergedSeries(*store, TimeRange(0, 49), nullptr));
+  ASSERT_EQ(merged.size(), 50u);
+  for (const Point& p : merged) {
+    EXPECT_EQ(p.v, p.t % 2 == 1 ? 1.0 : 0.0) << "t=" << p.t;
+  }
+}
+
+TEST(MergeReaderTest, DeleteHidesOlderChunkButNotNewer) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  for (int i = 0; i < 50; ++i) ASSERT_OK(store->Write(i, 0.0));  // chunk v1
+  ASSERT_OK(store->DeleteRange(TimeRange(10, 19)));              // delete v2
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(store->Write(i + 100, 1.0));  // chunk v3 after the delete
+  }
+  ASSERT_OK(store->Flush());
+  ASSERT_OK(store->DeleteRange(TimeRange(110, 114)));  // delete v4
+
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Point> merged,
+      ReadMergedSeries(*store, TimeRange(0, 200), nullptr));
+  // 50 - 10 deleted + 50 - 5 deleted.
+  EXPECT_EQ(merged.size(), 85u);
+  for (const Point& p : merged) {
+    EXPECT_FALSE(p.t >= 10 && p.t <= 19) << "t=" << p.t;
+    EXPECT_FALSE(p.t >= 110 && p.t <= 114) << "t=" << p.t;
+  }
+}
+
+TEST(MergeReaderTest, DeleteOlderThanChunkDoesNotApply) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  for (int i = 0; i < 50; ++i) ASSERT_OK(store->Write(i, 0.0));  // v1
+  ASSERT_OK(store->DeleteRange(TimeRange(0, 1000)));             // v2
+  for (int i = 0; i < 50; ++i) ASSERT_OK(store->Write(i, 7.0));  // v3
+  ASSERT_OK(store->Flush());
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Point> merged,
+      ReadMergedSeries(*store, TimeRange(0, 1000), nullptr));
+  // The delete (v2) kills chunk v1 entirely, but chunk v3 survives.
+  ASSERT_EQ(merged.size(), 50u);
+  for (const Point& p : merged) EXPECT_EQ(p.v, 7.0);
+}
+
+TEST(MergeReaderTest, EmptyStoreYieldsNothing) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Point> merged,
+      ReadMergedSeries(*store, TimeRange(0, 100), nullptr));
+  EXPECT_TRUE(merged.empty());
+}
+
+// Property test: arbitrary overlapping writes + deletes must match the
+// literal Definition 2.7 oracle.
+class MergeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MergeProperty, MatchesReferenceMerge) {
+  Rng rng(GetParam());
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+
+  const Timestamp domain = 2000;
+  int n_rounds = static_cast<int>(rng.Uniform(2, 8));
+  for (int round = 0; round < n_rounds; ++round) {
+    if (rng.Bernoulli(0.3) && round > 0) {
+      Timestamp start = rng.Uniform(0, domain);
+      Timestamp len = rng.Uniform(1, domain / 4);
+      ASSERT_OK(store->DeleteRange(TimeRange(start, start + len)));
+    }
+    // A batch of writes over a random sub-window, possibly overlapping
+    // earlier flushes.
+    Timestamp base = rng.Uniform(0, domain / 2);
+    int n = static_cast<int>(rng.Uniform(10, 120));
+    for (int i = 0; i < n; ++i) {
+      ASSERT_OK(store->Write(base + rng.Uniform(0, domain / 2),
+                             rng.Gaussian(0, 100)));
+    }
+    ASSERT_OK(store->Flush());
+  }
+
+  std::vector<Point> expected =
+      ReferenceMerge(DumpChunks(*store), DumpDeletes(*store));
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Point> merged,
+      ReadMergedSeries(*store, TimeRange(kMinTimestamp / 2,
+                                         kMaxTimestamp / 2),
+                       nullptr));
+  ASSERT_EQ(merged.size(), expected.size()) << "seed " << GetParam();
+  for (size_t i = 0; i < merged.size(); ++i) {
+    ASSERT_EQ(merged[i], expected[i]) << "seed " << GetParam() << " i=" << i;
+  }
+
+  // Clipped reads agree with clipping the oracle.
+  Timestamp lo = rng.Uniform(0, domain);
+  Timestamp hi = lo + rng.Uniform(0, domain);
+  ASSERT_OK_AND_ASSIGN(std::vector<Point> clipped,
+                       ReadMergedSeries(*store, TimeRange(lo, hi), nullptr));
+  std::vector<Point> expected_clipped;
+  for (const Point& p : expected) {
+    if (p.t >= lo && p.t <= hi) expected_clipped.push_back(p);
+  }
+  EXPECT_EQ(clipped, expected_clipped) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{31}));
+
+}  // namespace
+}  // namespace tsviz

@@ -1,0 +1,76 @@
+#include "workload/ooo.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+TEST(OooTest, ZeroOverlapKeepsOrder) {
+  std::vector<Point> points = MakeLinearSeries(1000, 0, 10);
+  Rng rng(1);
+  std::vector<Point> arrivals = MakeOverlappingOrder(points, 100, 0.0, &rng);
+  EXPECT_EQ(arrivals, points);
+  EXPECT_EQ(MeasureBatchOverlap(arrivals, 100), 0.0);
+}
+
+TEST(OooTest, PreservesMultisetOfPoints) {
+  std::vector<Point> points = MakeLinearSeries(1000, 0, 10);
+  Rng rng(2);
+  std::vector<Point> arrivals = MakeOverlappingOrder(points, 100, 0.4, &rng);
+  ASSERT_EQ(arrivals.size(), points.size());
+  std::vector<Point> sorted = arrivals;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Point& a, const Point& b) { return a.t < b.t; });
+  EXPECT_EQ(sorted, points);
+}
+
+class OverlapTarget : public ::testing::TestWithParam<double> {};
+
+TEST_P(OverlapTarget, HitsRequestedOverlapFraction) {
+  std::vector<Point> points = MakeLinearSeries(20000, 0, 10);
+  Rng rng(3);
+  std::vector<Point> arrivals =
+      MakeOverlappingOrder(points, 100, GetParam(), &rng);
+  double measured = MeasureBatchOverlap(arrivals, 100);
+  EXPECT_NEAR(measured, GetParam(), 0.05) << "target " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, OverlapTarget,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.4, 0.6));
+
+TEST(OooTest, StoreExhibitsTheGeneratedOverlap) {
+  std::vector<Point> points = MakeLinearSeries(10000, 0, 10);
+  Rng rng(4);
+  std::vector<Point> arrivals = MakeOverlappingOrder(points, 100, 0.3, &rng);
+
+  TempDir dir;
+  StoreConfig config;
+  config.data_dir = dir.path();
+  config.points_per_chunk = 100;
+  config.memtable_flush_threshold = 100;
+  auto store_or = TsStore::Open(config);
+  ASSERT_TRUE(store_or.ok());
+  std::unique_ptr<TsStore> store = std::move(store_or).value();
+  ASSERT_OK(store->WriteAll(arrivals));
+  ASSERT_OK(store->Flush());
+  EXPECT_EQ(store->chunks().size(), 100u);
+  EXPECT_NEAR(store->OverlapFraction(), 0.3, 0.05);
+}
+
+TEST(OooTest, TinyInputsAreSafe) {
+  Rng rng(5);
+  std::vector<Point> one = {{0, 1.0}};
+  EXPECT_EQ(MakeOverlappingOrder(one, 10, 0.5, &rng), one);
+  std::vector<Point> empty;
+  EXPECT_TRUE(MakeOverlappingOrder(empty, 10, 0.5, &rng).empty());
+  EXPECT_EQ(MeasureBatchOverlap(one, 10), 0.0);
+}
+
+}  // namespace
+}  // namespace tsviz

@@ -1,0 +1,129 @@
+#include "encoding/page.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+std::vector<Point> SamplePoints(size_t n) {
+  std::vector<Point> points;
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back(Point{static_cast<Timestamp>(1000 + i * 7),
+                           static_cast<Value>(i) * 0.5 - 3.0});
+  }
+  return points;
+}
+
+class PageCodecMatrix
+    : public ::testing::TestWithParam<std::tuple<TsCodec, ValueCodec>> {};
+
+TEST_P(PageCodecMatrix, RoundTripsAllCodecCombinations) {
+  auto [ts_codec, value_codec] = GetParam();
+  std::vector<Point> points = SamplePoints(500);
+  std::string blob;
+  PageInfo info;
+  ASSERT_OK(EncodePage(points.data(), points.size(), ts_codec, value_codec,
+                       &blob, &info));
+  EXPECT_EQ(info.count, 500u);
+  EXPECT_EQ(info.min_t, points.front().t);
+  EXPECT_EQ(info.max_t, points.back().t);
+  EXPECT_EQ(info.offset, 0u);
+  EXPECT_EQ(info.length, blob.size());
+
+  std::vector<Point> decoded;
+  ASSERT_OK(DecodePage(blob, &decoded));
+  EXPECT_EQ(decoded, points);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, PageCodecMatrix,
+    ::testing::Combine(::testing::Values(TsCodec::kPlain, TsCodec::kTs2Diff),
+                       ::testing::Values(ValueCodec::kPlain,
+                                         ValueCodec::kGorilla)));
+
+TEST(PageTest, EmptyPageRejected) {
+  std::string blob;
+  EXPECT_EQ(EncodePage(nullptr, 0, TsCodec::kTs2Diff, ValueCodec::kGorilla,
+                       &blob, nullptr)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PageTest, AppendsAfterExistingBytes) {
+  std::vector<Point> points = SamplePoints(10);
+  std::string blob = "prefix";
+  PageInfo info;
+  ASSERT_OK(EncodePage(points.data(), points.size(), TsCodec::kTs2Diff,
+                       ValueCodec::kGorilla, &blob, &info));
+  EXPECT_EQ(info.offset, 6u);
+  std::vector<Point> decoded;
+  ASSERT_OK(DecodePage(std::string_view(blob).substr(info.offset,
+                                                     info.length),
+                       &decoded));
+  EXPECT_EQ(decoded, points);
+}
+
+TEST(PageTest, ChecksumDetectsEveryByteFlip) {
+  std::vector<Point> points = SamplePoints(50);
+  std::string blob;
+  ASSERT_OK(EncodePage(points.data(), points.size(), TsCodec::kTs2Diff,
+                       ValueCodec::kGorilla, &blob, nullptr));
+  Rng rng(3);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::string corrupt = blob;
+    size_t pos = static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(blob.size()) - 1));
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x40);
+    std::vector<Point> decoded;
+    EXPECT_FALSE(DecodePage(corrupt, &decoded).ok())
+        << "flip at byte " << pos << " undetected";
+  }
+}
+
+TEST(PageTest, TruncationDetected) {
+  std::vector<Point> points = SamplePoints(50);
+  std::string blob;
+  ASSERT_OK(EncodePage(points.data(), points.size(), TsCodec::kTs2Diff,
+                       ValueCodec::kGorilla, &blob, nullptr));
+  for (size_t keep : {size_t{0}, size_t{4}, blob.size() / 2,
+                      blob.size() - 1}) {
+    std::vector<Point> decoded;
+    EXPECT_FALSE(
+        DecodePage(std::string_view(blob).substr(0, keep), &decoded).ok());
+  }
+}
+
+TEST(PageTest, SinglePointPage) {
+  Point p{42, 3.5};
+  std::string blob;
+  PageInfo info;
+  ASSERT_OK(EncodePage(&p, 1, TsCodec::kTs2Diff, ValueCodec::kGorilla, &blob,
+                       &info));
+  EXPECT_EQ(info.min_t, 42);
+  EXPECT_EQ(info.max_t, 42);
+  std::vector<Point> decoded;
+  ASSERT_OK(DecodePage(blob, &decoded));
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0], p);
+}
+
+TEST(PageTest, DecodeAppendsToExistingOutput) {
+  std::vector<Point> points = SamplePoints(5);
+  std::string blob;
+  ASSERT_OK(EncodePage(points.data(), points.size(), TsCodec::kPlain,
+                       ValueCodec::kPlain, &blob, nullptr));
+  std::vector<Point> out = {Point{-1, -1.0}};
+  ASSERT_OK(DecodePage(blob, &out));
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[0], (Point{-1, -1.0}));
+  EXPECT_EQ(out[1], points[0]);
+}
+
+}  // namespace
+}  // namespace tsviz

@@ -1,0 +1,112 @@
+#include "m4/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "test_util.h"
+#include "workload/generator.h"
+#include "workload/ooo.h"
+
+namespace tsviz {
+namespace {
+
+StoreConfig TestConfig(const std::string& dir) {
+  StoreConfig config;
+  config.data_dir = dir;
+  config.points_per_chunk = 100;
+  config.memtable_flush_threshold = 100;
+  config.encoding.page_size_points = 25;
+  return config;
+}
+
+TEST(ParallelTest, RejectsBadThreadCount) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  EXPECT_FALSE(
+      RunM4LsmParallel(*store, M4Query{0, 100, 4}, 0, nullptr).ok());
+}
+
+TEST(ParallelTest, OneThreadEqualsSerial) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  ASSERT_OK(store->WriteAll(MakeLinearSeries(500, 0, 10)));
+  ASSERT_OK(store->Flush());
+  M4Query query{0, 5000, 17};
+  ASSERT_OK_AND_ASSIGN(M4Result serial, RunM4Lsm(*store, query, nullptr));
+  ASSERT_OK_AND_ASSIGN(M4Result parallel,
+                       RunM4LsmParallel(*store, query, 1, nullptr));
+  EXPECT_TRUE(ResultsEquivalent(serial, parallel));
+}
+
+TEST(ParallelTest, MoreThreadsThanSpans) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  ASSERT_OK(store->WriteAll(MakeLinearSeries(300, 0, 10)));
+  ASSERT_OK(store->Flush());
+  M4Query query{0, 3000, 3};
+  ASSERT_OK_AND_ASSIGN(M4Result serial, RunM4Lsm(*store, query, nullptr));
+  ASSERT_OK_AND_ASSIGN(M4Result parallel,
+                       RunM4LsmParallel(*store, query, 16, nullptr));
+  EXPECT_TRUE(ResultsEquivalent(serial, parallel))
+      << FirstMismatch(serial, parallel);
+}
+
+TEST(ParallelTest, StatsAreAggregated) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  ASSERT_OK(store->WriteAll(MakeLinearSeries(1000, 0, 10)));
+  ASSERT_OK(store->Flush());
+  ASSERT_OK(store->DeleteRange(TimeRange(100, 300)));
+  M4Query query{0, 10000, 64};
+  QueryStats stats;
+  ASSERT_OK(RunM4LsmParallel(*store, query, 4, &stats).status());
+  EXPECT_GT(stats.metadata_reads, 0u);
+  EXPECT_GT(stats.candidate_rounds, 0u);
+}
+
+class ParallelProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelProperty, MatchesSerialOnMessyStores) {
+  Rng rng(GetParam());
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+
+  DatasetSpec spec;
+  spec.kind = static_cast<DatasetKind>(GetParam() % 4);
+  spec.num_points = 20000;
+  spec.seed = GetParam();
+  std::vector<Point> points = GenerateDataset(spec);
+  std::vector<Point> arrivals =
+      MakeOverlappingOrder(points, 100, 0.25, &rng);
+  ASSERT_OK(store->WriteAll(arrivals));
+  ASSERT_OK(store->Flush());
+  TimeRange data = store->DataInterval();
+  ASSERT_OK(store->DeleteRange(
+      TimeRange(points[500].t, points[900].t)));
+
+  for (int64_t w : {7, 64, 501}) {
+    M4Query query{data.start, data.end + 1, w};
+    ASSERT_OK_AND_ASSIGN(M4Result serial, RunM4Lsm(*store, query, nullptr));
+    for (int threads : {2, 3, 8}) {
+      ASSERT_OK_AND_ASSIGN(
+          M4Result parallel,
+          RunM4LsmParallel(*store, query, threads, nullptr));
+      ASSERT_TRUE(ResultsEquivalent(serial, parallel))
+          << "seed " << GetParam() << " w=" << w << " threads=" << threads
+          << ": " << FirstMismatch(serial, parallel);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+}  // namespace
+}  // namespace tsviz

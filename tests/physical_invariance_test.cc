@@ -1,0 +1,111 @@
+// Physical-layout invariance: the logical query results (merged series, M4
+// representation) must be identical no matter how the same writes and
+// deletes are laid out physically — chunk size, page size, codecs, WAL
+// on/off. Anything else would mean the operators leak storage details.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "m4/m4_lsm.h"
+#include "read/series_reader.h"
+#include "test_util.h"
+#include "workload/generator.h"
+#include "workload/ooo.h"
+
+namespace tsviz {
+namespace {
+
+struct PhysicalConfig {
+  const char* name;
+  size_t points_per_chunk;
+  size_t page_size;
+  TsCodec ts_codec;
+  ValueCodec value_codec;
+  bool wal;
+};
+
+const PhysicalConfig kConfigs[] = {
+    {"small_chunks_gorilla", 20, 5, TsCodec::kTs2Diff, ValueCodec::kGorilla,
+     true},
+    {"large_chunks_plain", 500, 200, TsCodec::kPlain, ValueCodec::kPlain,
+     true},
+    {"medium_rle_nowal", 100, 25, TsCodec::kTs2Diff, ValueCodec::kRle,
+     false},
+    {"one_point_pages", 50, 1, TsCodec::kTs2Diff, ValueCodec::kGorilla,
+     true},
+};
+
+class PhysicalInvariance : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PhysicalInvariance, ResultsIndependentOfLayout) {
+  Rng rng(GetParam());
+  // One logical history: out-of-order arrivals plus interleaved deletes.
+  DatasetSpec spec;
+  spec.kind = static_cast<DatasetKind>(GetParam() % 4);
+  spec.num_points = 3000;
+  spec.seed = GetParam();
+  std::vector<Point> points = GenerateDataset(spec);
+  std::vector<Point> arrivals = MakeOverlappingOrder(points, 100, 0.3, &rng);
+  Timestamp t_lo = points.front().t;
+  Timestamp t_hi = points.back().t;
+  std::vector<TimeRange> deletes;
+  for (int i = 0; i < 3; ++i) {
+    Timestamp start = rng.Uniform(t_lo, t_hi);
+    deletes.push_back(TimeRange(start, start + (t_hi - t_lo) / 20));
+  }
+  M4Query query{t_lo, t_hi + 1, rng.Uniform(1, 64)};
+
+  std::vector<Point> reference_merged;
+  M4Result reference_m4;
+  for (size_t c = 0; c < std::size(kConfigs); ++c) {
+    const PhysicalConfig& physical = kConfigs[c];
+    TempDir dir;
+    StoreConfig config;
+    config.data_dir = dir.path();
+    config.points_per_chunk = physical.points_per_chunk;
+    config.memtable_flush_threshold = physical.points_per_chunk;
+    config.enable_wal = physical.wal;
+    config.encoding.page_size_points = physical.page_size;
+    config.encoding.ts_codec = physical.ts_codec;
+    config.encoding.value_codec = physical.value_codec;
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                         TsStore::Open(std::move(config)));
+    // Interleave: first half of arrivals, deletes, second half.
+    std::vector<Point> first_half(arrivals.begin(),
+                                  arrivals.begin() + arrivals.size() / 2);
+    std::vector<Point> second_half(arrivals.begin() + arrivals.size() / 2,
+                                   arrivals.end());
+    ASSERT_OK(store->WriteAll(first_half));
+    ASSERT_OK(store->Flush());
+    for (const TimeRange& del : deletes) {
+      ASSERT_OK(store->DeleteRange(del));
+    }
+    ASSERT_OK(store->WriteAll(second_half));
+    ASSERT_OK(store->Flush());
+
+    ASSERT_OK_AND_ASSIGN(
+        std::vector<Point> merged,
+        ReadMergedSeries(*store, TimeRange(t_lo, t_hi), nullptr));
+    ASSERT_OK_AND_ASSIGN(M4Result m4, RunM4Lsm(*store, query, nullptr));
+    if (c == 0) {
+      reference_merged = std::move(merged);
+      reference_m4 = std::move(m4);
+      ASSERT_FALSE(reference_merged.empty());
+    } else {
+      EXPECT_EQ(merged, reference_merged)
+          << "seed " << GetParam() << " config " << physical.name;
+      EXPECT_TRUE(ResultsEquivalent(m4, reference_m4))
+          << "seed " << GetParam() << " config " << physical.name << ": "
+          << FirstMismatch(m4, reference_m4);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PhysicalInvariance,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+}  // namespace
+}  // namespace tsviz

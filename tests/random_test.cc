@@ -1,0 +1,88 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace tsviz {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000000), b.Uniform(0, 1000000));
+  }
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDegenerateRange) {
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.Uniform(7, 7), 7);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+  // Out-of-range probabilities clamp instead of misbehaving.
+  EXPECT_FALSE(rng.Bernoulli(-1.0));
+  EXPECT_TRUE(rng.Bernoulli(2.0));
+}
+
+TEST(RngTest, GaussianRoughMoments) {
+  Rng rng(4);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, ZipfInRangeAndSkewed) {
+  Rng rng(5);
+  const int64_t n = 1000;
+  std::vector<int> histogram(static_cast<size_t>(n), 0);
+  for (int i = 0; i < 20000; ++i) {
+    int64_t v = rng.Zipf(n, 1.2);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, n);
+    ++histogram[static_cast<size_t>(v)];
+  }
+  // Rank 0 dominates the tail under Zipf skew.
+  EXPECT_GT(histogram[0], histogram[100] * 5);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(6);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<size_t>(i)] = i;
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+}  // namespace
+}  // namespace tsviz

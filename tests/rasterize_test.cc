@@ -1,0 +1,173 @@
+#include "viz/rasterize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "m4/reference.h"
+#include "test_util.h"
+#include "viz/pixel_diff.h"
+
+namespace tsviz {
+namespace {
+
+TEST(BitmapTest, SetGetAndCount) {
+  Bitmap bitmap(10, 5);
+  EXPECT_FALSE(bitmap.Get(3, 2));
+  bitmap.Set(3, 2);
+  EXPECT_TRUE(bitmap.Get(3, 2));
+  bitmap.Set(3, 2);  // idempotent
+  EXPECT_EQ(bitmap.CountSet(), 1u);
+  // Out-of-bounds writes are ignored, reads return false.
+  bitmap.Set(-1, 0);
+  bitmap.Set(10, 0);
+  bitmap.Set(0, 5);
+  EXPECT_EQ(bitmap.CountSet(), 1u);
+  EXPECT_FALSE(bitmap.Get(-1, 0));
+}
+
+TEST(BitmapTest, PgmHeaderAndPayload) {
+  Bitmap bitmap(4, 2);
+  bitmap.Set(0, 0);
+  std::string pgm = bitmap.ToPgm();
+  EXPECT_EQ(pgm.substr(0, 9), "P5\n4 2\n25");
+  EXPECT_EQ(pgm.size(), std::string("P5\n4 2\n255\n").size() + 8);
+  // First payload byte is black (0), the rest white (255).
+  size_t payload = std::string("P5\n4 2\n255\n").size();
+  EXPECT_EQ(static_cast<uint8_t>(pgm[payload]), 0);
+  EXPECT_EQ(static_cast<uint8_t>(pgm[payload + 1]), 255);
+}
+
+TEST(BitmapTest, PixelDiffCounts) {
+  Bitmap a(8, 8);
+  Bitmap b(8, 8);
+  EXPECT_EQ(PixelDiff(a, b), 0u);
+  a.Set(1, 1);
+  b.Set(2, 2);
+  EXPECT_EQ(PixelDiff(a, b), 2u);
+  PixelAccuracyReport report = ComparePixels(a, b);
+  EXPECT_EQ(report.differing_pixels, 2u);
+  EXPECT_EQ(report.total_pixels, 64u);
+  EXPECT_NEAR(report.ErrorRatio(), 2.0 / 64.0, 1e-12);
+}
+
+TEST(RasterizeTest, HorizontalLineLightsOneRowPerColumn) {
+  std::vector<Point> points = MakeSeries(100, 0, 10, [](size_t) {
+    return 5.0;
+  });
+  M4Query query{0, 1000, 10};
+  CanvasSpec spec = FitCanvas(points, query, 10, 8);
+  Bitmap bitmap = RasterizeSeries(points, spec);
+  for (int x = 0; x < 10; ++x) {
+    int lit = 0;
+    for (int y = 0; y < 8; ++y) lit += bitmap.Get(x, y) ? 1 : 0;
+    EXPECT_EQ(lit, 1) << "column " << x;
+  }
+}
+
+TEST(RasterizeTest, VerticalJumpFillsTheColumn) {
+  // Two points in the same column at value extremes: the connecting line is
+  // vertical, so the whole column between them lights up.
+  std::vector<Point> points = {{0, 0.0}, {5, 10.0}};
+  CanvasSpec spec{1, 10, 0, 10, 0.0, 10.0};
+  Bitmap bitmap = RasterizeSeries(points, spec);
+  for (int y = 0; y < 10; ++y) {
+    EXPECT_TRUE(bitmap.Get(0, y)) << "row " << y;
+  }
+}
+
+TEST(RasterizeTest, M4RepresentationIsPixelExact) {
+  // The core M4 guarantee (Figure 1): rendering the 4w representation points
+  // equals rendering the full series, pixel for pixel, when the column count
+  // matches w.
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Point> points;
+    Timestamp t = 0;
+    double v = 0;
+    size_t n = static_cast<size_t>(rng.Uniform(200, 3000));
+    for (size_t i = 0; i < n; ++i) {
+      points.push_back(Point{t, v});
+      t += rng.Uniform(1, 20);
+      v += rng.Gaussian(0, 5);
+    }
+    M4Query query{0, t + 1, static_cast<int64_t>(rng.Uniform(5, 120))};
+    M4Result rows = ReferenceM4(points, query);
+
+    CanvasSpec spec = FitCanvas(points, query,
+                                static_cast<int>(query.w),
+                                static_cast<int>(rng.Uniform(20, 200)));
+    Bitmap full = RasterizeSeries(points, spec);
+    Bitmap reduced = RasterizeM4(rows, spec);
+    EXPECT_EQ(PixelDiff(full, reduced), 0u) << "trial " << trial;
+  }
+}
+
+TEST(RasterizeTest, MinMaxRepresentationIsNotPixelExact) {
+  // A series whose inter-column segments depend on first/last points that
+  // MinMax discards.
+  Rng rng(23);
+  std::vector<Point> points;
+  Timestamp t = 0;
+  for (int i = 0; i < 2000; ++i) {
+    points.push_back(Point{t, rng.Gaussian(0, 10)});
+    t += rng.Uniform(1, 10);
+  }
+  M4Query query{0, t + 1, 50};
+  CanvasSpec spec = FitCanvas(points, query, 50, 100);
+  Bitmap full = RasterizeSeries(points, spec);
+  Bitmap minmax = RasterizeM4(MinMaxRepresentation(points, query), spec);
+  Bitmap sampled =
+      RasterizeM4(SampledRepresentation(points, query, 10), spec);
+  EXPECT_GT(PixelDiff(full, minmax), 0u);
+  EXPECT_GT(PixelDiff(full, sampled), 0u);
+  // But MinMax is still closer to the truth than crude sampling.
+  EXPECT_LT(PixelDiff(full, minmax), PixelDiff(full, sampled));
+}
+
+TEST(RasterizeTest, M4PolylineDeduplicatesSharedPoints) {
+  M4Row row;
+  row.has_data = true;
+  row.first = row.bottom = {10, 1.0};  // first is also the bottom
+  row.top = {20, 5.0};
+  row.last = {30, 2.0};
+  std::vector<Point> polyline = M4Polyline({row});
+  EXPECT_EQ(polyline.size(), 3u);
+  EXPECT_EQ(polyline[0].t, 10);
+  EXPECT_EQ(polyline[1].t, 20);
+  EXPECT_EQ(polyline[2].t, 30);
+}
+
+TEST(RasterizeTest, EmptyRowsProduceEmptyPolyline) {
+  EXPECT_TRUE(M4Polyline({M4Row{}, M4Row{}}).empty());
+}
+
+TEST(RasterizeTest, FitCanvasIgnoresOutOfRangePoints) {
+  std::vector<Point> points = {{-5, 1000.0}, {5, 1.0}, {6, 2.0},
+                               {100, -1000.0}};
+  CanvasSpec spec = FitCanvas(points, M4Query{0, 10, 2}, 2, 10);
+  EXPECT_EQ(spec.vmin, 1.0);
+  EXPECT_EQ(spec.vmax, 2.0);
+}
+
+TEST(RasterizeTest, ConstantValueDomainRendersMidBand) {
+  std::vector<Point> points = MakeSeries(10, 0, 1, [](size_t) {
+    return 7.0;
+  });
+  CanvasSpec spec = FitCanvas(points, M4Query{0, 10, 5}, 5, 9);
+  EXPECT_EQ(spec.vmin, spec.vmax);
+  Bitmap bitmap = RasterizeSeries(points, spec);
+  EXPECT_GT(bitmap.CountSet(), 0u);
+}
+
+TEST(RasterizeTest, AsciiRendering) {
+  Bitmap bitmap(4, 2);
+  bitmap.Set(0, 0);
+  bitmap.Set(3, 1);
+  EXPECT_EQ(bitmap.ToAscii(), "#...\n...#\n");
+}
+
+}  // namespace
+}  // namespace tsviz

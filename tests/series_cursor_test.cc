@@ -1,0 +1,82 @@
+#include "read/series_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+StoreConfig TestConfig(const std::string& dir) {
+  StoreConfig config;
+  config.data_dir = dir;
+  config.points_per_chunk = 50;
+  config.memtable_flush_threshold = 50;
+  config.encoding.page_size_points = 16;
+  return config;
+}
+
+TEST(SeriesCursorTest, StreamsSamePointsAsBatchRead) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  Rng rng(1);
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 120; ++i) {
+      ASSERT_OK(store->Write(rng.Uniform(0, 5000), rng.Gaussian(0, 10)));
+    }
+    ASSERT_OK(store->Flush());
+  }
+  ASSERT_OK(store->DeleteRange(TimeRange(1000, 1500)));
+
+  TimeRange range(200, 4200);
+  ASSERT_OK_AND_ASSIGN(std::vector<Point> batch,
+                       ReadMergedSeries(*store, range, nullptr));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<SeriesCursor> cursor,
+                       SeriesCursor::Open(*store, range));
+  std::vector<Point> streamed;
+  Point p;
+  while (true) {
+    ASSERT_OK_AND_ASSIGN(bool more, cursor->Next(&p));
+    if (!more) break;
+    streamed.push_back(p);
+  }
+  EXPECT_EQ(streamed, batch);
+}
+
+TEST(SeriesCursorTest, EmptyRangeYieldsNothing) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  ASSERT_OK(store->WriteAll(MakeLinearSeries(50, 0, 10)));
+  ASSERT_OK(store->Flush());
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<SeriesCursor> cursor,
+                       SeriesCursor::Open(*store, TimeRange(10000, 20000)));
+  Point p;
+  ASSERT_OK_AND_ASSIGN(bool more, cursor->Next(&p));
+  EXPECT_FALSE(more);
+}
+
+TEST(SeriesCursorTest, CountsIoLazily) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  ASSERT_OK(store->WriteAll(MakeLinearSeries(500, 0, 10)));
+  ASSERT_OK(store->Flush());
+  QueryStats stats;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<SeriesCursor> cursor,
+                       SeriesCursor::Open(*store, TimeRange(0, 5000), &stats));
+  EXPECT_EQ(stats.bytes_read, 0u);  // nothing touched until the first Next
+  Point p;
+  ASSERT_OK_AND_ASSIGN(bool more, cursor->Next(&p));
+  ASSERT_TRUE(more);
+  EXPECT_GT(stats.bytes_read, 0u);
+  // Only the leading pages have been decoded, not the whole range.
+  EXPECT_LT(stats.pages_decoded, 32u);
+}
+
+}  // namespace
+}  // namespace tsviz

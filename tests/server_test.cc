@@ -1,0 +1,146 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+// Blocking line-protocol client for the tests.
+class TestClient {
+ public:
+  explicit TestClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+        << std::strerror(errno);
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void Send(const std::string& line) {
+    std::string data = line + "\n";
+    ASSERT_EQ(::send(fd_, data.data(), data.size(), 0),
+              static_cast<ssize_t>(data.size()));
+  }
+
+  // Reads until the blank-line terminator; returns the payload without it.
+  std::string ReadReply() {
+    std::string reply;
+    char chunk[4096];
+    while (reply.find("\n\n") == std::string::npos) {
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      reply.append(chunk, static_cast<size_t>(n));
+    }
+    size_t end = reply.find("\n\n");
+    return end == std::string::npos ? reply : reply.substr(0, end + 1);
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseConfig config;
+    config.root_dir = dir_.path();
+    config.series_defaults.points_per_chunk = 50;
+    config.series_defaults.memtable_flush_threshold = 50;
+    auto db = Database::Open(config);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_OK(db_->Write("s1", i * 10, i * 1.0));
+    }
+    ASSERT_OK(db_->FlushAll());
+    server_ = std::make_unique<SqlServer>(db_.get());
+    ASSERT_OK(server_->Start(0));
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<SqlServer> server_;
+};
+
+TEST_F(ServerTest, AnswersSqlOverTheWire) {
+  TestClient client(server_->port());
+  client.Send("SELECT COUNT(v) FROM s1 GROUP BY SPANS(2)");
+  std::string reply = client.ReadReply();
+  EXPECT_NE(reply.find("span_start,COUNT(v)"), std::string::npos);
+  EXPECT_NE(reply.find(",50"), std::string::npos);
+}
+
+TEST_F(ServerTest, MultipleQueriesOnOneConnection) {
+  TestClient client(server_->port());
+  client.Send("SELECT COUNT(v) FROM s1");
+  std::string first = client.ReadReply();
+  EXPECT_NE(first.find("100"), std::string::npos);
+  client.Send("SELECT MAX_VALUE(v) FROM s1");
+  std::string second = client.ReadReply();
+  EXPECT_NE(second.find("99"), std::string::npos);
+}
+
+TEST_F(ServerTest, ErrorsAreReportedInBand) {
+  TestClient client(server_->port());
+  client.Send("SELECT FROM nothing");
+  std::string reply = client.ReadReply();
+  EXPECT_EQ(reply.rfind("ERROR:", 0), 0u) << reply;
+  // The connection survives an error.
+  client.Send("SELECT COUNT(v) FROM s1");
+  EXPECT_NE(client.ReadReply().find("100"), std::string::npos);
+}
+
+TEST_F(ServerTest, ConcurrentClients) {
+  TestClient a(server_->port());
+  TestClient b(server_->port());
+  a.Send("SELECT COUNT(v) FROM s1");
+  b.Send("SELECT MIN_VALUE(v) FROM s1");
+  EXPECT_NE(a.ReadReply().find("100"), std::string::npos);
+  EXPECT_NE(b.ReadReply().find(",0"), std::string::npos);
+}
+
+TEST_F(ServerTest, StopIsIdempotentAndUnblocksClients) {
+  TestClient client(server_->port());
+  server_->Stop();
+  server_->Stop();  // idempotent
+  // After Stop the connection is shut down: a write may fail outright and a
+  // read must terminate (empty reply), never hang.
+  std::string data = "SELECT COUNT(v) FROM s1\n";
+  (void)::send(client.fd(), data.data(), data.size(), MSG_NOSIGNAL);
+  std::string reply = client.ReadReply();
+  EXPECT_TRUE(reply.empty() || reply.rfind("ERROR", 0) == 0) << reply;
+}
+
+TEST(ServerLifecycleTest, StartTwiceRejected) {
+  TempDir dir;
+  DatabaseConfig config;
+  config.root_dir = dir.path();
+  auto db = Database::Open(config);
+  ASSERT_TRUE(db.ok());
+  SqlServer server(db->get());
+  ASSERT_OK(server.Start(0));
+  EXPECT_EQ(server.Start(0).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace tsviz

@@ -1,0 +1,125 @@
+#include "m4/span.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+TEST(M4QueryTest, Validation) {
+  EXPECT_OK((M4Query{0, 100, 4}.Validate()));
+  EXPECT_EQ((M4Query{0, 100, 0}.Validate().code()),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((M4Query{0, 100, -3}.Validate().code()),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((M4Query{100, 100, 4}.Validate().code()),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((M4Query{100, 50, 4}.Validate().code()),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SpanSetTest, EvenDivision) {
+  SpanSet spans(M4Query{0, 100, 4});
+  EXPECT_EQ(spans.num_spans(), 4);
+  EXPECT_EQ(spans.SpanStart(0), 0);
+  EXPECT_EQ(spans.SpanStart(1), 25);
+  EXPECT_EQ(spans.SpanStart(4), 100);
+  EXPECT_EQ(spans.SpanRange(0), TimeRange(0, 24));
+  EXPECT_EQ(spans.SpanRange(3), TimeRange(75, 99));
+  EXPECT_EQ(spans.IndexOf(0), 0);
+  EXPECT_EQ(spans.IndexOf(24), 0);
+  EXPECT_EQ(spans.IndexOf(25), 1);
+  EXPECT_EQ(spans.IndexOf(99), 3);
+}
+
+TEST(SpanSetTest, UnevenDivisionMatchesFloorFormula) {
+  // 10 timestamps into 3 spans: floor(3*t/10).
+  SpanSet spans(M4Query{0, 10, 3});
+  for (Timestamp t = 0; t < 10; ++t) {
+    EXPECT_EQ(spans.IndexOf(t), 3 * t / 10) << "t=" << t;
+  }
+}
+
+TEST(SpanSetTest, RangeShorterThanSpanCount) {
+  // More pixel columns than timestamps: some spans are empty (length 0
+  // after rounding) and must never claim a timestamp.
+  SpanSet spans(M4Query{0, 5, 10});
+  for (Timestamp t = 0; t < 5; ++t) {
+    int64_t idx = spans.IndexOf(t);
+    TimeRange range = spans.SpanRange(idx);
+    EXPECT_TRUE(range.Contains(t)) << "t=" << t;
+  }
+}
+
+TEST(SpanSetTest, NegativeTimestamps) {
+  SpanSet spans(M4Query{-100, 100, 4});
+  EXPECT_EQ(spans.IndexOf(-100), 0);
+  EXPECT_EQ(spans.IndexOf(-1), 1);
+  EXPECT_EQ(spans.IndexOf(0), 2);
+  EXPECT_EQ(spans.IndexOf(99), 3);
+  EXPECT_EQ(spans.SpanStart(0), -100);
+  EXPECT_EQ(spans.SpanStart(4), 100);
+}
+
+TEST(SpanSetTest, InQueryRangeIsHalfOpen) {
+  SpanSet spans(M4Query{10, 20, 2});
+  EXPECT_TRUE(spans.InQueryRange(10));
+  EXPECT_TRUE(spans.InQueryRange(19));
+  EXPECT_FALSE(spans.InQueryRange(20));
+  EXPECT_FALSE(spans.InQueryRange(9));
+}
+
+TEST(SpanSetTest, LargeValuesDoNotOverflow) {
+  // Microsecond timestamps over a year with 10k spans: products exceed
+  // 64 bits without the 128-bit arithmetic.
+  Timestamp start = 1600000000000000;
+  Timestamp end = start + 31536000000000;  // one year in us
+  SpanSet spans(M4Query{start, end, 10000});
+  EXPECT_EQ(spans.IndexOf(start), 0);
+  EXPECT_EQ(spans.IndexOf(end - 1), 9999);
+  EXPECT_EQ(spans.SpanStart(10000), end);
+  for (int64_t i = 0; i < 10000; i += 997) {
+    TimeRange range = spans.SpanRange(i);
+    EXPECT_EQ(spans.IndexOf(range.start), i);
+    EXPECT_EQ(spans.IndexOf(range.end), i);
+  }
+}
+
+// Property: spans partition the query range — every timestamp belongs to
+// exactly the span whose range contains it, and consecutive ranges tile
+// without gaps or overlap.
+class SpanPartitionProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpanPartitionProperty, SpansPartitionTheRange) {
+  Rng rng(GetParam());
+  Timestamp tqs = rng.Uniform(-1000000, 1000000);
+  Timestamp len = rng.Uniform(1, 100000);
+  int64_t w = rng.Uniform(1, 300);
+  SpanSet spans(M4Query{tqs, tqs + len, w});
+
+  EXPECT_EQ(spans.SpanStart(0), tqs);
+  EXPECT_EQ(spans.SpanStart(w), tqs + len);
+  for (int64_t i = 1; i <= w; ++i) {
+    EXPECT_GE(spans.SpanStart(i), spans.SpanStart(i - 1));
+  }
+  // Sampled timestamps: index and range agree.
+  for (int trial = 0; trial < 300; ++trial) {
+    Timestamp t = tqs + rng.Uniform(0, len - 1);
+    int64_t idx = spans.IndexOf(t);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, w);
+    EXPECT_TRUE(spans.SpanRange(idx).Contains(t))
+        << "seed " << GetParam() << " t=" << t;
+    if (idx > 0) {
+      EXPECT_FALSE(spans.SpanRange(idx - 1).Contains(t));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpanPartitionProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{26}));
+
+}  // namespace
+}  // namespace tsviz

@@ -1,0 +1,247 @@
+#include "sql/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "m4/m4_udf.h"
+#include "test_util.h"
+
+namespace tsviz::sql {
+namespace {
+
+class SqlExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseConfig config;
+    config.root_dir = dir_.path();
+    config.series_defaults.points_per_chunk = 40;
+    config.series_defaults.memtable_flush_threshold = 40;
+    auto db = Database::Open(config);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    // 200 points: t = 0,10,...,1990; v = t/10 except a dip at t=500.
+    for (int i = 0; i < 200; ++i) {
+      double v = i == 50 ? -100.0 : i;
+      ASSERT_OK(db_->Write("s1", i * 10, v));
+    }
+    ASSERT_OK(db_->FlushAll());
+  }
+
+  ResultSet MustQuery(const std::string& statement) {
+    auto result = ExecuteQuery(db_.get(), statement, nullptr);
+    EXPECT_TRUE(result.ok()) << result.status().ToString() << " for "
+                             << statement;
+    return result.ok() ? *result : ResultSet();
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(SqlExecutorTest, RawSelectReturnsMergedPoints) {
+  ResultSet result =
+      MustQuery("SELECT v FROM s1 WHERE time >= 100 AND time < 150");
+  EXPECT_EQ(result.columns(),
+            (std::vector<std::string>{"time", "value"}));
+  ASSERT_EQ(result.num_rows(), 5u);
+  EXPECT_EQ(result.rows()[0][0], ResultSet::Cell(int64_t{100}));
+  EXPECT_EQ(result.rows()[0][1], ResultSet::Cell(10.0));
+}
+
+TEST_F(SqlExecutorTest, M4ShorthandMatchesOperator) {
+  ResultSet result = MustQuery(
+      "SELECT M4(v) FROM s1 WHERE time >= 0 AND time < 2000 "
+      "GROUP BY SPANS(4)");
+  ASSERT_EQ(result.columns().size(), 9u);  // span_start + 8 M4 columns
+  ASSERT_EQ(result.num_rows(), 4u);
+
+  auto store = db_->GetSeries("s1");
+  ASSERT_TRUE(store.ok());
+  ASSERT_OK_AND_ASSIGN(M4Result m4,
+                       RunM4Udf(**store, M4Query{0, 2000, 4}, nullptr));
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(result.rows()[i][1], ResultSet::Cell(m4[i].first.t));
+    EXPECT_EQ(result.rows()[i][4], ResultSet::Cell(m4[i].last.v));
+    EXPECT_EQ(result.rows()[i][6], ResultSet::Cell(m4[i].bottom.v));
+    EXPECT_EQ(result.rows()[i][8], ResultSet::Cell(m4[i].top.v));
+  }
+  // The dip at t=500 is span 1's bottom.
+  EXPECT_EQ(result.rows()[1][6], ResultSet::Cell(-100.0));
+}
+
+TEST_F(SqlExecutorTest, MixedAggregatesJoinOnSpan) {
+  ResultSet result = MustQuery(
+      "SELECT MIN_VALUE(v), MAX_VALUE(v), COUNT(v), AVG(v) FROM s1 "
+      "WHERE time >= 0 AND time < 2000 GROUP BY SPANS(2)");
+  EXPECT_EQ(result.columns(),
+            (std::vector<std::string>{"span_start", "BOTTOM_VALUE(v)",
+                                      "TOP_VALUE(v)", "COUNT(v)", "AVG(v)"}));
+  ASSERT_EQ(result.num_rows(), 2u);
+  EXPECT_EQ(result.rows()[0][1], ResultSet::Cell(-100.0));
+  EXPECT_EQ(result.rows()[0][2], ResultSet::Cell(99.0));
+  EXPECT_EQ(result.rows()[0][3], ResultSet::Cell(int64_t{100}));
+  EXPECT_EQ(result.rows()[1][3], ResultSet::Cell(int64_t{100}));
+  // avg of 100..199 = 149.5.
+  EXPECT_EQ(result.rows()[1][4], ResultSet::Cell(149.5));
+}
+
+TEST_F(SqlExecutorTest, DefaultsToFullRangeAndOneSpan) {
+  ResultSet result = MustQuery("SELECT COUNT(v) FROM s1");
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(result.rows()[0][1], ResultSet::Cell(int64_t{200}));
+}
+
+TEST_F(SqlExecutorTest, EmptySpansAreNull) {
+  ASSERT_OK(db_->DeleteRange("s1", TimeRange(0, 990)));
+  ResultSet result = MustQuery(
+      "SELECT MIN(v), COUNT(v) FROM s1 WHERE time >= 0 AND time < 2000 "
+      "GROUP BY SPANS(2)");
+  ASSERT_EQ(result.num_rows(), 2u);
+  EXPECT_EQ(result.rows()[0][1], ResultSet::Cell());  // null min
+  EXPECT_EQ(result.rows()[0][2], ResultSet::Cell(int64_t{0}));
+  EXPECT_EQ(result.rows()[1][2], ResultSet::Cell(int64_t{100}));
+}
+
+TEST_F(SqlExecutorTest, TimeEqualitySelectsOnePoint) {
+  ResultSet result = MustQuery("SELECT v FROM s1 WHERE time = 170");
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(result.rows()[0][1], ResultSet::Cell(17.0));
+}
+
+TEST_F(SqlExecutorTest, SemanticErrors) {
+  EXPECT_EQ(ExecuteQuery(db_.get(), "SELECT v FROM nope", nullptr)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(ExecuteQuery(db_.get(),
+                            "SELECT v, COUNT(v) FROM s1", nullptr)
+                   .ok());  // raw + aggregate mix
+  EXPECT_FALSE(ExecuteQuery(db_.get(),
+                            "SELECT v FROM s1 GROUP BY SPANS(4)", nullptr)
+                   .ok());  // raw + group by
+  EXPECT_FALSE(
+      ExecuteQuery(db_.get(),
+                   "SELECT COUNT(v) FROM s1 WHERE time >= 100 AND time < 50",
+                   nullptr)
+          .ok());  // empty range
+}
+
+TEST_F(SqlExecutorTest, ExplainDescribesThePlanWithoutExecuting) {
+  ResultSet result = MustQuery(
+      "EXPLAIN SELECT M4(v), COUNT(v) FROM s1 WHERE time >= 0 AND "
+      "time < 2000 GROUP BY SPANS(4)");
+  EXPECT_EQ(result.columns(), (std::vector<std::string>{"step", "detail"}));
+  std::string text = result.ToString();
+  EXPECT_NE(text.find("merge-free M4-LSM"), std::string::npos);
+  EXPECT_NE(text.find("merged scan"), std::string::npos);
+  EXPECT_NE(text.find("s1"), std::string::npos);
+  EXPECT_NE(text.find("[0, 2000)"), std::string::npos);
+  // chunks_overlapping is reported from metadata (5 chunks of 40 points).
+  EXPECT_NE(text.find("chunks_overlapping"), std::string::npos);
+}
+
+TEST_F(SqlExecutorTest, ExplainRawPath) {
+  ResultSet result = MustQuery("EXPLAIN SELECT v FROM s1");
+  EXPECT_NE(result.ToString().find("raw merged points"), std::string::npos);
+}
+
+TEST_F(SqlExecutorTest, ValueFilterOnRawSelect) {
+  // Values are 0..199 except -100 at t=500.
+  ResultSet result =
+      MustQuery("SELECT v FROM s1 WHERE value < 0");
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(result.rows()[0][0], ResultSet::Cell(int64_t{500}));
+  ResultSet band = MustQuery(
+      "SELECT v FROM s1 WHERE value >= 10 AND value < 12 AND time < 1000");
+  EXPECT_EQ(band.num_rows(), 2u);  // v = 10, 11
+  ResultSet mirrored = MustQuery("SELECT v FROM s1 WHERE 0 > value");
+  EXPECT_EQ(mirrored.num_rows(), 1u);
+  // Value filters make no sense for metadata-served aggregates.
+  EXPECT_FALSE(ExecuteQuery(db_.get(),
+                            "SELECT MIN(v) FROM s1 WHERE value > 0",
+                            nullptr)
+                   .ok());
+}
+
+TEST_F(SqlExecutorTest, LimitTruncatesRows) {
+  ResultSet raw = MustQuery("SELECT v FROM s1 LIMIT 7");
+  EXPECT_EQ(raw.num_rows(), 7u);
+  ResultSet agg = MustQuery(
+      "SELECT COUNT(v) FROM s1 GROUP BY SPANS(10) LIMIT 3");
+  EXPECT_EQ(agg.num_rows(), 3u);
+  ResultSet all = MustQuery("SELECT v FROM s1 LIMIT 100000");
+  EXPECT_EQ(all.num_rows(), 200u);
+}
+
+TEST_F(SqlExecutorTest, ToStringAndCsvRender) {
+  ResultSet result =
+      MustQuery("SELECT COUNT(v) FROM s1 GROUP BY SPANS(2)");
+  std::string table = result.ToString();
+  EXPECT_NE(table.find("span_start"), std::string::npos);
+  EXPECT_NE(table.find("COUNT(v)"), std::string::npos);
+  std::string csv = result.ToCsv();
+  EXPECT_NE(csv.find("span_start,COUNT(v)"), std::string::npos);
+}
+
+// Property: the SQL M4 path agrees with the direct operator API on messy
+// multi-chunk stores.
+class SqlM4Property : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SqlM4Property, SqlMatchesOperator) {
+  Rng rng(GetParam());
+  TempDir dir;
+  DatabaseConfig config;
+  config.root_dir = dir.path();
+  config.series_defaults.points_per_chunk = 30;
+  config.series_defaults.memtable_flush_threshold = 30;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                       Database::Open(config));
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 90; ++i) {
+      ASSERT_OK(db->Write("s", rng.Uniform(0, 3000),
+                          std::round(rng.Gaussian(0, 25))));
+    }
+    ASSERT_OK(db->FlushAll());
+    if (rng.Bernoulli(0.5)) {
+      Timestamp start = rng.Uniform(0, 3000);
+      ASSERT_OK(db->DeleteRange("s",
+                                TimeRange(start, start + rng.Uniform(1, 600))));
+    }
+  }
+  int64_t w = rng.Uniform(1, 40);
+  Timestamp tqs = rng.Uniform(0, 1000);
+  Timestamp tqe = tqs + rng.Uniform(1, 3000);
+
+  std::string statement =
+      "SELECT M4(v) FROM s WHERE time >= " + std::to_string(tqs) +
+      " AND time < " + std::to_string(tqe) + " GROUP BY SPANS(" +
+      std::to_string(w) + ")";
+  ASSERT_OK_AND_ASSIGN(ResultSet result,
+                       ExecuteQuery(db.get(), statement, nullptr));
+
+  auto store = db->GetSeries("s");
+  ASSERT_TRUE(store.ok());
+  ASSERT_OK_AND_ASSIGN(M4Result m4,
+                       RunM4Udf(**store, M4Query{tqs, tqe, w}, nullptr));
+  ASSERT_EQ(result.num_rows(), m4.size());
+  for (size_t i = 0; i < m4.size(); ++i) {
+    if (!m4[i].has_data) {
+      EXPECT_EQ(result.rows()[i][1], ResultSet::Cell())
+          << "seed " << GetParam() << " span " << i;
+      continue;
+    }
+    EXPECT_EQ(result.rows()[i][1], ResultSet::Cell(m4[i].first.t))
+        << "seed " << GetParam() << " span " << i;
+    EXPECT_EQ(result.rows()[i][3], ResultSet::Cell(m4[i].last.t));
+    EXPECT_EQ(result.rows()[i][6], ResultSet::Cell(m4[i].bottom.v));
+    EXPECT_EQ(result.rows()[i][8], ResultSet::Cell(m4[i].top.v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlM4Property,
+                         ::testing::Range(uint64_t{1}, uint64_t{16}));
+
+}  // namespace
+}  // namespace tsviz::sql

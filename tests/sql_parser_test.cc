@@ -1,0 +1,139 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "test_util.h"
+
+namespace tsviz::sql {
+namespace {
+
+TEST(LexerTest, TokenizesAllTokenKinds) {
+  ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens,
+                       Tokenize("SELECT m4(v), -3.5e2 <= >= < > = (*) x_1.y"));
+  std::vector<TokenType> types;
+  for (const Token& t : tokens) types.push_back(t.type);
+  EXPECT_EQ(types, (std::vector<TokenType>{
+                       TokenType::kIdentifier, TokenType::kIdentifier,
+                       TokenType::kLParen, TokenType::kIdentifier,
+                       TokenType::kRParen, TokenType::kComma,
+                       TokenType::kNumber, TokenType::kLessEq,
+                       TokenType::kGreaterEq, TokenType::kLess,
+                       TokenType::kGreater, TokenType::kEq,
+                       TokenType::kLParen, TokenType::kStar,
+                       TokenType::kRParen, TokenType::kIdentifier,
+                       TokenType::kEnd}));
+  EXPECT_DOUBLE_EQ(tokens[6].number, -350.0);
+  EXPECT_EQ(tokens[15].text, "x_1.y");
+}
+
+TEST(LexerTest, RejectsGarbageCharacters) {
+  EXPECT_FALSE(Tokenize("SELECT @foo").ok());
+  EXPECT_FALSE(Tokenize("SELECT ;").ok());
+}
+
+TEST(LexerTest, EmptyInputIsJustEnd) {
+  ASSERT_OK_AND_ASSIGN(std::vector<Token> tokens, Tokenize("   "));
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(ParserTest, MinimalSelect) {
+  ASSERT_OK_AND_ASSIGN(SelectStatement stmt,
+                       ParseSelect("SELECT v FROM temperature"));
+  ASSERT_EQ(stmt.items.size(), 1u);
+  EXPECT_EQ(stmt.items[0].kind, FuncKind::kRawColumn);
+  EXPECT_EQ(stmt.items[0].argument, "v");
+  EXPECT_EQ(stmt.series, "temperature");
+  EXPECT_TRUE(stmt.where.empty());
+  EXPECT_FALSE(stmt.spans.has_value());
+}
+
+TEST(ParserTest, AppendixA1Form) {
+  // The shape of the paper's Appendix A.1 SQL, modulo the GROUP BY spelling.
+  ASSERT_OK_AND_ASSIGN(
+      SelectStatement stmt,
+      ParseSelect("SELECT FirstTime(v), FirstValue(v), LastTime(v), "
+                  "LastValue(v), BottomTime(v), BottomValue(v), TopTime(v), "
+                  "TopValue(v) FROM root.sg1.d1.s1 "
+                  "WHERE time >= 0 AND time < 1000000 "
+                  "GROUP BY SPANS(1000)"));
+  ASSERT_EQ(stmt.items.size(), 8u);
+  EXPECT_EQ(stmt.items[0].kind, FuncKind::kFirstTime);
+  EXPECT_EQ(stmt.items[7].kind, FuncKind::kTopValue);
+  EXPECT_EQ(stmt.series, "root.sg1.d1.s1");
+  ASSERT_EQ(stmt.where.size(), 2u);
+  EXPECT_EQ(stmt.where[0].op, TokenType::kGreaterEq);
+  EXPECT_EQ(stmt.where[0].value, 0);
+  EXPECT_EQ(stmt.where[1].op, TokenType::kLess);
+  EXPECT_EQ(stmt.where[1].value, 1000000);
+  EXPECT_EQ(stmt.spans, 1000);
+}
+
+TEST(ParserTest, M4ShorthandAndAliases) {
+  ASSERT_OK_AND_ASSIGN(
+      SelectStatement stmt,
+      ParseSelect("select M4(v), min_value(v), MAX(v), count(*) from s "
+                  "group by columns(42)"));
+  ASSERT_EQ(stmt.items.size(), 4u);
+  EXPECT_EQ(stmt.items[0].kind, FuncKind::kM4);
+  EXPECT_EQ(stmt.items[1].kind, FuncKind::kBottomValue);
+  EXPECT_EQ(stmt.items[2].kind, FuncKind::kTopValue);
+  EXPECT_EQ(stmt.items[3].kind, FuncKind::kCount);
+  EXPECT_EQ(stmt.items[3].argument, "*");
+  EXPECT_EQ(stmt.spans, 42);
+}
+
+TEST(ParserTest, ReversedTimeConditions) {
+  ASSERT_OK_AND_ASSIGN(
+      SelectStatement stmt,
+      ParseSelect("SELECT count(v) FROM s WHERE 10 <= time AND 100 > time"));
+  ASSERT_EQ(stmt.where.size(), 2u);
+  EXPECT_EQ(stmt.where[0].op, TokenType::kGreaterEq);
+  EXPECT_EQ(stmt.where[0].value, 10);
+  EXPECT_EQ(stmt.where[1].op, TokenType::kLess);
+  EXPECT_EQ(stmt.where[1].value, 100);
+}
+
+TEST(ParserTest, ErrorsArePrecise) {
+  EXPECT_FALSE(ParseSelect("").ok());
+  EXPECT_FALSE(ParseSelect("SELECT").ok());
+  EXPECT_FALSE(ParseSelect("SELECT v").ok());
+  EXPECT_FALSE(ParseSelect("SELECT v FROM").ok());
+  EXPECT_FALSE(ParseSelect("SELECT frobnicate(v) FROM s").ok());
+  // `value` conditions parse (raw-select filters); arbitrary columns don't.
+  EXPECT_TRUE(ParseSelect("SELECT v FROM s WHERE value > 3").ok());
+  EXPECT_FALSE(ParseSelect("SELECT v FROM s WHERE humidity > 3").ok());
+  EXPECT_FALSE(ParseSelect("SELECT v FROM s GROUP BY SPANS(0)").ok());
+  EXPECT_FALSE(ParseSelect("SELECT v FROM s GROUP BY SPANS(2.5)").ok());
+  EXPECT_FALSE(ParseSelect("SELECT v FROM s trailing garbage").ok());
+  EXPECT_FALSE(ParseSelect("SELECT min( FROM s").ok());
+}
+
+TEST(ParserTest, LimitClause) {
+  ASSERT_OK_AND_ASSIGN(SelectStatement stmt,
+                       ParseSelect("SELECT v FROM s LIMIT 10"));
+  EXPECT_EQ(stmt.limit, 10);
+  EXPECT_FALSE(ParseSelect("SELECT v FROM s LIMIT -1").ok());
+  EXPECT_FALSE(ParseSelect("SELECT v FROM s LIMIT x").ok());
+  EXPECT_FALSE(ParseSelect("SELECT v FROM s LIMIT 1.5").ok());
+}
+
+TEST(ParserTest, ExplainPrefix) {
+  ASSERT_OK_AND_ASSIGN(SelectStatement stmt,
+                       ParseSelect("EXPLAIN SELECT COUNT(v) FROM s"));
+  EXPECT_TRUE(stmt.explain);
+  ASSERT_OK_AND_ASSIGN(stmt, ParseSelect("SELECT COUNT(v) FROM s"));
+  EXPECT_FALSE(stmt.explain);
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  ASSERT_OK_AND_ASSIGN(
+      SelectStatement stmt,
+      ParseSelect("sElEcT CoUnT(v) fRoM s WhErE tImE >= 5 gRoUp By SpAnS(2)"));
+  EXPECT_EQ(stmt.items[0].kind, FuncKind::kCount);
+  EXPECT_EQ(stmt.spans, 2);
+}
+
+}  // namespace
+}  // namespace tsviz::sql

@@ -1,0 +1,108 @@
+#include "viz/ssim.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+Bitmap RandomBitmap(int w, int h, double density, uint64_t seed) {
+  Rng rng(seed);
+  Bitmap bitmap(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (rng.Bernoulli(density)) bitmap.Set(x, y);
+    }
+  }
+  return bitmap;
+}
+
+TEST(SsimTest, IdenticalImagesScoreOne) {
+  Bitmap a = RandomBitmap(64, 48, 0.2, 1);
+  EXPECT_DOUBLE_EQ(Ssim(a, a), 1.0);
+  Bitmap empty(32, 32);
+  EXPECT_DOUBLE_EQ(Ssim(empty, empty), 1.0);
+}
+
+TEST(SsimTest, ComplementScoresLow) {
+  Bitmap a(64, 64);
+  Bitmap b(64, 64);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      if ((x + y) % 2 == 0) {
+        a.Set(x, y);
+      } else {
+        b.Set(x, y);
+      }
+    }
+  }
+  EXPECT_LT(Ssim(a, b), 0.1);
+}
+
+TEST(SsimTest, MonotoneInDamage) {
+  Bitmap original = RandomBitmap(128, 64, 0.3, 2);
+  Rng rng(3);
+  Bitmap light = original;
+  Bitmap heavy = original;
+  for (int i = 0; i < 2000; ++i) {
+    int x = static_cast<int>(rng.Uniform(0, 127));
+    int y = static_cast<int>(rng.Uniform(0, 63));
+    heavy.Set(x, y);
+    if (i < 100) light.Set(x, y);
+  }
+  double s_light = Ssim(original, light);
+  double s_heavy = Ssim(original, heavy);
+  EXPECT_GT(s_light, s_heavy);
+  EXPECT_LT(s_light, 1.0);
+}
+
+TEST(SsimTest, SymmetricAndBounded) {
+  Bitmap a = RandomBitmap(56, 40, 0.25, 4);  // non-multiple-of-8 dims
+  Bitmap b = RandomBitmap(56, 40, 0.25, 5);
+  double ab = Ssim(a, b);
+  double ba = Ssim(b, a);
+  EXPECT_DOUBLE_EQ(ab, ba);
+  EXPECT_GE(ab, -1.0);
+  EXPECT_LE(ab, 1.0);
+}
+
+TEST(DiffPpmTest, WritesColorCodedDiff) {
+  TempDir dir;
+  Bitmap truth(4, 1);
+  Bitmap got(4, 1);
+  truth.Set(0, 0);             // missed -> red
+  got.Set(1, 0);               // spurious -> blue
+  truth.Set(2, 0);
+  got.Set(2, 0);               // correct -> black
+  std::string path = dir.path() + "/diff.ppm";
+  ASSERT_OK(WriteDiffPpm(truth, got, path));
+
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  std::string header = "P6\n4 1\n255\n";
+  ASSERT_EQ(content.substr(0, header.size()), header);
+  const uint8_t* px =
+      reinterpret_cast<const uint8_t*>(content.data() + header.size());
+  EXPECT_EQ(px[0], 255);  // red
+  EXPECT_EQ(px[1], 0);
+  EXPECT_EQ(px[3], 0);  // blue
+  EXPECT_EQ(px[5], 255);
+  EXPECT_EQ(px[6], 0);  // black
+  EXPECT_EQ(px[9], 255);  // white
+}
+
+TEST(DiffPpmTest, RejectsMismatchedDimensions) {
+  Bitmap a(4, 4);
+  Bitmap b(5, 4);
+  EXPECT_EQ(WriteDiffPpm(a, b, "/tmp/never.ppm").code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace tsviz

@@ -1,0 +1,187 @@
+#include "index/step_regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+// Regular cadence with explicit gaps, mirroring the Figure 8(d) shape used
+// throughout Section 3.5's examples.
+std::vector<Timestamp> CadenceWithGaps(
+    size_t n, Timestamp start, int64_t delta,
+    const std::vector<std::pair<size_t, int64_t>>& gaps_after) {
+  std::vector<Timestamp> ts;
+  ts.reserve(n);
+  Timestamp t = start;
+  size_t gap_idx = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ts.push_back(t);
+    t += delta;
+    if (gap_idx < gaps_after.size() && gaps_after[gap_idx].first == i + 1) {
+      t += gaps_after[gap_idx].second;
+      ++gap_idx;
+    }
+  }
+  return ts;
+}
+
+TEST(StepRegressionTest, PerfectlyRegularSeries) {
+  std::vector<Timestamp> ts = CadenceWithGaps(1000, 500000, 9000, {});
+  StepRegressionModel model = FitStepRegression(ts);
+  EXPECT_DOUBLE_EQ(model.k, 1.0 / 9000.0);
+  EXPECT_EQ(model.count, 1000u);
+  EXPECT_EQ(model.SegmentCount(), 1u);  // single tilt, no changing points
+  // Proposition 3.7 endpoints plus exact interior positions.
+  for (size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_NEAR(model.Eval(ts[i]), static_cast<double>(i + 1), 1e-6)
+        << "position " << i + 1;
+  }
+}
+
+// The Section 3.5 running example: 1000 points at 9s cadence with one
+// transmission interruption, yielding slope 1/9000 and a
+// tilt-level-tilt model (Examples 3.8-3.10).
+TEST(StepRegressionTest, PaperExampleTiltLevelTilt) {
+  // Gap after point 242 (split across two oversized deltas, so the 3-sigma
+  // rule selects P242 and P244 as the changing points, as in Example 3.10).
+  std::vector<Timestamp> ts;
+  Timestamp t = 1639966606000;
+  for (int i = 0; i < 242; ++i) {
+    ts.push_back(t);
+    t += 9000;
+  }
+  t += 1500000;  // delta(P243) = 1509000 >> threshold
+  ts.push_back(t);
+  t += 2000000;  // delta(P244) = 2009000 >> threshold
+  for (int i = 243; i < 1000; ++i) {
+    ts.push_back(t);
+    t += 9000;
+  }
+  ASSERT_EQ(ts.size(), 1000u);
+
+  StepRegressionModel model = FitStepRegression(ts);
+  EXPECT_DOUBLE_EQ(model.k, 1.0 / 9000.0);
+  EXPECT_EQ(model.SegmentCount(), 3u);  // tilt, level, tilt
+  ASSERT_EQ(model.splits.size(), 4u);
+  EXPECT_EQ(model.splits.front(), ts.front());
+  EXPECT_EQ(model.splits.back(), ts.back());
+
+  // Proposition 3.7: f(FP.t) == 1 and f(LP.t) == |C|.
+  EXPECT_NEAR(model.Eval(ts.front()), 1.0, 1e-9);
+  EXPECT_NEAR(model.Eval(ts.back()), 1000.0, 1e-9);
+
+  // The tilt segments track positions exactly; the level segment holds 242.
+  for (size_t i = 0; i < 242; ++i) {
+    EXPECT_NEAR(model.Eval(ts[i]), static_cast<double>(i + 1), 1e-6);
+  }
+  EXPECT_NEAR(model.Eval(ts[242]), 242.0, 1.0);  // P243 sits on the level
+  for (size_t i = 243; i < 1000; ++i) {
+    EXPECT_NEAR(model.Eval(ts[i]), static_cast<double>(i + 1), 1e-6);
+  }
+  // Mid-gap timestamps map onto the level at position ~242.
+  EXPECT_NEAR(model.Eval(ts[241] + 700000), 242.0, 1.0);
+}
+
+TEST(StepRegressionTest, MultipleGaps) {
+  std::vector<Timestamp> ts = CadenceWithGaps(
+      2000, 0, 100, {{400, 500000}, {900, 300000}, {1500, 800000}});
+  StepRegressionModel model = FitStepRegression(ts);
+  EXPECT_EQ(model.SegmentCount(), 7u);  // 4 tilts, 3 levels
+  for (size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_NEAR(model.Eval(ts[i]), static_cast<double>(i + 1), 2.0)
+        << "position " << i + 1;
+  }
+}
+
+TEST(StepRegressionTest, DegenerateInputs) {
+  EXPECT_EQ(FitStepRegression(std::vector<Timestamp>{}).count, 0u);
+  StepRegressionModel one = FitStepRegression(std::vector<Timestamp>{77});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.Eval(77), 1.0);
+  StepRegressionModel two = FitStepRegression(std::vector<Timestamp>{1, 10});
+  EXPECT_EQ(two.count, 2u);
+  EXPECT_NEAR(two.Eval(1), 1.0, 1e-9);
+  EXPECT_NEAR(two.Eval(10), 2.0, 1e-9);
+}
+
+TEST(StepRegressionTest, EvalClampsOutsideDomain) {
+  std::vector<Timestamp> ts = CadenceWithGaps(100, 1000, 10, {});
+  StepRegressionModel model = FitStepRegression(ts);
+  EXPECT_DOUBLE_EQ(model.Eval(0), 1.0);
+  EXPECT_DOUBLE_EQ(model.Eval(1000000), 100.0);
+}
+
+TEST(StepRegressionTest, SerializationRoundTrip) {
+  std::vector<Timestamp> ts =
+      CadenceWithGaps(500, 123456789, 250, {{100, 99999}, {350, 44444}});
+  StepRegressionModel model = FitStepRegression(ts);
+  std::string buf;
+  model.SerializeTo(&buf);
+  std::string_view view = buf;
+  ASSERT_OK_AND_ASSIGN(StepRegressionModel decoded,
+                       StepRegressionModel::Deserialize(&view));
+  EXPECT_EQ(decoded, model);
+  EXPECT_TRUE(view.empty());
+}
+
+TEST(StepRegressionTest, DeserializeRejectsTruncation) {
+  std::vector<Timestamp> ts = CadenceWithGaps(50, 0, 10, {});
+  StepRegressionModel model = FitStepRegression(ts);
+  std::string buf;
+  model.SerializeTo(&buf);
+  std::string_view view(buf.data(), buf.size() / 2);
+  EXPECT_FALSE(StepRegressionModel::Deserialize(&view).ok());
+}
+
+TEST(StepRegressionTest, ModelIsCompactComparedToData) {
+  std::vector<Timestamp> ts = CadenceWithGaps(100000, 0, 1000, {{50000, 1}});
+  StepRegressionModel model = FitStepRegression(ts);
+  std::string buf;
+  model.SerializeTo(&buf);
+  // The learned index is a handful of segments regardless of chunk size.
+  EXPECT_LT(buf.size(), 200u);
+}
+
+// Property sweep: random gap patterns. The model is a heuristic, but on
+// cadence-with-gaps data (its design domain) the estimate must stay within
+// a small band of the true position at every data point.
+class StepRegressionProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StepRegressionProperty, TracksPositionsOnGappyCadence) {
+  Rng rng(GetParam());
+  size_t n = static_cast<size_t>(rng.Uniform(100, 5000));
+  int64_t delta = rng.Uniform(1, 10000);
+  std::vector<std::pair<size_t, int64_t>> gaps;
+  size_t pos = 0;
+  int n_gaps = static_cast<int>(rng.Uniform(0, 5));
+  // One gap scale per series: wildly different gap sizes in one chunk can
+  // push the smaller gap under the 3-sigma threshold, which the heuristic
+  // legitimately does not detect (Section 3.5.3).
+  int64_t gap_len = delta * rng.Uniform(1000, 100000);
+  for (int g = 0; g < n_gaps; ++g) {
+    pos += static_cast<size_t>(rng.Uniform(20, n / 6 + 21));
+    if (pos + 10 >= n) break;
+    gaps.emplace_back(pos, gap_len);
+  }
+  std::vector<Timestamp> ts = CadenceWithGaps(n, rng.Uniform(0, 1 << 30),
+                                              delta, gaps);
+  StepRegressionModel model = FitStepRegression(ts);
+  EXPECT_NEAR(model.Eval(ts.front()), 1.0, 1e-6);
+  EXPECT_NEAR(model.Eval(ts.back()), static_cast<double>(n), 1e-6);
+  for (size_t i = 0; i < ts.size(); ++i) {
+    ASSERT_NEAR(model.Eval(ts[i]), static_cast<double>(i + 1), 2.0)
+        << "seed " << GetParam() << " position " << i + 1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StepRegressionProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+}  // namespace
+}  // namespace tsviz

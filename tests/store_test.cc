@@ -1,0 +1,186 @@
+#include "storage/store.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+StoreConfig TestConfig(const std::string& dir, size_t chunk = 100) {
+  StoreConfig config;
+  config.data_dir = dir;
+  config.points_per_chunk = chunk;
+  config.memtable_flush_threshold = chunk;
+  config.encoding.page_size_points = 25;
+  return config;
+}
+
+TEST(StoreTest, OpenRequiresValidConfig) {
+  EXPECT_EQ(TsStore::Open(StoreConfig{}).status().code(),
+            StatusCode::kInvalidArgument);
+  StoreConfig config;
+  config.data_dir = "/tmp/tsviz_store_cfg";
+  config.points_per_chunk = 0;
+  EXPECT_EQ(TsStore::Open(config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StoreTest, WriteFlushProducesChunksWithVersions) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  for (int i = 0; i < 250; ++i) {
+    ASSERT_OK(store->Write(i * 10, i * 1.0));
+  }
+  ASSERT_OK(store->Flush());  // flush the 50-point remainder
+  ASSERT_EQ(store->chunks().size(), 3u);
+  EXPECT_EQ(store->chunks()[0].meta->count, 100u);
+  EXPECT_EQ(store->chunks()[2].meta->count, 50u);
+  // Versions strictly increase in flush order.
+  EXPECT_LT(store->chunks()[0].meta->version,
+            store->chunks()[1].meta->version);
+  EXPECT_LT(store->chunks()[1].meta->version,
+            store->chunks()[2].meta->version);
+  EXPECT_EQ(store->TotalStoredPoints(), 250u);
+  EXPECT_EQ(store->DataInterval(), TimeRange(0, 2490));
+}
+
+TEST(StoreTest, MemtableLastWriteWins) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  ASSERT_OK(store->Write(5, 1.0));
+  ASSERT_OK(store->Write(5, 2.0));
+  EXPECT_EQ(store->memtable_size(), 1u);
+  ASSERT_OK(store->Flush());
+  LazyChunk chunk(store->chunks()[0], nullptr);
+  ASSERT_OK_AND_ASSIGN(std::vector<Point> points, chunk.ReadAllPoints());
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].v, 2.0);
+}
+
+TEST(StoreTest, FlushOnEmptyMemtableIsNoop) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  ASSERT_OK(store->Flush());
+  EXPECT_TRUE(store->chunks().empty());
+}
+
+TEST(StoreTest, DeleteRangeAssignsIncreasingVersions) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  for (int i = 0; i < 100; ++i) ASSERT_OK(store->Write(i, 0.0));
+  ASSERT_OK(store->DeleteRange(TimeRange(10, 20)));
+  ASSERT_OK(store->DeleteRange(TimeRange(50, 60)));
+  ASSERT_EQ(store->deletes().size(), 2u);
+  Version chunk_version = store->chunks()[0].meta->version;
+  EXPECT_GT(store->deletes()[0].version, chunk_version);
+  EXPECT_GT(store->deletes()[1].version, store->deletes()[0].version);
+}
+
+TEST(StoreTest, RejectsNonFiniteValues) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  EXPECT_EQ(store->Write(1, std::numeric_limits<double>::quiet_NaN()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store->Write(1, std::numeric_limits<double>::infinity()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store->Write(1, -std::numeric_limits<double>::infinity()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store->memtable_size(), 0u);
+  ASSERT_OK(store->Write(1, 1.0));  // finite values still fine
+}
+
+TEST(StoreTest, RejectsEmptyDeleteRange) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  EXPECT_EQ(store->DeleteRange(TimeRange(10, 5)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StoreTest, RecoveryRestoresChunksDeletesAndVersionCounter) {
+  TempDir dir;
+  Version last_delete_version;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                         TsStore::Open(TestConfig(dir.path())));
+    for (int i = 0; i < 300; ++i) ASSERT_OK(store->Write(i * 2, i * 1.5));
+    ASSERT_OK(store->Flush());
+    ASSERT_OK(store->DeleteRange(TimeRange(100, 200)));
+    last_delete_version = store->deletes()[0].version;
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  EXPECT_EQ(store->chunks().size(), 3u);
+  ASSERT_EQ(store->deletes().size(), 1u);
+  EXPECT_EQ(store->deletes()[0].range, TimeRange(100, 200));
+  EXPECT_EQ(store->deletes()[0].version, last_delete_version);
+  EXPECT_EQ(store->TotalStoredPoints(), 300u);
+
+  // New operations continue the version sequence past recovered state.
+  ASSERT_OK(store->DeleteRange(TimeRange(0, 1)));
+  EXPECT_GT(store->deletes()[1].version, last_delete_version);
+}
+
+TEST(StoreTest, SequentialWritesProduceDisjointChunks) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  for (int i = 0; i < 1000; ++i) ASSERT_OK(store->Write(i, 0.0));
+  EXPECT_EQ(store->OverlapFraction(), 0.0);
+}
+
+TEST(StoreTest, OutOfOrderWritesProduceOverlappingChunks) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  // Two interleaved flushes covering the same time region.
+  for (int i = 0; i < 100; ++i) ASSERT_OK(store->Write(i * 2, 0.0));
+  for (int i = 0; i < 100; ++i) ASSERT_OK(store->Write(i * 2 + 1, 0.0));
+  ASSERT_EQ(store->chunks().size(), 2u);
+  EXPECT_EQ(store->OverlapFraction(), 1.0);
+}
+
+TEST(StoreTest, SequenceVsUnsequenceFiles) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  // Three in-order flushes: all sequence files.
+  for (int i = 0; i < 300; ++i) ASSERT_OK(store->Write(i, 0.0));
+  EXPECT_EQ(store->NumFiles(), 3u);
+  EXPECT_EQ(store->CountUnsequenceFiles(), 0u);
+  // A late batch covering old time territory: one unsequence file.
+  for (int i = 0; i < 100; ++i) ASSERT_OK(store->Write(i * 2 + 1, 1.0));
+  EXPECT_EQ(store->NumFiles(), 4u);
+  EXPECT_EQ(store->CountUnsequenceFiles(), 1u);
+  // Back to the future: sequence again.
+  for (int i = 0; i < 100; ++i) ASSERT_OK(store->Write(10000 + i, 0.0));
+  EXPECT_EQ(store->CountUnsequenceFiles(), 1u);
+}
+
+TEST(StoreTest, AutoFlushOnThreshold) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path(), 10)));
+  for (int i = 0; i < 10; ++i) ASSERT_OK(store->Write(i, 0.0));
+  EXPECT_EQ(store->memtable_size(), 0u);  // flushed automatically
+  EXPECT_EQ(store->chunks().size(), 1u);
+}
+
+TEST(StoreTest, DataIntervalEmptyWhenNoChunks) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  EXPECT_TRUE(store->DataInterval().Empty());
+}
+
+}  // namespace
+}  // namespace tsviz

@@ -1,0 +1,77 @@
+#include "common/time_range.h"
+
+#include <gtest/gtest.h>
+
+namespace tsviz {
+namespace {
+
+TEST(TimeRangeTest, ContainsIsInclusiveBothEnds) {
+  TimeRange r(10, 20);
+  EXPECT_TRUE(r.Contains(10));
+  EXPECT_TRUE(r.Contains(20));
+  EXPECT_TRUE(r.Contains(15));
+  EXPECT_FALSE(r.Contains(9));
+  EXPECT_FALSE(r.Contains(21));
+}
+
+TEST(TimeRangeTest, SinglePointRange) {
+  TimeRange r(5, 5);
+  EXPECT_FALSE(r.Empty());
+  EXPECT_TRUE(r.Contains(5));
+  EXPECT_EQ(r.Length(), 1u);
+}
+
+TEST(TimeRangeTest, EmptyRange) {
+  TimeRange r(6, 5);
+  EXPECT_TRUE(r.Empty());
+  EXPECT_FALSE(r.Contains(5));
+  EXPECT_FALSE(r.Contains(6));
+  EXPECT_EQ(r.Length(), 0u);
+}
+
+TEST(TimeRangeTest, OverlapsIsSymmetricAndInclusive) {
+  TimeRange a(0, 10);
+  TimeRange b(10, 20);  // touching at one timestamp overlaps
+  TimeRange c(11, 20);
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(b.Overlaps(a));
+  EXPECT_FALSE(a.Overlaps(c));
+  EXPECT_FALSE(c.Overlaps(a));
+}
+
+TEST(TimeRangeTest, CoversRequiresFullContainment) {
+  TimeRange outer(0, 100);
+  EXPECT_TRUE(outer.Covers(TimeRange(0, 100)));
+  EXPECT_TRUE(outer.Covers(TimeRange(10, 90)));
+  EXPECT_FALSE(outer.Covers(TimeRange(-1, 50)));
+  EXPECT_FALSE(outer.Covers(TimeRange(50, 101)));
+}
+
+TEST(TimeRangeTest, IntersectOfDisjointIsEmpty) {
+  TimeRange r = TimeRange(0, 10).Intersect(TimeRange(20, 30));
+  EXPECT_TRUE(r.Empty());
+}
+
+TEST(TimeRangeTest, IntersectOfOverlapping) {
+  TimeRange r = TimeRange(0, 15).Intersect(TimeRange(10, 30));
+  EXPECT_EQ(r, TimeRange(10, 15));
+}
+
+TEST(TimeRangeTest, LengthSaturatesOnFullDomain) {
+  TimeRange r(kMinTimestamp, kMaxTimestamp);
+  EXPECT_EQ(r.Length(), std::numeric_limits<uint64_t>::max());
+}
+
+TEST(TimeRangeTest, ContainsAtSentinels) {
+  TimeRange r(kMinTimestamp, 0);
+  EXPECT_TRUE(r.Contains(kMinTimestamp));
+  EXPECT_TRUE(r.Contains(0));
+  EXPECT_FALSE(r.Contains(1));
+}
+
+TEST(TimeRangeTest, ToStringIsReadable) {
+  EXPECT_EQ(TimeRange(3, 9).ToString(), "[3, 9]");
+}
+
+}  // namespace
+}  // namespace tsviz

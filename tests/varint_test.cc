@@ -1,0 +1,134 @@
+#include "encoding/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+class Varint64RoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Varint64RoundTrip, RoundTrips) {
+  std::string buf;
+  PutVarint64(&buf, GetParam());
+  std::string_view view = buf;
+  ASSERT_OK_AND_ASSIGN(uint64_t decoded, GetVarint64(&view));
+  EXPECT_EQ(decoded, GetParam());
+  EXPECT_TRUE(view.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, Varint64RoundTrip,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
+                      (1ull << 32) - 1, 1ull << 32, (1ull << 56) + 123,
+                      std::numeric_limits<uint64_t>::max()));
+
+class SignedVarintRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SignedVarintRoundTrip, RoundTrips) {
+  std::string buf;
+  PutSignedVarint64(&buf, GetParam());
+  std::string_view view = buf;
+  ASSERT_OK_AND_ASSIGN(int64_t decoded, GetSignedVarint64(&view));
+  EXPECT_EQ(decoded, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, SignedVarintRoundTrip,
+    ::testing::Values(0, 1, -1, 63, -64, 64, -65, 1'000'000, -1'000'000,
+                      std::numeric_limits<int64_t>::max(),
+                      std::numeric_limits<int64_t>::min()));
+
+TEST(VarintTest, ZigZagMapsSmallMagnitudesToSmallCodes) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  EXPECT_EQ(ZigZagDecode(ZigZagEncode(-123456789)), -123456789);
+}
+
+TEST(VarintTest, TruncatedInputIsCorruption) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  for (size_t cut = 0; cut + 1 < buf.size(); ++cut) {
+    std::string_view view(buf.data(), cut);
+    EXPECT_EQ(GetVarint64(&view).status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(VarintTest, OverlongVarintIsCorruption) {
+  std::string buf(11, '\x80');  // continuation bits forever
+  std::string_view view = buf;
+  EXPECT_EQ(GetVarint64(&view).status().code(), StatusCode::kCorruption);
+}
+
+TEST(VarintTest, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 35);
+  std::string_view view = buf;
+  EXPECT_EQ(GetVarint32(&view).status().code(), StatusCode::kCorruption);
+}
+
+TEST(FixedTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xdeadbeef);
+  ASSERT_EQ(buf.size(), 4u);
+  std::string_view view = buf;
+  ASSERT_OK_AND_ASSIGN(uint32_t v, GetFixed32(&view));
+  EXPECT_EQ(v, 0xdeadbeefu);
+}
+
+TEST(FixedTest, Fixed64RoundTripAndLittleEndianLayout) {
+  std::string buf;
+  PutFixed64(&buf, 0x0102030405060708ull);
+  ASSERT_EQ(buf.size(), 8u);
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0x08);
+  EXPECT_EQ(static_cast<uint8_t>(buf[7]), 0x01);
+  std::string_view view = buf;
+  ASSERT_OK_AND_ASSIGN(uint64_t v, GetFixed64(&view));
+  EXPECT_EQ(v, 0x0102030405060708ull);
+}
+
+TEST(FixedTest, TruncatedFixedIsCorruption) {
+  std::string buf = "abc";
+  std::string_view view = buf;
+  EXPECT_EQ(GetFixed32(&view).status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(GetFixed64(&view).status().code(), StatusCode::kCorruption);
+}
+
+TEST(LengthPrefixedTest, RoundTripIncludingEmpty) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, "hello");
+  std::string payload(300, 'x');
+  PutLengthPrefixed(&buf, payload);
+  std::string_view view = buf;
+  ASSERT_OK_AND_ASSIGN(std::string_view a, GetLengthPrefixed(&view));
+  ASSERT_OK_AND_ASSIGN(std::string_view b, GetLengthPrefixed(&view));
+  ASSERT_OK_AND_ASSIGN(std::string_view c, GetLengthPrefixed(&view));
+  EXPECT_EQ(a, "");
+  EXPECT_EQ(b, "hello");
+  EXPECT_EQ(c, payload);
+  EXPECT_TRUE(view.empty());
+}
+
+TEST(LengthPrefixedTest, TruncatedPayloadIsCorruption) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  std::string_view view(buf.data(), buf.size() - 2);
+  EXPECT_EQ(GetLengthPrefixed(&view).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ChecksumTest, Fnv1aDistinguishesInputs) {
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+  EXPECT_NE(Fnv1a64(""), Fnv1a64(std::string_view("\0", 1)));
+  EXPECT_EQ(Fnv1a64("same"), Fnv1a64("same"));
+}
+
+}  // namespace
+}  // namespace tsviz

@@ -1,0 +1,206 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include "read/series_reader.h"
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+TEST(WalTest, RoundTripPutsAndDeletes) {
+  TempDir dir;
+  std::string path = dir.path() + "/wal.log";
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<WalWriter> writer,
+                         WalWriter::Open(path));
+    ASSERT_OK(writer->AppendPut(Point{10, 1.5}));
+    ASSERT_OK(writer->AppendDelete(TimeRange(5, 15)));
+    ASSERT_OK(writer->AppendPut(Point{-3, 2.25}));
+  }
+  bool truncated = true;
+  ASSERT_OK_AND_ASSIGN(std::vector<WalRecord> records,
+                       ReadWal(path, &truncated));
+  EXPECT_FALSE(truncated);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].type, WalRecord::Type::kPut);
+  EXPECT_EQ(records[0].point, (Point{10, 1.5}));
+  EXPECT_EQ(records[1].type, WalRecord::Type::kDelete);
+  EXPECT_EQ(records[1].range, TimeRange(5, 15));
+  EXPECT_EQ(records[2].point, (Point{-3, 2.25}));
+}
+
+TEST(WalTest, MissingFileIsEmpty) {
+  ASSERT_OK_AND_ASSIGN(std::vector<WalRecord> records,
+                       ReadWal("/nonexistent/wal.log"));
+  EXPECT_TRUE(records.empty());
+}
+
+TEST(WalTest, TornTailIsTolerated) {
+  TempDir dir;
+  std::string path = dir.path() + "/wal.log";
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<WalWriter> writer,
+                         WalWriter::Open(path));
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_OK(writer->AppendPut(Point{i, i * 1.0}));
+    }
+  }
+  // Chop a few bytes off the last record, simulating a crash mid-append.
+  auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 3);
+
+  bool truncated = false;
+  ASSERT_OK_AND_ASSIGN(std::vector<WalRecord> records,
+                       ReadWal(path, &truncated));
+  EXPECT_TRUE(truncated);
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.back().point.t, 3);
+}
+
+TEST(WalTest, CorruptMiddleStopsReplay) {
+  TempDir dir;
+  std::string path = dir.path() + "/wal.log";
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<WalWriter> writer,
+                         WalWriter::Open(path));
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_OK(writer->AppendPut(Point{i, i * 1.0}));
+    }
+  }
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(30);  // inside the second record
+    char c = '\xff';
+    f.write(&c, 1);
+  }
+  bool truncated = false;
+  ASSERT_OK_AND_ASSIGN(std::vector<WalRecord> records,
+                       ReadWal(path, &truncated));
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(records.size(), 1u);
+}
+
+TEST(WalTest, ResetDiscardsContents) {
+  TempDir dir;
+  std::string path = dir.path() + "/wal.log";
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<WalWriter> writer,
+                       WalWriter::Open(path));
+  ASSERT_OK(writer->AppendPut(Point{1, 1.0}));
+  ASSERT_OK(writer->Reset());
+  ASSERT_OK(writer->AppendPut(Point{2, 2.0}));
+  writer.reset();
+  ASSERT_OK_AND_ASSIGN(std::vector<WalRecord> records, ReadWal(path));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].point.t, 2);
+}
+
+// --- store-level WAL behaviour -------------------------------------------
+
+StoreConfig WalConfig(const std::string& dir, bool enable_wal = true) {
+  StoreConfig config;
+  config.data_dir = dir;
+  config.points_per_chunk = 100;
+  config.memtable_flush_threshold = 100;
+  config.enable_wal = enable_wal;
+  return config;
+}
+
+TEST(StoreWalTest, UnflushedWritesSurviveReopen) {
+  TempDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                         TsStore::Open(WalConfig(dir.path())));
+    for (int i = 0; i < 50; ++i) ASSERT_OK(store->Write(i, i * 2.0));
+    EXPECT_EQ(store->memtable_size(), 50u);
+    // No Flush(): the store is dropped with a dirty memtable.
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(WalConfig(dir.path())));
+  EXPECT_EQ(store->memtable_size(), 50u);
+  ASSERT_OK(store->Flush());
+  ASSERT_OK_AND_ASSIGN(std::vector<Point> merged,
+                       ReadMergedSeries(*store, TimeRange(0, 100), nullptr));
+  ASSERT_EQ(merged.size(), 50u);
+  EXPECT_EQ(merged[10], (Point{10, 20.0}));
+}
+
+TEST(StoreWalTest, DeletePurgesMemtableAndSurvivesReopen) {
+  TempDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                         TsStore::Open(WalConfig(dir.path())));
+    for (int i = 0; i < 50; ++i) ASSERT_OK(store->Write(i, 1.0));
+    ASSERT_OK(store->DeleteRange(TimeRange(10, 19)));
+    EXPECT_EQ(store->memtable_size(), 40u);  // purged immediately
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(WalConfig(dir.path())));
+  EXPECT_EQ(store->memtable_size(), 40u);
+  ASSERT_OK(store->Flush());
+  ASSERT_OK_AND_ASSIGN(std::vector<Point> merged,
+                       ReadMergedSeries(*store, TimeRange(0, 100), nullptr));
+  EXPECT_EQ(merged.size(), 40u);
+  for (const Point& p : merged) {
+    EXPECT_FALSE(p.t >= 10 && p.t <= 19) << "t=" << p.t;
+  }
+}
+
+TEST(StoreWalTest, WalResetsAfterFlush) {
+  TempDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                         TsStore::Open(WalConfig(dir.path())));
+    for (int i = 0; i < 100; ++i) ASSERT_OK(store->Write(i, 0.0));
+    // Auto-flush triggered at 100; the WAL must be empty again.
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<WalRecord> records,
+                       ReadWal(dir.path() + "/wal.log"));
+  EXPECT_TRUE(records.empty());
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(WalConfig(dir.path())));
+  EXPECT_EQ(store->memtable_size(), 0u);
+  EXPECT_EQ(store->TotalStoredPoints(), 100u);
+}
+
+TEST(StoreWalTest, TornWalTailRecoversPrefix) {
+  TempDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                         TsStore::Open(WalConfig(dir.path())));
+    for (int i = 0; i < 30; ++i) ASSERT_OK(store->Write(i, 1.0));
+  }
+  std::string wal_path = dir.path() + "/wal.log";
+  auto size = std::filesystem::file_size(wal_path);
+  std::filesystem::resize_file(wal_path, size - 7);
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                         TsStore::Open(WalConfig(dir.path())));
+    EXPECT_EQ(store->memtable_size(), 29u);
+    // The rewritten log must be fully replayable on the next open.
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(WalConfig(dir.path())));
+  EXPECT_EQ(store->memtable_size(), 29u);
+}
+
+TEST(StoreWalTest, DisabledWalLosesMemtableQuietly) {
+  TempDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<TsStore> store,
+        TsStore::Open(WalConfig(dir.path(), /*enable_wal=*/false)));
+    for (int i = 0; i < 50; ++i) ASSERT_OK(store->Write(i, 1.0));
+  }
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<TsStore> store,
+      TsStore::Open(WalConfig(dir.path(), /*enable_wal=*/false)));
+  EXPECT_EQ(store->memtable_size(), 0u);
+}
+
+}  // namespace
+}  // namespace tsviz

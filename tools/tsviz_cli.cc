@@ -1,0 +1,369 @@
+// tsviz command-line tool: manage a multi-series database, import/export
+// CSV, run M4 representation queries, and render line charts.
+//
+// Usage:
+//   tsviz_cli info    --db DIR [--series NAME]
+//   tsviz_cli import  --db DIR --series NAME --csv FILE
+//   tsviz_cli export  --db DIR --series NAME --csv FILE
+//   tsviz_cli write   --db DIR --series NAME --t TIMESTAMP --v VALUE
+//   tsviz_cli delete  --db DIR --series NAME --from T --to T
+//   tsviz_cli m4      --db DIR --series NAME --w N [--from T --to T]
+//                     [--csv FILE] [--threads N]
+//   tsviz_cli render  --db DIR --series NAME --out FILE.pgm
+//                     [--width N] [--height N]
+//   tsviz_cli sql     --db DIR "SELECT M4(v) FROM s GROUP BY SPANS(100)"
+//                     [--csv FILE]
+//   tsviz_cli compact --db DIR [--series NAME]
+//   tsviz_cli serve   --db DIR [--port N]        (line-protocol SQL server)
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "server/server.h"
+#include "sql/executor.h"
+#include "m4/parallel.h"
+#include "read/series_reader.h"
+#include "viz/rasterize.h"
+#include "workload/csv.h"
+
+namespace tsviz {
+namespace {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+        values_[arg.substr(2)] = argv[i + 1];
+        ++i;
+      } else {
+        extra_.push_back(arg);
+      }
+    }
+  }
+
+  std::optional<std::string> Get(const std::string& name) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::optional<int64_t> GetInt(const std::string& name) const {
+    auto v = Get(name);
+    if (!v.has_value()) return std::nullopt;
+    return std::stoll(*v);
+  }
+
+  const std::vector<std::string>& extra() const { return extra_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> extra_;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tsviz_cli "
+               "{info|import|export|write|delete|m4|sql|render|compact|serve} "
+               "--db DIR [options]\n(see the header of tools/tsviz_cli.cc)\n");
+  return 2;
+}
+
+Result<std::unique_ptr<Database>> OpenDb(const Flags& flags) {
+  auto db_dir = flags.Get("db");
+  if (!db_dir.has_value()) {
+    return Status::InvalidArgument("--db DIR is required");
+  }
+  DatabaseConfig config;
+  config.root_dir = *db_dir;
+  return Database::Open(std::move(config));
+}
+
+// Query range: --from/--to if given, else the series' full data interval.
+Result<M4Query> QueryFor(TsStore* store, const Flags& flags, int64_t w) {
+  M4Query query;
+  query.w = w;
+  auto from = flags.GetInt("from");
+  auto to = flags.GetInt("to");
+  if (from.has_value() && to.has_value()) {
+    query.tqs = *from;
+    query.tqe = *to;
+  } else {
+    TimeRange data = store->DataInterval();
+    if (data.Empty()) return Status::NotFound("series is empty");
+    query.tqs = data.start;
+    query.tqe = data.end + 1;
+  }
+  TSVIZ_RETURN_IF_ERROR(query.Validate());
+  return query;
+}
+
+int CmdInfo(const Flags& flags) {
+  auto db = OpenDb(flags);
+  if (!db.ok()) return Fail(db.status().ToString());
+  auto series = flags.Get("series");
+  for (const std::string& name : (*db)->ListSeries()) {
+    if (series.has_value() && *series != name) continue;
+    auto store = (*db)->GetSeries(name);
+    if (!store.ok()) return Fail(store.status().ToString());
+    TimeRange range = (*store)->DataInterval();
+    std::printf("%s: %llu points, %zu chunks, %zu deletes, overlap %.1f%%, "
+                "range [%lld, %lld]\n",
+                name.c_str(),
+                static_cast<unsigned long long>(
+                    (*store)->TotalStoredPoints()),
+                (*store)->chunks().size(), (*store)->deletes().size(),
+                (*store)->OverlapFraction() * 100,
+                static_cast<long long>(range.start),
+                static_cast<long long>(range.end));
+  }
+  return 0;
+}
+
+int CmdImport(const Flags& flags) {
+  auto db = OpenDb(flags);
+  auto series = flags.Get("series");
+  auto csv = flags.Get("csv");
+  if (!db.ok()) return Fail(db.status().ToString());
+  if (!series.has_value() || !csv.has_value()) {
+    return Fail("--series and --csv are required");
+  }
+  auto points = LoadPointsCsv(*csv);
+  if (!points.ok()) return Fail(points.status().ToString());
+  auto store = (*db)->GetOrCreateSeries(*series);
+  if (!store.ok()) return Fail(store.status().ToString());
+  if (Status s = (*store)->WriteAll(*points); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  if (Status s = (*store)->Flush(); !s.ok()) return Fail(s.ToString());
+  std::printf("imported %zu points into %s\n", points->size(),
+              series->c_str());
+  return 0;
+}
+
+int CmdExport(const Flags& flags) {
+  auto db = OpenDb(flags);
+  auto series = flags.Get("series");
+  auto csv = flags.Get("csv");
+  if (!db.ok()) return Fail(db.status().ToString());
+  if (!series.has_value() || !csv.has_value()) {
+    return Fail("--series and --csv are required");
+  }
+  auto store = (*db)->GetSeries(*series);
+  if (!store.ok()) return Fail(store.status().ToString());
+  TimeRange range = (*store)->DataInterval();
+  auto merged = ReadMergedSeries(**store, range, nullptr);
+  if (!merged.ok()) return Fail(merged.status().ToString());
+  if (Status s = SavePointsCsv(*merged, *csv); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  std::printf("exported %zu live points from %s\n", merged->size(),
+              series->c_str());
+  return 0;
+}
+
+int CmdWrite(const Flags& flags) {
+  auto db = OpenDb(flags);
+  auto series = flags.Get("series");
+  auto t = flags.GetInt("t");
+  auto v = flags.Get("v");
+  if (!db.ok()) return Fail(db.status().ToString());
+  if (!series.has_value() || !t.has_value() || !v.has_value()) {
+    return Fail("--series, --t and --v are required");
+  }
+  if (Status s = (*db)->Write(*series, *t, std::stod(*v)); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  if (Status s = (*db)->FlushAll(); !s.ok()) return Fail(s.ToString());
+  return 0;
+}
+
+int CmdDelete(const Flags& flags) {
+  auto db = OpenDb(flags);
+  auto series = flags.Get("series");
+  auto from = flags.GetInt("from");
+  auto to = flags.GetInt("to");
+  if (!db.ok()) return Fail(db.status().ToString());
+  if (!series.has_value() || !from.has_value() || !to.has_value()) {
+    return Fail("--series, --from and --to are required");
+  }
+  if (Status s = (*db)->DeleteRange(*series, TimeRange(*from, *to));
+      !s.ok()) {
+    return Fail(s.ToString());
+  }
+  std::printf("deleted [%lld, %lld] in %s\n",
+              static_cast<long long>(*from), static_cast<long long>(*to),
+              series->c_str());
+  return 0;
+}
+
+int CmdM4(const Flags& flags) {
+  auto db = OpenDb(flags);
+  auto series = flags.Get("series");
+  if (!db.ok()) return Fail(db.status().ToString());
+  if (!series.has_value()) return Fail("--series is required");
+  auto store = (*db)->GetSeries(*series);
+  if (!store.ok()) return Fail(store.status().ToString());
+  auto query = QueryFor(*store, flags, flags.GetInt("w").value_or(1000));
+  if (!query.ok()) return Fail(query.status().ToString());
+
+  QueryStats stats;
+  Timer timer;
+  int threads = static_cast<int>(flags.GetInt("threads").value_or(1));
+  auto rows = threads > 1
+                  ? RunM4LsmParallel(**store, *query, threads, &stats)
+                  : RunM4Lsm(**store, *query, &stats);
+  if (!rows.ok()) return Fail(rows.status().ToString());
+  double ms = timer.ElapsedMillis();
+
+  auto csv = flags.Get("csv");
+  if (csv.has_value()) {
+    std::FILE* out = std::fopen(csv->c_str(), "w");
+    if (out == nullptr) return Fail("cannot open " + *csv);
+    std::fprintf(out,
+                 "span,first_t,first_v,last_t,last_v,bottom_t,bottom_v,"
+                 "top_t,top_v\n");
+    for (size_t i = 0; i < rows->size(); ++i) {
+      const M4Row& row = (*rows)[i];
+      if (!row.has_data) continue;
+      std::fprintf(out, "%zu,%lld,%.17g,%lld,%.17g,%lld,%.17g,%lld,%.17g\n",
+                   i, static_cast<long long>(row.first.t), row.first.v,
+                   static_cast<long long>(row.last.t), row.last.v,
+                   static_cast<long long>(row.bottom.t), row.bottom.v,
+                   static_cast<long long>(row.top.t), row.top.v);
+    }
+    std::fclose(out);
+  } else {
+    for (size_t i = 0; i < rows->size(); ++i) {
+      std::printf("span %4zu: %s\n", i, (*rows)[i].ToString().c_str());
+    }
+  }
+  std::fprintf(stderr, "m4 over %lld spans in %.1f ms (%s)\n",
+               static_cast<long long>(query->w), ms,
+               stats.ToString().c_str());
+  return 0;
+}
+
+int CmdRender(const Flags& flags) {
+  auto db = OpenDb(flags);
+  auto series = flags.Get("series");
+  auto out = flags.Get("out");
+  if (!db.ok()) return Fail(db.status().ToString());
+  if (!series.has_value() || !out.has_value()) {
+    return Fail("--series and --out are required");
+  }
+  auto store = (*db)->GetSeries(*series);
+  if (!store.ok()) return Fail(store.status().ToString());
+  int width = static_cast<int>(flags.GetInt("width").value_or(1000));
+  int height = static_cast<int>(flags.GetInt("height").value_or(500));
+  auto query = QueryFor(*store, flags, width);
+  if (!query.ok()) return Fail(query.status().ToString());
+
+  auto rows = RunM4Lsm(**store, *query, nullptr);
+  if (!rows.ok()) return Fail(rows.status().ToString());
+  std::vector<Point> polyline = M4Polyline(*rows);
+  CanvasSpec canvas = FitCanvas(polyline, *query, width, height);
+  Bitmap chart = RasterizeM4(*rows, canvas);
+  if (Status s = chart.WritePgm(*out); !s.ok()) return Fail(s.ToString());
+  std::printf("rendered %s (%dx%d) from %zu representation points\n",
+              out->c_str(), width, height, polyline.size());
+  return 0;
+}
+
+int CmdSql(const Flags& flags) {
+  auto db = OpenDb(flags);
+  if (!db.ok()) return Fail(db.status().ToString());
+  if (flags.extra().empty()) {
+    return Fail("usage: tsviz_cli sql --db DIR \"SELECT ...\"");
+  }
+  std::string statement;
+  for (const std::string& part : flags.extra()) {
+    if (!statement.empty()) statement += ' ';
+    statement += part;
+  }
+  QueryStats stats;
+  Timer timer;
+  auto result = sql::ExecuteQuery(db->get(), statement, &stats);
+  if (!result.ok()) return Fail(result.status().ToString());
+  double ms = timer.ElapsedMillis();
+  auto csv = flags.Get("csv");
+  if (csv.has_value()) {
+    std::FILE* out = std::fopen(csv->c_str(), "w");
+    if (out == nullptr) return Fail("cannot open " + *csv);
+    std::string text = result->ToCsv();
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fclose(out);
+  } else {
+    std::printf("%s", result->ToString().c_str());
+  }
+  std::fprintf(stderr, "%zu rows in %.1f ms (%s)\n", result->num_rows(), ms,
+               stats.ToString().c_str());
+  return 0;
+}
+
+int CmdCompact(const Flags& flags) {
+  auto db = OpenDb(flags);
+  if (!db.ok()) return Fail(db.status().ToString());
+  auto series = flags.Get("series");
+  for (const std::string& name : (*db)->ListSeries()) {
+    if (series.has_value() && *series != name) continue;
+    auto store = (*db)->GetSeries(name);
+    if (!store.ok()) return Fail(store.status().ToString());
+    Timer timer;
+    if (Status s = (*store)->Compact(); !s.ok()) return Fail(s.ToString());
+    std::printf("compacted %s in %.1f ms (%zu chunks)\n", name.c_str(),
+                timer.ElapsedMillis(), (*store)->chunks().size());
+  }
+  return 0;
+}
+
+int CmdServe(const Flags& flags) {
+  auto db = OpenDb(flags);
+  if (!db.ok()) return Fail(db.status().ToString());
+  int port = static_cast<int>(flags.GetInt("port").value_or(5555));
+  SqlServer server(db->get());
+  if (Status s = server.Start(port); !s.ok()) return Fail(s.ToString());
+  std::printf("serving SQL on 127.0.0.1:%d — one statement per line, "
+              "'quit' to disconnect, Ctrl-C to stop\n",
+              server.port());
+  // Serve until killed.
+  while (true) {
+    ::pause();
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Flags flags(argc, argv);
+  if (command == "info") return CmdInfo(flags);
+  if (command == "import") return CmdImport(flags);
+  if (command == "export") return CmdExport(flags);
+  if (command == "write") return CmdWrite(flags);
+  if (command == "delete") return CmdDelete(flags);
+  if (command == "m4") return CmdM4(flags);
+  if (command == "render") return CmdRender(flags);
+  if (command == "sql") return CmdSql(flags);
+  if (command == "compact") return CmdCompact(flags);
+  if (command == "serve") return CmdServe(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace tsviz
+
+int main(int argc, char** argv) { return tsviz::Main(argc, argv); }
