@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "obs/metrics.h"
 #include "m4/m4_lsm.h"
 #include "m4/m4_udf.h"
 #include "workload/ooo.h"
@@ -177,8 +178,40 @@ Status ResultTable::WriteCsv(const std::string& name) const {
   };
   write_row(columns_);
   for (const auto& row : rows_) write_row(row);
-  return out.good() ? Status::OK()
-                    : Status::IoError("short csv write for " + name);
+  if (!out.good()) return Status::IoError("short csv write for " + name);
+
+  // JSON sidecar: the same rows plus a snapshot of every process metric,
+  // so a bench run carries its own cost counters for later analysis.
+  std::ofstream json(std::string("bench_results/") + name + ".json");
+  if (!json.good()) return Status::IoError("cannot open json for " + name);
+  auto escape = [](const std::string& s) {
+    std::string e;
+    for (char c : s) {
+      if (c == '"' || c == '\\') e += '\\';
+      e += c;
+    }
+    return e;
+  };
+  auto write_array = [&](const std::vector<std::string>& cells) {
+    json << "[";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) json << ",";
+      json << "\"" << escape(cells[c]) << "\"";
+    }
+    json << "]";
+  };
+  json << "{\n  \"name\": \"" << escape(name) << "\",\n  \"columns\": ";
+  write_array(columns_);
+  json << ",\n  \"rows\": [";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) json << ",";
+    json << "\n    ";
+    write_array(rows_[r]);
+  }
+  json << "\n  ],\n  \"metrics\": "
+       << obs::MetricsRegistry::Instance().RenderJson() << "\n}\n";
+  return json.good() ? Status::OK()
+                     : Status::IoError("short json write for " + name);
 }
 
 std::string FormatMillis(double ms) {

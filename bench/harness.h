@@ -89,7 +89,9 @@ class ResultTable {
   // Prints the aligned table to stdout.
   void Print() const;
 
-  // Writes bench_results/<name>.csv (directory created on demand).
+  // Writes bench_results/<name>.csv plus a bench_results/<name>.json
+  // sidecar holding the same rows and a snapshot of the process metrics
+  // registry (directory created on demand).
   Status WriteCsv(const std::string& name) const;
 
  private:

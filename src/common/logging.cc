@@ -22,6 +22,16 @@ std::atomic<LogLevel>& LevelVar() {
   return level;
 }
 
+std::atomic<uint64_t>& WarnCounter() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+
+std::atomic<uint64_t>& ErrorCounter() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+
 const char* LevelTag(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -44,6 +54,14 @@ void SetLogLevel(LogLevel level) {
   LevelVar().store(level, std::memory_order_relaxed);
 }
 
+uint64_t LogWarningCount() {
+  return WarnCounter().load(std::memory_order_relaxed);
+}
+
+uint64_t LogErrorCount() {
+  return ErrorCounter().load(std::memory_order_relaxed);
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -56,6 +74,11 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
+  if (level_ == LogLevel::kWarn) {
+    WarnCounter().fetch_add(1, std::memory_order_relaxed);
+  } else if (level_ == LogLevel::kError) {
+    ErrorCounter().fetch_add(1, std::memory_order_relaxed);
+  }
   stream_ << "\n";
   std::fputs(stream_.str().c_str(), stderr);
 }

@@ -1,6 +1,7 @@
 #ifndef TSVIZ_COMMON_LOGGING_H_
 #define TSVIZ_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <sstream>
 
 namespace tsviz {
@@ -11,6 +12,36 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 // TSVIZ_LOG_LEVEL environment variable (0-3) or SetLogLevel().
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+// Total WARN / ERROR lines emitted since process start. The metrics
+// registry exposes these as log_warnings_total / log_errors_total, so tests
+// and operators can catch paths that only warn instead of failing.
+uint64_t LogWarningCount();
+uint64_t LogErrorCount();
+
+// Structured key=value suffix for log lines, rendered as " key=value":
+//
+//   TSVIZ_INFO << "flushed memtable" << Field("points", n)
+//              << Field("file", path);
+//
+// Keeps the message grep-able (the k=v convention) without every call site
+// hand-formatting the separator.
+class Field {
+ public:
+  template <typename T>
+  Field(const char* key, const T& value) {
+    std::ostringstream os;
+    os << ' ' << key << '=' << value;
+    text_ = os.str();
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Field& field) {
+    return os << field.text_;
+  }
+
+ private:
+  std::string text_;
+};
 
 namespace internal {
 

@@ -5,24 +5,57 @@
 namespace tsviz {
 
 QueryStats& QueryStats::operator+=(const QueryStats& other) {
-  chunks_total += other.chunks_total;
-  chunks_loaded += other.chunks_loaded;
-  pages_decoded += other.pages_decoded;
-  points_scanned += other.points_scanned;
-  bytes_read += other.bytes_read;
-  metadata_reads += other.metadata_reads;
-  candidate_rounds += other.candidate_rounds;
-  index_lookups += other.index_lookups;
+#define TSVIZ_ADD_FIELD(name) name += other.name;
+  TSVIZ_QUERY_STATS_FIELDS(TSVIZ_ADD_FIELD)
+#undef TSVIZ_ADD_FIELD
   return *this;
 }
 
 std::string QueryStats::ToString() const {
   std::ostringstream os;
-  os << "chunks=" << chunks_loaded << "/" << chunks_total
-     << " pages=" << pages_decoded << " points=" << points_scanned
-     << " bytes=" << bytes_read << " meta=" << metadata_reads
-     << " rounds=" << candidate_rounds << " idx=" << index_lookups;
+  bool first = true;
+#define TSVIZ_PRINT_FIELD(name)     \
+  if (!first) os << " ";            \
+  first = false;                    \
+  os << #name << "=" << name;
+  TSVIZ_QUERY_STATS_FIELDS(TSVIZ_PRINT_FIELD)
+#undef TSVIZ_PRINT_FIELD
   return os.str();
+}
+
+const std::vector<std::string>& QueryStats::FieldNames() {
+  static const std::vector<std::string> names = {
+#define TSVIZ_NAME_FIELD(name) #name,
+      TSVIZ_QUERY_STATS_FIELDS(TSVIZ_NAME_FIELD)
+#undef TSVIZ_NAME_FIELD
+  };
+  return names;
+}
+
+std::vector<uint64_t> QueryStats::FieldValues() const {
+  return {
+#define TSVIZ_VALUE_FIELD(name) name,
+      TSVIZ_QUERY_STATS_FIELDS(TSVIZ_VALUE_FIELD)
+#undef TSVIZ_VALUE_FIELD
+  };
+}
+
+std::string QueryStats::CsvHeader() {
+  std::string header;
+  for (const std::string& name : FieldNames()) {
+    if (!header.empty()) header += ",";
+    header += name;
+  }
+  return header;
+}
+
+std::string QueryStats::ToCsvRow() const {
+  std::string row;
+  for (uint64_t value : FieldValues()) {
+    if (!row.empty()) row += ",";
+    row += std::to_string(value);
+  }
+  return row;
 }
 
 }  // namespace tsviz

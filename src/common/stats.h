@@ -3,9 +3,30 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 namespace tsviz {
+
+namespace obs {
+class Trace;  // defined in obs/trace.h; common only carries the pointer
+}  // namespace obs
+
+// The single source of truth for QueryStats' counters. operator+=,
+// ToString, CsvHeader/ToCsvRow and FieldNames/FieldValues are all generated
+// from this list, so a counter added here is automatically aggregated,
+// printed, and serialized everywhere (benches, EXPLAIN ANALYZE, tests) —
+// it cannot be forgotten in one of them.
+#define TSVIZ_QUERY_STATS_FIELDS(X) \
+  X(chunks_total)                   \
+  X(chunks_loaded)                  \
+  X(pages_decoded)                  \
+  X(points_scanned)                 \
+  X(bytes_read)                     \
+  X(metadata_reads)                 \
+  X(candidate_rounds)               \
+  X(index_lookups)
 
 // Cost counters accumulated while serving one query (or one experiment run).
 // The benches report these alongside wall-clock latency so that the
@@ -21,9 +42,22 @@ struct QueryStats {
   uint64_t candidate_rounds = 0;   // candidate generate/verify iterations
   uint64_t index_lookups = 0;      // step-regression index probes
 
+  // Optional per-query phase timing tree (see obs/trace.h). Engine code
+  // opens obs::TraceSpan on it when set; null (the default) costs one
+  // pointer check. Not a counter: operator+= and the serializers ignore it.
+  std::shared_ptr<obs::Trace> trace;
+
   void Reset() { *this = QueryStats(); }
   QueryStats& operator+=(const QueryStats& other);
   std::string ToString() const;
+
+  // Counter names/values in TSVIZ_QUERY_STATS_FIELDS order.
+  static const std::vector<std::string>& FieldNames();
+  std::vector<uint64_t> FieldValues() const;
+
+  // One shared CSV serialization for benches and EXPLAIN ANALYZE.
+  static std::string CsvHeader();
+  std::string ToCsvRow() const;
 };
 
 // Simple wall-clock stopwatch.

@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "index/binary_search_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tsviz {
 
@@ -30,10 +32,23 @@ size_t ChunkSearcher::PageOfPosition(uint64_t pos) const {
   return static_cast<size_t>(it - page_start_.begin()) - 1;
 }
 
+namespace {
+
+void CountIndexProbe() {
+  static obs::Counter& probes = obs::GetCounter(
+      "index_probes_total", "Chunk index locate operations (FP/LP/BP/TP)");
+  probes.Inc();
+}
+
+}  // namespace
+
 size_t ChunkSearcher::LocateForward(Timestamp t) {
   const auto& pages = provider_->pages();
   if (pages.empty()) return 0;
   if (stats_ != nullptr) ++stats_->index_lookups;
+  CountIndexProbe();
+  obs::TraceSpan span(stats_ != nullptr ? stats_->trace.get() : nullptr,
+                      "index_probe");
   if (strategy_ == LocateStrategy::kBinarySearch) {
     return LocatePageBinary(pages, t);
   }
@@ -53,6 +68,9 @@ size_t ChunkSearcher::LocateBackward(Timestamp t) {
   const auto& pages = provider_->pages();
   if (pages.empty()) return 0;
   if (stats_ != nullptr) ++stats_->index_lookups;
+  CountIndexProbe();
+  obs::TraceSpan span(stats_ != nullptr ? stats_->trace.get() : nullptr,
+                      "index_probe");
   if (strategy_ == LocateStrategy::kBinarySearch) {
     return LocatePageBinaryBackward(pages, t);
   }

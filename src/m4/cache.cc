@@ -1,6 +1,24 @@
 #include "m4/cache.h"
 
+#include "obs/metrics.h"
+
 namespace tsviz {
+
+namespace {
+
+obs::Counter& CacheHits() {
+  static obs::Counter& c = obs::GetCounter(
+      "m4_cache_hits_total", "M4 query cache hits");
+  return c;
+}
+
+obs::Counter& CacheMisses() {
+  static obs::Counter& c = obs::GetCounter(
+      "m4_cache_misses_total", "M4 query cache misses");
+  return c;
+}
+
+}  // namespace
 
 Result<M4Result> M4QueryCache::GetOrCompute(const TsStore& store,
                                             const M4Query& query,
@@ -14,6 +32,7 @@ Result<M4Result> M4QueryCache::GetOrCompute(const TsStore& store,
     auto it = index_.find(key);
     if (it != index_.end()) {
       ++hits_;
+      CacheHits().Inc();
       lru_.splice(lru_.begin(), lru_, it->second);  // bump to front
       return it->second->second;
     }
@@ -25,6 +44,7 @@ Result<M4Result> M4QueryCache::GetOrCompute(const TsStore& store,
                                                    options));
   std::lock_guard<std::mutex> lock(mutex_);
   ++misses_;
+  CacheMisses().Inc();
   auto it = index_.find(key);
   if (it == index_.end() && capacity_ > 0) {
     lru_.emplace_front(key, result);

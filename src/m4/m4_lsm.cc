@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "index/binary_search_index.h"
+#include "obs/trace.h"
 #include "read/data_reader.h"
 #include "read/lazy_chunk.h"
 #include "read/metadata_reader.h"
@@ -112,6 +113,10 @@ class M4LsmExecutor {
                                          const TimeRange& span) const;
 
   Status BumpRound();
+
+  obs::Trace* trace() const {
+    return stats_ != nullptr ? stats_->trace.get() : nullptr;
+  }
 
   const TsStore& store_;
   const M4Query& query_;
@@ -332,6 +337,7 @@ Result<std::optional<Point>> M4LsmExecutor::SolveLast(
 }
 
 Status M4LsmExecutor::LoadExact(SpanView& view, const TimeRange& span) {
+  obs::TraceSpan span_load(trace(), "lazy_chunk_load");
   view.exact = true;
   view.live.clear();
   const auto& pages = view.chunk->lazy->pages();
@@ -472,13 +478,27 @@ Result<M4Row> M4LsmExecutor::ComputeRow(const TimeRange& span,
     if (del.range.Overlaps(span)) span_deletes_.push_back(del);
   }
   M4Row row;
-  TSVIZ_ASSIGN_OR_RETURN(std::optional<Point> first, SolveFirst(views, span));
+  std::optional<Point> first;
+  {
+    obs::TraceSpan span_fp(trace(), "solve_first");
+    TSVIZ_ASSIGN_OR_RETURN(first, SolveFirst(views, span));
+  }
   if (!first.has_value()) return row;  // empty span
-  TSVIZ_ASSIGN_OR_RETURN(std::optional<Point> last, SolveLast(views, span));
-  TSVIZ_ASSIGN_OR_RETURN(std::optional<Point> bottom,
-                         SolveExtreme(views, span, /*bottom=*/true));
-  TSVIZ_ASSIGN_OR_RETURN(std::optional<Point> top,
-                         SolveExtreme(views, span, /*bottom=*/false));
+  std::optional<Point> last;
+  std::optional<Point> bottom;
+  std::optional<Point> top;
+  {
+    obs::TraceSpan span_lp(trace(), "solve_last");
+    TSVIZ_ASSIGN_OR_RETURN(last, SolveLast(views, span));
+  }
+  {
+    obs::TraceSpan span_bp(trace(), "solve_bottom");
+    TSVIZ_ASSIGN_OR_RETURN(bottom, SolveExtreme(views, span, /*bottom=*/true));
+  }
+  {
+    obs::TraceSpan span_tp(trace(), "solve_top");
+    TSVIZ_ASSIGN_OR_RETURN(top, SolveExtreme(views, span, /*bottom=*/false));
+  }
   if (!last.has_value() || !bottom.has_value() || !top.has_value()) {
     return Status::Internal("span has a first point but lacks last/bottom/top");
   }
@@ -501,27 +521,30 @@ Result<M4Result> M4LsmExecutor::Run() {
                               spans_.SpanStart(span_end_) - 1);
 
   // Algorithm 1 lines 2-3: metadata of all chunks and all deletes in range.
-  std::vector<ChunkHandle> handles =
-      SelectOverlappingChunks(store_, query_range, stats_);
-  deletes_ = SelectOverlappingDeletes(store_, query_range);
-
   std::vector<std::unique_ptr<ChunkState>> states;
-  states.reserve(handles.size());
-  for (const ChunkHandle& handle : handles) {
-    auto state = std::make_unique<ChunkState>();
-    state->handle = handle;
-    state->lazy = data_reader_.GetChunk(handle);
-    state->searcher = std::make_unique<ChunkSearcher>(
-        state->lazy, &handle.meta->index, options_.locate_strategy, stats_);
-    states.push_back(std::move(state));
+  {
+    obs::TraceSpan span_meta(trace(), "metadata_read");
+    std::vector<ChunkHandle> handles =
+        SelectOverlappingChunks(store_, query_range, stats_);
+    deletes_ = SelectOverlappingDeletes(store_, query_range);
+
+    states.reserve(handles.size());
+    for (const ChunkHandle& handle : handles) {
+      auto state = std::make_unique<ChunkState>();
+      state->handle = handle;
+      state->lazy = data_reader_.GetChunk(handle);
+      state->searcher = std::make_unique<ChunkSearcher>(
+          state->lazy, &handle.meta->index, options_.locate_strategy, stats_);
+      states.push_back(std::move(state));
+    }
+    // Sweep chunks against spans in time order.
+    std::sort(states.begin(), states.end(),
+              [](const std::unique_ptr<ChunkState>& a,
+                 const std::unique_ptr<ChunkState>& b) {
+                return a->handle.meta->stats.first.t <
+                       b->handle.meta->stats.first.t;
+              });
   }
-  // Sweep chunks against spans in time order.
-  std::sort(states.begin(), states.end(),
-            [](const std::unique_ptr<ChunkState>& a,
-               const std::unique_ptr<ChunkState>& b) {
-              return a->handle.meta->stats.first.t <
-                     b->handle.meta->stats.first.t;
-            });
 
   M4Result result(static_cast<size_t>(span_end_ - span_begin_));
   std::vector<ChunkState*> active;
@@ -561,6 +584,8 @@ Result<M4Result> M4LsmExecutor::Run() {
 Result<M4Result> RunM4Lsm(const TsStore& store, const M4Query& query,
                           QueryStats* stats, const M4LsmOptions& options) {
   TSVIZ_RETURN_IF_ERROR(query.Validate());
+  obs::TraceSpan span(stats != nullptr ? stats->trace.get() : nullptr,
+                      "m4_lsm");
   M4LsmExecutor executor(store, query, 0, query.w, stats, options);
   return executor.Run();
 }
@@ -570,6 +595,8 @@ Result<M4Result> RunM4LsmSpans(const TsStore& store, const M4Query& query,
                                QueryStats* stats,
                                const M4LsmOptions& options) {
   TSVIZ_RETURN_IF_ERROR(query.Validate());
+  obs::TraceSpan span(stats != nullptr ? stats->trace.get() : nullptr,
+                      "m4_lsm");
   M4LsmExecutor executor(store, query, span_begin, span_end, stats, options);
   return executor.Run();
 }

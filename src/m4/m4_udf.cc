@@ -1,5 +1,6 @@
 #include "m4/m4_udf.h"
 
+#include "obs/trace.h"
 #include "read/data_reader.h"
 #include "read/merge_reader.h"
 #include "read/metadata_reader.h"
@@ -9,12 +10,19 @@ namespace tsviz {
 Result<M4Result> RunM4Udf(const TsStore& store, const M4Query& query,
                           QueryStats* stats) {
   TSVIZ_RETURN_IF_ERROR(query.Validate());
+  obs::Trace* trace = stats != nullptr ? stats->trace.get() : nullptr;
+  obs::TraceSpan span_udf(trace, "m4_udf");
   SpanSet spans(query);
   // The query range [tqs, tqe) as a closed range for chunk selection.
   TimeRange range(query.tqs, query.tqe - 1);
 
-  std::vector<ChunkHandle> handles =
-      SelectOverlappingChunks(store, range, stats);
+  std::vector<ChunkHandle> handles;
+  std::vector<DeleteRecord> deletes;
+  {
+    obs::TraceSpan span_meta(trace, "metadata_read");
+    handles = SelectOverlappingChunks(store, range, stats);
+    deletes = SelectOverlappingDeletes(store, range);
+  }
   DataReader data_reader(stats);
   std::vector<LazyChunk*> chunks;
   chunks.reserve(handles.size());
@@ -22,8 +30,8 @@ Result<M4Result> RunM4Udf(const TsStore& store, const M4Query& query,
     chunks.push_back(data_reader.GetChunk(handle));
   }
 
-  MergeReader merger(std::move(chunks),
-                     SelectOverlappingDeletes(store, range), range);
+  obs::TraceSpan span_scan(trace, "merge_scan");
+  MergeReader merger(std::move(chunks), std::move(deletes), range);
   M4Result result(static_cast<size_t>(spans.num_spans()));
   Point p;
   while (true) {

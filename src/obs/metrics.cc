@@ -1,0 +1,253 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace tsviz::obs {
+
+namespace {
+
+// Smallest i with value <= 2^i, clamped to the bucket range.
+size_t BucketIndex(double value) {
+  if (!(value > 1.0)) return 0;  // also catches NaN and negatives
+  int e = std::ilogb(value);
+  if (std::ldexp(1.0, e) < value) ++e;
+  if (e < 0) return 0;
+  size_t i = static_cast<size_t>(e);
+  return i < Histogram::kNumBuckets ? i : Histogram::kNumBuckets - 1;
+}
+
+void AtomicAddDouble(std::atomic<double>& target, double d) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (
+      !target.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>& target, double d) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (cur < d &&
+         !target.compare_exchange_weak(cur, d, std::memory_order_relaxed)) {
+  }
+}
+
+std::string FormatDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+void Histogram::Observe(double value) {
+  if (value < 0.0 || std::isnan(value)) value = 0.0;
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(sum_, value);
+  AtomicMaxDouble(max_, value);
+}
+
+uint64_t Histogram::count() const {
+  uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::BucketBound(size_t i) {
+  if (i + 1 >= kNumBuckets) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(i));
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * total));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket >= rank) {
+      double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+      double hi = i + 1 >= kNumBuckets ? max()
+                                       : std::ldexp(1.0, static_cast<int>(i));
+      if (hi < lo) hi = lo;
+      double frac = static_cast<double>(rank - seen) /
+                    static_cast<double>(in_bucket);
+      double est = lo + (hi - lo) * frac;
+      // The true maximum is tracked exactly; never report past it.
+      return std::min(est, max());
+    }
+    seen += in_bucket;
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+MetricsRegistry::MetricsRegistry() {
+  // Surface the logging layer's severity counters (satellite: WARN+ logs are
+  // observable, so silent-failure paths can be asserted on).
+  RegisterCallback("log_warnings_total", "WARN log lines emitted", [] {
+    return static_cast<double>(LogWarningCount());
+  });
+  RegisterCallback("log_errors_total", "ERROR log lines emitted", [] {
+    return static_cast<double>(LogErrorCount());
+  });
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    TSVIZ_CHECK(!gauges_.contains(name) && !histograms_.contains(name) &&
+                !callbacks_.contains(name));
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+    if (!help.empty()) help_[it->first] = std::string(help);
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    TSVIZ_CHECK(!counters_.contains(name) && !histograms_.contains(name) &&
+                !callbacks_.contains(name));
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+    if (!help.empty()) help_[it->first] = std::string(help);
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    TSVIZ_CHECK(!counters_.contains(name) && !gauges_.contains(name) &&
+                !callbacks_.contains(name));
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+    if (!help.empty()) help_[it->first] = std::string(help);
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::RegisterCallback(std::string_view name,
+                                       std::string_view help,
+                                       std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TSVIZ_CHECK(!counters_.contains(name) && !gauges_.contains(name) &&
+              !histograms_.contains(name));
+  callbacks_[std::string(name)] = std::move(fn);
+  if (!help.empty()) help_[std::string(name)] = std::string(help);
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  auto emit_header = [&](const std::string& name, const char* type) {
+    auto help = help_.find(name);
+    if (help != help_.end()) {
+      os << "# HELP " << name << " " << help->second << "\n";
+    }
+    os << "# TYPE " << name << " " << type << "\n";
+  };
+  for (const auto& [name, counter] : counters_) {
+    emit_header(name, "counter");
+    os << name << " " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    emit_header(name, "gauge");
+    os << name << " " << FormatDouble(gauge->value()) << "\n";
+  }
+  for (const auto& [name, fn] : callbacks_) {
+    emit_header(name, "gauge");
+    os << name << " " << FormatDouble(fn()) << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    emit_header(name, "histogram");
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      uint64_t in_bucket = histogram->BucketCount(i);
+      cumulative += in_bucket;
+      // Keep the exposition small: only emit buckets that close a run of
+      // samples, plus the mandatory +Inf bucket.
+      if (in_bucket == 0 && i + 1 < Histogram::kNumBuckets) continue;
+      os << name << "_bucket{le=\""
+         << FormatDouble(Histogram::BucketBound(i)) << "\"} " << cumulative
+         << "\n";
+    }
+    os << name << "_sum " << FormatDouble(histogram->sum()) << "\n";
+    os << name << "_count " << histogram->count() << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{";
+  os << "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << counter->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << gauge->value();
+  }
+  for (const auto& [name, fn] : callbacks_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << fn();
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":{\"count\":" << histogram->count()
+       << ",\"sum\":" << histogram->sum() << ",\"max\":" << histogram->max()
+       << ",\"p50\":" << histogram->Quantile(0.5)
+       << ",\"p90\":" << histogram->Quantile(0.9)
+       << ",\"p99\":" << histogram->Quantile(0.99) << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace tsviz::obs

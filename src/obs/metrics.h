@@ -1,0 +1,139 @@
+#ifndef TSVIZ_OBS_METRICS_H_
+#define TSVIZ_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace tsviz::obs {
+
+// Engine-wide metrics: named counters, gauges and log-bucketed histograms
+// behind a process singleton. Registration (name lookup) takes a mutex once;
+// callers cache the returned reference in a function-local static, so the
+// hot path is a single relaxed atomic op. Instances are never destroyed or
+// moved, so cached references stay valid for the process lifetime.
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time value that can move both ways.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Log-bucketed (powers of two) histogram of non-negative samples. Bucket i
+// holds samples in (2^(i-1), 2^i]; the first bucket also takes everything
+// <= 1 and the last is unbounded. Quantiles are estimated by linear
+// interpolation inside the owning bucket, which is exact enough for the
+// p50/p90/p99 summaries observability needs.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 40;
+
+  void Observe(double value);
+
+  uint64_t count() const;
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  // q in [0, 1]; returns 0 when the histogram is empty.
+  double Quantile(double q) const;
+  // Upper bound of bucket i (2^i); the last bucket reports +infinity.
+  static double BucketBound(size_t i);
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry. Built-in callback metrics (log_warnings_total,
+  // log_errors_total) are registered on first use.
+  static MetricsRegistry& Instance();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Finds or creates the named metric. The reference stays valid for the
+  // process lifetime. Registering the same name with a different kind is a
+  // programming error and aborts.
+  Counter& GetCounter(std::string_view name, std::string_view help = "");
+  Gauge& GetGauge(std::string_view name, std::string_view help = "");
+  Histogram& GetHistogram(std::string_view name, std::string_view help = "");
+
+  // Read-on-scrape metric: `fn` is evaluated at render time. Used to expose
+  // values owned elsewhere (log counters, cache sizes) without polling.
+  void RegisterCallback(std::string_view name, std::string_view help,
+                        std::function<double()> fn);
+
+  // Prometheus text exposition (HELP/TYPE comments plus samples).
+  std::string RenderPrometheus() const;
+
+  // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  // Histograms render as {count,sum,max,p50,p90,p99}.
+  std::string RenderJson() const;
+
+  // Zeroes every counter/gauge/histogram (callbacks are left alone; they
+  // reflect external state). References handed out earlier stay valid.
+  void ResetForTest();
+
+ private:
+  MetricsRegistry();
+
+  mutable std::mutex mutex_;
+  // std::map keeps the exposition sorted by name, which makes the output
+  // diffable and the docs lint deterministic.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::function<double()>, std::less<>> callbacks_;
+  std::map<std::string, std::string, std::less<>> help_;
+};
+
+// Shorthands for the common "cache the reference in a static" pattern:
+//   static obs::Counter& c = obs::GetCounter("read_pages_decoded_total");
+inline Counter& GetCounter(std::string_view name, std::string_view help = "") {
+  return MetricsRegistry::Instance().GetCounter(name, help);
+}
+inline Gauge& GetGauge(std::string_view name, std::string_view help = "") {
+  return MetricsRegistry::Instance().GetGauge(name, help);
+}
+inline Histogram& GetHistogram(std::string_view name,
+                               std::string_view help = "") {
+  return MetricsRegistry::Instance().GetHistogram(name, help);
+}
+
+}  // namespace tsviz::obs
+
+#endif  // TSVIZ_OBS_METRICS_H_

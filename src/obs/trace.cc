@@ -1,0 +1,58 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace tsviz::obs {
+
+TraceNode* TraceNode::Child(std::string_view child_name) {
+  for (const auto& child : children) {
+    if (child->name == child_name) return child.get();
+  }
+  children.push_back(std::make_unique<TraceNode>());
+  children.back()->name = std::string(child_name);
+  return children.back().get();
+}
+
+Trace::Trace(std::string root_name) : current_(&root_) {
+  root_.name = std::move(root_name);
+  root_.calls = 1;  // the query itself; its millis accrue via root spans
+}
+
+namespace {
+
+void Render(const TraceNode& node, int depth, std::ostringstream* os) {
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  char millis[32];
+  std::snprintf(millis, sizeof(millis), "%.3f", node.millis);
+  *os << node.name << "  " << millis << " ms  x" << node.calls << "\n";
+  for (const auto& child : node.children) {
+    Render(*child, depth + 1, os);
+  }
+}
+
+}  // namespace
+
+std::string Trace::ToString() const {
+  std::ostringstream os;
+  Render(root_, 0, &os);
+  return os.str();
+}
+
+TraceSpan::TraceSpan(Trace* trace, std::string_view name) : trace_(trace) {
+  if (trace_ == nullptr) return;
+  parent_ = trace_->current_;
+  node_ = parent_->Child(name);
+  trace_->current_ = node_;
+  start_ = Clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (trace_ == nullptr) return;
+  node_->millis +=
+      std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  ++node_->calls;
+  trace_->current_ = parent_;
+}
+
+}  // namespace tsviz::obs

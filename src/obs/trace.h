@@ -1,0 +1,76 @@
+#ifndef TSVIZ_OBS_TRACE_H_
+#define TSVIZ_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsviz::obs {
+
+// Per-query phase timing tree. A Trace owns the root node; TraceSpan is the
+// RAII handle that opens a phase on construction and charges the elapsed
+// time on destruction. Spans nest: a span opened while another is live
+// becomes its child. Re-entering the same phase name under the same parent
+// merges into one node (millis and calls accumulate), so a phase executed
+// once per time span stays one line in the tree instead of thousands.
+//
+// A Trace is single-threaded by design: it is carried by one query through
+// one execution. Parallel executors give each worker its own QueryStats
+// without a trace (see m4/parallel.cc).
+
+struct TraceNode {
+  std::string name;
+  double millis = 0.0;   // total time inside this phase
+  uint64_t calls = 0;    // times the phase was entered
+  std::vector<std::unique_ptr<TraceNode>> children;
+
+  // Find-or-create a child by phase name.
+  TraceNode* Child(std::string_view child_name);
+};
+
+class Trace {
+ public:
+  explicit Trace(std::string root_name);
+
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  const TraceNode& root() const { return root_; }
+  TraceNode& root() { return root_; }
+
+  // Total time charged to the root span so far.
+  double TotalMillis() const { return root_.millis; }
+
+  // Indented human-readable tree: "name  millis  calls" per line.
+  std::string ToString() const;
+
+ private:
+  friend class TraceSpan;
+  TraceNode root_;
+  TraceNode* current_;  // innermost live span; never null
+};
+
+// RAII phase marker. A null trace makes every operation a no-op, so
+// instrumented code stays branch-cheap when tracing is off.
+class TraceSpan {
+ public:
+  TraceSpan(Trace* trace, std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Trace* trace_ = nullptr;
+  TraceNode* node_ = nullptr;
+  TraceNode* parent_ = nullptr;  // node to restore as current on close
+  Clock::time_point start_;
+};
+
+}  // namespace tsviz::obs
+
+#endif  // TSVIZ_OBS_TRACE_H_

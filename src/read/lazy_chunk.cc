@@ -1,5 +1,8 @@
 #include "read/lazy_chunk.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tsviz {
 
 LazyChunk::LazyChunk(ChunkHandle handle, QueryStats* stats)
@@ -14,6 +17,8 @@ Result<const std::vector<Point>*> LazyChunk::GetPage(size_t i) {
   if (cache_[i].has_value()) {
     return const_cast<const std::vector<Point>*>(&*cache_[i]);
   }
+  obs::TraceSpan span(stats_ != nullptr ? stats_->trace.get() : nullptr,
+                      "page_load");
   const PageInfo& page = handle_.meta->pages[i];
   TSVIZ_ASSIGN_OR_RETURN(
       std::string raw,
@@ -24,6 +29,15 @@ Result<const std::vector<Point>*> LazyChunk::GetPage(size_t i) {
   if (points.size() != page.count) {
     return Status::Corruption("page count mismatch with directory");
   }
+  static obs::Counter& pages_total = obs::GetCounter(
+      "read_pages_decoded_total", "Pages read from disk and decoded");
+  static obs::Counter& bytes_total = obs::GetCounter(
+      "read_bytes_total", "Raw chunk-data bytes read from disk");
+  static obs::Counter& chunks_total = obs::GetCounter(
+      "read_chunks_loaded_total", "Chunks whose data was touched");
+  pages_total.Inc();
+  bytes_total.Inc(page.length);
+  if (!loaded_) chunks_total.Inc();
   if (stats_ != nullptr) {
     stats_->bytes_read += page.length;
     ++stats_->pages_decoded;

@@ -1,25 +1,34 @@
 #include "read/metadata_reader.h"
 
+#include "obs/metrics.h"
+
 namespace tsviz {
 
 std::vector<ChunkHandle> SelectOverlappingChunks(const TsStore& store,
                                                  const TimeRange& range,
                                                  QueryStats* stats) {
   std::vector<ChunkHandle> out;
+  uint64_t consulted = 0;
   // Two-level pruning, as in IoTDB's metadata hierarchy: the file-level
   // summary rules out whole files with one comparison, then per-chunk
   // metadata is consulted only inside overlapping files.
   for (const auto& file : store.files()) {
-    if (stats != nullptr) ++stats->metadata_reads;
+    ++consulted;
     if (!file->interval().Overlaps(range)) continue;
     for (const ChunkMetadata& meta : file->chunks()) {
-      if (stats != nullptr) ++stats->metadata_reads;
+      ++consulted;
       if (meta.Interval().Overlaps(range)) {
         out.push_back(ChunkHandle{file, &meta});
       }
     }
   }
-  if (stats != nullptr) stats->chunks_total += out.size();
+  if (stats != nullptr) {
+    stats->metadata_reads += consulted;
+    stats->chunks_total += out.size();
+  }
+  static obs::Counter& metadata_reads = obs::GetCounter(
+      "read_metadata_reads_total", "File/chunk metadata entries consulted");
+  metadata_reads.Inc(consulted);
   return out;
 }
 

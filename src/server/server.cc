@@ -9,7 +9,10 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/stats.h"
+#include "obs/metrics.h"
 #include "sql/executor.h"
+#include "sql/parser.h"
 
 namespace tsviz {
 
@@ -77,7 +80,7 @@ void SqlServer::AcceptLoop() {
       if (errno == EINTR) continue;
       break;  // listener closed by Stop()
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(state_mutex_);
     if (stopping_.load()) {
       ::close(client);
       break;
@@ -88,6 +91,16 @@ void SqlServer::AcceptLoop() {
 }
 
 void SqlServer::HandleClient(int fd) {
+  static obs::Counter& connections = obs::GetCounter(
+      "server_connections_total", "Client connections accepted");
+  static obs::Counter& queries = obs::GetCounter(
+      "server_queries_total", "SQL statements executed");
+  static obs::Counter& errors = obs::GetCounter(
+      "server_query_errors_total", "SQL statements that returned an error");
+  static obs::Histogram& query_millis = obs::GetHistogram(
+      "server_query_millis", "Per-statement latency as seen by the server");
+  connections.Inc();
+
   std::string buffer;
   char chunk[4096];
   while (!stopping_.load()) {
@@ -104,13 +117,31 @@ void SqlServer::HandleClient(int fd) {
     if (line.empty()) continue;
     if (line == "quit" || line == "QUIT") break;
 
+    queries.Inc();
+    Timer timer;
     std::string reply;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      auto result = sql::ExecuteQuery(db_, line, nullptr);
-      reply = result.ok() ? result->ToCsv()
-                          : "ERROR: " + result.status().ToString() + "\n";
+    auto parsed = sql::ParseStatement(line);
+    if (!parsed.ok()) {
+      errors.Inc();
+      reply = "ERROR: " + parsed.status().ToString() + "\n";
+    } else {
+      // Reads run lock-free against the immutable chunk snapshot; only
+      // write statements serialize on the storage single-writer contract.
+      Result<sql::ResultSet> result = [&] {
+        if (sql::IsWriteStatement(*parsed)) {
+          std::lock_guard<std::mutex> lock(write_mutex_);
+          return sql::ExecuteStatement(db_, *parsed, nullptr);
+        }
+        return sql::ExecuteStatement(db_, *parsed, nullptr);
+      }();
+      if (result.ok()) {
+        reply = result->ToCsv();
+      } else {
+        errors.Inc();
+        reply = "ERROR: " + result.status().ToString() + "\n";
+      }
     }
+    query_millis.Observe(timer.ElapsedMillis());
     reply += "\n";  // blank-line terminator
     if (!WriteAll(fd, reply)) break;
   }
@@ -129,7 +160,7 @@ void SqlServer::Stop() {
 
   std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(state_mutex_);
     for (int fd : client_fds_) {
       ::shutdown(fd, SHUT_RDWR);
     }

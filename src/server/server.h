@@ -18,10 +18,13 @@ namespace tsviz {
 //            or "ERROR: <message>" followed by a blank line
 //   client:  "quit" closes the connection
 //
-// Queries are serialized on the database (the storage layer has a
-// single-writer contract); each connection gets its own handler thread.
-// This is the network face a deployment needs — the analog of IoTDB's
-// session service, reduced to the query dialect this library implements.
+// Each connection gets its own handler thread. Read statements (every
+// statement in the current dialect) execute concurrently against the
+// immutable chunk snapshot; write statements, if the dialect grows any,
+// serialize on `write_mutex_` to honor the storage layer's single-writer
+// contract. This is the network face a deployment needs — the analog of
+// IoTDB's session service, reduced to the query dialect this library
+// implements.
 class SqlServer {
  public:
   explicit SqlServer(Database* db) : db_(db) {}
@@ -50,7 +53,8 @@ class SqlServer {
   int port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
-  std::mutex mutex_;  // guards workers_/client_fds_ and serializes queries
+  std::mutex state_mutex_;  // guards workers_ and client_fds_
+  std::mutex write_mutex_;  // serializes write statements only
   std::vector<std::thread> workers_;
   std::vector<int> client_fds_;
 };

@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "common/types.h"
@@ -80,6 +81,7 @@ struct ValueCondition {
 
 struct SelectStatement {
   bool explain = false;  // EXPLAIN SELECT ... : describe the plan instead
+  bool analyze = false;  // EXPLAIN ANALYZE SELECT ... : execute and trace
   std::vector<SelectItem> items;
   std::string series;
   std::vector<TimeCondition> where;        // conjunction, on time
@@ -90,6 +92,21 @@ struct SelectStatement {
   friend bool operator==(const SelectStatement&,
                          const SelectStatement&) = default;
 };
+
+// SHOW METRICS: dumps the process-wide metrics registry in Prometheus text
+// exposition format, one line per row.
+struct ShowMetricsStatement {
+  friend bool operator==(const ShowMetricsStatement&,
+                         const ShowMetricsStatement&) = default;
+};
+
+// Any parseable top-level statement.
+using Statement = std::variant<SelectStatement, ShowMetricsStatement>;
+
+// True when executing the statement mutates database state. Every statement
+// in the current dialect is read-only; the server uses this to decide
+// whether a query needs the write lock.
+inline bool IsWriteStatement(const Statement&) { return false; }
 
 }  // namespace tsviz::sql
 

@@ -4,6 +4,8 @@
 
 #include "m4/m4_lsm.h"
 #include "m4/span.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "read/data_reader.h"
 #include "read/merge_reader.h"
 #include "read/metadata_reader.h"
@@ -83,9 +85,13 @@ Result<ResultSet> ExecuteRawSelect(const TsStore& store,
           "cannot mix raw columns with aggregations");
     }
   }
-  TSVIZ_ASSIGN_OR_RETURN(
-      std::vector<Point> merged,
-      ReadMergedSeries(store, TimeRange(tqs, tqe - 1), stats));
+  std::vector<Point> merged;
+  {
+    obs::TraceSpan span(stats != nullptr ? stats->trace.get() : nullptr,
+                        "merge_scan");
+    TSVIZ_ASSIGN_OR_RETURN(
+        merged, ReadMergedSeries(store, TimeRange(tqs, tqe - 1), stats));
+  }
   ResultSet result({"time", "value"});
   for (const Point& p : merged) {
     bool keep = true;
@@ -205,6 +211,72 @@ Result<ResultSet> ExplainSelect(const TsStore& store,
   return result;
 }
 
+// SHOW METRICS: one exposition line per row. The single column name starts
+// with '#', so the CSV header line is itself a valid Prometheus comment and
+// the whole CSV reply parses as text exposition format.
+ResultSet ShowMetrics() {
+  ResultSet result({"# tsviz metrics (Prometheus text exposition)"});
+  std::string text = obs::MetricsRegistry::Instance().RenderPrometheus();
+  size_t begin = 0;
+  while (begin < text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    result.AddRow({ResultSet::Cell(text.substr(begin, end - begin))});
+    begin = end + 1;
+  }
+  return result;
+}
+
+void AppendTraceRows(const obs::TraceNode& node, size_t depth,
+                     ResultSet* out) {
+  out->AddRow({ResultSet::Cell(std::string(2 * depth, ' ') + node.name),
+               ResultSet::Cell(node.millis),
+               ResultSet::Cell(static_cast<int64_t>(node.calls))});
+  for (const auto& child : node.children) {
+    AppendTraceRows(*child, depth + 1, out);
+  }
+}
+
+// EXPLAIN ANALYZE: executes the query with a trace attached and reports the
+// phase tree followed by the QueryStats counters. The counter rows reuse
+// QueryStats::FieldNames/FieldValues, the same single source of truth behind
+// ToCsvRow, so the statement and the CSV serialization cannot drift apart.
+Result<ResultSet> ExplainAnalyzeSelect(const TsStore& store,
+                                       const SelectStatement& stmt,
+                                       QueryStats* caller_stats) {
+  QueryStats query_stats;
+  query_stats.trace = std::make_shared<obs::Trace>("query");
+  SelectStatement inner = stmt;
+  inner.analyze = false;
+  Timer timer;
+  TSVIZ_ASSIGN_OR_RETURN(ResultSet inner_result,
+                         ExecuteSelect(store, inner, &query_stats));
+  if (inner.limit.has_value()) {
+    inner_result.Truncate(static_cast<size_t>(*inner.limit));
+  }
+  query_stats.trace->root().millis = timer.ElapsedMillis();
+
+  ResultSet result({"node", "millis", "calls"});
+  AppendTraceRows(query_stats.trace->root(), 0, &result);
+  result.AddRow({ResultSet::Cell(std::string("rows_returned")),
+                 ResultSet::Cell(static_cast<int64_t>(
+                     inner_result.num_rows())),
+                 ResultSet::Cell(std::monostate{})});
+  const std::vector<std::string>& names = QueryStats::FieldNames();
+  std::vector<uint64_t> values = query_stats.FieldValues();
+  for (size_t i = 0; i < names.size(); ++i) {
+    result.AddRow({ResultSet::Cell("stat:" + names[i]),
+                   ResultSet::Cell(static_cast<int64_t>(values[i])),
+                   ResultSet::Cell(std::monostate{})});
+  }
+  if (caller_stats != nullptr) {
+    std::shared_ptr<obs::Trace> trace = query_stats.trace;
+    *caller_stats += query_stats;
+    caller_stats->trace = std::move(trace);
+  }
+  return result;
+}
+
 }  // namespace
 
 Result<ResultSet> ExecuteSelect(const TsStore& store,
@@ -212,6 +284,9 @@ Result<ResultSet> ExecuteSelect(const TsStore& store,
                                 QueryStats* stats) {
   if (stmt.items.empty()) {
     return Status::InvalidArgument("empty select list");
+  }
+  if (stmt.analyze) {
+    return ExplainAnalyzeSelect(store, stmt, stats);
   }
   TSVIZ_ASSIGN_OR_RETURN(auto range, ResolveTimeRange(store, stmt));
   const auto [tqs, tqe] = range;
@@ -308,15 +383,26 @@ Result<ResultSet> ExecuteSelect(const TsStore& store,
   return result;
 }
 
-Result<ResultSet> ExecuteQuery(Database* db, const std::string& statement,
-                               QueryStats* stats) {
-  TSVIZ_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(statement));
+Result<ResultSet> ExecuteStatement(Database* db, const Statement& statement,
+                                   QueryStats* stats) {
+  if (std::holds_alternative<ShowMetricsStatement>(statement)) {
+    return ShowMetrics();
+  }
+  const SelectStatement& stmt = std::get<SelectStatement>(statement);
   TSVIZ_ASSIGN_OR_RETURN(TsStore * store, db->GetSeries(stmt.series));
   TSVIZ_ASSIGN_OR_RETURN(ResultSet result, ExecuteSelect(*store, stmt, stats));
-  if (stmt.limit.has_value()) {
+  // EXPLAIN ANALYZE applies LIMIT to the traced query itself; truncating
+  // here would clip the phase tree instead of the result rows.
+  if (stmt.limit.has_value() && !stmt.analyze) {
     result.Truncate(static_cast<size_t>(*stmt.limit));
   }
   return result;
+}
+
+Result<ResultSet> ExecuteQuery(Database* db, const std::string& statement,
+                               QueryStats* stats) {
+  TSVIZ_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
+  return ExecuteStatement(db, stmt, stats);
 }
 
 }  // namespace tsviz::sql

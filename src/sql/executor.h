@@ -28,6 +28,13 @@ namespace tsviz::sql {
 Result<ResultSet> ExecuteQuery(Database* db, const std::string& statement,
                                QueryStats* stats = nullptr);
 
+// Executes an already-parsed top-level statement. SHOW METRICS renders the
+// process metrics registry as Prometheus text, one exposition line per row;
+// EXPLAIN ANALYZE SELECT executes the query under a trace and returns the
+// phase breakdown plus the QueryStats counters instead of the result rows.
+Result<ResultSet> ExecuteStatement(Database* db, const Statement& statement,
+                                   QueryStats* stats = nullptr);
+
 // Executes an already-parsed statement against a specific store.
 Result<ResultSet> ExecuteSelect(const TsStore& store,
                                 const SelectStatement& statement,

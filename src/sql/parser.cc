@@ -66,6 +66,11 @@ class Parser {
     if (AtKeyword("EXPLAIN")) {
       stmt.explain = true;
       Advance();
+      if (AtKeyword("ANALYZE")) {
+        stmt.explain = false;
+        stmt.analyze = true;
+        Advance();
+      }
     }
     TSVIZ_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
     TSVIZ_RETURN_IF_ERROR(ParseSelectList(&stmt));
@@ -319,6 +324,24 @@ Result<SelectStatement> ParseSelect(const std::string& statement) {
   TSVIZ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(statement));
   Parser parser(std::move(tokens));
   return parser.Run();
+}
+
+Result<Statement> ParseStatement(const std::string& statement) {
+  TSVIZ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(statement));
+  // SHOW METRICS is the only non-SELECT statement; recognize it up front
+  // and hand everything else to the SELECT parser.
+  if (!tokens.empty() && tokens[0].type == TokenType::kIdentifier &&
+      IdentEquals(tokens[0].text, "SHOW")) {
+    if (tokens.size() != 3 || tokens[1].type != TokenType::kIdentifier ||
+        !IdentEquals(tokens[1].text, "METRICS") ||
+        tokens[2].type != TokenType::kEnd) {
+      return Status::InvalidArgument("expected SHOW METRICS");
+    }
+    return Statement(ShowMetricsStatement{});
+  }
+  Parser parser(std::move(tokens));
+  TSVIZ_ASSIGN_OR_RETURN(SelectStatement stmt, parser.Run());
+  return Statement(std::move(stmt));
 }
 
 }  // namespace tsviz::sql

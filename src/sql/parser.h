@@ -26,7 +26,14 @@ namespace tsviz::sql {
 //
 // Keywords are case-insensitive; `COLUMNS` is accepted as a synonym for
 // SPANS (pixel columns). Bare identifiers select raw merged points.
+//
+// `EXPLAIN ANALYZE SELECT ...` executes the query with tracing enabled and
+// returns the phase breakdown instead of the result rows.
 Result<SelectStatement> ParseSelect(const std::string& statement);
+
+// Parses any top-level statement: SELECT variants (as above) or
+// `SHOW METRICS`.
+Result<Statement> ParseStatement(const std::string& statement);
 
 }  // namespace tsviz::sql
 

@@ -8,6 +8,8 @@
 #include <map>
 
 #include "common/logging.h"
+#include "common/stats.h"
+#include "obs/metrics.h"
 #include "storage/file_format.h"
 #include "storage/store.h"
 
@@ -16,6 +18,8 @@ namespace tsviz {
 namespace fs = std::filesystem;
 
 Status TsStore::Compact() {
+  Timer timer;
+  uint64_t bytes_rewritten = 0;
   TSVIZ_RETURN_IF_ERROR(Flush());
   if (chunks_.empty()) {
     // Nothing to merge; still drop any orphan tombstones.
@@ -41,6 +45,7 @@ Status TsStore::Compact() {
                                  page.length));
       std::vector<Point> points;
       TSVIZ_RETURN_IF_ERROR(DecodePage(raw, &points));
+      bytes_rewritten += page.length;
       for (const Point& p : points) {
         latest[p.t] = {handle.meta->version, p.v};
       }
@@ -88,7 +93,7 @@ Status TsStore::Compact() {
   std::error_code ec;
   for (const std::string& old_path : old_paths) {
     fs::remove(old_path, ec);
-    if (ec) TSVIZ_WARN << "could not remove " << old_path;
+    if (ec) TSVIZ_WARN << "could not remove file" << Field("path", old_path);
   }
   fs::remove(ModsPath(), ec);
 
@@ -101,6 +106,16 @@ Status TsStore::Compact() {
     files_.push_back(std::move(reader));
   }
   ++state_version_;
+  static obs::Counter& compactions_total =
+      obs::GetCounter("storage_compactions_total", "Full compaction runs");
+  static obs::Counter& compaction_bytes = obs::GetCounter(
+      "storage_compaction_bytes_rewritten_total",
+      "Chunk data bytes read and rewritten by compaction");
+  static obs::Histogram& compaction_millis = obs::GetHistogram(
+      "storage_compaction_millis", "Compaction latency (ms)");
+  compactions_total.Inc();
+  compaction_bytes.Inc(bytes_rewritten);
+  compaction_millis.Observe(timer.ElapsedMillis());
   return Status::OK();
 }
 

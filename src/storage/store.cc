@@ -8,6 +8,8 @@
 #include <filesystem>
 
 #include "common/logging.h"
+#include "common/stats.h"
+#include "obs/metrics.h"
 #include "storage/file_format.h"
 
 namespace tsviz {
@@ -117,8 +119,8 @@ Status TsStore::Recover() {
     }
     TSVIZ_ASSIGN_OR_RETURN(wal_, WalWriter::Open(WalPath()));
     if (truncated) {
-      TSVIZ_WARN << "wal had a torn tail; replayed " << records.size()
-                 << " records and rewriting the log";
+      TSVIZ_WARN << "wal had a torn tail; rewriting the log"
+                 << Field("replayed", records.size());
       TSVIZ_RETURN_IF_ERROR(wal_->Reset());
       for (const WalRecord& record : records) {
         TSVIZ_RETURN_IF_ERROR(
@@ -178,6 +180,9 @@ Status TsStore::DeleteRange(const TimeRange& range) {
   // filtered at read time via the versioned tombstone.
   memtable_.EraseRange(range);
   ++state_version_;
+  static obs::Counter& deletes_total = obs::GetCounter(
+      "storage_deletes_total", "Range tombstones appended");
+  deletes_total.Inc();
   return Status::OK();
 }
 
@@ -202,6 +207,7 @@ Status TsStore::AppendModsRecord(const DeleteRecord& del) {
 
 Status TsStore::Flush() {
   if (memtable_.empty()) return Status::OK();
+  Timer timer;
   std::vector<Point> points = memtable_.Drain();
 
   const uint64_t file_id = next_file_id_++;
@@ -228,6 +234,15 @@ Status TsStore::Flush() {
     TSVIZ_RETURN_IF_ERROR(wal_->Reset());
   }
   ++state_version_;
+  static obs::Counter& flushes_total = obs::GetCounter(
+      "storage_flushes_total", "Memtable flushes to data files");
+  static obs::Counter& flush_points_total = obs::GetCounter(
+      "storage_flush_points_total", "Points written by memtable flushes");
+  static obs::Histogram& flush_millis = obs::GetHistogram(
+      "storage_flush_millis", "Memtable flush latency (ms)");
+  flushes_total.Inc();
+  flush_points_total.Inc(points.size());
+  flush_millis.Observe(timer.ElapsedMillis());
   return Status::OK();
 }
 

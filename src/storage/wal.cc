@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "encoding/varint.h"
+#include "obs/metrics.h"
 
 namespace tsviz {
 
@@ -56,6 +57,12 @@ Status WalWriter::AppendRecord(const WalRecord& record) {
   if (std::fwrite(entry.data(), 1, entry.size(), file_) != entry.size()) {
     return Status::IoError("short wal write to " + path_);
   }
+  static obs::Counter& appends_total =
+      obs::GetCounter("wal_appends_total", "WAL records appended");
+  static obs::Counter& bytes_total =
+      obs::GetCounter("wal_bytes_total", "WAL bytes written");
+  appends_total.Inc();
+  bytes_total.Inc(entry.size());
   return Status::OK();
 }
 
@@ -81,6 +88,9 @@ Status WalWriter::Reset() {
     return Status::IoError("cannot truncate wal " + path_);
   }
   file_ = file;
+  static obs::Counter& resets_total = obs::GetCounter(
+      "wal_resets_total", "WAL truncations after a durable flush");
+  resets_total.Inc();
   return Status::OK();
 }
 

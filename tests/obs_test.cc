@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tsviz::obs {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter& counter = GetCounter("test_hammer_total", "test counter");
+  counter.Reset();
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) counter.Inc();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<uint64_t>(kThreads) * kIncrementsPerThread);
+}
+
+TEST(CounterTest, SameNameReturnsSameInstance) {
+  Counter& a = GetCounter("test_identity_total");
+  Counter& b = GetCounter("test_identity_total");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(GaugeTest, SetAddAndConcurrentAdd) {
+  Gauge& gauge = GetGauge("test_gauge", "test gauge");
+  gauge.Set(10.0);
+  gauge.Add(-2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 7.5);
+
+  gauge.Reset();
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < kAddsPerThread; ++i) gauge.Add(1.0);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_DOUBLE_EQ(gauge.value(), kThreads * kAddsPerThread);
+}
+
+TEST(HistogramTest, ConcurrentObservationsKeepCountAndSum) {
+  Histogram& hist = GetHistogram("test_hist_hammer", "test histogram");
+  hist.Reset();
+  constexpr int kThreads = 8;
+  constexpr int kObsPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kObsPerThread; ++i) {
+        hist.Observe(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(hist.count(),
+            static_cast<uint64_t>(kThreads) * kObsPerThread);
+  // Sum of t+1 for t in [0,8) times kObsPerThread = 36 * kObsPerThread.
+  EXPECT_DOUBLE_EQ(hist.sum(), 36.0 * kObsPerThread);
+  EXPECT_DOUBLE_EQ(hist.max(), 8.0);
+}
+
+TEST(HistogramTest, QuantilesAreOrderedAndClampedToMax) {
+  Histogram& hist = GetHistogram("test_hist_quantiles");
+  hist.Reset();
+  for (int i = 1; i <= 1000; ++i) hist.Observe(static_cast<double>(i));
+  double p50 = hist.Quantile(0.5);
+  double p90 = hist.Quantile(0.9);
+  double p99 = hist.Quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, hist.max());
+  // Log bucketing puts p50 in (256, 512]; the estimate must stay in the
+  // right order of magnitude.
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 512.0);
+  // q=0 clamps to the first sample's rank: a positive min-like estimate.
+  EXPECT_GT(hist.Quantile(0.0), 0.0);
+  EXPECT_LE(hist.Quantile(0.0), p50);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZero) {
+  Histogram& hist = GetHistogram("test_hist_empty");
+  hist.Reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundsArePowersOfTwo) {
+  EXPECT_DOUBLE_EQ(Histogram::BucketBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketBound(1), 2.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketBound(10), 1024.0);
+  EXPECT_TRUE(std::isinf(Histogram::BucketBound(Histogram::kNumBuckets - 1)));
+}
+
+TEST(RegistryTest, RenderPrometheusHasTypeHelpAndSamples) {
+  GetCounter("test_render_total", "a test counter").Inc(3);
+  GetHistogram("test_render_millis", "a test histogram").Observe(2.0);
+  std::string text = MetricsRegistry::Instance().RenderPrometheus();
+  EXPECT_NE(text.find("# HELP test_render_total a test counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_render_total counter"), std::string::npos);
+  EXPECT_NE(text.find("test_render_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_render_millis histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_render_millis_bucket{le=\"2\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_render_millis_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_render_millis_count 1"), std::string::npos);
+
+  // Every line is either a comment or `name[{labels}] value`.
+  size_t begin = 0;
+  while (begin < text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(space, 0u) << line;
+    EXPECT_LT(space + 1, line.size()) << line;
+  }
+}
+
+TEST(RegistryTest, CallbackMetricReadsOnScrape) {
+  static std::atomic<double> external{0.0};
+  MetricsRegistry::Instance().RegisterCallback(
+      "test_callback_value", "reads external state",
+      [] { return external.load(); });
+  external = 42.0;
+  std::string text = MetricsRegistry::Instance().RenderPrometheus();
+  EXPECT_NE(text.find("test_callback_value 42"), std::string::npos);
+}
+
+TEST(RegistryTest, LogCountersAreRegistered) {
+  std::string text = MetricsRegistry::Instance().RenderPrometheus();
+  EXPECT_NE(text.find("log_warnings_total"), std::string::npos);
+  EXPECT_NE(text.find("log_errors_total"), std::string::npos);
+}
+
+TEST(RegistryTest, RenderJsonIsWellFormedEnough) {
+  GetCounter("test_json_total").Inc();
+  std::string json = MetricsRegistry::Instance().RenderJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test_json_total\""), std::string::npos);
+}
+
+TEST(RegistryTest, ResetForTestKeepsReferencesValid) {
+  Counter& counter = GetCounter("test_reset_total");
+  counter.Inc(7);
+  MetricsRegistry::Instance().ResetForTest();
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Inc();
+  EXPECT_EQ(GetCounter("test_reset_total").value(), 1u);
+}
+
+TEST(TraceTest, SpansNestAndMergeByName) {
+  Trace trace("query");
+  {
+    TraceSpan outer(&trace, "phase_a");
+    for (int i = 0; i < 3; ++i) {
+      TraceSpan inner(&trace, "phase_b");
+    }
+    TraceSpan other(&trace, "phase_c");
+  }
+  const TraceNode& root = trace.root();
+  ASSERT_EQ(root.children.size(), 1u);
+  const TraceNode& a = *root.children[0];
+  EXPECT_EQ(a.name, "phase_a");
+  EXPECT_EQ(a.calls, 1u);
+  ASSERT_EQ(a.children.size(), 2u);
+  const TraceNode& b = *a.children[0];
+  EXPECT_EQ(b.name, "phase_b");
+  EXPECT_EQ(b.calls, 3u);  // three entries merged into one node
+  EXPECT_EQ(a.children[1]->name, "phase_c");
+
+  // Time is monotone: a nested span can never exceed its parent.
+  EXPECT_GE(a.millis, b.millis + a.children[1]->millis);
+  EXPECT_GE(b.millis, 0.0);
+
+  std::string rendered = trace.ToString();
+  EXPECT_NE(rendered.find("phase_a"), std::string::npos);
+  EXPECT_NE(rendered.find("phase_b"), std::string::npos);
+  EXPECT_NE(rendered.find("x3"), std::string::npos);
+}
+
+TEST(TraceTest, NullTraceSpansAreNoOps) {
+  TraceSpan a(nullptr, "ignored");
+  TraceSpan b(nullptr, "also_ignored");
+  SUCCEED();
+}
+
+TEST(TraceTest, SiblingSpansReuseNodeAcrossScopes) {
+  Trace trace("query");
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span(&trace, "repeat");
+  }
+  ASSERT_EQ(trace.root().children.size(), 1u);
+  EXPECT_EQ(trace.root().children[0]->calls, 5u);
+}
+
+}  // namespace
+}  // namespace tsviz::obs

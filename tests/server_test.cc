@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.h"
 #include "test_util.h"
 
 namespace tsviz {
@@ -117,6 +118,34 @@ TEST_F(ServerTest, ConcurrentClients) {
   b.Send("SELECT MIN_VALUE(v) FROM s1");
   EXPECT_NE(a.ReadReply().find("100"), std::string::npos);
   EXPECT_NE(b.ReadReply().find(",0"), std::string::npos);
+}
+
+TEST_F(ServerTest, QueriesAdvanceServerMetrics) {
+  obs::Counter& queries = obs::GetCounter("server_queries_total");
+  obs::Counter& errors = obs::GetCounter("server_query_errors_total");
+  obs::Histogram& latency = obs::GetHistogram("server_query_millis");
+  uint64_t queries_before = queries.value();
+  uint64_t errors_before = errors.value();
+  uint64_t latency_before = latency.count();
+
+  TestClient client(server_->port());
+  client.Send("SELECT COUNT(v) FROM s1");
+  EXPECT_NE(client.ReadReply().find("100"), std::string::npos);
+  client.Send("SELECT bogus FROM nowhere");
+  EXPECT_EQ(client.ReadReply().rfind("ERROR:", 0), 0u);
+
+  EXPECT_EQ(queries.value(), queries_before + 2);
+  EXPECT_EQ(errors.value(), errors_before + 1);
+  EXPECT_EQ(latency.count(), latency_before + 2);
+
+  // SHOW METRICS over the wire reports the same counters as Prometheus
+  // text, with the CSV header line doubling as a comment.
+  client.Send("SHOW METRICS");
+  std::string reply = client.ReadReply();
+  EXPECT_EQ(reply.rfind("#", 0), 0u) << reply.substr(0, 60);
+  EXPECT_NE(reply.find("server_queries_total"), std::string::npos);
+  EXPECT_NE(reply.find("# TYPE server_query_millis histogram"),
+            std::string::npos);
 }
 
 TEST_F(ServerTest, StopIsIdempotentAndUnblocksClients) {

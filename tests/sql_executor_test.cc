@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "common/random.h"
 #include "m4/m4_udf.h"
+#include "obs/trace.h"
 #include "test_util.h"
 
 namespace tsviz::sql {
@@ -183,6 +185,114 @@ TEST_F(SqlExecutorTest, ToStringAndCsvRender) {
   EXPECT_NE(table.find("COUNT(v)"), std::string::npos);
   std::string csv = result.ToCsv();
   EXPECT_NE(csv.find("span_start,COUNT(v)"), std::string::npos);
+}
+
+TEST_F(SqlExecutorTest, ShowMetricsRendersPrometheusText) {
+  MustQuery("SELECT COUNT(v) FROM s1");  // generate some read activity
+  ResultSet result = MustQuery("SHOW METRICS");
+  ASSERT_EQ(result.columns().size(), 1u);
+  // The column name starts with '#': the CSV header line is a Prometheus
+  // comment, making the whole CSV reply valid text exposition format.
+  EXPECT_EQ(result.columns()[0][0], '#');
+  std::string csv = result.ToCsv();
+  EXPECT_NE(csv.find("# TYPE"), std::string::npos);
+  EXPECT_NE(csv.find("read_metadata_reads_total"), std::string::npos);
+  EXPECT_NE(csv.find("log_warnings_total"), std::string::npos);
+  // Every line is a comment or a `name[{labels}] value` sample — never a
+  // multi-cell CSV row.
+  size_t begin = 0;
+  while (begin < csv.size()) {
+    size_t end = csv.find('\n', begin);
+    if (end == std::string::npos) end = csv.size();
+    std::string line = csv.substr(begin, end - begin);
+    begin = end + 1;
+    EXPECT_EQ(line.find(','), std::string::npos) << line;
+    if (!line.empty() && line[0] != '#') {
+      EXPECT_NE(line.find(' '), std::string::npos) << line;
+    }
+  }
+  EXPECT_FALSE(ExecuteQuery(db_.get(), "SHOW TABLES", nullptr).ok());
+}
+
+TEST_F(SqlExecutorTest, ExplainAnalyzeReturnsTraceTreeAndStats) {
+  QueryStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet result,
+      ExecuteQuery(db_.get(),
+                   "EXPLAIN ANALYZE SELECT M4(v) FROM s1 WHERE time >= 0 "
+                   "AND time < 2000 GROUP BY SPANS(4)",
+                   &stats));
+  EXPECT_EQ(result.columns(),
+            (std::vector<std::string>{"node", "millis", "calls"}));
+  ASSERT_GT(result.num_rows(), 0u);
+  EXPECT_EQ(result.rows()[0][0], ResultSet::Cell(std::string("query")));
+
+  std::string csv = result.ToCsv();
+  EXPECT_NE(csv.find("m4_lsm"), std::string::npos);
+  EXPECT_NE(csv.find("metadata_read"), std::string::npos);
+  EXPECT_NE(csv.find("solve_first"), std::string::npos);
+  EXPECT_NE(csv.find("rows_returned,4,null"), std::string::npos);
+  // The stat rows come from the same X-macro as QueryStats::ToCsvRow.
+  for (const std::string& field : QueryStats::FieldNames()) {
+    EXPECT_NE(csv.find("stat:" + field), std::string::npos) << field;
+  }
+  // The trace and counters also propagate to the caller's QueryStats.
+  ASSERT_NE(stats.trace, nullptr);
+  EXPECT_GT(stats.trace->TotalMillis(), 0.0);
+  EXPECT_GT(stats.metadata_reads, 0u);
+  EXPECT_GT(stats.chunks_total, 0u);
+}
+
+TEST_F(SqlExecutorTest, ExplainAnalyzeAppliesLimitToTheTracedQuery) {
+  ResultSet result = MustQuery(
+      "EXPLAIN ANALYZE SELECT COUNT(v) FROM s1 GROUP BY SPANS(10) LIMIT 3");
+  std::string csv = result.ToCsv();
+  EXPECT_NE(csv.find("rows_returned,3,null"), std::string::npos);
+  // The report itself is not truncated to 3 rows.
+  EXPECT_GT(result.num_rows(), 3u);
+}
+
+// The paper's cost asymmetry, visible per query: on a smooth multi-chunk
+// series, merge-free M4-LSM touches an order of magnitude less chunk data
+// than the load-everything raw path (the M4-UDF access pattern).
+TEST(SqlExplainAnalyzeAsymmetry, M4LsmLoadsFarLessThanFullScan) {
+  Rng rng(7);
+  TempDir dir;
+  DatabaseConfig config;
+  config.root_dir = dir.path();
+  config.series_defaults.points_per_chunk = 100;
+  config.series_defaults.memtable_flush_threshold = 100;
+  config.series_defaults.encoding.page_size_points = 25;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db, Database::Open(config));
+  // Ballspeed-style smooth random walk, 10000 points -> 100 chunks.
+  double v = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    v += rng.Gaussian(0, 1.0);
+    ASSERT_OK(db->Write("speed", i, v));
+  }
+  ASSERT_OK(db->FlushAll());
+
+  QueryStats lsm;
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet lsm_report,
+      ExecuteQuery(db.get(),
+                   "EXPLAIN ANALYZE SELECT M4(v) FROM speed WHERE "
+                   "time >= 0 AND time < 10000 GROUP BY SPANS(4)",
+                   &lsm));
+  QueryStats raw;
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet raw_report,
+      ExecuteQuery(db.get(),
+                   "EXPLAIN ANALYZE SELECT v FROM speed WHERE "
+                   "time >= 0 AND time < 10000",
+                   &raw));
+  EXPECT_NE(raw_report.ToCsv().find("merge_scan"), std::string::npos);
+
+  EXPECT_EQ(raw.chunks_loaded, 100u);  // the full scan loads everything
+  EXPECT_GE(raw.chunks_loaded, 10 * std::max<uint64_t>(1, lsm.chunks_loaded))
+      << "lsm loaded " << lsm.chunks_loaded << " chunks";
+  EXPECT_GE(raw.bytes_read, 10 * std::max<uint64_t>(1, lsm.bytes_read))
+      << "lsm read " << lsm.bytes_read << " bytes, raw " << raw.bytes_read;
 }
 
 // Property: the SQL M4 path agrees with the direct operator API on messy

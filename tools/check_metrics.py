@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Lints the metric catalog: every metric name registered in src/ must be
+documented in docs/OBSERVABILITY.md, so the docs cannot silently drift from
+the code. Run from anywhere; wired into ctest as `check_metrics`.
+
+Usage: check_metrics.py [repo_root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Matches the registration calls, tolerating a line break between the call
+# and the name literal (clang-format wraps long help strings).
+REGISTRATION = re.compile(
+    r'(?:GetCounter|GetGauge|GetHistogram|RegisterCallback)\(\s*"([a-z0-9_]+)"'
+)
+
+
+def registered_metrics(src_root: Path) -> set[str]:
+    names: set[str] = set()
+    for path in sorted(src_root.rglob("*.cc")):
+        names.update(REGISTRATION.findall(path.read_text(encoding="utf-8")))
+    return names
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        __file__).resolve().parent.parent
+    doc_path = root / "docs" / "OBSERVABILITY.md"
+    if not doc_path.is_file():
+        print(f"check_metrics: missing {doc_path}", file=sys.stderr)
+        return 1
+    doc = doc_path.read_text(encoding="utf-8")
+
+    names = registered_metrics(root / "src")
+    if not names:
+        print("check_metrics: found no registered metrics under src/ — "
+              "the regex is probably stale", file=sys.stderr)
+        return 1
+
+    missing = sorted(n for n in names if n not in doc)
+    if missing:
+        print("check_metrics: metrics registered in src/ but absent from "
+              "docs/OBSERVABILITY.md:", file=sys.stderr)
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+
+    print(f"check_metrics: {len(names)} metrics, all documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
