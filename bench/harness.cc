@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "m4/m4_lsm.h"
 #include "m4/m4_udf.h"
+#include "storage/page_cache.h"
 #include "workload/ooo.h"
 
 namespace tsviz::bench {
@@ -91,6 +92,9 @@ Measurement TimeQuery(
   std::vector<Measurement> runs;
   runs.reserve(static_cast<size_t>(reps));
   for (int r = 0; r < reps; ++r) {
+    // Paper figures measure cold-cache latency; without this, rep 2+ would
+    // be served from the shared page cache (bench_scaling times that case).
+    SharedPageCache::Instance().Clear();
     Measurement m;
     Timer timer;
     Result<M4Result> result = query_fn(&m.stats);

@@ -1,0 +1,64 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace tsviz {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(1, num_threads);
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(fn));
+    ++tasks_submitted_;
+  }
+  cv_.notify_one();
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+uint64_t ThreadPool::tasks_submitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_submitted_;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the backlog even when stopping: a submitted task may carry a
+      // completion latch someone is waiting on.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+int DefaultExecutorThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp<int>(static_cast<int>(hw), 2, 32);
+}
+
+}  // namespace tsviz

@@ -1,0 +1,60 @@
+#ifndef TSVIZ_COMMON_THREAD_POOL_H_
+#define TSVIZ_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tsviz {
+
+// Fixed-size executor pool. Tasks are plain closures run FIFO on a bounded
+// set of long-lived worker threads; submitting never spawns a thread, which
+// is what keeps per-query parallelism cheap enough for dashboard-scale
+// traffic (the old parallel operator paid a thread spawn+join per span
+// block per query).
+//
+// Completion is the caller's business: tasks that must be awaited signal a
+// latch/condition of their own (see m4/parallel.cc). The destructor drains
+// the queue — every task already submitted runs before join.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues one task. Thread-safe; never blocks on the workers.
+  void Submit(std::function<void()> fn);
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  // Tasks accepted but not yet picked up by a worker (the backlog a
+  // saturated pool accumulates; exported as a gauge by the executor).
+  size_t queue_depth() const;
+
+  // Total tasks ever submitted.
+  uint64_t tasks_submitted() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  uint64_t tasks_submitted_ = 0;
+  bool stopping_ = false;
+};
+
+// Number of workers the process-wide executor pool starts with: the
+// hardware concurrency, clamped to [2, 32].
+int DefaultExecutorThreads();
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_COMMON_THREAD_POOL_H_

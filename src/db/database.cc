@@ -1,6 +1,9 @@
 #include "db/database.h"
 
+#include <cmath>
 #include <filesystem>
+
+#include "storage/page_cache.h"
 
 namespace tsviz {
 
@@ -28,8 +31,39 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseConfig config) {
                            ec.message());
   }
   auto db = std::unique_ptr<Database>(new Database(std::move(config)));
+  if (db->config_.query_parallelism < 1) {
+    return Status::InvalidArgument("query_parallelism must be positive");
+  }
+  if (db->config_.page_cache_bytes.has_value()) {
+    SharedPageCache::Instance().set_capacity_bytes(
+        *db->config_.page_cache_bytes);
+  }
   TSVIZ_RETURN_IF_ERROR(db->Discover());
   return db;
+}
+
+Status Database::ApplySetting(const std::string& name, double value) {
+  if (value < 0 || value != std::floor(value)) {
+    return Status::InvalidArgument("setting '" + name +
+                                   "' requires a non-negative integer");
+  }
+  if (name == "parallelism") {
+    if (value < 1) {
+      return Status::InvalidArgument("parallelism must be positive");
+    }
+    query_parallelism_ = static_cast<int>(value);
+    return Status::OK();
+  }
+  if (name == "page_cache_bytes") {
+    SharedPageCache::Instance().set_capacity_bytes(
+        static_cast<size_t>(value));
+    return Status::OK();
+  }
+  if (name == "result_cache_capacity") {
+    result_cache_.set_capacity(static_cast<size_t>(value));
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown setting: " + name);
 }
 
 Status Database::Discover() {

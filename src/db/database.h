@@ -3,10 +3,12 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "m4/cache.h"
 #include "m4/m4_lsm.h"
 #include "m4/m4_types.h"
 #include "m4/span.h"
@@ -20,6 +22,19 @@ struct DatabaseConfig {
 
   // Defaults applied to newly created series (data_dir is overridden).
   StoreConfig series_defaults;
+
+  // Span-block parallelism for M4 SELECTs: 1 runs the serial operator,
+  // larger values submit that many span blocks to the shared executor pool.
+  // Runtime override: `SET parallelism = n`.
+  int query_parallelism = 1;
+
+  // Capacity (entries) of the per-database M4 result cache; 0 disables
+  // result caching. Runtime override: `SET result_cache_capacity = n`.
+  size_t m4_result_cache_capacity = 64;
+
+  // When set, overrides the byte budget of the process-wide shared page
+  // cache at open. Runtime override: `SET page_cache_bytes = n`.
+  std::optional<size_t> page_cache_bytes;
 };
 
 // Multi-series façade over TsStore: one LSM store per named series under a
@@ -57,12 +72,25 @@ class Database {
                            QueryStats* stats,
                            const M4LsmOptions& options = {});
 
+  // Runtime knobs (`SET <name> = <value>`): parallelism,
+  // page_cache_bytes, result_cache_capacity.
+  Status ApplySetting(const std::string& name, double value);
+
+  // The M4 result cache shared by every SELECT against this database.
+  M4QueryCache& result_cache() { return result_cache_; }
+  int query_parallelism() const { return query_parallelism_; }
+
  private:
-  explicit Database(DatabaseConfig config) : config_(std::move(config)) {}
+  explicit Database(DatabaseConfig config)
+      : config_(std::move(config)),
+        query_parallelism_(config_.query_parallelism),
+        result_cache_(config_.m4_result_cache_capacity) {}
 
   Status Discover();
 
   DatabaseConfig config_;
+  int query_parallelism_;
+  M4QueryCache result_cache_;
   std::map<std::string, std::unique_ptr<TsStore>> series_;
 };
 

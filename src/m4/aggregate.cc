@@ -24,6 +24,7 @@ Result<std::vector<AggregateRow>> RunScanAggregate(const TsStore& store,
   }
   MergeReader merger(std::move(chunks),
                      SelectOverlappingDeletes(store, range), range);
+  merger.PreloadFullChunks();  // the scan drains every overlapping chunk
 
   struct Accumulator {
     uint64_t count = 0;

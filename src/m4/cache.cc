@@ -1,6 +1,10 @@
 #include "m4/cache.h"
 
+#include <algorithm>
+
+#include "m4/parallel.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tsviz {
 
@@ -8,30 +12,49 @@ namespace {
 
 obs::Counter& CacheHits() {
   static obs::Counter& c = obs::GetCounter(
-      "m4_cache_hits_total", "M4 query cache hits");
+      "m4_result_cache_hits_total", "M4 result cache hits");
   return c;
 }
 
 obs::Counter& CacheMisses() {
   static obs::Counter& c = obs::GetCounter(
-      "m4_cache_misses_total", "M4 query cache misses");
+      "m4_result_cache_misses_total", "M4 result cache misses");
   return c;
 }
 
 }  // namespace
 
+size_t M4QueryCache::KeyHash::operator()(const Key& key) const {
+  uint64_t h = static_cast<uint64_t>(reinterpret_cast<uintptr_t>(key.store));
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(key.state_version);
+  mix(static_cast<uint64_t>(key.tqs));
+  mix(static_cast<uint64_t>(key.tqe));
+  mix(static_cast<uint64_t>(key.w));
+  mix(static_cast<uint64_t>(key.strategy));
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  return static_cast<size_t>(h);
+}
+
 Result<M4Result> M4QueryCache::GetOrCompute(const TsStore& store,
                                             const M4Query& query,
                                             QueryStats* stats,
-                                            const M4LsmOptions& options) {
+                                            const M4LsmOptions& options,
+                                            int parallelism) {
   TSVIZ_RETURN_IF_ERROR(query.Validate());
   Key key{&store,    store.state_version(), query.tqs,
           query.tqe, query.w,               options.locate_strategy};
   {
+    obs::TraceSpan probe(stats != nullptr ? stats->trace.get() : nullptr,
+                         "cache_probe");
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = index_.find(key);
     if (it != index_.end()) {
-      ++hits_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       CacheHits().Inc();
       lru_.splice(lru_.begin(), lru_, it->second);  // bump to front
       return it->second->second;
@@ -40,10 +63,12 @@ Result<M4Result> M4QueryCache::GetOrCompute(const TsStore& store,
 
   // Compute outside the lock; concurrent misses on the same key may race,
   // which only costs a duplicate computation, never a wrong result.
-  TSVIZ_ASSIGN_OR_RETURN(M4Result result, RunM4Lsm(store, query, stats,
-                                                   options));
+  TSVIZ_ASSIGN_OR_RETURN(
+      M4Result result,
+      RunM4LsmParallel(store, query, std::max(1, parallelism), stats,
+                       options));
   std::lock_guard<std::mutex> lock(mutex_);
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   CacheMisses().Inc();
   auto it = index_.find(key);
   if (it == index_.end() && capacity_ > 0) {
@@ -60,6 +85,20 @@ Result<M4Result> M4QueryCache::GetOrCompute(const TsStore& store,
 size_t M4QueryCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return lru_.size();
+}
+
+void M4QueryCache::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+size_t M4QueryCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
 }
 
 void M4QueryCache::Clear() {

@@ -1,10 +1,11 @@
 #ifndef TSVIZ_M4_CACHE_H_
 #define TSVIZ_M4_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
-#include <map>
 #include <mutex>
+#include <unordered_map>
 
 #include "common/status.h"
 #include "m4/m4_lsm.h"
@@ -26,15 +27,23 @@ class M4QueryCache {
   M4QueryCache(const M4QueryCache&) = delete;
   M4QueryCache& operator=(const M4QueryCache&) = delete;
 
-  // Returns the cached result or computes it with RunM4Lsm and caches it.
-  // `stats` (optional) is only charged on a miss — a hit costs no I/O.
+  // Returns the cached result or computes it (via the pooled parallel
+  // operator when `parallelism` > 1) and caches it. `stats` (optional) is
+  // only charged on a miss — a hit costs no I/O; the probe itself shows up
+  // as a `cache_probe` span on the caller's trace.
   Result<M4Result> GetOrCompute(const TsStore& store, const M4Query& query,
                                 QueryStats* stats,
-                                const M4LsmOptions& options = {});
+                                const M4LsmOptions& options = {},
+                                int parallelism = 1);
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   size_t size() const;
+
+  // Runtime knob (SQL `SET result_cache_capacity = n`); shrinking evicts
+  // immediately. A capacity of 0 disables result caching.
+  void set_capacity(size_t capacity);
+  size_t capacity() const;
 
   void Clear();
 
@@ -47,15 +56,21 @@ class M4QueryCache {
     int64_t w;
     LocateStrategy strategy;
 
-    friend auto operator<=>(const Key&, const Key&) = default;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
   };
 
   size_t capacity_;
   mutable std::mutex mutex_;
   std::list<std::pair<Key, M4Result>> lru_;  // front = most recent
-  std::map<Key, std::list<std::pair<Key, M4Result>>::iterator> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  std::unordered_map<Key, std::list<std::pair<Key, M4Result>>::iterator,
+                     KeyHash>
+      index_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace tsviz

@@ -32,6 +32,7 @@ Result<M4Result> RunM4Udf(const TsStore& store, const M4Query& query,
 
   obs::TraceSpan span_scan(trace, "merge_scan");
   MergeReader merger(std::move(chunks), std::move(deletes), range);
+  merger.PreloadFullChunks();  // the scan drains every overlapping chunk
   M4Result result(static_cast<size_t>(spans.num_spans()));
   Point p;
   while (true) {

@@ -1,10 +1,26 @@
 #include "m4/parallel.h"
 
 #include <algorithm>
-#include <thread>
+#include <condition_variable>
+#include <mutex>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tsviz {
+
+ThreadPool& ExecutorPool() {
+  static ThreadPool* pool = [] {
+    auto* p = new ThreadPool(DefaultExecutorThreads());
+    obs::MetricsRegistry::Instance().RegisterCallback(
+        "executor_pool_queue_depth",
+        "Tasks queued on the executor pool and not yet running",
+        [p] { return static_cast<double>(p->queue_depth()); });
+    return p;
+  }();
+  return *pool;
+}
 
 Result<M4Result> RunM4LsmParallel(const TsStore& store, const M4Query& query,
                                   int num_threads, QueryStats* stats,
@@ -19,19 +35,27 @@ Result<M4Result> RunM4LsmParallel(const TsStore& store, const M4Query& query,
     return RunM4Lsm(store, query, stats, options);
   }
 
+  static obs::Counter& tasks_total =
+      obs::GetCounter("executor_pool_tasks_total",
+                      "Span blocks submitted to the executor pool");
+
   struct BlockResult {
     Status status;
     M4Result rows;
     QueryStats stats;
   };
   std::vector<BlockResult> results(static_cast<size_t>(blocks));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(blocks));
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  int64_t remaining = blocks;
+
+  ThreadPool& pool = ExecutorPool();
   for (int64_t b = 0; b < blocks; ++b) {
     const int64_t begin = w * b / blocks;
     const int64_t end = w * (b + 1) / blocks;
-    threads.emplace_back([&store, &query, &options, begin, end,
-                          out = &results[static_cast<size_t>(b)]]() {
+    tasks_total.Inc();
+    pool.Submit([&store, &query, &options, begin, end, &done_mutex, &done_cv,
+                 &remaining, out = &results[static_cast<size_t>(b)]]() {
       Result<M4Result> rows =
           RunM4LsmSpans(store, query, begin, end, &out->stats, options);
       if (rows.ok()) {
@@ -39,9 +63,20 @@ Result<M4Result> RunM4LsmParallel(const TsStore& store, const M4Query& query,
       } else {
         out->status = rows.status();
       }
+      // Notify while holding the mutex: the caller may destroy done_cv the
+      // moment it observes remaining == 0, so the signal must complete
+      // before this worker releases the lock.
+      std::lock_guard<std::mutex> lock(done_mutex);
+      --remaining;
+      done_cv.notify_one();
     });
   }
-  for (std::thread& thread : threads) thread.join();
+  {
+    obs::TraceSpan span(stats != nullptr ? stats->trace.get() : nullptr,
+                        "pool_wait");
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&remaining] { return remaining == 0; });
+  }
 
   M4Result merged;
   merged.reserve(static_cast<size_t>(w));

@@ -3,6 +3,7 @@
 
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "m4/m4_lsm.h"
 #include "m4/m4_types.h"
 #include "m4/span.h"
@@ -10,15 +11,25 @@
 
 namespace tsviz {
 
+// The process-wide executor pool that parallel M4 queries submit their span
+// blocks to. Sized by DefaultExecutorThreads(); leaked on purpose so late
+// queries never race static destruction. Exposes executor_pool_queue_depth
+// as a metrics gauge.
+ThreadPool& ExecutorPool();
+
 // Data-parallel M4-LSM: spans are independent (each pixel column only
 // depends on the chunks overlapping it), so the query splits into
-// contiguous span blocks computed on separate threads, each with its own
-// chunk cache. Chunks straddling a block boundary are loaded by both
-// neighbours — a bounded duplication of at most (threads - 1) chunks.
+// contiguous span blocks submitted to the shared executor pool, each with
+// its own chunk pins. Chunks straddling a block boundary are touched by
+// both neighbours — with the shared page cache this costs at most one
+// duplicate decode per boundary, and usually none.
 //
-// The store must not be mutated during the call (same contract as the
-// serial operator); file access uses positional reads and is thread-safe.
-// `stats` (optional) receives the summed counters of all threads.
+// `num_threads` is the number of span blocks (parallelism), not a thread
+// count: blocks queue on the fixed pool. The store must not be mutated
+// during the call (same contract as the serial operator); file access uses
+// positional reads and is thread-safe. `stats` (optional) receives the
+// summed counters of all blocks; the caller's trace (if any) records a
+// `pool_wait` span covering the wait for block completion.
 Result<M4Result> RunM4LsmParallel(const TsStore& store, const M4Query& query,
                                   int num_threads, QueryStats* stats,
                                   const M4LsmOptions& options = {});

@@ -77,6 +77,18 @@ bool MergeReader::Deleted(Timestamp t, Version version) {
 Result<bool> MergeReader::Next(Point* out) {
   if (!primed_) {
     primed_ = true;
+    if (preload_) {
+      for (Cursor& cursor : cursors_) {
+        // The caller will drain the stream, so chunks fully inside the clip
+        // range get every page anyway; pin them up front so adjacent cold
+        // pages coalesce into one pread each.
+        const ChunkMetadata& meta = cursor.chunk->meta();
+        if (range_.start <= meta.stats.first.t &&
+            meta.stats.last.t <= range_.end) {
+          TSVIZ_RETURN_IF_ERROR(cursor.chunk->EnsureAllPages());
+        }
+      }
+    }
     for (size_t i = 0; i < cursors_.size(); ++i) {
       TSVIZ_RETURN_IF_ERROR(PushNext(i));
     }
@@ -102,6 +114,7 @@ Result<bool> MergeReader::Next(Point* out) {
 }
 
 Result<std::vector<Point>> MergeReader::ReadAll() {
+  PreloadFullChunks();
   std::vector<Point> points;
   Point p;
   while (true) {

@@ -31,7 +31,17 @@ class MergeReader {
   // clip range) is exhausted.
   Result<bool> Next(Point* out);
 
-  // Drains the remainder of the stream into a vector.
+  // Opt-in for callers that will drain the whole stream (ReadAll, the
+  // M4-UDF and COUNT/SUM/AVG scans): chunks wholly inside the clip range
+  // are pinned up front with coalesced reads at first Next. No-op once
+  // iteration has started; incremental Next stays page-lazy by default for
+  // early-exit consumers like SeriesCursor.
+  void PreloadFullChunks() {
+    if (!primed_) preload_ = true;
+  }
+
+  // Drains the remainder of the stream into a vector (implies
+  // PreloadFullChunks when called before the first Next).
   Result<std::vector<Point>> ReadAll();
 
  private:
@@ -70,6 +80,7 @@ class MergeReader {
   size_t delete_cursor_ = 0;
   std::vector<DeleteRecord> active_deletes_;
   bool primed_ = false;
+  bool preload_ = false;  // set by ReadAll: whole-chunk coalesced loads
   bool has_last_emitted_ = false;
   Timestamp last_emitted_ = 0;
 };

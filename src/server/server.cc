@@ -62,7 +62,7 @@ Status SqlServer::Start(int port) {
     return Status::IoError("getsockname failed");
   }
   port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 16) < 0) {
+  if (::listen(listen_fd_, kListenBacklog) < 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
     return Status::IoError(std::string("listen: ") + std::strerror(errno));
@@ -71,6 +71,18 @@ Status SqlServer::Start(int port) {
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   TSVIZ_INFO << "sql server listening on 127.0.0.1:" << port_;
   return Status::OK();
+}
+
+void SqlServer::ReapFinishedWorkersLocked() {
+  for (auto it = workers_.begin(); it != workers_.end();) {
+    if (it->done->load()) {
+      it->thread.join();
+      ::close(it->fd);
+      it = workers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void SqlServer::AcceptLoop() {
@@ -85,8 +97,15 @@ void SqlServer::AcceptLoop() {
       ::close(client);
       break;
     }
-    client_fds_.push_back(client);
-    workers_.emplace_back([this, client] { HandleClient(client); });
+    ReapFinishedWorkersLocked();
+    Worker worker;
+    worker.fd = client;
+    worker.done = std::make_shared<std::atomic<bool>>(false);
+    worker.thread = std::thread([this, client, done = worker.done] {
+      HandleClient(client);
+      done->store(true);
+    });
+    workers_.push_back(std::move(worker));
   }
 }
 
@@ -145,7 +164,7 @@ void SqlServer::HandleClient(int fd) {
     reply += "\n";  // blank-line terminator
     if (!WriteAll(fd, reply)) break;
   }
-  ::close(fd);
+  // The fd stays open: the server owns it and closes it at reap or Stop.
 }
 
 void SqlServer::Stop() {
@@ -158,17 +177,18 @@ void SqlServer::Stop() {
   }
   if (accept_thread_.joinable()) accept_thread_.join();
 
-  std::vector<std::thread> workers;
+  std::vector<Worker> workers;
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
-    for (int fd : client_fds_) {
-      ::shutdown(fd, SHUT_RDWR);
+    for (Worker& worker : workers_) {
+      ::shutdown(worker.fd, SHUT_RDWR);  // unblocks the handler's recv
     }
-    client_fds_.clear();
     workers = std::move(workers_);
+    workers_.clear();
   }
-  for (std::thread& worker : workers) {
-    if (worker.joinable()) worker.join();
+  for (Worker& worker : workers) {
+    if (worker.thread.joinable()) worker.thread.join();
+    ::close(worker.fd);
   }
 }
 

@@ -2,6 +2,7 @@
 #define TSVIZ_SERVER_SERVER_H_
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -44,19 +45,36 @@ class SqlServer {
   // The bound port (valid after a successful Start).
   int port() const { return port_; }
 
+  // Pending-connection queue passed to listen(2).
+  static constexpr int kListenBacklog = 64;
+
  private:
+  // One connection-handler thread and the fd it serves. The handler marks
+  // `done` when it returns; the accept loop reaps (joins and closes) done
+  // workers before admitting the next connection, so the worker list stays
+  // proportional to the number of *live* connections instead of growing for
+  // the lifetime of the server. The fd is owned by the server (closed at
+  // reap or Stop), never by the handler, so Stop can never shut down a
+  // recycled descriptor.
+  struct Worker {
+    std::thread thread;
+    int fd = -1;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
   void AcceptLoop();
   void HandleClient(int fd);
+  // Joins every finished worker and closes its fd. Caller holds state_mutex_.
+  void ReapFinishedWorkersLocked();
 
   Database* db_;
-  int listen_fd_ = -1;
+  std::atomic<int> listen_fd_{-1};  // read by AcceptLoop, closed by Stop
   int port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
-  std::mutex state_mutex_;  // guards workers_ and client_fds_
+  std::mutex state_mutex_;  // guards workers_
   std::mutex write_mutex_;  // serializes write statements only
-  std::vector<std::thread> workers_;
-  std::vector<int> client_fds_;
+  std::vector<Worker> workers_;
 };
 
 }  // namespace tsviz

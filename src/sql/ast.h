@@ -100,13 +100,25 @@ struct ShowMetricsStatement {
                          const ShowMetricsStatement&) = default;
 };
 
-// Any parseable top-level statement.
-using Statement = std::variant<SelectStatement, ShowMetricsStatement>;
+// SET <name> = <number>: adjusts a runtime knob on the database
+// (parallelism, page_cache_bytes, result_cache_capacity).
+struct SetStatement {
+  std::string name;
+  double value = 0.0;
 
-// True when executing the statement mutates database state. Every statement
-// in the current dialect is read-only; the server uses this to decide
-// whether a query needs the write lock.
-inline bool IsWriteStatement(const Statement&) { return false; }
+  friend bool operator==(const SetStatement&, const SetStatement&) = default;
+};
+
+// Any parseable top-level statement.
+using Statement =
+    std::variant<SelectStatement, ShowMetricsStatement, SetStatement>;
+
+// True when executing the statement mutates database state; the server uses
+// this to decide whether a query needs the write lock. SET mutates database
+// configuration, everything else in the dialect is read-only.
+inline bool IsWriteStatement(const Statement& statement) {
+  return std::holds_alternative<SetStatement>(statement);
+}
 
 }  // namespace tsviz::sql
 

@@ -1,8 +1,10 @@
 #include "sql/executor.h"
 
 #include <algorithm>
+#include <cctype>
 
 #include "m4/m4_lsm.h"
+#include "m4/parallel.h"
 #include "m4/span.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -126,6 +128,7 @@ Result<ScanAggregates> RunScan(const TsStore& store, const M4Query& query,
   }
   MergeReader merger(std::move(chunks),
                      SelectOverlappingDeletes(store, range), range);
+  merger.PreloadFullChunks();  // the scan drains every overlapping chunk
   ScanAggregates agg;
   agg.counts.assign(static_cast<size_t>(spans.num_spans()), 0);
   agg.sums.assign(static_cast<size_t>(spans.num_spans()), 0.0);
@@ -243,14 +246,15 @@ void AppendTraceRows(const obs::TraceNode& node, size_t depth,
 // ToCsvRow, so the statement and the CSV serialization cannot drift apart.
 Result<ResultSet> ExplainAnalyzeSelect(const TsStore& store,
                                        const SelectStatement& stmt,
-                                       QueryStats* caller_stats) {
+                                       QueryStats* caller_stats,
+                                       const ExecOptions& options) {
   QueryStats query_stats;
   query_stats.trace = std::make_shared<obs::Trace>("query");
   SelectStatement inner = stmt;
   inner.analyze = false;
   Timer timer;
   TSVIZ_ASSIGN_OR_RETURN(ResultSet inner_result,
-                         ExecuteSelect(store, inner, &query_stats));
+                         ExecuteSelect(store, inner, &query_stats, options));
   if (inner.limit.has_value()) {
     inner_result.Truncate(static_cast<size_t>(*inner.limit));
   }
@@ -281,12 +285,13 @@ Result<ResultSet> ExplainAnalyzeSelect(const TsStore& store,
 
 Result<ResultSet> ExecuteSelect(const TsStore& store,
                                 const SelectStatement& stmt,
-                                QueryStats* stats) {
+                                QueryStats* stats,
+                                const ExecOptions& options) {
   if (stmt.items.empty()) {
     return Status::InvalidArgument("empty select list");
   }
   if (stmt.analyze) {
-    return ExplainAnalyzeSelect(store, stmt, stats);
+    return ExplainAnalyzeSelect(store, stmt, stats, options);
   }
   TSVIZ_ASSIGN_OR_RETURN(auto range, ResolveTimeRange(store, stmt));
   const auto [tqs, tqe] = range;
@@ -329,7 +334,16 @@ Result<ResultSet> ExecuteSelect(const TsStore& store,
 
   M4Result m4;
   if (any_m4) {
-    TSVIZ_ASSIGN_OR_RETURN(m4, RunM4Lsm(store, query, stats));
+    if (options.result_cache != nullptr) {
+      TSVIZ_ASSIGN_OR_RETURN(
+          m4, options.result_cache->GetOrCompute(store, query, stats, {},
+                                                 options.parallelism));
+    } else if (options.parallelism > 1) {
+      TSVIZ_ASSIGN_OR_RETURN(
+          m4, RunM4LsmParallel(store, query, options.parallelism, stats));
+    } else {
+      TSVIZ_ASSIGN_OR_RETURN(m4, RunM4Lsm(store, query, stats));
+    }
   }
   ScanAggregates scan;
   if (any_scan) {
@@ -388,9 +402,22 @@ Result<ResultSet> ExecuteStatement(Database* db, const Statement& statement,
   if (std::holds_alternative<ShowMetricsStatement>(statement)) {
     return ShowMetrics();
   }
+  if (const SetStatement* set = std::get_if<SetStatement>(&statement)) {
+    std::string name = set->name;
+    std::transform(name.begin(), name.end(), name.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    TSVIZ_RETURN_IF_ERROR(db->ApplySetting(name, set->value));
+    ResultSet result({"setting", "value"});
+    result.AddRow({ResultSet::Cell(name), ResultSet::Cell(set->value)});
+    return result;
+  }
   const SelectStatement& stmt = std::get<SelectStatement>(statement);
   TSVIZ_ASSIGN_OR_RETURN(TsStore * store, db->GetSeries(stmt.series));
-  TSVIZ_ASSIGN_OR_RETURN(ResultSet result, ExecuteSelect(*store, stmt, stats));
+  ExecOptions options;
+  options.result_cache = &db->result_cache();
+  options.parallelism = db->query_parallelism();
+  TSVIZ_ASSIGN_OR_RETURN(ResultSet result,
+                         ExecuteSelect(*store, stmt, stats, options));
   // EXPLAIN ANALYZE applies LIMIT to the traced query itself; truncating
   // here would clip the phase tree instead of the result rows.
   if (stmt.limit.has_value() && !stmt.analyze) {

@@ -6,10 +6,19 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "db/database.h"
+#include "m4/cache.h"
 #include "sql/ast.h"
 #include "sql/result_set.h"
 
 namespace tsviz::sql {
+
+// How a SELECT is executed: whether M4 results go through a result cache,
+// and how many span blocks to submit to the executor pool. Statement-level
+// entry points fill this in from the Database's runtime knobs.
+struct ExecOptions {
+  M4QueryCache* result_cache = nullptr;  // null: compute directly
+  int parallelism = 1;                   // 1: serial M4-LSM
+};
 
 // Parses and executes one SELECT statement against a database.
 //
@@ -35,10 +44,13 @@ Result<ResultSet> ExecuteQuery(Database* db, const std::string& statement,
 Result<ResultSet> ExecuteStatement(Database* db, const Statement& statement,
                                    QueryStats* stats = nullptr);
 
-// Executes an already-parsed statement against a specific store.
+// Executes an already-parsed statement against a specific store. The
+// default options run the serial uncached operator; the Database-level
+// entry points pass the database's result cache and parallelism.
 Result<ResultSet> ExecuteSelect(const TsStore& store,
                                 const SelectStatement& statement,
-                                QueryStats* stats = nullptr);
+                                QueryStats* stats = nullptr,
+                                const ExecOptions& options = {});
 
 }  // namespace tsviz::sql
 

@@ -328,8 +328,8 @@ Result<SelectStatement> ParseSelect(const std::string& statement) {
 
 Result<Statement> ParseStatement(const std::string& statement) {
   TSVIZ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(statement));
-  // SHOW METRICS is the only non-SELECT statement; recognize it up front
-  // and hand everything else to the SELECT parser.
+  // SHOW METRICS and SET are the only non-SELECT statements; recognize them
+  // up front and hand everything else to the SELECT parser.
   if (!tokens.empty() && tokens[0].type == TokenType::kIdentifier &&
       IdentEquals(tokens[0].text, "SHOW")) {
     if (tokens.size() != 3 || tokens[1].type != TokenType::kIdentifier ||
@@ -338,6 +338,19 @@ Result<Statement> ParseStatement(const std::string& statement) {
       return Status::InvalidArgument("expected SHOW METRICS");
     }
     return Statement(ShowMetricsStatement{});
+  }
+  if (!tokens.empty() && tokens[0].type == TokenType::kIdentifier &&
+      IdentEquals(tokens[0].text, "SET")) {
+    if (tokens.size() != 5 || tokens[1].type != TokenType::kIdentifier ||
+        tokens[2].type != TokenType::kEq ||
+        tokens[3].type != TokenType::kNumber ||
+        tokens[4].type != TokenType::kEnd) {
+      return Status::InvalidArgument("expected SET <name> = <number>");
+    }
+    SetStatement set;
+    set.name = tokens[1].text;
+    set.value = tokens[3].number;
+    return Statement(std::move(set));
   }
   Parser parser(std::move(tokens));
   TSVIZ_ASSIGN_OR_RETURN(SelectStatement stmt, parser.Run());

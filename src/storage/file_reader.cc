@@ -4,17 +4,34 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 
 #include "storage/file_format.h"
+#include "storage/page_cache.h"
 
 namespace tsviz {
 
+namespace {
+
+uint64_t NextCacheId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 FileReader::FileReader(int fd, std::string path, uint64_t file_size)
-    : fd_(fd), path_(std::move(path)), file_size_(file_size) {}
+    : fd_(fd),
+      path_(std::move(path)),
+      file_size_(file_size),
+      cache_id_(NextCacheId()) {}
 
 FileReader::~FileReader() {
+  // The file is going away (compaction, series drop, store close): its
+  // decoded pages must not outlive it in the shared cache.
+  SharedPageCache::Instance().EvictFile(cache_id_);
   if (fd_ >= 0) {
     ::close(fd_);
   }

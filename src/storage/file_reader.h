@@ -26,6 +26,11 @@ class FileReader {
   const std::string& path() const { return path_; }
   uint64_t file_size() const { return file_size_; }
 
+  // Process-unique id minted per reader instance; the shared page cache
+  // keys on it, so a reopened file can never alias a stale cached page.
+  // The destructor evicts every cache entry carrying this id.
+  uint64_t cache_id() const { return cache_id_; }
+
   // File-level summary (the TimeseriesMetadata analog of Figure 15):
   // aggregated over all chunks at open time, so readers can prune a whole
   // file with one comparison instead of touching per-chunk metadata.
@@ -41,6 +46,7 @@ class FileReader {
   int fd_;
   std::string path_;
   uint64_t file_size_;
+  uint64_t cache_id_;
   std::vector<ChunkMetadata> chunks_;
   TimeRange interval_{1, 0};  // empty until chunks are loaded
   uint64_t total_points_ = 0;

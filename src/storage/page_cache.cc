@@ -1,0 +1,174 @@
+#include "storage/page_cache.h"
+
+#include "obs/metrics.h"
+
+namespace tsviz {
+
+namespace {
+
+// Default budget: enough for a dashboard session's working set without
+// being noticeable next to the OS page cache. SET page_cache_bytes / the
+// DatabaseConfig knob override it.
+constexpr size_t kDefaultCapacityBytes = 64u << 20;
+
+// Accounting overhead per entry (list/map nodes, control blocks). Keeping
+// the estimate on the high side makes the byte bound honest.
+constexpr size_t kEntryOverheadBytes = 128;
+
+obs::Counter& HitsCounter() {
+  static obs::Counter& c = obs::GetCounter(
+      "page_cache_hits_total", "Shared page cache hits (decoded pages)");
+  return c;
+}
+
+obs::Counter& MissesCounter() {
+  static obs::Counter& c = obs::GetCounter(
+      "page_cache_misses_total", "Shared page cache misses");
+  return c;
+}
+
+obs::Counter& EvictionsCounter() {
+  static obs::Counter& c = obs::GetCounter(
+      "page_cache_evictions_total",
+      "Shared page cache entries evicted (LRU / file close / corruption)");
+  return c;
+}
+
+}  // namespace
+
+size_t SharedPageCache::KeyHash::operator()(const PageKey& key) const {
+  // splitmix64-style mix over the three fields.
+  uint64_t h = key.file_id;
+  h ^= key.chunk_offset + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h ^= key.page_index + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  return static_cast<size_t>(h);
+}
+
+SharedPageCache& SharedPageCache::Instance() {
+  static SharedPageCache* cache = [] {
+    auto* c = new SharedPageCache(kDefaultCapacityBytes);
+    obs::MetricsRegistry::Instance().RegisterCallback(
+        "page_cache_bytes", "Decoded bytes resident in the shared page cache",
+        [c] { return static_cast<double>(c->size_bytes()); });
+    obs::MetricsRegistry::Instance().RegisterCallback(
+        "page_cache_entries", "Pages resident in the shared page cache",
+        [c] { return static_cast<double>(c->entries()); });
+    return c;
+  }();
+  return *cache;
+}
+
+SharedPageCache::SharedPageCache(size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {
+  // Initialize the counters before any operation can run under mutex_: a
+  // first-use registration there would take the metrics-registry mutex
+  // while holding the cache mutex — the inverse order of a SHOW METRICS
+  // scrape invoking the size callbacks.
+  HitsCounter();
+  MissesCounter();
+  EvictionsCounter();
+}
+
+SharedPageCache::PagePtr SharedPageCache::Lookup(const PageKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    MissesCounter().Inc();
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  HitsCounter().Inc();
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to front
+  return it->second->points;
+}
+
+void SharedPageCache::Insert(const PageKey& key, PagePtr points) {
+  if (points == nullptr) return;
+  size_t bytes = points->size() * sizeof(Point) + kEntryOverheadBytes;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_bytes_ == 0) return;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Concurrent loaders may decode the same cold page; keep the fresher
+    // copy and rebalance the byte accounting.
+    size_bytes_ -= it->second->bytes;
+    it->second->points = std::move(points);
+    it->second->bytes = bytes;
+    size_bytes_ += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, std::move(points), bytes});
+    index_[key] = lru_.begin();
+    size_bytes_ += bytes;
+  }
+  EvictTailLocked();
+}
+
+void SharedPageCache::Erase(const PageKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  RemoveLocked(it->second);
+  EvictionsCounter().Inc();
+}
+
+void SharedPageCache::EvictFile(uint64_t file_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t evicted = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    auto next = std::next(it);
+    if (it->key.file_id == file_id) {
+      RemoveLocked(it);
+      ++evicted;
+    }
+    it = next;
+  }
+  if (evicted > 0) EvictionsCounter().Inc(evicted);
+}
+
+void SharedPageCache::set_capacity_bytes(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_bytes_ = bytes;
+  EvictTailLocked();
+}
+
+size_t SharedPageCache::capacity_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_bytes_;
+}
+
+size_t SharedPageCache::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return size_bytes_;
+}
+
+size_t SharedPageCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+void SharedPageCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  size_bytes_ = 0;
+}
+
+void SharedPageCache::EvictTailLocked() {
+  while (size_bytes_ > capacity_bytes_ && !lru_.empty()) {
+    RemoveLocked(std::prev(lru_.end()));
+    EvictionsCounter().Inc();
+  }
+}
+
+void SharedPageCache::RemoveLocked(std::list<Entry>::iterator it) {
+  size_bytes_ -= it->bytes;
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+}  // namespace tsviz

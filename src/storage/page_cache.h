@@ -1,0 +1,105 @@
+#ifndef TSVIZ_STORAGE_PAGE_CACHE_H_
+#define TSVIZ_STORAGE_PAGE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tsviz {
+
+// Process-wide LRU cache of *decoded* pages, bounded by (approximate)
+// resident bytes. Sharing decoded pages across queries is safe because LSM
+// data files are immutable: a (file, chunk, page) triple never changes
+// content, it can only disappear when compaction or a series drop obsoletes
+// the file — at which point the FileReader's destructor evicts every entry
+// it contributed (see EvictFile).
+//
+// Keys use a process-unique id minted per FileReader instance rather than
+// the path, so a reopened store can never alias a stale entry. Values are
+// shared_ptrs: eviction never invalidates a page a running query still
+// holds. Thread-safe; the paged data itself is immutable after insert.
+class SharedPageCache {
+ public:
+  // The process singleton (leaked on purpose: FileReader destructors run
+  // arbitrarily late and must always have a cache to evict from).
+  static SharedPageCache& Instance();
+
+  struct PageKey {
+    uint64_t file_id = 0;       // FileReader::cache_id()
+    uint64_t chunk_offset = 0;  // ChunkMetadata::data_offset within the file
+    uint32_t page_index = 0;
+
+    friend bool operator==(const PageKey&, const PageKey&) = default;
+  };
+
+  using PagePtr = std::shared_ptr<const std::vector<Point>>;
+
+  explicit SharedPageCache(size_t capacity_bytes);
+
+  SharedPageCache(const SharedPageCache&) = delete;
+  SharedPageCache& operator=(const SharedPageCache&) = delete;
+
+  // The cached page, or null on a miss. Bumps the entry to most-recent and
+  // the hit/miss counters either way.
+  PagePtr Lookup(const PageKey& key);
+
+  // Inserts (or refreshes) the decoded page, charging `points->size() *
+  // sizeof(Point)` plus a fixed per-entry overhead against the byte budget
+  // and evicting from the LRU tail until the budget holds. A capacity of 0
+  // disables caching (inserts are dropped).
+  void Insert(const PageKey& key, PagePtr points);
+
+  // Drops one entry (the corruption path: a cached page whose point count
+  // stopped matching the page directory must never be served again).
+  void Erase(const PageKey& key);
+
+  // Drops every entry contributed by `file_id`; called by ~FileReader, so
+  // compaction (which closes the obsoleted files) invalidates exactly the
+  // pages that no longer exist.
+  void EvictFile(uint64_t file_id);
+
+  // Runtime knob (SQL `SET page_cache_bytes = n`); shrinking evicts
+  // immediately.
+  void set_capacity_bytes(size_t bytes);
+  size_t capacity_bytes() const;
+
+  size_t size_bytes() const;
+  size_t entries() const;
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+  void Clear();
+
+ private:
+  struct KeyHash {
+    size_t operator()(const PageKey& key) const;
+  };
+
+  struct Entry {
+    PageKey key;
+    PagePtr points;
+    size_t bytes = 0;
+  };
+
+  // Callers hold `mutex_`.
+  void EvictTailLocked();
+  void RemoveLocked(std::list<Entry>::iterator it);
+
+  mutable std::mutex mutex_;
+  size_t capacity_bytes_;
+  size_t size_bytes_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<PageKey, std::list<Entry>::iterator, KeyHash> index_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_STORAGE_PAGE_CACHE_H_

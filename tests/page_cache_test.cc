@@ -1,0 +1,204 @@
+#include "storage/page_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "m4/m4_lsm.h"
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+SharedPageCache::PagePtr MakePage(int n) {
+  std::vector<Point> points;
+  points.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    points.push_back(Point{i, static_cast<double>(i)});
+  }
+  return std::make_shared<const std::vector<Point>>(std::move(points));
+}
+
+TEST(SharedPageCacheTest, LookupAfterInsertHits) {
+  SharedPageCache cache(1 << 20);
+  SharedPageCache::PageKey key{1, 0, 0};
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  cache.Insert(key, MakePage(10));
+  SharedPageCache::PagePtr page = cache.Lookup(key);
+  ASSERT_NE(page, nullptr);
+  EXPECT_EQ(page->size(), 10u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(SharedPageCacheTest, ByteBoundEvictsLeastRecentlyUsed) {
+  // Three ~small pages fit, the byte budget holds two of them plus slack.
+  const size_t page_bytes = 100 * sizeof(Point);
+  SharedPageCache cache(2 * (page_bytes + 200));
+  cache.Insert({1, 0, 0}, MakePage(100));
+  cache.Insert({1, 0, 1}, MakePage(100));
+  ASSERT_NE(cache.Lookup({1, 0, 0}), nullptr);  // bump 0 to most-recent
+  cache.Insert({1, 0, 2}, MakePage(100));       // evicts page 1 (LRU tail)
+  EXPECT_NE(cache.Lookup({1, 0, 0}), nullptr);
+  EXPECT_EQ(cache.Lookup({1, 0, 1}), nullptr);
+  EXPECT_NE(cache.Lookup({1, 0, 2}), nullptr);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_LE(cache.size_bytes(), cache.capacity_bytes());
+}
+
+TEST(SharedPageCacheTest, EvictionNeverInvalidatesHeldPages) {
+  SharedPageCache cache(1);  // evicts everything immediately after insert
+  SharedPageCache::PageKey key{1, 0, 0};
+  cache.Insert(key, MakePage(50));
+  // Capacity 1 byte cannot hold the entry, but a pinned shared_ptr from an
+  // earlier lookup must stay valid regardless of eviction.
+  SharedPageCache cache2(1 << 20);
+  cache2.Insert(key, MakePage(50));
+  SharedPageCache::PagePtr pinned = cache2.Lookup(key);
+  ASSERT_NE(pinned, nullptr);
+  cache2.Clear();
+  EXPECT_EQ(pinned->size(), 50u);  // still alive
+}
+
+TEST(SharedPageCacheTest, ZeroCapacityDisablesCaching) {
+  SharedPageCache cache(0);
+  cache.Insert({1, 0, 0}, MakePage(10));
+  EXPECT_EQ(cache.Lookup({1, 0, 0}), nullptr);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(SharedPageCacheTest, EraseAndEvictFile) {
+  SharedPageCache cache(1 << 20);
+  cache.Insert({1, 0, 0}, MakePage(10));
+  cache.Insert({1, 64, 0}, MakePage(10));
+  cache.Insert({2, 0, 0}, MakePage(10));
+  cache.Erase({1, 0, 0});
+  EXPECT_EQ(cache.Lookup({1, 0, 0}), nullptr);
+  cache.EvictFile(1);
+  EXPECT_EQ(cache.Lookup({1, 64, 0}), nullptr);
+  EXPECT_NE(cache.Lookup({2, 0, 0}), nullptr);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(SharedPageCacheTest, ShrinkingCapacityEvictsImmediately) {
+  SharedPageCache cache(1 << 20);
+  for (uint32_t i = 0; i < 8; ++i) {
+    cache.Insert({1, 0, i}, MakePage(100));
+  }
+  EXPECT_EQ(cache.entries(), 8u);
+  cache.set_capacity_bytes(100 * sizeof(Point) + 200);
+  EXPECT_LE(cache.entries(), 1u);
+  EXPECT_LE(cache.size_bytes(), cache.capacity_bytes());
+}
+
+// Closing a store's files must evict their pages from the process cache:
+// the (file id, offset, page) triples no longer exist.
+TEST(SharedPageCacheTest, ClosingStoreEvictsItsPages) {
+  SharedPageCache& cache = SharedPageCache::Instance();
+  cache.Clear();
+  TempDir dir;
+  StoreConfig config;
+  config.data_dir = dir.path();
+  config.points_per_chunk = 100;
+  config.memtable_flush_threshold = 100;
+  config.encoding.page_size_points = 25;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(config));
+  ASSERT_OK(store->WriteAll(MakeLinearSeries(500, 0, 10)));
+  ASSERT_OK(store->Flush());
+  ASSERT_OK(RunM4Lsm(*store, M4Query{0, 5000, 50}, nullptr).status());
+  EXPECT_GT(cache.entries(), 0u);
+  store.reset();  // destroys the FileReaders
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+// Multi-threaded hammer over a small key space and a tight byte budget, so
+// inserts, hits, LRU bumps, erases and evictions all race. Run under the
+// tsan preset this is the concurrency safety net for the shared cache.
+TEST(SharedPageCacheTest, ConcurrentHammer) {
+  SharedPageCache cache(40 * (16 * sizeof(Point) + 128));
+  constexpr int kThreads = 8;
+  constexpr int kOps = 4000;
+  constexpr uint32_t kKeySpace = 64;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      uint64_t state = static_cast<uint64_t>(t) * 2654435761u + 1;
+      for (int i = 0; i < kOps; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        uint32_t page = static_cast<uint32_t>(state >> 33) % kKeySpace;
+        SharedPageCache::PageKey key{1 + page % 3, (page / 3) * 64, page};
+        switch ((state >> 20) % 8) {
+          case 0:
+            cache.Insert(key, MakePage(16));
+            break;
+          case 1:
+            cache.Erase(key);
+            break;
+          case 2:
+            cache.EvictFile(1 + page % 3);
+            break;
+          case 3:
+            cache.set_capacity_bytes((20 + page) *
+                                     (16 * sizeof(Point) + 128));
+            break;
+          default: {
+            SharedPageCache::PagePtr p = cache.Lookup(key);
+            if (p != nullptr) {
+              // Touch the data; tsan flags it if eviction freed it.
+              volatile size_t n = p->size();
+              (void)n;
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_LE(cache.size_bytes(),
+            cache.capacity_bytes() + 64 * (16 * sizeof(Point) + 128));
+  EXPECT_GT(cache.hits() + cache.misses(), 0u);
+}
+
+// Concurrent queries against one store share decoded pages: total disk
+// decodes stay bounded while every query sees correct results.
+TEST(SharedPageCacheTest, ConcurrentQueriesShareDecodes) {
+  SharedPageCache& cache = SharedPageCache::Instance();
+  cache.Clear();
+  TempDir dir;
+  StoreConfig config;
+  config.data_dir = dir.path();
+  config.points_per_chunk = 100;
+  config.memtable_flush_threshold = 100;
+  config.encoding.page_size_points = 25;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(config));
+  ASSERT_OK(store->WriteAll(MakeLinearSeries(2000, 0, 10)));
+  ASSERT_OK(store->Flush());
+  M4Query query{0, 20000, 100};
+  ASSERT_OK_AND_ASSIGN(M4Result expected, RunM4Lsm(*store, query, nullptr));
+
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5; ++i) {
+        Result<M4Result> got = RunM4Lsm(*store, query, nullptr);
+        if (!got.ok() || !ResultsEquivalent(expected, got.value())) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+}  // namespace
+}  // namespace tsviz

@@ -70,6 +70,63 @@ TEST(ParallelTest, StatsAreAggregated) {
   EXPECT_GT(stats.candidate_rounds, 0u);
 }
 
+// Exact (bit-for-bit) row equality, stricter than ResultsEquivalent: the
+// pooled operator must pick the *same* BP/TP points as the serial one, not
+// merely value-equivalent ones, because span blocks never share state.
+bool BitIdentical(const M4Result& a, const M4Result& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].has_data != b[i].has_data) return false;
+    if (!a[i].has_data) continue;
+    if (!(a[i].first == b[i].first && a[i].last == b[i].last &&
+          a[i].bottom == b[i].bottom && a[i].top == b[i].top)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ParallelTest, PooledResultBitIdenticalToSerial) {
+  Rng rng(42);
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kKob;
+  spec.num_points = 10000;
+  spec.seed = 42;
+  std::vector<Point> points = GenerateDataset(spec);
+  std::vector<Point> arrivals = MakeOverlappingOrder(points, 100, 0.3, &rng);
+  ASSERT_OK(store->WriteAll(arrivals));
+  ASSERT_OK(store->Flush());
+  ASSERT_OK(store->DeleteRange(TimeRange(points[2000].t, points[2600].t)));
+  TimeRange data = store->DataInterval();
+
+  for (int64_t w : {11, 128}) {
+    M4Query query{data.start, data.end + 1, w};
+    ASSERT_OK_AND_ASSIGN(M4Result serial, RunM4Lsm(*store, query, nullptr));
+    for (int threads : {1, 2, 4, 7}) {
+      ASSERT_OK_AND_ASSIGN(M4Result pooled,
+                           RunM4LsmParallel(*store, query, threads, nullptr));
+      ASSERT_TRUE(BitIdentical(serial, pooled))
+          << "w=" << w << " threads=" << threads << ": "
+          << FirstMismatch(serial, pooled);
+    }
+  }
+}
+
+TEST(ParallelTest, PoolReportsSubmittedBlocks) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(TestConfig(dir.path())));
+  ASSERT_OK(store->WriteAll(MakeLinearSeries(500, 0, 10)));
+  ASSERT_OK(store->Flush());
+  uint64_t before = ExecutorPool().tasks_submitted();
+  ASSERT_OK(
+      RunM4LsmParallel(*store, M4Query{0, 5000, 16}, 4, nullptr).status());
+  EXPECT_EQ(ExecutorPool().tasks_submitted(), before + 4);
+}
+
 class ParallelProperty : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ParallelProperty, MatchesSerialOnMessyStores) {

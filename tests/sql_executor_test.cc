@@ -295,6 +295,88 @@ TEST(SqlExplainAnalyzeAsymmetry, M4LsmLoadsFarLessThanFullScan) {
       << "lsm read " << lsm.bytes_read << " bytes, raw " << raw.bytes_read;
 }
 
+TEST_F(SqlExecutorTest, RepeatedSelectIsServedWithoutDiskReads) {
+  const std::string statement =
+      "SELECT M4(v) FROM s1 WHERE time >= 0 AND time < 2000 "
+      "GROUP BY SPANS(8)";
+  QueryStats first;
+  ASSERT_OK_AND_ASSIGN(ResultSet cold,
+                       ExecuteQuery(db_.get(), statement, &first));
+  EXPECT_GT(first.pages_decoded, 0u);
+  QueryStats second;
+  ASSERT_OK_AND_ASSIGN(ResultSet warm,
+                       ExecuteQuery(db_.get(), statement, &second));
+  // The result cache answers the repeat outright: no pages decoded, no
+  // chunk data touched, identical rows.
+  EXPECT_EQ(second.pages_decoded, 0u);
+  EXPECT_EQ(second.bytes_read, 0u);
+  EXPECT_EQ(second.chunks_loaded, 0u);
+  EXPECT_EQ(warm.ToCsv(), cold.ToCsv());
+  EXPECT_GE(db_->result_cache().hits(), 1u);
+}
+
+TEST_F(SqlExecutorTest, WritesInvalidateTheResultCache) {
+  const std::string statement = "SELECT COUNT(v), MAX(v) FROM s1";
+  ResultSet before = MustQuery(statement);
+  MustQuery(statement);  // warm the result cache
+  ASSERT_OK(db_->Write("s1", 5000, 999.0));
+  ASSERT_OK(db_->FlushAll());  // bumps the store's state version
+  QueryStats stats;
+  ASSERT_OK_AND_ASSIGN(ResultSet after,
+                       ExecuteQuery(db_.get(), statement, &stats));
+  EXPECT_NE(after.ToCsv(), before.ToCsv());  // sees the new point
+}
+
+TEST_F(SqlExecutorTest, ExplainAnalyzeRepeatShowsCacheProbeNoPageLoad) {
+  const std::string statement =
+      "EXPLAIN ANALYZE SELECT M4(v) FROM s1 WHERE time >= 0 AND "
+      "time < 2000 GROUP BY SPANS(4)";
+  ResultSet cold = MustQuery(statement);
+  EXPECT_NE(cold.ToCsv().find("page_load"), std::string::npos);
+  ResultSet warm = MustQuery(statement);
+  std::string csv = warm.ToCsv();
+  EXPECT_NE(csv.find("cache_probe"), std::string::npos);
+  EXPECT_EQ(csv.find("page_load"), std::string::npos);
+  EXPECT_NE(csv.find("stat:pages_decoded,0"), std::string::npos);
+}
+
+TEST_F(SqlExecutorTest, SetAdjustsRuntimeKnobs) {
+  ResultSet result = MustQuery("SET parallelism = 4");
+  EXPECT_EQ(db_->query_parallelism(), 4);
+  EXPECT_EQ(result.columns(),
+            (std::vector<std::string>{"setting", "value"}));
+  // Parallel execution still answers queries correctly.
+  ResultSet rows = MustQuery(
+      "SELECT M4(v) FROM s1 WHERE time >= 0 AND time < 2000 "
+      "GROUP BY SPANS(16)");
+  EXPECT_EQ(rows.num_rows(), 16u);
+
+  MustQuery("SET result_cache_capacity = 0");
+  EXPECT_EQ(db_->result_cache().capacity(), 0u);
+  MustQuery("SET page_cache_bytes = 1048576");
+
+  EXPECT_FALSE(ExecuteQuery(db_.get(), "SET parallelism = 0", nullptr).ok());
+  EXPECT_FALSE(ExecuteQuery(db_.get(), "SET parallelism = 1.5", nullptr).ok());
+  EXPECT_FALSE(ExecuteQuery(db_.get(), "SET nonsense = 1", nullptr).ok());
+  EXPECT_FALSE(ExecuteQuery(db_.get(), "SET parallelism", nullptr).ok());
+}
+
+TEST_F(SqlExecutorTest, DisabledResultCacheStillUsesPageCache) {
+  MustQuery("SET result_cache_capacity = 0");
+  const std::string statement =
+      "SELECT M4(v) FROM s1 WHERE time >= 0 AND time < 2000 "
+      "GROUP BY SPANS(8)";
+  QueryStats first;
+  ASSERT_OK(ExecuteQuery(db_.get(), statement, &first).status());
+  QueryStats second;
+  ASSERT_OK(ExecuteQuery(db_.get(), statement, &second).status());
+  // The query re-executes (chunk data is touched) but every page comes from
+  // the shared decoded-page cache instead of disk.
+  EXPECT_GT(second.chunks_loaded, 0u);
+  EXPECT_EQ(second.pages_decoded, 0u);
+  EXPECT_EQ(second.bytes_read, 0u);
+}
+
 // Property: the SQL M4 path agrees with the direct operator API on messy
 // multi-chunk stores.
 class SqlM4Property : public ::testing::TestWithParam<uint64_t> {};

@@ -1,0 +1,83 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace tsviz {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> counter{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  constexpr int kTasks = 100;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      if (counter.fetch_add(1) + 1 == kTasks) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return counter.load() == kTasks; }));
+  EXPECT_EQ(pool.tasks_submitted(), static_cast<uint64_t>(kTasks));
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    // One thread, so most tasks are still queued when the pool dies; they
+    // must all run anyway (submitted work may carry completion latches).
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<bool> ran{false};
+  {
+    ThreadPool inner(-3);
+    inner.Submit([&ran] { ran.store(true); });
+  }
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, DefaultExecutorThreadsIsClamped) {
+  int n = DefaultExecutorThreads();
+  EXPECT_GE(n, 2);
+  EXPECT_LE(n, 32);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmitters) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &counter] {
+      for (int i = 0; i < kPerThread; ++i) {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (counter.load() < 4 * kPerThread &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(counter.load(), 4 * kPerThread);
+}
+
+}  // namespace
+}  // namespace tsviz
