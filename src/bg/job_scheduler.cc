@@ -1,0 +1,343 @@
+#include "bg/job_scheduler.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace tsviz::bg {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+obs::Counter& SubmittedTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "bg_jobs_submitted_total", "Background jobs enqueued");
+  return c;
+}
+obs::Counter& CompletedTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "bg_jobs_completed_total", "Background jobs finished successfully");
+  return c;
+}
+obs::Counter& FailedTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "bg_jobs_failed_total", "Background jobs that returned an error");
+  return c;
+}
+obs::Counter& CancelledTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "bg_jobs_cancelled_total", "Background jobs cancelled before running");
+  return c;
+}
+obs::Counter& CoalescedTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "bg_jobs_coalesced_total",
+      "Background job submissions merged into an identical pending job");
+  return c;
+}
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& g = obs::GetGauge(
+      "bg_queue_depth", "Background jobs waiting to run");
+  return g;
+}
+
+}  // namespace
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kPending:
+      return "pending";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+JobScheduler::JobScheduler() : JobScheduler(Options()) {}
+
+JobScheduler::JobScheduler(Options options) : options_(options) {}
+
+JobScheduler::~JobScheduler() { Stop(); }
+
+void JobScheduler::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  running_ = true;
+  stopping_ = false;
+  tokens_ = std::max(1.0, options_.max_jobs_per_sec);
+  tokens_updated_ = Clock::now();
+  int workers = std::max(1, options_.num_workers);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void JobScheduler::Stop() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stopping_ = true;
+    // Cancel everything still pending; running jobs are left to finish.
+    for (auto it = jobs_.begin(); it != jobs_.end();) {
+      if (it->second.state == JobState::kPending) {
+        ArchiveLocked(it->second, JobState::kCancelled);
+        CancelledTotal().Inc();
+        it = jobs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    UpdateQueueGaugeLocked();
+    workers.swap(workers_);
+    work_cv_.notify_all();
+  }
+  for (std::thread& t : workers) t.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+  stopping_ = false;
+  idle_cv_.notify_all();
+}
+
+bool JobScheduler::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+uint64_t JobScheduler::Submit(const std::string& key, const std::string& type,
+                              std::function<Status()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // A running job may enqueue follow-up work (TTL expiry chases itself with
+  // a compaction) while Stop() is mid-flight; accepting it after the
+  // cancel-pending sweep would strand it pending forever.
+  if (stopping_) return 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::kPending && !job.periodic && job.key == key &&
+        job.type == type) {
+      CoalescedTotal().Inc();
+      return id;
+    }
+  }
+  Job job;
+  job.id = next_id_++;
+  job.key = key;
+  job.type = type;
+  job.fn = std::move(fn);
+  job.next_run = Clock::now();
+  uint64_t id = job.id;
+  jobs_.emplace(id, std::move(job));
+  SubmittedTotal().Inc();
+  UpdateQueueGaugeLocked();
+  work_cv_.notify_one();
+  return id;
+}
+
+uint64_t JobScheduler::SubmitPeriodic(const std::string& key,
+                                      const std::string& type,
+                                      std::chrono::milliseconds period,
+                                      std::function<Status()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) return 0;
+  Job job;
+  job.id = next_id_++;
+  job.key = key;
+  job.type = type;
+  job.fn = std::move(fn);
+  job.periodic = true;
+  job.period = period;
+  job.next_run = Clock::now() + period;
+  uint64_t id = job.id;
+  jobs_.emplace(id, std::move(job));
+  SubmittedTotal().Inc();
+  UpdateQueueGaugeLocked();
+  work_cv_.notify_one();
+  return id;
+}
+
+bool JobScheduler::Cancel(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.state != JobState::kPending) {
+    return false;
+  }
+  ArchiveLocked(it->second, JobState::kCancelled);
+  CancelledTotal().Inc();
+  jobs_.erase(it);
+  UpdateQueueGaugeLocked();
+  return true;
+}
+
+void JobScheduler::Quiesce(const std::string& key) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    // Cancel pending jobs with the key — including a periodic job that went
+    // back to pending after the run we waited out below.
+    for (auto it = jobs_.begin(); it != jobs_.end();) {
+      if (it->second.state == JobState::kPending && it->second.key == key) {
+        ArchiveLocked(it->second, JobState::kCancelled);
+        CancelledTotal().Inc();
+        it = jobs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    UpdateQueueGaugeLocked();
+    if (running_keys_.count(key) == 0) return;
+    idle_cv_.wait(lock);
+  }
+}
+
+void JobScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] {
+    if (num_running_ > 0) return false;
+    for (const auto& [id, job] : jobs_) {
+      if (!job.periodic && job.state == JobState::kPending) return false;
+    }
+    return true;
+  });
+}
+
+std::vector<JobInfo> JobScheduler::ListJobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobInfo> out;
+  out.reserve(jobs_.size() + history_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(InfoOf(job));
+  for (const JobInfo& info : history_) out.push_back(info);
+  return out;
+}
+
+size_t JobScheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t depth = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::kPending) ++depth;
+  }
+  return depth;
+}
+
+JobInfo JobScheduler::InfoOf(const Job& job) {
+  JobInfo info;
+  info.id = job.id;
+  info.key = job.key;
+  info.type = job.type;
+  info.state = job.state;
+  info.periodic = job.periodic;
+  info.runs = job.runs;
+  info.last_millis = job.last_millis;
+  info.last_status = job.last_status;
+  return info;
+}
+
+void JobScheduler::ArchiveLocked(const Job& job, JobState final_state) {
+  JobInfo info = InfoOf(job);
+  info.state = final_state;
+  history_.push_back(std::move(info));
+  while (history_.size() > options_.history_limit) history_.pop_front();
+}
+
+void JobScheduler::UpdateQueueGaugeLocked() const {
+  size_t depth = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::kPending) ++depth;
+  }
+  QueueDepthGauge().Set(static_cast<double>(depth));
+}
+
+void JobScheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (stopping_) return;
+    const auto now = Clock::now();
+    if (options_.max_jobs_per_sec > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(now - tokens_updated_).count();
+      tokens_ = std::min(std::max(1.0, options_.max_jobs_per_sec),
+                         tokens_ + elapsed * options_.max_jobs_per_sec);
+      tokens_updated_ = now;
+    }
+
+    Job* pick = nullptr;
+    Clock::time_point earliest = Clock::time_point::max();
+    bool have_waiter = false;
+    for (auto& [id, job] : jobs_) {
+      if (job.state != JobState::kPending) continue;
+      if (!job.key.empty() && running_keys_.count(job.key) > 0) continue;
+      if (job.next_run <= now) {
+        pick = &job;
+        break;
+      }
+      earliest = std::min(earliest, job.next_run);
+      have_waiter = true;
+    }
+    if (pick == nullptr) {
+      if (have_waiter) {
+        work_cv_.wait_until(lock, earliest);
+      } else {
+        work_cv_.wait(lock);
+      }
+      continue;
+    }
+    if (options_.max_jobs_per_sec > 0 && tokens_ < 1.0) {
+      const auto refill = std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>((1.0 - tokens_) /
+                                        options_.max_jobs_per_sec));
+      work_cv_.wait_until(lock, now + refill);
+      continue;
+    }
+    if (options_.max_jobs_per_sec > 0) tokens_ -= 1.0;
+
+    pick->state = JobState::kRunning;
+    if (!pick->key.empty()) running_keys_.insert(pick->key);
+    ++num_running_;
+    UpdateQueueGaugeLocked();
+    const uint64_t id = pick->id;
+    std::function<Status()> fn = pick->fn;
+
+    lock.unlock();
+    const auto start = Clock::now();
+    Status status = fn();
+    const double millis =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    // Drop the callback copy before re-locking: it may hold the last
+    // shared_ptr to a store a concurrent DropSeries is waiting to release.
+    fn = nullptr;
+    lock.lock();
+
+    auto it = jobs_.find(id);  // running jobs are never erased
+    Job& job = it->second;
+    ++job.runs;
+    job.last_millis = millis;
+    job.last_status = status.ok() ? "OK" : status.ToString();
+    if (!job.key.empty()) running_keys_.erase(job.key);
+    --num_running_;
+    if (status.ok()) {
+      CompletedTotal().Inc();
+    } else {
+      FailedTotal().Inc();
+    }
+    if (job.periodic && !stopping_) {
+      job.state = JobState::kPending;
+      job.next_run = Clock::now() + job.period;
+    } else {
+      ArchiveLocked(job, status.ok() ? JobState::kDone : JobState::kFailed);
+      jobs_.erase(it);
+    }
+    UpdateQueueGaugeLocked();
+    // A finished key may unblock same-key pending jobs on other workers,
+    // and Quiesce/Drain may be waiting on the idle condition.
+    work_cv_.notify_all();
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace tsviz::bg

@@ -1,0 +1,142 @@
+#ifndef TSVIZ_BG_JOB_SCHEDULER_H_
+#define TSVIZ_BG_JOB_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tsviz::bg {
+
+// Lifecycle of a maintenance job as reported by SHOW JOBS.
+enum class JobState { kPending, kRunning, kDone, kFailed, kCancelled };
+
+const char* JobStateName(JobState state);
+
+// A snapshot row for SHOW JOBS / tests.
+struct JobInfo {
+  uint64_t id = 0;
+  std::string key;       // serialization key (usually the series name)
+  std::string type;      // job kind ("flush", "compact", "ttl", "tick", ...)
+  JobState state = JobState::kPending;
+  bool periodic = false;
+  uint64_t runs = 0;           // completed executions
+  double last_millis = 0.0;    // duration of the most recent execution
+  std::string last_status;     // "OK" or the error of the last execution
+};
+
+// The background job scheduler: a fixed set of worker threads — deliberately
+// distinct from the query ExecutorPool(), so maintenance can never starve
+// queries of span-block slots — running one-shot and periodic jobs.
+//
+// Guarantees:
+//  - Per-key serialization: at most one job with a given non-empty key runs
+//    at any time, no matter how many workers exist. Maintenance jobs key on
+//    the series name, so at most one maintenance job touches a store at once.
+//  - Coalescing: submitting a one-shot job while a pending (not running) job
+//    with the same (key, type) exists is a no-op returning the pending job's
+//    id — a burst of auto-flush triggers enqueues one flush.
+//  - Rate limiting: a token bucket caps job starts at max_jobs_per_sec
+//    (0 = unlimited); excess jobs stay queued, never dropped.
+//  - Deterministic shutdown: Stop() cancels every pending job, lets running
+//    jobs finish, and joins all workers. No job callback outlives Stop().
+class JobScheduler {
+ public:
+  struct Options {
+    int num_workers = 1;
+    double max_jobs_per_sec = 0;  // 0 = unlimited
+    size_t history_limit = 64;    // finished jobs kept for SHOW JOBS
+  };
+
+  JobScheduler();  // default Options
+  explicit JobScheduler(Options options);
+  ~JobScheduler();  // implies Stop()
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  void Start();
+  void Stop();
+  bool running() const;
+
+  // Enqueues a one-shot job; runs as soon as a worker, the key and the rate
+  // budget allow. Returns the job id (or the pending duplicate's id when
+  // coalesced), or 0 when rejected because Stop() is in progress.
+  uint64_t Submit(const std::string& key, const std::string& type,
+                  std::function<Status()> fn);
+
+  // Enqueues a periodic job; first run one period from now, then one period
+  // after each completion (fixed delay, so runs never overlap themselves).
+  uint64_t SubmitPeriodic(const std::string& key, const std::string& type,
+                          std::chrono::milliseconds period,
+                          std::function<Status()> fn);
+
+  // Cancels a pending job (running jobs finish). True if it was pending.
+  bool Cancel(uint64_t id);
+
+  // Cancels every pending job with `key` and blocks until no job with that
+  // key is running. Used before dropping a series.
+  void Quiesce(const std::string& key);
+
+  // Blocks until every one-shot job has finished and no job is running
+  // (periodic jobs stay scheduled). Test synchronization aid.
+  void Drain();
+
+  // Pending and running jobs first (by id), then the most recent finished
+  // jobs from the bounded history, oldest first.
+  std::vector<JobInfo> ListJobs() const;
+
+  size_t queue_depth() const;
+
+ private:
+  struct Job {
+    uint64_t id = 0;
+    std::string key;
+    std::string type;
+    std::function<Status()> fn;
+    bool periodic = false;
+    std::chrono::steady_clock::duration period{};
+    std::chrono::steady_clock::time_point next_run{};
+    JobState state = JobState::kPending;
+    uint64_t runs = 0;
+    double last_millis = 0.0;
+    std::string last_status;
+  };
+
+  void WorkerLoop();
+  // Moves a finished/cancelled job snapshot into the bounded history ring.
+  void ArchiveLocked(const Job& job, JobState final_state);
+  static JobInfo InfoOf(const Job& job);
+  void UpdateQueueGaugeLocked() const;
+
+  const Options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers wait here
+  std::condition_variable idle_cv_;  // Quiesce/Drain wait here
+  bool running_ = false;
+  bool stopping_ = false;
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, Job> jobs_;     // pending + running
+  std::set<std::string> running_keys_;
+  size_t num_running_ = 0;
+  std::deque<JobInfo> history_;      // most recent finished jobs, newest last
+  // Token bucket (guarded by mutex_): tokens accrue at max_jobs_per_sec up
+  // to a one-second burst.
+  double tokens_ = 0;
+  std::chrono::steady_clock::time_point tokens_updated_{};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tsviz::bg
+
+#endif  // TSVIZ_BG_JOB_SCHEDULER_H_

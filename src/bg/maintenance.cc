@@ -1,0 +1,171 @@
+#include "bg/maintenance.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tsviz::bg {
+
+namespace {
+
+// Each job type gets its own duration histogram; the shared trace span
+// names (bg_flush/bg_compact/bg_ttl/bg_tick) mirror them so EXPLAIN-style
+// tooling and the metrics catalog agree.
+obs::Histogram& FlushMillis() {
+  static obs::Histogram& h = obs::GetHistogram(
+      "bg_flush_millis", "Background flush job duration (ms)");
+  return h;
+}
+obs::Histogram& CompactMillis() {
+  static obs::Histogram& h = obs::GetHistogram(
+      "bg_compact_millis", "Background compaction job duration (ms)");
+  return h;
+}
+obs::Histogram& TtlMillis() {
+  static obs::Histogram& h = obs::GetHistogram(
+      "bg_ttl_millis", "Background TTL expiry job duration (ms)");
+  return h;
+}
+obs::Histogram& TickMillis() {
+  static obs::Histogram& h = obs::GetHistogram(
+      "bg_tick_millis", "Maintenance policy tick duration (ms)");
+  return h;
+}
+obs::Gauge& MemtableBytesGauge() {
+  static obs::Gauge& g = obs::GetGauge(
+      "bg_memtable_bytes",
+      "Approximate memtable bytes across all series, sampled per tick");
+  return g;
+}
+
+// Runs `fn` under a one-job trace whose only span is `span_name`, observing
+// the duration into `hist`.
+Status TimedJob(const char* span_name, obs::Histogram& hist,
+                const std::function<Status()>& fn) {
+  obs::Trace trace("bg_job");
+  const auto start = std::chrono::steady_clock::now();
+  Status status;
+  {
+    obs::TraceSpan span(&trace, span_name);
+    status = fn();
+  }
+  hist.Observe(std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start)
+                   .count());
+  return status;
+}
+
+}  // namespace
+
+MaintenanceManager::MaintenanceManager(StoreCatalog* catalog,
+                                       MaintenanceOptions options)
+    : catalog_(catalog),
+      options_(options),
+      memtable_flush_bytes_(options.memtable_flush_bytes),
+      compaction_files_(options.compaction_files),
+      ttl_(options.ttl),
+      scheduler_(JobScheduler::Options{
+          options.workers, options.max_jobs_per_sec, /*history_limit=*/64}) {}
+
+MaintenanceManager::~MaintenanceManager() { Stop(); }
+
+void MaintenanceManager::Start() {
+  if (scheduler_.running()) return;
+  scheduler_.Start();
+  if (options_.enabled) {
+    scheduler_.SubmitPeriodic(
+        /*key=*/"", "tick", options_.tick_interval, [this] {
+          return TimedJob("bg_tick", TickMillis(), [this] {
+            Tick();
+            return Status::OK();
+          });
+        });
+  }
+}
+
+void MaintenanceManager::Stop() { scheduler_.Stop(); }
+
+uint64_t MaintenanceManager::ScheduleFlush(const std::string& series,
+                                           std::shared_ptr<TsStore> store) {
+  return scheduler_.Submit(series, "flush", [store = std::move(store)] {
+    return TimedJob("bg_flush", FlushMillis(),
+                    [&store] { return store->Flush(); });
+  });
+}
+
+uint64_t MaintenanceManager::ScheduleCompact(const std::string& series,
+                                             std::shared_ptr<TsStore> store) {
+  return scheduler_.Submit(series, "compact", [store = std::move(store)] {
+    return TimedJob("bg_compact", CompactMillis(),
+                    [&store] { return store->Compact(); });
+  });
+}
+
+uint64_t MaintenanceManager::ScheduleTtl(const std::string& series,
+                                         std::shared_ptr<TsStore> store,
+                                         int64_t ttl) {
+  return scheduler_.Submit(
+      series, "ttl", [this, series, store = std::move(store), ttl] {
+        bool expired = false;
+        Status status = TimedJob("bg_ttl", TtlMillis(), [&store, ttl, &expired] {
+          return store->ExpireTtl(ttl, &expired);
+        });
+        // A tombstone shrinks the live data but not the chunk-metadata
+        // intervals the tick's pre-checks look at; chase it with a reclaim
+        // compaction so the policy converges instead of re-enqueueing the
+        // (no-op) expiry forever. Submitting from inside a job is safe —
+        // the scheduler lock is not held while callbacks run — and `this`
+        // outlives every callback because Stop() joins before the manager
+        // is destroyed.
+        if (status.ok() && expired) ScheduleCompact(series, store);
+        return status;
+      });
+}
+
+size_t MaintenanceManager::Tick() {
+  const size_t flush_bytes = memtable_flush_bytes_.load();
+  const size_t compact_files = compaction_files_.load();
+  const int64_t ttl = ttl_.load();
+  size_t enqueued = 0;
+  double memtable_bytes_total = 0;
+  for (auto& [name, store] : catalog_->ListStoresForMaintenance()) {
+    const size_t mem_bytes = store->memtable_bytes();
+    memtable_bytes_total += static_cast<double>(mem_bytes);
+
+    if (flush_bytes > 0 && mem_bytes >= flush_bytes) {
+      ScheduleFlush(name, store);
+      ++enqueued;
+    }
+    if (ttl > 0) {
+      // Cheap snapshot pre-check: only enqueue when data actually sits
+      // below the watermark (ExpireTtl itself re-checks under its lock).
+      const TimeRange interval = store->DataInterval();
+      if (!interval.Empty() && interval.end >= kMinTimestamp + ttl &&
+          interval.end - ttl > interval.start) {
+        // The expiry tombstone and the reclaim compaction are separate
+        // jobs; coalescing keeps each at most once in the queue.
+        ScheduleTtl(name, store, ttl);
+        ++enqueued;
+      }
+      if (store->CountFullyExpiredFiles(ttl) > 0) {
+        ScheduleCompact(name, store);
+        ++enqueued;
+      }
+    }
+    const size_t num_files = store->NumFiles();
+    if (compact_files > 0 && num_files >= compact_files) {
+      ScheduleCompact(name, store);
+      ++enqueued;
+    } else if (options_.compaction_overlap > 0 && num_files > 1 &&
+               store->OverlapFraction() >= options_.compaction_overlap) {
+      ScheduleCompact(name, store);
+      ++enqueued;
+    }
+  }
+  MemtableBytesGauge().Set(memtable_bytes_total);
+  return enqueued;
+}
+
+}  // namespace tsviz::bg

@@ -1,0 +1,128 @@
+#ifndef TSVIZ_BG_MAINTENANCE_H_
+#define TSVIZ_BG_MAINTENANCE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bg/job_scheduler.h"
+#include "common/status.h"
+#include "storage/store.h"
+
+namespace tsviz::bg {
+
+// Policy knobs for the background maintenance subsystem. All thresholds are
+// runtime-adjustable (`SET autoflush_bytes|compaction_files|ttl_ms = n`).
+struct MaintenanceOptions {
+  // Whether StartMaintenance actually starts the policy loop (manual
+  // FLUSH/COMPACT and SHOW JOBS work either way).
+  bool enabled = true;
+
+  // Policy evaluation period.
+  std::chrono::milliseconds tick_interval{100};
+
+  // Auto-flush when a memtable's approximate heap footprint crosses this
+  // (0 disables the size trigger).
+  size_t memtable_flush_bytes = 4u << 20;
+
+  // Compact when a series has at least this many data files (0 disables).
+  size_t compaction_files = 8;
+
+  // Compact when the fraction of chunks overlapping another chunk crosses
+  // this (<= 0 disables; needs at least 2 files to trigger).
+  double compaction_overlap = 0.0;
+
+  // Per-series TTL in timestamp units (milliseconds by the repo's
+  // convention): points older than `data_end - ttl` are expired with a
+  // background DeleteRange, and fully-expired files trigger a compaction.
+  // 0 disables.
+  int64_t ttl = 0;
+
+  // Scheduler sizing: worker threads and job-start rate cap (0 = no cap).
+  int workers = 1;
+  double max_jobs_per_sec = 0;
+};
+
+// The stores the maintenance loop may touch. Implemented by Database;
+// defined here so bg does not depend on db. Stores are returned as
+// shared_ptr so a job started just before DropSeries holds the store alive
+// for the duration of its run.
+class StoreCatalog {
+ public:
+  virtual ~StoreCatalog() = default;
+  virtual std::vector<std::pair<std::string, std::shared_ptr<TsStore>>>
+  ListStoresForMaintenance() = 0;
+};
+
+// Drives the policy: a periodic "tick" job on the scheduler examines every
+// store and enqueues flush/compact/ttl jobs, keyed by series name so the
+// scheduler's per-key serialization guarantees at most one maintenance job
+// touches a store at a time. All jobs run against the thread-safe TsStore —
+// queries keep their copy-on-write snapshots, so background work is
+// invisible to them.
+class MaintenanceManager {
+ public:
+  MaintenanceManager(StoreCatalog* catalog, MaintenanceOptions options);
+  ~MaintenanceManager();  // implies Stop()
+
+  MaintenanceManager(const MaintenanceManager&) = delete;
+  MaintenanceManager& operator=(const MaintenanceManager&) = delete;
+
+  // Starts the scheduler and (when options.enabled) the periodic policy
+  // tick. Idempotent.
+  void Start();
+
+  // Deterministic shutdown: cancels pending jobs, finishes running ones,
+  // joins the workers. Idempotent.
+  void Stop();
+
+  bool running() const { return scheduler_.running(); }
+
+  // One policy evaluation over every store; normally driven by the periodic
+  // tick, exposed for tests. Returns the number of jobs enqueued.
+  size_t Tick();
+
+  // Explicit one-shot jobs (SQL FLUSH/COMPACT run the store call directly;
+  // these enqueue the same work in the background instead).
+  uint64_t ScheduleFlush(const std::string& series,
+                         std::shared_ptr<TsStore> store);
+  uint64_t ScheduleCompact(const std::string& series,
+                           std::shared_ptr<TsStore> store);
+  uint64_t ScheduleTtl(const std::string& series,
+                       std::shared_ptr<TsStore> store, int64_t ttl);
+
+  // Cancels the series' pending jobs and waits out its running one. Must be
+  // called before dropping a series.
+  void Quiesce(const std::string& series) { scheduler_.Quiesce(series); }
+
+  // Waits until every enqueued one-shot job has finished.
+  void Drain() { scheduler_.Drain(); }
+
+  std::vector<JobInfo> ListJobs() const { return scheduler_.ListJobs(); }
+
+  // Runtime knobs (atomics: ticks read them without a lock).
+  void set_memtable_flush_bytes(size_t v) { memtable_flush_bytes_ = v; }
+  void set_compaction_files(size_t v) { compaction_files_ = v; }
+  void set_ttl(int64_t v) { ttl_ = v; }
+  size_t memtable_flush_bytes() const { return memtable_flush_bytes_; }
+  size_t compaction_files() const { return compaction_files_; }
+  int64_t ttl() const { return ttl_; }
+
+  JobScheduler& scheduler() { return scheduler_; }
+
+ private:
+  StoreCatalog* catalog_;
+  const MaintenanceOptions options_;
+  std::atomic<size_t> memtable_flush_bytes_;
+  std::atomic<size_t> compaction_files_;
+  std::atomic<int64_t> ttl_;
+  JobScheduler scheduler_;
+};
+
+}  // namespace tsviz::bg
+
+#endif  // TSVIZ_BG_MAINTENANCE_H_

@@ -39,7 +39,17 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseConfig config) {
         *db->config_.page_cache_bytes);
   }
   TSVIZ_RETURN_IF_ERROR(db->Discover());
+  // The manager always exists (SHOW JOBS / knobs work without a running
+  // policy loop); the loop itself starts with StartMaintenance.
+  db->maintenance_ = std::make_unique<bg::MaintenanceManager>(
+      db.get(), db->config_.maintenance);
   return db;
+}
+
+Database::~Database() {
+  // Stop maintenance before the series map is torn down: no job may touch a
+  // store while the database destructs.
+  if (maintenance_ != nullptr) maintenance_->Stop();
 }
 
 Status Database::ApplySetting(const std::string& name, double value) {
@@ -51,6 +61,7 @@ Status Database::ApplySetting(const std::string& name, double value) {
     if (value < 1) {
       return Status::InvalidArgument("parallelism must be positive");
     }
+    std::lock_guard<std::mutex> lock(settings_mutex_);
     query_parallelism_ = static_cast<int>(value);
     return Status::OK();
   }
@@ -63,10 +74,26 @@ Status Database::ApplySetting(const std::string& name, double value) {
     result_cache_.set_capacity(static_cast<size_t>(value));
     return Status::OK();
   }
-  return Status::InvalidArgument("unknown setting: " + name);
+  if (name == "autoflush_bytes") {
+    maintenance_->set_memtable_flush_bytes(static_cast<size_t>(value));
+    return Status::OK();
+  }
+  if (name == "compaction_files") {
+    maintenance_->set_compaction_files(static_cast<size_t>(value));
+    return Status::OK();
+  }
+  if (name == "ttl_ms") {
+    maintenance_->set_ttl(static_cast<int64_t>(value));
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "unknown setting '" + name +
+      "'; valid knobs: autoflush_bytes, compaction_files, page_cache_bytes, "
+      "parallelism, result_cache_capacity, ttl_ms");
 }
 
 Status Database::Discover() {
+  std::lock_guard<std::mutex> lock(series_mutex_);
   for (const auto& entry : fs::directory_iterator(config_.root_dir)) {
     if (!entry.is_directory()) continue;
     std::string name = entry.path().filename().string();
@@ -83,6 +110,7 @@ Result<TsStore*> Database::GetOrCreateSeries(const std::string& name) {
   if (!IsValidSeriesName(name)) {
     return Status::InvalidArgument("invalid series name: " + name);
   }
+  std::lock_guard<std::mutex> lock(series_mutex_);
   auto it = series_.find(name);
   if (it == series_.end()) {
     StoreConfig store_config = config_.series_defaults;
@@ -95,6 +123,7 @@ Result<TsStore*> Database::GetOrCreateSeries(const std::string& name) {
 }
 
 Result<TsStore*> Database::GetSeries(const std::string& name) {
+  std::lock_guard<std::mutex> lock(series_mutex_);
   auto it = series_.find(name);
   if (it == series_.end()) {
     return Status::NotFound("no such series: " + name);
@@ -102,19 +131,48 @@ Result<TsStore*> Database::GetSeries(const std::string& name) {
   return it->second.get();
 }
 
+Result<std::shared_ptr<TsStore>> Database::GetSeriesShared(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(series_mutex_);
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    return Status::NotFound("no such series: " + name);
+  }
+  return it->second;
+}
+
 std::vector<std::string> Database::ListSeries() const {
+  std::lock_guard<std::mutex> lock(series_mutex_);
   std::vector<std::string> names;
   names.reserve(series_.size());
   for (const auto& [name, store] : series_) names.push_back(name);
   return names;
 }
 
+std::vector<std::pair<std::string, std::shared_ptr<TsStore>>>
+Database::ListStoresForMaintenance() {
+  std::lock_guard<std::mutex> lock(series_mutex_);
+  std::vector<std::pair<std::string, std::shared_ptr<TsStore>>> out;
+  out.reserve(series_.size());
+  for (const auto& [name, store] : series_) out.emplace_back(name, store);
+  return out;
+}
+
 Status Database::DropSeries(const std::string& name) {
-  auto it = series_.find(name);
-  if (it == series_.end()) {
-    return Status::NotFound("no such series: " + name);
+  std::shared_ptr<TsStore> store;
+  {
+    std::lock_guard<std::mutex> lock(series_mutex_);
+    auto it = series_.find(name);
+    if (it == series_.end()) {
+      return Status::NotFound("no such series: " + name);
+    }
+    store = std::move(it->second);
+    series_.erase(it);  // no new maintenance job can pick the series up
   }
-  series_.erase(it);  // closes the store's files first
+  // Wait out any job already running against the store, then release the
+  // last reference so its files close before the directory is removed.
+  if (maintenance_ != nullptr) maintenance_->Quiesce(name);
+  store.reset();
   std::error_code ec;
   fs::remove_all(config_.root_dir + "/" + name, ec);
   if (ec) {
@@ -125,8 +183,15 @@ Status Database::DropSeries(const std::string& name) {
 }
 
 Status Database::FlushAll() {
-  for (auto& [name, store] : series_) {
+  for (auto& [name, store] : ListStoresForMaintenance()) {
     TSVIZ_RETURN_IF_ERROR(store->Flush());
+  }
+  return Status::OK();
+}
+
+Status Database::CompactAll() {
+  for (auto& [name, store] : ListStoresForMaintenance()) {
+    TSVIZ_RETURN_IF_ERROR(store->Compact());
   }
   return Status::OK();
 }

@@ -3,10 +3,13 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "bg/maintenance.h"
 #include "common/status.h"
 #include "m4/cache.h"
 #include "m4/m4_lsm.h"
@@ -35,15 +38,27 @@ struct DatabaseConfig {
   // When set, overrides the byte budget of the process-wide shared page
   // cache at open. Runtime override: `SET page_cache_bytes = n`.
   std::optional<size_t> page_cache_bytes;
+
+  // Background maintenance policy (auto-flush, triggered compaction, TTL).
+  // The manager exists either way — SHOW JOBS and the runtime knobs always
+  // work — but the policy loop only runs between StartMaintenance and
+  // StopMaintenance, and only when `maintenance.enabled` is true.
+  bg::MaintenanceOptions maintenance;
 };
 
 // Multi-series façade over TsStore: one LSM store per named series under a
 // shared root, discovered on open. This is the shape of a real deployment —
 // IoTDB manages one chunk stream per (device, measurement) path — while each
 // series keeps the single-series semantics the paper defines.
-class Database {
+//
+// Thread-safe: the series map is guarded by a mutex, stores are internally
+// synchronized, and background maintenance jobs hold shared_ptr references
+// so DropSeries cannot pull a store out from under a running job.
+class Database : public bg::StoreCatalog {
  public:
   static Result<std::unique_ptr<Database>> Open(DatabaseConfig config);
+
+  ~Database() override;
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -55,14 +70,22 @@ class Database {
   // The store for an existing series; kNotFound if absent.
   Result<TsStore*> GetSeries(const std::string& name);
 
+  // Shared-ownership variant for callers that must outlive a concurrent
+  // DropSeries (background jobs, long scans).
+  Result<std::shared_ptr<TsStore>> GetSeriesShared(const std::string& name);
+
   // Sorted list of series names.
   std::vector<std::string> ListSeries() const;
 
-  // Removes a series and its on-disk data.
+  // Removes a series and its on-disk data, after quiescing its background
+  // maintenance jobs.
   Status DropSeries(const std::string& name);
 
   // Flushes every series' memtable.
   Status FlushAll();
+
+  // Compacts every series.
+  Status CompactAll();
 
   // Convenience write/delete/query forwarding to the named series
   // (creating it for writes).
@@ -72,13 +95,29 @@ class Database {
                            QueryStats* stats,
                            const M4LsmOptions& options = {});
 
-  // Runtime knobs (`SET <name> = <value>`): parallelism,
-  // page_cache_bytes, result_cache_capacity.
+  // Runtime knobs (`SET <name> = <value>`). Valid names: autoflush_bytes,
+  // compaction_files, page_cache_bytes, parallelism, result_cache_capacity,
+  // ttl_ms. Unknown names are rejected with kInvalidArgument listing the
+  // valid knobs.
   Status ApplySetting(const std::string& name, double value);
+
+  // Background maintenance lifecycle; the server binds these to its own
+  // start/stop. Both idempotent.
+  void StartMaintenance() { maintenance_->Start(); }
+  void StopMaintenance() { maintenance_->Stop(); }
+  bg::MaintenanceManager& maintenance() { return *maintenance_; }
+
+  // bg::StoreCatalog: every live series, as shared_ptrs that keep the
+  // stores alive for the duration of a maintenance job.
+  std::vector<std::pair<std::string, std::shared_ptr<TsStore>>>
+  ListStoresForMaintenance() override;
 
   // The M4 result cache shared by every SELECT against this database.
   M4QueryCache& result_cache() { return result_cache_; }
-  int query_parallelism() const { return query_parallelism_; }
+  int query_parallelism() const {
+    std::lock_guard<std::mutex> lock(settings_mutex_);
+    return query_parallelism_;
+  }
 
  private:
   explicit Database(DatabaseConfig config)
@@ -89,9 +128,12 @@ class Database {
   Status Discover();
 
   DatabaseConfig config_;
+  mutable std::mutex settings_mutex_;  // guards query_parallelism_
   int query_parallelism_;
   M4QueryCache result_cache_;
-  std::map<std::string, std::unique_ptr<TsStore>> series_;
+  mutable std::mutex series_mutex_;  // guards series_
+  std::map<std::string, std::shared_ptr<TsStore>> series_;
+  std::unique_ptr<bg::MaintenanceManager> maintenance_;
 };
 
 // Whether `name` is a legal series name.

@@ -8,14 +8,14 @@ namespace tsviz {
 
 namespace {
 
-Result<std::vector<AggregateRow>> RunScanAggregate(const TsStore& store,
+Result<std::vector<AggregateRow>> RunScanAggregate(const StoreView& view,
                                                    const M4Query& query,
                                                    Aggregation aggregation,
                                                    QueryStats* stats) {
   SpanSet spans(query);
   TimeRange range(query.tqs, query.tqe - 1);
   std::vector<ChunkHandle> handles =
-      SelectOverlappingChunks(store, range, stats);
+      SelectOverlappingChunks(view, range, stats);
   DataReader data_reader(stats);
   std::vector<LazyChunk*> chunks;
   chunks.reserve(handles.size());
@@ -23,7 +23,7 @@ Result<std::vector<AggregateRow>> RunScanAggregate(const TsStore& store,
     chunks.push_back(data_reader.GetChunk(handle));
   }
   MergeReader merger(std::move(chunks),
-                     SelectOverlappingDeletes(store, range), range);
+                     SelectOverlappingDeletes(view, range), range);
   merger.PreloadFullChunks();  // the scan drains every overlapping chunk
 
   struct Accumulator {
@@ -82,16 +82,16 @@ bool IsMergeFree(Aggregation aggregation) {
   return false;
 }
 
-Result<std::vector<AggregateRow>> RunGroupBy(const TsStore& store,
+Result<std::vector<AggregateRow>> RunGroupBy(const StoreView& view,
                                              const M4Query& query,
                                              Aggregation aggregation,
                                              QueryStats* stats,
                                              const M4LsmOptions& options) {
   TSVIZ_RETURN_IF_ERROR(query.Validate());
   if (!IsMergeFree(aggregation)) {
-    return RunScanAggregate(store, query, aggregation, stats);
+    return RunScanAggregate(view, query, aggregation, stats);
   }
-  TSVIZ_ASSIGN_OR_RETURN(M4Result m4, RunM4Lsm(store, query, stats, options));
+  TSVIZ_ASSIGN_OR_RETURN(M4Result m4, RunM4Lsm(view, query, stats, options));
   std::vector<AggregateRow> rows(m4.size());
   for (size_t i = 0; i < m4.size(); ++i) {
     if (!m4[i].has_data) continue;

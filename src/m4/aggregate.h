@@ -43,7 +43,7 @@ struct AggregateRow {
 // One row per span, in span order (kCount yields 0-valued rows with
 // has_data=true only when the span is non-empty, matching SQL COUNT over
 // grouped buckets).
-Result<std::vector<AggregateRow>> RunGroupBy(const TsStore& store,
+Result<std::vector<AggregateRow>> RunGroupBy(const StoreView& view,
                                              const M4Query& query,
                                              Aggregation aggregation,
                                              QueryStats* stats,

@@ -40,14 +40,14 @@ size_t M4QueryCache::KeyHash::operator()(const Key& key) const {
   return static_cast<size_t>(h);
 }
 
-Result<M4Result> M4QueryCache::GetOrCompute(const TsStore& store,
+Result<M4Result> M4QueryCache::GetOrCompute(StoreView view,
                                             const M4Query& query,
                                             QueryStats* stats,
                                             const M4LsmOptions& options,
                                             int parallelism) {
   TSVIZ_RETURN_IF_ERROR(query.Validate());
-  Key key{&store,    store.state_version(), query.tqs,
-          query.tqe, query.w,               options.locate_strategy};
+  Key key{view.owner(), view.state_version(), query.tqs,
+          query.tqe,    query.w,              options.locate_strategy};
   {
     obs::TraceSpan probe(stats != nullptr ? stats->trace.get() : nullptr,
                          "cache_probe");
@@ -65,8 +65,8 @@ Result<M4Result> M4QueryCache::GetOrCompute(const TsStore& store,
   // which only costs a duplicate computation, never a wrong result.
   TSVIZ_ASSIGN_OR_RETURN(
       M4Result result,
-      RunM4LsmParallel(store, query, std::max(1, parallelism), stats,
-                       options));
+      RunM4LsmParallel(std::move(view), query, std::max(1, parallelism),
+                       stats, options));
   std::lock_guard<std::mutex> lock(mutex_);
   misses_.fetch_add(1, std::memory_order_relaxed);
   CacheMisses().Inc();

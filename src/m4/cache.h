@@ -28,10 +28,11 @@ class M4QueryCache {
   M4QueryCache& operator=(const M4QueryCache&) = delete;
 
   // Returns the cached result or computes it (via the pooled parallel
-  // operator when `parallelism` > 1) and caches it. `stats` (optional) is
+  // operator when `parallelism` > 1) and caches it. Takes a snapshot view
+  // (a TsStore converts implicitly) and keys on its owner + state version. `stats` (optional) is
   // only charged on a miss — a hit costs no I/O; the probe itself shows up
   // as a `cache_probe` span on the caller's trace.
-  Result<M4Result> GetOrCompute(const TsStore& store, const M4Query& query,
+  Result<M4Result> GetOrCompute(StoreView view, const M4Query& query,
                                 QueryStats* stats,
                                 const M4LsmOptions& options = {},
                                 int parallelism = 1);
@@ -49,7 +50,7 @@ class M4QueryCache {
 
  private:
   struct Key {
-    const TsStore* store;
+    const TsStore* store;  // snapshot owner, used as identity only
     uint64_t state_version;
     Timestamp tqs;
     Timestamp tqe;

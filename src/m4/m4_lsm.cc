@@ -58,10 +58,10 @@ struct SpanView {
 
 class M4LsmExecutor {
  public:
-  M4LsmExecutor(const TsStore& store, const M4Query& query,
+  M4LsmExecutor(StoreView view, const M4Query& query,
                 int64_t span_begin, int64_t span_end, QueryStats* stats,
                 const M4LsmOptions& options)
-      : store_(store),
+      : view_(std::move(view)),
         query_(query),
         spans_(query),
         span_begin_(span_begin),
@@ -118,7 +118,7 @@ class M4LsmExecutor {
     return stats_ != nullptr ? stats_->trace.get() : nullptr;
   }
 
-  const TsStore& store_;
+  StoreView view_;
   const M4Query& query_;
   SpanSet spans_;
   int64_t span_begin_;
@@ -525,8 +525,8 @@ Result<M4Result> M4LsmExecutor::Run() {
   {
     obs::TraceSpan span_meta(trace(), "metadata_read");
     std::vector<ChunkHandle> handles =
-        SelectOverlappingChunks(store_, query_range, stats_);
-    deletes_ = SelectOverlappingDeletes(store_, query_range);
+        SelectOverlappingChunks(view_, query_range, stats_);
+    deletes_ = SelectOverlappingDeletes(view_, query_range);
 
     states.reserve(handles.size());
     for (const ChunkHandle& handle : handles) {
@@ -581,23 +581,24 @@ Result<M4Result> M4LsmExecutor::Run() {
 
 }  // namespace
 
-Result<M4Result> RunM4Lsm(const TsStore& store, const M4Query& query,
+Result<M4Result> RunM4Lsm(StoreView view, const M4Query& query,
                           QueryStats* stats, const M4LsmOptions& options) {
   TSVIZ_RETURN_IF_ERROR(query.Validate());
   obs::TraceSpan span(stats != nullptr ? stats->trace.get() : nullptr,
                       "m4_lsm");
-  M4LsmExecutor executor(store, query, 0, query.w, stats, options);
+  M4LsmExecutor executor(std::move(view), query, 0, query.w, stats, options);
   return executor.Run();
 }
 
-Result<M4Result> RunM4LsmSpans(const TsStore& store, const M4Query& query,
+Result<M4Result> RunM4LsmSpans(StoreView view, const M4Query& query,
                                int64_t span_begin, int64_t span_end,
                                QueryStats* stats,
                                const M4LsmOptions& options) {
   TSVIZ_RETURN_IF_ERROR(query.Validate());
   obs::TraceSpan span(stats != nullptr ? stats->trace.get() : nullptr,
                       "m4_lsm");
-  M4LsmExecutor executor(store, query, span_begin, span_end, stats, options);
+  M4LsmExecutor executor(std::move(view), query, span_begin, span_end, stats,
+                         options);
   return executor.Run();
 }
 

@@ -33,13 +33,15 @@ struct M4LsmOptions {
 //
 // No MergeReader is involved anywhere: chunks that are neither split by span
 // boundaries nor touched by deletes/updates are served purely from metadata.
-Result<M4Result> RunM4Lsm(const TsStore& store, const M4Query& query,
+// Operates on a snapshot: pass a StoreView (a TsStore converts
+// implicitly), and concurrent flush/compaction cannot affect the result.
+Result<M4Result> RunM4Lsm(StoreView view, const M4Query& query,
                           QueryStats* stats, const M4LsmOptions& options = {});
 
 // Computes only the rows for span indexes [span_begin, span_end) — the
 // building block of the parallel driver (m4/parallel.h). Returns
 // span_end - span_begin rows; metadata outside the window is never touched.
-Result<M4Result> RunM4LsmSpans(const TsStore& store, const M4Query& query,
+Result<M4Result> RunM4LsmSpans(StoreView view, const M4Query& query,
                                int64_t span_begin, int64_t span_end,
                                QueryStats* stats,
                                const M4LsmOptions& options = {});

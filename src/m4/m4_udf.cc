@@ -7,7 +7,7 @@
 
 namespace tsviz {
 
-Result<M4Result> RunM4Udf(const TsStore& store, const M4Query& query,
+Result<M4Result> RunM4Udf(const StoreView& view, const M4Query& query,
                           QueryStats* stats) {
   TSVIZ_RETURN_IF_ERROR(query.Validate());
   obs::Trace* trace = stats != nullptr ? stats->trace.get() : nullptr;
@@ -20,8 +20,8 @@ Result<M4Result> RunM4Udf(const TsStore& store, const M4Query& query,
   std::vector<DeleteRecord> deletes;
   {
     obs::TraceSpan span_meta(trace, "metadata_read");
-    handles = SelectOverlappingChunks(store, range, stats);
-    deletes = SelectOverlappingDeletes(store, range);
+    handles = SelectOverlappingChunks(view, range, stats);
+    deletes = SelectOverlappingDeletes(view, range);
   }
   DataReader data_reader(stats);
   std::vector<LazyChunk*> chunks;

@@ -15,7 +15,7 @@ namespace tsviz {
 // decodes all their pages, merges them into the latest-only series, and
 // computes the four representation functions per span in one ordered scan —
 // paying full I/O and decompression cost regardless of w.
-Result<M4Result> RunM4Udf(const TsStore& store, const M4Query& query,
+Result<M4Result> RunM4Udf(const StoreView& view, const M4Query& query,
                           QueryStats* stats);
 
 }  // namespace tsviz

@@ -22,7 +22,7 @@ ThreadPool& ExecutorPool() {
   return *pool;
 }
 
-Result<M4Result> RunM4LsmParallel(const TsStore& store, const M4Query& query,
+Result<M4Result> RunM4LsmParallel(StoreView view, const M4Query& query,
                                   int num_threads, QueryStats* stats,
                                   const M4LsmOptions& options) {
   TSVIZ_RETURN_IF_ERROR(query.Validate());
@@ -32,7 +32,7 @@ Result<M4Result> RunM4LsmParallel(const TsStore& store, const M4Query& query,
   const int64_t w = query.w;
   const int64_t blocks = std::min<int64_t>(num_threads, w);
   if (blocks == 1) {
-    return RunM4Lsm(store, query, stats, options);
+    return RunM4Lsm(view, query, stats, options);
   }
 
   static obs::Counter& tasks_total =
@@ -54,10 +54,10 @@ Result<M4Result> RunM4LsmParallel(const TsStore& store, const M4Query& query,
     const int64_t begin = w * b / blocks;
     const int64_t end = w * (b + 1) / blocks;
     tasks_total.Inc();
-    pool.Submit([&store, &query, &options, begin, end, &done_mutex, &done_cv,
+    pool.Submit([view, &query, &options, begin, end, &done_mutex, &done_cv,
                  &remaining, out = &results[static_cast<size_t>(b)]]() {
       Result<M4Result> rows =
-          RunM4LsmSpans(store, query, begin, end, &out->stats, options);
+          RunM4LsmSpans(view, query, begin, end, &out->stats, options);
       if (rows.ok()) {
         out->rows = std::move(rows).value();
       } else {

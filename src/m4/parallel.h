@@ -25,12 +25,13 @@ ThreadPool& ExecutorPool();
 // duplicate decode per boundary, and usually none.
 //
 // `num_threads` is the number of span blocks (parallelism), not a thread
-// count: blocks queue on the fixed pool. The store must not be mutated
-// during the call (same contract as the serial operator); file access uses
+// count: blocks queue on the fixed pool. Every block shares the one
+// snapshot passed in, so all span rows come from the same store state no
+// matter what background maintenance does meanwhile; file access uses
 // positional reads and is thread-safe. `stats` (optional) receives the
 // summed counters of all blocks; the caller's trace (if any) records a
 // `pool_wait` span covering the wait for block completion.
-Result<M4Result> RunM4LsmParallel(const TsStore& store, const M4Query& query,
+Result<M4Result> RunM4LsmParallel(StoreView view, const M4Query& query,
                                   int num_threads, QueryStats* stats,
                                   const M4LsmOptions& options = {});
 

@@ -4,7 +4,7 @@
 
 namespace tsviz {
 
-std::vector<ChunkHandle> SelectOverlappingChunks(const TsStore& store,
+std::vector<ChunkHandle> SelectOverlappingChunks(const StoreView& view,
                                                  const TimeRange& range,
                                                  QueryStats* stats) {
   std::vector<ChunkHandle> out;
@@ -12,7 +12,7 @@ std::vector<ChunkHandle> SelectOverlappingChunks(const TsStore& store,
   // Two-level pruning, as in IoTDB's metadata hierarchy: the file-level
   // summary rules out whole files with one comparison, then per-chunk
   // metadata is consulted only inside overlapping files.
-  for (const auto& file : store.files()) {
+  for (const auto& file : view.files()) {
     ++consulted;
     if (!file->interval().Overlaps(range)) continue;
     for (const ChunkMetadata& meta : file->chunks()) {
@@ -32,10 +32,10 @@ std::vector<ChunkHandle> SelectOverlappingChunks(const TsStore& store,
   return out;
 }
 
-std::vector<DeleteRecord> SelectOverlappingDeletes(const TsStore& store,
+std::vector<DeleteRecord> SelectOverlappingDeletes(const StoreView& view,
                                                    const TimeRange& range) {
   std::vector<DeleteRecord> out;
-  for (const DeleteRecord& del : store.deletes()) {
+  for (const DeleteRecord& del : view.deletes()) {
     if (del.range.Overlaps(range)) {
       out.push_back(del);
     }

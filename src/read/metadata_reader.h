@@ -12,13 +12,17 @@ namespace tsviz {
 // The MetadataReader of Figure 15: selects chunks and deletes relevant to a
 // query using metadata only — no chunk data is touched.
 
+// Both selectors operate on a StoreView snapshot; passing a TsStore
+// converts implicitly (taking the store's current snapshot). Callers that
+// need chunk and delete selection to agree must pass the same view to both.
+
 // Chunk handles whose time interval overlaps `range`, in version order.
-std::vector<ChunkHandle> SelectOverlappingChunks(const TsStore& store,
+std::vector<ChunkHandle> SelectOverlappingChunks(const StoreView& view,
                                                  const TimeRange& range,
                                                  QueryStats* stats);
 
 // Deletes whose range overlaps `range`, in version order.
-std::vector<DeleteRecord> SelectOverlappingDeletes(const TsStore& store,
+std::vector<DeleteRecord> SelectOverlappingDeletes(const StoreView& view,
                                                    const TimeRange& range);
 
 }  // namespace tsviz

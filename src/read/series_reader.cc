@@ -6,11 +6,11 @@
 
 namespace tsviz {
 
-Result<std::vector<Point>> ReadMergedSeries(const TsStore& store,
+Result<std::vector<Point>> ReadMergedSeries(const StoreView& view,
                                             const TimeRange& range,
                                             QueryStats* stats) {
   std::vector<ChunkHandle> handles =
-      SelectOverlappingChunks(store, range, stats);
+      SelectOverlappingChunks(view, range, stats);
   DataReader data_reader(stats);
   std::vector<LazyChunk*> chunks;
   chunks.reserve(handles.size());
@@ -18,7 +18,7 @@ Result<std::vector<Point>> ReadMergedSeries(const TsStore& store,
     chunks.push_back(data_reader.GetChunk(handle));
   }
   MergeReader merger(std::move(chunks),
-                     SelectOverlappingDeletes(store, range), range);
+                     SelectOverlappingDeletes(view, range), range);
   return merger.ReadAll();
 }
 
@@ -26,16 +26,16 @@ SeriesCursor::SeriesCursor() = default;
 SeriesCursor::~SeriesCursor() = default;
 
 Result<std::unique_ptr<SeriesCursor>> SeriesCursor::Open(
-    const TsStore& store, const TimeRange& range, QueryStats* stats) {
+    const StoreView& view, const TimeRange& range, QueryStats* stats) {
   auto cursor = std::unique_ptr<SeriesCursor>(new SeriesCursor());
   cursor->data_reader_ = std::make_unique<DataReader>(stats);
   std::vector<LazyChunk*> chunks;
   for (const ChunkHandle& handle :
-       SelectOverlappingChunks(store, range, stats)) {
+       SelectOverlappingChunks(view, range, stats)) {
     chunks.push_back(cursor->data_reader_->GetChunk(handle));
   }
   cursor->merger_ = std::make_unique<MergeReader>(
-      std::move(chunks), SelectOverlappingDeletes(store, range), range);
+      std::move(chunks), SelectOverlappingDeletes(view, range), range);
   return cursor;
 }
 

@@ -14,9 +14,10 @@ namespace tsviz {
 
 // The SeriesRawDataBatchReader analog (Appendix A.5): assembles the fully
 // merged, latest-only time series for a closed time range by loading and
-// merging every overlapping chunk. This is the read path of the M4-UDF
+// merging every overlapping chunk. Operates on a snapshot (a TsStore
+// argument converts implicitly), so concurrent maintenance is invisible. This is the read path of the M4-UDF
 // baseline and of correctness oracles in tests.
-Result<std::vector<Point>> ReadMergedSeries(const TsStore& store,
+Result<std::vector<Point>> ReadMergedSeries(const StoreView& view,
                                             const TimeRange& range,
                                             QueryStats* stats);
 
@@ -26,12 +27,13 @@ class MergeReader;
 
 // Streaming variant of ReadMergedSeries: pulls merged, latest-only points
 // one at a time without materializing the series — the public read API for
-// consumers iterating large ranges. The store must not be mutated while a
-// cursor is open.
+// consumers iterating large ranges. The cursor holds a snapshot: the
+// files it reads stay pinned even if the store is flushed or compacted
+// while it is open.
 class SeriesCursor {
  public:
   // `stats` (optional) must outlive the cursor.
-  static Result<std::unique_ptr<SeriesCursor>> Open(const TsStore& store,
+  static Result<std::unique_ptr<SeriesCursor>> Open(const StoreView& view,
                                                     const TimeRange& range,
                                                     QueryStats* stats = nullptr);
 

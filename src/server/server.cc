@@ -69,6 +69,10 @@ Status SqlServer::Start(int port) {
   }
   stopping_ = false;
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  // The background maintenance scheduler shares the server's lifecycle:
+  // auto-flush/compaction/TTL run while the server accepts queries and are
+  // quiesced before the listener is torn down.
+  db_->StartMaintenance();
   TSVIZ_INFO << "sql server listening on 127.0.0.1:" << port_;
   return Status::OK();
 }
@@ -169,6 +173,7 @@ void SqlServer::HandleClient(int fd) {
 
 void SqlServer::Stop() {
   if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
+  db_->StopMaintenance();
   stopping_ = true;
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);

@@ -109,15 +109,45 @@ struct SetStatement {
   friend bool operator==(const SetStatement&, const SetStatement&) = default;
 };
 
+// FLUSH [series]: synchronously flushes one series' memtable (or every
+// series' when no name is given) to a new data file.
+struct FlushStatement {
+  std::optional<std::string> series;
+
+  friend bool operator==(const FlushStatement&,
+                         const FlushStatement&) = default;
+};
+
+// COMPACT [series]: synchronously compacts one series (or every series)
+// into disjoint latest-only chunks.
+struct CompactStatement {
+  std::optional<std::string> series;
+
+  friend bool operator==(const CompactStatement&,
+                         const CompactStatement&) = default;
+};
+
+// SHOW JOBS: lists the background maintenance scheduler's pending, running
+// and recently finished jobs.
+struct ShowJobsStatement {
+  friend bool operator==(const ShowJobsStatement&,
+                         const ShowJobsStatement&) = default;
+};
+
 // Any parseable top-level statement.
 using Statement =
-    std::variant<SelectStatement, ShowMetricsStatement, SetStatement>;
+    std::variant<SelectStatement, ShowMetricsStatement, SetStatement,
+                 FlushStatement, CompactStatement, ShowJobsStatement>;
 
 // True when executing the statement mutates database state; the server uses
 // this to decide whether a query needs the write lock. SET mutates database
-// configuration, everything else in the dialect is read-only.
+// configuration and FLUSH/COMPACT rewrite store state (the stores are
+// internally thread-safe, but the coarse lock keeps the server's
+// single-writer contract simple); everything else is read-only.
 inline bool IsWriteStatement(const Statement& statement) {
-  return std::holds_alternative<SetStatement>(statement);
+  return std::holds_alternative<SetStatement>(statement) ||
+         std::holds_alternative<FlushStatement>(statement) ||
+         std::holds_alternative<CompactStatement>(statement);
 }
 
 }  // namespace tsviz::sql

@@ -21,7 +21,7 @@ namespace {
 // Resolves the WHERE conjunction into the half-open query range [tqs, tqe),
 // defaulting to the series' full data interval.
 Result<std::pair<Timestamp, Timestamp>> ResolveTimeRange(
-    const TsStore& store, const SelectStatement& stmt) {
+    const StoreView& view, const SelectStatement& stmt) {
   Timestamp tqs = kMinTimestamp;
   Timestamp tqe = kMaxTimestamp;
   bool has_lower = false;
@@ -60,7 +60,7 @@ Result<std::pair<Timestamp, Timestamp>> ResolveTimeRange(
     }
   }
   if (!has_lower || !has_upper) {
-    TimeRange data = store.DataInterval();
+    TimeRange data = view.DataInterval();
     if (data.Empty()) {
       return Status::NotFound("series is empty and WHERE gives no range");
     }
@@ -73,7 +73,7 @@ Result<std::pair<Timestamp, Timestamp>> ResolveTimeRange(
   return std::make_pair(tqs, tqe);
 }
 
-Result<ResultSet> ExecuteRawSelect(const TsStore& store,
+Result<ResultSet> ExecuteRawSelect(const StoreView& view,
                                    const SelectStatement& stmt,
                                    Timestamp tqs, Timestamp tqe,
                                    QueryStats* stats) {
@@ -92,7 +92,7 @@ Result<ResultSet> ExecuteRawSelect(const TsStore& store,
     obs::TraceSpan span(stats != nullptr ? stats->trace.get() : nullptr,
                         "merge_scan");
     TSVIZ_ASSIGN_OR_RETURN(
-        merged, ReadMergedSeries(store, TimeRange(tqs, tqe - 1), stats));
+        merged, ReadMergedSeries(view, TimeRange(tqs, tqe - 1), stats));
   }
   ResultSet result({"time", "value"});
   for (const Point& p : merged) {
@@ -114,12 +114,12 @@ struct ScanAggregates {
   std::vector<double> sums;
 };
 
-Result<ScanAggregates> RunScan(const TsStore& store, const M4Query& query,
+Result<ScanAggregates> RunScan(const StoreView& view, const M4Query& query,
                                QueryStats* stats) {
   SpanSet spans(query);
   TimeRange range(query.tqs, query.tqe - 1);
   std::vector<ChunkHandle> handles =
-      SelectOverlappingChunks(store, range, stats);
+      SelectOverlappingChunks(view, range, stats);
   DataReader data_reader(stats);
   std::vector<LazyChunk*> chunks;
   chunks.reserve(handles.size());
@@ -127,7 +127,7 @@ Result<ScanAggregates> RunScan(const TsStore& store, const M4Query& query,
     chunks.push_back(data_reader.GetChunk(handle));
   }
   MergeReader merger(std::move(chunks),
-                     SelectOverlappingDeletes(store, range), range);
+                     SelectOverlappingDeletes(view, range), range);
   merger.PreloadFullChunks();  // the scan drains every overlapping chunk
   ScanAggregates agg;
   agg.counts.assign(static_cast<size_t>(spans.num_spans()), 0);
@@ -179,7 +179,7 @@ ResultSet::Cell M4Cell(const M4Row& row, FuncKind kind) {
 
 // EXPLAIN output: the plan, resolved against store metadata only — no
 // chunk data is read.
-Result<ResultSet> ExplainSelect(const TsStore& store,
+Result<ResultSet> ExplainSelect(const StoreView& view,
                                 const SelectStatement& stmt, Timestamp tqs,
                                 Timestamp tqe, bool any_raw, bool any_m4,
                                 bool any_scan) {
@@ -193,11 +193,11 @@ Result<ResultSet> ExplainSelect(const TsStore& store,
   add("spans", std::to_string(stmt.spans.value_or(1)));
   TimeRange range(tqs, tqe - 1);
   size_t chunks = 0;
-  for (const ChunkHandle& chunk : store.chunks()) {
+  for (const ChunkHandle& chunk : view.chunks()) {
     if (chunk.meta->Interval().Overlaps(range)) ++chunks;
   }
   size_t deletes = 0;
-  for (const DeleteRecord& del : store.deletes()) {
+  for (const DeleteRecord& del : view.deletes()) {
     if (del.range.Overlaps(range)) ++deletes;
   }
   add("chunks_overlapping", std::to_string(chunks));
@@ -244,7 +244,7 @@ void AppendTraceRows(const obs::TraceNode& node, size_t depth,
 // phase tree followed by the QueryStats counters. The counter rows reuse
 // QueryStats::FieldNames/FieldValues, the same single source of truth behind
 // ToCsvRow, so the statement and the CSV serialization cannot drift apart.
-Result<ResultSet> ExplainAnalyzeSelect(const TsStore& store,
+Result<ResultSet> ExplainAnalyzeSelect(const StoreView& view,
                                        const SelectStatement& stmt,
                                        QueryStats* caller_stats,
                                        const ExecOptions& options) {
@@ -254,7 +254,7 @@ Result<ResultSet> ExplainAnalyzeSelect(const TsStore& store,
   inner.analyze = false;
   Timer timer;
   TSVIZ_ASSIGN_OR_RETURN(ResultSet inner_result,
-                         ExecuteSelect(store, inner, &query_stats, options));
+                         ExecuteSelect(view, inner, &query_stats, options));
   if (inner.limit.has_value()) {
     inner_result.Truncate(static_cast<size_t>(*inner.limit));
   }
@@ -283,7 +283,7 @@ Result<ResultSet> ExplainAnalyzeSelect(const TsStore& store,
 
 }  // namespace
 
-Result<ResultSet> ExecuteSelect(const TsStore& store,
+Result<ResultSet> ExecuteSelect(StoreView view,
                                 const SelectStatement& stmt,
                                 QueryStats* stats,
                                 const ExecOptions& options) {
@@ -291,9 +291,9 @@ Result<ResultSet> ExecuteSelect(const TsStore& store,
     return Status::InvalidArgument("empty select list");
   }
   if (stmt.analyze) {
-    return ExplainAnalyzeSelect(store, stmt, stats, options);
+    return ExplainAnalyzeSelect(view, stmt, stats, options);
   }
-  TSVIZ_ASSIGN_OR_RETURN(auto range, ResolveTimeRange(store, stmt));
+  TSVIZ_ASSIGN_OR_RETURN(auto range, ResolveTimeRange(view, stmt));
   const auto [tqs, tqe] = range;
 
   bool any_raw = false;
@@ -309,7 +309,7 @@ Result<ResultSet> ExecuteSelect(const TsStore& store,
     }
   }
   if (stmt.explain) {
-    return ExplainSelect(store, stmt, tqs, tqe, any_raw, any_m4, any_scan);
+    return ExplainSelect(view, stmt, tqs, tqe, any_raw, any_m4, any_scan);
   }
   if (any_raw) {
     if (any_m4 || any_scan) {
@@ -317,7 +317,7 @@ Result<ResultSet> ExecuteSelect(const TsStore& store,
           "cannot mix raw columns with aggregations");
     }
     TSVIZ_ASSIGN_OR_RETURN(ResultSet raw,
-                           ExecuteRawSelect(store, stmt, tqs, tqe, stats));
+                           ExecuteRawSelect(view, stmt, tqs, tqe, stats));
     if (stmt.limit.has_value()) {
       raw.Truncate(static_cast<size_t>(*stmt.limit));
     }
@@ -336,18 +336,18 @@ Result<ResultSet> ExecuteSelect(const TsStore& store,
   if (any_m4) {
     if (options.result_cache != nullptr) {
       TSVIZ_ASSIGN_OR_RETURN(
-          m4, options.result_cache->GetOrCompute(store, query, stats, {},
+          m4, options.result_cache->GetOrCompute(view, query, stats, {},
                                                  options.parallelism));
     } else if (options.parallelism > 1) {
       TSVIZ_ASSIGN_OR_RETURN(
-          m4, RunM4LsmParallel(store, query, options.parallelism, stats));
+          m4, RunM4LsmParallel(view, query, options.parallelism, stats));
     } else {
-      TSVIZ_ASSIGN_OR_RETURN(m4, RunM4Lsm(store, query, stats));
+      TSVIZ_ASSIGN_OR_RETURN(m4, RunM4Lsm(view, query, stats));
     }
   }
   ScanAggregates scan;
   if (any_scan) {
-    TSVIZ_ASSIGN_OR_RETURN(scan, RunScan(store, query, stats));
+    TSVIZ_ASSIGN_OR_RETURN(scan, RunScan(view, query, stats));
   }
 
   // Column headers: implicit span_start, then one column per expanded item.
@@ -397,10 +397,67 @@ Result<ResultSet> ExecuteSelect(const TsStore& store,
   return result;
 }
 
+namespace {
+
+// FLUSH/COMPACT: the store call itself serializes with background jobs via
+// the store's maintenance mutex, so an explicit statement and the policy
+// loop can never run the same operation on a store concurrently.
+Result<ResultSet> ExecuteMaintenance(Database* db,
+                                     const std::optional<std::string>& series,
+                                     bool compact) {
+  std::vector<std::string> names;
+  if (series.has_value()) {
+    TSVIZ_RETURN_IF_ERROR(db->GetSeries(*series).status());
+    names.push_back(*series);
+  } else {
+    names = db->ListSeries();
+  }
+  ResultSet result({"series", "action", "status"});
+  for (const std::string& name : names) {
+    auto store = db->GetSeriesShared(name);
+    if (!store.ok()) continue;  // dropped between listing and here
+    Status status = compact ? (*store)->Compact() : (*store)->Flush();
+    result.AddRow({ResultSet::Cell(name),
+                   ResultSet::Cell(std::string(compact ? "compact" : "flush")),
+                   ResultSet::Cell(status.ok() ? std::string("OK")
+                                               : status.ToString())});
+    TSVIZ_RETURN_IF_ERROR(status);
+  }
+  return result;
+}
+
+ResultSet ShowJobs(Database* db) {
+  ResultSet result({"id", "key", "type", "state", "periodic", "runs",
+                    "last_millis", "last_status"});
+  for (const bg::JobInfo& job : db->maintenance().ListJobs()) {
+    result.AddRow({ResultSet::Cell(static_cast<int64_t>(job.id)),
+                   ResultSet::Cell(job.key),
+                   ResultSet::Cell(job.type),
+                   ResultSet::Cell(std::string(bg::JobStateName(job.state))),
+                   ResultSet::Cell(static_cast<int64_t>(job.periodic ? 1 : 0)),
+                   ResultSet::Cell(static_cast<int64_t>(job.runs)),
+                   ResultSet::Cell(job.last_millis),
+                   ResultSet::Cell(job.last_status)});
+  }
+  return result;
+}
+
+}  // namespace
+
 Result<ResultSet> ExecuteStatement(Database* db, const Statement& statement,
                                    QueryStats* stats) {
   if (std::holds_alternative<ShowMetricsStatement>(statement)) {
     return ShowMetrics();
+  }
+  if (std::holds_alternative<ShowJobsStatement>(statement)) {
+    return ShowJobs(db);
+  }
+  if (const FlushStatement* flush = std::get_if<FlushStatement>(&statement)) {
+    return ExecuteMaintenance(db, flush->series, /*compact=*/false);
+  }
+  if (const CompactStatement* comp =
+          std::get_if<CompactStatement>(&statement)) {
+    return ExecuteMaintenance(db, comp->series, /*compact=*/true);
   }
   if (const SetStatement* set = std::get_if<SetStatement>(&statement)) {
     std::string name = set->name;

@@ -39,15 +39,20 @@ Result<ResultSet> ExecuteQuery(Database* db, const std::string& statement,
 
 // Executes an already-parsed top-level statement. SHOW METRICS renders the
 // process metrics registry as Prometheus text, one exposition line per row;
+// SHOW JOBS lists the background maintenance scheduler's jobs; FLUSH and
+// COMPACT run the named (or every) series' maintenance synchronously;
 // EXPLAIN ANALYZE SELECT executes the query under a trace and returns the
 // phase breakdown plus the QueryStats counters instead of the result rows.
 Result<ResultSet> ExecuteStatement(Database* db, const Statement& statement,
                                    QueryStats* stats = nullptr);
 
-// Executes an already-parsed statement against a specific store. The
-// default options run the serial uncached operator; the Database-level
-// entry points pass the database's result cache and parallelism.
-Result<ResultSet> ExecuteSelect(const TsStore& store,
+// Executes an already-parsed statement against one store snapshot (a
+// TsStore argument converts implicitly, taking the current snapshot — the
+// whole statement then sees one consistent state regardless of concurrent
+// background maintenance). The default options run the serial uncached
+// operator; the Database-level entry points pass the database's result
+// cache and parallelism.
+Result<ResultSet> ExecuteSelect(StoreView view,
                                 const SelectStatement& statement,
                                 QueryStats* stats = nullptr,
                                 const ExecOptions& options = {});

@@ -328,16 +328,37 @@ Result<SelectStatement> ParseSelect(const std::string& statement) {
 
 Result<Statement> ParseStatement(const std::string& statement) {
   TSVIZ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(statement));
-  // SHOW METRICS and SET are the only non-SELECT statements; recognize them
-  // up front and hand everything else to the SELECT parser.
+  // The non-SELECT statements (SHOW METRICS/JOBS, SET, FLUSH, COMPACT) are
+  // recognized up front; everything else goes to the SELECT parser.
   if (!tokens.empty() && tokens[0].type == TokenType::kIdentifier &&
       IdentEquals(tokens[0].text, "SHOW")) {
+    if (tokens.size() == 3 && tokens[1].type == TokenType::kIdentifier &&
+        IdentEquals(tokens[1].text, "JOBS") &&
+        tokens[2].type == TokenType::kEnd) {
+      return Statement(ShowJobsStatement{});
+    }
     if (tokens.size() != 3 || tokens[1].type != TokenType::kIdentifier ||
         !IdentEquals(tokens[1].text, "METRICS") ||
         tokens[2].type != TokenType::kEnd) {
-      return Status::InvalidArgument("expected SHOW METRICS");
+      return Status::InvalidArgument("expected SHOW METRICS or SHOW JOBS");
     }
     return Statement(ShowMetricsStatement{});
+  }
+  if (!tokens.empty() && tokens[0].type == TokenType::kIdentifier &&
+      (IdentEquals(tokens[0].text, "FLUSH") ||
+       IdentEquals(tokens[0].text, "COMPACT"))) {
+    const bool flush = IdentEquals(tokens[0].text, "FLUSH");
+    const char* verb = flush ? "FLUSH" : "COMPACT";
+    std::optional<std::string> series;
+    if (tokens.size() == 3 && tokens[1].type == TokenType::kIdentifier &&
+        tokens[2].type == TokenType::kEnd) {
+      series = tokens[1].text;
+    } else if (!(tokens.size() == 2 && tokens[1].type == TokenType::kEnd)) {
+      return Status::InvalidArgument(std::string("expected ") + verb +
+                                     " [series]");
+    }
+    if (flush) return Statement(FlushStatement{std::move(series)});
+    return Statement(CompactStatement{std::move(series)});
   }
   if (!tokens.empty() && tokens[0].type == TokenType::kIdentifier &&
       IdentEquals(tokens[0].text, "SET")) {

@@ -2,6 +2,19 @@
 // latest-only chunks. Compaction applies the merge function of Definition
 // 2.7 once, eagerly, which is exactly the work M4-LSM exists to avoid doing
 // per query.
+//
+// Concurrency protocol: the merge runs on a snapshot taken under the lock,
+// with the output file id and a version range reserved at snapshot time.
+// One version per base chunk is reserved — output chunks are sliced at
+// points_per_chunk just like flushed chunks, so there are never more of
+// them than base chunks — and each output chunk gets its own version from
+// that range, preserving the invariant that a version uniquely identifies
+// a chunk (DataReader keys its per-query cache on it). Anything that lands
+// after the snapshot (tombstones; flushes are excluded by the maintenance
+// mutex) gets a version strictly larger than the whole reserved range and
+// therefore still applies to the merged data. The swap keeps the
+// post-snapshot suffix of the state vectors untouched and rewrites the
+// mods file to exactly the surviving tombstones.
 
 #include <algorithm>
 #include <filesystem>
@@ -20,18 +33,25 @@ namespace fs = std::filesystem;
 Status TsStore::Compact() {
   Timer timer;
   uint64_t bytes_rewritten = 0;
-  TSVIZ_RETURN_IF_ERROR(Flush());
-  if (chunks_.empty()) {
-    // Nothing to merge; still drop any orphan tombstones.
-    deletes_.clear();
-    std::error_code ec;
-    fs::remove(ModsPath(), ec);
-    return Status::OK();
+  std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
+  TSVIZ_RETURN_IF_ERROR(FlushHoldingMaintenance());
+
+  // Snapshot the state to merge and reserve the output's identity.
+  std::shared_ptr<const StoreState> base;
+  uint64_t file_id = 0;
+  Version first_version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    base = state_;
+    if (base->chunks.empty() && base->deletes.empty()) return Status::OK();
+    file_id = next_file_id_++;
+    first_version = next_version_;
+    next_version_ += std::max<Version>(1, base->chunks.size());
   }
 
   // Merge: iterate chunks in ascending version so later writes overwrite
   // earlier ones, keeping the winning version for delete filtering.
-  std::vector<ChunkHandle> ordered = chunks_;
+  std::vector<ChunkHandle> ordered = base->chunks;
   std::sort(ordered.begin(), ordered.end(),
             [](const ChunkHandle& a, const ChunkHandle& b) {
               return a.meta->version < b.meta->version;
@@ -56,7 +76,7 @@ Status TsStore::Compact() {
   for (const auto& [t, entry] : latest) {
     const auto& [version, value] = entry;
     bool deleted = false;
-    for (const DeleteRecord& del : deletes_) {
+    for (const DeleteRecord& del : base->deletes) {
       if (del.Deletes(t, version)) {
         deleted = true;
         break;
@@ -65,47 +85,63 @@ Status TsStore::Compact() {
     if (!deleted) merged.push_back(Point{t, value});
   }
 
-  // Write the compacted file before touching the old state.
-  const uint64_t file_id = next_file_id_++;
+  // Write the compacted file before touching the published state. Each
+  // chunk gets its own version from the reserved range (see the protocol
+  // note above).
   const std::string path = FilePath(file_id);
+  std::shared_ptr<FileReader> reader;
   if (!merged.empty()) {
     TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<FileWriter> writer,
                            FileWriter::Create(path));
+    Version chunk_version = first_version;
     for (size_t begin = 0; begin < merged.size();
          begin += config_.points_per_chunk) {
       size_t count =
           std::min(config_.points_per_chunk, merged.size() - begin);
       std::vector<Point> slice(merged.begin() + begin,
                                merged.begin() + begin + count);
-      TSVIZ_RETURN_IF_ERROR(writer->AppendChunk(slice, next_version_++,
+      TSVIZ_RETURN_IF_ERROR(writer->AppendChunk(slice, chunk_version++,
                                                 config_.encoding, nullptr));
     }
     TSVIZ_RETURN_IF_ERROR(writer->Finish());
+    TSVIZ_ASSIGN_OR_RETURN(reader, FileReader::Open(path));
   }
 
-  // Swap in the new state: drop old files, tombstones become no-ops.
+  // Swap: the merged file replaces the base prefix; whatever was appended
+  // after the snapshot (only tombstones — flushes hold the maintenance
+  // mutex) is carried over verbatim.
   std::vector<std::string> old_paths;
-  old_paths.reserve(files_.size());
-  for (const auto& file : files_) old_paths.push_back(file->path());
-  chunks_.clear();
-  files_.clear();
-  deletes_.clear();
+  old_paths.reserve(base->files.size());
+  for (const auto& file : base->files) old_paths.push_back(file->path());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto next = std::make_shared<StoreState>();
+    if (reader != nullptr) {
+      for (const ChunkMetadata& meta : reader->chunks()) {
+        next->chunks.push_back(ChunkHandle{reader, &meta});
+      }
+      next->files.push_back(reader);
+    }
+    next->files.insert(next->files.end(),
+                       state_->files.begin() + base->files.size(),
+                       state_->files.end());
+    next->chunks.insert(next->chunks.end(),
+                        state_->chunks.begin() + base->chunks.size(),
+                        state_->chunks.end());
+    next->deletes.assign(state_->deletes.begin() + base->deletes.size(),
+                         state_->deletes.end());
+    TSVIZ_RETURN_IF_ERROR(RewriteModsLocked(next->deletes));
+    PublishLocked(std::move(next));
+  }
+
+  // The base files are no longer referenced by the published state; queries
+  // that pinned them via a snapshot keep their open descriptors.
   std::error_code ec;
   for (const std::string& old_path : old_paths) {
     fs::remove(old_path, ec);
     if (ec) TSVIZ_WARN << "could not remove file" << Field("path", old_path);
   }
-  fs::remove(ModsPath(), ec);
 
-  if (!merged.empty()) {
-    TSVIZ_ASSIGN_OR_RETURN(std::shared_ptr<FileReader> reader,
-                           FileReader::Open(path));
-    for (const ChunkMetadata& meta : reader->chunks()) {
-      chunks_.push_back(ChunkHandle{reader, &meta});
-    }
-    files_.push_back(std::move(reader));
-  }
-  ++state_version_;
   static obs::Counter& compactions_total =
       obs::GetCounter("storage_compactions_total", "Full compaction runs");
   static obs::Counter& compaction_bytes = obs::GetCounter(

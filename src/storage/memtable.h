@@ -19,6 +19,10 @@ class MemTable {
   // Inserts or overwrites the value at `t`.
   void Put(Timestamp t, Value v) { points_[t] = v; }
 
+  // Inserts only when no value exists at `t` — used when a failed flush
+  // restores drained points without clobbering newer concurrent writes.
+  void PutIfAbsent(Timestamp t, Value v) { points_.emplace(t, v); }
+
   // Removes every buffered point inside the closed range. Mirrors IoTDB,
   // where a delete applies to in-memory data immediately (flushed chunks
   // are handled by version-ordered tombstones instead).
@@ -29,6 +33,14 @@ class MemTable {
 
   size_t size() const { return points_.size(); }
   bool empty() const { return points_.empty(); }
+
+  // Approximate heap footprint: every std::map node carries two words of
+  // payload plus three pointers, a color bit and allocator overhead —
+  // call it 48 bytes per point. The background auto-flush policy keys its
+  // size trigger off this.
+  size_t ApproxBytes() const { return points_.size() * kApproxBytesPerPoint; }
+
+  static constexpr size_t kApproxBytesPerPoint = 48;
 
   // Returns the buffered points sorted by time and clears the table.
   std::vector<Point> Drain();

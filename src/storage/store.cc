@@ -37,6 +37,30 @@ Result<uint64_t> ParseFileId(const std::string& name) {
 
 }  // namespace
 
+StoreView::StoreView(const TsStore& store) : state_(store.SnapshotState()) {}
+
+TimeRange StoreView::DataInterval() const {
+  if (state_->chunks.empty()) return TimeRange(1, 0);  // empty
+  Timestamp lo = kMaxTimestamp;
+  Timestamp hi = kMinTimestamp;
+  for (const ChunkHandle& chunk : state_->chunks) {
+    lo = std::min(lo, chunk.meta->stats.first.t);
+    hi = std::max(hi, chunk.meta->stats.last.t);
+  }
+  return TimeRange(lo, hi);
+}
+
+std::shared_ptr<const StoreState> TsStore::SnapshotState() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+void TsStore::PublishLocked(std::shared_ptr<StoreState> next) {
+  next->owner = this;
+  next->state_version = state_->state_version + 1;
+  state_ = std::move(next);
+}
+
 Result<std::unique_ptr<TsStore>> TsStore::Open(StoreConfig config) {
   if (config.data_dir.empty()) {
     return Status::InvalidArgument("data_dir must be set");
@@ -56,6 +80,9 @@ Result<std::unique_ptr<TsStore>> TsStore::Open(StoreConfig config) {
 }
 
 Status TsStore::Recover() {
+  auto state = std::make_shared<StoreState>();
+  state->owner = this;
+
   // Collect data files ordered by id so chunk versions replay in order.
   std::vector<std::pair<uint64_t, std::string>> data_files;
   for (const auto& entry : fs::directory_iterator(config_.data_dir)) {
@@ -74,10 +101,10 @@ Status TsStore::Recover() {
     TSVIZ_ASSIGN_OR_RETURN(std::shared_ptr<FileReader> reader,
                            FileReader::Open(path));
     for (const ChunkMetadata& meta : reader->chunks()) {
-      chunks_.push_back(ChunkHandle{reader, &meta});
+      state->chunks.push_back(ChunkHandle{reader, &meta});
       next_version_ = std::max(next_version_, meta.version + 1);
     }
-    files_.push_back(std::move(reader));
+    state->files.push_back(std::move(reader));
     next_file_id_ = std::max(next_file_id_, id + 1);
   }
 
@@ -99,17 +126,33 @@ Status TsStore::Recover() {
     cursor.remove_prefix(kModsMagic.size());
     while (!cursor.empty()) {
       TSVIZ_ASSIGN_OR_RETURN(DeleteRecord del, ParseDeleteRecord(&cursor));
-      deletes_.push_back(del);
+      state->deletes.push_back(del);
       next_version_ = std::max(next_version_, del.version + 1);
     }
   }
 
+  state_ = std::move(state);
+
   // Replay the WAL into the memtable (deletes there are the memtable
-  // purges; their versioned tombstones were already restored from mods).
+  // purges; their versioned tombstones were already restored from mods). A
+  // crash between a flush's segment rotation and its completion leaves the
+  // pinned old segment behind; it replays first, before the active log.
   if (config_.enable_wal) {
+    const bool had_old_segment = fs::exists(OldWalPath());
+    std::vector<WalRecord> records;
     bool truncated = false;
-    TSVIZ_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
-                           ReadWal(WalPath(), &truncated));
+    if (had_old_segment) {
+      bool old_truncated = false;
+      TSVIZ_ASSIGN_OR_RETURN(records, ReadWal(OldWalPath(), &old_truncated));
+      truncated = old_truncated;
+    }
+    {
+      bool active_truncated = false;
+      TSVIZ_ASSIGN_OR_RETURN(std::vector<WalRecord> active,
+                             ReadWal(WalPath(), &active_truncated));
+      truncated = truncated || active_truncated;
+      records.insert(records.end(), active.begin(), active.end());
+    }
     for (const WalRecord& record : records) {
       if (record.type == WalRecord::Type::kPut) {
         memtable_.Put(record.point.t, record.point.v);
@@ -118,9 +161,13 @@ Status TsStore::Recover() {
       }
     }
     TSVIZ_ASSIGN_OR_RETURN(wal_, WalWriter::Open(WalPath()));
-    if (truncated) {
-      TSVIZ_WARN << "wal had a torn tail; rewriting the log"
-                 << Field("replayed", records.size());
+    if (truncated || had_old_segment) {
+      // Consolidate everything into the active log so the old segment can
+      // be dropped (and a torn tail rewritten).
+      if (truncated) {
+        TSVIZ_WARN << "wal had a torn tail; rewriting the log"
+                   << Field("replayed", records.size());
+      }
       TSVIZ_RETURN_IF_ERROR(wal_->Reset());
       for (const WalRecord& record : records) {
         TSVIZ_RETURN_IF_ERROR(
@@ -128,6 +175,8 @@ Status TsStore::Recover() {
                 ? wal_->AppendPut(record.point)
                 : wal_->AppendDelete(record.range));
       }
+      std::error_code ec;
+      fs::remove(OldWalPath(), ec);
     }
   }
   return Status::OK();
@@ -143,19 +192,38 @@ std::string TsStore::ModsPath() const {
 
 std::string TsStore::WalPath() const { return config_.data_dir + "/wal.log"; }
 
+std::string TsStore::OldWalPath() const {
+  return config_.data_dir + "/wal.old.log";
+}
+
+size_t TsStore::memtable_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return memtable_.size();
+}
+
+size_t TsStore::memtable_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return memtable_.ApproxBytes();
+}
+
 Status TsStore::Write(Timestamp t, Value v) {
   if (!std::isfinite(v)) {
     // NaN/Inf would poison the value-ordered chunk statistics (BP/TP) and
     // the merge semantics; reject at the door like IoTDB does.
     return Status::InvalidArgument("value must be finite");
   }
-  if (wal_ != nullptr) {
-    TSVIZ_RETURN_IF_ERROR(wal_->AppendPut(Point{t, v}));
+  bool flush_now = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (wal_ != nullptr) {
+      TSVIZ_RETURN_IF_ERROR(wal_->AppendPut(Point{t, v}));
+    }
+    memtable_.Put(t, v);
+    flush_now = memtable_.size() >= config_.memtable_flush_threshold;
   }
-  memtable_.Put(t, v);
-  if (memtable_.size() >= config_.memtable_flush_threshold) {
-    return Flush();
-  }
+  // The inline (foreground) flush of the size threshold; taken outside the
+  // lock so Flush can acquire the maintenance mutex first.
+  if (flush_now) return Flush();
   return Status::OK();
 }
 
@@ -170,23 +238,25 @@ Status TsStore::DeleteRange(const TimeRange& range) {
   if (range.Empty()) {
     return Status::InvalidArgument("empty delete range");
   }
+  std::lock_guard<std::mutex> lock(mutex_);
   DeleteRecord del{range, next_version_++};
-  TSVIZ_RETURN_IF_ERROR(AppendModsRecord(del));
+  TSVIZ_RETURN_IF_ERROR(AppendModsRecordLocked(del));
   if (wal_ != nullptr) {
     TSVIZ_RETURN_IF_ERROR(wal_->AppendDelete(range));
   }
-  deletes_.push_back(del);
+  auto next = std::make_shared<StoreState>(*state_);
+  next->deletes.push_back(del);
+  PublishLocked(std::move(next));
   // Deletes apply to unflushed data immediately; flushed chunks are
   // filtered at read time via the versioned tombstone.
   memtable_.EraseRange(range);
-  ++state_version_;
   static obs::Counter& deletes_total = obs::GetCounter(
       "storage_deletes_total", "Range tombstones appended");
   deletes_total.Inc();
   return Status::OK();
 }
 
-Status TsStore::AppendModsRecord(const DeleteRecord& del) {
+Status TsStore::AppendModsRecordLocked(const DeleteRecord& del) {
   const std::string path = ModsPath();
   const bool fresh = !fs::exists(path);
   std::FILE* mods = std::fopen(path.c_str(), "ab");
@@ -205,35 +275,113 @@ Status TsStore::AppendModsRecord(const DeleteRecord& del) {
   return Status::OK();
 }
 
-Status TsStore::Flush() {
-  if (memtable_.empty()) return Status::OK();
-  Timer timer;
-  std::vector<Point> points = memtable_.Drain();
+Status TsStore::RewriteModsLocked(const std::vector<DeleteRecord>& deletes) {
+  const std::string path = ModsPath();
+  std::error_code ec;
+  if (deletes.empty()) {
+    fs::remove(path, ec);
+    return Status::OK();
+  }
+  const std::string tmp = path + ".tmp";
+  std::FILE* mods = std::fopen(tmp.c_str(), "wb");
+  if (mods == nullptr) {
+    return Status::IoError("cannot open " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  std::string content(kModsMagic);
+  for (const DeleteRecord& del : deletes) {
+    SerializeDeleteRecord(del, &content);
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), mods);
+  int close_rc = std::fclose(mods);
+  if (written != content.size() || close_rc != 0) {
+    return Status::IoError("short write to " + tmp);
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IoError("cannot replace " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
 
-  const uint64_t file_id = next_file_id_++;
+Status TsStore::Flush() {
+  std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
+  return FlushHoldingMaintenance();
+}
+
+Status TsStore::FlushHoldingMaintenance() {
+  Timer timer;
+  std::vector<Point> points;
+  uint64_t file_id = 0;
+  Version first_version = 0;
+  bool rotated = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (memtable_.empty()) return Status::OK();
+    points = memtable_.Drain();
+    if (wal_ != nullptr) {
+      // Pin the drained points' log records in a side segment; writes that
+      // land while the flush encodes go to a fresh active log, so neither
+      // the flushed nor the concurrent points can be lost by a crash.
+      TSVIZ_RETURN_IF_ERROR(wal_->RotateTo(OldWalPath()));
+      rotated = true;
+    }
+    file_id = next_file_id_++;
+    const size_t num_chunks =
+        (points.size() + config_.points_per_chunk - 1) /
+        config_.points_per_chunk;
+    first_version = next_version_;
+    next_version_ += num_chunks;
+  }
+
   const std::string path = FilePath(file_id);
-  TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<FileWriter> writer,
-                         FileWriter::Create(path));
+  // Undo on failure: the drained points go back to the memtable (without
+  // clobbering newer concurrent writes at the same timestamps) and back
+  // into the active log; the pinned segment and any partial file drop.
+  auto fail = [&](const Status& status) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Point& p : points) {
+      memtable_.PutIfAbsent(p.t, p.v);
+      if (wal_ != nullptr) (void)wal_->AppendPut(p);
+    }
+    std::error_code ec;
+    fs::remove(path, ec);
+    if (rotated) fs::remove(OldWalPath(), ec);
+    return status;
+  };
+
+  auto writer_or = FileWriter::Create(path);
+  if (!writer_or.ok()) return fail(writer_or.status());
+  std::unique_ptr<FileWriter> writer = std::move(writer_or).value();
+  size_t chunk_index = 0;
   for (size_t begin = 0; begin < points.size();
        begin += config_.points_per_chunk) {
     size_t count = std::min(config_.points_per_chunk, points.size() - begin);
     std::vector<Point> slice(points.begin() + begin,
                              points.begin() + begin + count);
-    TSVIZ_RETURN_IF_ERROR(writer->AppendChunk(slice, next_version_++,
-                                              config_.encoding, nullptr));
+    Status s = writer->AppendChunk(slice, first_version + chunk_index++,
+                                   config_.encoding, nullptr);
+    if (!s.ok()) return fail(s);
   }
-  TSVIZ_RETURN_IF_ERROR(writer->Finish());
+  if (Status s = writer->Finish(); !s.ok()) return fail(s);
 
-  TSVIZ_ASSIGN_OR_RETURN(std::shared_ptr<FileReader> reader,
-                         FileReader::Open(path));
-  for (const ChunkMetadata& meta : reader->chunks()) {
-    chunks_.push_back(ChunkHandle{reader, &meta});
+  auto reader_or = FileReader::Open(path);
+  if (!reader_or.ok()) return fail(reader_or.status());
+  std::shared_ptr<FileReader> reader = std::move(reader_or).value();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto next = std::make_shared<StoreState>(*state_);
+    for (const ChunkMetadata& meta : reader->chunks()) {
+      next->chunks.push_back(ChunkHandle{reader, &meta});
+    }
+    next->files.push_back(std::move(reader));
+    PublishLocked(std::move(next));
   }
-  files_.push_back(std::move(reader));
-  if (wal_ != nullptr) {
-    TSVIZ_RETURN_IF_ERROR(wal_->Reset());
+  if (rotated) {
+    // The flushed file now carries the pinned segment's data.
+    std::error_code ec;
+    fs::remove(OldWalPath(), ec);
   }
-  ++state_version_;
   static obs::Counter& flushes_total = obs::GetCounter(
       "storage_flushes_total", "Memtable flushes to data files");
   static obs::Counter& flush_points_total = obs::GetCounter(
@@ -246,30 +394,58 @@ Status TsStore::Flush() {
   return Status::OK();
 }
 
+Status TsStore::ExpireTtl(int64_t ttl, bool* expired) {
+  if (expired != nullptr) *expired = false;
+  if (ttl <= 0) {
+    return Status::InvalidArgument("ttl must be positive");
+  }
+  std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
+  TimeRange interval = CurrentView().DataInterval();
+  if (interval.Empty()) return Status::OK();
+  if (interval.end < kMinTimestamp + ttl) return Status::OK();  // underflow
+  const Timestamp watermark = interval.end - ttl;
+  if (watermark <= interval.start) return Status::OK();  // nothing older
+  if (watermark <= ttl_watermark_) return Status::OK();  // already covered
+  TSVIZ_RETURN_IF_ERROR(
+      DeleteRange(TimeRange(interval.start, watermark - 1)));
+  ttl_watermark_ = watermark;
+  if (expired != nullptr) *expired = true;
+  static obs::Counter& ttl_expirations = obs::GetCounter(
+      "storage_ttl_expirations_total",
+      "Range tombstones appended by TTL expiry");
+  ttl_expirations.Inc();
+  return Status::OK();
+}
+
+size_t TsStore::CountFullyExpiredFiles(int64_t ttl) const {
+  if (ttl <= 0) return 0;
+  StoreView view = CurrentView();
+  TimeRange interval = view.DataInterval();
+  if (interval.Empty() || interval.end < kMinTimestamp + ttl) return 0;
+  const Timestamp watermark = interval.end - ttl;
+  size_t expired = 0;
+  for (const auto& file : view.files()) {
+    if (!file->chunks().empty() && file->interval().end < watermark) {
+      ++expired;
+    }
+  }
+  return expired;
+}
+
 uint64_t TsStore::TotalStoredPoints() const {
   uint64_t total = 0;
-  for (const ChunkHandle& chunk : chunks_) {
+  for (const ChunkHandle& chunk : CurrentView().chunks()) {
     total += chunk.meta->count;
   }
   return total;
-}
-
-TimeRange TsStore::DataInterval() const {
-  if (chunks_.empty()) return TimeRange(1, 0);  // empty
-  Timestamp lo = kMaxTimestamp;
-  Timestamp hi = kMinTimestamp;
-  for (const ChunkHandle& chunk : chunks_) {
-    lo = std::min(lo, chunk.meta->stats.first.t);
-    hi = std::max(hi, chunk.meta->stats.last.t);
-  }
-  return TimeRange(lo, hi);
 }
 
 size_t TsStore::CountUnsequenceFiles() const {
   size_t unseq = 0;
   Timestamp max_end = kMinTimestamp;
   bool any = false;
-  for (const auto& file : files_) {
+  StoreView view = CurrentView();
+  for (const auto& file : view.files()) {
     Timestamp file_min = kMaxTimestamp;
     Timestamp file_max = kMinTimestamp;
     for (const ChunkMetadata& meta : file->chunks()) {
@@ -285,10 +461,11 @@ size_t TsStore::CountUnsequenceFiles() const {
 }
 
 double TsStore::OverlapFraction() const {
-  if (chunks_.size() < 2) return 0.0;
+  StoreView view = CurrentView();
+  if (view.chunks().size() < 2) return 0.0;
   std::vector<TimeRange> intervals;
-  intervals.reserve(chunks_.size());
-  for (const ChunkHandle& chunk : chunks_) {
+  intervals.reserve(view.chunks().size());
+  for (const ChunkHandle& chunk : view.chunks()) {
     intervals.push_back(chunk.meta->Interval());
   }
   std::sort(intervals.begin(), intervals.end(),

@@ -2,6 +2,7 @@
 #define TSVIZ_STORAGE_STORE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -17,18 +18,67 @@
 
 namespace tsviz {
 
+class TsStore;
+
 // A chunk on disk: its metadata plus the file it lives in.
 struct ChunkHandle {
   std::shared_ptr<FileReader> file;
   const ChunkMetadata* meta = nullptr;  // owned by `file`
 };
 
+// One immutable version of the store's on-disk state. Mutations
+// (flush/delete/compaction) publish a fresh StoreState; readers that took a
+// snapshot before the swap keep the old one — the shared_ptr<FileReader>
+// entries pin the files they need, so a concurrent compaction can drop a
+// file from the store without pulling it out from under a running query.
+struct StoreState {
+  std::vector<std::shared_ptr<FileReader>> files;
+  std::vector<ChunkHandle> chunks;
+  std::vector<DeleteRecord> deletes;
+  uint64_t state_version = 0;
+  const TsStore* owner = nullptr;  // identity for result-cache keying
+};
+
+// A consistent point-in-time view of one store, cheap to copy (one
+// shared_ptr). The whole read path — chunk selection, delete selection,
+// M4-LSM, M4-UDF, merge scans — operates on a StoreView, so a query sees
+// exactly one state no matter what background maintenance does meanwhile.
+// The implicit constructor snapshots the store's current state, which keeps
+// `RunM4Lsm(*store, ...)` call sites working unchanged.
+class StoreView {
+ public:
+  StoreView(const TsStore& store);  // NOLINT(google-explicit-constructor)
+  explicit StoreView(std::shared_ptr<const StoreState> state)
+      : state_(std::move(state)) {}
+
+  const std::vector<ChunkHandle>& chunks() const { return state_->chunks; }
+  const std::vector<std::shared_ptr<FileReader>>& files() const {
+    return state_->files;
+  }
+  const std::vector<DeleteRecord>& deletes() const { return state_->deletes; }
+  uint64_t state_version() const { return state_->state_version; }
+  const TsStore* owner() const { return state_->owner; }
+
+  // Union time interval across chunk metadata; empty range when no chunks.
+  TimeRange DataInterval() const;
+
+ private:
+  std::shared_ptr<const StoreState> state_;
+};
+
 // Single-series LSM store (Section 2.2): writes buffer in a memtable and
 // flush to immutable chunks on disk; deletes are append-only range
-// tombstones; every chunk and delete carries a global version number. No
-// compaction ever runs (Table 4 disables it), so chunks written from
-// out-of-order data overlap in time until query time — exactly the storage
-// state M4-LSM is designed for.
+// tombstones; every chunk and delete carries a global version number.
+// Compaction merges every chunk and delete into disjoint latest-only chunks
+// (the paper's evaluation keeps it off, Table 4); the maintenance subsystem
+// (src/bg/) may run it in the background.
+//
+// Thread safety: all public methods are safe to call concurrently.
+// Mutations serialize internally; reads take a copy-on-write snapshot and
+// never block behind a flush or compaction. Flush/Compact/ExpireTtl
+// additionally serialize against each other (at most one maintenance
+// operation per store at a time), and only their short swap phases hold the
+// write lock — encoding and merging run outside it.
 class TsStore {
  public:
   // Opens (or creates) the store in config.data_dir, recovering chunks,
@@ -51,32 +101,55 @@ class TsStore {
 
   // Flushes the memtable to a new data file (no-op when empty). The file
   // holds ceil(n / points_per_chunk) chunks, each with its own version.
+  // Safe against concurrent writes: the memtable and WAL segment rotate
+  // under the lock, the chunk encoding runs outside it.
   Status Flush();
 
   // Full compaction: merges every chunk and delete into a fresh file of
-  // disjoint latest-only chunks and drops the tombstones. The paper's
-  // evaluation keeps compaction off (Table 4) because M4-LSM is designed to
-  // cope with the uncompacted state; this exists because a real LSM store
-  // ships with one, and as the ablation target (bench_compaction_ablation).
+  // disjoint latest-only chunks and drops the covered tombstones. Reads and
+  // merges from a snapshot outside the lock; files flushed and tombstones
+  // appended while the merge runs survive the swap untouched.
   Status Compact();
 
+  // TTL expiry: appends a range tombstone covering every point older than
+  // `ttl` time units behind the newest flushed point (watermark =
+  // data_end - ttl; points with t < watermark expire). Repeated calls are
+  // no-ops until the watermark advances. *expired (optional) reports
+  // whether a tombstone was appended.
+  Status ExpireTtl(int64_t ttl, bool* expired = nullptr);
+
+  // Number of data files whose whole interval lies below the TTL watermark
+  // — fully dead weight that only a compaction can reclaim.
+  size_t CountFullyExpiredFiles(int64_t ttl) const;
+
   const StoreConfig& config() const { return config_; }
-  const std::vector<ChunkHandle>& chunks() const { return chunks_; }
-  const std::vector<std::shared_ptr<FileReader>>& files() const {
-    return files_;
+
+  // A consistent snapshot of the current on-disk state.
+  StoreView CurrentView() const { return StoreView(SnapshotState()); }
+
+  // Convenience copies of the current snapshot's members. Each call takes
+  // its own snapshot; use CurrentView() when several must be consistent.
+  std::vector<ChunkHandle> chunks() const { return SnapshotState()->chunks; }
+  std::vector<std::shared_ptr<FileReader>> files() const {
+    return SnapshotState()->files;
   }
-  const std::vector<DeleteRecord>& deletes() const { return deletes_; }
-  size_t memtable_size() const { return memtable_.size(); }
+  std::vector<DeleteRecord> deletes() const { return SnapshotState()->deletes; }
+
+  size_t memtable_size() const;
+
+  // Approximate heap footprint of the memtable, the size-trigger input of
+  // the background auto-flush policy.
+  size_t memtable_bytes() const;
 
   // Monotonic counter bumped by every state change visible to queries
   // (flush, delete, compaction); result caches key on it.
-  uint64_t state_version() const { return state_version_; }
+  uint64_t state_version() const { return SnapshotState()->state_version; }
 
   // Total points across all chunks (including overwritten ones).
   uint64_t TotalStoredPoints() const;
 
   // Union time interval across chunk metadata; empty range when no chunks.
-  TimeRange DataInterval() const;
+  TimeRange DataInterval() const { return CurrentView().DataInterval(); }
 
   // Fraction of chunks whose time interval overlaps at least one other
   // chunk's (the x-axis of Figure 12).
@@ -88,26 +161,42 @@ class TsStore {
   // out-of-order arrivals.
   size_t CountUnsequenceFiles() const;
 
-  size_t NumFiles() const { return files_.size(); }
+  size_t NumFiles() const { return SnapshotState()->files.size(); }
 
  private:
+  friend class StoreView;
+
   explicit TsStore(StoreConfig config) : config_(std::move(config)) {}
 
   Status Recover();
-  Status AppendModsRecord(const DeleteRecord& del);
+  Status AppendModsRecordLocked(const DeleteRecord& del);
+  Status RewriteModsLocked(const std::vector<DeleteRecord>& deletes);
+  // The flush body; caller holds maintenance_mutex_.
+  Status FlushHoldingMaintenance();
+  std::shared_ptr<const StoreState> SnapshotState() const;
+  // Publishes `next` as the current state with a bumped version. Caller
+  // holds mutex_.
+  void PublishLocked(std::shared_ptr<StoreState> next);
   std::string FilePath(uint64_t file_id) const;
   std::string ModsPath() const;
   std::string WalPath() const;
+  std::string OldWalPath() const;
 
   StoreConfig config_;
+
+  // Serializes Flush/Compact/ExpireTtl against each other. Always acquired
+  // before mutex_ (never the other way around).
+  std::mutex maintenance_mutex_;
+  Timestamp ttl_watermark_ = kMinTimestamp;  // guarded by maintenance_mutex_
+
+  // Guards everything below: the memtable, the WAL, the version/file-id
+  // counters, the mods file, and the state_ pointer swap.
+  mutable std::mutex mutex_;
   MemTable memtable_;
   std::unique_ptr<WalWriter> wal_;
-  std::vector<std::shared_ptr<FileReader>> files_;
-  std::vector<ChunkHandle> chunks_;
-  std::vector<DeleteRecord> deletes_;
+  std::shared_ptr<const StoreState> state_;
   Version next_version_ = 1;
   uint64_t next_file_id_ = 1;
-  uint64_t state_version_ = 0;
 };
 
 }  // namespace tsviz

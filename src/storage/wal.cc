@@ -94,6 +94,30 @@ Status WalWriter::Reset() {
   return Status::OK();
 }
 
+Status WalWriter::RotateTo(const std::string& old_path) {
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("cannot flush wal " + path_);
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  if (std::rename(path_.c_str(), old_path.c_str()) != 0) {
+    // Reopen so the writer stays usable; the records are still in place.
+    file_ = std::fopen(path_.c_str(), "ab");
+    return Status::IoError("cannot rotate wal " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  std::FILE* fresh = std::fopen(path_.c_str(), "ab");
+  if (fresh == nullptr) {
+    return Status::IoError("cannot reopen wal " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  file_ = fresh;
+  static obs::Counter& rotations_total = obs::GetCounter(
+      "wal_rotations_total", "WAL segment rotations at flush start");
+  rotations_total.Inc();
+  return Status::OK();
+}
+
 Result<std::vector<WalRecord>> ReadWal(const std::string& path,
                                        bool* truncated_tail) {
   if (truncated_tail != nullptr) *truncated_tail = false;

@@ -49,6 +49,13 @@ class WalWriter {
   // Discards the log contents (after a successful flush).
   Status Reset();
 
+  // Segment rotation for background flush: moves the current log to
+  // `old_path` (clobbering any leftover segment there) and keeps appending
+  // to a fresh, empty log at the original path. The caller owns the old
+  // segment's lifetime — it is deleted once the flush that drained those
+  // records lands, and replayed before the active log on recovery.
+  Status RotateTo(const std::string& old_path);
+
  private:
   WalWriter(std::FILE* file, std::string path);
   Status AppendRecord(const WalRecord& record);

@@ -1,0 +1,372 @@
+#include "bg/job_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace tsviz::bg {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+// A manually-released latch jobs can block on, to hold a worker busy while
+// the test inspects scheduler state.
+class Gate {
+ public:
+  void Release() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    open_ = true;
+    cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+// Polls `pred` for up to five seconds; background threads make exact
+// wait-points impossible, so tests converge on observable state instead.
+template <typename Pred>
+bool Eventually(Pred pred) {
+  const auto deadline = steady_clock::now() + std::chrono::seconds(5);
+  while (steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  return pred();
+}
+
+uint64_t RunsOf(const JobScheduler& scheduler, uint64_t id) {
+  for (const JobInfo& info : scheduler.ListJobs()) {
+    if (info.id == id) return info.runs;
+  }
+  return 0;
+}
+
+TEST(JobSchedulerTest, OneShotRunsAndArchives) {
+  JobScheduler scheduler;
+  scheduler.Start();
+  std::atomic<int> runs{0};
+  uint64_t id = scheduler.Submit("s", "flush", [&] {
+    ++runs;
+    return Status::OK();
+  });
+  scheduler.Drain();
+  EXPECT_EQ(runs.load(), 1);
+  bool archived = false;
+  for (const JobInfo& info : scheduler.ListJobs()) {
+    if (info.id != id) continue;
+    archived = true;
+    EXPECT_EQ(info.state, JobState::kDone);
+    EXPECT_EQ(info.runs, 1u);
+    EXPECT_EQ(info.last_status, "OK");
+  }
+  EXPECT_TRUE(archived);
+  scheduler.Stop();
+}
+
+TEST(JobSchedulerTest, FailedJobReportsStatus) {
+  JobScheduler scheduler;
+  scheduler.Start();
+  uint64_t id = scheduler.Submit(
+      "s", "flush", [] { return Status::IoError("disk full"); });
+  scheduler.Drain();
+  bool seen = false;
+  for (const JobInfo& info : scheduler.ListJobs()) {
+    if (info.id != id) continue;
+    seen = true;
+    EXPECT_EQ(info.state, JobState::kFailed);
+    EXPECT_NE(info.last_status.find("disk full"), std::string::npos);
+  }
+  EXPECT_TRUE(seen);
+  scheduler.Stop();
+}
+
+TEST(JobSchedulerTest, PeriodicJobFiresRepeatedly) {
+  JobScheduler scheduler;
+  scheduler.Start();
+  std::atomic<int> runs{0};
+  uint64_t id = scheduler.SubmitPeriodic("", "tick", milliseconds(1), [&] {
+    ++runs;
+    return Status::OK();
+  });
+  EXPECT_TRUE(Eventually([&] { return runs.load() >= 3; }));
+  EXPECT_GE(RunsOf(scheduler, id), 3u);
+  scheduler.Stop();
+  // After Stop no callback may fire again.
+  int frozen = runs.load();
+  std::this_thread::sleep_for(milliseconds(10));
+  EXPECT_EQ(runs.load(), frozen);
+}
+
+TEST(JobSchedulerTest, PerKeyJobsNeverOverlap) {
+  JobScheduler scheduler(JobScheduler::Options{.num_workers = 4});
+  scheduler.Start();
+  std::atomic<int> active{0};
+  std::atomic<int> max_active{0};
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 32; ++i) {
+    scheduler.Submit("series-a", "flush-" + std::to_string(i), [&] {
+      int now = ++active;
+      int seen = max_active.load();
+      while (now > seen && !max_active.compare_exchange_weak(seen, now)) {
+      }
+      std::this_thread::sleep_for(milliseconds(1));
+      --active;
+      ++runs;
+      return Status::OK();
+    });
+  }
+  scheduler.Drain();
+  EXPECT_EQ(runs.load(), 32);
+  EXPECT_EQ(max_active.load(), 1);
+  scheduler.Stop();
+}
+
+TEST(JobSchedulerTest, DistinctKeysRunConcurrently) {
+  JobScheduler scheduler(JobScheduler::Options{.num_workers = 2});
+  scheduler.Start();
+  // Each job waits for the other to start: only concurrent execution on the
+  // two workers lets either finish.
+  std::atomic<int> started{0};
+  auto meet = [&] {
+    ++started;
+    if (!Eventually([&] { return started.load() >= 2; })) {
+      return Status::Internal("peer never started");
+    }
+    return Status::OK();
+  };
+  scheduler.Submit("a", "flush", meet);
+  scheduler.Submit("b", "flush", meet);
+  scheduler.Drain();
+  for (const JobInfo& info : scheduler.ListJobs()) {
+    EXPECT_EQ(info.state, JobState::kDone) << info.key;
+  }
+  scheduler.Stop();
+}
+
+TEST(JobSchedulerTest, PendingDuplicatesCoalesce) {
+  JobScheduler scheduler;
+  scheduler.Start();
+  Gate gate;
+  std::atomic<int> flushes{0};
+  // Occupy the single worker so subsequent submissions stay pending.
+  scheduler.Submit("s", "block", [&] {
+    gate.Wait();
+    return Status::OK();
+  });
+  EXPECT_TRUE(Eventually([&] { return scheduler.queue_depth() == 0; }));
+  uint64_t first = scheduler.Submit("s", "flush", [&] {
+    ++flushes;
+    return Status::OK();
+  });
+  uint64_t second = scheduler.Submit("s", "flush", [&] {
+    ++flushes;
+    return Status::OK();
+  });
+  uint64_t other = scheduler.Submit("s", "compact", [] {
+    return Status::OK();
+  });
+  EXPECT_EQ(first, second);   // same (key, type) while pending: coalesced
+  EXPECT_NE(first, other);    // different type: distinct job
+  gate.Release();
+  scheduler.Drain();
+  EXPECT_EQ(flushes.load(), 1);
+  scheduler.Stop();
+}
+
+TEST(JobSchedulerTest, CancelPendingJob) {
+  JobScheduler scheduler;
+  scheduler.Start();
+  Gate gate;
+  scheduler.Submit("s", "block", [&] {
+    gate.Wait();
+    return Status::OK();
+  });
+  std::atomic<int> runs{0};
+  uint64_t id = scheduler.Submit("s", "flush", [&] {
+    ++runs;
+    return Status::OK();
+  });
+  EXPECT_TRUE(scheduler.Cancel(id));
+  EXPECT_FALSE(scheduler.Cancel(id));  // already gone
+  gate.Release();
+  scheduler.Drain();
+  EXPECT_EQ(runs.load(), 0);
+  bool cancelled = false;
+  for (const JobInfo& info : scheduler.ListJobs()) {
+    if (info.id == id) cancelled = info.state == JobState::kCancelled;
+  }
+  EXPECT_TRUE(cancelled);
+  scheduler.Stop();
+}
+
+TEST(JobSchedulerTest, RateLimitBoundsJobStarts) {
+  // Burst budget is one second's worth (50 tokens); 60 jobs therefore need
+  // at least 10 extra tokens, i.e. >= 200ms of accrual. Only the lower
+  // bound is asserted — wall-clock noise can just make it slower.
+  JobScheduler scheduler(
+      JobScheduler::Options{.num_workers = 2, .max_jobs_per_sec = 50});
+  scheduler.Start();
+  const auto start = steady_clock::now();
+  for (int i = 0; i < 60; ++i) {
+    scheduler.Submit("k" + std::to_string(i), "flush",
+                     [] { return Status::OK(); });
+  }
+  scheduler.Drain();
+  const auto elapsed = steady_clock::now() - start;
+  EXPECT_GE(elapsed, milliseconds(150));
+  scheduler.Stop();
+}
+
+TEST(JobSchedulerTest, QuiesceCancelsPendingAndWaitsOutRunning) {
+  JobScheduler scheduler;
+  scheduler.Start();
+  Gate gate;
+  std::atomic<bool> finished{false};
+  scheduler.Submit("s", "slow", [&] {
+    gate.Wait();
+    finished = true;
+    return Status::OK();
+  });
+  std::atomic<int> runs{0};
+  scheduler.SubmitPeriodic("s", "tick", milliseconds(1), [&] {
+    ++runs;
+    return Status::OK();
+  });
+  // Let the slow job reach its gate, then quiesce from another thread.
+  EXPECT_TRUE(Eventually([&] { return scheduler.queue_depth() <= 1; }));
+  std::thread quiescer([&] { scheduler.Quiesce("s"); });
+  std::this_thread::sleep_for(milliseconds(5));
+  gate.Release();
+  quiescer.join();
+  // The running job was waited out and every "s" job (including the
+  // periodic one) is gone; no callback can touch the key anymore.
+  EXPECT_TRUE(finished.load());
+  for (const JobInfo& info : scheduler.ListJobs()) {
+    if (info.key == "s") {
+      EXPECT_TRUE(info.state == JobState::kDone ||
+                  info.state == JobState::kCancelled)
+          << JobStateName(info.state);
+    }
+  }
+  int frozen = runs.load();
+  std::this_thread::sleep_for(milliseconds(10));
+  EXPECT_EQ(runs.load(), frozen);
+  scheduler.Stop();
+}
+
+TEST(JobSchedulerTest, StopCancelsPendingAndFinishesRunning) {
+  JobScheduler scheduler;
+  scheduler.Start();
+  Gate gate;
+  std::atomic<bool> finished{false};
+  scheduler.Submit("a", "slow", [&] {
+    gate.Wait();
+    finished = true;
+    return Status::OK();
+  });
+  std::atomic<int> runs{0};
+  uint64_t pending = scheduler.Submit("b", "flush", [&] {
+    ++runs;
+    return Status::OK();
+  });
+  EXPECT_TRUE(Eventually([&] { return scheduler.queue_depth() <= 1; }));
+  std::thread stopper([&] { scheduler.Stop(); });
+  std::this_thread::sleep_for(milliseconds(5));
+  gate.Release();
+  stopper.join();
+  EXPECT_TRUE(finished.load());  // the running job completed
+  EXPECT_FALSE(scheduler.running());
+  bool cancelled = false;
+  for (const JobInfo& info : scheduler.ListJobs()) {
+    if (info.id == pending) cancelled = info.state == JobState::kCancelled;
+  }
+  // The pending job either ran before Stop got the lock or was cancelled.
+  EXPECT_TRUE(cancelled || runs.load() == 1);
+  // Restart works after Stop.
+  scheduler.Start();
+  std::atomic<int> again{0};
+  scheduler.Submit("c", "flush", [&] {
+    ++again;
+    return Status::OK();
+  });
+  scheduler.Drain();
+  EXPECT_EQ(again.load(), 1);
+  scheduler.Stop();
+}
+
+TEST(JobSchedulerTest, HistoryIsBounded) {
+  JobScheduler scheduler(JobScheduler::Options{.history_limit = 4});
+  scheduler.Start();
+  for (int i = 0; i < 20; ++i) {
+    scheduler.Submit("k", "flush", [] { return Status::OK(); });
+    scheduler.Drain();
+  }
+  size_t finished = 0;
+  for (const JobInfo& info : scheduler.ListJobs()) {
+    if (info.state == JobState::kDone) ++finished;
+  }
+  EXPECT_LE(finished, 4u);
+  scheduler.Stop();
+}
+
+// Stress: many threads submitting, cancelling and quiescing across a small
+// key space while workers churn. Run under tsan/asan, this is the data-race
+// and shutdown-safety check for the scheduler; the invariant asserted here
+// is per-key mutual exclusion.
+TEST(JobSchedulerStress, ConcurrentSubmittersAndQuiescers) {
+  JobScheduler scheduler(JobScheduler::Options{.num_workers = 4});
+  scheduler.Start();
+  constexpr int kKeys = 6;
+  std::atomic<int> active[kKeys] = {};
+  std::atomic<bool> overlap{false};
+  std::atomic<int> total_runs{0};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(1234 + static_cast<uint64_t>(p));
+      for (int i = 0; i < 200; ++i) {
+        int k = static_cast<int>(rng.Uniform(0, kKeys - 1));
+        std::string key = "key-" + std::to_string(k);
+        uint64_t id = scheduler.Submit(key, "work", [&, k] {
+          if (++active[k] != 1) overlap = true;
+          --active[k];
+          ++total_runs;
+          return Status::OK();
+        });
+        if (rng.Bernoulli(0.1)) scheduler.Cancel(id);
+        if (rng.Bernoulli(0.02)) scheduler.Quiesce(key);
+        if (rng.Bernoulli(0.05)) (void)scheduler.ListJobs();
+      }
+    });
+  }
+  std::atomic<int> ticks{0};
+  scheduler.SubmitPeriodic("", "tick", milliseconds(1), [&] {
+    ++ticks;
+    return Status::OK();
+  });
+  for (std::thread& t : producers) t.join();
+  scheduler.Drain();
+  scheduler.Stop();
+  EXPECT_FALSE(overlap.load());
+  EXPECT_GT(total_runs.load(), 0);
+}
+
+}  // namespace
+}  // namespace tsviz::bg

@@ -104,6 +104,38 @@ TEST(DatabaseTest, DropSeriesRemovesData) {
   EXPECT_TRUE(db->ListSeries().empty());
 }
 
+TEST(DatabaseTest, ApplySettingRejectsUnknownKnobsListingValidOnes) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                       Database::Open(TestConfig(dir.path())));
+  Status status = db->ApplySetting("autoflush_byts", 1024);  // typo
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // The error names the offender and enumerates every valid knob.
+  EXPECT_NE(status.ToString().find("autoflush_byts"), std::string::npos);
+  for (const char* knob :
+       {"autoflush_bytes", "compaction_files", "page_cache_bytes",
+        "parallelism", "result_cache_capacity", "ttl_ms"}) {
+    EXPECT_NE(status.ToString().find(knob), std::string::npos) << knob;
+    EXPECT_OK(db->ApplySetting(knob, 1));
+  }
+  EXPECT_EQ(db->ApplySetting("parallelism", -1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db->ApplySetting("ttl_ms", 1.5).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, SettingsReachTheMaintenancePolicy) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                       Database::Open(TestConfig(dir.path())));
+  ASSERT_OK(db->ApplySetting("autoflush_bytes", 4096));
+  ASSERT_OK(db->ApplySetting("compaction_files", 5));
+  ASSERT_OK(db->ApplySetting("ttl_ms", 86400000));
+  EXPECT_EQ(db->maintenance().memtable_flush_bytes(), 4096u);
+  EXPECT_EQ(db->maintenance().compaction_files(), 5u);
+  EXPECT_EQ(db->maintenance().ttl(), 86400000);
+}
+
 TEST(DatabaseTest, QueryM4PerSeries) {
   TempDir dir;
   ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,

@@ -148,6 +148,34 @@ TEST_F(ServerTest, QueriesAdvanceServerMetrics) {
             std::string::npos);
 }
 
+TEST_F(ServerTest, MaintenanceStatementsWorkOverTheWire) {
+  // Start() bound the maintenance scheduler to the server lifecycle.
+  EXPECT_TRUE(db_->maintenance().running());
+
+  TestClient client(server_->port());
+  ASSERT_OK(db_->Write("s1", 5000, 1.0));
+  client.Send("FLUSH s1");
+  std::string reply = client.ReadReply();
+  EXPECT_NE(reply.find("series,action,status"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("s1,flush,OK"), std::string::npos) << reply;
+
+  client.Send("COMPACT");
+  reply = client.ReadReply();
+  EXPECT_NE(reply.find("s1,compact,OK"), std::string::npos) << reply;
+
+  client.Send("SHOW JOBS");
+  reply = client.ReadReply();
+  EXPECT_NE(reply.find("id,key,type,state"), std::string::npos) << reply;
+  // The periodic policy tick is registered (and likely pending or running).
+  EXPECT_NE(reply.find("tick"), std::string::npos) << reply;
+
+  client.Send("FLUSH no_such_series");
+  EXPECT_EQ(client.ReadReply().rfind("ERROR:", 0), 0u);
+
+  server_->Stop();
+  EXPECT_FALSE(db_->maintenance().running());
+}
+
 TEST_F(ServerTest, StopIsIdempotentAndUnblocksClients) {
   TestClient client(server_->port());
   server_->Stop();

@@ -361,6 +361,77 @@ TEST_F(SqlExecutorTest, SetAdjustsRuntimeKnobs) {
   EXPECT_FALSE(ExecuteQuery(db_.get(), "SET parallelism", nullptr).ok());
 }
 
+TEST_F(SqlExecutorTest, SetAdjustsMaintenanceKnobs) {
+  MustQuery("SET autoflush_bytes = 1024");
+  EXPECT_EQ(db_->maintenance().memtable_flush_bytes(), 1024u);
+  MustQuery("SET compaction_files = 3");
+  EXPECT_EQ(db_->maintenance().compaction_files(), 3u);
+  MustQuery("SET ttl_ms = 60000");
+  EXPECT_EQ(db_->maintenance().ttl(), 60000);
+  // Zero disables each trigger; negatives are rejected.
+  MustQuery("SET ttl_ms = 0");
+  EXPECT_EQ(db_->maintenance().ttl(), 0);
+  EXPECT_FALSE(ExecuteQuery(db_.get(), "SET ttl_ms = -5", nullptr).ok());
+  EXPECT_FALSE(
+      ExecuteQuery(db_.get(), "SET autoflush_bytes = -1", nullptr).ok());
+}
+
+TEST_F(SqlExecutorTest, FlushStatementPersistsTheMemtable) {
+  ASSERT_OK(db_->Write("s1", 5000, 1.0));
+  ASSERT_OK_AND_ASSIGN(TsStore * store, db_->GetSeries("s1"));
+  ASSERT_GT(store->memtable_size(), 0u);
+  ResultSet result = MustQuery("FLUSH s1");
+  EXPECT_EQ(result.columns(),
+            (std::vector<std::string>{"series", "action", "status"}));
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(result.rows()[0][0], ResultSet::Cell(std::string("s1")));
+  EXPECT_EQ(store->memtable_size(), 0u);
+  // Unknown series is an error; bare FLUSH hits every series.
+  EXPECT_FALSE(ExecuteQuery(db_.get(), "FLUSH nope", nullptr).ok());
+  ASSERT_OK(db_->Write("s1", 5001, 1.0));
+  MustQuery("FLUSH");
+  EXPECT_EQ(store->memtable_size(), 0u);
+}
+
+TEST_F(SqlExecutorTest, CompactStatementMergesFiles) {
+  ASSERT_OK_AND_ASSIGN(TsStore * store, db_->GetSeries("s1"));
+  ASSERT_OK(db_->Write("s1", 100, 42.0));  // overwrite → second file
+  MustQuery("FLUSH s1");
+  ASSERT_GT(store->NumFiles(), 1u);
+  ResultSet result = MustQuery("COMPACT s1");
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(result.rows()[0][1], ResultSet::Cell(std::string("compact")));
+  EXPECT_EQ(store->NumFiles(), 1u);
+  // The overwrite won.
+  ResultSet rows =
+      MustQuery("SELECT v FROM s1 WHERE time >= 100 AND time < 101");
+  ASSERT_EQ(rows.num_rows(), 1u);
+  EXPECT_EQ(rows.rows()[0][1], ResultSet::Cell(42.0));
+  EXPECT_FALSE(ExecuteQuery(db_.get(), "COMPACT nope", nullptr).ok());
+}
+
+TEST_F(SqlExecutorTest, ShowJobsListsScheduledWork) {
+  db_->StartMaintenance();
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<TsStore> store,
+                       db_->GetSeriesShared("s1"));
+  db_->maintenance().ScheduleFlush("s1", store);
+  db_->maintenance().Drain();
+  ResultSet result = MustQuery("SHOW JOBS");
+  EXPECT_EQ(result.columns(),
+            (std::vector<std::string>{"id", "key", "type", "state",
+                                      "periodic", "runs", "last_millis",
+                                      "last_status"}));
+  bool saw_flush = false;
+  for (const auto& row : result.rows()) {
+    if (row[2] == ResultSet::Cell(std::string("flush")) &&
+        row[3] == ResultSet::Cell(std::string("done"))) {
+      saw_flush = true;
+    }
+  }
+  EXPECT_TRUE(saw_flush);
+  db_->StopMaintenance();
+}
+
 TEST_F(SqlExecutorTest, DisabledResultCacheStillUsesPageCache) {
   MustQuery("SET result_cache_capacity = 0");
   const std::string statement =

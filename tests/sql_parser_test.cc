@@ -135,5 +135,45 @@ TEST(ParserTest, KeywordsAreCaseInsensitive) {
   EXPECT_EQ(stmt.spans, 2);
 }
 
+TEST(StatementParserTest, FlushWithAndWithoutSeries) {
+  ASSERT_OK_AND_ASSIGN(Statement stmt, ParseStatement("FLUSH"));
+  ASSERT_TRUE(std::holds_alternative<FlushStatement>(stmt));
+  EXPECT_FALSE(std::get<FlushStatement>(stmt).series.has_value());
+  EXPECT_TRUE(IsWriteStatement(stmt));
+
+  ASSERT_OK_AND_ASSIGN(stmt, ParseStatement("flush temperature"));
+  ASSERT_TRUE(std::holds_alternative<FlushStatement>(stmt));
+  EXPECT_EQ(std::get<FlushStatement>(stmt).series, "temperature");
+
+  EXPECT_FALSE(ParseStatement("FLUSH a b").ok());
+  EXPECT_FALSE(ParseStatement("FLUSH 3").ok());
+}
+
+TEST(StatementParserTest, CompactWithAndWithoutSeries) {
+  ASSERT_OK_AND_ASSIGN(Statement stmt, ParseStatement("COMPACT"));
+  ASSERT_TRUE(std::holds_alternative<CompactStatement>(stmt));
+  EXPECT_FALSE(std::get<CompactStatement>(stmt).series.has_value());
+  EXPECT_TRUE(IsWriteStatement(stmt));
+
+  ASSERT_OK_AND_ASSIGN(stmt, ParseStatement("CoMpAcT s1"));
+  ASSERT_TRUE(std::holds_alternative<CompactStatement>(stmt));
+  EXPECT_EQ(std::get<CompactStatement>(stmt).series, "s1");
+
+  EXPECT_FALSE(ParseStatement("COMPACT a b").ok());
+}
+
+TEST(StatementParserTest, ShowJobsAndShowMetrics) {
+  ASSERT_OK_AND_ASSIGN(Statement stmt, ParseStatement("SHOW JOBS"));
+  EXPECT_TRUE(std::holds_alternative<ShowJobsStatement>(stmt));
+  EXPECT_FALSE(IsWriteStatement(stmt));
+
+  ASSERT_OK_AND_ASSIGN(stmt, ParseStatement("show metrics"));
+  EXPECT_TRUE(std::holds_alternative<ShowMetricsStatement>(stmt));
+
+  EXPECT_FALSE(ParseStatement("SHOW").ok());
+  EXPECT_FALSE(ParseStatement("SHOW TABLES").ok());
+  EXPECT_FALSE(ParseStatement("SHOW JOBS please").ok());
+}
+
 }  // namespace
 }  // namespace tsviz::sql
