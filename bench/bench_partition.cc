@@ -1,0 +1,191 @@
+// Partition-pruning benchmark: a narrow zoom against stores of growing
+// total size, flat vs time-partitioned.
+//
+// The claim under test is the tentpole property of partitioned storage:
+// the metadata cost of a query scales with the partitions it *scans*, not
+// with the total data the series has accumulated. Each round doubles the
+// number of partitions on disk while the query window stays one partition
+// wide; the flat twin holds the same points in a single file group. The
+// flat store's metadata reads grow with its lifetime (every file summary
+// is consulted), the partitioned store's stay flat because pruning rejects
+// cold partitions on the interval alone.
+//
+// Emits BENCH_partition.json with per-round counters and the two scaling
+// verdicts.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "m4/m4_lsm.h"
+
+namespace tsviz::bench {
+namespace {
+
+constexpr int64_t kPartitionWidth = 1000;
+constexpr size_t kPointsPerPartition = 200;
+constexpr size_t kFilesPerPartition = 2;
+
+struct Round {
+  size_t partitions = 0;
+  Measurement flat;
+  Measurement part;
+};
+
+// Builds one store holding `num_partitions` partitions worth of data
+// (interval = 0 builds the flat twin with identical points).
+Result<std::unique_ptr<TsStore>> BuildStore(const std::string& dir,
+                                            int64_t interval,
+                                            size_t num_partitions) {
+  StoreConfig config;
+  config.data_dir = dir;
+  config.partition_interval_ms = interval;
+  config.points_per_chunk = kPointsPerPartition / kFilesPerPartition;
+  config.memtable_flush_threshold = 1u << 20;
+  config.enable_wal = false;  // bulk load
+  TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<TsStore> store,
+                         TsStore::Open(std::move(config)));
+  const int64_t step = kPartitionWidth / int64_t(kPointsPerPartition);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    for (size_t slice = 0; slice < kFilesPerPartition; ++slice) {
+      for (size_t i = slice; i < kPointsPerPartition;
+           i += kFilesPerPartition) {
+        const Timestamp t =
+            int64_t(p) * kPartitionWidth + int64_t(i) * step;
+        TSVIZ_RETURN_IF_ERROR(store->Write(t, double(i)));
+      }
+      TSVIZ_RETURN_IF_ERROR(store->Flush());
+    }
+  }
+  return store;
+}
+
+Measurement ZoomQuery(const TsStore& store, size_t num_partitions) {
+  // One-partition window in the middle of the series.
+  const int64_t mid = int64_t(num_partitions) / 2;
+  const M4Query query{mid * kPartitionWidth, (mid + 1) * kPartitionWidth,
+                      100};
+  return TimeQuery(5, [&](QueryStats* stats) {
+    return RunM4Lsm(store, query, stats);
+  });
+}
+
+int Run() {
+  const double scale = ScaleFromEnv();
+  std::vector<size_t> sizes = {8, 32, 128};
+  if (scale >= 1.0) sizes.push_back(512);
+
+  ResultTable table({"layout", "partitions", "millis", "metadata_reads",
+                     "chunks_total", "parts_scanned", "parts_pruned"});
+  std::vector<Round> rounds;
+  for (size_t n : sizes) {
+    Round round;
+    round.partitions = n;
+    for (bool partitioned : {false, true}) {
+      std::string tmpl = (std::filesystem::temp_directory_path() /
+                          "tsviz_bench_partition_XXXXXX")
+                             .string();
+      std::vector<char> buf(tmpl.begin(), tmpl.end());
+      buf.push_back('\0');
+      if (::mkdtemp(buf.data()) == nullptr) {
+        std::fprintf(stderr, "mkdtemp failed\n");
+        return 1;
+      }
+      const std::string dir = buf.data();
+      auto store =
+          BuildStore(dir, partitioned ? kPartitionWidth : 0, n);
+      if (!store.ok()) {
+        std::fprintf(stderr, "build failed: %s\n",
+                     store.status().ToString().c_str());
+        return 1;
+      }
+      Measurement m = ZoomQuery(**store, n);
+      (partitioned ? round.part : round.flat) = m;
+      table.AddRow({partitioned ? "partitioned" : "flat",
+                    FormatCount(n), FormatMillis(m.millis),
+                    FormatCount(m.stats.metadata_reads),
+                    FormatCount(m.stats.chunks_total),
+                    FormatCount(m.stats.partitions_scanned),
+                    FormatCount(m.stats.partitions_pruned)});
+      store->reset();
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+    rounds.push_back(round);
+  }
+
+  std::printf(
+      "Narrow zoom (1 of N partitions) while the series grows; metadata "
+      "cost should track partitions scanned, not N (scale=%.3f)\n\n",
+      scale);
+  table.Print();
+  if (Status s = table.WriteCsv("partition"); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  }
+
+  const Round& small = rounds.front();
+  const Round& large = rounds.back();
+  // Verdicts: the partitioned zoom's metadata cost is flat in N (within
+  // 2x slack for the boundary chunks), the flat layout's grows with N.
+  const bool pruned_cost_flat =
+      large.part.stats.metadata_reads <=
+      2 * std::max<uint64_t>(1, small.part.stats.metadata_reads);
+  const bool flat_cost_grows =
+      large.flat.stats.metadata_reads > 2 * small.flat.stats.metadata_reads;
+
+  std::printf("\npartitioned zoom metadata reads: %llu (N=%zu) -> %llu "
+              "(N=%zu); flat: %llu -> %llu\n",
+              (unsigned long long)small.part.stats.metadata_reads,
+              small.partitions,
+              (unsigned long long)large.part.stats.metadata_reads,
+              large.partitions,
+              (unsigned long long)small.flat.stats.metadata_reads,
+              (unsigned long long)large.flat.stats.metadata_reads);
+
+  std::ofstream json("BENCH_partition.json");
+  if (!json.good()) {
+    std::fprintf(stderr, "cannot open BENCH_partition.json\n");
+    return 1;
+  }
+  json << "{\n"
+       << "  \"name\": \"partition\",\n"
+       << "  \"partition_width\": " << kPartitionWidth << ",\n"
+       << "  \"points_per_partition\": " << kPointsPerPartition << ",\n"
+       << "  \"rounds\": [";
+  for (size_t i = 0; i < rounds.size(); ++i) {
+    const Round& r = rounds[i];
+    if (i > 0) json << ",";
+    json << "\n    {\"total_partitions\": " << r.partitions
+         << ", \"flat_millis\": " << r.flat.millis
+         << ", \"flat_metadata_reads\": " << r.flat.stats.metadata_reads
+         << ", \"flat_chunks_total\": " << r.flat.stats.chunks_total
+         << ", \"partitioned_millis\": " << r.part.millis
+         << ", \"partitioned_metadata_reads\": "
+         << r.part.stats.metadata_reads
+         << ", \"partitioned_chunks_total\": " << r.part.stats.chunks_total
+         << ", \"partitions_scanned\": " << r.part.stats.partitions_scanned
+         << ", \"partitions_pruned\": " << r.part.stats.partitions_pruned
+         << "}";
+  }
+  json << "\n  ],\n"
+       << "  \"partitioned_metadata_cost_flat_in_total_size\": "
+       << (pruned_cost_flat ? "true" : "false") << ",\n"
+       << "  \"flat_metadata_cost_grows_with_total_size\": "
+       << (flat_cost_grows ? "true" : "false") << "\n}\n";
+  if (!json.good()) {
+    std::fprintf(stderr, "short write to BENCH_partition.json\n");
+    return 1;
+  }
+  return (pruned_cost_flat && flat_cost_grows) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tsviz::bench
+
+int main() { return tsviz::bench::Run(); }

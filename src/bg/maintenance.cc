@@ -103,6 +103,19 @@ uint64_t MaintenanceManager::ScheduleCompact(const std::string& series,
   });
 }
 
+uint64_t MaintenanceManager::ScheduleCompactPartition(
+    const std::string& series, std::shared_ptr<TsStore> store,
+    int64_t partition_index) {
+  return scheduler_.Submit(
+      series, "compact:p" + std::to_string(partition_index),
+      [store = std::move(store), partition_index] {
+        return TimedJob("bg_compact", CompactMillis(), [&store,
+                                                        partition_index] {
+          return store->CompactPartition(partition_index);
+        });
+      });
+}
+
 uint64_t MaintenanceManager::ScheduleTtl(const std::string& series,
                                          std::shared_ptr<TsStore> store,
                                          int64_t ttl) {
@@ -115,11 +128,21 @@ uint64_t MaintenanceManager::ScheduleTtl(const std::string& series,
         // A tombstone shrinks the live data but not the chunk-metadata
         // intervals the tick's pre-checks look at; chase it with a reclaim
         // compaction so the policy converges instead of re-enqueueing the
-        // (no-op) expiry forever. Submitting from inside a job is safe —
-        // the scheduler lock is not held while callbacks run — and `this`
-        // outlives every callback because Stop() joins before the manager
-        // is destroyed.
-        if (status.ok() && expired) ScheduleCompact(series, store);
+        // (no-op) expiry forever. On a partitioned store the fully-expired
+        // partitions were just unlinked wholesale, so only the partial
+        // boundary partition — now the oldest one left — needs rewriting.
+        // Submitting from inside a job is safe — the scheduler lock is not
+        // held while callbacks run — and `this` outlives every callback
+        // because Stop() joins before the manager is destroyed.
+        if (status.ok() && expired) {
+          const TimeRange interval = store->DataInterval();
+          if (store->partition_interval() > 0 && !interval.Empty()) {
+            ScheduleCompactPartition(series, store,
+                                     store->PartitionIndexFor(interval.start));
+          } else {
+            ScheduleCompact(series, store);
+          }
+        }
         return status;
       });
 }
@@ -138,28 +161,54 @@ size_t MaintenanceManager::Tick() {
       ScheduleFlush(name, store);
       ++enqueued;
     }
-    if (ttl > 0) {
-      // Cheap snapshot pre-check: only enqueue when data actually sits
-      // below the watermark (ExpireTtl itself re-checks under its lock).
-      const TimeRange interval = store->DataInterval();
-      if (!interval.Empty() && interval.end >= kMinTimestamp + ttl &&
-          interval.end - ttl > interval.start) {
-        // The expiry tombstone and the reclaim compaction are separate
-        // jobs; coalescing keeps each at most once in the queue.
-        ScheduleTtl(name, store, ttl);
-        ++enqueued;
-      }
-      if (store->CountFullyExpiredFiles(ttl) > 0) {
-        ScheduleCompact(name, store);
-        ++enqueued;
+    // Evaluate every trigger before enqueueing anything: a worker may run
+    // the first job (and its chase compaction) while this tick is still
+    // inspecting the store, and decisions taken from the post-job state
+    // would drop triggers the pre-job state warranted.
+    const bool partitioned = store->partition_interval() > 0;
+    const TimeRange interval = store->DataInterval();
+    // Cheap snapshot pre-check: only enqueue when data actually sits
+    // below the watermark (ExpireTtl itself re-checks under its lock).
+    const bool want_ttl =
+        ttl > 0 && !interval.Empty() && interval.end >= kMinTimestamp + ttl &&
+        (interval.end - ttl > interval.start ||
+         (partitioned && store->CountFullyExpiredPartitions(ttl) > 0));
+    // Fully-expired flat files are reclaimed by a compaction chasing the
+    // expiry tombstone; fully-expired partitions are unlinked by the
+    // expiry job itself, so `want_ttl` already covers them.
+    const bool want_expiry_compact =
+        ttl > 0 && !partitioned && store->CountFullyExpiredFiles(ttl) > 0;
+    std::vector<int64_t> hot_partitions;
+    if (partitioned && compact_files > 0) {
+      // Per-partition trigger: a partition accumulating files compacts
+      // alone; cold partitions are never rewritten on its account.
+      // Named view: the range-init temporary would drop the state snapshot
+      // before the loop body runs (C++17 range-for lifetime rules).
+      const StoreView view = store->CurrentView();
+      for (const StorePartition& part : view.partitions()) {
+        if (part.files.size() >= compact_files) {
+          hot_partitions.push_back(part.index);
+        }
       }
     }
     const size_t num_files = store->NumFiles();
-    if (compact_files > 0 && num_files >= compact_files) {
-      ScheduleCompact(name, store);
+    const bool want_flat_compact =
+        want_expiry_compact ||
+        (!partitioned && compact_files > 0 && num_files >= compact_files) ||
+        (options_.compaction_overlap > 0 && num_files > 1 &&
+         store->OverlapFraction() >= options_.compaction_overlap);
+
+    if (want_ttl) {
+      // The expiry tombstone and the reclaim compaction are separate
+      // jobs; coalescing keeps each at most once in the queue.
+      ScheduleTtl(name, store, ttl);
       ++enqueued;
-    } else if (options_.compaction_overlap > 0 && num_files > 1 &&
-               store->OverlapFraction() >= options_.compaction_overlap) {
+    }
+    for (int64_t index : hot_partitions) {
+      ScheduleCompactPartition(name, store, index);
+      ++enqueued;
+    }
+    if (want_flat_compact) {
       ScheduleCompact(name, store);
       ++enqueued;
     }

@@ -92,6 +92,12 @@ class MaintenanceManager {
                          std::shared_ptr<TsStore> store);
   uint64_t ScheduleCompact(const std::string& series,
                            std::shared_ptr<TsStore> store);
+  // Partition-scoped compaction; the job type carries the partition index
+  // ("compact:p<index>"), so coalescing is per (series, partition) and two
+  // hot partitions of one series queue independently.
+  uint64_t ScheduleCompactPartition(const std::string& series,
+                                    std::shared_ptr<TsStore> store,
+                                    int64_t partition_index);
   uint64_t ScheduleTtl(const std::string& series,
                        std::shared_ptr<TsStore> store, int64_t ttl);
 

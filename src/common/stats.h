@@ -26,7 +26,9 @@ class Trace;  // defined in obs/trace.h; common only carries the pointer
   X(bytes_read)                     \
   X(metadata_reads)                 \
   X(candidate_rounds)               \
-  X(index_lookups)
+  X(index_lookups)                  \
+  X(partitions_scanned)             \
+  X(partitions_pruned)
 
 // Cost counters accumulated while serving one query (or one experiment run).
 // The benches report these alongside wall-clock latency so that the
@@ -41,6 +43,8 @@ struct QueryStats {
   uint64_t metadata_reads = 0;     // chunk metadata entries consulted
   uint64_t candidate_rounds = 0;   // candidate generate/verify iterations
   uint64_t index_lookups = 0;      // step-regression index probes
+  uint64_t partitions_scanned = 0;  // partitions whose metadata was consulted
+  uint64_t partitions_pruned = 0;   // partitions ruled out by interval alone
 
   // Optional per-query phase timing tree (see obs/trace.h). Engine code
   // opens obs::TraceSpan on it when set; null (the default) costs one

@@ -53,14 +53,14 @@ Database::~Database() {
 }
 
 Status Database::ApplySetting(const std::string& name, double value) {
-  if (value < 0 || value != std::floor(value)) {
-    return Status::InvalidArgument("setting '" + name +
-                                   "' requires a non-negative integer");
+  // Every rejection names the valid knobs, and fires before any state is
+  // touched — a bad SET never half-applies.
+  if (!(value > 0) || value != std::floor(value) || !std::isfinite(value)) {
+    return Status::InvalidArgument(
+        "setting '" + name + "' requires a positive integer; valid knobs: " +
+        kValidSetKnobs);
   }
   if (name == "parallelism") {
-    if (value < 1) {
-      return Status::InvalidArgument("parallelism must be positive");
-    }
     std::lock_guard<std::mutex> lock(settings_mutex_);
     query_parallelism_ = static_cast<int>(value);
     return Status::OK();
@@ -86,10 +86,16 @@ Status Database::ApplySetting(const std::string& name, double value) {
     maintenance_->set_ttl(static_cast<int64_t>(value));
     return Status::OK();
   }
-  return Status::InvalidArgument(
-      "unknown setting '" + name +
-      "'; valid knobs: autoflush_bytes, compaction_files, page_cache_bytes, "
-      "parallelism, result_cache_capacity, ttl_ms");
+  if (name == "partition_interval_ms") {
+    // Applies to series created after this point; an existing series keeps
+    // the interval pinned in its partition.meta manifest.
+    std::lock_guard<std::mutex> lock(settings_mutex_);
+    config_.series_defaults.partition_interval_ms =
+        static_cast<int64_t>(value);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown setting '" + name +
+                                 "'; valid knobs: " + kValidSetKnobs);
 }
 
 Status Database::Discover() {
@@ -113,7 +119,13 @@ Result<TsStore*> Database::GetOrCreateSeries(const std::string& name) {
   std::lock_guard<std::mutex> lock(series_mutex_);
   auto it = series_.find(name);
   if (it == series_.end()) {
-    StoreConfig store_config = config_.series_defaults;
+    StoreConfig store_config;
+    {
+      // series_defaults is runtime-mutable (SET partition_interval_ms);
+      // copy it under the settings lock.
+      std::lock_guard<std::mutex> settings_lock(settings_mutex_);
+      store_config = config_.series_defaults;
+    }
     store_config.data_dir = config_.root_dir + "/" + name;
     TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<TsStore> store,
                            TsStore::Open(std::move(store_config)));

@@ -19,6 +19,13 @@
 
 namespace tsviz {
 
+// The runtime knobs ApplySetting accepts, in the order error messages list
+// them. Shared with the SQL layer so parser errors and executor errors
+// agree on the catalog.
+inline constexpr char kValidSetKnobs[] =
+    "autoflush_bytes, compaction_files, page_cache_bytes, parallelism, "
+    "partition_interval_ms, result_cache_capacity, ttl_ms";
+
 struct DatabaseConfig {
   // Root directory; each series lives in its own subdirectory.
   std::string root_dir;
@@ -95,11 +102,19 @@ class Database : public bg::StoreCatalog {
                            QueryStats* stats,
                            const M4LsmOptions& options = {});
 
-  // Runtime knobs (`SET <name> = <value>`). Valid names: autoflush_bytes,
-  // compaction_files, page_cache_bytes, parallelism, result_cache_capacity,
-  // ttl_ms. Unknown names are rejected with kInvalidArgument listing the
-  // valid knobs.
+  // Runtime knobs (`SET <name> = <value>`). Valid names: kValidSetKnobs.
+  // Values must be positive integers; zero, negative, and non-integer
+  // values — and unknown names — are rejected with kInvalidArgument
+  // listing the valid knobs, without mutating any state.
+  // `partition_interval_ms` applies to series created after the SET;
+  // existing series keep the interval pinned in their partition.meta.
   Status ApplySetting(const std::string& name, double value);
+
+  // The partition interval newly created series will use.
+  int64_t partition_interval_ms() const {
+    std::lock_guard<std::mutex> lock(settings_mutex_);
+    return config_.series_defaults.partition_interval_ms;
+  }
 
   // Background maintenance lifecycle; the server binds these to its own
   // start/stop. Both idempotent.
@@ -128,7 +143,9 @@ class Database : public bg::StoreCatalog {
   Status Discover();
 
   DatabaseConfig config_;
-  mutable std::mutex settings_mutex_;  // guards query_parallelism_
+  // Guards query_parallelism_ and the runtime-adjustable parts of
+  // config_.series_defaults (partition_interval_ms).
+  mutable std::mutex settings_mutex_;
   int query_parallelism_;
   M4QueryCache result_cache_;
   mutable std::mutex series_mutex_;  // guards series_

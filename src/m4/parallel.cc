@@ -22,6 +22,57 @@ ThreadPool& ExecutorPool() {
   return *pool;
 }
 
+std::vector<int64_t> PartitionAlignedSpanCuts(const StoreView& view,
+                                              const M4Query& query,
+                                              int64_t blocks) {
+  const int64_t w = query.w;
+  std::vector<int64_t> cuts(static_cast<size_t>(blocks) + 1);
+  for (int64_t b = 0; b <= blocks; ++b) {
+    cuts[static_cast<size_t>(b)] = w * b / blocks;
+  }
+  // Candidate cut positions: the span containing each indexed partition's
+  // start, for boundaries strictly inside the query range. The legacy
+  // group has no boundaries to respect.
+  SpanSet spans(query);
+  std::vector<int64_t> candidates;
+  for (const StorePartition& part : view.partitions()) {
+    if (part.legacy() || part.interval.Empty()) continue;
+    const Timestamp boundary = part.interval.start;
+    if (boundary <= query.tqs || boundary >= query.tqe) continue;
+    candidates.push_back(spans.IndexOf(boundary));
+  }
+  if (candidates.empty()) return cuts;
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  // Snap each interior cut to the nearest candidate within half a block
+  // width — close enough that block sizes stay balanced — then restore
+  // monotonicity. Duplicated cuts yield empty blocks, which are skipped at
+  // submit time.
+  const int64_t tolerance = std::max<int64_t>(1, w / blocks / 2);
+  for (int64_t b = 1; b < blocks; ++b) {
+    int64_t& cut = cuts[static_cast<size_t>(b)];
+    auto it = std::lower_bound(candidates.begin(), candidates.end(), cut);
+    int64_t best = cut;
+    int64_t best_dist = tolerance + 1;
+    if (it != candidates.end() && *it - cut < best_dist) {
+      best_dist = *it - cut;
+      best = *it;
+    }
+    if (it != candidates.begin() && cut - *(it - 1) < best_dist) {
+      best = *(it - 1);
+    }
+    cut = best;
+  }
+  for (int64_t b = 1; b <= blocks; ++b) {
+    cuts[static_cast<size_t>(b)] =
+        std::clamp(cuts[static_cast<size_t>(b)],
+                   cuts[static_cast<size_t>(b - 1)], w);
+  }
+  cuts[static_cast<size_t>(blocks)] = w;
+  return cuts;
+}
+
 Result<M4Result> RunM4LsmParallel(StoreView view, const M4Query& query,
                                   int num_threads, QueryStats* stats,
                                   const M4LsmOptions& options) {
@@ -44,15 +95,26 @@ Result<M4Result> RunM4LsmParallel(StoreView view, const M4Query& query,
     M4Result rows;
     QueryStats stats;
   };
+  const std::vector<int64_t> cuts =
+      PartitionAlignedSpanCuts(view, query, blocks);
   std::vector<BlockResult> results(static_cast<size_t>(blocks));
   std::mutex done_mutex;
   std::condition_variable done_cv;
-  int64_t remaining = blocks;
+  int64_t remaining = 0;
+  for (int64_t b = 0; b < blocks; ++b) {
+    if (cuts[static_cast<size_t>(b)] < cuts[static_cast<size_t>(b + 1)]) {
+      ++remaining;
+    }
+  }
+  if (remaining == 0) {
+    return RunM4Lsm(view, query, stats, options);
+  }
 
   ThreadPool& pool = ExecutorPool();
   for (int64_t b = 0; b < blocks; ++b) {
-    const int64_t begin = w * b / blocks;
-    const int64_t end = w * (b + 1) / blocks;
+    const int64_t begin = cuts[static_cast<size_t>(b)];
+    const int64_t end = cuts[static_cast<size_t>(b + 1)];
+    if (begin >= end) continue;  // cut snapped onto its neighbour
     tasks_total.Inc();
     pool.Submit([view, &query, &options, begin, end, &done_mutex, &done_cv,
                  &remaining, out = &results[static_cast<size_t>(b)]]() {

@@ -1,6 +1,8 @@
 #ifndef TSVIZ_M4_PARALLEL_H_
 #define TSVIZ_M4_PARALLEL_H_
 
+#include <vector>
+
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -16,6 +18,18 @@ namespace tsviz {
 // queries never race static destruction. Exposes executor_pool_queue_depth
 // as a metrics gauge.
 ThreadPool& ExecutorPool();
+
+// Cut points (blocks+1 monotone span indices from 0 to query.w) that split
+// the spans into `blocks` contiguous blocks for the pool. Cuts start at the
+// even w*b/blocks split and each interior cut snaps to the first span of a
+// nearby partition boundary (within half a block width), so neighbouring
+// workers land on different partitions' file groups and never contend on
+// the same partition's lazy chunks. Any monotone cut vector yields the same
+// concatenated result; alignment only changes who loads what. Exposed for
+// testing.
+std::vector<int64_t> PartitionAlignedSpanCuts(const StoreView& view,
+                                              const M4Query& query,
+                                              int64_t blocks);
 
 // Data-parallel M4-LSM: spans are independent (each pixel column only
 // depends on the chunks overlapping it), so the query splits into

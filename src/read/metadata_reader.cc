@@ -1,34 +1,79 @@
 #include "read/metadata_reader.h"
 
+#include <utility>
+
 #include "obs/metrics.h"
 
 namespace tsviz {
+
+std::vector<PartitionChunks> SelectPartitionChunks(const StoreView& view,
+                                                   const TimeRange& range,
+                                                   QueryStats* stats) {
+  std::vector<PartitionChunks> out;
+  uint64_t consulted = 0;
+  uint64_t scanned = 0;
+  uint64_t pruned = 0;
+  for (const StorePartition& part : view.partitions()) {
+    // Three-level pruning, one level above IoTDB's metadata hierarchy: the
+    // partition interval rules out a whole file group with one comparison,
+    // the file-level summary rules out whole files, then per-chunk
+    // metadata is consulted only inside overlapping files.
+    if (part.interval.Empty() || !part.interval.Overlaps(range)) {
+      ++pruned;
+      continue;
+    }
+    ++scanned;
+    PartitionChunks group;
+    group.partition_index = part.index;
+    group.legacy = part.legacy();
+    // The legacy group keeps the unclipped range (its interval is a data
+    // summary, not a routing bound); indexed partitions clip, so their
+    // merges never see one another's time span.
+    group.range = part.legacy() ? range : range.Intersect(part.interval);
+    for (const auto& file : part.files) {
+      ++consulted;
+      if (!file->interval().Overlaps(range)) continue;
+      for (const ChunkMetadata& meta : file->chunks()) {
+        ++consulted;
+        if (meta.Interval().Overlaps(range)) {
+          group.chunks.push_back(ChunkHandle{file, &meta});
+        }
+      }
+    }
+    if (!group.chunks.empty()) out.push_back(std::move(group));
+  }
+  if (stats != nullptr) {
+    stats->metadata_reads += consulted;
+    stats->partitions_scanned += scanned;
+    stats->partitions_pruned += pruned;
+    for (const PartitionChunks& group : out) {
+      stats->chunks_total += group.chunks.size();
+    }
+  }
+  static obs::Counter& metadata_reads = obs::GetCounter(
+      "read_metadata_reads_total", "File/chunk metadata entries consulted");
+  static obs::Counter& partition_scans = obs::GetCounter(
+      "partition_scans_total",
+      "Partitions whose metadata a selection consulted");
+  static obs::Counter& partition_prunes = obs::GetCounter(
+      "partition_prunes_total",
+      "Partitions pruned by interval before any metadata read");
+  metadata_reads.Inc(consulted);
+  partition_scans.Inc(scanned);
+  partition_prunes.Inc(pruned);
+  return out;
+}
 
 std::vector<ChunkHandle> SelectOverlappingChunks(const StoreView& view,
                                                  const TimeRange& range,
                                                  QueryStats* stats) {
   std::vector<ChunkHandle> out;
-  uint64_t consulted = 0;
-  // Two-level pruning, as in IoTDB's metadata hierarchy: the file-level
-  // summary rules out whole files with one comparison, then per-chunk
-  // metadata is consulted only inside overlapping files.
-  for (const auto& file : view.files()) {
-    ++consulted;
-    if (!file->interval().Overlaps(range)) continue;
-    for (const ChunkMetadata& meta : file->chunks()) {
-      ++consulted;
-      if (meta.Interval().Overlaps(range)) {
-        out.push_back(ChunkHandle{file, &meta});
-      }
-    }
+  std::vector<PartitionChunks> groups =
+      SelectPartitionChunks(view, range, stats);
+  for (PartitionChunks& group : groups) {
+    out.insert(out.end(), std::make_move_iterator(group.chunks.begin()),
+               std::make_move_iterator(group.chunks.end()));
   }
-  if (stats != nullptr) {
-    stats->metadata_reads += consulted;
-    stats->chunks_total += out.size();
-  }
-  static obs::Counter& metadata_reads = obs::GetCounter(
-      "read_metadata_reads_total", "File/chunk metadata entries consulted");
-  metadata_reads.Inc(consulted);
   return out;
 }
 

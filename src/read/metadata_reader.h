@@ -1,6 +1,7 @@
 #ifndef TSVIZ_READ_METADATA_READER_H_
 #define TSVIZ_READ_METADATA_READER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/stats.h"
@@ -16,7 +17,27 @@ namespace tsviz {
 // converts implicitly (taking the store's current snapshot). Callers that
 // need chunk and delete selection to agree must pass the same view to both.
 
-// Chunk handles whose time interval overlaps `range`, in version order.
+// One partition's overlapping chunks. Partitions whose interval misses the
+// query range are pruned before any of their file or chunk metadata is
+// consulted; `range` is the query range clipped to the partition interval,
+// which is what the partition's chunks should be merged under.
+struct PartitionChunks {
+  int64_t partition_index = kLegacyPartitionIndex;
+  bool legacy = true;
+  TimeRange range{1, 0};
+  std::vector<ChunkHandle> chunks;
+};
+
+// Overlapping chunks grouped by partition, in partition order (legacy
+// group first, then ascending index — which is ascending time, since
+// indexed partitions are disjoint). Partitions with no overlapping chunks
+// are omitted. Increments stats->partitions_scanned / partitions_pruned.
+std::vector<PartitionChunks> SelectPartitionChunks(const StoreView& view,
+                                                   const TimeRange& range,
+                                                   QueryStats* stats);
+
+// Chunk handles whose time interval overlaps `range`, flattened across
+// partitions in SelectPartitionChunks order.
 std::vector<ChunkHandle> SelectOverlappingChunks(const StoreView& view,
                                                  const TimeRange& range,
                                                  QueryStats* stats);

@@ -9,17 +9,41 @@ namespace tsviz {
 Result<std::vector<Point>> ReadMergedSeries(const StoreView& view,
                                             const TimeRange& range,
                                             QueryStats* stats) {
-  std::vector<ChunkHandle> handles =
-      SelectOverlappingChunks(view, range, stats);
+  // Merge one partition at a time: indexed partitions are disjoint in
+  // time and arrive in ascending order, so concatenating their merges is
+  // identical to one global merge — but each heap only carries one
+  // partition's chunks. When a legacy (unbounded) group coexists with
+  // indexed partitions its chunks may straddle boundaries; fall back to a
+  // single global merge in that rare mixed-layout case.
+  std::vector<PartitionChunks> groups =
+      SelectPartitionChunks(view, range, stats);
+  const bool mixed = groups.size() > 1 && groups.front().legacy;
   DataReader data_reader(stats);
-  std::vector<LazyChunk*> chunks;
-  chunks.reserve(handles.size());
-  for (const ChunkHandle& handle : handles) {
-    chunks.push_back(data_reader.GetChunk(handle));
+  if (mixed) {
+    std::vector<LazyChunk*> chunks;
+    for (const PartitionChunks& group : groups) {
+      for (const ChunkHandle& handle : group.chunks) {
+        chunks.push_back(data_reader.GetChunk(handle));
+      }
+    }
+    MergeReader merger(std::move(chunks),
+                       SelectOverlappingDeletes(view, range), range);
+    return merger.ReadAll();
   }
-  MergeReader merger(std::move(chunks),
-                     SelectOverlappingDeletes(view, range), range);
-  return merger.ReadAll();
+  std::vector<Point> out;
+  for (const PartitionChunks& group : groups) {
+    std::vector<LazyChunk*> chunks;
+    chunks.reserve(group.chunks.size());
+    for (const ChunkHandle& handle : group.chunks) {
+      chunks.push_back(data_reader.GetChunk(handle));
+    }
+    MergeReader merger(std::move(chunks),
+                       SelectOverlappingDeletes(view, group.range),
+                       group.range);
+    TSVIZ_ASSIGN_OR_RETURN(std::vector<Point> points, merger.ReadAll());
+    out.insert(out.end(), points.begin(), points.end());
+  }
+  return out;
 }
 
 SeriesCursor::SeriesCursor() = default;

@@ -134,10 +134,18 @@ struct ShowJobsStatement {
                          const ShowJobsStatement&) = default;
 };
 
+// SHOW SERIES: lists every series with its partition/file/chunk counts and
+// data interval, one row per series.
+struct ShowSeriesStatement {
+  friend bool operator==(const ShowSeriesStatement&,
+                         const ShowSeriesStatement&) = default;
+};
+
 // Any parseable top-level statement.
 using Statement =
     std::variant<SelectStatement, ShowMetricsStatement, SetStatement,
-                 FlushStatement, CompactStatement, ShowJobsStatement>;
+                 FlushStatement, CompactStatement, ShowJobsStatement,
+                 ShowSeriesStatement>;
 
 // True when executing the statement mutates database state; the server uses
 // this to decide whether a query needs the write lock. SET mutates database

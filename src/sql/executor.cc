@@ -192,6 +192,15 @@ Result<ResultSet> ExplainSelect(const StoreView& view,
       "[" + std::to_string(tqs) + ", " + std::to_string(tqe) + ")");
   add("spans", std::to_string(stmt.spans.value_or(1)));
   TimeRange range(tqs, tqe - 1);
+  size_t partitions_scanned = 0;
+  size_t partitions_pruned = 0;
+  for (const StorePartition& part : view.partitions()) {
+    if (part.interval.Empty() || !part.interval.Overlaps(range)) {
+      ++partitions_pruned;
+    } else {
+      ++partitions_scanned;
+    }
+  }
   size_t chunks = 0;
   for (const ChunkHandle& chunk : view.chunks()) {
     if (chunk.meta->Interval().Overlaps(range)) ++chunks;
@@ -200,6 +209,9 @@ Result<ResultSet> ExplainSelect(const StoreView& view,
   for (const DeleteRecord& del : view.deletes()) {
     if (del.range.Overlaps(range)) ++deletes;
   }
+  add("partitions_total", std::to_string(view.partitions().size()));
+  add("partitions_scanned", std::to_string(partitions_scanned));
+  add("partitions_pruned", std::to_string(partitions_pruned));
   add("chunks_overlapping", std::to_string(chunks));
   add("deletes_overlapping", std::to_string(deletes));
   if (any_raw) {
@@ -426,6 +438,30 @@ Result<ResultSet> ExecuteMaintenance(Database* db,
   return result;
 }
 
+// SHOW SERIES: one row per series with its storage shape, read off a
+// consistent copy-on-write snapshot per store — no chunk data is loaded.
+ResultSet ShowSeries(Database* db) {
+  ResultSet result({"series", "partition_interval_ms", "partitions", "files",
+                    "chunks", "data_start", "data_end"});
+  for (const std::string& name : db->ListSeries()) {
+    auto store = db->GetSeriesShared(name);
+    if (!store.ok()) continue;  // dropped between listing and here
+    StoreView view = (*store)->CurrentView();
+    const TimeRange data = view.DataInterval();
+    result.AddRow(
+        {ResultSet::Cell(name),
+         ResultSet::Cell((*store)->partition_interval()),
+         ResultSet::Cell(static_cast<int64_t>(view.partitions().size())),
+         ResultSet::Cell(static_cast<int64_t>(view.files().size())),
+         ResultSet::Cell(static_cast<int64_t>(view.chunks().size())),
+         data.Empty() ? ResultSet::Cell(std::monostate{})
+                      : ResultSet::Cell(data.start),
+         data.Empty() ? ResultSet::Cell(std::monostate{})
+                      : ResultSet::Cell(data.end)});
+  }
+  return result;
+}
+
 ResultSet ShowJobs(Database* db) {
   ResultSet result({"id", "key", "type", "state", "periodic", "runs",
                     "last_millis", "last_status"});
@@ -451,6 +487,9 @@ Result<ResultSet> ExecuteStatement(Database* db, const Statement& statement,
   }
   if (std::holds_alternative<ShowJobsStatement>(statement)) {
     return ShowJobs(db);
+  }
+  if (std::holds_alternative<ShowSeriesStatement>(statement)) {
+    return ShowSeries(db);
   }
   if (const FlushStatement* flush = std::get_if<FlushStatement>(&statement)) {
     return ExecuteMaintenance(db, flush->series, /*compact=*/false);

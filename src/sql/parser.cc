@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "db/database.h"  // kValidSetKnobs
 #include "sql/lexer.h"
 
 namespace tsviz::sql {
@@ -337,10 +338,16 @@ Result<Statement> ParseStatement(const std::string& statement) {
         tokens[2].type == TokenType::kEnd) {
       return Statement(ShowJobsStatement{});
     }
+    if (tokens.size() == 3 && tokens[1].type == TokenType::kIdentifier &&
+        IdentEquals(tokens[1].text, "SERIES") &&
+        tokens[2].type == TokenType::kEnd) {
+      return Statement(ShowSeriesStatement{});
+    }
     if (tokens.size() != 3 || tokens[1].type != TokenType::kIdentifier ||
         !IdentEquals(tokens[1].text, "METRICS") ||
         tokens[2].type != TokenType::kEnd) {
-      return Status::InvalidArgument("expected SHOW METRICS or SHOW JOBS");
+      return Status::InvalidArgument(
+          "expected SHOW METRICS or SHOW JOBS or SHOW SERIES");
     }
     return Statement(ShowMetricsStatement{});
   }
@@ -366,7 +373,9 @@ Result<Statement> ParseStatement(const std::string& statement) {
         tokens[2].type != TokenType::kEq ||
         tokens[3].type != TokenType::kNumber ||
         tokens[4].type != TokenType::kEnd) {
-      return Status::InvalidArgument("expected SET <name> = <number>");
+      return Status::InvalidArgument(
+          std::string("expected SET <name> = <number>; valid knobs: ") +
+          kValidSetKnobs);
     }
     SetStatement set;
     set.name = tokens[1].text;

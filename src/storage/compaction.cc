@@ -1,10 +1,13 @@
-// Full compaction for TsStore: rewrites the store as one file of disjoint,
-// latest-only chunks. Compaction applies the merge function of Definition
-// 2.7 once, eagerly, which is exactly the work M4-LSM exists to avoid doing
-// per query.
+// Compaction for TsStore: rewrites file groups as disjoint, latest-only
+// chunks. Compaction applies the merge function of Definition 2.7 once,
+// eagerly, which is exactly the work M4-LSM exists to avoid doing per
+// query. With time partitioning the merge is scoped to one partition's
+// file group — partitions never overlap in time, so merging across a
+// boundary could never deduplicate anything and would only rewrite cold
+// bytes.
 //
 // Concurrency protocol: the merge runs on a snapshot taken under the lock,
-// with the output file id and a version range reserved at snapshot time.
+// with the output file ids and a version range reserved at snapshot time.
 // One version per base chunk is reserved — output chunks are sliced at
 // points_per_chunk just like flushed chunks, so there are never more of
 // them than base chunks — and each output chunk gets its own version from
@@ -12,9 +15,11 @@
 // a chunk (DataReader keys its per-query cache on it). Anything that lands
 // after the snapshot (tombstones; flushes are excluded by the maintenance
 // mutex) gets a version strictly larger than the whole reserved range and
-// therefore still applies to the merged data. The swap keeps the
-// post-snapshot suffix of the state vectors untouched and rewrites the
-// mods file to exactly the surviving tombstones.
+// therefore still applies to the merged data. The full Compact() swap
+// keeps the post-snapshot suffix of the delete vector untouched and
+// rewrites the mods file to exactly the surviving tombstones;
+// CompactPartition() leaves the mods file alone because its tombstones may
+// still cover other partitions' chunks.
 
 #include <algorithm>
 #include <filesystem>
@@ -30,28 +35,15 @@ namespace tsviz {
 
 namespace fs = std::filesystem;
 
-Status TsStore::Compact() {
-  Timer timer;
-  uint64_t bytes_rewritten = 0;
-  std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
-  TSVIZ_RETURN_IF_ERROR(FlushHoldingMaintenance());
+namespace {
 
-  // Snapshot the state to merge and reserve the output's identity.
-  std::shared_ptr<const StoreState> base;
-  uint64_t file_id = 0;
-  Version first_version = 0;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    base = state_;
-    if (base->chunks.empty() && base->deletes.empty()) return Status::OK();
-    file_id = next_file_id_++;
-    first_version = next_version_;
-    next_version_ += std::max<Version>(1, base->chunks.size());
-  }
-
-  // Merge: iterate chunks in ascending version so later writes overwrite
-  // earlier ones, keeping the winning version for delete filtering.
-  std::vector<ChunkHandle> ordered = base->chunks;
+// Merges one partition's chunks in ascending version (later writes
+// overwrite earlier ones at the same timestamp), applies the tombstones,
+// and returns the surviving latest-only points in time order.
+Result<std::vector<Point>> MergePartitionChunks(
+    const std::vector<ChunkHandle>& chunks,
+    const std::vector<DeleteRecord>& deletes, uint64_t* bytes_rewritten) {
+  std::vector<ChunkHandle> ordered = chunks;
   std::sort(ordered.begin(), ordered.end(),
             [](const ChunkHandle& a, const ChunkHandle& b) {
               return a.meta->version < b.meta->version;
@@ -65,7 +57,7 @@ Status TsStore::Compact() {
                                  page.length));
       std::vector<Point> points;
       TSVIZ_RETURN_IF_ERROR(DecodePage(raw, &points));
-      bytes_rewritten += page.length;
+      *bytes_rewritten += page.length;
       for (const Point& p : points) {
         latest[p.t] = {handle.meta->version, p.v};
       }
@@ -76,7 +68,7 @@ Status TsStore::Compact() {
   for (const auto& [t, entry] : latest) {
     const auto& [version, value] = entry;
     bool deleted = false;
-    for (const DeleteRecord& del : base->deletes) {
+    for (const DeleteRecord& del : deletes) {
       if (del.Deletes(t, version)) {
         deleted = true;
         break;
@@ -84,13 +76,159 @@ Status TsStore::Compact() {
     }
     if (!deleted) merged.push_back(Point{t, value});
   }
+  return merged;
+}
 
-  // Write the compacted file before touching the published state. Each
-  // chunk gets its own version from the reserved range (see the protocol
-  // note above).
-  const std::string path = FilePath(file_id);
+}  // namespace
+
+Status TsStore::Compact() {
+  Timer timer;
+  uint64_t bytes_rewritten = 0;
+  std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
+  TSVIZ_RETURN_IF_ERROR(FlushHoldingMaintenance());
+
+  // Snapshot the state to merge and reserve one output identity per
+  // non-empty partition.
+  struct PartitionJob {
+    size_t slot = 0;  // index into base->partitions
+    uint64_t file_id = 0;
+    Version first_version = 0;
+    std::shared_ptr<FileReader> reader;  // merged output; null when empty
+  };
+  std::shared_ptr<const StoreState> base;
+  std::vector<PartitionJob> jobs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    base = state_;
+    if (base->chunks.empty() && base->deletes.empty()) return Status::OK();
+    for (size_t i = 0; i < base->partitions.size(); ++i) {
+      if (base->partitions[i].chunks.empty()) continue;
+      PartitionJob job;
+      job.slot = i;
+      job.file_id = next_file_id_++;
+      job.first_version = next_version_;
+      next_version_ +=
+          std::max<Version>(1, base->partitions[i].chunks.size());
+      jobs.push_back(job);
+    }
+  }
+
+  // Merge and write each partition's output before touching the published
+  // state. Each output chunk gets its own version from the partition's
+  // reserved range (see the protocol note above).
+  for (PartitionJob& job : jobs) {
+    const StorePartition& part = base->partitions[job.slot];
+    TSVIZ_ASSIGN_OR_RETURN(
+        std::vector<Point> merged,
+        MergePartitionChunks(part.chunks, base->deletes, &bytes_rewritten));
+    if (merged.empty()) continue;
+    const std::string path = FilePath(job.file_id, part.index);
+    TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<FileWriter> writer,
+                           FileWriter::Create(path));
+    Version chunk_version = job.first_version;
+    for (size_t begin = 0; begin < merged.size();
+         begin += config_.points_per_chunk) {
+      size_t count =
+          std::min(config_.points_per_chunk, merged.size() - begin);
+      std::vector<Point> slice(merged.begin() + begin,
+                               merged.begin() + begin + count);
+      TSVIZ_RETURN_IF_ERROR(writer->AppendChunk(slice, chunk_version++,
+                                                config_.encoding, nullptr));
+    }
+    TSVIZ_RETURN_IF_ERROR(writer->Finish());
+    TSVIZ_ASSIGN_OR_RETURN(job.reader, FileReader::Open(path));
+  }
+
+  // Swap: the merged files replace the base partitions; whatever was
+  // appended after the snapshot (only tombstones — flushes hold the
+  // maintenance mutex) is carried over verbatim.
+  std::vector<std::string> old_paths;
+  old_paths.reserve(base->files.size());
+  for (const auto& file : base->files) old_paths.push_back(file->path());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto next = std::make_shared<StoreState>();
+    for (const PartitionJob& job : jobs) {
+      if (job.reader == nullptr) continue;
+      const StorePartition& src = base->partitions[job.slot];
+      StorePartition part;
+      part.index = src.index;
+      part.interval = src.interval;
+      for (const ChunkMetadata& meta : job.reader->chunks()) {
+        part.chunks.push_back(ChunkHandle{job.reader, &meta});
+      }
+      part.files.push_back(job.reader);
+      next->partitions.push_back(std::move(part));
+    }
+    next->deletes.assign(state_->deletes.begin() + base->deletes.size(),
+                         state_->deletes.end());
+    TSVIZ_RETURN_IF_ERROR(RewriteModsLocked(next->deletes));
+    PublishLocked(std::move(next));
+  }
+
+  // The base files are no longer referenced by the published state; queries
+  // that pinned them via a snapshot keep their open descriptors. Partition
+  // directories whose group merged to nothing are removed too (fs::remove
+  // refuses non-empty directories, which is exactly what we want).
+  std::error_code ec;
+  for (const std::string& old_path : old_paths) {
+    fs::remove(old_path, ec);
+    if (ec) TSVIZ_WARN << "could not remove file" << Field("path", old_path);
+  }
+  for (const StorePartition& part : base->partitions) {
+    if (part.legacy()) continue;
+    fs::remove(PartitionDirPath(part.index), ec);
+    ec.clear();
+  }
+
+  static obs::Counter& compactions_total =
+      obs::GetCounter("storage_compactions_total", "Full compaction runs");
+  static obs::Counter& compaction_bytes = obs::GetCounter(
+      "storage_compaction_bytes_rewritten_total",
+      "Chunk data bytes read and rewritten by compaction");
+  static obs::Histogram& compaction_millis = obs::GetHistogram(
+      "storage_compaction_millis", "Compaction latency (ms)");
+  compactions_total.Inc();
+  compaction_bytes.Inc(bytes_rewritten);
+  compaction_millis.Observe(timer.ElapsedMillis());
+  return Status::OK();
+}
+
+Status TsStore::CompactPartition(int64_t index) {
+  Timer timer;
+  uint64_t bytes_rewritten = 0;
+  std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
+
+  // Snapshot and reserve. Unlike Compact() there is no flush first: this
+  // entry point only reorganizes files already on disk, so the background
+  // policy can compact a cold partition without forcing a memtable flush
+  // of unrelated hot data.
+  std::shared_ptr<const StoreState> base;
+  const StorePartition* src = nullptr;
+  uint64_t file_id = 0;
+  Version first_version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    base = state_;
+    for (const StorePartition& part : base->partitions) {
+      if (part.index == index) {
+        src = &part;
+        break;
+      }
+    }
+    if (src == nullptr || src->chunks.empty()) return Status::OK();
+    file_id = next_file_id_++;
+    first_version = next_version_;
+    next_version_ += std::max<Version>(1, src->chunks.size());
+  }
+
+  TSVIZ_ASSIGN_OR_RETURN(
+      std::vector<Point> merged,
+      MergePartitionChunks(src->chunks, base->deletes, &bytes_rewritten));
+
   std::shared_ptr<FileReader> reader;
   if (!merged.empty()) {
+    const std::string path = FilePath(file_id, index);
     TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<FileWriter> writer,
                            FileWriter::Create(path));
     Version chunk_version = first_version;
@@ -107,49 +245,49 @@ Status TsStore::Compact() {
     TSVIZ_ASSIGN_OR_RETURN(reader, FileReader::Open(path));
   }
 
-  // Swap: the merged file replaces the base prefix; whatever was appended
-  // after the snapshot (only tombstones — flushes hold the maintenance
-  // mutex) is carried over verbatim.
+  // Swap just this partition; every other partition's files — and the mods
+  // file — stay untouched. The maintenance mutex excludes flushes, so the
+  // partition's file set is exactly the snapshot's.
   std::vector<std::string> old_paths;
-  old_paths.reserve(base->files.size());
-  for (const auto& file : base->files) old_paths.push_back(file->path());
+  old_paths.reserve(src->files.size());
+  for (const auto& file : src->files) old_paths.push_back(file->path());
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto next = std::make_shared<StoreState>();
-    if (reader != nullptr) {
-      for (const ChunkMetadata& meta : reader->chunks()) {
-        next->chunks.push_back(ChunkHandle{reader, &meta});
+    auto next = std::make_shared<StoreState>(*state_);
+    auto it = std::find_if(
+        next->partitions.begin(), next->partitions.end(),
+        [index](const StorePartition& p) { return p.index == index; });
+    if (it != next->partitions.end()) {
+      if (reader == nullptr) {
+        next->partitions.erase(it);
+      } else {
+        it->files.assign(1, reader);
+        it->chunks.clear();
+        for (const ChunkMetadata& meta : reader->chunks()) {
+          it->chunks.push_back(ChunkHandle{reader, &meta});
+        }
       }
-      next->files.push_back(reader);
     }
-    next->files.insert(next->files.end(),
-                       state_->files.begin() + base->files.size(),
-                       state_->files.end());
-    next->chunks.insert(next->chunks.end(),
-                        state_->chunks.begin() + base->chunks.size(),
-                        state_->chunks.end());
-    next->deletes.assign(state_->deletes.begin() + base->deletes.size(),
-                         state_->deletes.end());
-    TSVIZ_RETURN_IF_ERROR(RewriteModsLocked(next->deletes));
     PublishLocked(std::move(next));
   }
 
-  // The base files are no longer referenced by the published state; queries
-  // that pinned them via a snapshot keep their open descriptors.
   std::error_code ec;
   for (const std::string& old_path : old_paths) {
     fs::remove(old_path, ec);
     if (ec) TSVIZ_WARN << "could not remove file" << Field("path", old_path);
   }
+  if (reader == nullptr && index != kLegacyPartitionIndex) {
+    fs::remove(PartitionDirPath(index), ec);
+  }
 
-  static obs::Counter& compactions_total =
-      obs::GetCounter("storage_compactions_total", "Full compaction runs");
+  static obs::Counter& partition_compactions = obs::GetCounter(
+      "partition_compactions_total", "Single-partition compaction runs");
   static obs::Counter& compaction_bytes = obs::GetCounter(
       "storage_compaction_bytes_rewritten_total",
       "Chunk data bytes read and rewritten by compaction");
   static obs::Histogram& compaction_millis = obs::GetHistogram(
       "storage_compaction_millis", "Compaction latency (ms)");
-  compactions_total.Inc();
+  partition_compactions.Inc();
   compaction_bytes.Inc(bytes_rewritten);
   compaction_millis.Observe(timer.ElapsedMillis());
   return Status::OK();

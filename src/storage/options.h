@@ -36,6 +36,17 @@ struct StoreConfig {
   // memtable is acceptable.
   bool enable_wal = true;
 
+  // Width of one time partition. When positive, flushed files are grouped
+  // into directories data_dir/p<index>/ where index = floor(t / interval);
+  // compaction and TTL expiry operate per partition and queries prune whole
+  // partitions by interval. 0 keeps the flat single-group layout. The value
+  // is pinned by a partition.meta manifest when the store is created; on
+  // reopen the manifest wins over a differing config (a store cannot change
+  // its partitioning after the fact). Files found at the root of data_dir
+  // (pre-partitioning layouts) remain readable as one unbounded legacy
+  // group.
+  int64_t partition_interval_ms = 0;
+
   ChunkEncodingOptions encoding;
 };
 

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <map>
 
 #include "common/logging.h"
 #include "common/stats.h"
@@ -35,6 +37,75 @@ Result<uint64_t> ParseFileId(const std::string& name) {
   return id;
 }
 
+// Partition directories are named p<index> (index may be negative for
+// pre-epoch timestamps).
+Result<int64_t> ParsePartitionDirIndex(const std::string& name) {
+  if (name.size() < 2 || name[0] != 'p') {
+    return Status::InvalidArgument("not a partition dir: " + name);
+  }
+  size_t i = 1;
+  bool negative = false;
+  if (name[i] == '-') {
+    negative = true;
+    ++i;
+  }
+  if (i >= name.size()) {
+    return Status::InvalidArgument("not a partition dir: " + name);
+  }
+  int64_t index = 0;
+  for (; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') {
+      return Status::InvalidArgument("not a partition dir: " + name);
+    }
+    index = index * 10 + (name[i] - '0');
+  }
+  return negative ? -index : index;
+}
+
+// The manifest pins the store's partition interval at creation time.
+constexpr char kManifestPrefix[] = "tsviz.partition.v1 ";
+
+// Rebuilds the derived flat file/chunk vectors from the partitions (in
+// partition order) and refreshes the legacy group's pruning interval from
+// its files' data bounds. Indexed partitions keep their fixed interval.
+void RebuildDerived(StoreState* state) {
+  state->files.clear();
+  state->chunks.clear();
+  for (StorePartition& part : state->partitions) {
+    if (part.legacy()) {
+      Timestamp lo = kMaxTimestamp;
+      Timestamp hi = kMinTimestamp;
+      bool any = false;
+      for (const auto& file : part.files) {
+        if (file->chunks().empty()) continue;
+        any = true;
+        lo = std::min(lo, file->interval().start);
+        hi = std::max(hi, file->interval().end);
+      }
+      part.interval = any ? TimeRange(lo, hi) : TimeRange(1, 0);
+    }
+    state->files.insert(state->files.end(), part.files.begin(),
+                        part.files.end());
+    state->chunks.insert(state->chunks.end(), part.chunks.begin(),
+                         part.chunks.end());
+  }
+}
+
+// Finds the partition with the given index in `state`, inserting an empty
+// one (with the given nominal bounds) at its sorted position if missing.
+StorePartition* FindOrAddPartition(StoreState* state, int64_t index,
+                                   const TimeRange& bounds) {
+  auto it = std::lower_bound(
+      state->partitions.begin(), state->partitions.end(), index,
+      [](const StorePartition& p, int64_t idx) { return p.index < idx; });
+  if (it != state->partitions.end() && it->index == index) return &*it;
+  StorePartition part;
+  part.index = index;
+  part.interval = bounds;
+  it = state->partitions.insert(it, std::move(part));
+  return &*it;
+}
+
 }  // namespace
 
 StoreView::StoreView(const TsStore& store) : state_(store.SnapshotState()) {}
@@ -56,6 +127,7 @@ std::shared_ptr<const StoreState> TsStore::SnapshotState() const {
 }
 
 void TsStore::PublishLocked(std::shared_ptr<StoreState> next) {
+  RebuildDerived(next.get());
   next->owner = this;
   next->state_version = state_->state_version + 1;
   state_ = std::move(next);
@@ -67,6 +139,9 @@ Result<std::unique_ptr<TsStore>> TsStore::Open(StoreConfig config) {
   }
   if (config.points_per_chunk == 0 || config.memtable_flush_threshold == 0) {
     return Status::InvalidArgument("chunk/flush sizes must be positive");
+  }
+  if (config.partition_interval_ms < 0) {
+    return Status::InvalidArgument("partition_interval_ms must be >= 0");
   }
   std::error_code ec;
   fs::create_directories(config.data_dir, ec);
@@ -80,33 +155,120 @@ Result<std::unique_ptr<TsStore>> TsStore::Open(StoreConfig config) {
 }
 
 Status TsStore::Recover() {
+  // Resolve the partition interval first: the partition.meta manifest
+  // (written when a partitioned store is created) wins over the config —
+  // a store cannot change its partition width after the fact, or existing
+  // files would sit in the wrong directories.
+  {
+    std::FILE* manifest = std::fopen(ManifestPath().c_str(), "rb");
+    if (manifest != nullptr) {
+      char buffer[128] = {0};
+      size_t n = std::fread(buffer, 1, sizeof(buffer) - 1, manifest);
+      (void)n;
+      std::fclose(manifest);
+      const size_t prefix_len = strlen(kManifestPrefix);
+      int64_t value = 0;
+      if (strncmp(buffer, kManifestPrefix, prefix_len) == 0) {
+        value = std::strtoll(buffer + prefix_len, nullptr, 10);
+      }
+      if (value <= 0) {
+        return Status::Corruption("bad partition manifest: " + ManifestPath());
+      }
+      if (config_.partition_interval_ms != 0 &&
+          config_.partition_interval_ms != value) {
+        TSVIZ_WARN << "partition.meta overrides configured interval"
+                   << Field("manifest", value)
+                   << Field("config", config_.partition_interval_ms);
+      }
+      partition_interval_ = value;
+    } else {
+      partition_interval_ = config_.partition_interval_ms;
+      if (partition_interval_ > 0) {
+        std::FILE* out = std::fopen(ManifestPath().c_str(), "wb");
+        if (out == nullptr) {
+          return Status::IoError("cannot create " + ManifestPath() + ": " +
+                                 std::strerror(errno));
+        }
+        std::string line = std::string(kManifestPrefix) +
+                           std::to_string(partition_interval_) + "\n";
+        size_t written = std::fwrite(line.data(), 1, line.size(), out);
+        int close_rc = std::fclose(out);
+        if (written != line.size() || close_rc != 0) {
+          return Status::IoError("short write to " + ManifestPath());
+        }
+      }
+    }
+  }
+
   auto state = std::make_shared<StoreState>();
   state->owner = this;
 
-  // Collect data files ordered by id so chunk versions replay in order.
-  std::vector<std::pair<uint64_t, std::string>> data_files;
+  // Collect data files per partition: root-level files form the legacy
+  // (pre-partitioning) group, p<index>/ directories the indexed groups.
+  // Within a group files are ordered by id so chunk versions replay in
+  // creation order; across groups order does not matter for the version
+  // counter (we take the max).
+  std::map<int64_t, std::vector<std::pair<uint64_t, std::string>>> found;
   for (const auto& entry : fs::directory_iterator(config_.data_dir)) {
-    if (!entry.is_regular_file()) continue;
     std::string name = entry.path().filename().string();
-    if (name.size() > sizeof(kDataSuffix) &&
-        name.ends_with(kDataSuffix)) {
-      std::string stem = name.substr(0, name.size() - strlen(kDataSuffix));
-      auto id = ParseFileId(stem);
-      if (id.ok()) data_files.emplace_back(*id, entry.path().string());
+    if (entry.is_regular_file()) {
+      if (name.size() > sizeof(kDataSuffix) && name.ends_with(kDataSuffix)) {
+        std::string stem = name.substr(0, name.size() - strlen(kDataSuffix));
+        auto id = ParseFileId(stem);
+        if (id.ok()) {
+          found[kLegacyPartitionIndex].emplace_back(*id, entry.path().string());
+        }
+      }
+    } else if (entry.is_directory()) {
+      auto index = ParsePartitionDirIndex(name);
+      if (!index.ok()) continue;
+      for (const auto& sub : fs::directory_iterator(entry.path())) {
+        if (!sub.is_regular_file()) continue;
+        std::string sub_name = sub.path().filename().string();
+        if (sub_name.size() > sizeof(kDataSuffix) &&
+            sub_name.ends_with(kDataSuffix)) {
+          std::string stem =
+              sub_name.substr(0, sub_name.size() - strlen(kDataSuffix));
+          auto id = ParseFileId(stem);
+          if (id.ok()) found[*index].emplace_back(*id, sub.path().string());
+        }
+      }
     }
   }
-  std::sort(data_files.begin(), data_files.end());
 
-  for (const auto& [id, path] : data_files) {
-    TSVIZ_ASSIGN_OR_RETURN(std::shared_ptr<FileReader> reader,
-                           FileReader::Open(path));
-    for (const ChunkMetadata& meta : reader->chunks()) {
-      state->chunks.push_back(ChunkHandle{reader, &meta});
-      next_version_ = std::max(next_version_, meta.version + 1);
+  for (auto& [part_index, data_files] : found) {
+    std::sort(data_files.begin(), data_files.end());
+    StorePartition part;
+    part.index = part_index;
+    part.interval = PartitionBounds(part_index);
+    for (const auto& [id, path] : data_files) {
+      TSVIZ_ASSIGN_OR_RETURN(std::shared_ptr<FileReader> reader,
+                             FileReader::Open(path));
+      for (const ChunkMetadata& meta : reader->chunks()) {
+        part.chunks.push_back(ChunkHandle{reader, &meta});
+        next_version_ = std::max(next_version_, meta.version + 1);
+      }
+      part.files.push_back(std::move(reader));
+      next_file_id_ = std::max(next_file_id_, id + 1);
     }
-    state->files.push_back(std::move(reader));
-    next_file_id_ = std::max(next_file_id_, id + 1);
+    if (!part.legacy() && partition_interval_ <= 0) {
+      // Partition directories without a usable interval (manifest deleted
+      // by hand): fall back to the files' data bounds, which are a subset
+      // of the nominal interval and prune just as correctly.
+      Timestamp lo = kMaxTimestamp;
+      Timestamp hi = kMinTimestamp;
+      bool any = false;
+      for (const auto& file : part.files) {
+        if (file->chunks().empty()) continue;
+        any = true;
+        lo = std::min(lo, file->interval().start);
+        hi = std::max(hi, file->interval().end);
+      }
+      part.interval = any ? TimeRange(lo, hi) : TimeRange(1, 0);
+    }
+    state->partitions.push_back(std::move(part));
   }
+  RebuildDerived(state.get());
 
   // Replay delete tombstones.
   std::FILE* mods = std::fopen(ModsPath().c_str(), "rb");
@@ -182,8 +344,40 @@ Status TsStore::Recover() {
   return Status::OK();
 }
 
-std::string TsStore::FilePath(uint64_t file_id) const {
-  return config_.data_dir + "/f" + std::to_string(file_id) + kDataSuffix;
+int64_t TsStore::PartitionIndexFor(Timestamp t) const {
+  if (partition_interval_ <= 0) return kLegacyPartitionIndex;
+  // Floor division: negative timestamps round toward -inf, so every
+  // partition covers exactly partition_interval_ time units.
+  int64_t index = t / partition_interval_;
+  if (t % partition_interval_ != 0 && t < 0) --index;
+  return index;
+}
+
+TimeRange TsStore::PartitionBounds(int64_t index) const {
+  if (index == kLegacyPartitionIndex || partition_interval_ <= 0) {
+    return TimeRange(kMinTimestamp, kMaxTimestamp);
+  }
+  const int64_t w = partition_interval_;
+  const Timestamp start = static_cast<Timestamp>(index) * w;
+  const Timestamp end =
+      start > kMaxTimestamp - (w - 1) ? kMaxTimestamp : start + (w - 1);
+  return TimeRange(start, end);
+}
+
+std::string TsStore::PartitionDirPath(int64_t index) const {
+  return config_.data_dir + "/p" + std::to_string(index);
+}
+
+std::string TsStore::FilePath(uint64_t file_id, int64_t partition_index) const {
+  const std::string name = "f" + std::to_string(file_id) + kDataSuffix;
+  if (partition_index == kLegacyPartitionIndex) {
+    return config_.data_dir + "/" + name;
+  }
+  return PartitionDirPath(partition_index) + "/" + name;
+}
+
+std::string TsStore::ManifestPath() const {
+  return config_.data_dir + "/partition.meta";
 }
 
 std::string TsStore::ModsPath() const {
@@ -312,8 +506,16 @@ Status TsStore::Flush() {
 Status TsStore::FlushHoldingMaintenance() {
   Timer timer;
   std::vector<Point> points;
-  uint64_t file_id = 0;
-  Version first_version = 0;
+  // One output file per partition the drained points touch; the flat store
+  // always produces a single legacy-group file.
+  struct FlushGroup {
+    int64_t partition = kLegacyPartitionIndex;
+    uint64_t file_id = 0;
+    Version first_version = 0;
+    size_t begin = 0;  // [begin, end) into `points` (drained in time order)
+    size_t end = 0;
+  };
+  std::vector<FlushGroup> groups;
   bool rotated = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -326,18 +528,30 @@ Status TsStore::FlushHoldingMaintenance() {
       TSVIZ_RETURN_IF_ERROR(wal_->RotateTo(OldWalPath()));
       rotated = true;
     }
-    file_id = next_file_id_++;
-    const size_t num_chunks =
-        (points.size() + config_.points_per_chunk - 1) /
-        config_.points_per_chunk;
-    first_version = next_version_;
-    next_version_ += num_chunks;
+    // Route the (time-ordered) drained points into contiguous per-partition
+    // groups. File ids and one version per chunk are reserved here so
+    // anything appended later orders after every flushed chunk.
+    size_t begin = 0;
+    while (begin < points.size()) {
+      FlushGroup group;
+      group.partition = PartitionIndexFor(points[begin].t);
+      const Timestamp bound = PartitionBounds(group.partition).end;
+      size_t end = begin + 1;
+      while (end < points.size() && points[end].t <= bound) ++end;
+      group.begin = begin;
+      group.end = end;
+      group.file_id = next_file_id_++;
+      group.first_version = next_version_;
+      next_version_ += (end - begin + config_.points_per_chunk - 1) /
+                       config_.points_per_chunk;
+      groups.push_back(group);
+      begin = end;
+    }
   }
 
-  const std::string path = FilePath(file_id);
   // Undo on failure: the drained points go back to the memtable (without
   // clobbering newer concurrent writes at the same timestamps) and back
-  // into the active log; the pinned segment and any partial file drop.
+  // into the active log; the pinned segment and any partial files drop.
   auto fail = [&](const Status& status) {
     std::lock_guard<std::mutex> lock(mutex_);
     for (const Point& p : points) {
@@ -345,40 +559,60 @@ Status TsStore::FlushHoldingMaintenance() {
       if (wal_ != nullptr) (void)wal_->AppendPut(p);
     }
     std::error_code ec;
-    fs::remove(path, ec);
+    for (const FlushGroup& group : groups) {
+      fs::remove(FilePath(group.file_id, group.partition), ec);
+    }
     if (rotated) fs::remove(OldWalPath(), ec);
     return status;
   };
 
-  auto writer_or = FileWriter::Create(path);
-  if (!writer_or.ok()) return fail(writer_or.status());
-  std::unique_ptr<FileWriter> writer = std::move(writer_or).value();
-  size_t chunk_index = 0;
-  for (size_t begin = 0; begin < points.size();
-       begin += config_.points_per_chunk) {
-    size_t count = std::min(config_.points_per_chunk, points.size() - begin);
-    std::vector<Point> slice(points.begin() + begin,
-                             points.begin() + begin + count);
-    Status s = writer->AppendChunk(slice, first_version + chunk_index++,
-                                   config_.encoding, nullptr);
-    if (!s.ok()) return fail(s);
+  std::vector<std::shared_ptr<FileReader>> readers(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const FlushGroup& group = groups[g];
+    if (group.partition != kLegacyPartitionIndex) {
+      std::error_code ec;
+      fs::create_directories(PartitionDirPath(group.partition), ec);
+      if (ec) {
+        return fail(Status::IoError("cannot create " +
+                                    PartitionDirPath(group.partition) + ": " +
+                                    ec.message()));
+      }
+    }
+    const std::string path = FilePath(group.file_id, group.partition);
+    auto writer_or = FileWriter::Create(path);
+    if (!writer_or.ok()) return fail(writer_or.status());
+    std::unique_ptr<FileWriter> writer = std::move(writer_or).value();
+    size_t chunk_index = 0;
+    for (size_t begin = group.begin; begin < group.end;
+         begin += config_.points_per_chunk) {
+      size_t count = std::min(config_.points_per_chunk, group.end - begin);
+      std::vector<Point> slice(points.begin() + begin,
+                               points.begin() + begin + count);
+      Status s = writer->AppendChunk(slice, group.first_version + chunk_index++,
+                                     config_.encoding, nullptr);
+      if (!s.ok()) return fail(s);
+    }
+    if (Status s = writer->Finish(); !s.ok()) return fail(s);
+    auto reader_or = FileReader::Open(path);
+    if (!reader_or.ok()) return fail(reader_or.status());
+    readers[g] = std::move(reader_or).value();
   }
-  if (Status s = writer->Finish(); !s.ok()) return fail(s);
 
-  auto reader_or = FileReader::Open(path);
-  if (!reader_or.ok()) return fail(reader_or.status());
-  std::shared_ptr<FileReader> reader = std::move(reader_or).value();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto next = std::make_shared<StoreState>(*state_);
-    for (const ChunkMetadata& meta : reader->chunks()) {
-      next->chunks.push_back(ChunkHandle{reader, &meta});
+    for (size_t g = 0; g < groups.size(); ++g) {
+      StorePartition* part = FindOrAddPartition(
+          next.get(), groups[g].partition, PartitionBounds(groups[g].partition));
+      for (const ChunkMetadata& meta : readers[g]->chunks()) {
+        part->chunks.push_back(ChunkHandle{readers[g], &meta});
+      }
+      part->files.push_back(std::move(readers[g]));
     }
-    next->files.push_back(std::move(reader));
     PublishLocked(std::move(next));
   }
   if (rotated) {
-    // The flushed file now carries the pinned segment's data.
+    // The flushed files now carry the pinned segment's data.
     std::error_code ec;
     fs::remove(OldWalPath(), ec);
   }
@@ -386,10 +620,14 @@ Status TsStore::FlushHoldingMaintenance() {
       "storage_flushes_total", "Memtable flushes to data files");
   static obs::Counter& flush_points_total = obs::GetCounter(
       "storage_flush_points_total", "Points written by memtable flushes");
+  static obs::Counter& partition_files = obs::GetCounter(
+      "partition_files_created_total",
+      "Data files created by flushes (one per touched partition)");
   static obs::Histogram& flush_millis = obs::GetHistogram(
       "storage_flush_millis", "Memtable flush latency (ms)");
   flushes_total.Inc();
   flush_points_total.Inc(points.size());
+  partition_files.Inc(groups.size());
   flush_millis.Observe(timer.ElapsedMillis());
   return Status::OK();
 }
@@ -400,21 +638,87 @@ Status TsStore::ExpireTtl(int64_t ttl, bool* expired) {
     return Status::InvalidArgument("ttl must be positive");
   }
   std::lock_guard<std::mutex> maintenance(maintenance_mutex_);
-  TimeRange interval = CurrentView().DataInterval();
+  StoreView view = CurrentView();
+  TimeRange interval = view.DataInterval();
   if (interval.Empty()) return Status::OK();
   if (interval.end < kMinTimestamp + ttl) return Status::OK();  // underflow
   const Timestamp watermark = interval.end - ttl;
-  if (watermark <= interval.start) return Status::OK();  // nothing older
-  if (watermark <= ttl_watermark_) return Status::OK();  // already covered
-  TSVIZ_RETURN_IF_ERROR(
-      DeleteRange(TimeRange(interval.start, watermark - 1)));
-  ttl_watermark_ = watermark;
-  if (expired != nullptr) *expired = true;
-  static obs::Counter& ttl_expirations = obs::GetCounter(
-      "storage_ttl_expirations_total",
-      "Range tombstones appended by TTL expiry");
-  ttl_expirations.Inc();
+
+  // Partitions whose whole interval lies below the watermark get unlinked
+  // outright — an O(1) state swap instead of tombstone + reclaim
+  // compaction. The legacy group has no upper bound and never qualifies.
+  std::vector<int64_t> droppable;
+  for (const StorePartition& part : view.partitions()) {
+    if (!part.legacy() && !part.interval.Empty() &&
+        part.interval.end < watermark) {
+      droppable.push_back(part.index);
+    }
+  }
+  const bool advance =
+      watermark > interval.start && watermark > ttl_watermark_;
+  if (!advance && droppable.empty()) return Status::OK();
+
+  // Tombstone first: it covers the partial boundary partition and the
+  // memtable, and makes the drop below crash-consistent — if we lose power
+  // mid-unlink, the surviving files reopen already deleted by the mods
+  // record.
+  if (advance) {
+    TSVIZ_RETURN_IF_ERROR(
+        DeleteRange(TimeRange(interval.start, watermark - 1)));
+    ttl_watermark_ = watermark;
+    if (expired != nullptr) *expired = true;
+    static obs::Counter& ttl_expirations = obs::GetCounter(
+        "storage_ttl_expirations_total",
+        "Range tombstones appended by TTL expiry");
+    ttl_expirations.Inc();
+  }
+
+  if (!droppable.empty()) {
+    std::vector<std::string> dead_paths;
+    std::vector<std::string> dead_dirs;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto next = std::make_shared<StoreState>(*state_);
+      auto& parts = next->partitions;
+      for (auto it = parts.begin(); it != parts.end();) {
+        if (!std::binary_search(droppable.begin(), droppable.end(),
+                                it->index)) {
+          ++it;
+          continue;
+        }
+        for (const auto& file : it->files) dead_paths.push_back(file->path());
+        dead_dirs.push_back(PartitionDirPath(it->index));
+        it = parts.erase(it);
+      }
+      PublishLocked(std::move(next));
+    }
+    // Snapshot readers that pinned these files keep their descriptors; the
+    // unlink only drops the directory entries.
+    std::error_code ec;
+    for (const std::string& path : dead_paths) fs::remove(path, ec);
+    for (const std::string& dir : dead_dirs) fs::remove(dir, ec);
+    static obs::Counter& partition_drops = obs::GetCounter(
+        "partition_drops_total",
+        "Fully-expired partitions unlinked by TTL expiry");
+    partition_drops.Inc(droppable.size());
+  }
   return Status::OK();
+}
+
+size_t TsStore::CountFullyExpiredPartitions(int64_t ttl) const {
+  if (ttl <= 0) return 0;
+  StoreView view = CurrentView();
+  TimeRange interval = view.DataInterval();
+  if (interval.Empty() || interval.end < kMinTimestamp + ttl) return 0;
+  const Timestamp watermark = interval.end - ttl;
+  size_t expired = 0;
+  for (const StorePartition& part : view.partitions()) {
+    if (!part.legacy() && !part.interval.Empty() &&
+        part.interval.end < watermark) {
+      ++expired;
+    }
+  }
+  return expired;
 }
 
 size_t TsStore::CountFullyExpiredFiles(int64_t ttl) const {
@@ -434,7 +738,8 @@ size_t TsStore::CountFullyExpiredFiles(int64_t ttl) const {
 
 uint64_t TsStore::TotalStoredPoints() const {
   uint64_t total = 0;
-  for (const ChunkHandle& chunk : CurrentView().chunks()) {
+  const StoreView view = CurrentView();  // named: range-init temporaries die
+  for (const ChunkHandle& chunk : view.chunks()) {
     total += chunk.meta->count;
   }
   return total;

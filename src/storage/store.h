@@ -1,6 +1,8 @@
 #ifndef TSVIZ_STORAGE_STORE_H_
 #define TSVIZ_STORAGE_STORE_H_
 
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -26,12 +28,40 @@ struct ChunkHandle {
   const ChunkMetadata* meta = nullptr;  // owned by `file`
 };
 
+// Index of the legacy (unpartitioned) file group: files at the root of
+// data_dir, written before the store had a partition interval. It sorts
+// before every real index, so the legacy group is always partitions[0].
+inline constexpr int64_t kLegacyPartitionIndex =
+    std::numeric_limits<int64_t>::min();
+
+// One time partition's file group. For a store with partition interval W,
+// partition `index` holds exactly the points with floor(t / W) == index, so
+// distinct partitions never overlap in time — that disjointness is what
+// lets the read path prune whole groups and merge them independently.
+struct StorePartition {
+  int64_t index = kLegacyPartitionIndex;
+  // Time bounds used for pruning. Indexed partitions carry their fixed
+  // nominal interval [index*W, index*W + W - 1]; the legacy group carries
+  // the union of its files' data intervals (empty when it has no data).
+  TimeRange interval{1, 0};
+  std::vector<std::shared_ptr<FileReader>> files;  // ascending file id
+  std::vector<ChunkHandle> chunks;                 // per file, file order
+  bool legacy() const { return index == kLegacyPartitionIndex; }
+};
+
 // One immutable version of the store's on-disk state. Mutations
 // (flush/delete/compaction) publish a fresh StoreState; readers that took a
 // snapshot before the swap keep the old one — the shared_ptr<FileReader>
 // entries pin the files they need, so a concurrent compaction can drop a
 // file from the store without pulling it out from under a running query.
 struct StoreState {
+  // Partition-scoped file groups: the legacy group first (when present),
+  // then ascending partition index. A flat store keeps everything in the
+  // legacy group.
+  std::vector<StorePartition> partitions;
+  // Flat concatenations of the partition members in partition order —
+  // derived from `partitions` at every publish, kept so call sites that do
+  // not care about partitioning keep working unchanged.
   std::vector<std::shared_ptr<FileReader>> files;
   std::vector<ChunkHandle> chunks;
   std::vector<DeleteRecord> deletes;
@@ -54,6 +84,9 @@ class StoreView {
   const std::vector<ChunkHandle>& chunks() const { return state_->chunks; }
   const std::vector<std::shared_ptr<FileReader>>& files() const {
     return state_->files;
+  }
+  const std::vector<StorePartition>& partitions() const {
+    return state_->partitions;
   }
   const std::vector<DeleteRecord>& deletes() const { return state_->deletes; }
   uint64_t state_version() const { return state_->state_version; }
@@ -105,22 +138,49 @@ class TsStore {
   // under the lock, the chunk encoding runs outside it.
   Status Flush();
 
-  // Full compaction: merges every chunk and delete into a fresh file of
-  // disjoint latest-only chunks and drops the covered tombstones. Reads and
-  // merges from a snapshot outside the lock; files flushed and tombstones
-  // appended while the merge runs survive the swap untouched.
+  // Full compaction: merges every partition's chunks (with the deletes)
+  // into one fresh file of disjoint latest-only chunks per partition —
+  // never across a partition boundary — and drops the covered tombstones.
+  // Reads and merges from a snapshot outside the lock; tombstones appended
+  // while the merge runs survive the swap untouched (flushes are excluded
+  // by the maintenance mutex).
   Status Compact();
+
+  // Compacts a single partition's files into one latest-only file, leaving
+  // every other partition (and the mods file) untouched. No-op when the
+  // partition does not exist. Unlike Compact() this does not flush first —
+  // it only reorganizes what is already on disk.
+  Status CompactPartition(int64_t index);
 
   // TTL expiry: appends a range tombstone covering every point older than
   // `ttl` time units behind the newest flushed point (watermark =
-  // data_end - ttl; points with t < watermark expire). Repeated calls are
-  // no-ops until the watermark advances. *expired (optional) reports
+  // data_end - ttl; points with t < watermark expire), then unlinks every
+  // partition whose whole interval lies below the watermark — an O(1)
+  // state swap instead of a reclaim compaction. The tombstone path is
+  // watermark-guarded as before and remains what covers the partial
+  // boundary partition and the memtable. *expired (optional) reports
   // whether a tombstone was appended.
   Status ExpireTtl(int64_t ttl, bool* expired = nullptr);
 
   // Number of data files whose whole interval lies below the TTL watermark
-  // — fully dead weight that only a compaction can reclaim.
+  // — fully dead weight that only a compaction can reclaim (legacy flat
+  // stores; partitioned stores drop whole partitions instead).
   size_t CountFullyExpiredFiles(int64_t ttl) const;
+
+  // Number of partitions whose whole nominal interval lies below the TTL
+  // watermark — candidates for the O(1) drop in ExpireTtl. The legacy
+  // group is never counted (it has no upper bound).
+  size_t CountFullyExpiredPartitions(int64_t ttl) const;
+
+  // The store's effective partition interval: the manifest-pinned value
+  // when one exists, else the configured one. 0 = unpartitioned.
+  int64_t partition_interval() const { return partition_interval_; }
+
+  // floor(t / partition_interval); kLegacyPartitionIndex when the store is
+  // unpartitioned.
+  int64_t PartitionIndexFor(Timestamp t) const;
+
+  size_t NumPartitions() const { return SnapshotState()->partitions.size(); }
 
   const StoreConfig& config() const { return config_; }
 
@@ -174,15 +234,24 @@ class TsStore {
   // The flush body; caller holds maintenance_mutex_.
   Status FlushHoldingMaintenance();
   std::shared_ptr<const StoreState> SnapshotState() const;
-  // Publishes `next` as the current state with a bumped version. Caller
-  // holds mutex_.
+  // Publishes `next` as the current state with a bumped version, rebuilding
+  // the derived flat vectors from the partitions. Caller holds mutex_.
   void PublishLocked(std::shared_ptr<StoreState> next);
-  std::string FilePath(uint64_t file_id) const;
+  // Nominal time bounds of partition `index` (unbounded for the legacy
+  // group).
+  TimeRange PartitionBounds(int64_t index) const;
+  std::string PartitionDirPath(int64_t index) const;
+  std::string FilePath(uint64_t file_id, int64_t partition_index) const;
+  std::string ManifestPath() const;
   std::string ModsPath() const;
   std::string WalPath() const;
   std::string OldWalPath() const;
 
   StoreConfig config_;
+
+  // Effective partition interval, fixed at Open (manifest wins over
+  // config); immutable afterwards, so reads need no lock.
+  int64_t partition_interval_ = 0;
 
   // Serializes Flush/Compact/ExpireTtl against each other. Always acquired
   // before mutex_ (never the other way around).

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
 
 #include "test_util.h"
@@ -114,14 +115,36 @@ TEST(DatabaseTest, ApplySettingRejectsUnknownKnobsListingValidOnes) {
   EXPECT_NE(status.ToString().find("autoflush_byts"), std::string::npos);
   for (const char* knob :
        {"autoflush_bytes", "compaction_files", "page_cache_bytes",
-        "parallelism", "result_cache_capacity", "ttl_ms"}) {
+        "parallelism", "partition_interval_ms", "result_cache_capacity",
+        "ttl_ms"}) {
     EXPECT_NE(status.ToString().find(knob), std::string::npos) << knob;
     EXPECT_OK(db->ApplySetting(knob, 1));
+    // Zero, negative, and fractional values are all rejected, and the
+    // error repeats the knob catalog.
+    for (double bad : {0.0, -1.0, 1.5}) {
+      Status rejected = db->ApplySetting(knob, bad);
+      EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument)
+          << knob << " = " << bad;
+      EXPECT_NE(rejected.ToString().find("valid knobs"), std::string::npos);
+    }
   }
-  EXPECT_EQ(db->ApplySetting("parallelism", -1).code(),
-            StatusCode::kInvalidArgument);
-  EXPECT_EQ(db->ApplySetting("ttl_ms", 1.5).code(),
-            StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, PartitionIntervalSettingAppliesToNewSeries) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                       Database::Open(TestConfig(dir.path())));
+  ASSERT_OK(db->Write("flat", 1, 1.0));
+  ASSERT_OK(db->ApplySetting("partition_interval_ms", 1000));
+  EXPECT_EQ(db->partition_interval_ms(), 1000);
+  ASSERT_OK(db->Write("parted", 2500, 1.0));
+  ASSERT_OK_AND_ASSIGN(TsStore * flat, db->GetSeries("flat"));
+  ASSERT_OK_AND_ASSIGN(TsStore * parted, db->GetSeries("parted"));
+  // Existing series keep their layout; new ones pick up the interval.
+  EXPECT_EQ(flat->partition_interval(), 0);
+  EXPECT_EQ(parted->partition_interval(), 1000);
+  ASSERT_OK(parted->Flush());
+  EXPECT_TRUE(std::filesystem::exists(dir.path() + "/parted/p2"));
 }
 
 TEST(DatabaseTest, SettingsReachTheMaintenancePolicy) {

@@ -1,0 +1,480 @@
+// Acceptance tests for time-partitioned storage: flush routing, legacy
+// layouts, interval pruning, partition-scoped compaction, O(1) TTL drops,
+// manifest pinning, and — the load-bearing invariant — M4 bit-equality
+// between a partitioned store and a flat twin fed the same workload.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bg/maintenance.h"
+#include "common/random.h"
+#include "db/database.h"
+#include "m4/m4_lsm.h"
+#include "m4/parallel.h"
+#include "m4/span.h"
+#include "read/metadata_reader.h"
+#include "read/series_reader.h"
+#include "storage/store.h"
+#include "test_util.h"
+#include "workload/deletes.h"
+#include "workload/generator.h"
+#include "workload/ooo.h"
+
+namespace tsviz {
+namespace {
+
+namespace fs = std::filesystem;
+
+StoreConfig PartitionedConfig(const std::string& dir, int64_t interval) {
+  StoreConfig config;
+  config.data_dir = dir;
+  config.partition_interval_ms = interval;
+  config.points_per_chunk = 50;
+  config.memtable_flush_threshold = 1u << 20;  // tests flush explicitly
+  config.encoding.page_size_points = 16;
+  return config;
+}
+
+// Exact (bit-identical) M4 comparison — stricter than ResultsEquivalent,
+// which tolerates argmin/argmax ties. Partitioning must not change even
+// the tie-breaking: the merged stream the solver sees is identical.
+::testing::AssertionResult SameM4(const M4Result& a, const M4Result& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size " << a.size() << " vs " << b.size();
+  }
+  auto same_point = [](const Point& p, const Point& q) {
+    return p.t == q.t && p.v == q.v;
+  };
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].has_data != b[i].has_data ||
+        (a[i].has_data && !(same_point(a[i].first, b[i].first) &&
+                            same_point(a[i].last, b[i].last) &&
+                            same_point(a[i].bottom, b[i].bottom) &&
+                            same_point(a[i].top, b[i].top)))) {
+      return ::testing::AssertionFailure()
+             << "row " << i << ": " << a[i].ToString() << " vs "
+             << b[i].ToString();
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(PartitionTest, FlushRoutesPointsIntoPartitionDirectories) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(PartitionedConfig(dir.path(), 1000)));
+  EXPECT_EQ(store->partition_interval(), 1000);
+  // One memtable spanning three partitions, including a negative index.
+  for (Timestamp t : {-500, -1, 0, 250, 999, 1000, 1500}) {
+    ASSERT_OK(store->Write(t, double(t)));
+  }
+  ASSERT_OK(store->Flush());
+
+  EXPECT_EQ(store->NumPartitions(), 3u);
+  EXPECT_TRUE(fs::exists(dir.path() + "/p-1"));
+  EXPECT_TRUE(fs::exists(dir.path() + "/p0"));
+  EXPECT_TRUE(fs::exists(dir.path() + "/p1"));
+  EXPECT_TRUE(fs::exists(dir.path() + "/partition.meta"));
+  // One file per touched partition; no data files at the root (only the
+  // WAL, the mods file, and the manifest live there).
+  EXPECT_EQ(store->NumFiles(), 3u);
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    if (entry.is_regular_file()) {
+      EXPECT_NE(entry.path().extension(), ".tsdat") << entry.path();
+    }
+  }
+  StoreView view = store->CurrentView();
+  for (const StorePartition& part : view.partitions()) {
+    EXPECT_FALSE(part.legacy());
+    EXPECT_EQ(part.files.size(), 1u);
+    for (const ChunkHandle& chunk : part.chunks) {
+      EXPECT_GE(chunk.meta->Interval().start, part.interval.start);
+      EXPECT_LE(chunk.meta->Interval().end, part.interval.end);
+    }
+  }
+  // All seven points come back merged in time order.
+  ASSERT_OK_AND_ASSIGN(std::vector<Point> merged,
+                       ReadMergedSeries(view, TimeRange(-1000, 2000), nullptr));
+  EXPECT_EQ(merged.size(), 7u);
+  EXPECT_EQ(merged.front().t, -500);
+  EXPECT_EQ(merged.back().t, 1500);
+}
+
+TEST(PartitionTest, PartitionIndexForUsesFloorDivision) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(PartitionedConfig(dir.path(), 1000)));
+  EXPECT_EQ(store->PartitionIndexFor(0), 0);
+  EXPECT_EQ(store->PartitionIndexFor(999), 0);
+  EXPECT_EQ(store->PartitionIndexFor(1000), 1);
+  EXPECT_EQ(store->PartitionIndexFor(-1), -1);
+  EXPECT_EQ(store->PartitionIndexFor(-1000), -1);
+  EXPECT_EQ(store->PartitionIndexFor(-1001), -2);
+}
+
+TEST(PartitionTest, LegacyFlatLayoutOpensAsOneUnboundedPartition) {
+  TempDir dir;
+  // Fixture: a store written before partitioning existed (flat layout).
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                         TsStore::Open(PartitionedConfig(dir.path(), 0)));
+    for (int i = 0; i < 100; ++i) ASSERT_OK(store->Write(i * 10, double(i)));
+    ASSERT_OK(store->Flush());
+  }
+  EXPECT_FALSE(fs::exists(dir.path() + "/partition.meta"));
+
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(PartitionedConfig(dir.path(), 0)));
+  StoreView view = store->CurrentView();
+  ASSERT_EQ(view.partitions().size(), 1u);
+  EXPECT_TRUE(view.partitions()[0].legacy());
+  EXPECT_EQ(view.partitions()[0].index, kLegacyPartitionIndex);
+  // The legacy group still prunes on its data interval.
+  EXPECT_EQ(view.partitions()[0].interval, TimeRange(0, 990));
+
+  ASSERT_OK_AND_ASSIGN(std::vector<Point> merged,
+                       ReadMergedSeries(view, TimeRange(0, 1000), nullptr));
+  EXPECT_EQ(merged.size(), 100u);
+  const M4Query query{0, 1000, 25};
+  ASSERT_OK_AND_ASSIGN(M4Result rows, RunM4Lsm(view, query, nullptr));
+  EXPECT_EQ(rows.size(), 25u);
+}
+
+TEST(PartitionTest, MixedLegacyAndPartitionedLayoutStaysReadable) {
+  TempDir dir;
+  {  // flat era
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                         TsStore::Open(PartitionedConfig(dir.path(), 0)));
+    for (int i = 0; i < 50; ++i) ASSERT_OK(store->Write(i * 10, 1.0));
+    ASSERT_OK(store->Flush());
+  }
+  // Partitioning enabled on the existing directory: root files stay put as
+  // the legacy group, new flushes route into p<index>/.
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(PartitionedConfig(dir.path(), 1000)));
+  for (int i = 0; i < 50; ++i) ASSERT_OK(store->Write(2000 + i * 10, 2.0));
+  ASSERT_OK(store->Flush());
+
+  StoreView view = store->CurrentView();
+  ASSERT_EQ(view.partitions().size(), 2u);
+  EXPECT_TRUE(view.partitions()[0].legacy());  // legacy sorts first
+  EXPECT_EQ(view.partitions()[1].index, 2);
+  ASSERT_OK_AND_ASSIGN(std::vector<Point> merged,
+                       ReadMergedSeries(view, TimeRange(0, 3000), nullptr));
+  EXPECT_EQ(merged.size(), 100u);
+}
+
+TEST(PartitionTest, ManifestPinsIntervalAgainstConfigChanges) {
+  TempDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                         TsStore::Open(PartitionedConfig(dir.path(), 1000)));
+    for (int i = 0; i < 30; ++i) ASSERT_OK(store->Write(i * 100, 1.0));
+    ASSERT_OK(store->Flush());
+  }
+  // Reopening with a different configured width keeps the pinned interval.
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(PartitionedConfig(dir.path(), 500)));
+  EXPECT_EQ(store->partition_interval(), 1000);
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Point> merged,
+      ReadMergedSeries(store->CurrentView(), TimeRange(0, 3000), nullptr));
+  EXPECT_EQ(merged.size(), 30u);
+}
+
+TEST(PartitionTest, QueriesPruneNonOverlappingPartitions) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(PartitionedConfig(dir.path(), 1000)));
+  for (int p = 0; p < 10; ++p) {
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_OK(store->Write(p * 1000 + i * 50, double(p)));
+    }
+    ASSERT_OK(store->Flush());  // one file per partition
+  }
+  ASSERT_EQ(store->NumPartitions(), 10u);
+
+  // Narrow zoom into partition 4.
+  QueryStats stats;
+  StoreView view = store->CurrentView();
+  std::vector<PartitionChunks> groups =
+      SelectPartitionChunks(view, TimeRange(4200, 4400), &stats);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].partition_index, 4);
+  EXPECT_EQ(stats.partitions_scanned, 1u);
+  EXPECT_EQ(stats.partitions_pruned, 9u);
+
+  // The M4 path reports the same pruning and loads metadata only for the
+  // partitions in range.
+  QueryStats m4_stats;
+  const M4Query query{4000, 6000, 20};
+  ASSERT_OK_AND_ASSIGN(M4Result rows, RunM4Lsm(view, query, &m4_stats));
+  EXPECT_EQ(rows.size(), 20u);
+  EXPECT_EQ(m4_stats.partitions_scanned, 2u);
+  EXPECT_EQ(m4_stats.partitions_pruned, 8u);
+}
+
+TEST(PartitionTest, CompactPartitionLeavesOtherPartitionsUntouched) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(PartitionedConfig(dir.path(), 1000)));
+  // Three files in partition 0, two in partition 1 (with an overwrite).
+  for (int f = 0; f < 3; ++f) {
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_OK(store->Write(i * 50, double(f)));
+    }
+    ASSERT_OK(store->Flush());
+  }
+  for (int f = 0; f < 2; ++f) {
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_OK(store->Write(1000 + i * 50, double(f)));
+    }
+    ASSERT_OK(store->Flush());
+  }
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Point> before,
+      ReadMergedSeries(store->CurrentView(), TimeRange(0, 2000), nullptr));
+
+  auto files_in = [&](const StoreView& view, int64_t index) {
+    for (const StorePartition& part : view.partitions()) {
+      if (part.index == index) return part.files;
+    }
+    return std::vector<std::shared_ptr<FileReader>>{};
+  };
+  std::vector<std::shared_ptr<FileReader>> p1_before =
+      files_in(store->CurrentView(), 1);
+  ASSERT_EQ(p1_before.size(), 2u);
+
+  ASSERT_OK(store->CompactPartition(0));
+  StoreView view = store->CurrentView();
+  EXPECT_EQ(files_in(view, 0).size(), 1u);
+  // Partition 1 still holds the exact same reader objects.
+  EXPECT_EQ(files_in(view, 1), p1_before);
+
+  ASSERT_OK_AND_ASSIGN(std::vector<Point> after,
+                       ReadMergedSeries(view, TimeRange(0, 2000), nullptr));
+  EXPECT_EQ(before, after);
+  // Compacting a partition that does not exist is a no-op, not an error.
+  ASSERT_OK(store->CompactPartition(77));
+}
+
+TEST(PartitionTest, TtlExpiryDropsFullyExpiredPartitionsWholesale) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(PartitionedConfig(dir.path(), 1000)));
+  for (int p = 0; p < 5; ++p) {
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_OK(store->Write(p * 1000 + i * 100, double(p)));
+    }
+    ASSERT_OK(store->Flush());
+  }
+  ASSERT_EQ(store->NumPartitions(), 5u);
+
+  // Watermark = data_end - ttl = 4900 - 2400 = 2500: partitions 0 and 1
+  // ([0,1000), [1000,2000)) are wholly below it; partition 2 straddles.
+  EXPECT_EQ(store->CountFullyExpiredPartitions(2400), 2u);
+  bool expired = false;
+  ASSERT_OK(store->ExpireTtl(2400, &expired));
+  EXPECT_TRUE(expired);
+
+  EXPECT_EQ(store->NumPartitions(), 3u);
+  EXPECT_FALSE(fs::exists(dir.path() + "/p0"));
+  EXPECT_FALSE(fs::exists(dir.path() + "/p1"));
+  EXPECT_TRUE(fs::exists(dir.path() + "/p2"));
+  EXPECT_EQ(store->CountFullyExpiredPartitions(2400), 0u);
+
+  // The boundary partition is covered by the tombstone, not the drop.
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Point> live,
+      ReadMergedSeries(store->CurrentView(), TimeRange(0, 5000), nullptr));
+  ASSERT_FALSE(live.empty());
+  EXPECT_GE(live.front().t, 2500);
+  EXPECT_EQ(live.back().t, 4900);
+
+  // Survivors reopen identically (the tombstone preceded the unlink).
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> reopened,
+                       TsStore::Open(PartitionedConfig(dir.path(), 1000)));
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Point> replayed,
+      ReadMergedSeries(reopened->CurrentView(), TimeRange(0, 5000), nullptr));
+  EXPECT_EQ(live, replayed);
+}
+
+TEST(PartitionTest, MaintenanceTicksCompactHotPartitionsIndividually) {
+  TempDir dir;
+  DatabaseConfig config;
+  config.root_dir = dir.path();
+  config.series_defaults = PartitionedConfig("", 1000);  // data_dir per series
+  config.maintenance.enabled = false;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db, Database::Open(config));
+  db->StartMaintenance();
+  bg::MaintenanceManager& mgr = db->maintenance();
+  mgr.set_memtable_flush_bytes(0);
+  mgr.set_compaction_files(3);
+  ASSERT_OK_AND_ASSIGN(TsStore * store, db->GetOrCreateSeries("s"));
+  // Partition 0 accumulates three files; partition 5 stays cold with one.
+  for (int i = 0; i < 5; ++i) ASSERT_OK(store->Write(5000 + i * 100, 1.0));
+  ASSERT_OK(store->Flush());
+  for (int f = 0; f < 3; ++f) {
+    for (int i = 0; i < 5; ++i) ASSERT_OK(store->Write(i * 100, double(f)));
+    ASSERT_OK(store->Flush());
+  }
+
+  EXPECT_GE(mgr.Tick(), 1u);
+  mgr.Drain();
+  bool saw_partition_job = false;
+  for (const bg::JobInfo& info : mgr.ListJobs()) {
+    if (info.type == "compact:p0") saw_partition_job = true;
+    EXPECT_NE(info.type, "compact:p5");  // cold partition never scheduled
+  }
+  EXPECT_TRUE(saw_partition_job);
+  StoreView view = store->CurrentView();
+  for (const StorePartition& part : view.partitions()) {
+    EXPECT_EQ(part.files.size(), 1u) << "partition " << part.index;
+  }
+  db->StopMaintenance();
+}
+
+TEST(PartitionTest, SpanCutsAlignToPartitionBoundaries) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(PartitionedConfig(dir.path(), 1000)));
+  for (int p = 0; p < 4; ++p) {
+    for (int i = 0; i < 25; ++i) {
+      ASSERT_OK(store->Write(p * 1000 + i * 40, double(i)));
+    }
+    ASSERT_OK(store->Flush());
+  }
+  StoreView view = store->CurrentView();
+  const M4Query query{0, 4000, 100};
+  SpanSet spans(query);
+
+  const std::vector<int64_t> cuts = PartitionAlignedSpanCuts(view, query, 4);
+  ASSERT_EQ(cuts.size(), 5u);
+  EXPECT_EQ(cuts.front(), 0);
+  EXPECT_EQ(cuts.back(), query.w);
+  for (size_t i = 1; i < cuts.size(); ++i) {
+    EXPECT_LE(cuts[i - 1], cuts[i]);
+  }
+  // Every interior cut sits exactly on a partition boundary's span here —
+  // the even split (25/50/75) coincides with boundaries 1000/2000/3000.
+  for (size_t i = 1; i + 1 < cuts.size(); ++i) {
+    const Timestamp t = spans.SpanStart(cuts[i]);
+    EXPECT_EQ(t % 1000, 0) << "cut " << i << " at span " << cuts[i];
+  }
+
+  // Serial and parallel agree bit-for-bit regardless of cut placement.
+  ASSERT_OK_AND_ASSIGN(M4Result serial, RunM4Lsm(view, query, nullptr));
+  ASSERT_OK_AND_ASSIGN(M4Result parallel,
+                       RunM4LsmParallel(view, query, 4, nullptr));
+  EXPECT_TRUE(SameM4(serial, parallel));
+}
+
+// The headline acceptance test: a partitioned store and a flat twin ingest
+// the same BallSpeed-like workload — out-of-order arrivals, deletes, an
+// unflushed WAL tail surviving a crash — and answer M4 bit-identically at
+// every stage. Partitioning changes the files, never the answer.
+TEST(PartitionEquivalenceTest, PartitionedMatchesFlatOnBallSpeedWorkload) {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kBallSpeed;
+  spec.num_points = 3000;
+  spec.start_time = 0;
+  std::vector<Point> points = GenerateDataset(spec);
+  Rng rng(11);
+  std::vector<Point> arrivals = MakeOverlappingOrder(points, 50, 0.3, &rng);
+  const Timestamp t_end = points.back().t;
+  const int64_t interval = (t_end + 1) / 8;  // ~8 partitions
+
+  TempDir part_dir;
+  TempDir flat_dir;
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<TsStore> parted,
+      TsStore::Open(PartitionedConfig(part_dir.path(), interval)));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> flat,
+                       TsStore::Open(PartitionedConfig(flat_dir.path(), 0)));
+
+  auto both_m4_match = [&](const std::string& stage) {
+    for (int64_t w : {7, 100, 333}) {
+      const M4Query query{0, t_end + 1, w};
+      auto a = RunM4Lsm(parted->CurrentView(), query, nullptr);
+      auto b = RunM4Lsm(flat->CurrentView(), query, nullptr);
+      ASSERT_OK(a.status());
+      ASSERT_OK(b.status());
+      EXPECT_TRUE(SameM4(*a, *b)) << stage << " w=" << w;
+    }
+  };
+
+  // Ingest in lockstep, flushing every 200 arrivals.
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    ASSERT_OK(parted->Write(arrivals[i].t, arrivals[i].v));
+    ASSERT_OK(flat->Write(arrivals[i].t, arrivals[i].v));
+    if ((i + 1) % 200 == 0) {
+      ASSERT_OK(parted->Flush());
+      ASSERT_OK(flat->Flush());
+    }
+  }
+  both_m4_match("after ingest");
+  EXPECT_GT(parted->NumPartitions(), 4u);
+
+  // Identical delete ranges (planned once, applied to both).
+  DeleteWorkloadSpec del_spec;
+  del_spec.delete_fraction = 0.2;
+  del_spec.seed = 23;
+  for (const TimeRange& range : PlanDeleteRanges(*flat, del_spec)) {
+    ASSERT_OK(parted->DeleteRange(range));
+    ASSERT_OK(flat->DeleteRange(range));
+  }
+  both_m4_match("after deletes");
+
+  // Maintenance concurrent with queries: partition-scoped compactions on
+  // one store, a monolithic compaction on the other, queries racing both.
+  {
+    std::atomic<bool> stop{false};
+    std::thread background([&] {
+      while (!stop.load()) {
+        const StoreView snapshot = parted->CurrentView();
+        for (const StorePartition& part : snapshot.partitions()) {
+          if (!part.legacy()) {
+            ASSERT_OK(parted->CompactPartition(part.index));
+          }
+        }
+        ASSERT_OK(flat->Compact());
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    for (int round = 0; round < 20; ++round) {
+      both_m4_match("during maintenance round " + std::to_string(round));
+    }
+    stop = true;
+    background.join();
+  }
+  both_m4_match("after maintenance");
+
+  // Crash with an unflushed tail: close both stores without flushing, then
+  // reopen — WAL replay must restore the twins to agreement.
+  for (int i = 0; i < 100; ++i) {
+    const Timestamp t = t_end - 500 + i;
+    ASSERT_OK(parted->Write(t, std::sin(i * 0.2) * 10));
+    ASSERT_OK(flat->Write(t, std::sin(i * 0.2) * 10));
+  }
+  EXPECT_GT(parted->memtable_size(), 0u);
+  parted.reset();  // ~TsStore never flushes: the tail lives only in the WAL
+  flat.reset();
+  ASSERT_OK_AND_ASSIGN(
+      parted, TsStore::Open(PartitionedConfig(part_dir.path(), interval)));
+  ASSERT_OK_AND_ASSIGN(flat,
+                       TsStore::Open(PartitionedConfig(flat_dir.path(), 0)));
+  EXPECT_GT(parted->memtable_size(), 0u);  // the tail came back
+  both_m4_match("after crash recovery");
+}
+
+}  // namespace
+}  // namespace tsviz

@@ -169,6 +169,15 @@ TEST_F(ServerTest, MaintenanceStatementsWorkOverTheWire) {
   // The periodic policy tick is registered (and likely pending or running).
   EXPECT_NE(reply.find("tick"), std::string::npos) << reply;
 
+  client.Send("SHOW SERIES");
+  reply = client.ReadReply();
+  EXPECT_NE(
+      reply.find(
+          "series,partition_interval_ms,partitions,files,chunks,data_start"),
+      std::string::npos)
+      << reply;
+  EXPECT_NE(reply.find("s1,"), std::string::npos) << reply;
+
   client.Send("FLUSH no_such_series");
   EXPECT_EQ(client.ReadReply().rfind("ERROR:", 0), 0u);
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 
 #include "common/random.h"
@@ -351,14 +352,64 @@ TEST_F(SqlExecutorTest, SetAdjustsRuntimeKnobs) {
       "GROUP BY SPANS(16)");
   EXPECT_EQ(rows.num_rows(), 16u);
 
-  MustQuery("SET result_cache_capacity = 0");
-  EXPECT_EQ(db_->result_cache().capacity(), 0u);
+  MustQuery("SET result_cache_capacity = 16");
+  EXPECT_EQ(db_->result_cache().capacity(), 16u);
   MustQuery("SET page_cache_bytes = 1048576");
 
   EXPECT_FALSE(ExecuteQuery(db_.get(), "SET parallelism = 0", nullptr).ok());
   EXPECT_FALSE(ExecuteQuery(db_.get(), "SET parallelism = 1.5", nullptr).ok());
   EXPECT_FALSE(ExecuteQuery(db_.get(), "SET nonsense = 1", nullptr).ok());
   EXPECT_FALSE(ExecuteQuery(db_.get(), "SET parallelism", nullptr).ok());
+}
+
+// Every knob uses the same validation: zero, negative, and non-integer
+// values are rejected with the full knob catalog in the error, and the
+// rejected SET leaves the previous value in place.
+TEST_F(SqlExecutorTest, SetRejectsBadValuesForEveryKnobWithoutMutating) {
+  ASSERT_OK(
+      ExecuteQuery(db_.get(), "SET partition_interval_ms = 5000", nullptr)
+          .status());
+  struct Knob {
+    const char* name;
+    std::function<double()> current;
+  };
+  const std::vector<Knob> knobs = {
+      {"autoflush_bytes",
+       [&] { return double(db_->maintenance().memtable_flush_bytes()); }},
+      {"compaction_files",
+       [&] { return double(db_->maintenance().compaction_files()); }},
+      {"parallelism", [&] { return double(db_->query_parallelism()); }},
+      {"partition_interval_ms",
+       [&] { return double(db_->partition_interval_ms()); }},
+      {"result_cache_capacity",
+       [&] { return double(db_->result_cache().capacity()); }},
+      {"ttl_ms", [&] { return double(db_->maintenance().ttl()); }},
+  };
+  for (const Knob& knob : knobs) {
+    const double before = knob.current();
+    for (const char* bad : {"0", "-1", "2.5"}) {
+      Status status =
+          ExecuteQuery(db_.get(),
+                       std::string("SET ") + knob.name + " = " + bad, nullptr)
+              .status();
+      EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+          << knob.name << " = " << bad;
+      // The error names every valid knob so the user can recover.
+      EXPECT_NE(status.ToString().find("partition_interval_ms"),
+                std::string::npos)
+          << status.ToString();
+      EXPECT_NE(status.ToString().find("autoflush_bytes"), std::string::npos);
+      EXPECT_EQ(knob.current(), before) << knob.name << " = " << bad;
+    }
+    // Non-numeric values die in the parser, also naming the knobs.
+    Status status =
+        ExecuteQuery(db_.get(), std::string("SET ") + knob.name + " = lots",
+                     nullptr)
+            .status();
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << knob.name;
+    EXPECT_NE(status.ToString().find("valid knobs"), std::string::npos);
+    EXPECT_EQ(knob.current(), before) << knob.name;
+  }
 }
 
 TEST_F(SqlExecutorTest, SetAdjustsMaintenanceKnobs) {
@@ -368,9 +419,9 @@ TEST_F(SqlExecutorTest, SetAdjustsMaintenanceKnobs) {
   EXPECT_EQ(db_->maintenance().compaction_files(), 3u);
   MustQuery("SET ttl_ms = 60000");
   EXPECT_EQ(db_->maintenance().ttl(), 60000);
-  // Zero disables each trigger; negatives are rejected.
-  MustQuery("SET ttl_ms = 0");
-  EXPECT_EQ(db_->maintenance().ttl(), 0);
+  // Zero and negatives are rejected and leave the knob untouched.
+  EXPECT_FALSE(ExecuteQuery(db_.get(), "SET ttl_ms = 0", nullptr).ok());
+  EXPECT_EQ(db_->maintenance().ttl(), 60000);
   EXPECT_FALSE(ExecuteQuery(db_.get(), "SET ttl_ms = -5", nullptr).ok());
   EXPECT_FALSE(
       ExecuteQuery(db_.get(), "SET autoflush_bytes = -1", nullptr).ok());
@@ -432,15 +483,73 @@ TEST_F(SqlExecutorTest, ShowJobsListsScheduledWork) {
   db_->StopMaintenance();
 }
 
+TEST_F(SqlExecutorTest, ExplainAnalyzeNarrowZoomShowsPartitionPruning) {
+  ASSERT_OK(db_->ApplySetting("partition_interval_ms", 250));
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(db_->Write("parted", i * 10, double(i)));  // 8 partitions
+  }
+  ASSERT_OK(db_->FlushAll());
+  // A zoom into one partition prunes the other seven before their file
+  // metadata is touched.
+  ResultSet result = MustQuery(
+      "EXPLAIN ANALYZE SELECT M4(v) FROM parted "
+      "WHERE time >= 500 AND time < 700 GROUP BY SPANS(4)");
+  std::string csv = result.ToCsv();
+  EXPECT_NE(csv.find("stat:partitions_scanned,1"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("stat:partitions_pruned,7"), std::string::npos) << csv;
+  // The metadata-only plan reports the same split.
+  ResultSet plan = MustQuery(
+      "EXPLAIN SELECT M4(v) FROM parted "
+      "WHERE time >= 500 AND time < 700 GROUP BY SPANS(4)");
+  csv = plan.ToCsv();
+  EXPECT_NE(csv.find("partitions_total,8"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("partitions_pruned,7"), std::string::npos) << csv;
+}
+
+TEST_F(SqlExecutorTest, ShowSeriesListsStorageShape) {
+  ASSERT_OK(db_->ApplySetting("partition_interval_ms", 500));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK(db_->Write("parted", i * 500, double(i)));
+  }
+  ASSERT_OK(db_->FlushAll());
+  ResultSet result = MustQuery("SHOW SERIES");
+  EXPECT_EQ(result.columns(),
+            (std::vector<std::string>{"series", "partition_interval_ms",
+                                      "partitions", "files", "chunks",
+                                      "data_start", "data_end"}));
+  ASSERT_EQ(result.num_rows(), 2u);  // sorted: parted, s1
+  const auto& parted = result.rows()[0];
+  EXPECT_EQ(parted[0], ResultSet::Cell(std::string("parted")));
+  EXPECT_EQ(parted[1], ResultSet::Cell(int64_t{500}));
+  EXPECT_EQ(parted[2], ResultSet::Cell(int64_t{4}));  // one per point
+  EXPECT_EQ(parted[5], ResultSet::Cell(int64_t{0}));
+  EXPECT_EQ(parted[6], ResultSet::Cell(int64_t{1500}));
+  const auto& flat = result.rows()[1];
+  EXPECT_EQ(flat[0], ResultSet::Cell(std::string("s1")));
+  EXPECT_EQ(flat[1], ResultSet::Cell(int64_t{0}));
+  EXPECT_EQ(flat[2], ResultSet::Cell(int64_t{1}));  // one legacy group
+}
+
 TEST_F(SqlExecutorTest, DisabledResultCacheStillUsesPageCache) {
-  MustQuery("SET result_cache_capacity = 0");
+  // Result caching is disabled at open (SET only accepts positive values).
+  TempDir dir;
+  DatabaseConfig config;
+  config.root_dir = dir.path();
+  config.series_defaults.points_per_chunk = 40;
+  config.series_defaults.memtable_flush_threshold = 40;
+  config.m4_result_cache_capacity = 0;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db, Database::Open(config));
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(db->Write("s1", i * 10, double(i)));
+  }
+  ASSERT_OK(db->FlushAll());
   const std::string statement =
       "SELECT M4(v) FROM s1 WHERE time >= 0 AND time < 2000 "
       "GROUP BY SPANS(8)";
   QueryStats first;
-  ASSERT_OK(ExecuteQuery(db_.get(), statement, &first).status());
+  ASSERT_OK(ExecuteQuery(db.get(), statement, &first).status());
   QueryStats second;
-  ASSERT_OK(ExecuteQuery(db_.get(), statement, &second).status());
+  ASSERT_OK(ExecuteQuery(db.get(), statement, &second).status());
   // The query re-executes (chunk data is touched) but every page comes from
   // the shared decoded-page cache instead of disk.
   EXPECT_GT(second.chunks_loaded, 0u);

@@ -175,5 +175,27 @@ TEST(StatementParserTest, ShowJobsAndShowMetrics) {
   EXPECT_FALSE(ParseStatement("SHOW JOBS please").ok());
 }
 
+TEST(StatementParserTest, ShowSeries) {
+  ASSERT_OK_AND_ASSIGN(Statement stmt, ParseStatement("SHOW SERIES"));
+  EXPECT_TRUE(std::holds_alternative<ShowSeriesStatement>(stmt));
+  EXPECT_FALSE(IsWriteStatement(stmt));
+
+  ASSERT_OK_AND_ASSIGN(stmt, ParseStatement("show series"));
+  EXPECT_TRUE(std::holds_alternative<ShowSeriesStatement>(stmt));
+
+  EXPECT_FALSE(ParseStatement("SHOW SERIES s1").ok());
+  // The SHOW error names every supported variant.
+  Status status = ParseStatement("SHOW TABLES").status();
+  EXPECT_NE(status.ToString().find("SHOW SERIES"), std::string::npos);
+}
+
+TEST(StatementParserTest, SetSyntaxErrorNamesValidKnobs) {
+  Status status = ParseStatement("SET parallelism = lots").status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("partition_interval_ms"),
+            std::string::npos)
+      << status.ToString();
+}
+
 }  // namespace
 }  // namespace tsviz::sql

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full pre-PR gate: builds and tests every preset (default, tsan, asan)
+# and lints the metrics catalog against docs/OBSERVABILITY.md.
+#
+# Usage: tools/ci.sh [preset ...]
+#   With no arguments all three presets run. Pass a subset (e.g.
+#   `tools/ci.sh default`) for a quicker local loop.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default tsan asan)
+fi
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+for preset in "${presets[@]}"; do
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset" >/dev/null
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "=== [$preset] test ==="
+  ctest --preset "$preset" -j "$jobs"
+done
+
+echo "=== metrics catalog lint ==="
+python3 tools/check_metrics.py
+
+echo "ci.sh: all green (${presets[*]})"

@@ -15,6 +15,23 @@
 //                     [--csv FILE]
 //   tsviz_cli compact --db DIR [--series NAME]
 //   tsviz_cli serve   --db DIR [--port N]        (line-protocol SQL server)
+//
+// Every subcommand also accepts --partition_interval_ms W: series created
+// by the invocation store their files in time-partitioned groups of width
+// W (existing series keep the width pinned in their partition.meta).
+//
+// The sql subcommand accepts every server statement, notably:
+//   FLUSH [series]                 persist memtables to data files
+//   COMPACT [series]               merge each partition's files into one
+//   SHOW METRICS                   Prometheus text exposition of all metrics
+//   SHOW JOBS                      background maintenance scheduler state
+//   SHOW SERIES                    per-series partition/file/chunk counts
+//   SET <knob> = <n>               runtime knobs: autoflush_bytes,
+//                                  compaction_files, page_cache_bytes,
+//                                  parallelism, partition_interval_ms,
+//                                  result_cache_capacity, ttl_ms
+//   EXPLAIN [ANALYZE] SELECT ...   plan / traced execution with stat:
+//                                  counters (partitions_pruned, ...)
 
 #include <unistd.h>
 
@@ -75,10 +92,22 @@ int Fail(const std::string& message) {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: tsviz_cli "
-               "{info|import|export|write|delete|m4|sql|render|compact|serve} "
-               "--db DIR [options]\n(see the header of tools/tsviz_cli.cc)\n");
+  std::fprintf(
+      stderr,
+      "usage: tsviz_cli "
+      "{info|import|export|write|delete|m4|sql|render|compact|serve} "
+      "--db DIR [options]\n"
+      "\n"
+      "sql statements (tsviz_cli sql --db DIR \"<statement>\"):\n"
+      "  SELECT M4(v) FROM s WHERE time >= a AND time < b GROUP BY SPANS(w)\n"
+      "  EXPLAIN [ANALYZE] SELECT ...   plan / traced run with stat: rows\n"
+      "  FLUSH [series]                 persist memtables to data files\n"
+      "  COMPACT [series]               merge partition files\n"
+      "  SHOW METRICS | JOBS | SERIES   metrics, scheduler, storage shape\n"
+      "  SET <knob> = <n>               %s\n"
+      "\n"
+      "(see the header of tools/tsviz_cli.cc for per-subcommand flags)\n",
+      kValidSetKnobs);
   return 2;
 }
 
@@ -89,6 +118,10 @@ Result<std::unique_ptr<Database>> OpenDb(const Flags& flags) {
   }
   DatabaseConfig config;
   config.root_dir = *db_dir;
+  // Applies to series created by this invocation; existing series keep the
+  // interval pinned in their partition.meta manifest.
+  config.series_defaults.partition_interval_ms =
+      flags.GetInt("partition_interval_ms").value_or(0);
   return Database::Open(std::move(config));
 }
 
