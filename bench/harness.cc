@@ -56,6 +56,8 @@ Result<BuiltStore> BuildDatasetStore(DatasetKind kind, double scale,
 
   StoreConfig config;
   config.data_dir = built.dir;
+  // Benchmarks measure encode/query cost, not disk durability.
+  config.durable_fsync = false;
   config.points_per_chunk = spec.points_per_chunk;
   config.memtable_flush_threshold = spec.points_per_chunk;
   config.encoding.page_size_points = spec.page_size_points;

@@ -54,6 +54,13 @@ Status TimedJob(const char* span_name, obs::Histogram& hist,
   hist.Observe(std::chrono::duration<double, std::milli>(
                    std::chrono::steady_clock::now() - start)
                    .count());
+  if (status.code() == StatusCode::kIoError ||
+      status.code() == StatusCode::kCorruption) {
+    static obs::Counter& io_failures = obs::GetCounter(
+        "bg_job_io_failures_total",
+        "Background jobs that failed with an I/O or corruption error");
+    io_failures.Inc();
+  }
   return status;
 }
 

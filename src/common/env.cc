@@ -1,0 +1,596 @@
+#include "common/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+
+namespace tsviz {
+
+namespace {
+
+std::atomic<uint64_t> g_fsyncs{0};
+std::atomic<uint64_t> g_dir_syncs{0};
+std::atomic<uint64_t> g_fsync_failures{0};
+std::atomic<uint64_t> g_faults_injected{0};
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+// ---------------------------------------------------------------------------
+// PosixEnv
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(int fd, std::string path, uint64_t size)
+      : fd_(fd), path_(std::move(path)), size_(size) {}
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  uint64_t size() const override { return size_; }
+
+  Status Read(uint64_t offset, size_t length, std::string* out) override {
+    out->assign(length, '\0');
+    size_t done = 0;
+    while (done < length) {
+      ssize_t n = ::pread(fd_, out->data() + done, length - done,
+                          static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(Errno("pread", path_));
+      }
+      if (n == 0) return Status::IoError(path_ + ": unexpected EOF");
+      done += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+  uint64_t size_;
+};
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path, uint64_t size)
+      : fd_(fd), path_(std::move(path)), size_(size) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::IoError(path_ + ": file is closed");
+    size_t done = 0;
+    while (done < data.size()) {
+      ssize_t n = ::write(fd_, data.data() + done, data.size() - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        size_ += done;  // a partial tail may be on disk; caller truncates
+        return Status::IoError(Errno("write", path_));
+      }
+      done += static_cast<size_t>(n);
+    }
+    size_ += done;
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::IoError(path_ + ": file is closed");
+    g_fsyncs.fetch_add(1, std::memory_order_relaxed);
+    if (::fsync(fd_) != 0) {
+      g_fsync_failures.fetch_add(1, std::memory_order_relaxed);
+      return Status::IoError(Errno("fsync", path_));
+    }
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (fd_ < 0) return Status::IoError(path_ + ": file is closed");
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Status::IoError(Errno("ftruncate", path_));
+    }
+    size_ = size;
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return Status::IoError(Errno("close", path_));
+    return Status::OK();
+  }
+
+  uint64_t size() const override { return size_; }
+
+ private:
+  int fd_;
+  std::string path_;
+  uint64_t size_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return Status::IoError(Errno("cannot open", path));
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Status::IoError(Errno("cannot stat", path));
+    }
+    return std::unique_ptr<RandomAccessFile>(std::make_unique<
+        PosixRandomAccessFile>(fd, path, static_cast<uint64_t>(st.st_size)));
+  }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                    0644);
+    if (fd < 0) return Status::IoError(Errno("cannot create", path));
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path, 0));
+  }
+
+  Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override {
+    int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    if (fd < 0) return Status::IoError(Errno("cannot open", path));
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Status::IoError(Errno("cannot stat", path));
+    }
+    return std::unique_ptr<WritableFile>(std::make_unique<PosixWritableFile>(
+        fd, path, static_cast<uint64_t>(st.st_size)));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound(path + ": no such file");
+      return Status::IoError(Errno("cannot open", path));
+    }
+    std::string content;
+    char buffer[8192];
+    while (true) {
+      ssize_t n = ::read(fd, buffer, sizeof(buffer));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        Status status = Status::IoError(Errno("read", path));
+        ::close(fd);
+        return status;
+      }
+      if (n == 0) break;
+      content.append(buffer, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return content;
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IoError(Errno("cannot rename " + from + " to", to));
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IoError(Errno("cannot remove", path));
+    }
+    return Status::OK();
+  }
+
+  Status RemoveDir(const std::string& path) override {
+    if (::rmdir(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IoError(Errno("cannot remove dir", path));
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    // mkdir -p: create each prefix component, tolerating pre-existing ones.
+    std::string prefix;
+    size_t begin = 0;
+    while (begin <= path.size()) {
+      size_t end = path.find('/', begin);
+      if (end == std::string::npos) end = path.size();
+      prefix = path.substr(0, end);
+      begin = end + 1;
+      if (prefix.empty()) continue;  // leading '/'
+      if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+        return Status::IoError(Errno("cannot create dir", prefix));
+      }
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return Status::IoError(Errno("cannot open dir", dir));
+    g_dir_syncs.fetch_add(1, std::memory_order_relaxed);
+    int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) {
+      g_fsync_failures.fetch_add(1, std::memory_order_relaxed);
+      return Status::IoError(Errno("fsync dir", dir));
+    }
+    return Status::OK();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// FaultInjectionEnv
+
+// Shared by the env and every handle it has opened, so swapping envs never
+// invalidates in-flight handles.
+struct FaultState {
+  FaultConfig config;
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> appends{0};
+  std::atomic<uint64_t> syncs{0};
+
+  // Whether the `seq`-th op (0-based, category-local) of a fault kind that
+  // fires every `every` ops should inject. The seed shifts the schedule so
+  // different seeds fault different ops.
+  bool ShouldInject(uint64_t seq, uint64_t every) const {
+    if (every == 0 || seq < config.start_after) return false;
+    return (seq - config.start_after + config.seed) % every == every - 1;
+  }
+};
+
+class FaultRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
+                        std::shared_ptr<FaultState> state)
+      : base_(std::move(base)), state_(std::move(state)) {}
+
+  uint64_t size() const override { return base_->size(); }
+
+  Status Read(uint64_t offset, size_t length, std::string* out) override {
+    const uint64_t seq =
+        state_->reads.fetch_add(1, std::memory_order_relaxed);
+    if (state_->ShouldInject(seq, state_->config.eio_every)) {
+      g_faults_injected.fetch_add(1, std::memory_order_relaxed);
+      return Status::IoError("faultfs: injected EIO");
+    }
+    if (state_->ShouldInject(seq, state_->config.short_read_every)) {
+      // A torn read: the first half is real, the tail is zeros — exactly
+      // what a page torn across a crash looks like. The checksum layer is
+      // what must catch this.
+      g_faults_injected.fetch_add(1, std::memory_order_relaxed);
+      TSVIZ_RETURN_IF_ERROR(base_->Read(offset, length / 2, out));
+      out->resize(length, '\0');
+      return Status::OK();
+    }
+    return base_->Read(offset, length, out);
+  }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  std::shared_ptr<FaultState> state_;
+};
+
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(std::unique_ptr<WritableFile> base,
+                    std::shared_ptr<FaultState> state)
+      : base_(std::move(base)), state_(std::move(state)) {}
+
+  Status Append(std::string_view data) override {
+    const uint64_t seq =
+        state_->appends.fetch_add(1, std::memory_order_relaxed);
+    if (state_->ShouldInject(seq, state_->config.torn_append_every)) {
+      // Write a prefix, then fail: the record is torn on disk and the
+      // caller must truncate back to its pre-append size.
+      g_faults_injected.fetch_add(1, std::memory_order_relaxed);
+      (void)base_->Append(data.substr(0, data.size() / 2));
+      return Status::IoError("faultfs: injected torn append");
+    }
+    return base_->Append(data);
+  }
+
+  Status Sync() override {
+    const uint64_t seq = state_->syncs.fetch_add(1, std::memory_order_relaxed);
+    if (state_->ShouldInject(seq, state_->config.fsync_fail_every)) {
+      g_faults_injected.fetch_add(1, std::memory_order_relaxed);
+      g_fsync_failures.fetch_add(1, std::memory_order_relaxed);
+      return Status::IoError("faultfs: injected fsync failure");
+    }
+    return base_->Sync();
+  }
+
+  Status Truncate(uint64_t size) override { return base_->Truncate(size); }
+  Status Close() override { return base_->Close(); }
+  uint64_t size() const override { return base_->size(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  std::shared_ptr<FaultState> state_;
+};
+
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  void Reconfigure(const FaultConfig& config) {
+    // Fresh state: new schedule, new counters; handles opened under the old
+    // config keep their old (shared) state.
+    auto state = std::make_shared<FaultState>();
+    state->config = config;
+    std::lock_guard<std::mutex> lock(mutex_);
+    state_ = std::move(state);
+  }
+
+  FaultConfig config() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_ != nullptr ? state_->config : FaultConfig{};
+  }
+
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                           base_->NewRandomAccessFile(path));
+    return std::unique_ptr<RandomAccessFile>(
+        std::make_unique<FaultRandomAccessFile>(std::move(file), State()));
+  }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                           base_->NewWritableFile(path));
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<FaultWritableFile>(std::move(file), State()));
+  }
+
+  Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override {
+    TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                           base_->NewAppendableFile(path));
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<FaultWritableFile>(std::move(file), State()));
+  }
+
+  // Metadata ops pass through un-faulted: the injected failures target the
+  // data plane (reads, appends, fsyncs), where the recovery machinery is.
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    return base_->ReadFileToString(path);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return base_->RenameFile(from, to);
+  }
+  Status RemoveFile(const std::string& path) override {
+    return base_->RemoveFile(path);
+  }
+  Status RemoveDir(const std::string& path) override {
+    return base_->RemoveDir(path);
+  }
+  Status CreateDirs(const std::string& path) override {
+    return base_->CreateDirs(path);
+  }
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  Status SyncDir(const std::string& dir) override {
+    return base_->SyncDir(dir);
+  }
+
+ private:
+  std::shared_ptr<FaultState> State() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_;
+  }
+
+  Env* base_;
+  mutable std::mutex mutex_;
+  std::shared_ptr<FaultState> state_ = std::make_shared<FaultState>();
+};
+
+FaultInjectionEnv& FaultEnv() {
+  static FaultInjectionEnv* env = new FaultInjectionEnv(BaseEnv());
+  return *env;
+}
+
+std::atomic<Env*>& CurrentEnvSlot() {
+  static std::atomic<Env*> env{BaseEnv()};
+  return env;
+}
+
+bool SetFaultKnobValue(const std::string& knob, uint64_t value,
+                       FaultConfig* config) {
+  if (knob == "seed") config->seed = value;
+  else if (knob == "start_after") config->start_after = value;
+  else if (knob == "eio_every") config->eio_every = value;
+  else if (knob == "short_read_every") config->short_read_every = value;
+  else if (knob == "torn_append_every") config->torn_append_every = value;
+  else if (knob == "fsync_fail_every") config->fsync_fail_every = value;
+  else return false;
+  return true;
+}
+
+// Parses TSVIZ_FAULTFS ("eio_every=100,seed=7,...") into a FaultConfig.
+bool ParseFaultSpec(const char* spec, FaultConfig* config) {
+  std::string s(spec);
+  size_t begin = 0;
+  bool any = false;
+  while (begin < s.size()) {
+    size_t end = s.find(',', begin);
+    if (end == std::string::npos) end = s.size();
+    std::string item = s.substr(begin, end - begin);
+    begin = end + 1;
+    size_t eq = item.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string knob = item.substr(0, eq);
+    const uint64_t value = std::strtoull(item.c_str() + eq + 1, nullptr, 10);
+    if (SetFaultKnobValue(knob, value, config)) any = true;
+  }
+  return any;
+}
+
+}  // namespace
+
+Env* BaseEnv() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+Env* GetEnv() {
+  static bool env_var_checked = [] {
+    const char* spec = std::getenv("TSVIZ_FAULTFS");
+    FaultConfig config;
+    if (spec != nullptr && ParseFaultSpec(spec, &config)) {
+      SetFaultConfig(config);
+    }
+    return true;
+  }();
+  (void)env_var_checked;
+  return CurrentEnvSlot().load(std::memory_order_acquire);
+}
+
+void SetEnv(Env* env) {
+  CurrentEnvSlot().store(env != nullptr ? env : BaseEnv(),
+                         std::memory_order_release);
+}
+
+void SetFaultConfig(const FaultConfig& config) {
+  FaultEnv().Reconfigure(config);
+  CurrentEnvSlot().store(config.any() ? static_cast<Env*>(&FaultEnv())
+                                      : BaseEnv(),
+                         std::memory_order_release);
+}
+
+FaultConfig CurrentFaultConfig() {
+  if (CurrentEnvSlot().load(std::memory_order_acquire) != &FaultEnv()) {
+    return FaultConfig{};
+  }
+  return FaultEnv().config();
+}
+
+Status SetFaultKnob(const std::string& knob, uint64_t value) {
+  FaultConfig config = FaultEnv().config();
+  if (!SetFaultKnobValue(knob, value, &config)) {
+    return Status::InvalidArgument("unknown faultfs knob: " + knob);
+  }
+  SetFaultConfig(config);
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view content,
+                       bool durable) {
+  Env* env = GetEnv();
+  const std::string tmp = path + ".tmp";
+  auto cleanup_failure = [&](Status status) {
+    (void)env->RemoveFile(tmp);
+    return status;
+  };
+  TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                         env->NewWritableFile(tmp));
+  if (Status s = file->Append(content); !s.ok()) return cleanup_failure(s);
+  if (durable) {
+    if (Status s = file->Sync(); !s.ok()) return cleanup_failure(s);
+  }
+  if (Status s = file->Close(); !s.ok()) return cleanup_failure(s);
+  if (Status s = env->RenameFile(tmp, path); !s.ok()) {
+    return cleanup_failure(s);
+  }
+  if (durable) {
+    TSVIZ_RETURN_IF_ERROR(env->SyncDir(ParentDir(path)));
+  }
+  return Status::OK();
+}
+
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+uint64_t EnvFsyncCount() {
+  return g_fsyncs.load(std::memory_order_relaxed);
+}
+uint64_t EnvDirSyncCount() {
+  return g_dir_syncs.load(std::memory_order_relaxed);
+}
+uint64_t EnvFsyncFailureCount() {
+  return g_fsync_failures.load(std::memory_order_relaxed);
+}
+uint64_t EnvFaultsInjectedCount() {
+  return g_faults_injected.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Crash points
+
+namespace {
+
+struct CrashPointRegistry {
+  std::mutex mutex;
+  std::set<std::string> seen;
+  std::string armed;  // empty = disarmed
+};
+
+CrashPointRegistry& Crashes() {
+  static CrashPointRegistry* registry = new CrashPointRegistry();
+  return *registry;
+}
+
+std::atomic<bool> g_any_armed{false};
+
+}  // namespace
+
+void CrashPointHit(const char* name) {
+  CrashPointRegistry& registry = Crashes();
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.seen.insert(name);
+    fire = g_any_armed.load(std::memory_order_relaxed) &&
+           registry.armed == name;
+  }
+  if (fire) {
+    // Simulate a kill: no atexit handlers, no stream flushing. Everything
+    // already handed to the OS (unbuffered appends, completed renames)
+    // survives; anything buffered in user space is lost — exactly the
+    // contract the recovery path must honour.
+    std::_Exit(kCrashPointExitCode);
+  }
+}
+
+void ArmCrashPoint(const std::string& name) {
+  CrashPointRegistry& registry = Crashes();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.armed = name;
+  g_any_armed.store(true, std::memory_order_relaxed);
+}
+
+void DisarmCrashPoints() {
+  CrashPointRegistry& registry = Crashes();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.armed.clear();
+  g_any_armed.store(false, std::memory_order_relaxed);
+}
+
+std::vector<std::string> SeenCrashPoints() {
+  CrashPointRegistry& registry = Crashes();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  return std::vector<std::string>(registry.seen.begin(), registry.seen.end());
+}
+
+}  // namespace tsviz

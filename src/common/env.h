@@ -1,0 +1,157 @@
+#ifndef TSVIZ_COMMON_ENV_H_
+#define TSVIZ_COMMON_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tsviz {
+
+// Filesystem abstraction the storage layer routes every open / pread /
+// append / rename / unlink / fsync through. The default implementation is a
+// thin POSIX wrapper; tests swap in a FaultInjectionEnv (below) to return
+// EIO, torn buffers, failed fsyncs and short appends on a deterministic
+// schedule — which is what lets the crash-torture and corruption tests
+// exercise the recovery and degradation paths without a real power cut.
+
+// Positional reader over one file. Thread-safe: Read carries its own offset.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  // File size observed at open time.
+  virtual uint64_t size() const = 0;
+
+  // Reads exactly `length` bytes at `offset` into *out (replaced, not
+  // appended). Reading past the end of the file is an error; callers bound
+  // their reads by size(). A fault-injected implementation may fill *out
+  // with torn data of the full length — integrity is the checksum layer's
+  // job, not this one's.
+  virtual Status Read(uint64_t offset, size_t length, std::string* out) = 0;
+};
+
+// Sequential writer. Appends are unbuffered (one write(2) per Append), so
+// an acknowledged record is in the OS page cache and survives a process
+// crash; surviving power loss additionally requires Sync.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Truncate(uint64_t size) = 0;
+  virtual Status Close() = 0;
+
+  // Logical end offset: pre-existing bytes (for appendable opens) plus
+  // everything successfully appended. After a failed Append the caller can
+  // Truncate back to the last good size to erase a torn tail.
+  virtual uint64_t size() const = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+  // Creates (or truncates) `path` for writing.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+  // Opens `path` for appending, creating it when missing.
+  virtual Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) = 0;
+  // Whole-file read; kNotFound when the file does not exist.
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status RemoveDir(const std::string& path) = 0;
+  virtual Status CreateDirs(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  // fsyncs the directory itself, making renames/unlinks inside it durable.
+  virtual Status SyncDir(const std::string& dir) = 0;
+};
+
+// The process PosixEnv (never fault-injected).
+Env* BaseEnv();
+// The current env: BaseEnv() unless a fault-injection config is installed.
+// The first call honours the TSVIZ_FAULTFS environment variable (a
+// comma-separated "knob=value" list using the FaultConfig field names).
+Env* GetEnv();
+// Overrides the current env (not owned); nullptr restores BaseEnv().
+void SetEnv(Env* env);
+
+// Atomically replaces `path` with `content`: writes `path`.tmp, then (when
+// `durable`) fsyncs it, renames over `path`, and fsyncs the parent
+// directory. Readers never observe a half-written file.
+Status WriteFileAtomic(const std::string& path, std::string_view content,
+                       bool durable);
+
+// Parent directory of `path` ("." when it has no slash).
+std::string ParentDir(const std::string& path);
+
+// Process-wide I/O counters. The obs layer bridges these into the metrics
+// registry (common cannot depend on obs).
+uint64_t EnvFsyncCount();
+uint64_t EnvDirSyncCount();
+uint64_t EnvFsyncFailureCount();
+uint64_t EnvFaultsInjectedCount();
+
+// ---------------------------------------------------------------------------
+// Fault injection
+
+// Deterministic fault schedule: each faultable operation (read, append,
+// fsync) gets a category-local sequence number; after `start_after` ops the
+// (seed-offset) sequence number selects every `*_every`-th op for a fault.
+// Zero disables that fault kind.
+struct FaultConfig {
+  uint64_t seed = 0;               // offsets the schedule
+  uint64_t start_after = 0;        // faultable ops passed through first
+  uint64_t eio_every = 0;          // nth read fails with an injected EIO
+  uint64_t short_read_every = 0;   // nth read returns a torn (zero-tail) buffer
+  uint64_t torn_append_every = 0;  // nth append writes a prefix, then fails
+  uint64_t fsync_fail_every = 0;   // nth fsync fails without syncing
+
+  bool any() const {
+    return eio_every != 0 || short_read_every != 0 || torn_append_every != 0 ||
+           fsync_fail_every != 0;
+  }
+};
+
+// Installs a FaultInjectionEnv over BaseEnv() as the current env (or, with
+// an all-zero config, uninstalls it). Only files opened after the call go
+// through injected handles; handles opened earlier keep plain behaviour.
+void SetFaultConfig(const FaultConfig& config);
+FaultConfig CurrentFaultConfig();
+
+// `SET faultfs_<knob> = n` plumbing: `knob` is the FaultConfig field name
+// (seed, start_after, eio_every, short_read_every, torn_append_every,
+// fsync_fail_every). Updates that field and re-installs the env.
+Status SetFaultKnob(const std::string& knob, uint64_t value);
+
+// ---------------------------------------------------------------------------
+// Crash points
+
+// Marks a named point in a mutation protocol where a crash must be
+// recoverable. In normal operation this only records the name (so the
+// torture tooling can verify every registered point gets exercised); when
+// the name is armed the process exits immediately with kCrashPointExitCode,
+// simulating a kill at exactly this point.
+#define TSVIZ_CRASHPOINT(name) ::tsviz::CrashPointHit(name)
+
+inline constexpr int kCrashPointExitCode = 42;
+
+void CrashPointHit(const char* name);
+// Arms one crash point; the next hit of that name exits the process.
+void ArmCrashPoint(const std::string& name);
+void DisarmCrashPoints();
+// Every crash point hit since process start, sorted and deduplicated.
+std::vector<std::string> SeenCrashPoints();
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_COMMON_ENV_H_

@@ -8,6 +8,7 @@ QueryStats& QueryStats::operator+=(const QueryStats& other) {
 #define TSVIZ_ADD_FIELD(name) name += other.name;
   TSVIZ_QUERY_STATS_FIELDS(TSVIZ_ADD_FIELD)
 #undef TSVIZ_ADD_FIELD
+  degraded = degraded || other.degraded;
   return *this;
 }
 

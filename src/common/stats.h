@@ -28,7 +28,8 @@ class Trace;  // defined in obs/trace.h; common only carries the pointer
   X(candidate_rounds)               \
   X(index_lookups)                  \
   X(partitions_scanned)             \
-  X(partitions_pruned)
+  X(partitions_pruned)              \
+  X(chunks_quarantined)
 
 // Cost counters accumulated while serving one query (or one experiment run).
 // The benches report these alongside wall-clock latency so that the
@@ -45,6 +46,12 @@ struct QueryStats {
   uint64_t index_lookups = 0;      // step-regression index probes
   uint64_t partitions_scanned = 0;  // partitions whose metadata was consulted
   uint64_t partitions_pruned = 0;   // partitions ruled out by interval alone
+  uint64_t chunks_quarantined = 0;  // corrupt chunks skipped by selection
+
+  // True when any data the query wanted was skipped as corrupt
+  // (read_tolerance=degrade): the result covers the surviving chunks only.
+  // ORed (not summed) by operator+=; surfaced by EXPLAIN ANALYZE.
+  bool degraded = false;
 
   // Optional per-query phase timing tree (see obs/trace.h). Engine code
   // opens obs::TraceSpan on it when set; null (the default) costs one

@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <filesystem>
+#include <optional>
 
+#include "common/env.h"
 #include "storage/page_cache.h"
+#include "storage/quarantine.h"
 
 namespace tsviz {
 
@@ -55,10 +58,40 @@ Database::~Database() {
 Status Database::ApplySetting(const std::string& name, double value) {
   // Every rejection names the valid knobs, and fires before any state is
   // touched — a bad SET never half-applies.
-  if (!(value > 0) || value != std::floor(value) || !std::isfinite(value)) {
+  const bool allows_zero =
+      name == "durable_fsync" || name.rfind("faultfs_", 0) == 0;
+  if ((allows_zero ? !(value >= 0) : !(value > 0)) ||
+      value != std::floor(value) || !std::isfinite(value)) {
     return Status::InvalidArgument(
-        "setting '" + name + "' requires a positive integer; valid knobs: " +
-        kValidSetKnobs);
+        "setting '" + name + "' requires a " +
+        (allows_zero ? "non-negative" : "positive") +
+        " integer; valid knobs: " + kValidSetKnobs);
+  }
+  if (name == "durable_fsync") {
+    const bool durable = value != 0;
+    {
+      std::lock_guard<std::mutex> lock(settings_mutex_);
+      config_.series_defaults.durable_fsync = durable;
+    }
+    for (auto& [series_name, store] : ListStoresForMaintenance()) {
+      store->set_durable_fsync(durable);
+    }
+    return Status::OK();
+  }
+  if (name.rfind("faultfs_", 0) == 0) {
+    // Strips the prefix and forwards to the fault-injection env; unknown
+    // field names come back here so the error lists the SQL-level knobs.
+    if (!SetFaultKnob(name.substr(8), static_cast<uint64_t>(value)).ok()) {
+      return Status::InvalidArgument("unknown setting '" + name +
+                                     "'; valid knobs: " + kValidSetKnobs);
+    }
+    return Status::OK();
+  }
+  if (name == "read_tolerance") {
+    return Status::InvalidArgument(
+        "setting 'read_tolerance' takes a word (degrade or strict); "
+        "valid knobs: " +
+        std::string(kValidSetKnobs));
   }
   if (name == "parallelism") {
     std::lock_guard<std::mutex> lock(settings_mutex_);
@@ -96,6 +129,24 @@ Status Database::ApplySetting(const std::string& name, double value) {
   }
   return Status::InvalidArgument("unknown setting '" + name +
                                  "'; valid knobs: " + kValidSetKnobs);
+}
+
+Status Database::ApplySetting(const std::string& name,
+                              const std::string& value) {
+  if (name == "read_tolerance") {
+    ReadTolerance tolerance;
+    Status status = ParseReadTolerance(value, &tolerance);
+    if (!status.ok()) {
+      return Status::InvalidArgument(
+          "setting 'read_tolerance' accepts degrade or strict, got '" +
+          value + "'; valid knobs: " + kValidSetKnobs);
+    }
+    SetReadTolerance(tolerance);
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "setting '" + name + "' does not take a word value; valid knobs: " +
+      kValidSetKnobs);
 }
 
 Status Database::Discover() {
@@ -223,7 +274,15 @@ Result<M4Result> Database::QueryM4(const std::string& series,
                                    const M4Query& query, QueryStats* stats,
                                    const M4LsmOptions& options) {
   TSVIZ_ASSIGN_OR_RETURN(TsStore * store, GetSeries(series));
-  return RunM4Lsm(*store, query, stats, options);
+  // Under read_tolerance=degrade a corrupt chunk discovered mid-read is
+  // quarantined and the query retried over the surviving chunks.
+  std::optional<Result<M4Result>> result;
+  Status status = RunWithReadTolerance([&]() {
+    result.emplace(RunM4Lsm(*store, query, stats, options));
+    return result->ok() ? Status::OK() : result->status();
+  });
+  if (!status.ok()) return status;
+  return std::move(*result);
 }
 
 }  // namespace tsviz

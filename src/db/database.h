@@ -23,8 +23,10 @@ namespace tsviz {
 // them. Shared with the SQL layer so parser errors and executor errors
 // agree on the catalog.
 inline constexpr char kValidSetKnobs[] =
-    "autoflush_bytes, compaction_files, page_cache_bytes, parallelism, "
-    "partition_interval_ms, result_cache_capacity, ttl_ms";
+    "autoflush_bytes, compaction_files, durable_fsync, faultfs_eio_every, "
+    "faultfs_fsync_fail_every, faultfs_seed, faultfs_short_read_every, "
+    "faultfs_torn_append_every, page_cache_bytes, parallelism, "
+    "partition_interval_ms, read_tolerance, result_cache_capacity, ttl_ms";
 
 struct DatabaseConfig {
   // Root directory; each series lives in its own subdirectory.
@@ -103,12 +105,17 @@ class Database : public bg::StoreCatalog {
                            const M4LsmOptions& options = {});
 
   // Runtime knobs (`SET <name> = <value>`). Valid names: kValidSetKnobs.
-  // Values must be positive integers; zero, negative, and non-integer
-  // values — and unknown names — are rejected with kInvalidArgument
-  // listing the valid knobs, without mutating any state.
-  // `partition_interval_ms` applies to series created after the SET;
-  // existing series keep the interval pinned in their partition.meta.
+  // Values must be non-negative integers (most knobs require > 0;
+  // durable_fsync and the faultfs_* knobs accept 0, which means off);
+  // negative and non-integer values — and unknown names — are rejected
+  // with kInvalidArgument listing the valid knobs, without mutating any
+  // state. `partition_interval_ms` applies to series created after the
+  // SET; existing series keep the interval pinned in their partition.meta.
   Status ApplySetting(const std::string& name, double value);
+
+  // Bare-word knobs: `SET read_tolerance = degrade|strict`. Numeric knobs
+  // reject a word value and vice versa, each naming the valid knobs.
+  Status ApplySetting(const std::string& name, const std::string& value);
 
   // The partition interval newly created series will use.
   int64_t partition_interval_ms() const {

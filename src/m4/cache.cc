@@ -57,25 +57,32 @@ Result<M4Result> M4QueryCache::GetOrCompute(StoreView view,
       hits_.fetch_add(1, std::memory_order_relaxed);
       CacheHits().Inc();
       lru_.splice(lru_.begin(), lru_, it->second);  // bump to front
-      return it->second->second;
+      if (stats != nullptr && it->second->degraded) stats->degraded = true;
+      return it->second->result;
     }
   }
 
   // Compute outside the lock; concurrent misses on the same key may race,
-  // which only costs a duplicate computation, never a wrong result.
+  // which only costs a duplicate computation, never a wrong result. The
+  // computation charges a local QueryStats so this entry's own degraded
+  // flag is known even when the caller's stats already carry one.
+  QueryStats local;
+  if (stats != nullptr) local.trace = stats->trace;
   TSVIZ_ASSIGN_OR_RETURN(
       M4Result result,
       RunM4LsmParallel(std::move(view), query, std::max(1, parallelism),
-                       stats, options));
+                       &local, options));
+  local.trace.reset();
+  if (stats != nullptr) *stats += local;
   std::lock_guard<std::mutex> lock(mutex_);
   misses_.fetch_add(1, std::memory_order_relaxed);
   CacheMisses().Inc();
   auto it = index_.find(key);
   if (it == index_.end() && capacity_ > 0) {
-    lru_.emplace_front(key, result);
+    lru_.emplace_front(Entry{key, result, local.degraded});
     index_[key] = lru_.begin();
     while (lru_.size() > capacity_) {
-      index_.erase(lru_.back().first);
+      index_.erase(lru_.back().key);
       lru_.pop_back();
     }
   }
@@ -91,7 +98,7 @@ void M4QueryCache::set_capacity(size_t capacity) {
   std::lock_guard<std::mutex> lock(mutex_);
   capacity_ = capacity;
   while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
+    index_.erase(lru_.back().key);
     lru_.pop_back();
   }
 }

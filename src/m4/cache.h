@@ -64,12 +64,19 @@ class M4QueryCache {
     size_t operator()(const Key& key) const;
   };
 
+  // A result computed while corrupt chunks were quarantined is still
+  // cacheable (the state version pins the data it covered), but every hit
+  // must re-report degraded=true — the flag travels with the entry.
+  struct Entry {
+    Key key;
+    M4Result result;
+    bool degraded = false;
+  };
+
   size_t capacity_;
   mutable std::mutex mutex_;
-  std::list<std::pair<Key, M4Result>> lru_;  // front = most recent
-  std::unordered_map<Key, std::list<std::pair<Key, M4Result>>::iterator,
-                     KeyHash>
-      index_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
 };

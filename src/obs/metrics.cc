@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "common/env.h"
 #include "common/logging.h"
 
 namespace tsviz::obs {
@@ -111,6 +112,24 @@ MetricsRegistry::MetricsRegistry() {
   RegisterCallback("log_errors_total", "ERROR log lines emitted", [] {
     return static_cast<double>(LogErrorCount());
   });
+  // Env-layer durability and fault-injection counters. common/ cannot
+  // depend on obs/, so env.cc counts in plain atomics and obs bridges them
+  // into the registry here.
+  RegisterCallback("fsync_total", "File fsync calls issued by the env", [] {
+    return static_cast<double>(EnvFsyncCount());
+  });
+  RegisterCallback("fsync_dir_total",
+                   "Directory fsync calls issued by the env", [] {
+                     return static_cast<double>(EnvDirSyncCount());
+                   });
+  RegisterCallback("fsync_failures_total",
+                   "fsync calls that returned an error", [] {
+                     return static_cast<double>(EnvFsyncFailureCount());
+                   });
+  RegisterCallback("faultfs_faults_injected_total",
+                   "Faults injected by the fault-injection env", [] {
+                     return static_cast<double>(EnvFaultsInjectedCount());
+                   });
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name,

@@ -2,6 +2,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/quarantine.h"
 
 namespace tsviz {
 
@@ -36,6 +37,14 @@ void LazyChunk::ChargePageDecoded(uint64_t bytes) {
     stats_->bytes_read += bytes;
     ++stats_->pages_decoded;
   }
+}
+
+Status LazyChunk::MaybeQuarantine(const Status& status) {
+  if (!status.ok()) {
+    MaybeQuarantineChunk(handle_.file->cache_id(), handle_.meta->data_offset,
+                         handle_.file->path(), status);
+  }
+  return status;
 }
 
 Status LazyChunk::DecodeAndPin(size_t i, std::string_view raw) {
@@ -81,11 +90,10 @@ Result<const std::vector<Point>*> LazyChunk::GetPage(size_t i) {
     cache.Erase(key);
   }
   obs::TraceSpan span(trace, "page_load");
-  TSVIZ_ASSIGN_OR_RETURN(
-      std::string raw,
-      handle_.file->ReadRange(handle_.meta->data_offset + page.offset,
-                              page.length));
-  TSVIZ_RETURN_IF_ERROR(DecodeAndPin(i, raw));
+  auto raw = handle_.file->ReadRange(handle_.meta->data_offset + page.offset,
+                                     page.length);
+  if (!raw.ok()) return MaybeQuarantine(raw.status());
+  TSVIZ_RETURN_IF_ERROR(MaybeQuarantine(DecodeAndPin(i, *raw)));
   return pins_[i].get();
 }
 
@@ -126,14 +134,13 @@ Status LazyChunk::EnsureAllPages() {
     const uint64_t run_offset = pages[i].offset;
     const uint64_t run_length =
         pages[end - 1].offset + pages[end - 1].length - run_offset;
-    TSVIZ_ASSIGN_OR_RETURN(
-        std::string raw,
-        handle_.file->ReadRange(handle_.meta->data_offset + run_offset,
-                                run_length));
+    auto raw = handle_.file->ReadRange(handle_.meta->data_offset + run_offset,
+                                       run_length);
+    if (!raw.ok()) return MaybeQuarantine(raw.status());
     for (size_t k = i; k < end; ++k) {
-      std::string_view slice(raw.data() + (pages[k].offset - run_offset),
+      std::string_view slice(raw->data() + (pages[k].offset - run_offset),
                              pages[k].length);
-      TSVIZ_RETURN_IF_ERROR(DecodeAndPin(k, slice));
+      TSVIZ_RETURN_IF_ERROR(MaybeQuarantine(DecodeAndPin(k, slice)));
     }
     i = end;
   }

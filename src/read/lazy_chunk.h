@@ -56,6 +56,9 @@ class LazyChunk : public PageProvider {
   // Decodes `raw` as page `i`, validates it against the page directory,
   // publishes it to the shared cache, and pins it.
   Status DecodeAndPin(size_t i, std::string_view raw);
+  // Under read_tolerance=degrade, records this chunk in the process
+  // quarantine when `status` indicates bad data; always returns `status`.
+  Status MaybeQuarantine(const Status& status);
 
   ChunkHandle handle_;
   QueryStats* stats_;

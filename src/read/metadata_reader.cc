@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "storage/quarantine.h"
 
 namespace tsviz {
 
@@ -13,6 +14,11 @@ std::vector<PartitionChunks> SelectPartitionChunks(const StoreView& view,
   uint64_t consulted = 0;
   uint64_t scanned = 0;
   uint64_t pruned = 0;
+  uint64_t quarantined = 0;
+  // The common case is an empty quarantine; hoist that check out of the
+  // per-chunk loop.
+  const ChunkQuarantine& quarantine = ChunkQuarantine::Instance();
+  const bool check_quarantine = !quarantine.empty();
   for (const StorePartition& part : view.partitions()) {
     // Three-level pruning, one level above IoTDB's metadata hierarchy: the
     // partition interval rules out a whole file group with one comparison,
@@ -35,9 +41,14 @@ std::vector<PartitionChunks> SelectPartitionChunks(const StoreView& view,
       if (!file->interval().Overlaps(range)) continue;
       for (const ChunkMetadata& meta : file->chunks()) {
         ++consulted;
-        if (meta.Interval().Overlaps(range)) {
-          group.chunks.push_back(ChunkHandle{file, &meta});
+        if (!meta.Interval().Overlaps(range)) continue;
+        if (check_quarantine &&
+            quarantine.Contains(file->cache_id(), meta.data_offset)) {
+          // Known-corrupt chunk: serve the query from what survives.
+          ++quarantined;
+          continue;
         }
+        group.chunks.push_back(ChunkHandle{file, &meta});
       }
     }
     if (!group.chunks.empty()) out.push_back(std::move(group));
@@ -46,6 +57,8 @@ std::vector<PartitionChunks> SelectPartitionChunks(const StoreView& view,
     stats->metadata_reads += consulted;
     stats->partitions_scanned += scanned;
     stats->partitions_pruned += pruned;
+    stats->chunks_quarantined += quarantined;
+    if (quarantined > 0) stats->degraded = true;
     for (const PartitionChunks& group : out) {
       stats->chunks_total += group.chunks.size();
     }

@@ -100,11 +100,14 @@ struct ShowMetricsStatement {
                          const ShowMetricsStatement&) = default;
 };
 
-// SET <name> = <number>: adjusts a runtime knob on the database
-// (parallelism, page_cache_bytes, result_cache_capacity).
+// SET <name> = <value>: adjusts a runtime knob on the database
+// (parallelism, page_cache_bytes, read_tolerance, ...). Most knobs take a
+// number; enum-valued knobs (read_tolerance = degrade|strict) carry the
+// bare-word value in `text` instead.
 struct SetStatement {
   std::string name;
   double value = 0.0;
+  std::optional<std::string> text;
 
   friend bool operator==(const SetStatement&, const SetStatement&) = default;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <optional>
 
 #include "m4/m4_lsm.h"
 #include "m4/parallel.h"
@@ -13,6 +14,7 @@
 #include "read/metadata_reader.h"
 #include "read/series_reader.h"
 #include "sql/parser.h"
+#include "storage/quarantine.h"
 
 namespace tsviz::sql {
 
@@ -285,6 +287,10 @@ Result<ResultSet> ExplainAnalyzeSelect(const StoreView& view,
                    ResultSet::Cell(static_cast<int64_t>(values[i])),
                    ResultSet::Cell(std::monostate{})});
   }
+  result.AddRow(
+      {ResultSet::Cell(std::string("degraded")),
+       ResultSet::Cell(static_cast<int64_t>(query_stats.degraded ? 1 : 0)),
+       ResultSet::Cell(std::monostate{})});
   if (caller_stats != nullptr) {
     std::shared_ptr<obs::Trace> trace = query_stats.trace;
     *caller_stats += query_stats;
@@ -293,18 +299,13 @@ Result<ResultSet> ExplainAnalyzeSelect(const StoreView& view,
   return result;
 }
 
-}  // namespace
-
-Result<ResultSet> ExecuteSelect(StoreView view,
-                                const SelectStatement& stmt,
-                                QueryStats* stats,
-                                const ExecOptions& options) {
-  if (stmt.items.empty()) {
-    return Status::InvalidArgument("empty select list");
-  }
-  if (stmt.analyze) {
-    return ExplainAnalyzeSelect(view, stmt, stats, options);
-  }
+// One execution attempt. Pulled out of ExecuteSelect so the public entry
+// point can retry under RunWithReadTolerance when a corrupt chunk is
+// discovered (and quarantined) mid-read.
+Result<ResultSet> ExecuteSelectImpl(const StoreView& view,
+                                    const SelectStatement& stmt,
+                                    QueryStats* stats,
+                                    const ExecOptions& options) {
   TSVIZ_ASSIGN_OR_RETURN(auto range, ResolveTimeRange(view, stmt));
   const auto [tqs, tqe] = range;
 
@@ -409,6 +410,36 @@ Result<ResultSet> ExecuteSelect(StoreView view,
   return result;
 }
 
+}  // namespace
+
+Result<ResultSet> ExecuteSelect(StoreView view,
+                                const SelectStatement& stmt,
+                                QueryStats* stats,
+                                const ExecOptions& options) {
+  if (stmt.items.empty()) {
+    return Status::InvalidArgument("empty select list");
+  }
+  if (stmt.analyze) {
+    return ExplainAnalyzeSelect(view, stmt, stats, options);
+  }
+  // Each attempt charges a private QueryStats that is merged only on
+  // success, so a retried attempt does not double-count chunk reads.
+  std::optional<Result<ResultSet>> attempt_result;
+  Status status = RunWithReadTolerance([&]() {
+    QueryStats attempt;
+    if (stats != nullptr) attempt.trace = stats->trace;
+    attempt_result.emplace(ExecuteSelectImpl(
+        view, stmt, stats != nullptr ? &attempt : nullptr, options));
+    if (attempt_result->ok() && stats != nullptr) {
+      attempt.trace.reset();
+      *stats += attempt;
+    }
+    return attempt_result->ok() ? Status::OK() : attempt_result->status();
+  });
+  if (!status.ok()) return status;
+  return std::move(*attempt_result);
+}
+
 namespace {
 
 // FLUSH/COMPACT: the store call itself serializes with background jobs via
@@ -502,9 +533,17 @@ Result<ResultSet> ExecuteStatement(Database* db, const Statement& statement,
     std::string name = set->name;
     std::transform(name.begin(), name.end(), name.begin(),
                    [](unsigned char c) { return std::tolower(c); });
-    TSVIZ_RETURN_IF_ERROR(db->ApplySetting(name, set->value));
     ResultSet result({"setting", "value"});
-    result.AddRow({ResultSet::Cell(name), ResultSet::Cell(set->value)});
+    if (set->text.has_value()) {
+      std::string text = *set->text;
+      std::transform(text.begin(), text.end(), text.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      TSVIZ_RETURN_IF_ERROR(db->ApplySetting(name, text));
+      result.AddRow({ResultSet::Cell(name), ResultSet::Cell(text)});
+    } else {
+      TSVIZ_RETURN_IF_ERROR(db->ApplySetting(name, set->value));
+      result.AddRow({ResultSet::Cell(name), ResultSet::Cell(set->value)});
+    }
     return result;
   }
   const SelectStatement& stmt = std::get<SelectStatement>(statement);

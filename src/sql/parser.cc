@@ -371,15 +371,20 @@ Result<Statement> ParseStatement(const std::string& statement) {
       IdentEquals(tokens[0].text, "SET")) {
     if (tokens.size() != 5 || tokens[1].type != TokenType::kIdentifier ||
         tokens[2].type != TokenType::kEq ||
-        tokens[3].type != TokenType::kNumber ||
+        (tokens[3].type != TokenType::kNumber &&
+         tokens[3].type != TokenType::kIdentifier) ||
         tokens[4].type != TokenType::kEnd) {
       return Status::InvalidArgument(
-          std::string("expected SET <name> = <number>; valid knobs: ") +
+          std::string("expected SET <name> = <value>; valid knobs: ") +
           kValidSetKnobs);
     }
     SetStatement set;
     set.name = tokens[1].text;
-    set.value = tokens[3].number;
+    if (tokens[3].type == TokenType::kNumber) {
+      set.value = tokens[3].number;
+    } else {
+      set.text = tokens[3].text;
+    }
     return Statement(std::move(set));
   }
   Parser parser(std::move(tokens));

@@ -20,11 +20,19 @@
 // rewrites the mods file to exactly the surviving tombstones;
 // CompactPartition() leaves the mods file alone because its tombstones may
 // still cover other partitions' chunks.
+//
+// Crash ordering: publish, then unlink the base files, then rewrite the
+// mods file — strictly in that order. A crash after the publish leaves old
+// and new files coexisting (versions resolve the duplicates); a crash
+// after the unlink leaves tombstones that are stale but harmless (every
+// merged chunk's version exceeds every covered tombstone's). Rewriting the
+// mods file any earlier would open a window where a crash resurrects
+// deleted points: old files still on disk, their tombstones already gone.
 
 #include <algorithm>
-#include <filesystem>
 #include <map>
 
+#include "common/env.h"
 #include "common/logging.h"
 #include "common/stats.h"
 #include "obs/metrics.h"
@@ -32,8 +40,6 @@
 #include "storage/store.h"
 
 namespace tsviz {
-
-namespace fs = std::filesystem;
 
 namespace {
 
@@ -124,7 +130,7 @@ Status TsStore::Compact() {
     if (merged.empty()) continue;
     const std::string path = FilePath(job.file_id, part.index);
     TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<FileWriter> writer,
-                           FileWriter::Create(path));
+                           FileWriter::Create(path, durable_fsync()));
     Version chunk_version = job.first_version;
     for (size_t begin = 0; begin < merged.size();
          begin += config_.points_per_chunk) {
@@ -138,10 +144,13 @@ Status TsStore::Compact() {
     TSVIZ_RETURN_IF_ERROR(writer->Finish());
     TSVIZ_ASSIGN_OR_RETURN(job.reader, FileReader::Open(path));
   }
+  // Outputs complete and named; old files, tombstones and state untouched.
+  TSVIZ_CRASHPOINT("compact.after_data");
 
   // Swap: the merged files replace the base partitions; whatever was
   // appended after the snapshot (only tombstones — flushes hold the
-  // maintenance mutex) is carried over verbatim.
+  // maintenance mutex) is carried over verbatim. The mods file is NOT
+  // rewritten yet — see the crash-ordering note at the top of this file.
   std::vector<std::string> old_paths;
   old_paths.reserve(base->files.size());
   for (const auto& file : base->files) old_paths.push_back(file->path());
@@ -162,23 +171,32 @@ Status TsStore::Compact() {
     }
     next->deletes.assign(state_->deletes.begin() + base->deletes.size(),
                          state_->deletes.end());
-    TSVIZ_RETURN_IF_ERROR(RewriteModsLocked(next->deletes));
     PublishLocked(std::move(next));
   }
+  TSVIZ_CRASHPOINT("compact.after_swap");
 
   // The base files are no longer referenced by the published state; queries
   // that pinned them via a snapshot keep their open descriptors. Partition
-  // directories whose group merged to nothing are removed too (fs::remove
+  // directories whose group merged to nothing are removed too (RemoveDir
   // refuses non-empty directories, which is exactly what we want).
-  std::error_code ec;
   for (const std::string& old_path : old_paths) {
-    fs::remove(old_path, ec);
-    if (ec) TSVIZ_WARN << "could not remove file" << Field("path", old_path);
+    if (Status s = GetEnv()->RemoveFile(old_path); !s.ok()) {
+      TSVIZ_WARN << "could not remove file" << Field("path", old_path);
+    }
   }
   for (const StorePartition& part : base->partitions) {
     if (part.legacy()) continue;
-    fs::remove(PartitionDirPath(part.index), ec);
-    ec.clear();
+    (void)GetEnv()->RemoveDir(PartitionDirPath(part.index));
+  }
+  TSVIZ_CRASHPOINT("compact.after_unlink");
+
+  // Only now that the covered chunks are gone is it safe to drop their
+  // tombstones. A concurrent DeleteRange since the publish is already in
+  // state_->deletes (and appended to the old mods file), so the rewrite
+  // from the live vector cannot lose it.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TSVIZ_RETURN_IF_ERROR(RewriteModsLocked(state_->deletes));
   }
 
   static obs::Counter& compactions_total =
@@ -230,7 +248,7 @@ Status TsStore::CompactPartition(int64_t index) {
   if (!merged.empty()) {
     const std::string path = FilePath(file_id, index);
     TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<FileWriter> writer,
-                           FileWriter::Create(path));
+                           FileWriter::Create(path, durable_fsync()));
     Version chunk_version = first_version;
     for (size_t begin = 0; begin < merged.size();
          begin += config_.points_per_chunk) {
@@ -271,13 +289,13 @@ Status TsStore::CompactPartition(int64_t index) {
     PublishLocked(std::move(next));
   }
 
-  std::error_code ec;
   for (const std::string& old_path : old_paths) {
-    fs::remove(old_path, ec);
-    if (ec) TSVIZ_WARN << "could not remove file" << Field("path", old_path);
+    if (Status s = GetEnv()->RemoveFile(old_path); !s.ok()) {
+      TSVIZ_WARN << "could not remove file" << Field("path", old_path);
+    }
   }
   if (reader == nullptr && index != kLegacyPartitionIndex) {
-    fs::remove(PartitionDirPath(index), ec);
+    (void)GetEnv()->RemoveDir(PartitionDirPath(index));
   }
 
   static obs::Counter& partition_compactions = obs::GetCounter(

@@ -1,15 +1,11 @@
 #include "storage/file_reader.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <atomic>
-#include <cerrno>
-#include <cstring>
 
 #include "storage/file_format.h"
 #include "storage/page_cache.h"
+#include "storage/quarantine.h"
 
 namespace tsviz {
 
@@ -22,34 +18,26 @@ uint64_t NextCacheId() {
 
 }  // namespace
 
-FileReader::FileReader(int fd, std::string path, uint64_t file_size)
-    : fd_(fd),
+FileReader::FileReader(std::unique_ptr<RandomAccessFile> file,
+                       std::string path)
+    : file_(std::move(file)),
       path_(std::move(path)),
-      file_size_(file_size),
+      file_size_(file_->size()),
       cache_id_(NextCacheId()) {}
 
 FileReader::~FileReader() {
   // The file is going away (compaction, series drop, store close): its
-  // decoded pages must not outlive it in the shared cache.
+  // decoded pages must not outlive it in the shared cache, and quarantine
+  // entries for it have nothing left to shadow.
   SharedPageCache::Instance().EvictFile(cache_id_);
-  if (fd_ >= 0) {
-    ::close(fd_);
-  }
+  ChunkQuarantine::Instance().ForgetFile(cache_id_);
 }
 
 Result<std::shared_ptr<FileReader>> FileReader::Open(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    return Status::IoError("cannot open " + path + ": " +
-                           std::strerror(errno));
-  }
-  off_t size = ::lseek(fd, 0, SEEK_END);
-  if (size < 0) {
-    ::close(fd);
-    return Status::IoError("cannot stat " + path);
-  }
-  auto reader = std::shared_ptr<FileReader>(
-      new FileReader(fd, path, static_cast<uint64_t>(size)));
+  TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                         GetEnv()->NewRandomAccessFile(path));
+  auto reader =
+      std::shared_ptr<FileReader>(new FileReader(std::move(file), path));
 
   if (reader->file_size_ <
       kFileMagic.size() + kFileTrailerSize) {
@@ -94,18 +82,8 @@ Result<std::string> FileReader::ReadRange(uint64_t offset,
   if (offset + length > file_size_) {
     return Status::OutOfRange(path_ + ": read past end of file");
   }
-  std::string buffer(length, '\0');
-  size_t done = 0;
-  while (done < length) {
-    ssize_t n = ::pread(fd_, buffer.data() + done, length - done,
-                        static_cast<off_t>(offset + done));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError(path_ + ": pread: " + std::strerror(errno));
-    }
-    if (n == 0) return Status::IoError(path_ + ": unexpected EOF");
-    done += static_cast<size_t>(n);
-  }
+  std::string buffer;
+  TSVIZ_RETURN_IF_ERROR(file_->Read(offset, length, &buffer));
   return buffer;
 }
 

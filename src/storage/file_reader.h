@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "common/time_range.h"
 #include "storage/chunk_metadata.h"
@@ -41,9 +42,9 @@ class FileReader {
   Result<std::string> ReadRange(uint64_t offset, uint64_t length) const;
 
  private:
-  FileReader(int fd, std::string path, uint64_t file_size);
+  FileReader(std::unique_ptr<RandomAccessFile> file, std::string path);
 
-  int fd_;
+  std::unique_ptr<RandomAccessFile> file_;
   std::string path_;
   uint64_t file_size_;
   uint64_t cache_id_;

@@ -1,34 +1,35 @@
 #include "storage/file_writer.h"
 
-#include <cerrno>
-#include <cstring>
-
 #include "storage/file_format.h"
 
 namespace tsviz {
 
-FileWriter::FileWriter(std::FILE* file, std::string path)
-    : file_(file), path_(std::move(path)) {}
+namespace {
+
+std::string TmpPath(const std::string& path) { return path + ".tmp"; }
+
+}  // namespace
+
+FileWriter::FileWriter(std::unique_ptr<WritableFile> file, std::string path,
+                       bool durable)
+    : file_(std::move(file)), path_(std::move(path)), durable_(durable) {}
 
 FileWriter::~FileWriter() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
+  if (!finished_) {
+    // Abandoned mid-write: drop the partial tmp so it cannot be mistaken
+    // for a data file (Recover also sweeps stragglers after a crash).
+    file_.reset();
+    (void)GetEnv()->RemoveFile(TmpPath(path_));
   }
 }
 
-Result<std::unique_ptr<FileWriter>> FileWriter::Create(
-    const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::IoError("cannot create " + path + ": " +
-                           std::strerror(errno));
-  }
-  auto writer =
-      std::unique_ptr<FileWriter>(new FileWriter(file, path));
-  if (std::fwrite(kFileMagic.data(), 1, kFileMagic.size(), file) !=
-      kFileMagic.size()) {
-    return Status::IoError("cannot write magic to " + path);
-  }
+Result<std::unique_ptr<FileWriter>> FileWriter::Create(const std::string& path,
+                                                       bool durable) {
+  TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                         GetEnv()->NewWritableFile(TmpPath(path)));
+  auto writer = std::unique_ptr<FileWriter>(
+      new FileWriter(std::move(file), path, durable));
+  TSVIZ_RETURN_IF_ERROR(writer->file_->Append(kFileMagic));
   writer->offset_ = kFileMagic.size();
   return writer;
 }
@@ -40,10 +41,7 @@ Status FileWriter::AppendChunk(const std::vector<Point>& points,
   if (finished_) return Status::InvalidArgument("writer already finished");
   TSVIZ_ASSIGN_OR_RETURN(EncodedChunk chunk,
                          EncodeChunk(points, version, options));
-  if (std::fwrite(chunk.blob.data(), 1, chunk.blob.size(), file_) !=
-      chunk.blob.size()) {
-    return Status::IoError("short write to " + path_);
-  }
+  TSVIZ_RETURN_IF_ERROR(file_->Append(chunk.blob));
   chunk.meta.data_offset = offset_;
   offset_ += chunk.blob.size();
   chunks_.push_back(chunk.meta);
@@ -54,15 +52,15 @@ Status FileWriter::AppendChunk(const std::vector<Point>& points,
 Status FileWriter::Finish() {
   if (finished_) return Status::InvalidArgument("writer already finished");
   finished_ = true;
-  std::string tail = SerializeFileTail(chunks_);
-  if (std::fwrite(tail.data(), 1, tail.size(), file_) != tail.size()) {
-    return Status::IoError("short footer write to " + path_);
+  TSVIZ_RETURN_IF_ERROR(file_->Append(SerializeFileTail(chunks_)));
+  if (durable_) {
+    TSVIZ_RETURN_IF_ERROR(file_->Sync());
   }
-  if (std::fflush(file_) != 0 || std::fclose(file_) != 0) {
-    file_ = nullptr;
-    return Status::IoError("cannot close " + path_);
+  TSVIZ_RETURN_IF_ERROR(file_->Close());
+  TSVIZ_RETURN_IF_ERROR(GetEnv()->RenameFile(TmpPath(path_), path_));
+  if (durable_) {
+    TSVIZ_RETURN_IF_ERROR(GetEnv()->SyncDir(ParentDir(path_)));
   }
-  file_ = nullptr;
   return Status::OK();
 }
 

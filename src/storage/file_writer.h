@@ -1,11 +1,11 @@
 #ifndef TSVIZ_STORAGE_FILE_WRITER_H_
 #define TSVIZ_STORAGE_FILE_WRITER_H_
 
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "storage/chunk_writer.h"
 
@@ -14,9 +14,15 @@ namespace tsviz {
 // Writes one data file: a sequence of encoded chunks followed by the
 // metadata footer. Append-only; Finish() must be called exactly once to make
 // the file readable.
+//
+// Crash consistency: all writing goes to `path`.tmp; Finish() renames it
+// into place (after an fsync when `durable`), so a crash mid-write leaves
+// only a .tmp the next store open sweeps away — readers can never observe a
+// data file without its footer.
 class FileWriter {
  public:
-  static Result<std::unique_ptr<FileWriter>> Create(const std::string& path);
+  static Result<std::unique_ptr<FileWriter>> Create(const std::string& path,
+                                                    bool durable = false);
 
   ~FileWriter();
   FileWriter(const FileWriter&) = delete;
@@ -28,16 +34,19 @@ class FileWriter {
                      const ChunkEncodingOptions& options,
                      ChunkMetadata* out_meta);
 
-  // Writes the footer + trailer and closes the file.
+  // Writes the footer + trailer, closes the file, and renames it into place
+  // (fsyncing the file and parent directory first when durable).
   Status Finish();
 
   size_t num_chunks() const { return chunks_.size(); }
 
  private:
-  FileWriter(std::FILE* file, std::string path);
+  FileWriter(std::unique_ptr<WritableFile> file, std::string path,
+             bool durable);
 
-  std::FILE* file_;
+  std::unique_ptr<WritableFile> file_;
   std::string path_;
+  bool durable_;
   uint64_t offset_ = 0;
   std::vector<ChunkMetadata> chunks_;
   bool finished_ = false;

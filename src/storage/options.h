@@ -36,6 +36,13 @@ struct StoreConfig {
   // memtable is acceptable.
   bool enable_wal = true;
 
+  // fsync data files + their directory at flush/compaction commit, the
+  // manifest on creation, and WAL segments at rotation — the power-loss
+  // durability contract. Disable (SET durable_fsync = 0) for benchmarks
+  // where process-crash durability (unbuffered writes, atomic renames)
+  // is enough.
+  bool durable_fsync = true;
+
   // Width of one time partition. When positive, flushed files are grouped
   // into directories data_dir/p<index>/ where index = floor(t / interval);
   // compaction and TTL expiry operate per partition and queries prune whole

@@ -1,0 +1,124 @@
+#include "storage/quarantine.h"
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace tsviz {
+
+namespace {
+
+std::atomic<ReadTolerance> g_tolerance{ReadTolerance::kDegrade};
+
+obs::Counter& CorruptionEvents() {
+  static obs::Counter& c = obs::GetCounter(
+      "corruption_events",
+      "Corrupt or unreadable chunks detected by the read path");
+  return c;
+}
+
+}  // namespace
+
+ReadTolerance GetReadTolerance() {
+  return g_tolerance.load(std::memory_order_relaxed);
+}
+
+void SetReadTolerance(ReadTolerance tolerance) {
+  g_tolerance.store(tolerance, std::memory_order_relaxed);
+}
+
+Status ParseReadTolerance(const std::string& text, ReadTolerance* out) {
+  if (text == "degrade") {
+    *out = ReadTolerance::kDegrade;
+    return Status::OK();
+  }
+  if (text == "strict") {
+    *out = ReadTolerance::kStrict;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("read_tolerance must be 'degrade' or "
+                                 "'strict', got '" + text + "'");
+}
+
+const char* ReadToleranceName(ReadTolerance tolerance) {
+  return tolerance == ReadTolerance::kDegrade ? "degrade" : "strict";
+}
+
+ChunkQuarantine& ChunkQuarantine::Instance() {
+  // Leaked so read paths running during static destruction stay safe, and
+  // so the chunks_quarantined callback below never dangles.
+  static ChunkQuarantine* instance = [] {
+    auto* q = new ChunkQuarantine();
+    obs::MetricsRegistry::Instance().RegisterCallback(
+        "chunks_quarantined", "Chunks currently quarantined as corrupt",
+        [q] { return static_cast<double>(q->size()); });
+    return q;
+  }();
+  return *instance;
+}
+
+void ChunkQuarantine::Add(uint64_t cache_id, uint64_t data_offset,
+                          const std::string& path, const Status& cause) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!entries_.emplace(cache_id, data_offset).second) return;
+    size_.store(entries_.size(), std::memory_order_relaxed);
+  }
+  generation_.fetch_add(1, std::memory_order_release);
+  CorruptionEvents().Inc();
+  TSVIZ_WARN << "quarantined corrupt chunk" << Field("file", path)
+             << Field("offset", data_offset)
+             << Field("cause", cause.ToString());
+}
+
+bool ChunkQuarantine::Contains(uint64_t cache_id,
+                               uint64_t data_offset) const {
+  if (empty()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count({cache_id, data_offset}) != 0;
+}
+
+void ChunkQuarantine::ForgetFile(uint64_t cache_id) {
+  if (empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto begin = entries_.lower_bound({cache_id, 0});
+  auto end = entries_.lower_bound({cache_id + 1, 0});
+  entries_.erase(begin, end);
+  size_.store(entries_.size(), std::memory_order_relaxed);
+}
+
+void ChunkQuarantine::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  size_.store(0, std::memory_order_relaxed);
+}
+
+bool MaybeQuarantineChunk(uint64_t cache_id, uint64_t data_offset,
+                          const std::string& path, const Status& cause) {
+  if (GetReadTolerance() != ReadTolerance::kDegrade) return false;
+  if (cause.code() != StatusCode::kCorruption &&
+      cause.code() != StatusCode::kIoError) {
+    return false;
+  }
+  ChunkQuarantine::Instance().Add(cache_id, data_offset, path, cause);
+  return true;
+}
+
+Status RunWithReadTolerance(const std::function<Status()>& fn) {
+  ChunkQuarantine& quarantine = ChunkQuarantine::Instance();
+  while (true) {
+    const uint64_t generation_before = quarantine.generation();
+    Status status = fn();
+    if (status.ok() || GetReadTolerance() != ReadTolerance::kDegrade) {
+      return status;
+    }
+    if (status.code() != StatusCode::kCorruption &&
+        status.code() != StatusCode::kIoError) {
+      return status;
+    }
+    // No new chunk was quarantined, so a retry would fail identically —
+    // the error is not one the degrade path can route around.
+    if (quarantine.generation() == generation_before) return status;
+  }
+}
+
+}  // namespace tsviz

@@ -1,0 +1,93 @@
+#ifndef TSVIZ_STORAGE_QUARANTINE_H_
+#define TSVIZ_STORAGE_QUARANTINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace tsviz {
+
+// How the read path reacts to a corrupt or unreadable chunk.
+//
+//   kDegrade (default): the chunk is quarantined — skipped by subsequent
+//     chunk selection, counted in corruption_events / chunks_quarantined,
+//     WARN-logged with file and offset — and the query is retried over the
+//     remaining data, reporting degraded=true in its QueryStats.
+//   kStrict: the first corrupt page fails the whole query (pre-quarantine
+//     behaviour), for deployments that prefer loud failure over partial
+//     answers.
+enum class ReadTolerance { kDegrade, kStrict };
+
+ReadTolerance GetReadTolerance();
+void SetReadTolerance(ReadTolerance tolerance);
+// Parses "degrade" / "strict" (the `SET read_tolerance = ...` values).
+Status ParseReadTolerance(const std::string& text, ReadTolerance* out);
+const char* ReadToleranceName(ReadTolerance tolerance);
+
+// Process-wide registry of chunks known to be corrupt, keyed by the owning
+// reader's page-cache id plus the chunk's data offset within the file (the
+// same pair that keys the shared page cache). Entries are added by the read
+// path when a page fails its checksum or the file returns an I/O error, and
+// consulted by chunk selection so the next attempt skips the bad chunk.
+class ChunkQuarantine {
+ public:
+  static ChunkQuarantine& Instance();
+
+  ChunkQuarantine(const ChunkQuarantine&) = delete;
+  ChunkQuarantine& operator=(const ChunkQuarantine&) = delete;
+
+  // Quarantines one chunk, WARN-logging `path` + `offset` + `cause` and
+  // bumping the corruption_events counter (once per distinct chunk).
+  void Add(uint64_t cache_id, uint64_t data_offset, const std::string& path,
+           const Status& cause);
+  bool Contains(uint64_t cache_id, uint64_t data_offset) const;
+
+  // Fast pre-check for the common all-healthy case: a single relaxed load.
+  bool empty() const { return size_.load(std::memory_order_relaxed) == 0; }
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  // Bumped on every Add of a previously unknown chunk. The degrade retry
+  // loop compares generations around an attempt to prove forward progress.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  // Drops every entry for one reader; called when the reader closes (its
+  // cache id is never reused, so stale entries would only leak memory).
+  void ForgetFile(uint64_t cache_id);
+
+  void Clear();
+
+ private:
+  ChunkQuarantine() = default;
+
+  mutable std::mutex mutex_;
+  std::set<std::pair<uint64_t, uint64_t>> entries_;
+  std::atomic<size_t> size_{0};
+  std::atomic<uint64_t> generation_{0};
+};
+
+// Read-path failure hook: under kDegrade, quarantines the chunk and returns
+// true (the caller still propagates the error; the query-level retry skips
+// the chunk next time round). Under kStrict — or for error codes that do not
+// indicate bad data, e.g. kOutOfRange — returns false without recording
+// anything.
+bool MaybeQuarantineChunk(uint64_t cache_id, uint64_t data_offset,
+                          const std::string& path, const Status& cause);
+
+// Runs `fn`, and under kDegrade retries it after a Corruption / IoError
+// failure as long as the failed attempt quarantined at least one new chunk.
+// Terminates because the quarantine only grows and is bounded by the number
+// of chunks on disk: every retry either succeeds, fails for a non-data
+// reason (returned as-is), or removes one more chunk from consideration.
+Status RunWithReadTolerance(const std::function<Status()>& fn);
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_STORAGE_QUARANTINE_H_

@@ -2,17 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cerrno>
-#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <map>
 
+#include "common/env.h"
 #include "common/logging.h"
 #include "common/stats.h"
+#include "encoding/varint.h"
 #include "obs/metrics.h"
 #include "storage/file_format.h"
+#include "storage/quarantine.h"
 
 namespace tsviz {
 
@@ -62,8 +63,43 @@ Result<int64_t> ParsePartitionDirIndex(const std::string& name) {
   return negative ? -index : index;
 }
 
-// The manifest pins the store's partition interval at creation time.
-constexpr char kManifestPrefix[] = "tsviz.partition.v1 ";
+// The manifest pins the store's partition interval at creation time. v2
+// appends an FNV-1a checksum of the interval digits so a torn or bit-flipped
+// manifest is detected instead of silently repartitioning the store; v1
+// manifests (no checksum) stay readable.
+constexpr char kManifestPrefixV1[] = "tsviz.partition.v1 ";
+constexpr char kManifestPrefixV2[] = "tsviz.partition.v2 ";
+
+std::string FormatManifest(int64_t interval) {
+  const std::string digits = std::to_string(interval);
+  return std::string(kManifestPrefixV2) + digits + " " +
+         std::to_string(Fnv1a64(digits)) + "\n";
+}
+
+// Parses either manifest version; any structural problem (wrong prefix,
+// non-positive interval, checksum mismatch) is a Corruption.
+Result<int64_t> ParseManifest(const std::string& content,
+                              const std::string& path) {
+  const Status corrupt = Status::Corruption("bad partition manifest: " + path);
+  const size_t prefix_len = strlen(kManifestPrefixV2);
+  static_assert(sizeof(kManifestPrefixV1) == sizeof(kManifestPrefixV2));
+  const bool v2 = content.compare(0, prefix_len, kManifestPrefixV2) == 0;
+  if (!v2 && content.compare(0, prefix_len, kManifestPrefixV1) != 0) {
+    return corrupt;
+  }
+  char* end = nullptr;
+  const int64_t value = std::strtoll(content.c_str() + prefix_len, &end, 10);
+  if (value <= 0) return corrupt;
+  if (v2) {
+    const char* digits_begin = content.c_str() + prefix_len;
+    const std::string digits(digits_begin,
+                             static_cast<size_t>(end - digits_begin));
+    char* checksum_end = nullptr;
+    const uint64_t checksum = std::strtoull(end, &checksum_end, 10);
+    if (checksum_end == end || checksum != Fnv1a64(digits)) return corrupt;
+  }
+  return value;
+}
 
 // Rebuilds the derived flat file/chunk vectors from the partitions (in
 // partition order) and refreshes the legacy group's pruning interval from
@@ -143,12 +179,7 @@ Result<std::unique_ptr<TsStore>> TsStore::Open(StoreConfig config) {
   if (config.partition_interval_ms < 0) {
     return Status::InvalidArgument("partition_interval_ms must be >= 0");
   }
-  std::error_code ec;
-  fs::create_directories(config.data_dir, ec);
-  if (ec) {
-    return Status::IoError("cannot create " + config.data_dir + ": " +
-                           ec.message());
-  }
+  TSVIZ_RETURN_IF_ERROR(GetEnv()->CreateDirs(config.data_dir));
   auto store = std::unique_ptr<TsStore>(new TsStore(std::move(config)));
   TSVIZ_RETURN_IF_ERROR(store->Recover());
   return store;
@@ -160,20 +191,11 @@ Status TsStore::Recover() {
   // a store cannot change its partition width after the fact, or existing
   // files would sit in the wrong directories.
   {
-    std::FILE* manifest = std::fopen(ManifestPath().c_str(), "rb");
-    if (manifest != nullptr) {
-      char buffer[128] = {0};
-      size_t n = std::fread(buffer, 1, sizeof(buffer) - 1, manifest);
-      (void)n;
-      std::fclose(manifest);
-      const size_t prefix_len = strlen(kManifestPrefix);
-      int64_t value = 0;
-      if (strncmp(buffer, kManifestPrefix, prefix_len) == 0) {
-        value = std::strtoll(buffer + prefix_len, nullptr, 10);
-      }
-      if (value <= 0) {
-        return Status::Corruption("bad partition manifest: " + ManifestPath());
-      }
+    Env* env = GetEnv();
+    auto manifest = env->ReadFileToString(ManifestPath());
+    if (manifest.ok()) {
+      TSVIZ_ASSIGN_OR_RETURN(int64_t value,
+                             ParseManifest(*manifest, ManifestPath()));
       if (config_.partition_interval_ms != 0 &&
           config_.partition_interval_ms != value) {
         TSVIZ_WARN << "partition.meta overrides configured interval"
@@ -181,22 +203,15 @@ Status TsStore::Recover() {
                    << Field("config", config_.partition_interval_ms);
       }
       partition_interval_ = value;
-    } else {
+    } else if (manifest.status().code() == StatusCode::kNotFound) {
       partition_interval_ = config_.partition_interval_ms;
       if (partition_interval_ > 0) {
-        std::FILE* out = std::fopen(ManifestPath().c_str(), "wb");
-        if (out == nullptr) {
-          return Status::IoError("cannot create " + ManifestPath() + ": " +
-                                 std::strerror(errno));
-        }
-        std::string line = std::string(kManifestPrefix) +
-                           std::to_string(partition_interval_) + "\n";
-        size_t written = std::fwrite(line.data(), 1, line.size(), out);
-        int close_rc = std::fclose(out);
-        if (written != line.size() || close_rc != 0) {
-          return Status::IoError("short write to " + ManifestPath());
-        }
+        TSVIZ_RETURN_IF_ERROR(WriteFileAtomic(
+            ManifestPath(), FormatManifest(partition_interval_),
+            durable_fsync()));
       }
+    } else {
+      return manifest.status();
     }
   }
 
@@ -212,6 +227,13 @@ Status TsStore::Recover() {
   for (const auto& entry : fs::directory_iterator(config_.data_dir)) {
     std::string name = entry.path().filename().string();
     if (entry.is_regular_file()) {
+      if (name.ends_with(".tmp")) {
+        // A write (data file, manifest, mods rewrite) that died before its
+        // commit rename; the finished artifact either exists under its
+        // final name or never happened.
+        (void)GetEnv()->RemoveFile(entry.path().string());
+        continue;
+      }
       if (name.size() > sizeof(kDataSuffix) && name.ends_with(kDataSuffix)) {
         std::string stem = name.substr(0, name.size() - strlen(kDataSuffix));
         auto id = ParseFileId(stem);
@@ -225,6 +247,10 @@ Status TsStore::Recover() {
       for (const auto& sub : fs::directory_iterator(entry.path())) {
         if (!sub.is_regular_file()) continue;
         std::string sub_name = sub.path().filename().string();
+        if (sub_name.ends_with(".tmp")) {
+          (void)GetEnv()->RemoveFile(sub.path().string());
+          continue;
+        }
         if (sub_name.size() > sizeof(kDataSuffix) &&
             sub_name.ends_with(kDataSuffix)) {
           std::string stem =
@@ -242,8 +268,25 @@ Status TsStore::Recover() {
     part.index = part_index;
     part.interval = PartitionBounds(part_index);
     for (const auto& [id, path] : data_files) {
-      TSVIZ_ASSIGN_OR_RETURN(std::shared_ptr<FileReader> reader,
-                             FileReader::Open(path));
+      auto reader_or = FileReader::Open(path);
+      if (!reader_or.ok()) {
+        // Its id stays burned so a future flush cannot rename over the
+        // evidence.
+        next_file_id_ = std::max(next_file_id_, id + 1);
+        const Status& status = reader_or.status();
+        if (GetReadTolerance() == ReadTolerance::kDegrade &&
+            (status.code() == StatusCode::kCorruption ||
+             status.code() == StatusCode::kIoError)) {
+          static obs::Counter& corruption_events =
+              obs::GetCounter("corruption_events");
+          corruption_events.Inc();
+          TSVIZ_WARN << "skipping unreadable data file" << Field("file", path)
+                     << Field("cause", status.ToString());
+          continue;
+        }
+        return status;
+      }
+      std::shared_ptr<FileReader> reader = std::move(reader_or).value();
       for (const ChunkMetadata& meta : reader->chunks()) {
         part.chunks.push_back(ChunkHandle{reader, &meta});
         next_version_ = std::max(next_version_, meta.version + 1);
@@ -271,15 +314,12 @@ Status TsStore::Recover() {
   RebuildDerived(state.get());
 
   // Replay delete tombstones.
-  std::FILE* mods = std::fopen(ModsPath().c_str(), "rb");
-  if (mods != nullptr) {
-    std::string content;
-    char buffer[4096];
-    size_t n;
-    while ((n = std::fread(buffer, 1, sizeof(buffer), mods)) > 0) {
-      content.append(buffer, n);
-    }
-    std::fclose(mods);
+  auto mods = GetEnv()->ReadFileToString(ModsPath());
+  if (!mods.ok() && mods.status().code() != StatusCode::kNotFound) {
+    return mods.status();
+  }
+  if (mods.ok()) {
+    const std::string content = std::move(mods).value();
     std::string_view cursor = content;
     if (cursor.size() < kModsMagic.size() ||
         cursor.substr(0, kModsMagic.size()) != kModsMagic) {
@@ -300,7 +340,7 @@ Status TsStore::Recover() {
   // crash between a flush's segment rotation and its completion leaves the
   // pinned old segment behind; it replays first, before the active log.
   if (config_.enable_wal) {
-    const bool had_old_segment = fs::exists(OldWalPath());
+    const bool had_old_segment = GetEnv()->FileExists(OldWalPath());
     std::vector<WalRecord> records;
     bool truncated = false;
     if (had_old_segment) {
@@ -322,7 +362,7 @@ Status TsStore::Recover() {
         memtable_.EraseRange(record.range);
       }
     }
-    TSVIZ_ASSIGN_OR_RETURN(wal_, WalWriter::Open(WalPath()));
+    TSVIZ_ASSIGN_OR_RETURN(wal_, WalWriter::Open(WalPath(), durable_fsync()));
     if (truncated || had_old_segment) {
       // Consolidate everything into the active log so the old segment can
       // be dropped (and a torn tail rewritten).
@@ -337,8 +377,7 @@ Status TsStore::Recover() {
                 ? wal_->AppendPut(record.point)
                 : wal_->AppendDelete(record.range));
       }
-      std::error_code ec;
-      fs::remove(OldWalPath(), ec);
+      TSVIZ_RETURN_IF_ERROR(GetEnv()->RemoveFile(OldWalPath()));
     }
   }
   return Status::OK();
@@ -388,6 +427,12 @@ std::string TsStore::WalPath() const { return config_.data_dir + "/wal.log"; }
 
 std::string TsStore::OldWalPath() const {
   return config_.data_dir + "/wal.old.log";
+}
+
+void TsStore::set_durable_fsync(bool durable) {
+  durable_.store(durable, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (wal_ != nullptr) wal_->set_durable(durable);
 }
 
 size_t TsStore::memtable_size() const {
@@ -452,50 +497,34 @@ Status TsStore::DeleteRange(const TimeRange& range) {
 
 Status TsStore::AppendModsRecordLocked(const DeleteRecord& del) {
   const std::string path = ModsPath();
-  const bool fresh = !fs::exists(path);
-  std::FILE* mods = std::fopen(path.c_str(), "ab");
-  if (mods == nullptr) {
-    return Status::IoError("cannot open " + path + ": " +
-                           std::strerror(errno));
-  }
+  TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> mods,
+                         GetEnv()->NewAppendableFile(path));
   std::string record;
-  if (fresh) record.append(kModsMagic);
+  if (mods->size() == 0) record.append(kModsMagic);
   SerializeDeleteRecord(del, &record);
-  size_t written = std::fwrite(record.data(), 1, record.size(), mods);
-  int close_rc = std::fclose(mods);
-  if (written != record.size() || close_rc != 0) {
-    return Status::IoError("short write to " + path);
+  const uint64_t size_before = mods->size();
+  if (Status status = mods->Append(record); !status.ok()) {
+    // Erase the torn record so the file stays parseable end to end (mods
+    // replay has no torn-tail tolerance — every byte must decode).
+    (void)mods->Truncate(size_before);
+    return status;
   }
-  return Status::OK();
+  if (durable_fsync()) {
+    TSVIZ_RETURN_IF_ERROR(mods->Sync());
+  }
+  return mods->Close();
 }
 
 Status TsStore::RewriteModsLocked(const std::vector<DeleteRecord>& deletes) {
   const std::string path = ModsPath();
-  std::error_code ec;
   if (deletes.empty()) {
-    fs::remove(path, ec);
-    return Status::OK();
-  }
-  const std::string tmp = path + ".tmp";
-  std::FILE* mods = std::fopen(tmp.c_str(), "wb");
-  if (mods == nullptr) {
-    return Status::IoError("cannot open " + tmp + ": " +
-                           std::strerror(errno));
+    return GetEnv()->RemoveFile(path);
   }
   std::string content(kModsMagic);
   for (const DeleteRecord& del : deletes) {
     SerializeDeleteRecord(del, &content);
   }
-  size_t written = std::fwrite(content.data(), 1, content.size(), mods);
-  int close_rc = std::fclose(mods);
-  if (written != content.size() || close_rc != 0) {
-    return Status::IoError("short write to " + tmp);
-  }
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    return Status::IoError("cannot replace " + path + ": " + ec.message());
-  }
-  return Status::OK();
+  return WriteFileAtomic(path, content, durable_fsync());
 }
 
 Status TsStore::Flush() {
@@ -527,6 +556,7 @@ Status TsStore::FlushHoldingMaintenance() {
       // the flushed nor the concurrent points can be lost by a crash.
       TSVIZ_RETURN_IF_ERROR(wal_->RotateTo(OldWalPath()));
       rotated = true;
+      TSVIZ_CRASHPOINT("flush.after_rotate");
     }
     // Route the (time-ordered) drained points into contiguous per-partition
     // groups. File ids and one version per chunk are reserved here so
@@ -558,28 +588,31 @@ Status TsStore::FlushHoldingMaintenance() {
       memtable_.PutIfAbsent(p.t, p.v);
       if (wal_ != nullptr) (void)wal_->AppendPut(p);
     }
-    std::error_code ec;
     for (const FlushGroup& group : groups) {
-      fs::remove(FilePath(group.file_id, group.partition), ec);
+      (void)GetEnv()->RemoveFile(FilePath(group.file_id, group.partition));
     }
-    if (rotated) fs::remove(OldWalPath(), ec);
+    if (rotated) (void)GetEnv()->RemoveFile(OldWalPath());
     return status;
   };
 
+  const bool durable = durable_fsync();
   std::vector<std::shared_ptr<FileReader>> readers(groups.size());
   for (size_t g = 0; g < groups.size(); ++g) {
     const FlushGroup& group = groups[g];
     if (group.partition != kLegacyPartitionIndex) {
-      std::error_code ec;
-      fs::create_directories(PartitionDirPath(group.partition), ec);
-      if (ec) {
-        return fail(Status::IoError("cannot create " +
-                                    PartitionDirPath(group.partition) + ": " +
-                                    ec.message()));
+      const std::string dir = PartitionDirPath(group.partition);
+      const bool fresh_dir = !GetEnv()->FileExists(dir);
+      if (Status s = GetEnv()->CreateDirs(dir); !s.ok()) return fail(s);
+      if (durable && fresh_dir) {
+        // Pin the new directory entry itself; the files inside get their
+        // own dir fsync from FileWriter::Finish.
+        if (Status s = GetEnv()->SyncDir(config_.data_dir); !s.ok()) {
+          return fail(s);
+        }
       }
     }
     const std::string path = FilePath(group.file_id, group.partition);
-    auto writer_or = FileWriter::Create(path);
+    auto writer_or = FileWriter::Create(path, durable);
     if (!writer_or.ok()) return fail(writer_or.status());
     std::unique_ptr<FileWriter> writer = std::move(writer_or).value();
     size_t chunk_index = 0;
@@ -597,6 +630,9 @@ Status TsStore::FlushHoldingMaintenance() {
     if (!reader_or.ok()) return fail(reader_or.status());
     readers[g] = std::move(reader_or).value();
   }
+  // The data files are complete and named; a crash here replays the pinned
+  // WAL segment on top of them (duplicate points resolve by version).
+  TSVIZ_CRASHPOINT("flush.after_data");
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -611,10 +647,10 @@ Status TsStore::FlushHoldingMaintenance() {
     }
     PublishLocked(std::move(next));
   }
+  TSVIZ_CRASHPOINT("flush.after_commit");
   if (rotated) {
     // The flushed files now carry the pinned segment's data.
-    std::error_code ec;
-    fs::remove(OldWalPath(), ec);
+    (void)GetEnv()->RemoveFile(OldWalPath());
   }
   static obs::Counter& flushes_total = obs::GetCounter(
       "storage_flushes_total", "Memtable flushes to data files");
@@ -665,6 +701,7 @@ Status TsStore::ExpireTtl(int64_t ttl, bool* expired) {
   if (advance) {
     TSVIZ_RETURN_IF_ERROR(
         DeleteRange(TimeRange(interval.start, watermark - 1)));
+    TSVIZ_CRASHPOINT("ttl.after_tombstone");
     ttl_watermark_ = watermark;
     if (expired != nullptr) *expired = true;
     static obs::Counter& ttl_expirations = obs::GetCounter(
@@ -692,11 +729,18 @@ Status TsStore::ExpireTtl(int64_t ttl, bool* expired) {
       }
       PublishLocked(std::move(next));
     }
+    // A crash before the unlinks below leaves the dropped partitions on
+    // disk, but fully covered by the tombstone just written — they reopen
+    // dead and the next expiry pass drops them again.
+    TSVIZ_CRASHPOINT("ttl.after_drop");
     // Snapshot readers that pinned these files keep their descriptors; the
     // unlink only drops the directory entries.
-    std::error_code ec;
-    for (const std::string& path : dead_paths) fs::remove(path, ec);
-    for (const std::string& dir : dead_dirs) fs::remove(dir, ec);
+    for (const std::string& path : dead_paths) {
+      (void)GetEnv()->RemoveFile(path);
+    }
+    for (const std::string& dir : dead_dirs) {
+      (void)GetEnv()->RemoveDir(dir);
+    }
     static obs::Counter& partition_drops = obs::GetCounter(
         "partition_drops_total",
         "Fully-expired partitions unlinked by TTL expiry");

@@ -1,6 +1,7 @@
 #ifndef TSVIZ_STORAGE_STORE_H_
 #define TSVIZ_STORAGE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -184,6 +185,13 @@ class TsStore {
 
   const StoreConfig& config() const { return config_; }
 
+  // Runtime toggle for the fsync policy (the `SET durable_fsync` knob);
+  // applies to every flush/compaction/rotation from this point on.
+  void set_durable_fsync(bool durable);
+  bool durable_fsync() const {
+    return durable_.load(std::memory_order_relaxed);
+  }
+
   // A consistent snapshot of the current on-disk state.
   StoreView CurrentView() const { return StoreView(SnapshotState()); }
 
@@ -226,7 +234,8 @@ class TsStore {
  private:
   friend class StoreView;
 
-  explicit TsStore(StoreConfig config) : config_(std::move(config)) {}
+  explicit TsStore(StoreConfig config)
+      : config_(std::move(config)), durable_(config_.durable_fsync) {}
 
   Status Recover();
   Status AppendModsRecordLocked(const DeleteRecord& del);
@@ -248,6 +257,10 @@ class TsStore {
   std::string OldWalPath() const;
 
   StoreConfig config_;
+
+  // Live fsync policy, seeded from config_.durable_fsync and adjustable at
+  // runtime via set_durable_fsync.
+  std::atomic<bool> durable_;
 
   // Effective partition interval, fixed at Open (manifest wins over
   // config); immutable afterwards, so reads need no lock.

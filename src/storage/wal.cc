@@ -1,6 +1,5 @@
 #include "storage/wal.h"
 
-#include <cerrno>
 #include <cstring>
 
 #include "encoding/varint.h"
@@ -34,28 +33,35 @@ constexpr size_t kRecordSize = 1 + 16 + 8;
 
 }  // namespace
 
-WalWriter::WalWriter(std::FILE* file, std::string path)
-    : file_(file), path_(std::move(path)) {}
+WalWriter::WalWriter(std::unique_ptr<WritableFile> file, std::string path,
+                     bool durable)
+    : file_(std::move(file)), path_(std::move(path)), durable_(durable) {}
 
-WalWriter::~WalWriter() {
-  if (file_ != nullptr) std::fclose(file_);
-}
+WalWriter::~WalWriter() = default;
 
-Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "ab");
-  if (file == nullptr) {
-    return Status::IoError("cannot open wal " + path + ": " +
-                           std::strerror(errno));
-  }
-  return std::unique_ptr<WalWriter>(new WalWriter(file, path));
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   bool durable) {
+  TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                         GetEnv()->NewAppendableFile(path));
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(std::move(file), path, durable));
 }
 
 Status WalWriter::AppendRecord(const WalRecord& record) {
+  if (broken_) {
+    return Status::IoError("wal " + path_ + " is in a failed state");
+  }
   std::string body = EncodeBody(record);
   std::string entry = body;
   PutFixed64(&entry, Fnv1a64(body));
-  if (std::fwrite(entry.data(), 1, entry.size(), file_) != entry.size()) {
-    return Status::IoError("short wal write to " + path_);
+  const uint64_t size_before = file_->size();
+  if (Status status = file_->Append(entry); !status.ok()) {
+    // Erase any torn prefix so the corruption stays at the (replayable)
+    // tail instead of ending up mid-log once later appends succeed.
+    if (Status truncate = file_->Truncate(size_before); !truncate.ok()) {
+      broken_ = true;
+    }
+    return status;
   }
   static obs::Counter& appends_total =
       obs::GetCounter("wal_appends_total", "WAL records appended");
@@ -81,13 +87,10 @@ Status WalWriter::AppendDelete(const TimeRange& range) {
 }
 
 Status WalWriter::Reset() {
-  // Reopen with truncation; keep appending to the same path afterwards.
-  std::FILE* file = std::freopen(path_.c_str(), "wb", file_);
-  if (file == nullptr) {
-    file_ = nullptr;
-    return Status::IoError("cannot truncate wal " + path_);
+  if (broken_) {
+    return Status::IoError("wal " + path_ + " is in a failed state");
   }
-  file_ = file;
+  TSVIZ_RETURN_IF_ERROR(file_->Truncate(0));
   static obs::Counter& resets_total = obs::GetCounter(
       "wal_resets_total", "WAL truncations after a durable flush");
   resets_total.Inc();
@@ -95,23 +98,37 @@ Status WalWriter::Reset() {
 }
 
 Status WalWriter::RotateTo(const std::string& old_path) {
-  if (std::fflush(file_) != 0) {
-    return Status::IoError("cannot flush wal " + path_);
+  if (broken_) {
+    return Status::IoError("wal " + path_ + " is in a failed state");
   }
-  std::fclose(file_);
-  file_ = nullptr;
-  if (std::rename(path_.c_str(), old_path.c_str()) != 0) {
-    // Reopen so the writer stays usable; the records are still in place.
-    file_ = std::fopen(path_.c_str(), "ab");
-    return Status::IoError("cannot rotate wal " + path_ + ": " +
-                           std::strerror(errno));
+  Env* env = GetEnv();
+  if (durable_) {
+    // The rotated segment is about to justify truncating away its records'
+    // only other copy (the memtable, once flushed); pin it to disk first.
+    TSVIZ_RETURN_IF_ERROR(file_->Sync());
   }
-  std::FILE* fresh = std::fopen(path_.c_str(), "ab");
-  if (fresh == nullptr) {
-    return Status::IoError("cannot reopen wal " + path_ + ": " +
-                           std::strerror(errno));
+  // Rename first, keeping our handle open: the fd follows the inode, so on
+  // any later failure renaming back restores the exact pre-call state and
+  // the held handle keeps appending to the live segment.
+  TSVIZ_RETURN_IF_ERROR(env->RenameFile(path_, old_path));
+  TSVIZ_CRASHPOINT("wal.rotate.after_rename");
+  auto fresh = env->NewAppendableFile(path_);
+  if (!fresh.ok()) {
+    if (Status undo = env->RenameFile(old_path, path_); !undo.ok()) {
+      // Cannot restore the live segment's name; stop accepting writes
+      // rather than appending to a file recovery will replay as old.
+      broken_ = true;
+      return Status::IoError("wal " + path_ +
+                             " rotation failed and could not be undone: " +
+                             fresh.status().message());
+    }
+    return fresh.status();
   }
-  file_ = fresh;
+  if (durable_) {
+    // Make the rename + the fresh (empty) segment durable together.
+    TSVIZ_RETURN_IF_ERROR(env->SyncDir(ParentDir(path_)));
+  }
+  file_ = std::move(fresh).value();
   static obs::Counter& rotations_total = obs::GetCounter(
       "wal_rotations_total", "WAL segment rotations at flush start");
   rotations_total.Inc();
@@ -122,16 +139,14 @@ Result<std::vector<WalRecord>> ReadWal(const std::string& path,
                                        bool* truncated_tail) {
   if (truncated_tail != nullptr) *truncated_tail = false;
   std::vector<WalRecord> records;
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return records;  // no log yet
-
-  std::string content;
-  char buffer[8192];
-  size_t n;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
-    content.append(buffer, n);
+  auto read = GetEnv()->ReadFileToString(path);
+  if (!read.ok()) {
+    if (read.status().code() == StatusCode::kNotFound) {
+      return records;  // no log yet
+    }
+    return read.status();
   }
-  std::fclose(file);
+  const std::string content = std::move(read).value();
 
   std::string_view cursor = content;
   while (cursor.size() >= kRecordSize) {

@@ -1,11 +1,11 @@
 #ifndef TSVIZ_STORAGE_WAL_H_
 #define TSVIZ_STORAGE_WAL_H_
 
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "common/time_range.h"
 #include "common/types.h"
@@ -20,6 +20,12 @@ namespace tsviz {
 // Record layout: u8 type | payload | fixed64 FNV-1a of (type | payload).
 //   type 1 (put):    fixed64 timestamp, fixed64 value bits
 //   type 2 (delete): fixed64 start, fixed64 end
+//
+// Appends are unbuffered (one write(2) each), so an acknowledged record
+// survives a process crash; with `durable` the segment is additionally
+// fsynced at rotation/reset boundaries for power-loss safety. A failed
+// append truncates the segment back to the last good record, so a torn
+// write can never sit in the middle of the log.
 //
 // Replay is torn-tail tolerant: a truncated or corrupt record ends the
 // replay at the last good record, which is the standard WAL contract for a
@@ -36,8 +42,10 @@ struct WalRecord {
 
 class WalWriter {
  public:
-  // Opens the log for appending (creating it if missing).
-  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path);
+  // Opens the log for appending (creating it if missing). With `durable`,
+  // segment boundaries (rotation, reset) fsync before renaming/truncating.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 bool durable = false);
 
   ~WalWriter();
   WalWriter(const WalWriter&) = delete;
@@ -45,6 +53,8 @@ class WalWriter {
 
   Status AppendPut(const Point& p);
   Status AppendDelete(const TimeRange& range);
+
+  void set_durable(bool durable) { durable_ = durable; }
 
   // Discards the log contents (after a successful flush).
   Status Reset();
@@ -54,14 +64,26 @@ class WalWriter {
   // to a fresh, empty log at the original path. The caller owns the old
   // segment's lifetime — it is deleted once the flush that drained those
   // records lands, and replayed before the active log on recovery.
+  //
+  // On failure the live segment is left intact at the original path and
+  // appends keep working; only if the filesystem also refuses to undo a
+  // half-made rotation does the writer latch into a fail-stop state where
+  // every later operation returns the error.
   Status RotateTo(const std::string& old_path);
 
  private:
-  WalWriter(std::FILE* file, std::string path);
+  WalWriter(std::unique_ptr<WritableFile> file, std::string path,
+            bool durable);
   Status AppendRecord(const WalRecord& record);
 
-  std::FILE* file_;
+  std::unique_ptr<WritableFile> file_;
   std::string path_;
+  bool durable_;
+  // Set when the on-disk state no longer matches what the writer believes
+  // (failed truncate-back, failed rotation undo). Fail-stop: no further
+  // appends are accepted, so the damage cannot spread past the point the
+  // caller was already told about.
+  bool broken_ = false;
 };
 
 // Replays a log. Missing file yields an empty vector; a corrupt tail stops

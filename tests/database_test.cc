@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <memory>
 
+#include "storage/quarantine.h"
 #include "test_util.h"
 
 namespace tsviz {
@@ -128,6 +129,40 @@ TEST(DatabaseTest, ApplySettingRejectsUnknownKnobsListingValidOnes) {
       EXPECT_NE(rejected.ToString().find("valid knobs"), std::string::npos);
     }
   }
+}
+
+TEST(DatabaseTest, DurabilityAndToleranceKnobs) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                       Database::Open(TestConfig(dir.path())));
+  ASSERT_OK(db->Write("s", 1, 1.0));
+  ASSERT_OK_AND_ASSIGN(TsStore * existing, db->GetSeries("s"));
+  // durable_fsync accepts 0 (off) and reaches both the open store and the
+  // defaults new series inherit.
+  ASSERT_OK(db->ApplySetting("durable_fsync", 0));
+  EXPECT_FALSE(existing->durable_fsync());
+  ASSERT_OK(db->Write("s2", 1, 1.0));
+  ASSERT_OK_AND_ASSIGN(TsStore * created, db->GetSeries("s2"));
+  EXPECT_FALSE(created->durable_fsync());
+  ASSERT_OK(db->ApplySetting("durable_fsync", 1));
+  EXPECT_TRUE(existing->durable_fsync());
+  EXPECT_FALSE(db->ApplySetting("durable_fsync", -1).ok());
+  // faultfs_* knobs accept 0 and reject unknown field names.
+  ASSERT_OK(db->ApplySetting("faultfs_eio_every", 0));
+  Status status = db->ApplySetting("faultfs_nope", 1);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("valid knobs"), std::string::npos);
+  // read_tolerance is word-valued: numbers are rejected, words apply.
+  status = db->ApplySetting("read_tolerance", 1);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("valid knobs"), std::string::npos);
+  ASSERT_OK(db->ApplySetting("read_tolerance", std::string("strict")));
+  EXPECT_EQ(GetReadTolerance(), ReadTolerance::kStrict);
+  ASSERT_OK(db->ApplySetting("read_tolerance", std::string("degrade")));
+  EXPECT_EQ(GetReadTolerance(), ReadTolerance::kDegrade);
+  status = db->ApplySetting("ttl_ms", std::string("forever"));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("valid knobs"), std::string::npos);
 }
 
 TEST(DatabaseTest, PartitionIntervalSettingAppliesToNewSeries) {

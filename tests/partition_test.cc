@@ -8,12 +8,14 @@
 #include <chrono>
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bg/maintenance.h"
+#include "common/env.h"
 #include "common/random.h"
 #include "db/database.h"
 #include "m4/m4_lsm.h"
@@ -188,6 +190,54 @@ TEST(PartitionTest, ManifestPinsIntervalAgainstConfigChanges) {
       std::vector<Point> merged,
       ReadMergedSeries(store->CurrentView(), TimeRange(0, 3000), nullptr));
   EXPECT_EQ(merged.size(), 30u);
+}
+
+TEST(PartitionTest, CorruptManifestFailsOpenWithCorruption) {
+  TempDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                         TsStore::Open(PartitionedConfig(dir.path(), 1000)));
+    for (int i = 0; i < 10; ++i) ASSERT_OK(store->Write(i * 100, 1.0));
+    ASSERT_OK(store->Flush());
+  }
+  const std::string manifest = dir.path() + "/partition.meta";
+  ASSERT_OK_AND_ASSIGN(const std::string good,
+                       GetEnv()->ReadFileToString(manifest));
+  // Garbage, a truncated prefix, and a checksum mismatch must each fail
+  // the open loudly instead of silently repartitioning the store.
+  for (const std::string& bad :
+       {std::string("not a manifest at all\n"), good.substr(0, 12),
+        std::string("tsviz.partition.v2 1000 12345\n")}) {
+    std::ofstream(manifest, std::ios::trunc) << bad;
+    Status status = TsStore::Open(PartitionedConfig(dir.path(), 1000)).status();
+    EXPECT_EQ(status.code(), StatusCode::kCorruption) << bad;
+    EXPECT_NE(status.ToString().find("partition manifest"), std::string::npos)
+        << status.ToString();
+  }
+  // Restoring the good manifest restores the store.
+  std::ofstream(manifest, std::ios::trunc) << good;
+  ASSERT_OK(TsStore::Open(PartitionedConfig(dir.path(), 1000)).status());
+}
+
+TEST(PartitionTest, ChecksumlessV1ManifestStaysReadable) {
+  TempDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                         TsStore::Open(PartitionedConfig(dir.path(), 1000)));
+    for (int i = 0; i < 10; ++i) ASSERT_OK(store->Write(i * 100, 1.0));
+    ASSERT_OK(store->Flush());
+  }
+  // A store written before the checksummed v2 format carries a bare v1
+  // line; it must open and keep its pinned interval.
+  std::ofstream(dir.path() + "/partition.meta", std::ios::trunc)
+      << "tsviz.partition.v1 1000\n";
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(PartitionedConfig(dir.path(), 500)));
+  EXPECT_EQ(store->partition_interval(), 1000);
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<Point> merged,
+      ReadMergedSeries(store->CurrentView(), TimeRange(0, 3000), nullptr));
+  EXPECT_EQ(merged.size(), 10u);
 }
 
 TEST(PartitionTest, QueriesPruneNonOverlappingPartitions) {

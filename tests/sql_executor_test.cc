@@ -6,9 +6,11 @@
 #include <functional>
 #include <memory>
 
+#include "common/env.h"
 #include "common/random.h"
 #include "m4/m4_udf.h"
 #include "obs/trace.h"
+#include "storage/quarantine.h"
 #include "test_util.h"
 
 namespace tsviz::sql {
@@ -237,6 +239,8 @@ TEST_F(SqlExecutorTest, ExplainAnalyzeReturnsTraceTreeAndStats) {
   for (const std::string& field : QueryStats::FieldNames()) {
     EXPECT_NE(csv.find("stat:" + field), std::string::npos) << field;
   }
+  // A healthy store reports degraded,0: no data was quarantined away.
+  EXPECT_NE(csv.find("degraded,0,null"), std::string::npos);
   // The trace and counters also propagate to the caller's QueryStats.
   ASSERT_NE(stats.trace, nullptr);
   EXPECT_GT(stats.trace->TotalMillis(), 0.0);
@@ -425,6 +429,53 @@ TEST_F(SqlExecutorTest, SetAdjustsMaintenanceKnobs) {
   EXPECT_FALSE(ExecuteQuery(db_.get(), "SET ttl_ms = -5", nullptr).ok());
   EXPECT_FALSE(
       ExecuteQuery(db_.get(), "SET autoflush_bytes = -1", nullptr).ok());
+}
+
+TEST_F(SqlExecutorTest, SetReadToleranceTakesAWord) {
+  EXPECT_EQ(GetReadTolerance(), ReadTolerance::kDegrade);
+  MustQuery("SET read_tolerance = strict");
+  EXPECT_EQ(GetReadTolerance(), ReadTolerance::kStrict);
+  MustQuery("SET read_tolerance = degrade");
+  EXPECT_EQ(GetReadTolerance(), ReadTolerance::kDegrade);
+  // A number and an unknown word are both rejected, naming the knobs.
+  Status status =
+      ExecuteQuery(db_.get(), "SET read_tolerance = 5", nullptr).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("valid knobs"), std::string::npos);
+  status =
+      ExecuteQuery(db_.get(), "SET read_tolerance = maybe", nullptr).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("valid knobs"), std::string::npos);
+  // Word values on numeric knobs are rejected the same way.
+  status = ExecuteQuery(db_.get(), "SET ttl_ms = forever", nullptr).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("valid knobs"), std::string::npos);
+  EXPECT_EQ(GetReadTolerance(), ReadTolerance::kDegrade);
+}
+
+TEST_F(SqlExecutorTest, SetDurableFsyncTogglesOpenStores) {
+  ASSERT_OK(db_->Write("s1", 5000, 1.0));
+  ASSERT_OK_AND_ASSIGN(TsStore * store, db_->GetSeries("s1"));
+  const bool initial = store->durable_fsync();
+  MustQuery("SET durable_fsync = 0");
+  EXPECT_FALSE(store->durable_fsync());
+  MustQuery("SET durable_fsync = 1");
+  EXPECT_TRUE(store->durable_fsync());
+  ASSERT_OK(db_->ApplySetting("durable_fsync", initial ? 1 : 0));
+}
+
+TEST_F(SqlExecutorTest, SetFaultfsKnobsReachTheEnv) {
+  MustQuery("SET faultfs_eio_every = 0");
+  MustQuery("SET faultfs_seed = 7");
+  EXPECT_EQ(CurrentFaultConfig().eio_every, 0u);  // injection stays off
+  MustQuery("SET faultfs_short_read_every = 0");
+  MustQuery("SET faultfs_torn_append_every = 0");
+  MustQuery("SET faultfs_fsync_fail_every = 0");
+  Status status =
+      ExecuteQuery(db_.get(), "SET faultfs_bogus = 1", nullptr).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("valid knobs"), std::string::npos);
+  SetFaultConfig(FaultConfig{});  // leave the process on the clean env
 }
 
 TEST_F(SqlExecutorTest, FlushStatementPersistsTheMemtable) {

@@ -190,11 +190,22 @@ TEST(StatementParserTest, ShowSeries) {
 }
 
 TEST(StatementParserTest, SetSyntaxErrorNamesValidKnobs) {
-  Status status = ParseStatement("SET parallelism = lots").status();
+  Status status = ParseStatement("SET parallelism =").status();
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
   EXPECT_NE(status.ToString().find("partition_interval_ms"),
             std::string::npos)
       << status.ToString();
+}
+
+TEST(StatementParserTest, SetAcceptsBareWordValues) {
+  // Word values parse (read_tolerance takes them); whether a given knob
+  // accepts a word is decided at execution, not here.
+  ASSERT_OK_AND_ASSIGN(Statement stmt,
+                       ParseStatement("SET read_tolerance = strict"));
+  const auto& set = std::get<SetStatement>(stmt);
+  EXPECT_EQ(set.name, "read_tolerance");
+  ASSERT_TRUE(set.text.has_value());
+  EXPECT_EQ(*set.text, "strict");
 }
 
 }  // namespace

@@ -85,6 +85,49 @@ TEST(WalTest, CorruptMiddleStopsReplay) {
   EXPECT_EQ(records.size(), 1u);
 }
 
+TEST(WalTest, RotateToMovesSegmentAndKeepsAppending) {
+  TempDir dir;
+  std::string path = dir.path() + "/wal.log";
+  std::string old_path = dir.path() + "/wal.log.old";
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<WalWriter> writer,
+                       WalWriter::Open(path));
+  ASSERT_OK(writer->AppendPut(Point{1, 1.0}));
+  ASSERT_OK(writer->AppendPut(Point{2, 2.0}));
+  ASSERT_OK(writer->RotateTo(old_path));
+  ASSERT_OK(writer->AppendPut(Point{3, 3.0}));
+  writer.reset();
+  ASSERT_OK_AND_ASSIGN(std::vector<WalRecord> old_records, ReadWal(old_path));
+  ASSERT_OK_AND_ASSIGN(std::vector<WalRecord> records, ReadWal(path));
+  ASSERT_EQ(old_records.size(), 2u);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].point.t, 3);
+}
+
+// Regression: a failed rotation must leave the live segment intact and the
+// writer usable — never a half-rotated state where acknowledged records sit
+// at old_path while the writer appends to a fresh log it never created.
+TEST(WalTest, FailedRotateLeavesWriterUsable) {
+  TempDir dir;
+  std::string path = dir.path() + "/wal.log";
+  // Rename into a directory that does not exist must fail.
+  std::string bad_old_path = dir.path() + "/missing_dir/wal.log.old";
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<WalWriter> writer,
+                       WalWriter::Open(path));
+  ASSERT_OK(writer->AppendPut(Point{1, 1.0}));
+  ASSERT_OK(writer->AppendPut(Point{2, 2.0}));
+  EXPECT_FALSE(writer->RotateTo(bad_old_path).ok());
+  // The writer keeps accepting appends into the original segment.
+  ASSERT_OK(writer->AppendPut(Point{3, 3.0}));
+  writer.reset();
+  EXPECT_FALSE(std::filesystem::exists(bad_old_path));
+  bool truncated = true;
+  ASSERT_OK_AND_ASSIGN(std::vector<WalRecord> records,
+                       ReadWal(path, &truncated));
+  EXPECT_FALSE(truncated);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[2].point.t, 3);
+}
+
 TEST(WalTest, ResetDiscardsContents) {
   TempDir dir;
   std::string path = dir.path() + "/wal.log";

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Lints crash-point coverage: every TSVIZ_CRASHPOINT("...") registered in
+src/ must appear in tests/fault_torture_test.cc (whose discovery test then
+proves the torture script actually reaches it). A crash point nobody
+tortures is a recovery guarantee nobody checks. Run from anywhere; wired
+into ctest as `check_crashpoints`.
+
+Usage: check_crashpoints.py [repo_root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+CRASHPOINT = re.compile(r'TSVIZ_CRASHPOINT\(\s*"([a-z0-9_.]+)"')
+
+
+def registered_crashpoints(src_root: Path) -> set[str]:
+    names: set[str] = set()
+    for path in sorted(src_root.rglob("*.cc")):
+        names.update(CRASHPOINT.findall(path.read_text(encoding="utf-8")))
+    return names
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        __file__).resolve().parent.parent
+    test_path = root / "tests" / "fault_torture_test.cc"
+    if not test_path.is_file():
+        print(f"check_crashpoints: missing {test_path}", file=sys.stderr)
+        return 1
+    test_source = test_path.read_text(encoding="utf-8")
+
+    names = registered_crashpoints(root / "src")
+    if not names:
+        print("check_crashpoints: found no TSVIZ_CRASHPOINT under src/ — "
+              "the regex is probably stale", file=sys.stderr)
+        return 1
+
+    missing = sorted(n for n in names if f'"{n}"' not in test_source)
+    if missing:
+        print("check_crashpoints: crash points registered in src/ but never "
+              "exercised by tests/fault_torture_test.cc:", file=sys.stderr)
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+
+    print(f"check_crashpoints: {len(names)} crash points, all tortured")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full pre-PR gate: builds and tests every preset (default, tsan, asan)
-# and lints the metrics catalog against docs/OBSERVABILITY.md.
+# Full pre-PR gate: builds and tests every preset (default, tsan, asan),
+# re-runs the crash/fault torture suite standalone under asan, and lints
+# the metrics catalog and crash-point coverage against the docs/tests.
 #
 # Usage: tools/ci.sh [preset ...]
 #   With no arguments all three presets run. Pass a subset (e.g.
@@ -25,7 +26,20 @@ for preset in "${presets[@]}"; do
   ctest --preset "$preset" -j "$jobs"
 done
 
+# The torture tests already run inside each preset's ctest pass; re-run
+# them standalone under asan so a crash-recovery regression fails loudly
+# even when someone trims the main test pass, and so the label stays wired.
+for preset in "${presets[@]}"; do
+  if [ "$preset" = "asan" ]; then
+    echo "=== [asan] crash/fault torture ==="
+    ctest --preset asan -L torture --output-on-failure
+  fi
+done
+
 echo "=== metrics catalog lint ==="
 python3 tools/check_metrics.py
+
+echo "=== crash-point coverage lint ==="
+python3 tools/check_crashpoints.py
 
 echo "ci.sh: all green (${presets[*]})"
