@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace tsviz::bg {
@@ -41,25 +42,41 @@ obs::Gauge& MemtableBytesGauge() {
 }
 
 // Runs `fn` under a one-job trace whose only span is `span_name`, observing
-// the duration into `hist`.
+// the duration into `hist`. With a non-empty `detail` ("flush <series>"),
+// the run also lands in the flight recorder as a bg_job event carrying the
+// trace — so DUMP TRACE shows background work on its worker threads. The
+// policy tick passes an empty detail: recording every tick would drown the
+// ring in no-op events.
 Status TimedJob(const char* span_name, obs::Histogram& hist,
+                const std::string& detail,
                 const std::function<Status()>& fn) {
-  obs::Trace trace("bg_job");
+  auto trace = std::make_shared<obs::Trace>("bg_job");
   const auto start = std::chrono::steady_clock::now();
   Status status;
   {
-    obs::TraceSpan span(&trace, span_name);
+    obs::TraceSpan span(trace.get(), span_name);
     status = fn();
   }
-  hist.Observe(std::chrono::duration<double, std::milli>(
-                   std::chrono::steady_clock::now() - start)
-                   .count());
+  const double millis = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+  hist.Observe(millis);
   if (status.code() == StatusCode::kIoError ||
       status.code() == StatusCode::kCorruption) {
     static obs::Counter& io_failures = obs::GetCounter(
         "bg_job_io_failures_total",
         "Background jobs that failed with an I/O or corruption error");
     io_failures.Inc();
+  }
+  if (!detail.empty()) {
+    trace->root().millis = millis;
+    obs::RecordedEvent event;
+    event.kind = obs::EventKind::kBgJob;
+    event.millis = millis;
+    event.statement = detail;
+    event.status = status.ok() ? "OK" : status.ToString();
+    event.trace = std::move(trace);
+    obs::FlightRecorder::Instance().Record(std::move(event));
   }
   return status;
 }
@@ -84,7 +101,7 @@ void MaintenanceManager::Start() {
   if (options_.enabled) {
     scheduler_.SubmitPeriodic(
         /*key=*/"", "tick", options_.tick_interval, [this] {
-          return TimedJob("bg_tick", TickMillis(), [this] {
+          return TimedJob("bg_tick", TickMillis(), /*detail=*/"", [this] {
             Tick();
             return Status::OK();
           });
@@ -96,16 +113,18 @@ void MaintenanceManager::Stop() { scheduler_.Stop(); }
 
 uint64_t MaintenanceManager::ScheduleFlush(const std::string& series,
                                            std::shared_ptr<TsStore> store) {
-  return scheduler_.Submit(series, "flush", [store = std::move(store)] {
-    return TimedJob("bg_flush", FlushMillis(),
+  return scheduler_.Submit(series, "flush", [series,
+                                             store = std::move(store)] {
+    return TimedJob("bg_flush", FlushMillis(), "flush " + series,
                     [&store] { return store->Flush(); });
   });
 }
 
 uint64_t MaintenanceManager::ScheduleCompact(const std::string& series,
                                              std::shared_ptr<TsStore> store) {
-  return scheduler_.Submit(series, "compact", [store = std::move(store)] {
-    return TimedJob("bg_compact", CompactMillis(),
+  return scheduler_.Submit(series, "compact", [series,
+                                               store = std::move(store)] {
+    return TimedJob("bg_compact", CompactMillis(), "compact " + series,
                     [&store] { return store->Compact(); });
   });
 }
@@ -115,11 +134,13 @@ uint64_t MaintenanceManager::ScheduleCompactPartition(
     int64_t partition_index) {
   return scheduler_.Submit(
       series, "compact:p" + std::to_string(partition_index),
-      [store = std::move(store), partition_index] {
-        return TimedJob("bg_compact", CompactMillis(), [&store,
-                                                        partition_index] {
-          return store->CompactPartition(partition_index);
-        });
+      [series, store = std::move(store), partition_index] {
+        return TimedJob(
+            "bg_compact", CompactMillis(),
+            "compact:p" + std::to_string(partition_index) + " " + series,
+            [&store, partition_index] {
+              return store->CompactPartition(partition_index);
+            });
       });
 }
 
@@ -129,9 +150,10 @@ uint64_t MaintenanceManager::ScheduleTtl(const std::string& series,
   return scheduler_.Submit(
       series, "ttl", [this, series, store = std::move(store), ttl] {
         bool expired = false;
-        Status status = TimedJob("bg_ttl", TtlMillis(), [&store, ttl, &expired] {
-          return store->ExpireTtl(ttl, &expired);
-        });
+        Status status = TimedJob("bg_ttl", TtlMillis(), "ttl " + series,
+                                 [&store, ttl, &expired] {
+                                   return store->ExpireTtl(ttl, &expired);
+                                 });
         // A tombstone shrinks the live data but not the chunk-metadata
         // intervals the tick's pre-checks look at; chase it with a reclaim
         // compaction so the policy converges instead of re-enqueueing the

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/env.h"
+#include "obs/recorder.h"
 #include "storage/page_cache.h"
 #include "storage/quarantine.h"
 
@@ -59,7 +60,8 @@ Status Database::ApplySetting(const std::string& name, double value) {
   // Every rejection names the valid knobs, and fires before any state is
   // touched — a bad SET never half-applies.
   const bool allows_zero =
-      name == "durable_fsync" || name.rfind("faultfs_", 0) == 0;
+      name == "durable_fsync" || name.rfind("faultfs_", 0) == 0 ||
+      name == "trace_sample_every" || name == "slow_query_millis";
   if ((allows_zero ? !(value >= 0) : !(value > 0)) ||
       value != std::floor(value) || !std::isfinite(value)) {
     return Status::InvalidArgument(
@@ -117,6 +119,20 @@ Status Database::ApplySetting(const std::string& name, double value) {
   }
   if (name == "ttl_ms") {
     maintenance_->set_ttl(static_cast<int64_t>(value));
+    return Status::OK();
+  }
+  if (name == "trace_sample_every") {
+    obs::FlightRecorder::Instance().set_trace_sample_every(
+        static_cast<uint64_t>(value));
+    return Status::OK();
+  }
+  if (name == "slow_query_millis") {
+    obs::FlightRecorder::Instance().set_slow_query_millis(value);
+    return Status::OK();
+  }
+  if (name == "recorder_capacity_bytes") {
+    obs::FlightRecorder::Instance().set_capacity_bytes(
+        static_cast<size_t>(value));
     return Status::OK();
   }
   if (name == "partition_interval_ms") {

@@ -26,7 +26,8 @@ inline constexpr char kValidSetKnobs[] =
     "autoflush_bytes, compaction_files, durable_fsync, faultfs_eio_every, "
     "faultfs_fsync_fail_every, faultfs_seed, faultfs_short_read_every, "
     "faultfs_torn_append_every, page_cache_bytes, parallelism, "
-    "partition_interval_ms, read_tolerance, result_cache_capacity, ttl_ms";
+    "partition_interval_ms, read_tolerance, recorder_capacity_bytes, "
+    "result_cache_capacity, slow_query_millis, trace_sample_every, ttl_ms";
 
 struct DatabaseConfig {
   // Root directory; each series lives in its own subdirectory.
@@ -106,7 +107,8 @@ class Database : public bg::StoreCatalog {
 
   // Runtime knobs (`SET <name> = <value>`). Valid names: kValidSetKnobs.
   // Values must be non-negative integers (most knobs require > 0;
-  // durable_fsync and the faultfs_* knobs accept 0, which means off);
+  // durable_fsync, the faultfs_* knobs, trace_sample_every and
+  // slow_query_millis accept 0, which means off);
   // negative and non-integer values — and unknown names — are rejected
   // with kInvalidArgument listing the valid knobs, without mutating any
   // state. `partition_interval_ms` applies to series created after the

@@ -110,12 +110,22 @@ Result<M4Result> RunM4LsmParallel(StoreView view, const M4Query& query,
     return RunM4Lsm(view, query, stats, options);
   }
 
+  // When the caller is tracing, each block gets a private Trace (a Trace is
+  // single-threaded, so workers cannot share the parent's); their trees are
+  // merged into the parent after the join, restoring the solve_*/
+  // index_probe detail that used to vanish behind pool_wait.
+  const bool tracing = stats != nullptr && stats->trace != nullptr;
+
   ThreadPool& pool = ExecutorPool();
   for (int64_t b = 0; b < blocks; ++b) {
     const int64_t begin = cuts[static_cast<size_t>(b)];
     const int64_t end = cuts[static_cast<size_t>(b + 1)];
     if (begin >= end) continue;  // cut snapped onto its neighbour
     tasks_total.Inc();
+    if (tracing) {
+      results[static_cast<size_t>(b)].stats.trace =
+          std::make_shared<obs::Trace>("block");
+    }
     pool.Submit([view, &query, &options, begin, end, &done_mutex, &done_cv,
                  &remaining, out = &results[static_cast<size_t>(b)]]() {
       Result<M4Result> rows =
@@ -145,7 +155,10 @@ Result<M4Result> RunM4LsmParallel(StoreView view, const M4Query& query,
   for (BlockResult& block : results) {
     TSVIZ_RETURN_IF_ERROR(block.status);
     merged.insert(merged.end(), block.rows.begin(), block.rows.end());
-    if (stats != nullptr) *stats += block.stats;
+    if (stats != nullptr) *stats += block.stats;  // += ignores traces
+    if (tracing && block.stats.trace != nullptr) {
+      stats->trace->MergeChildrenFrom(block.stats.trace->root());
+    }
   }
   return merged;
 }

@@ -220,6 +220,11 @@ std::string MetricsRegistry::RenderPrometheus() const {
     }
     os << name << "_sum " << FormatDouble(histogram->sum()) << "\n";
     os << name << "_count " << histogram->count() << "\n";
+    // Pre-computed quantiles as plain gauges: scrapers get latency
+    // percentiles without needing histogram_quantile() support.
+    os << name << "_p50 " << FormatDouble(histogram->Quantile(0.5)) << "\n";
+    os << name << "_p95 " << FormatDouble(histogram->Quantile(0.95)) << "\n";
+    os << name << "_p99 " << FormatDouble(histogram->Quantile(0.99)) << "\n";
   }
   return os.str();
 }
@@ -256,6 +261,7 @@ std::string MetricsRegistry::RenderJson() const {
        << ",\"sum\":" << histogram->sum() << ",\"max\":" << histogram->max()
        << ",\"p50\":" << histogram->Quantile(0.5)
        << ",\"p90\":" << histogram->Quantile(0.9)
+       << ",\"p95\":" << histogram->Quantile(0.95)
        << ",\"p99\":" << histogram->Quantile(0.99) << "}";
   }
   os << "}}";

@@ -101,7 +101,7 @@ class MetricsRegistry {
   std::string RenderPrometheus() const;
 
   // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
-  // Histograms render as {count,sum,max,p50,p90,p99}.
+  // Histograms render as {count,sum,max,p50,p90,p95,p99}.
   std::string RenderJson() const;
 
   // Zeroes every counter/gauge/histogram (callbacks are left alone; they

@@ -1,0 +1,321 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace tsviz::obs {
+
+namespace {
+
+// Approximate per-node footprint of a trace tree (the ring's byte bound
+// must account for attached traces, or a handful of deep trees could blow
+// the budget unnoticed).
+size_t TraceTreeBytes(const TraceNode& node) {
+  size_t bytes = sizeof(TraceNode) + node.name.size();
+  for (const auto& child : node.children) bytes += TraceTreeBytes(*child);
+  return bytes;
+}
+
+// JSON string escaping for statement text and error messages.
+void AppendJsonEscaped(std::ostringstream* os, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *os << "\\\"";
+        break;
+      case '\\':
+        *os << "\\\\";
+        break;
+      case '\n':
+        *os << "\\n";
+        break;
+      case '\r':
+        *os << "\\r";
+        break;
+      case '\t':
+        *os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *os << buf;
+        } else {
+          *os << c;
+        }
+    }
+  }
+}
+
+std::string FormatMicros(double micros) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", micros);
+  return buf;
+}
+
+// One Chrome trace complete event ("ph":"X").
+void EmitSlice(std::ostringstream* os, bool* first, const std::string& name,
+               const char* category, double start_micros, double dur_micros,
+               uint64_t tid, const std::string& args_json) {
+  if (!*first) *os << ",\n";
+  *first = false;
+  *os << R"({"name":")";
+  AppendJsonEscaped(os, name);
+  *os << R"(","cat":")" << category << R"(","ph":"X","ts":)"
+      << FormatMicros(start_micros) << R"(,"dur":)" << FormatMicros(dur_micros)
+      << R"(,"pid":1,"tid":)" << tid;
+  if (!args_json.empty()) *os << R"(,"args":{)" << args_json << "}";
+  *os << "}";
+}
+
+// Lays a span tree out as nested slices. The tree stores aggregate millis
+// per phase, not start offsets, so children are placed sequentially from
+// the parent's start — interval nesting is exact, sibling order is the
+// order phases were first entered.
+void EmitTraceSlices(std::ostringstream* os, bool* first,
+                     const TraceNode& node, const char* category,
+                     double start_micros, uint64_t tid) {
+  double child_start = start_micros;
+  for (const auto& child : node.children) {
+    const double dur = child->millis * 1000.0;
+    EmitSlice(os, first, child->name, category, child_start, dur, tid,
+              "\"calls\":" + std::to_string(child->calls));
+    EmitTraceSlices(os, first, *child, category, child_start, tid);
+    child_start += dur;
+  }
+}
+
+const char* EventCategory(EventKind kind) {
+  switch (kind) {
+    case EventKind::kQuery:
+      return "query";
+    case EventKind::kBgJob:
+      return "bg";
+    case EventKind::kCorruption:
+      return "corruption";
+    case EventKind::kConnection:
+      return "connection";
+  }
+  return "?";
+}
+
+Counter& EventsTotal() {
+  static Counter& c = GetCounter("recorder_events_total",
+                                 "Events appended to the flight recorder");
+  return c;
+}
+
+Counter& EventsDropped() {
+  static Counter& c =
+      GetCounter("recorder_events_dropped_total",
+                 "Flight-recorder events evicted by the byte bound");
+  return c;
+}
+
+Counter& SlowQueries() {
+  static Counter& c = GetCounter(
+      "slow_queries_total", "Statements over the slow_query_millis threshold");
+  return c;
+}
+
+Counter& SampledTraces() {
+  static Counter& c =
+      GetCounter("sampled_traces_total",
+                 "Traces recorded by sampling (trace_sample_every)");
+  return c;
+}
+
+}  // namespace
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kQuery:
+      return "query";
+    case EventKind::kBgJob:
+      return "bg_job";
+    case EventKind::kCorruption:
+      return "corruption";
+    case EventKind::kConnection:
+      return "connection";
+  }
+  return "?";
+}
+
+double SteadyNowMillis() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+uint64_t CurrentThreadTrack() {
+  static std::atomic<uint64_t> next_track{1};
+  thread_local uint64_t track = next_track.fetch_add(1);
+  return track;
+}
+
+size_t RecordedEvent::ApproxBytes() const {
+  size_t bytes = sizeof(RecordedEvent) + statement.size() + status.size();
+  if (trace != nullptr) bytes += TraceTreeBytes(trace->root());
+  return bytes;
+}
+
+FlightRecorder::FlightRecorder() {
+  profile_root_.name = "profile";
+  MetricsRegistry::Instance().RegisterCallback(
+      "recorder_bytes", "Bytes buffered in the flight recorder",
+      [this] { return static_cast<double>(bytes()); });
+}
+
+FlightRecorder& FlightRecorder::Instance() {
+  // Leaked: events may be recorded during static destruction (server
+  // teardown), and the recorder_bytes callback must never dangle.
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::set_capacity_bytes(size_t bytes) {
+  capacity_bytes_.store(bytes, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (!events_.empty() && bytes_ > bytes) {
+    bytes_ -= events_.front().ApproxBytes();
+    events_.pop_front();
+    EventsDropped().Inc();
+  }
+}
+
+bool FlightRecorder::ShouldSampleTrace() {
+  const uint64_t every = trace_sample_every_.load(std::memory_order_relaxed);
+  if (every == 0) return false;
+  return sample_arrivals_.fetch_add(1, std::memory_order_relaxed) % every == 0;
+}
+
+uint64_t FlightRecorder::Record(RecordedEvent event) {
+  event.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  event.end_millis = SteadyNowMillis();
+  event.thread_track = CurrentThreadTrack();
+  EventsTotal().Inc();
+  if (event.kind == EventKind::kQuery) {
+    if (event.slow) SlowQueries().Inc();
+    if (event.sampled) SampledTraces().Inc();
+  }
+  const uint64_t id = event.id;
+  const size_t event_bytes = event.ApproxBytes();
+  const size_t capacity = capacity_bytes_.load(std::memory_order_relaxed);
+  uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (event.trace != nullptr) {
+      // Fold the span tree into the running profile: one child per trace
+      // root name ("query", "bg_job"), merged by name below it. The profile
+      // survives ring eviction — it is "since start", not "while buffered".
+      MergeTree(profile_root_.Child(event.trace->root().name),
+                event.trace->root());
+      ++profile_traces_;
+    }
+    events_.push_back(std::move(event));
+    bytes_ += event_bytes;
+    while (events_.size() > 1 && bytes_ > capacity) {
+      bytes_ -= events_.front().ApproxBytes();
+      events_.pop_front();
+      ++dropped;
+    }
+  }
+  if (dropped > 0) EventsDropped().Inc(dropped);
+  return id;
+}
+
+std::vector<RecordedEvent> FlightRecorder::Snapshot(size_t limit,
+                                                    EventKind kind) const {
+  std::vector<RecordedEvent> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = events_.rbegin(); it != events_.rend() && out.size() < limit;
+       ++it) {
+    if (it->kind == kind) out.push_back(*it);
+  }
+  return out;
+}
+
+std::vector<RecordedEvent> FlightRecorder::Snapshot(size_t limit) const {
+  std::vector<RecordedEvent> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = events_.rbegin(); it != events_.rend() && out.size() < limit;
+       ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+size_t FlightRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+size_t FlightRecorder::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::unique_ptr<TraceNode> FlightRecorder::ProfileSnapshot(
+    uint64_t* traces_merged) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (traces_merged != nullptr) *traces_merged = profile_traces_;
+  return CloneTree(profile_root_);
+}
+
+void FlightRecorder::ResetProfile() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  profile_root_.children.clear();
+  profile_root_.millis = 0;
+  profile_root_.calls = 0;
+  profile_traces_ = 0;
+}
+
+std::string FlightRecorder::DumpChromeTrace() const {
+  const std::vector<RecordedEvent> events = [this] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::vector<RecordedEvent>(events_.begin(), events_.end());
+  }();
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const RecordedEvent& event : events) {
+    const char* category = EventCategory(event.kind);
+    const double start_micros = (event.end_millis - event.millis) * 1000.0;
+    std::ostringstream args;
+    args << "\"id\":" << event.id << ",\"status\":\"";
+    AppendJsonEscaped(&args, event.status);
+    args << "\"";
+    if (event.kind == EventKind::kQuery) {
+      args << ",\"rows\":" << event.rows
+           << ",\"degraded\":" << (event.degraded ? "true" : "false")
+           << ",\"chunks_loaded\":" << event.chunks_loaded
+           << ",\"points_scanned\":" << event.points_scanned;
+    }
+    EmitSlice(&os, &first, event.statement, category, start_micros,
+              event.millis * 1000.0, event.thread_track, args.str());
+    if (event.trace != nullptr) {
+      EmitTraceSlices(&os, &first, event.trace->root(), category,
+                      start_micros, event.thread_track);
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  bytes_ = 0;
+  profile_root_.children.clear();
+  profile_root_.millis = 0;
+  profile_root_.calls = 0;
+  profile_traces_ = 0;
+}
+
+}  // namespace tsviz::obs

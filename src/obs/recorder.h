@@ -1,0 +1,170 @@
+#ifndef TSVIZ_OBS_RECORDER_H_
+#define TSVIZ_OBS_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace tsviz::obs {
+
+// The flight recorder: a process-wide, byte-bounded ring buffer of
+// structured events describing what the engine was doing — query
+// completions, background jobs, corruption/quarantine incidents, and server
+// connection lifecycle. Unlike the metrics registry (aggregates) and
+// EXPLAIN ANALYZE (opt-in, one query), the recorder is always on, so a
+// production anomaly can be diagnosed after the fact without re-running
+// anything: `SHOW QUERIES` reads the history, `SHOW PROFILE` reads the
+// merged span trees, and `DUMP TRACE '<path>'` exports the whole buffer as
+// Chrome trace-event JSON for Perfetto / chrome://tracing.
+//
+// Cost model: recording one event is a short mutex-guarded deque append —
+// one per *query*, never inside the per-span/per-chunk hot path. Whether a
+// statement gets a real trace attached is decided by two knobs:
+//
+//   SET trace_sample_every = N   every Nth SELECT carries a full Trace
+//                                (0 = off, the default);
+//   SET slow_query_millis = T    every SELECT carries a Trace, and any
+//                                statement slower than T is WARN-logged and
+//                                flagged slow (0 = off, the default).
+//
+// With both off the added per-query cost is one atomic load (the sampling
+// check) plus the final event append.
+
+enum class EventKind : uint8_t { kQuery, kBgJob, kCorruption, kConnection };
+
+const char* EventKindName(EventKind kind);
+
+// Milliseconds since an arbitrary process-wide epoch on the steady clock —
+// the recorder's shared timebase. Chrome trace export turns these into the
+// microsecond `ts` fields.
+double SteadyNowMillis();
+
+// Small, stable, 1-based integer identifying the calling thread; used as
+// the Chrome trace `tid` so query threads and background workers render as
+// distinct tracks.
+uint64_t CurrentThreadTrack();
+
+// One recorded event. Fields that do not apply to a kind stay at their
+// defaults (a corruption event has no rows; a connection event no stats).
+struct RecordedEvent {
+  EventKind kind = EventKind::kQuery;
+  uint64_t id = 0;           // assigned by Record(), monotonically increasing
+  double end_millis = 0;     // SteadyNowMillis() at completion (Record() fills)
+  double millis = 0;         // duration of the recorded activity
+  uint64_t thread_track = 0;  // CurrentThreadTrack() (Record() fills)
+  std::string statement;     // SQL text / "<job> <series>" / message
+  std::string status;        // "OK" or the error string
+  uint64_t rows = 0;         // result rows (queries) / statements (connections)
+  bool degraded = false;     // QueryStats::degraded
+  bool sampled = false;      // trace attached by trace_sample_every
+  bool slow = false;         // over the slow_query_millis threshold
+  uint64_t chunks_total = 0;
+  uint64_t chunks_loaded = 0;
+  uint64_t points_scanned = 0;
+  uint64_t bytes_read = 0;
+  uint64_t metadata_reads = 0;
+  // Full span tree for sampled, slow, analyzed and background-job events;
+  // shared so the ring and a caller (EXPLAIN ANALYZE) can hold it at once.
+  std::shared_ptr<const Trace> trace;
+
+  // Approximate heap footprint, the unit of the ring's byte bound.
+  size_t ApproxBytes() const;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacityBytes = 4u << 20;
+
+  // The process-wide recorder. Registers its own metrics
+  // (recorder_events_total, recorder_events_dropped_total, recorder_bytes,
+  // slow_queries_total, sampled_traces_total) on first use.
+  static FlightRecorder& Instance();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // --- knobs (runtime `SET ...`; atomics, safe from any thread) ---
+
+  void set_capacity_bytes(size_t bytes);
+  size_t capacity_bytes() const {
+    return capacity_bytes_.load(std::memory_order_relaxed);
+  }
+
+  void set_trace_sample_every(uint64_t n) {
+    trace_sample_every_.store(n, std::memory_order_relaxed);
+  }
+  uint64_t trace_sample_every() const {
+    return trace_sample_every_.load(std::memory_order_relaxed);
+  }
+
+  void set_slow_query_millis(double millis) {
+    slow_query_millis_.store(millis, std::memory_order_relaxed);
+  }
+  double slow_query_millis() const {
+    return slow_query_millis_.load(std::memory_order_relaxed);
+  }
+
+  // Deterministic every-Nth sampling decision: with trace_sample_every = N,
+  // the 1st, (N+1)th, (2N+1)th... call returns true. With N = 0 this is a
+  // single relaxed load — the whole hot-path cost of sampling being off.
+  bool ShouldSampleTrace();
+
+  // --- recording ---
+
+  // Appends one event, evicting the oldest events past the byte bound, and
+  // folds any attached trace into the running profile. Returns the id.
+  uint64_t Record(RecordedEvent event);
+
+  // Newest-first snapshot of up to `limit` buffered events, optionally of
+  // one kind only.
+  std::vector<RecordedEvent> Snapshot(size_t limit, EventKind kind) const;
+  std::vector<RecordedEvent> Snapshot(size_t limit = SIZE_MAX) const;
+
+  size_t event_count() const;
+  size_t bytes() const;
+
+  // --- merged profile ---
+
+  // Deep copy of the span trees merged from every recorded trace since
+  // process start (or the last ResetProfile): root "profile", one child per
+  // trace root name ("query", "bg_job"), the trees below merged by name.
+  // `traces_merged` (optional) receives the number of traces folded in.
+  std::unique_ptr<TraceNode> ProfileSnapshot(
+      uint64_t* traces_merged = nullptr) const;
+  void ResetProfile();
+
+  // --- export ---
+
+  // Chrome trace-event-format JSON of every buffered event: each event is a
+  // complete ("ph":"X") slice on its thread's track, with its span tree laid
+  // out as nested child slices. Loads in Perfetto / chrome://tracing.
+  std::string DumpChromeTrace() const;
+
+  // Drops every buffered event and the profile; test isolation aid.
+  void Clear();
+
+ private:
+  FlightRecorder();
+
+  mutable std::mutex mutex_;  // guards events_, bytes_, profile_
+  std::deque<RecordedEvent> events_;
+  size_t bytes_ = 0;
+  TraceNode profile_root_;
+  uint64_t profile_traces_ = 0;
+
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<size_t> capacity_bytes_{kDefaultCapacityBytes};
+  std::atomic<uint64_t> trace_sample_every_{0};
+  std::atomic<double> slow_query_millis_{0.0};
+  std::atomic<uint64_t> sample_arrivals_{0};
+};
+
+}  // namespace tsviz::obs
+
+#endif  // TSVIZ_OBS_RECORDER_H_

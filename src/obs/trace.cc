@@ -14,9 +14,35 @@ TraceNode* TraceNode::Child(std::string_view child_name) {
   return children.back().get();
 }
 
+std::unique_ptr<TraceNode> CloneTree(const TraceNode& node) {
+  auto copy = std::make_unique<TraceNode>();
+  copy->name = node.name;
+  copy->millis = node.millis;
+  copy->calls = node.calls;
+  copy->children.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    copy->children.push_back(CloneTree(*child));
+  }
+  return copy;
+}
+
+void MergeTree(TraceNode* dst, const TraceNode& src) {
+  dst->millis += src.millis;
+  dst->calls += src.calls;
+  for (const auto& child : src.children) {
+    MergeTree(dst->Child(child->name), *child);
+  }
+}
+
 Trace::Trace(std::string root_name) : current_(&root_) {
   root_.name = std::move(root_name);
   root_.calls = 1;  // the query itself; its millis accrue via root spans
+}
+
+void Trace::MergeChildrenFrom(const TraceNode& other_root) {
+  for (const auto& child : other_root.children) {
+    MergeTree(current_->Child(child->name), *child);
+  }
 }
 
 namespace {

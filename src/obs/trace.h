@@ -31,6 +31,15 @@ struct TraceNode {
   TraceNode* Child(std::string_view child_name);
 };
 
+// Deep copy of a span tree.
+std::unique_ptr<TraceNode> CloneTree(const TraceNode& node);
+
+// Merges `src` into `dst`: millis and calls accumulate, and same-named
+// children merge recursively (the node-level analog of TraceSpan's
+// re-enter-merges rule). Used by the parallel executor to fold worker
+// trees into the parent trace and by the flight recorder's profile.
+void MergeTree(TraceNode* dst, const TraceNode& src);
+
 class Trace {
  public:
   explicit Trace(std::string root_name);
@@ -46,6 +55,12 @@ class Trace {
 
   // Indented human-readable tree: "name  millis  calls" per line.
   std::string ToString() const;
+
+  // Merges another tree's children into the innermost live span. The
+  // parallel M4 executor joins its workers' per-block traces this way, so
+  // the solve_*/index_probe detail they gathered lands under the parent
+  // query instead of vanishing behind pool_wait.
+  void MergeChildrenFrom(const TraceNode& other_root);
 
  private:
   friend class TraceSpan;

@@ -11,6 +11,7 @@
 #include "common/logging.h"
 #include "common/stats.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
 
@@ -123,6 +124,15 @@ void SqlServer::HandleClient(int fd) {
   static obs::Histogram& query_millis = obs::GetHistogram(
       "server_query_millis", "Per-statement latency as seen by the server");
   connections.Inc();
+  {
+    obs::RecordedEvent event;
+    event.kind = obs::EventKind::kConnection;
+    event.statement = "connection opened";
+    event.status = "OK";
+    obs::FlightRecorder::Instance().Record(std::move(event));
+  }
+  Timer connection_timer;
+  uint64_t statements = 0;
 
   std::string buffer;
   char chunk[4096];
@@ -141,6 +151,7 @@ void SqlServer::HandleClient(int fd) {
     if (line == "quit" || line == "QUIT") break;
 
     queries.Inc();
+    ++statements;
     Timer timer;
     std::string reply;
     auto parsed = sql::ParseStatement(line);
@@ -150,12 +161,14 @@ void SqlServer::HandleClient(int fd) {
     } else {
       // Reads run lock-free against the immutable chunk snapshot; only
       // write statements serialize on the storage single-writer contract.
+      // Statements route through the flight recorder, so the history a
+      // client builds up is visible in SHOW QUERIES afterwards.
       Result<sql::ResultSet> result = [&] {
         if (sql::IsWriteStatement(*parsed)) {
           std::lock_guard<std::mutex> lock(write_mutex_);
-          return sql::ExecuteStatement(db_, *parsed, nullptr);
+          return sql::ExecuteRecorded(db_, *parsed, line, nullptr);
         }
-        return sql::ExecuteStatement(db_, *parsed, nullptr);
+        return sql::ExecuteRecorded(db_, *parsed, line, nullptr);
       }();
       if (result.ok()) {
         reply = result->ToCsv();
@@ -167,6 +180,15 @@ void SqlServer::HandleClient(int fd) {
     query_millis.Observe(timer.ElapsedMillis());
     reply += "\n";  // blank-line terminator
     if (!WriteAll(fd, reply)) break;
+  }
+  {
+    obs::RecordedEvent event;
+    event.kind = obs::EventKind::kConnection;
+    event.statement = "connection closed";
+    event.status = "OK";
+    event.millis = connection_timer.ElapsedMillis();
+    event.rows = statements;
+    obs::FlightRecorder::Instance().Record(std::move(event));
   }
   // The fd stays open: the server owns it and closes it at reap or Stop.
 }

@@ -144,11 +144,38 @@ struct ShowSeriesStatement {
                          const ShowSeriesStatement&) = default;
 };
 
+// SHOW QUERIES: newest-first history of recorded statements from the flight
+// recorder (id, statement, millis, rows, degraded, chunks_loaded, ...).
+struct ShowQueriesStatement {
+  friend bool operator==(const ShowQueriesStatement&,
+                         const ShowQueriesStatement&) = default;
+};
+
+// SHOW PROFILE [RESET]: the span trees merged across every trace the flight
+// recorder has captured (sampled, slow, EXPLAIN ANALYZE, background jobs)
+// since process start. RESET clears the accumulator after reporting.
+struct ShowProfileStatement {
+  bool reset = false;
+
+  friend bool operator==(const ShowProfileStatement&,
+                         const ShowProfileStatement&) = default;
+};
+
+// DUMP TRACE '<path>': writes the flight recorder's buffered events as
+// Chrome trace-event JSON to `path` (loadable in Perfetto/chrome://tracing).
+struct DumpTraceStatement {
+  std::string path;
+
+  friend bool operator==(const DumpTraceStatement&,
+                         const DumpTraceStatement&) = default;
+};
+
 // Any parseable top-level statement.
 using Statement =
     std::variant<SelectStatement, ShowMetricsStatement, SetStatement,
                  FlushStatement, CompactStatement, ShowJobsStatement,
-                 ShowSeriesStatement>;
+                 ShowSeriesStatement, ShowQueriesStatement,
+                 ShowProfileStatement, DumpTraceStatement>;
 
 // True when executing the statement mutates database state; the server uses
 // this to decide whether a query needs the write lock. SET mutates database

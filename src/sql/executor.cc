@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cctype>
+#include <fstream>
 #include <optional>
 
+#include "common/logging.h"
 #include "m4/m4_lsm.h"
 #include "m4/parallel.h"
 #include "m4/span.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "read/data_reader.h"
 #include "read/merge_reader.h"
@@ -493,6 +496,68 @@ ResultSet ShowSeries(Database* db) {
   return result;
 }
 
+// SHOW QUERIES: the flight recorder's query history, newest first.
+ResultSet ShowQueries() {
+  ResultSet result({"id", "statement", "millis", "rows", "degraded",
+                    "chunks_loaded", "points_scanned", "sampled", "slow",
+                    "status"});
+  for (const obs::RecordedEvent& event : obs::FlightRecorder::Instance()
+           .Snapshot(SIZE_MAX, obs::EventKind::kQuery)) {
+    result.AddRow({ResultSet::Cell(static_cast<int64_t>(event.id)),
+                   ResultSet::Cell(event.statement),
+                   ResultSet::Cell(event.millis),
+                   ResultSet::Cell(static_cast<int64_t>(event.rows)),
+                   ResultSet::Cell(static_cast<int64_t>(event.degraded)),
+                   ResultSet::Cell(static_cast<int64_t>(event.chunks_loaded)),
+                   ResultSet::Cell(static_cast<int64_t>(event.points_scanned)),
+                   ResultSet::Cell(static_cast<int64_t>(event.sampled)),
+                   ResultSet::Cell(static_cast<int64_t>(event.slow)),
+                   ResultSet::Cell(event.status)});
+  }
+  return result;
+}
+
+// SHOW PROFILE [RESET]: every span tree the recorder has captured (sampled
+// queries, slow queries, EXPLAIN ANALYZE, background jobs), merged by phase
+// name — the "where does time go overall" view, no re-running needed.
+ResultSet ShowProfile(bool reset) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Instance();
+  uint64_t traces_merged = 0;
+  std::unique_ptr<obs::TraceNode> profile =
+      recorder.ProfileSnapshot(&traces_merged);
+  if (reset) recorder.ResetProfile();
+  ResultSet result({"node", "millis", "calls"});
+  result.AddRow({ResultSet::Cell(std::string("traces_merged")),
+                 ResultSet::Cell(std::monostate{}),
+                 ResultSet::Cell(static_cast<int64_t>(traces_merged))});
+  for (const auto& tree : profile->children) {
+    AppendTraceRows(*tree, 0, &result);
+  }
+  return result;
+}
+
+// DUMP TRACE '<path>': exports the buffered events as Chrome trace-event
+// JSON for Perfetto / chrome://tracing.
+Result<ResultSet> DumpTrace(const std::string& path) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Instance();
+  const size_t events = recorder.event_count();
+  std::string json = recorder.DumpChromeTrace();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out << json;
+  out.close();
+  if (!out) {
+    return Status::IoError("short write to '" + path + "'");
+  }
+  ResultSet result({"path", "events", "bytes"});
+  result.AddRow({ResultSet::Cell(path),
+                 ResultSet::Cell(static_cast<int64_t>(events)),
+                 ResultSet::Cell(static_cast<int64_t>(json.size()))});
+  return result;
+}
+
 ResultSet ShowJobs(Database* db) {
   ResultSet result({"id", "key", "type", "state", "periodic", "runs",
                     "last_millis", "last_status"});
@@ -521,6 +586,17 @@ Result<ResultSet> ExecuteStatement(Database* db, const Statement& statement,
   }
   if (std::holds_alternative<ShowSeriesStatement>(statement)) {
     return ShowSeries(db);
+  }
+  if (std::holds_alternative<ShowQueriesStatement>(statement)) {
+    return ShowQueries();
+  }
+  if (const ShowProfileStatement* profile =
+          std::get_if<ShowProfileStatement>(&statement)) {
+    return ShowProfile(profile->reset);
+  }
+  if (const DumpTraceStatement* dump =
+          std::get_if<DumpTraceStatement>(&statement)) {
+    return DumpTrace(dump->path);
   }
   if (const FlushStatement* flush = std::get_if<FlushStatement>(&statement)) {
     return ExecuteMaintenance(db, flush->series, /*compact=*/false);
@@ -561,10 +637,70 @@ Result<ResultSet> ExecuteStatement(Database* db, const Statement& statement,
   return result;
 }
 
+Result<ResultSet> ExecuteRecorded(Database* db, const Statement& statement,
+                                  const std::string& text,
+                                  QueryStats* caller_stats) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Instance();
+  QueryStats local;
+  QueryStats* stats = caller_stats != nullptr ? caller_stats : &local;
+
+  // Decide up front whether this statement carries a trace. Only plain
+  // SELECTs are eligible: EXPLAIN does not execute, and EXPLAIN ANALYZE
+  // builds its own trace (which lands in stats->trace on return and is
+  // recorded all the same).
+  const SelectStatement* select = std::get_if<SelectStatement>(&statement);
+  const bool plain_select =
+      select != nullptr && !select->explain && !select->analyze;
+  bool sampled = false;
+  if (plain_select && stats->trace == nullptr) {
+    if (recorder.ShouldSampleTrace()) {
+      stats->trace = std::make_shared<obs::Trace>("query");
+      sampled = true;
+    } else if (recorder.slow_query_millis() > 0.0) {
+      // A slow query cannot be traced after the fact, so an armed slow-query
+      // log traces every SELECT — the cost is opt-in via the knob.
+      stats->trace = std::make_shared<obs::Trace>("query");
+    }
+  }
+
+  Timer timer;
+  Result<ResultSet> result = ExecuteStatement(db, statement, stats);
+  const double millis = timer.ElapsedMillis();
+  if (stats->trace != nullptr && stats->trace->root().millis == 0.0) {
+    stats->trace->root().millis = millis;
+  }
+
+  const double slow_millis = recorder.slow_query_millis();
+  const bool slow = slow_millis > 0.0 && millis >= slow_millis;
+  if (slow) {
+    TSVIZ_WARN << "slow query" << Field("millis", millis)
+               << Field("threshold", slow_millis)
+               << Field("statement", text);
+  }
+
+  obs::RecordedEvent event;
+  event.kind = obs::EventKind::kQuery;
+  event.millis = millis;
+  event.statement = text;
+  event.status = result.ok() ? "OK" : result.status().ToString();
+  event.rows = result.ok() ? result->num_rows() : 0;
+  event.degraded = stats->degraded;
+  event.sampled = sampled;
+  event.slow = slow;
+  event.chunks_total = stats->chunks_total;
+  event.chunks_loaded = stats->chunks_loaded;
+  event.points_scanned = stats->points_scanned;
+  event.bytes_read = stats->bytes_read;
+  event.metadata_reads = stats->metadata_reads;
+  event.trace = stats->trace;
+  recorder.Record(std::move(event));
+  return result;
+}
+
 Result<ResultSet> ExecuteQuery(Database* db, const std::string& statement,
                                QueryStats* stats) {
   TSVIZ_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
-  return ExecuteStatement(db, stmt, stats);
+  return ExecuteRecorded(db, stmt, statement, stats);
 }
 
 }  // namespace tsviz::sql

@@ -37,6 +37,17 @@ struct ExecOptions {
 Result<ResultSet> ExecuteQuery(Database* db, const std::string& statement,
                                QueryStats* stats = nullptr);
 
+// Executes an already-parsed statement through the flight recorder: the
+// statement text, wall millis, result rows and key QueryStats land in the
+// recorder as a query event (visible in SHOW QUERIES / DUMP TRACE), the
+// trace_sample_every and slow_query_millis knobs attach span trees to plain
+// SELECTs, and over-threshold statements are WARN-logged. ExecuteQuery and
+// the server route through here; call ExecuteStatement directly to bypass
+// recording (benches, plumbing).
+Result<ResultSet> ExecuteRecorded(Database* db, const Statement& statement,
+                                  const std::string& text,
+                                  QueryStats* stats = nullptr);
+
 // Executes an already-parsed top-level statement. SHOW METRICS renders the
 // process metrics registry as Prometheus text, one exposition line per row;
 // SHOW JOBS lists the background maintenance scheduler's jobs; FLUSH and

@@ -45,6 +45,32 @@ Result<std::vector<Token>> Tokenize(const std::string& statement) {
       while (i < n && IsIdentBody(statement[i])) ++i;
       token.type = TokenType::kIdentifier;
       token.text = statement.substr(begin, i - begin);
+    } else if (c == '\'') {
+      // Single-quoted string literal; '' escapes a literal quote, matching
+      // standard SQL.
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (statement[i] == '\'') {
+          if (i + 1 < n && statement[i + 1] == '\'') {
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value += statement[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string at offset " +
+                                       std::to_string(token.offset));
+      }
+      token.type = TokenType::kString;
+      token.text = std::move(value);
     } else if (std::isdigit(static_cast<unsigned char>(c)) ||
                (c == '-' && i + 1 < n &&
                 std::isdigit(static_cast<unsigned char>(statement[i + 1])))) {

@@ -343,13 +343,41 @@ Result<Statement> ParseStatement(const std::string& statement) {
         tokens[2].type == TokenType::kEnd) {
       return Statement(ShowSeriesStatement{});
     }
+    if (tokens.size() == 3 && tokens[1].type == TokenType::kIdentifier &&
+        IdentEquals(tokens[1].text, "QUERIES") &&
+        tokens[2].type == TokenType::kEnd) {
+      return Statement(ShowQueriesStatement{});
+    }
+    if (tokens.size() >= 3 && tokens[1].type == TokenType::kIdentifier &&
+        IdentEquals(tokens[1].text, "PROFILE")) {
+      if (tokens.size() == 3 && tokens[2].type == TokenType::kEnd) {
+        return Statement(ShowProfileStatement{false});
+      }
+      if (tokens.size() == 4 && tokens[2].type == TokenType::kIdentifier &&
+          IdentEquals(tokens[2].text, "RESET") &&
+          tokens[3].type == TokenType::kEnd) {
+        return Statement(ShowProfileStatement{true});
+      }
+      return Status::InvalidArgument("expected SHOW PROFILE [RESET]");
+    }
     if (tokens.size() != 3 || tokens[1].type != TokenType::kIdentifier ||
         !IdentEquals(tokens[1].text, "METRICS") ||
         tokens[2].type != TokenType::kEnd) {
       return Status::InvalidArgument(
-          "expected SHOW METRICS or SHOW JOBS or SHOW SERIES");
+          "expected SHOW METRICS, SHOW JOBS, SHOW SERIES, SHOW QUERIES or "
+          "SHOW PROFILE [RESET]");
     }
     return Statement(ShowMetricsStatement{});
+  }
+  if (!tokens.empty() && tokens[0].type == TokenType::kIdentifier &&
+      IdentEquals(tokens[0].text, "DUMP")) {
+    if (tokens.size() != 4 || tokens[1].type != TokenType::kIdentifier ||
+        !IdentEquals(tokens[1].text, "TRACE") ||
+        tokens[2].type != TokenType::kString || tokens[2].text.empty() ||
+        tokens[3].type != TokenType::kEnd) {
+      return Status::InvalidArgument("expected DUMP TRACE '<path>'");
+    }
+    return Statement(DumpTraceStatement{tokens[2].text});
   }
   if (!tokens.empty() && tokens[0].type == TokenType::kIdentifier &&
       (IdentEquals(tokens[0].text, "FLUSH") ||

@@ -8,6 +8,7 @@ namespace tsviz::sql {
 enum class TokenType {
   kIdentifier,  // series names, function names, column names
   kNumber,      // integer or decimal literal (optionally signed)
+  kString,      // single-quoted literal; text holds the unquoted value
   kComma,
   kLParen,
   kRParen,

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 
 namespace tsviz {
 
@@ -68,6 +69,12 @@ void ChunkQuarantine::Add(uint64_t cache_id, uint64_t data_offset,
   TSVIZ_WARN << "quarantined corrupt chunk" << Field("file", path)
              << Field("offset", data_offset)
              << Field("cause", cause.ToString());
+  obs::RecordedEvent event;
+  event.kind = obs::EventKind::kCorruption;
+  event.statement =
+      "quarantined " + path + " @" + std::to_string(data_offset);
+  event.status = cause.ToString();
+  obs::FlightRecorder::Instance().Record(std::move(event));
 }
 
 bool ChunkQuarantine::Contains(uint64_t cache_id,

@@ -1,0 +1,583 @@
+// Tests for the flight recorder: ring-buffer semantics and byte-bounded
+// eviction, deterministic every-Nth sampling, the slow-query log, the merged
+// profile, Chrome trace export (validated with an in-test JSON parser), and
+// a concurrency hammer meant to run under tsan.
+#include "obs/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "db/database.h"
+#include "sql/executor.h"
+#include "test_util.h"
+
+namespace tsviz::obs {
+namespace {
+
+// The recorder is deliberately process-wide, so every test restores the
+// default knobs and drains the buffer on both sides; otherwise a leaked
+// sampling rate or shrunken capacity would couple unrelated tests.
+class RecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResetRecorder(); }
+  void TearDown() override { ResetRecorder(); }
+
+  static void ResetRecorder() {
+    FlightRecorder& recorder = FlightRecorder::Instance();
+    recorder.set_trace_sample_every(0);
+    recorder.set_slow_query_millis(0);
+    recorder.set_capacity_bytes(FlightRecorder::kDefaultCapacityBytes);
+    recorder.Clear();
+  }
+};
+
+RecordedEvent QueryEvent(std::string statement, double millis = 1.0) {
+  RecordedEvent event;
+  event.kind = EventKind::kQuery;
+  event.statement = std::move(statement);
+  event.status = "OK";
+  event.millis = millis;
+  return event;
+}
+
+TEST_F(RecorderTest, RecordAssignsMonotonicIdsAndSnapshotsNewestFirst) {
+  FlightRecorder& recorder = FlightRecorder::Instance();
+  const uint64_t id_a = recorder.Record(QueryEvent("a"));
+  const uint64_t id_b = recorder.Record(QueryEvent("b"));
+  const uint64_t id_c = recorder.Record(QueryEvent("c"));
+  EXPECT_LT(id_a, id_b);
+  EXPECT_LT(id_b, id_c);
+  EXPECT_EQ(recorder.event_count(), 3u);
+  EXPECT_GT(recorder.bytes(), 0u);
+
+  std::vector<RecordedEvent> snapshot = recorder.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].statement, "c");
+  EXPECT_EQ(snapshot[1].statement, "b");
+  EXPECT_EQ(snapshot[2].statement, "a");
+  // Record() stamps the bookkeeping fields.
+  EXPECT_EQ(snapshot[0].id, id_c);
+  EXPECT_GT(snapshot[0].end_millis, 0.0);
+  EXPECT_GT(snapshot[0].thread_track, 0u);
+}
+
+TEST_F(RecorderTest, SnapshotFiltersByKindAndHonorsLimit) {
+  FlightRecorder& recorder = FlightRecorder::Instance();
+  recorder.Record(QueryEvent("q1"));
+  RecordedEvent bg;
+  bg.kind = EventKind::kBgJob;
+  bg.statement = "flush s1";
+  recorder.Record(std::move(bg));
+  RecordedEvent conn;
+  conn.kind = EventKind::kConnection;
+  conn.statement = "connection opened";
+  recorder.Record(std::move(conn));
+  recorder.Record(QueryEvent("q2"));
+
+  std::vector<RecordedEvent> queries =
+      recorder.Snapshot(SIZE_MAX, EventKind::kQuery);
+  ASSERT_EQ(queries.size(), 2u);
+  EXPECT_EQ(queries[0].statement, "q2");
+  EXPECT_EQ(queries[1].statement, "q1");
+
+  EXPECT_EQ(recorder.Snapshot(SIZE_MAX, EventKind::kBgJob).size(), 1u);
+  EXPECT_EQ(recorder.Snapshot(SIZE_MAX, EventKind::kCorruption).size(), 0u);
+
+  std::vector<RecordedEvent> limited = recorder.Snapshot(1);
+  ASSERT_EQ(limited.size(), 1u);
+  EXPECT_EQ(limited[0].statement, "q2");
+}
+
+TEST_F(RecorderTest, ByteBoundEvictsOldestEventsButNeverTheNewest) {
+  FlightRecorder& recorder = FlightRecorder::Instance();
+  recorder.set_capacity_bytes(4096);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(recorder.Record(
+        QueryEvent("q" + std::to_string(i) + std::string(512, 'x'))));
+  }
+  // The ring stayed within its bound by dropping from the front.
+  EXPECT_LE(recorder.bytes(), 4096u);
+  EXPECT_LT(recorder.event_count(), 64u);
+  EXPECT_GT(recorder.event_count(), 0u);
+  std::vector<RecordedEvent> snapshot = recorder.Snapshot();
+  EXPECT_EQ(snapshot.front().id, ids.back());  // newest survives
+  EXPECT_GT(snapshot.back().id, ids.front());  // oldest did not
+
+  // One event larger than the whole capacity still lands: eviction always
+  // keeps at least the event being recorded.
+  recorder.Clear();
+  recorder.Record(QueryEvent(std::string(10000, 'y')));
+  EXPECT_EQ(recorder.event_count(), 1u);
+
+  // Shrinking the capacity knob evicts immediately.
+  recorder.Clear();
+  for (int i = 0; i < 8; ++i) {
+    recorder.Record(QueryEvent(std::string(512, 'z')));
+  }
+  const size_t before = recorder.event_count();
+  recorder.set_capacity_bytes(1024);
+  EXPECT_LT(recorder.event_count(), before);
+  EXPECT_LE(recorder.bytes(), 1024u);
+}
+
+TEST_F(RecorderTest, SampleEveryNIsDeterministic) {
+  FlightRecorder& recorder = FlightRecorder::Instance();
+  // With the knob off the decision is a single relaxed load: always false.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(recorder.ShouldSampleTrace());
+  }
+
+  // Every 3rd arrival samples. The arrival counter is process-wide and
+  // monotonic, so the phase is arbitrary, but the stride is exact: once the
+  // first hit is seen, hits land exactly every 3 arrivals.
+  recorder.set_trace_sample_every(3);
+  std::vector<bool> hits;
+  for (int i = 0; i < 12; ++i) {
+    hits.push_back(recorder.ShouldSampleTrace());
+  }
+  int first = -1;
+  for (int i = 0; i < int(hits.size()); ++i) {
+    if (hits[i]) {
+      first = i;
+      break;
+    }
+  }
+  ASSERT_GE(first, 0);
+  ASSERT_LT(first, 3);  // a hit must occur within the first N arrivals
+  for (int i = 0; i < int(hits.size()); ++i) {
+    EXPECT_EQ(hits[i], (i - first) % 3 == 0) << "arrival " << i;
+  }
+
+  // every = 1 samples everything.
+  recorder.set_trace_sample_every(1);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(recorder.ShouldSampleTrace());
+  }
+}
+
+TEST_F(RecorderTest, ProfileMergesTracesAndSurvivesRingEviction) {
+  FlightRecorder& recorder = FlightRecorder::Instance();
+  recorder.set_capacity_bytes(2048);  // small ring: events will be evicted
+  for (int i = 0; i < 32; ++i) {
+    auto trace = std::make_shared<Trace>("query");
+    {
+      TraceSpan span(trace.get(), "m4_lsm");
+      TraceSpan child(trace.get(), "solve_first");
+    }
+    trace->root().millis = 1.0;
+    RecordedEvent event = QueryEvent(std::string(256, 'q'));
+    event.trace = trace;
+    recorder.Record(std::move(event));
+  }
+  EXPECT_LT(recorder.event_count(), 32u);  // the ring really did evict
+
+  // The profile is "since start", not "while buffered": all 32 traces are
+  // in the fold even though most of their events are gone.
+  uint64_t merged = 0;
+  std::unique_ptr<TraceNode> profile = recorder.ProfileSnapshot(&merged);
+  EXPECT_EQ(merged, 32u);
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->name, "profile");
+  ASSERT_EQ(profile->children.size(), 1u);
+  const TraceNode& query = *profile->children[0];
+  EXPECT_EQ(query.name, "query");
+  EXPECT_EQ(query.calls, 32u);
+  ASSERT_EQ(query.children.size(), 1u);
+  EXPECT_EQ(query.children[0]->name, "m4_lsm");
+  EXPECT_EQ(query.children[0]->calls, 32u);
+  ASSERT_EQ(query.children[0]->children.size(), 1u);
+  EXPECT_EQ(query.children[0]->children[0]->name, "solve_first");
+
+  recorder.ResetProfile();
+  profile = recorder.ProfileSnapshot(&merged);
+  EXPECT_EQ(merged, 0u);
+  EXPECT_TRUE(profile->children.empty());
+}
+
+// ---------------------------------------------------------------------------
+// A minimal JSON parser — just enough to validate that DumpChromeTrace emits
+// well-formed Chrome trace-event JSON without trusting the producer's own
+// serializer to check itself.
+
+struct JsonValue {
+  enum Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    return pos_ == text_.size();  // no trailing garbage
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+                return false;
+              }
+              ++pos_;
+            }
+            out->push_back('?');  // code point itself is irrelevant here
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->type = JsonValue::kObject;
+      SkipSpace();
+      if (Consume('}')) return true;
+      while (true) {
+        std::string key;
+        if (!ParseString(&key)) return false;
+        if (!Consume(':')) return false;
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->object[key] = std::move(value);
+        if (Consume(',')) continue;
+        return Consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->type = JsonValue::kArray;
+      SkipSpace();
+      if (Consume(']')) return true;
+      while (true) {
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->array.push_back(std::move(value));
+        if (Consume(',')) continue;
+        return Consume(']');
+      }
+    }
+    if (c == '"') {
+      out->type = JsonValue::kString;
+      return ParseString(&out->str);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->type = JsonValue::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->type = JsonValue::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    // Number.
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    out->number = std::strtod(start, &end);
+    if (end == start) return false;
+    out->type = JsonValue::kNumber;
+    pos_ += size_t(end - start);
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// SQL-level tests: a small database so the recorder is fed through the real
+// ExecuteQuery / maintenance paths.
+
+class RecorderSqlTest : public RecorderTest {
+ protected:
+  void SetUp() override {
+    RecorderTest::SetUp();
+    DatabaseConfig config;
+    config.root_dir = dir_.path();
+    config.series_defaults.points_per_chunk = 40;
+    config.series_defaults.memtable_flush_threshold = 40;
+    auto db = Database::Open(config);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_OK(db_->Write("s1", i * 10, double(i)));
+    }
+    ASSERT_OK(db_->FlushAll());
+  }
+
+  sql::ResultSet MustQuery(const std::string& statement) {
+    auto result = sql::ExecuteQuery(db_.get(), statement, nullptr);
+    EXPECT_TRUE(result.ok()) << result.status().ToString() << " for "
+                             << statement;
+    return result.ok() ? *result : sql::ResultSet();
+  }
+
+  TempDir dir_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(RecorderSqlTest, SlowQueryThresholdFlagsAndTracesStatements) {
+  FlightRecorder& recorder = FlightRecorder::Instance();
+
+  // Armed but with an unreachable threshold: SELECTs carry a trace (the
+  // engine cannot trace retroactively) yet are not flagged slow.
+  MustQuery("SET slow_query_millis = 1000000");
+  EXPECT_EQ(recorder.slow_query_millis(), 1000000.0);
+  MustQuery("SELECT v FROM s1 WHERE time >= 0 AND time < 100");
+  std::vector<RecordedEvent> snapshot =
+      recorder.Snapshot(1, EventKind::kQuery);
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_FALSE(snapshot[0].slow);
+  EXPECT_FALSE(snapshot[0].sampled);
+  ASSERT_NE(snapshot[0].trace, nullptr);
+  EXPECT_EQ(snapshot[0].trace->root().name, "query");
+
+  // Threshold below any measurable duration: the same query is now slow.
+  recorder.set_slow_query_millis(1e-9);
+  MustQuery("SELECT v FROM s1 WHERE time >= 0 AND time < 100");
+  snapshot = recorder.Snapshot(1, EventKind::kQuery);
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_TRUE(snapshot[0].slow);
+  ASSERT_NE(snapshot[0].trace, nullptr);
+  EXPECT_GE(snapshot[0].millis, 0.0);
+  EXPECT_EQ(snapshot[0].rows, 10u);
+  EXPECT_EQ(snapshot[0].status, "OK");
+
+  // Disarmed: plain SELECTs go back to the one-append cost, no trace.
+  recorder.set_slow_query_millis(0);
+  MustQuery("SELECT v FROM s1 WHERE time >= 0 AND time < 100");
+  snapshot = recorder.Snapshot(1, EventKind::kQuery);
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_FALSE(snapshot[0].slow);
+  EXPECT_EQ(snapshot[0].trace, nullptr);
+}
+
+TEST_F(RecorderSqlTest, SampledSelectsCarryStatsAndFeedTheProfile) {
+  FlightRecorder& recorder = FlightRecorder::Instance();
+  MustQuery("SET trace_sample_every = 1");
+  MustQuery(
+      "SELECT M4(v) FROM s1 WHERE time >= 0 AND time < 1000 "
+      "GROUP BY SPANS(4)");
+
+  std::vector<RecordedEvent> queries =
+      recorder.Snapshot(SIZE_MAX, EventKind::kQuery);
+  const RecordedEvent* select = nullptr;
+  for (const RecordedEvent& event : queries) {
+    if (event.statement.rfind("SELECT M4", 0) == 0) {
+      select = &event;
+      break;
+    }
+  }
+  ASSERT_NE(select, nullptr);
+  EXPECT_TRUE(select->sampled);
+  EXPECT_FALSE(select->slow);
+  EXPECT_EQ(select->rows, 4u);
+  EXPECT_EQ(select->status, "OK");
+  EXPECT_GT(select->chunks_total, 0u);
+  ASSERT_NE(select->trace, nullptr);
+
+  // The sampled trace was folded into the always-on profile — this is the
+  // `SHOW PROFILE` source, no EXPLAIN ANALYZE involved.
+  uint64_t merged = 0;
+  std::unique_ptr<TraceNode> profile = recorder.ProfileSnapshot(&merged);
+  EXPECT_GT(merged, 0u);
+  const TraceNode* query = nullptr;
+  for (const auto& child : profile->children) {
+    if (child->name == "query") query = child.get();
+  }
+  ASSERT_NE(query, nullptr);
+  bool saw_m4_lsm = false;
+  for (const auto& child : query->children) {
+    if (child->name == "m4_lsm") saw_m4_lsm = true;
+  }
+  EXPECT_TRUE(saw_m4_lsm);
+}
+
+TEST_F(RecorderSqlTest, DumpTraceIsValidChromeJsonWithDistinctTracks) {
+  FlightRecorder& recorder = FlightRecorder::Instance();
+  MustQuery("SET trace_sample_every = 1");
+  MustQuery(
+      "SELECT M4(v) FROM s1 WHERE time >= 0 AND time < 1000 "
+      "GROUP BY SPANS(4)");
+
+  // A real background flush: the bg_job trace is recorded from a scheduler
+  // worker thread, giving the export a second thread track.
+  ASSERT_OK(db_->Write("s1", 5000, 1.0));
+  db_->StartMaintenance();
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<TsStore> store,
+                       db_->GetSeriesShared("s1"));
+  db_->maintenance().ScheduleFlush("s1", store);
+  db_->maintenance().Drain();
+  ASSERT_FALSE(recorder.Snapshot(SIZE_MAX, EventKind::kBgJob).empty());
+
+  const std::string path = dir_.path() + "/trace.json";
+  sql::ResultSet result = MustQuery("DUMP TRACE '" + path + "'");
+  EXPECT_EQ(result.columns(),
+            (std::vector<std::string>{"path", "events", "bytes"}));
+  ASSERT_EQ(result.num_rows(), 1u);
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(text).Parse(&root))
+      << "invalid JSON: " << text.substr(0, 400);
+  ASSERT_EQ(root.type, JsonValue::kObject);
+  ASSERT_EQ(root.object.count("traceEvents"), 1u);
+  const JsonValue& events = root.object["traceEvents"];
+  ASSERT_EQ(events.type, JsonValue::kArray);
+  ASSERT_FALSE(events.array.empty());
+
+  double query_tid = -1, bg_tid = -1;
+  bool saw_bg_flush = false;
+  for (const JsonValue& slice : events.array) {
+    // Every slice is a complete event with the mandatory Chrome fields.
+    ASSERT_EQ(slice.type, JsonValue::kObject);
+    auto& obj = const_cast<JsonValue&>(slice).object;
+    ASSERT_EQ(obj["name"].type, JsonValue::kString);
+    ASSERT_EQ(obj["ph"].str, "X");
+    ASSERT_EQ(obj["ts"].type, JsonValue::kNumber);
+    ASSERT_EQ(obj["dur"].type, JsonValue::kNumber);
+    ASSERT_EQ(obj["pid"].type, JsonValue::kNumber);
+    ASSERT_EQ(obj["tid"].type, JsonValue::kNumber);
+    const std::string& cat = obj["cat"].str;
+    if (cat == "query") query_tid = obj["tid"].number;
+    if (cat == "bg") {
+      bg_tid = obj["tid"].number;
+      if (obj["name"].str == "bg_flush") saw_bg_flush = true;
+    }
+  }
+  // Query spans and background-job spans render on distinct thread tracks.
+  EXPECT_GE(query_tid, 0.0);
+  EXPECT_GE(bg_tid, 0.0);
+  EXPECT_NE(query_tid, bg_tid);
+  EXPECT_TRUE(saw_bg_flush);
+}
+
+TEST_F(RecorderSqlTest, HammerConcurrentWritersAndShowQueriesReaders) {
+  FlightRecorder& recorder = FlightRecorder::Instance();
+  recorder.set_capacity_bytes(64 * 1024);
+  recorder.set_trace_sample_every(2);
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&recorder, w] {
+      for (int i = 0; i < 200; ++i) {
+        RecordedEvent event =
+            QueryEvent("hammer w" + std::to_string(w) + " i" +
+                       std::to_string(i));
+        if (recorder.ShouldSampleTrace()) {
+          auto trace = std::make_shared<Trace>("query");
+          { TraceSpan span(trace.get(), "m4_lsm"); }
+          trace->root().millis = 0.1;
+          event.trace = std::move(trace);
+          event.sampled = true;
+        }
+        recorder.Record(std::move(event));
+      }
+    });
+  }
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([this, &recorder, &done] {
+      while (!done.load(std::memory_order_relaxed)) {
+        auto shown = sql::ExecuteQuery(db_.get(), "SHOW QUERIES", nullptr);
+        EXPECT_TRUE(shown.ok());
+        (void)recorder.Snapshot(16);
+        (void)recorder.bytes();
+        (void)recorder.ProfileSnapshot();
+        (void)recorder.DumpChromeTrace();
+      }
+    });
+  }
+  // A knob-toggling thread races the writers' eviction and sampling loads.
+  readers.emplace_back([&recorder, &done] {
+    while (!done.load(std::memory_order_relaxed)) {
+      recorder.set_capacity_bytes(32 * 1024);
+      recorder.set_capacity_bytes(64 * 1024);
+      recorder.set_trace_sample_every(3);
+      recorder.set_trace_sample_every(2);
+    }
+  });
+
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_GT(recorder.event_count(), 0u);
+  EXPECT_GT(recorder.bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace tsviz::obs

@@ -3,12 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
 #include <functional>
+#include <iterator>
 #include <memory>
 
 #include "common/env.h"
 #include "common/random.h"
 #include "m4/m4_udf.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "storage/quarantine.h"
 #include "test_util.h"
@@ -385,6 +388,10 @@ TEST_F(SqlExecutorTest, SetRejectsBadValuesForEveryKnobWithoutMutating) {
       {"parallelism", [&] { return double(db_->query_parallelism()); }},
       {"partition_interval_ms",
        [&] { return double(db_->partition_interval_ms()); }},
+      {"recorder_capacity_bytes",
+       [&] {
+         return double(obs::FlightRecorder::Instance().capacity_bytes());
+       }},
       {"result_cache_capacity",
        [&] { return double(db_->result_cache().capacity()); }},
       {"ttl_ms", [&] { return double(db_->maintenance().ttl()); }},
@@ -476,6 +483,133 @@ TEST_F(SqlExecutorTest, SetFaultfsKnobsReachTheEnv) {
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
   EXPECT_NE(status.ToString().find("valid knobs"), std::string::npos);
   SetFaultConfig(FaultConfig{});  // leave the process on the clean env
+}
+
+TEST_F(SqlExecutorTest, SetRecorderKnobsReachTheRecorder) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Instance();
+  MustQuery("SET trace_sample_every = 5");
+  EXPECT_EQ(recorder.trace_sample_every(), 5u);
+  MustQuery("SET trace_sample_every = 0");  // zero = off, explicitly legal
+  EXPECT_EQ(recorder.trace_sample_every(), 0u);
+  MustQuery("SET slow_query_millis = 250");
+  EXPECT_EQ(recorder.slow_query_millis(), 250.0);
+  MustQuery("SET slow_query_millis = 0");
+  EXPECT_EQ(recorder.slow_query_millis(), 0.0);
+  MustQuery("SET recorder_capacity_bytes = 65536");
+  EXPECT_EQ(recorder.capacity_bytes(), 65536u);
+  // Negative and fractional values are rejected without mutating, and the
+  // ring capacity cannot be zero (that would drop everything).
+  EXPECT_FALSE(
+      ExecuteQuery(db_.get(), "SET trace_sample_every = -1", nullptr).ok());
+  EXPECT_FALSE(
+      ExecuteQuery(db_.get(), "SET slow_query_millis = 0.5", nullptr).ok());
+  EXPECT_FALSE(
+      ExecuteQuery(db_.get(), "SET recorder_capacity_bytes = 0", nullptr)
+          .ok());
+  EXPECT_EQ(recorder.capacity_bytes(), 65536u);
+  recorder.set_capacity_bytes(obs::FlightRecorder::kDefaultCapacityBytes);
+}
+
+TEST_F(SqlExecutorTest, ShowQueriesReturnsRecentStatementHistory) {
+  obs::FlightRecorder::Instance().Clear();
+  MustQuery("SELECT v FROM s1 WHERE time >= 100 AND time < 150");
+  MustQuery(
+      "SELECT M4(v) FROM s1 WHERE time >= 0 AND time < 2000 "
+      "GROUP BY SPANS(4)");
+  EXPECT_FALSE(ExecuteQuery(db_.get(), "SELECT v FROM nope", nullptr).ok());
+
+  ResultSet result = MustQuery("SHOW QUERIES");
+  EXPECT_EQ(result.columns(),
+            (std::vector<std::string>{"id", "statement", "millis", "rows",
+                                      "degraded", "chunks_loaded",
+                                      "points_scanned", "sampled", "slow",
+                                      "status"}));
+  ASSERT_EQ(result.num_rows(), 3u);
+  // Newest first: the failed SELECT, then the M4, then the raw scan. The
+  // SHOW QUERIES itself is recorded only after its snapshot was taken.
+  EXPECT_EQ(result.rows()[0][1],
+            ResultSet::Cell(std::string("SELECT v FROM nope")));
+  EXPECT_EQ(result.rows()[0][3], ResultSet::Cell(int64_t{0}));
+  EXPECT_NE(result.rows()[0][9], ResultSet::Cell(std::string("OK")));
+  EXPECT_EQ(result.rows()[1][3], ResultSet::Cell(int64_t{4}));
+  EXPECT_EQ(result.rows()[1][9], ResultSet::Cell(std::string("OK")));
+  EXPECT_EQ(result.rows()[2][3], ResultSet::Cell(int64_t{5}));
+  EXPECT_EQ(result.rows()[2][4], ResultSet::Cell(int64_t{0}));  // degraded
+  // The M4 query really loaded chunks; the counter made it into history.
+  EXPECT_NE(result.rows()[1][5], ResultSet::Cell(int64_t{0}));
+}
+
+TEST_F(SqlExecutorTest, ShowProfileMergesSampledTracesWithoutExplain) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Instance();
+  recorder.Clear();
+  MustQuery("SET trace_sample_every = 1");
+  for (int i = 0; i < 2; ++i) {
+    MustQuery(
+        "SELECT M4(v) FROM s1 WHERE time >= 0 AND time < 2000 "
+        "GROUP BY SPANS(4)");
+  }
+  MustQuery("SET trace_sample_every = 0");
+
+  ResultSet result = MustQuery("SHOW PROFILE");
+  EXPECT_EQ(result.columns(),
+            (std::vector<std::string>{"node", "millis", "calls"}));
+  ASSERT_GT(result.num_rows(), 1u);
+  EXPECT_EQ(result.rows()[0][0],
+            ResultSet::Cell(std::string("traces_merged")));
+  EXPECT_EQ(result.rows()[0][2], ResultSet::Cell(int64_t{2}));
+  // The merged tree carries the plain SELECTs' phase spans — no EXPLAIN
+  // ANALYZE was ever issued.
+  std::string csv = result.ToCsv();
+  EXPECT_NE(csv.find("query"), std::string::npos);
+  EXPECT_NE(csv.find("m4_lsm"), std::string::npos);
+  EXPECT_NE(csv.find("solve_first"), std::string::npos);
+
+  // RESET returns the current profile and then starts a fresh fold.
+  MustQuery("SHOW PROFILE RESET");
+  ResultSet after = MustQuery("SHOW PROFILE");
+  ASSERT_EQ(after.num_rows(), 1u);
+  EXPECT_EQ(after.rows()[0][2], ResultSet::Cell(int64_t{0}));
+}
+
+TEST_F(SqlExecutorTest, DumpTraceWritesAFileAndRejectsBadPaths) {
+  obs::FlightRecorder::Instance().Clear();
+  MustQuery("SELECT v FROM s1 WHERE time >= 0 AND time < 100");
+  const std::string path = dir_.path() + "/dump.json";
+  ResultSet result = MustQuery("DUMP TRACE '" + path + "'");
+  EXPECT_EQ(result.columns(),
+            (std::vector<std::string>{"path", "events", "bytes"}));
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(result.rows()[0][0], ResultSet::Cell(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("traceEvents"), std::string::npos);
+
+  Status status =
+      ExecuteQuery(db_.get(),
+                   "DUMP TRACE '" + dir_.path() + "/no_such_dir/x.json'",
+                   nullptr)
+          .status();
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+// The parallel executor used to be a trace blind spot: workers ran with a
+// null trace, so EXPLAIN ANALYZE under `SET parallelism` lost the per-phase
+// solve_* timing. Worker block traces are now merged into the parent after
+// the join.
+TEST_F(SqlExecutorTest, ExplainAnalyzeWithParallelismReportsSolvePhases) {
+  MustQuery("SET parallelism = 4");
+  ResultSet result = MustQuery(
+      "EXPLAIN ANALYZE SELECT M4(v) FROM s1 WHERE time >= 0 AND "
+      "time < 2000 GROUP BY SPANS(8)");
+  std::string csv = result.ToCsv();
+  EXPECT_NE(csv.find("m4_lsm"), std::string::npos);
+  EXPECT_NE(csv.find("solve_first"), std::string::npos);
+  EXPECT_NE(csv.find("solve_last"), std::string::npos);
+  EXPECT_NE(csv.find("solve_bottom"), std::string::npos);
+  EXPECT_NE(csv.find("solve_top"), std::string::npos);
+  EXPECT_NE(csv.find("rows_returned,8,null"), std::string::npos);
 }
 
 TEST_F(SqlExecutorTest, FlushStatementPersistsTheMemtable) {

@@ -189,6 +189,52 @@ TEST(StatementParserTest, ShowSeries) {
   EXPECT_NE(status.ToString().find("SHOW SERIES"), std::string::npos);
 }
 
+TEST(StatementParserTest, ShowQueriesAndShowProfile) {
+  ASSERT_OK_AND_ASSIGN(Statement stmt, ParseStatement("SHOW QUERIES"));
+  EXPECT_TRUE(std::holds_alternative<ShowQueriesStatement>(stmt));
+  EXPECT_FALSE(IsWriteStatement(stmt));
+
+  ASSERT_OK_AND_ASSIGN(stmt, ParseStatement("show profile"));
+  ASSERT_TRUE(std::holds_alternative<ShowProfileStatement>(stmt));
+  EXPECT_FALSE(std::get<ShowProfileStatement>(stmt).reset);
+
+  ASSERT_OK_AND_ASSIGN(stmt, ParseStatement("SHOW PROFILE RESET"));
+  ASSERT_TRUE(std::holds_alternative<ShowProfileStatement>(stmt));
+  EXPECT_TRUE(std::get<ShowProfileStatement>(stmt).reset);
+
+  EXPECT_FALSE(ParseStatement("SHOW QUERIES all").ok());
+  EXPECT_FALSE(ParseStatement("SHOW PROFILE now").ok());
+  EXPECT_FALSE(ParseStatement("SHOW PROFILE RESET twice").ok());
+  // The SHOW error names the recorder variants too.
+  Status status = ParseStatement("SHOW TABLES").status();
+  EXPECT_NE(status.ToString().find("SHOW QUERIES"), std::string::npos);
+  EXPECT_NE(status.ToString().find("SHOW PROFILE"), std::string::npos);
+}
+
+TEST(StatementParserTest, DumpTraceTakesAQuotedPath) {
+  ASSERT_OK_AND_ASSIGN(Statement stmt,
+                       ParseStatement("DUMP TRACE '/tmp/trace.json'"));
+  ASSERT_TRUE(std::holds_alternative<DumpTraceStatement>(stmt));
+  EXPECT_EQ(std::get<DumpTraceStatement>(stmt).path, "/tmp/trace.json");
+  EXPECT_FALSE(IsWriteStatement(stmt));
+
+  // A doubled quote escapes a literal quote inside the string.
+  ASSERT_OK_AND_ASSIGN(stmt, ParseStatement("dump trace 'it''s.json'"));
+  ASSERT_TRUE(std::holds_alternative<DumpTraceStatement>(stmt));
+  EXPECT_EQ(std::get<DumpTraceStatement>(stmt).path, "it's.json");
+
+  EXPECT_FALSE(ParseStatement("DUMP").ok());
+  EXPECT_FALSE(ParseStatement("DUMP TRACE").ok());
+  EXPECT_FALSE(ParseStatement("DUMP TRACE bare_word").ok());
+  EXPECT_FALSE(ParseStatement("DUMP TRACE ''").ok());
+  EXPECT_FALSE(ParseStatement("DUMP TRACE '/a' '/b'").ok());
+  // An unterminated string literal dies in the lexer with its offset.
+  Status status = ParseStatement("DUMP TRACE '/tmp/trace").status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("unterminated"), std::string::npos)
+      << status.ToString();
+}
+
 TEST(StatementParserTest, SetSyntaxErrorNamesValidKnobs) {
   Status status = ParseStatement("SET parallelism =").status();
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);

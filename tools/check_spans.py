@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Lints the span taxonomy: every trace span name used in src/ must be
+documented in docs/OBSERVABILITY.md, so the span table cannot silently
+drift from the code. Run from anywhere; wired into ctest as `check_spans`.
+
+Span names enter the tree three ways, all covered here:
+  - obs::TraceSpan span(trace, "name")        -- phase spans
+  - obs::Trace("name") / make_shared<obs::Trace>("name")  -- trace roots
+  - TimedJob("name", ...)                     -- bg job phase spans
+
+Usage: check_spans.py [repo_root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Each pattern is bounded by the enclosing statement (no ';' inside the lazy
+# match), so a literal in the *next* statement is never picked up. Span names
+# passed as variables are deliberately invisible: their literal appears at
+# the call site feeding the variable, which one of these patterns covers.
+PATTERNS = [
+    re.compile(r'TraceSpan\b[^;]*?"([a-z0-9_]+)"', re.S),
+    re.compile(r'Trace\s+\w+\(\s*"([a-z0-9_]+)"'),
+    re.compile(r'Trace>\(\s*"([a-z0-9_]+)"', re.S),
+    re.compile(r'TimedJob\(\s*"([a-z0-9_]+)"', re.S),
+]
+
+
+def used_spans(src_root: Path) -> set[str]:
+    names: set[str] = set()
+    for path in sorted(src_root.rglob("*.cc")):
+        text = path.read_text(encoding="utf-8")
+        for pattern in PATTERNS:
+            names.update(pattern.findall(text))
+    return names
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        __file__).resolve().parent.parent
+    doc_path = root / "docs" / "OBSERVABILITY.md"
+    if not doc_path.is_file():
+        print(f"check_spans: missing {doc_path}", file=sys.stderr)
+        return 1
+    doc = doc_path.read_text(encoding="utf-8")
+
+    names = used_spans(root / "src")
+    if not names:
+        print("check_spans: found no trace spans under src/ — the regexes "
+              "are probably stale", file=sys.stderr)
+        return 1
+
+    missing = sorted(n for n in names if f"`{n}`" not in doc)
+    if missing:
+        print("check_spans: span names used in src/ but absent from "
+              "docs/OBSERVABILITY.md:", file=sys.stderr)
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+
+    print(f"check_spans: {len(names)} span names, all documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,4 +42,7 @@ python3 tools/check_metrics.py
 echo "=== crash-point coverage lint ==="
 python3 tools/check_crashpoints.py
 
+echo "=== span taxonomy lint ==="
+python3 tools/check_spans.py
+
 echo "ci.sh: all green (${presets[*]})"

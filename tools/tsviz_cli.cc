@@ -26,10 +26,14 @@
 //   SHOW METRICS                   Prometheus text exposition of all metrics
 //   SHOW JOBS                      background maintenance scheduler state
 //   SHOW SERIES                    per-series partition/file/chunk counts
+//   SHOW QUERIES                   flight-recorder statement history
+//   SHOW PROFILE [RESET]           merged span trees from sampled traces
+//   DUMP TRACE '<path>'            export the recorder as Chrome trace JSON
 //   SET <knob> = <n>               runtime knobs: autoflush_bytes,
 //                                  compaction_files, page_cache_bytes,
 //                                  parallelism, partition_interval_ms,
-//                                  result_cache_capacity, ttl_ms
+//                                  result_cache_capacity, slow_query_millis,
+//                                  trace_sample_every, ttl_ms
 //   EXPLAIN [ANALYZE] SELECT ...   plan / traced execution with stat:
 //                                  counters (partitions_pruned, ...)
 
@@ -104,6 +108,8 @@ int Usage() {
       "  FLUSH [series]                 persist memtables to data files\n"
       "  COMPACT [series]               merge partition files\n"
       "  SHOW METRICS | JOBS | SERIES   metrics, scheduler, storage shape\n"
+      "  SHOW QUERIES | PROFILE [RESET] flight-recorder history / profile\n"
+      "  DUMP TRACE '<path>'            recorder as Chrome trace JSON\n"
       "  SET <knob> = <n>               %s\n"
       "\n"
       "(see the header of tools/tsviz_cli.cc for per-subcommand flags)\n",
