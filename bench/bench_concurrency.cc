@@ -1,0 +1,377 @@
+// Concurrency: SQL-over-TCP latency/throughput vs client count, comparing
+// the epoll event-loop server against the thread-per-connection baseline.
+//
+// Each cell spawns N blocking line-protocol clients that hammer one shared
+// server for a fixed wall budget. Three workloads: pure M4 reads (hit the
+// immutable chunk snapshot concurrently), pure INSERT ingest (serialized on
+// the server's single-writer lock), and an alternating mix. Per-statement
+// latencies are kept exactly and sorted for p50/p99; throughput is total
+// completed statements over the cell's wall time.
+//
+// Besides bench_results/concurrency.{csv,json} this writes a
+// BENCH_concurrency.json summary into the working directory with the
+// headline ratio: event-loop over thread-per-connection throughput on the
+// mixed workload at the highest client count.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "db/database.h"
+#include "harness.h"
+#include "server/server.h"
+
+namespace tsviz::bench {
+namespace {
+
+constexpr int kClientCounts[] = {1, 4, 16, 64, 256};
+constexpr double kCellMillis = 250.0;  // wall budget per (mode, load, N)
+
+// Blocking line-protocol client. Replies end with a blank line; pipelined
+// replies may share one recv, so leftover bytes stay buffered.
+class Client {
+ public:
+  explicit Client(int port) {
+    // The server is up before any client starts, but with hundreds of
+    // simultaneous connects the accept queue can transiently refuse; retry.
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd_ < 0) break;
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(static_cast<uint16_t>(port));
+      if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+          0) {
+        int one = 1;
+        ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        return;
+      }
+      ::close(fd_);
+      fd_ = -1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool Send(const std::string& line) {
+    std::string data = line + "\n";
+    size_t sent = 0;
+    while (sent < data.size()) {
+      ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  // Returns the reply payload without the blank-line terminator, or an
+  // empty string on EOF/error.
+  std::string ReadReply() {
+    char chunk[4096];
+    size_t end;
+    while ((end = buffer_.find("\n\n")) == std::string::npos) {
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return {};
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    std::string reply = buffer_.substr(0, end + 1);
+    buffer_.erase(0, end + 2);
+    return reply;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+enum class Workload { kM4, kIngest, kMixed };
+
+const char* WorkloadName(Workload w) {
+  switch (w) {
+    case Workload::kM4: return "m4";
+    case Workload::kIngest: return "ingest";
+    case Workload::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+const char* ModeName(ServerMode m) {
+  return m == ServerMode::kEventLoop ? "event_loop" : "thread_per_conn";
+}
+
+struct CellResult {
+  std::string mode;
+  std::string workload;
+  int clients = 0;
+  uint64_t statements = 0;
+  uint64_t errors = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double stmts_per_sec = 0.0;
+};
+
+// One client thread's tally.
+struct ClientTally {
+  std::vector<double> latencies_ms;
+  uint64_t errors = 0;
+  bool connect_failed = false;
+};
+
+// Timestamps for INSERT statements: globally unique and increasing so the
+// shared ingest series never sees duplicate keys. Starts past the seeded
+// read data so ingest never perturbs the M4 ranges.
+std::atomic<int64_t> g_ingest_ts{10'000'000};
+
+void RunClient(int port, Workload load, double deadline_budget_ms,
+               const std::string& m4_query, ClientTally* tally) {
+  Client client(port);
+  if (!client.connected()) {
+    tally->connect_failed = true;
+    return;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(
+          static_cast<int64_t>(deadline_budget_ms * 1000));
+  uint64_t iter = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool do_insert = load == Workload::kIngest ||
+                     (load == Workload::kMixed && (iter & 1) == 1);
+    std::string stmt;
+    if (do_insert) {
+      int64_t ts = g_ingest_ts.fetch_add(1, std::memory_order_relaxed);
+      stmt = "INSERT INTO ingest VALUES (" + std::to_string(ts) + ", 1.0)";
+    } else {
+      stmt = m4_query;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    if (!client.Send(stmt)) break;
+    std::string reply = client.ReadReply();
+    const auto stop = std::chrono::steady_clock::now();
+    if (reply.empty()) break;  // connection dropped
+    if (reply.rfind("ERROR:", 0) == 0) ++tally->errors;
+    tally->latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(stop - start).count());
+    ++iter;
+  }
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+std::string FormatRate(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", r);
+  return buf;
+}
+
+std::string FormatRatio(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", r);
+  return buf;
+}
+
+int Run() {
+  const double scale = ScaleFromEnv();
+  // 20k seeded points at the default 0.05 scale; TSVIZ_SCALE=1 reproduces a
+  // 400k-point read target.
+  const size_t points = static_cast<size_t>(
+      20000.0 * std::max(scale / 0.05, 1.0));
+
+  namespace fs = std::filesystem;
+  std::string dir_template =
+      (fs::temp_directory_path() / "tsviz_bench_conc_XXXXXX").string();
+  std::vector<char> buf(dir_template.begin(), dir_template.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+  const std::string root(buf.data());
+
+  DatabaseConfig config;
+  config.root_dir = root;
+  config.series_defaults.points_per_chunk = 200;
+  config.series_defaults.memtable_flush_threshold = 4096;
+  auto opened = Database::Open(config);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Database> db = std::move(opened).value();
+  for (size_t i = 0; i < points; ++i) {
+    TSVIZ_CHECK(db->Write("s1", static_cast<int64_t>(i) * 10,
+                          static_cast<double>(i % 997))
+                    .ok());
+  }
+  TSVIZ_CHECK(db->FlushAll().ok());
+
+  // ~100 points per span keeps each query decode-bound but short enough
+  // that a 250 ms cell completes many of them.
+  const int64_t range_end = static_cast<int64_t>(points) * 10;
+  const int64_t w = std::clamp<int64_t>(static_cast<int64_t>(points) / 100,
+                                        50, 2000);
+  const std::string m4_query =
+      "SELECT M4(v) FROM s1 WHERE time >= 0 AND time < " +
+      std::to_string(range_end) + " GROUP BY SPANS(" + std::to_string(w) +
+      ")";
+
+  ResultTable table({"mode", "workload", "clients", "stmts", "errors",
+                     "p50_ms", "p99_ms", "stmts_per_sec"});
+  std::vector<CellResult> cells;
+
+  for (ServerMode mode : {ServerMode::kEventLoop,
+                          ServerMode::kThreadPerConn}) {
+    SqlServer server(db.get(), mode);
+    if (Status s = server.Start(0); !s.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    for (Workload load : {Workload::kM4, Workload::kIngest,
+                          Workload::kMixed}) {
+      for (int clients : kClientCounts) {
+        std::vector<ClientTally> tallies(static_cast<size_t>(clients));
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<size_t>(clients));
+        const auto wall_start = std::chrono::steady_clock::now();
+        for (int c = 0; c < clients; ++c) {
+          threads.emplace_back(RunClient, server.port(), load, kCellMillis,
+                               std::cref(m4_query),
+                               &tallies[static_cast<size_t>(c)]);
+        }
+        for (std::thread& t : threads) t.join();
+        const double wall_ms = std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() -
+                                   wall_start)
+                                   .count();
+
+        CellResult cell;
+        cell.mode = ModeName(mode);
+        cell.workload = WorkloadName(load);
+        cell.clients = clients;
+        std::vector<double> all;
+        for (const ClientTally& t : tallies) {
+          if (t.connect_failed) ++cell.errors;
+          cell.errors += t.errors;
+          all.insert(all.end(), t.latencies_ms.begin(),
+                     t.latencies_ms.end());
+        }
+        std::sort(all.begin(), all.end());
+        cell.statements = all.size();
+        cell.p50_ms = Percentile(all, 0.50);
+        cell.p99_ms = Percentile(all, 0.99);
+        cell.stmts_per_sec =
+            wall_ms > 0.0 ? static_cast<double>(all.size()) * 1000.0 /
+                                wall_ms
+                          : 0.0;
+        table.AddRow({cell.mode, cell.workload, std::to_string(clients),
+                      std::to_string(cell.statements),
+                      std::to_string(cell.errors),
+                      FormatMillis(cell.p50_ms), FormatMillis(cell.p99_ms),
+                      FormatRate(cell.stmts_per_sec)});
+        cells.push_back(cell);
+      }
+    }
+    server.Stop();
+  }
+
+  db.reset();
+  std::error_code ec;
+  fs::remove_all(root, ec);
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf(
+      "Concurrency: SQL-over-TCP, mode x workload x clients "
+      "(points=%zu w=%lld cell=%.0fms cores=%u)\n\n",
+      points, static_cast<long long>(w), kCellMillis, cores);
+  table.Print();
+  if (Status s = table.WriteCsv("concurrency"); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  }
+
+  // Headline: event-loop over baseline throughput, mixed workload, most
+  // clients.
+  const int max_clients = kClientCounts[std::size(kClientCounts) - 1];
+  double ev_mixed = 0.0, tpc_mixed = 0.0;
+  uint64_t total_errors = 0;
+  for (const CellResult& c : cells) {
+    total_errors += c.errors;
+    if (c.workload == "mixed" && c.clients == max_clients) {
+      if (c.mode == "event_loop") ev_mixed = c.stmts_per_sec;
+      if (c.mode == "thread_per_conn") tpc_mixed = c.stmts_per_sec;
+    }
+  }
+  const double ratio = ev_mixed / std::max(tpc_mixed, 1e-3);
+  std::printf("\nevent-loop / thread-per-conn throughput "
+              "(mixed, %d clients): %.2fx\n",
+              max_clients, ratio);
+  std::printf("total in-band errors: %llu\n",
+              static_cast<unsigned long long>(total_errors));
+
+  std::ofstream json("BENCH_concurrency.json");
+  if (!json.good()) {
+    std::fprintf(stderr, "cannot open BENCH_concurrency.json\n");
+    return 1;
+  }
+  json << "{\n"
+       << "  \"name\": \"concurrency\",\n"
+       << "  \"cpu_cores\": " << cores << ",\n"
+       << "  \"workload\": {\"points\": " << points << ", \"w\": " << w
+       << ", \"cell_millis\": " << FormatRatio(kCellMillis) << "},\n"
+       << "  \"cells\": [";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    if (i > 0) json << ",";
+    json << "\n    {\"mode\": \"" << c.mode << "\", \"workload\": \""
+         << c.workload << "\", \"clients\": " << c.clients
+         << ", \"statements\": " << c.statements
+         << ", \"errors\": " << c.errors
+         << ", \"p50_ms\": " << FormatMillis(c.p50_ms)
+         << ", \"p99_ms\": " << FormatMillis(c.p99_ms)
+         << ", \"stmts_per_sec\": " << FormatRate(c.stmts_per_sec) << "}";
+  }
+  json << "\n  ],\n"
+       << "  \"event_loop_over_thread_per_conn_mixed_" << max_clients
+       << "_clients\": " << FormatRatio(ratio) << ",\n"
+       << "  \"total_errors\": " << total_errors << "\n}\n";
+  if (!json.good()) {
+    std::fprintf(stderr, "short write to BENCH_concurrency.json\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsviz::bench
+
+int main() { return tsviz::bench::Run(); }

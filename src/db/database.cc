@@ -121,6 +121,14 @@ Status Database::ApplySetting(const std::string& name, double value) {
     maintenance_->set_ttl(static_cast<int64_t>(value));
     return Status::OK();
   }
+  if (name == "max_connections") {
+    max_connections_.store(static_cast<int>(value), std::memory_order_relaxed);
+    return Status::OK();
+  }
+  if (name == "listen_backlog") {
+    listen_backlog_.store(static_cast<int>(value), std::memory_order_relaxed);
+    return Status::OK();
+  }
   if (name == "trace_sample_every") {
     obs::FlightRecorder::Instance().set_trace_sample_every(
         static_cast<uint64_t>(value));

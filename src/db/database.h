@@ -1,6 +1,7 @@
 #ifndef TSVIZ_DB_DATABASE_H_
 #define TSVIZ_DB_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -25,9 +26,10 @@ namespace tsviz {
 inline constexpr char kValidSetKnobs[] =
     "autoflush_bytes, compaction_files, durable_fsync, faultfs_eio_every, "
     "faultfs_fsync_fail_every, faultfs_seed, faultfs_short_read_every, "
-    "faultfs_torn_append_every, page_cache_bytes, parallelism, "
-    "partition_interval_ms, read_tolerance, recorder_capacity_bytes, "
-    "result_cache_capacity, slow_query_millis, trace_sample_every, ttl_ms";
+    "faultfs_torn_append_every, listen_backlog, max_connections, "
+    "page_cache_bytes, parallelism, partition_interval_ms, read_tolerance, "
+    "recorder_capacity_bytes, result_cache_capacity, slow_query_millis, "
+    "trace_sample_every, ttl_ms";
 
 struct DatabaseConfig {
   // Root directory; each series lives in its own subdirectory.
@@ -143,6 +145,19 @@ class Database : public bg::StoreCatalog {
     return query_parallelism_;
   }
 
+  // Network admission cap (`SET max_connections`): the server evaluates it
+  // at every accept, so a runtime change applies to the next connection.
+  int max_connections() const {
+    return max_connections_.load(std::memory_order_relaxed);
+  }
+
+  // Pending-connection queue length passed to listen(2)
+  // (`SET listen_backlog`): read at server Start, so a runtime change
+  // applies to the next Start.
+  int listen_backlog() const {
+    return listen_backlog_.load(std::memory_order_relaxed);
+  }
+
  private:
   explicit Database(DatabaseConfig config)
       : config_(std::move(config)),
@@ -156,6 +171,8 @@ class Database : public bg::StoreCatalog {
   // config_.series_defaults (partition_interval_ms).
   mutable std::mutex settings_mutex_;
   int query_parallelism_;
+  std::atomic<int> max_connections_{1024};
+  std::atomic<int> listen_backlog_{64};
   M4QueryCache result_cache_;
   mutable std::mutex series_mutex_;  // guards series_
   std::map<std::string, std::shared_ptr<TsStore>> series_;

@@ -1,0 +1,90 @@
+#ifndef TSVIZ_NET_BOUNDED_QUEUE_H_
+#define TSVIZ_NET_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace tsviz::net {
+
+// Bounded multi-producer/multi-consumer queue feeding the request-execution
+// workers. The event loop produces with the non-blocking TryPush — a full
+// queue is the load-shedding signal, never a stall — and workers consume
+// with the blocking Pop. Stop() wakes every waiter; a stopped queue drops
+// its remaining items (the connections they belong to are being torn down).
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Enqueues without blocking. Returns false (leaving `item` untouched)
+  // when the queue is at capacity or stopped.
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopped_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is stopped. Returns
+  // false only on stop, so workers use it as their run condition.
+  bool Pop(T* item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return stopped_ || !items_.empty(); });
+    if (stopped_) return false;
+    *item = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  // Wakes every blocked Pop and rejects further pushes. Items still queued
+  // stay until Drain; Pop never hands them out after a stop.
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopped_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  // Re-arms a stopped queue (empty, accepting pushes) so the owning server
+  // can Start again after a Stop.
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = false;
+    items_.clear();
+  }
+
+  // Removes and returns the count of undelivered items (post-Stop cleanup,
+  // so depth accounting can settle).
+  size_t Drain() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = items_.size();
+    items_.clear();
+    return n;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool stopped_ = false;
+};
+
+}  // namespace tsviz::net
+
+#endif  // TSVIZ_NET_BOUNDED_QUEUE_H_

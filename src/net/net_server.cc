@@ -1,0 +1,553 @@
+#include "net/net_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace tsviz::net {
+
+namespace {
+
+// epoll user-data ids for the two non-connection fds.
+constexpr uint64_t kListenerId = 0;
+constexpr uint64_t kWakeId = 1;
+
+// Per epoll event, reads are capped so one firehose client cannot starve
+// the loop; level-triggered epoll re-arms for the remainder.
+constexpr size_t kMaxReadPerEvent = 256 * 1024;
+
+double NowMillis() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+bool SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// --- net_* metrics (registered once, cached references) ---
+
+obs::Counter& WakeupsTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "net_epoll_wakeups_total", "epoll_wait returns on the event loop");
+  return c;
+}
+obs::Counter& AdmissionRejectionsTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "net_admission_rejections_total",
+      "Connections refused with the busy error past max_connections");
+  return c;
+}
+obs::Counter& RequestsShedTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "net_requests_shed_total",
+      "Requests answered with the overload error because the bounded "
+      "request queue was full");
+  return c;
+}
+obs::Counter& ReadsSuspendedTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "net_reads_suspended_total",
+      "Times a connection's EPOLLIN interest was suspended (slow reader "
+      "backpressure or pipeline depth)");
+  return c;
+}
+obs::Counter& RequestsPipelinedTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "net_requests_pipelined_total",
+      "Statements that arrived in the same read as an earlier statement");
+  return c;
+}
+obs::Gauge& ConnectionsOpen() {
+  static obs::Gauge& g = obs::GetGauge(
+      "net_connections_open", "Connections currently registered on the loop");
+  return g;
+}
+obs::Gauge& SuspendedConnections() {
+  static obs::Gauge& g = obs::GetGauge(
+      "net_suspended_connections",
+      "Connections whose reads are currently suspended for backpressure");
+  return g;
+}
+obs::Gauge& QueueDepth() {
+  static obs::Gauge& g = obs::GetGauge(
+      "net_queue_depth", "Requests waiting in the bounded worker queue");
+  return g;
+}
+obs::Histogram& QueueWaitMillis() {
+  static obs::Histogram& h = obs::GetHistogram(
+      "net_queue_wait_millis",
+      "Time a request waited in the bounded queue before a worker ran it");
+  return h;
+}
+
+}  // namespace
+
+// Per-connection state; touched only on the event-loop thread (workers see
+// a connection id plus copied bytes, never this struct).
+struct NetServer::Connection {
+  uint64_t id = 0;
+  int fd = -1;
+  std::string inbuf;                // unparsed bytes
+  std::deque<std::string> pending;  // parsed statements not yet dispatched
+  std::string outbuf;               // response bytes not yet written
+  size_t outbuf_offset = 0;         // already-written prefix of outbuf
+  uint32_t interest = 0;            // currently registered epoll mask
+  bool executing = false;           // one request in flight at the workers
+  bool suspended = false;           // EPOLLIN off for backpressure
+  bool read_eof = false;            // peer half-closed; finish then close
+  bool want_close = false;          // handler asked to close (quit)
+  bool broken = false;              // socket errored; close at MaybeFinish
+  uint64_t requests = 0;            // handler invocations served
+  double opened_at_millis = 0;
+
+  size_t outbuf_pending() const { return outbuf.size() - outbuf_offset; }
+};
+
+NetServer::NetServer(NetServerOptions options, Handler handler)
+    : options_(std::move(options)),
+      handler_(std::move(handler)),
+      queue_(options_.queue_capacity) {}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start(int port) {
+  if (started_) return Status::InvalidArgument("already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  if (!SetNonBlocking(listen_fd_)) {
+    Status s = Errno("fcntl");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Errno("bind");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("getsockname failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, options_.listen_backlog) < 0) {
+    Status s = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) {
+    Status s = Errno("epoll_create1");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    Status s = Errno("eventfd");
+    ::close(epoll_fd_);
+    ::close(listen_fd_);
+    epoll_fd_ = listen_fd_ = -1;
+    return s;
+  }
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kWakeId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  stopping_ = false;
+  queue_.Reset();  // a previous Stop left it rejecting pushes
+  int workers =
+      options_.workers > 0
+          ? options_.workers
+          : static_cast<int>(std::max(2u, std::thread::hardware_concurrency()));
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerThread(); });
+  }
+  loop_thread_ = std::thread([this] { LoopThread(); });
+  started_ = true;
+  TSVIZ_INFO << "net server listening on 127.0.0.1:" << port_
+             << Field("workers", workers)
+             << Field("queue_capacity",
+                      static_cast<int64_t>(options_.queue_capacity));
+  return Status::OK();
+}
+
+void NetServer::Stop() {
+  if (!started_) return;
+  stopping_ = true;
+  uint64_t one = 1;
+  ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+  (void)ignored;
+  if (loop_thread_.joinable()) loop_thread_.join();
+
+  queue_.Stop();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  QueueDepth().Add(-static_cast<double>(queue_.Drain()));
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    completions_.clear();
+  }
+
+  // Everything is single-threaded from here: tear the connections down on
+  // the caller, firing the close hooks the loop never got to.
+  for (auto& [id, conn] : conns_) {
+    if (conn->suspended) SuspendedConnections().Add(-1);
+    ConnectionsOpen().Add(-1);
+    if (options_.on_close) {
+      options_.on_close(conn->requests, NowMillis() - conn->opened_at_millis);
+    }
+    ::close(conn->fd);
+  }
+  conns_.clear();
+
+  ::close(listen_fd_);
+  ::close(epoll_fd_);
+  ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  started_ = false;
+}
+
+void NetServer::WorkerThread() {
+  WorkItem item;
+  while (queue_.Pop(&item)) {
+    QueueDepth().Add(-1);
+    Request request;
+    request.line = std::move(item.line);
+    request.queue_wait_millis = NowMillis() - item.enqueued_at_millis;
+    QueueWaitMillis().Observe(request.queue_wait_millis);
+    Response response = handler_(request);
+    {
+      std::lock_guard<std::mutex> lock(completions_mutex_);
+      completions_.push_back({item.conn_id, std::move(response)});
+    }
+    uint64_t one = 1;
+    ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+    (void)ignored;
+  }
+}
+
+void NetServer::LoopThread() {
+  epoll_event events[64];
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      TSVIZ_ERROR << "epoll_wait" << Field("errno", std::strerror(errno));
+      break;
+    }
+    WakeupsTotal().Inc();
+    for (int i = 0; i < n && !stopping_.load(std::memory_order_relaxed);
+         ++i) {
+      uint64_t id = events[i].data.u64;
+      uint32_t ev = events[i].events;
+      if (id == kListenerId) {
+        HandleAccept();
+        continue;
+      }
+      if (id == kWakeId) {
+        uint64_t drain;
+        while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+        DrainCompletions();
+        continue;
+      }
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // closed earlier in this batch
+      Connection* conn = it->second.get();
+      if (ev & (EPOLLHUP | EPOLLERR)) {
+        // Full close or socket error: nothing can be delivered anymore.
+        CloseConnection(conn);
+        continue;
+      }
+      if (ev & EPOLLIN) {
+        HandleReadable(conn);
+        if (conns_.find(id) == conns_.end()) continue;
+      }
+      if (ev & EPOLLOUT) HandleWritable(conn);
+    }
+  }
+}
+
+void NetServer::HandleAccept() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      TSVIZ_WARN << "accept failed" << Field("errno", std::strerror(errno));
+      return;
+    }
+    const int cap =
+        options_.max_connections ? options_.max_connections() : 0;
+    if (cap > 0 && conns_.size() >= static_cast<size_t>(cap)) {
+      // Admission control: a fast in-band error beats a silent hang. The
+      // reply is small enough for the empty socket buffer, so one
+      // best-effort non-blocking send is all it gets.
+      SetNonBlocking(fd);
+      ssize_t ignored = ::send(fd, options_.busy_reply.data(),
+                               options_.busy_reply.size(), MSG_NOSIGNAL);
+      (void)ignored;
+      ::close(fd);
+      AdmissionRejectionsTotal().Inc();
+      continue;
+    }
+    if (!SetNonBlocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    if (options_.sndbuf_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                   sizeof(options_.sndbuf_bytes));
+    }
+
+    auto conn = std::make_unique<Connection>();
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    conn->opened_at_millis = NowMillis();
+    conn->interest = EPOLLIN;
+    epoll_event ev{};
+    ev.events = conn->interest;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    ConnectionsOpen().Add(1);
+    if (options_.on_open) options_.on_open();
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void NetServer::HandleReadable(Connection* conn) {
+  char chunk[16384];
+  size_t read_this_event = 0;
+  while (read_this_event < kMaxReadPerEvent) {
+    ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn->inbuf.append(chunk, static_cast<size_t>(n));
+      read_this_event += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      // Half-close: the client is done sending. Anything already pipelined
+      // still gets executed and written back before the socket closes.
+      conn->read_eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn->broken = true;
+    MaybeFinish(conn);
+    return;
+  }
+  ParseInbuf(conn);
+  MaybeDispatch(conn);
+  UpdateInterest(conn);
+  MaybeFinish(conn);
+}
+
+void NetServer::ParseInbuf(Connection* conn) {
+  size_t parsed = 0;
+  size_t start = 0;
+  while (true) {
+    size_t newline = conn->inbuf.find('\n', start);
+    if (newline == std::string::npos) break;
+    std::string line = conn->inbuf.substr(start, newline - start);
+    start = newline + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;  // blank lines are protocol no-ops
+    conn->pending.push_back(std::move(line));
+    ++parsed;
+  }
+  if (start > 0) conn->inbuf.erase(0, start);
+  if (parsed > 1) RequestsPipelinedTotal().Inc(parsed - 1);
+}
+
+void NetServer::MaybeDispatch(Connection* conn) {
+  while (!conn->executing && !conn->want_close && !conn->broken &&
+         !conn->pending.empty()) {
+    if (conn->outbuf_pending() > options_.outbuf_suspend_bytes) {
+      // The reader is behind; executing more requests would only grow the
+      // buffer past its bound. The drain path re-dispatches.
+      return;
+    }
+    WorkItem item;
+    item.conn_id = conn->id;
+    item.line = std::move(conn->pending.front());
+    conn->pending.pop_front();
+    item.enqueued_at_millis = NowMillis();
+    if (queue_.TryPush(std::move(item))) {
+      QueueDepth().Add(1);
+      conn->executing = true;  // one in flight keeps responses in order
+      return;
+    }
+    // Queue full: shed with a fast in-band error instead of stalling the
+    // loop or queueing unboundedly. In-order because it answers exactly
+    // the request that would have been next.
+    RequestsShedTotal().Inc();
+    AppendOutput(conn, options_.shed_reply);
+  }
+}
+
+void NetServer::DrainCompletions() {
+  std::vector<Completion> completed;
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    completed.swap(completions_);
+  }
+  for (Completion& completion : completed) {
+    auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) continue;  // connection closed mid-flight
+    Connection* conn = it->second.get();
+    conn->executing = false;
+    ++conn->requests;
+    if (!completion.response.payload.empty()) {
+      AppendOutput(conn, completion.response.payload);
+    }
+    if (completion.response.close) {
+      conn->want_close = true;
+      conn->pending.clear();
+    }
+    MaybeDispatch(conn);
+    UpdateInterest(conn);
+    MaybeFinish(conn);
+  }
+}
+
+void NetServer::AppendOutput(Connection* conn, std::string_view payload) {
+  conn->outbuf.append(payload);
+  FlushOutbuf(conn);
+}
+
+bool NetServer::FlushOutbuf(Connection* conn) {
+  while (conn->outbuf_pending() > 0) {
+    ssize_t n = ::send(conn->fd, conn->outbuf.data() + conn->outbuf_offset,
+                       conn->outbuf_pending(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->outbuf_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // Write error (EPIPE after a vanished client, usually): mark the
+    // connection broken; MaybeFinish — the single close point — tears it
+    // down once the current event-handling path unwinds.
+    conn->broken = true;
+    return false;
+  }
+  if (conn->outbuf_pending() == 0) {
+    conn->outbuf.clear();
+    conn->outbuf_offset = 0;
+  } else if (conn->outbuf_offset > (64u << 10)) {
+    conn->outbuf.erase(0, conn->outbuf_offset);
+    conn->outbuf_offset = 0;
+  }
+  return true;
+}
+
+void NetServer::UpdateInterest(Connection* conn) {
+  const size_t buffered = conn->outbuf_pending();
+  if (!conn->suspended &&
+      (buffered > options_.outbuf_suspend_bytes ||
+       conn->pending.size() > options_.max_pipelined)) {
+    conn->suspended = true;
+    ReadsSuspendedTotal().Inc();
+    SuspendedConnections().Add(1);
+  } else if (conn->suspended && buffered <= options_.outbuf_resume_bytes &&
+             conn->pending.size() <= options_.max_pipelined) {
+    conn->suspended = false;
+    SuspendedConnections().Add(-1);
+  }
+
+  if (conn->broken) return;  // about to close; interest is moot
+  uint32_t want = 0;
+  if (!conn->read_eof && !conn->want_close && !conn->suspended) {
+    want |= EPOLLIN;
+  }
+  if (buffered > 0) want |= EPOLLOUT;
+  if (want == conn->interest) return;
+  conn->interest = want;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u64 = conn->id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void NetServer::HandleWritable(Connection* conn) {
+  if (FlushOutbuf(conn)) {
+    // Draining may unblock dispatch (backpressure) and reads (suspension).
+    MaybeDispatch(conn);
+    UpdateInterest(conn);
+  }
+  MaybeFinish(conn);
+}
+
+void NetServer::MaybeFinish(Connection* conn) {
+  if (conn->broken) {
+    // The peer can't receive anything anymore; don't wait for in-flight
+    // work (its completion will miss the id lookup and be dropped).
+    CloseConnection(conn);
+    return;
+  }
+  const bool done_reading = conn->read_eof || conn->want_close;
+  const bool drained = !conn->executing && conn->outbuf_pending() == 0 &&
+                       (conn->want_close || conn->pending.empty());
+  if (done_reading && drained) CloseConnection(conn);
+}
+
+void NetServer::CloseConnection(Connection* conn) {
+  if (conn->suspended) SuspendedConnections().Add(-1);
+  ConnectionsOpen().Add(-1);
+  if (options_.on_close) {
+    options_.on_close(conn->requests, NowMillis() - conn->opened_at_millis);
+  }
+  ::close(conn->fd);  // also removes the fd from the epoll set
+  conns_.erase(conn->id);  // invalidates conn
+}
+
+}  // namespace tsviz::net

@@ -1,0 +1,173 @@
+#ifndef TSVIZ_NET_NET_SERVER_H_
+#define TSVIZ_NET_NET_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/bounded_queue.h"
+
+namespace tsviz::net {
+
+// Async network subsystem: one epoll event-loop thread owns every socket
+// (listener, eventfd wakeup, client connections) and never executes a
+// request itself; a fixed pool of workers consumes a bounded MPMC queue and
+// runs the protocol-agnostic Handler. The protocol is newline-delimited
+// request framing with pipelining: any number of statements may arrive in a
+// single read, each is answered by one Response payload, and responses go
+// back strictly in arrival order per connection (requests of one connection
+// execute one at a time, so session semantics — SET then SELECT — hold;
+// different connections execute concurrently across the pool).
+//
+// Overload never stalls the loop:
+//   - admission control: past `max_connections` live connections, a new
+//     accept is answered with `busy_reply` and closed immediately;
+//   - request shedding: when the bounded queue is full, the request is
+//     answered with `shed_reply` instead of queueing unboundedly;
+//   - backpressure: a connection whose outbound buffer exceeds
+//     `outbuf_suspend_bytes` (slow reader), or that has more than
+//     `max_pipelined` parsed-but-unexecuted statements, has its EPOLLIN
+//     interest suspended until the buffer drains below
+//     `outbuf_resume_bytes` — per-connection memory stays bounded and fast
+//     clients keep their latency.
+//
+// Metrics (`net_*`, see docs/OBSERVABILITY.md): open/suspended connection
+// gauges, queue depth, epoll wake-ups, admission rejections, shed requests,
+// pipelined requests, and a queue-wait histogram.
+struct Request {
+  std::string line;               // one statement, framing stripped
+  double queue_wait_millis = 0;   // time spent in the bounded queue
+};
+
+struct Response {
+  std::string payload;  // written back verbatim (include any terminator)
+  bool close = false;   // close the connection once the payload drains
+};
+
+// Executed on a worker thread, never on the event loop.
+using Handler = std::function<Response(const Request&)>;
+
+struct NetServerOptions {
+  int listen_backlog = 64;
+
+  // 0 picks max(2, hardware_concurrency).
+  int workers = 0;
+
+  // Bounded MPMC request queue; TryPush failure sheds with `shed_reply`.
+  size_t queue_capacity = 1024;
+
+  // Outbound-buffer watermarks driving EPOLLIN suspension.
+  size_t outbuf_suspend_bytes = 256 * 1024;
+  size_t outbuf_resume_bytes = 32 * 1024;
+
+  // Parsed-but-unexecuted statements one connection may hold before its
+  // reads are paused (bounds per-connection memory under deep pipelining).
+  size_t max_pipelined = 1024;
+
+  // Evaluated at every accept so `SET max_connections` applies to new
+  // connections immediately. Null means unlimited.
+  std::function<int()> max_connections;
+
+  // SO_SNDBUF for accepted sockets; 0 keeps the kernel default. Tests
+  // shrink it to make slow-reader backpressure deterministic.
+  int sndbuf_bytes = 0;
+
+  std::string busy_reply = "ERROR: server busy\n\n";
+  std::string shed_reply = "ERROR: server overloaded, request queue full\n\n";
+
+  // Connection lifecycle hooks, called on the event-loop thread. on_close
+  // reports the number of requests the handler executed and the connection
+  // wall-clock milliseconds.
+  std::function<void()> on_open;
+  std::function<void(uint64_t requests, double millis)> on_close;
+};
+
+class NetServer {
+ public:
+  NetServer(NetServerOptions options, Handler handler);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 picks an ephemeral port), starts the event
+  // loop and the worker pool.
+  Status Start(int port);
+
+  // Closes the listener and every connection, joins the loop and the
+  // workers (in-flight handlers run to completion). Idempotent.
+  void Stop();
+
+  // The bound port (valid after a successful Start).
+  int port() const { return port_; }
+
+ private:
+  struct Connection;
+
+  struct WorkItem {
+    uint64_t conn_id = 0;
+    std::string line;
+    double enqueued_at_millis = 0;  // loop-relative steady clock
+  };
+
+  struct Completion {
+    uint64_t conn_id = 0;
+    Response response;
+  };
+
+  void LoopThread();
+  void WorkerThread();
+
+  void HandleAccept();
+  void HandleReadable(Connection* conn);
+  void HandleWritable(Connection* conn);
+  void ParseInbuf(Connection* conn);
+  void MaybeDispatch(Connection* conn);
+  void DrainCompletions();
+  void AppendOutput(Connection* conn, std::string_view payload);
+  // Writes as much of outbuf as the socket accepts; closes on write error.
+  // Returns false when the connection was closed.
+  bool FlushOutbuf(Connection* conn);
+  // Recomputes EPOLLIN/EPOLLOUT interest and the suspended state.
+  void UpdateInterest(Connection* conn);
+  void CloseConnection(Connection* conn);
+  // Close once everything owed has been written and nothing is in flight.
+  void MaybeFinish(Connection* conn);
+
+  NetServerOptions options_;
+  Handler handler_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: completions and Stop wake the loop
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+  BoundedQueue<WorkItem> queue_;
+
+  // Loop-thread state: connections keyed by monotonically increasing id, so
+  // a completion for an already-closed connection misses cleanly instead of
+  // hitting a recycled fd.
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = eventfd in epoll data
+
+  std::mutex completions_mutex_;
+  std::vector<Completion> completions_;
+};
+
+}  // namespace tsviz::net
+
+#endif  // TSVIZ_NET_NET_SERVER_H_

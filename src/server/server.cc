@@ -19,7 +19,8 @@ namespace tsviz {
 
 namespace {
 
-// Writes the whole buffer, retrying on EINTR and short writes.
+// Writes the whole buffer, retrying on EINTR and short writes
+// (thread-per-connection mode only; the event loop buffers instead).
 bool WriteAll(int fd, const std::string& data) {
   size_t done = 0;
   while (done < data.size()) {
@@ -34,10 +35,147 @@ bool WriteAll(int fd, const std::string& data) {
   return true;
 }
 
+obs::Counter& ConnectionsCounter() {
+  static obs::Counter& counter = obs::GetCounter(
+      "server_connections_total", "Client connections accepted");
+  return counter;
+}
+
 }  // namespace
 
+SqlServer::Reply SqlServer::ExecuteLine(const std::string& line,
+                                        double queue_wait_millis) {
+  static obs::Counter& queries = obs::GetCounter(
+      "server_queries_total", "SQL statements executed");
+  static obs::Counter& errors = obs::GetCounter(
+      "server_query_errors_total", "SQL statements that returned an error");
+  static obs::Histogram& query_millis = obs::GetHistogram(
+      "server_query_millis", "Per-statement latency as seen by the server");
+
+  if (line == "quit" || line == "QUIT") return Reply{"", /*close=*/true};
+
+  queries.Inc();
+  Timer timer;
+  std::string reply;
+  auto parsed = sql::ParseStatement(line);
+  if (!parsed.ok()) {
+    errors.Inc();
+    reply = "ERROR: " + parsed.status().ToString() + "\n";
+  } else {
+    // Reads run lock-free against the immutable chunk snapshot; only write
+    // statements serialize on the storage single-writer contract.
+    // Statements route through the flight recorder, so the history a client
+    // builds up is visible in SHOW QUERIES afterwards; the queue-wait time
+    // rides along so traced statements show a net_queue_wait span.
+    sql::RecordContext context;
+    context.net_queue_wait_millis = queue_wait_millis;
+    Result<sql::ResultSet> result = [&] {
+      if (sql::IsWriteStatement(*parsed)) {
+        std::lock_guard<std::mutex> lock(write_mutex_);
+        return sql::ExecuteRecorded(db_, *parsed, line, nullptr, context);
+      }
+      return sql::ExecuteRecorded(db_, *parsed, line, nullptr, context);
+    }();
+    if (result.ok()) {
+      reply = result->ToCsv();
+    } else {
+      errors.Inc();
+      reply = "ERROR: " + result.status().ToString() + "\n";
+    }
+  }
+  query_millis.Observe(timer.ElapsedMillis());
+  reply += "\n";  // blank-line terminator
+  return Reply{std::move(reply), /*close=*/false};
+}
+
+void SqlServer::RecordConnectionOpened() {
+  ConnectionsCounter().Inc();
+  obs::RecordedEvent event;
+  event.kind = obs::EventKind::kConnection;
+  event.statement = "connection opened";
+  event.status = "OK";
+  obs::FlightRecorder::Instance().Record(std::move(event));
+}
+
+void SqlServer::RecordConnectionClosed(uint64_t statements, double millis) {
+  obs::RecordedEvent event;
+  event.kind = obs::EventKind::kConnection;
+  event.statement = "connection closed";
+  event.status = "OK";
+  event.millis = millis;
+  event.rows = statements;
+  obs::FlightRecorder::Instance().Record(std::move(event));
+}
+
 Status SqlServer::Start(int port) {
-  if (listen_fd_ >= 0) return Status::InvalidArgument("already started");
+  if (net_server_ != nullptr || listen_fd_ >= 0) {
+    return Status::InvalidArgument("already started");
+  }
+  if (mode_ == ServerMode::kThreadPerConn) {
+    TSVIZ_RETURN_IF_ERROR(StartThreadPerConn(port));
+  } else {
+    net::NetServerOptions options;
+    options.listen_backlog = db_->listen_backlog();
+    options.max_connections = [db = db_] { return db->max_connections(); };
+    options.on_open = [this] { RecordConnectionOpened(); };
+    options.on_close = [this](uint64_t requests, double millis) {
+      RecordConnectionClosed(requests, millis);
+    };
+    auto server = std::make_unique<net::NetServer>(
+        std::move(options), [this](const net::Request& request) {
+          Reply reply = ExecuteLine(request.line, request.queue_wait_millis);
+          return net::Response{std::move(reply.payload), reply.close};
+        });
+    Status status = server->Start(port);
+    if (!status.ok()) return status;
+    port_ = server->port();
+    net_server_ = std::move(server);
+  }
+  // The background maintenance scheduler shares the server's lifecycle:
+  // auto-flush/compaction/TTL run while the server accepts queries and are
+  // quiesced before the listener is torn down.
+  db_->StartMaintenance();
+  TSVIZ_INFO << "sql server listening on 127.0.0.1:" << port_
+             << (mode_ == ServerMode::kEventLoop ? " (event loop)"
+                                                 : " (thread per conn)");
+  return Status::OK();
+}
+
+void SqlServer::Stop() {
+  if (net_server_ != nullptr) {
+    db_->StopMaintenance();
+    net_server_->Stop();
+    net_server_.reset();
+    return;
+  }
+  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
+  db_->StopMaintenance();
+  stopping_ = true;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::vector<Worker> workers;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    for (Worker& worker : workers_) {
+      ::shutdown(worker.fd, SHUT_RDWR);  // unblocks the handler's recv
+    }
+    workers = std::move(workers_);
+    workers_.clear();
+  }
+  for (Worker& worker : workers) {
+    if (worker.thread.joinable()) worker.thread.join();
+    ::close(worker.fd);
+  }
+}
+
+// --- thread-per-connection baseline ---
+
+Status SqlServer::StartThreadPerConn(int port) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     return Status::IoError(std::string("socket: ") + std::strerror(errno));
@@ -63,18 +201,13 @@ Status SqlServer::Start(int port) {
     return Status::IoError("getsockname failed");
   }
   port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, kListenBacklog) < 0) {
+  if (::listen(listen_fd_, db_->listen_backlog()) < 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
     return Status::IoError(std::string("listen: ") + std::strerror(errno));
   }
   stopping_ = false;
   accept_thread_ = std::thread([this] { AcceptLoop(); });
-  // The background maintenance scheduler shares the server's lifecycle:
-  // auto-flush/compaction/TTL run while the server accepts queries and are
-  // quiesced before the listener is torn down.
-  db_->StartMaintenance();
-  TSVIZ_INFO << "sql server listening on 127.0.0.1:" << port_;
   return Status::OK();
 }
 
@@ -115,22 +248,7 @@ void SqlServer::AcceptLoop() {
 }
 
 void SqlServer::HandleClient(int fd) {
-  static obs::Counter& connections = obs::GetCounter(
-      "server_connections_total", "Client connections accepted");
-  static obs::Counter& queries = obs::GetCounter(
-      "server_queries_total", "SQL statements executed");
-  static obs::Counter& errors = obs::GetCounter(
-      "server_query_errors_total", "SQL statements that returned an error");
-  static obs::Histogram& query_millis = obs::GetHistogram(
-      "server_query_millis", "Per-statement latency as seen by the server");
-  connections.Inc();
-  {
-    obs::RecordedEvent event;
-    event.kind = obs::EventKind::kConnection;
-    event.statement = "connection opened";
-    event.status = "OK";
-    obs::FlightRecorder::Instance().Record(std::move(event));
-  }
+  RecordConnectionOpened();
   Timer connection_timer;
   uint64_t statements = 0;
 
@@ -140,6 +258,7 @@ void SqlServer::HandleClient(int fd) {
     size_t newline = buffer.find('\n');
     if (newline == std::string::npos) {
       ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) break;  // client gone or shutdown
       buffer.append(chunk, static_cast<size_t>(n));
       continue;
@@ -148,75 +267,14 @@ void SqlServer::HandleClient(int fd) {
     buffer.erase(0, newline + 1);
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
-    if (line == "quit" || line == "QUIT") break;
 
-    queries.Inc();
+    Reply reply = ExecuteLine(line, /*queue_wait_millis=*/-1.0);
+    if (reply.close) break;
     ++statements;
-    Timer timer;
-    std::string reply;
-    auto parsed = sql::ParseStatement(line);
-    if (!parsed.ok()) {
-      errors.Inc();
-      reply = "ERROR: " + parsed.status().ToString() + "\n";
-    } else {
-      // Reads run lock-free against the immutable chunk snapshot; only
-      // write statements serialize on the storage single-writer contract.
-      // Statements route through the flight recorder, so the history a
-      // client builds up is visible in SHOW QUERIES afterwards.
-      Result<sql::ResultSet> result = [&] {
-        if (sql::IsWriteStatement(*parsed)) {
-          std::lock_guard<std::mutex> lock(write_mutex_);
-          return sql::ExecuteRecorded(db_, *parsed, line, nullptr);
-        }
-        return sql::ExecuteRecorded(db_, *parsed, line, nullptr);
-      }();
-      if (result.ok()) {
-        reply = result->ToCsv();
-      } else {
-        errors.Inc();
-        reply = "ERROR: " + result.status().ToString() + "\n";
-      }
-    }
-    query_millis.Observe(timer.ElapsedMillis());
-    reply += "\n";  // blank-line terminator
-    if (!WriteAll(fd, reply)) break;
+    if (!WriteAll(fd, reply.payload)) break;
   }
-  {
-    obs::RecordedEvent event;
-    event.kind = obs::EventKind::kConnection;
-    event.statement = "connection closed";
-    event.status = "OK";
-    event.millis = connection_timer.ElapsedMillis();
-    event.rows = statements;
-    obs::FlightRecorder::Instance().Record(std::move(event));
-  }
+  RecordConnectionClosed(statements, connection_timer.ElapsedMillis());
   // The fd stays open: the server owns it and closes it at reap or Stop.
-}
-
-void SqlServer::Stop() {
-  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
-  db_->StopMaintenance();
-  stopping_ = true;
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-
-  std::vector<Worker> workers;
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    for (Worker& worker : workers_) {
-      ::shutdown(worker.fd, SHUT_RDWR);  // unblocks the handler's recv
-    }
-    workers = std::move(workers_);
-    workers_.clear();
-  }
-  for (Worker& worker : workers) {
-    if (worker.thread.joinable()) worker.thread.join();
-    ::close(worker.fd);
-  }
 }
 
 }  // namespace tsviz

@@ -4,38 +4,56 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
 #include "db/database.h"
+#include "net/net_server.h"
 
 namespace tsviz {
 
-// Minimal TCP SQL endpoint with a newline-delimited protocol:
+// How the server moves bytes. The event loop is the production path; the
+// thread-per-connection mode is kept as the baseline bench_concurrency
+// compares against (and as a fallback should a platform lack epoll).
+enum class ServerMode {
+  kEventLoop,      // src/net: epoll loop + worker pool, pipelining,
+                   // admission control, backpressure
+  kThreadPerConn,  // one blocking handler thread per connection
+};
+
+// TCP SQL endpoint with a newline-delimited protocol:
 //
-//   client:  one SQL statement per line
+//   client:  one SQL statement per line (any number may be pipelined into
+//            a single send; responses come back in order)
 //   server:  the result as CSV, terminated by one blank line,
 //            or "ERROR: <message>" followed by a blank line
 //   client:  "quit" closes the connection
 //
-// Each connection gets its own handler thread. Read statements (every
-// statement in the current dialect) execute concurrently against the
-// immutable chunk snapshot; write statements, if the dialect grows any,
+// In the default event-loop mode a single epoll thread owns every socket
+// and a fixed worker pool executes statements off a bounded queue (see
+// docs/NETWORKING.md). Read statements execute concurrently against the
+// immutable chunk snapshot; write statements (SET, INSERT, FLUSH, COMPACT)
 // serialize on `write_mutex_` to honor the storage layer's single-writer
 // contract. This is the network face a deployment needs — the analog of
 // IoTDB's session service, reduced to the query dialect this library
 // implements.
+//
+// Runtime knobs: `SET max_connections` caps live connections (excess
+// accepts get "ERROR: server busy" and are closed; applies to the next
+// accept), `SET listen_backlog` sets the listen(2) queue (applies to the
+// next Start).
 class SqlServer {
  public:
-  explicit SqlServer(Database* db) : db_(db) {}
+  explicit SqlServer(Database* db, ServerMode mode = ServerMode::kEventLoop)
+      : db_(db), mode_(mode) {}
   ~SqlServer() { Stop(); }
 
   SqlServer(const SqlServer&) = delete;
   SqlServer& operator=(const SqlServer&) = delete;
 
-  // Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts the
-  // accept loop on a background thread.
+  // Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts serving.
   Status Start(int port);
 
   // Shuts the listener and every open connection down and joins all
@@ -45,35 +63,60 @@ class SqlServer {
   // The bound port (valid after a successful Start).
   int port() const { return port_; }
 
-  // Pending-connection queue passed to listen(2).
-  static constexpr int kListenBacklog = 64;
+  // Default pending-connection queue passed to listen(2); overridden at
+  // runtime by `SET listen_backlog`.
+  static constexpr int kDefaultListenBacklog = 64;
 
  private:
+  // The protocol-level reply to one statement line: the payload already
+  // includes the blank-line terminator; `close` ends the connection after
+  // the payload drains ("quit").
+  struct Reply {
+    std::string payload;
+    bool close = false;
+  };
+
+  // Parses and executes one statement line (both modes funnel through
+  // here): metrics, flight-recorder routing, and the single-writer lock.
+  // `queue_wait_millis` < 0 means the statement never sat in a queue.
+  Reply ExecuteLine(const std::string& line, double queue_wait_millis);
+
+  void RecordConnectionOpened();
+  void RecordConnectionClosed(uint64_t statements, double millis);
+
+  // --- thread-per-connection baseline ---
+
   // One connection-handler thread and the fd it serves. The handler marks
   // `done` when it returns; the accept loop reaps (joins and closes) done
   // workers before admitting the next connection, so the worker list stays
-  // proportional to the number of *live* connections instead of growing for
-  // the lifetime of the server. The fd is owned by the server (closed at
-  // reap or Stop), never by the handler, so Stop can never shut down a
-  // recycled descriptor.
+  // proportional to the number of *live* connections. The fd is owned by
+  // the server (closed at reap or Stop), never by the handler, so Stop can
+  // never shut down a recycled descriptor.
   struct Worker {
     std::thread thread;
     int fd = -1;
     std::shared_ptr<std::atomic<bool>> done;
   };
 
+  Status StartThreadPerConn(int port);
   void AcceptLoop();
   void HandleClient(int fd);
   // Joins every finished worker and closes its fd. Caller holds state_mutex_.
   void ReapFinishedWorkersLocked();
 
   Database* db_;
-  std::atomic<int> listen_fd_{-1};  // read by AcceptLoop, closed by Stop
+  ServerMode mode_;
   int port_ = 0;
+  std::mutex write_mutex_;  // serializes write statements only
+
+  // Event-loop mode.
+  std::unique_ptr<net::NetServer> net_server_;
+
+  // Thread-per-connection mode.
+  std::atomic<int> listen_fd_{-1};  // read by AcceptLoop, closed by Stop
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   std::mutex state_mutex_;  // guards workers_
-  std::mutex write_mutex_;  // serializes write statements only
   std::vector<Worker> workers_;
 };
 

@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -130,6 +131,17 @@ struct CompactStatement {
                          const CompactStatement&) = default;
 };
 
+// INSERT INTO <series> VALUES (t, v)[, (t, v)]...: appends points to a
+// series (creating it on first use). Timestamps must be integers; points in
+// one statement are written in the order given.
+struct InsertStatement {
+  std::string series;
+  std::vector<std::pair<Timestamp, double>> points;
+
+  friend bool operator==(const InsertStatement&,
+                         const InsertStatement&) = default;
+};
+
 // SHOW JOBS: lists the background maintenance scheduler's pending, running
 // and recently finished jobs.
 struct ShowJobsStatement {
@@ -173,17 +185,18 @@ struct DumpTraceStatement {
 // Any parseable top-level statement.
 using Statement =
     std::variant<SelectStatement, ShowMetricsStatement, SetStatement,
-                 FlushStatement, CompactStatement, ShowJobsStatement,
-                 ShowSeriesStatement, ShowQueriesStatement,
+                 FlushStatement, CompactStatement, InsertStatement,
+                 ShowJobsStatement, ShowSeriesStatement, ShowQueriesStatement,
                  ShowProfileStatement, DumpTraceStatement>;
 
 // True when executing the statement mutates database state; the server uses
 // this to decide whether a query needs the write lock. SET mutates database
-// configuration and FLUSH/COMPACT rewrite store state (the stores are
-// internally thread-safe, but the coarse lock keeps the server's
-// single-writer contract simple); everything else is read-only.
+// configuration, INSERT appends points, and FLUSH/COMPACT rewrite store
+// state (the stores are internally thread-safe, but the coarse lock keeps
+// the server's single-writer contract simple); everything else is read-only.
 inline bool IsWriteStatement(const Statement& statement) {
   return std::holds_alternative<SetStatement>(statement) ||
+         std::holds_alternative<InsertStatement>(statement) ||
          std::holds_alternative<FlushStatement>(statement) ||
          std::holds_alternative<CompactStatement>(statement);
 }

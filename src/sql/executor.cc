@@ -605,6 +605,17 @@ Result<ResultSet> ExecuteStatement(Database* db, const Statement& statement,
           std::get_if<CompactStatement>(&statement)) {
     return ExecuteMaintenance(db, comp->series, /*compact=*/true);
   }
+  if (const InsertStatement* insert =
+          std::get_if<InsertStatement>(&statement)) {
+    for (const auto& [t, v] : insert->points) {
+      TSVIZ_RETURN_IF_ERROR(db->Write(insert->series, t, v));
+    }
+    ResultSet result({"series", "points"});
+    result.AddRow({ResultSet::Cell(insert->series),
+                   ResultSet::Cell(static_cast<int64_t>(
+                       insert->points.size()))});
+    return result;
+  }
   if (const SetStatement* set = std::get_if<SetStatement>(&statement)) {
     std::string name = set->name;
     std::transform(name.begin(), name.end(), name.begin(),
@@ -639,7 +650,8 @@ Result<ResultSet> ExecuteStatement(Database* db, const Statement& statement,
 
 Result<ResultSet> ExecuteRecorded(Database* db, const Statement& statement,
                                   const std::string& text,
-                                  QueryStats* caller_stats) {
+                                  QueryStats* caller_stats,
+                                  const RecordContext& context) {
   obs::FlightRecorder& recorder = obs::FlightRecorder::Instance();
   QueryStats local;
   QueryStats* stats = caller_stats != nullptr ? caller_stats : &local;
@@ -676,6 +688,14 @@ Result<ResultSet> ExecuteRecorded(Database* db, const Statement& statement,
     TSVIZ_WARN << "slow query" << Field("millis", millis)
                << Field("threshold", slow_millis)
                << Field("statement", text);
+  }
+
+  // Graft the network-queue wait into the trace before the recorder takes
+  // shared ownership — mutating the tree after Record would race readers.
+  if (stats->trace != nullptr && context.net_queue_wait_millis >= 0.0) {
+    obs::TraceNode* wait = stats->trace->root().Child("net_queue_wait");
+    wait->millis += context.net_queue_wait_millis;
+    wait->calls += 1;
   }
 
   obs::RecordedEvent event;

@@ -37,6 +37,15 @@ struct ExecOptions {
 Result<ResultSet> ExecuteQuery(Database* db, const std::string& statement,
                                QueryStats* stats = nullptr);
 
+// Out-of-band facts about how a statement reached the executor, recorded
+// alongside the execution itself. The network server reports how long the
+// statement waited in the bounded request queue; when a trace is attached
+// (sampled, slow, EXPLAIN ANALYZE) the wait shows up as a `net_queue_wait`
+// span so queueing delay is visible next to execution phases.
+struct RecordContext {
+  double net_queue_wait_millis = -1.0;  // < 0: not from the network path
+};
+
 // Executes an already-parsed statement through the flight recorder: the
 // statement text, wall millis, result rows and key QueryStats land in the
 // recorder as a query event (visible in SHOW QUERIES / DUMP TRACE), the
@@ -46,7 +55,8 @@ Result<ResultSet> ExecuteQuery(Database* db, const std::string& statement,
 // recording (benches, plumbing).
 Result<ResultSet> ExecuteRecorded(Database* db, const Statement& statement,
                                   const std::string& text,
-                                  QueryStats* stats = nullptr);
+                                  QueryStats* stats = nullptr,
+                                  const RecordContext& context = {});
 
 // Executes an already-parsed top-level statement. SHOW METRICS renders the
 // process metrics registry as Prometheus text, one exposition line per row;

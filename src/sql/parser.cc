@@ -396,6 +396,65 @@ Result<Statement> ParseStatement(const std::string& statement) {
     return Statement(CompactStatement{std::move(series)});
   }
   if (!tokens.empty() && tokens[0].type == TokenType::kIdentifier &&
+      IdentEquals(tokens[0].text, "INSERT")) {
+    // INSERT INTO <series> VALUES (t, v)[, (t, v)]...
+    size_t pos = 1;
+    auto error = [](const std::string& message) {
+      return Status::InvalidArgument(
+          message + "; expected INSERT INTO <series> VALUES (t, v)[, ...]");
+    };
+    if (pos >= tokens.size() || tokens[pos].type != TokenType::kIdentifier ||
+        !IdentEquals(tokens[pos].text, "INTO")) {
+      return error("expected INTO after INSERT");
+    }
+    ++pos;
+    if (pos >= tokens.size() || tokens[pos].type != TokenType::kIdentifier) {
+      return error("expected series name");
+    }
+    InsertStatement insert;
+    insert.series = tokens[pos].text;
+    ++pos;
+    if (pos >= tokens.size() || tokens[pos].type != TokenType::kIdentifier ||
+        !IdentEquals(tokens[pos].text, "VALUES")) {
+      return error("expected VALUES");
+    }
+    ++pos;
+    while (true) {
+      if (pos >= tokens.size() || tokens[pos].type != TokenType::kLParen) {
+        return error("expected (");
+      }
+      ++pos;
+      if (pos >= tokens.size() || tokens[pos].type != TokenType::kNumber ||
+          tokens[pos].number != std::floor(tokens[pos].number)) {
+        return error("expected integer timestamp");
+      }
+      Timestamp t = static_cast<Timestamp>(std::llround(tokens[pos].number));
+      ++pos;
+      if (pos >= tokens.size() || tokens[pos].type != TokenType::kComma) {
+        return error("expected , between timestamp and value");
+      }
+      ++pos;
+      if (pos >= tokens.size() || tokens[pos].type != TokenType::kNumber) {
+        return error("expected value literal");
+      }
+      insert.points.emplace_back(t, tokens[pos].number);
+      ++pos;
+      if (pos >= tokens.size() || tokens[pos].type != TokenType::kRParen) {
+        return error("expected )");
+      }
+      ++pos;
+      if (pos < tokens.size() && tokens[pos].type == TokenType::kComma) {
+        ++pos;
+        continue;
+      }
+      break;
+    }
+    if (pos + 1 != tokens.size() || tokens[pos].type != TokenType::kEnd) {
+      return error("unexpected trailing input");
+    }
+    return Statement(std::move(insert));
+  }
+  if (!tokens.empty() && tokens[0].type == TokenType::kIdentifier &&
       IdentEquals(tokens[0].text, "SET")) {
     if (tokens.size() != 5 || tokens[1].type != TokenType::kIdentifier ||
         tokens[2].type != TokenType::kEq ||

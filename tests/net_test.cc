@@ -1,0 +1,380 @@
+#include "net/net_server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace tsviz::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Spins until `pred` holds, failing the test after `timeout`.
+template <typename Pred>
+bool WaitFor(Pred pred, std::chrono::milliseconds timeout = 5000ms) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return pred();
+}
+
+// Raw blocking client; `rcvbuf` shrinks SO_RCVBUF before connect so the
+// slow-reader test controls how many bytes the kernel absorbs.
+class RawClient {
+ public:
+  explicit RawClient(int port, int rcvbuf = 0) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    if (rcvbuf > 0) {
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+  ~RawClient() { Close(); }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  bool connected() const { return connected_; }
+  int fd() const { return fd_; }
+
+  void Send(const std::string& data) {
+    ASSERT_EQ(::send(fd_, data.data(), data.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(data.size()));
+  }
+
+  // Reads until the blank-line terminator; empty return means EOF first.
+  // Pipelined replies may share one recv, so leftover bytes stay buffered
+  // for the next call.
+  std::string ReadReply() {
+    char chunk[4096];
+    while (buffer_.find("\n\n") == std::string::npos) {
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        std::string rest = std::move(buffer_);
+        buffer_.clear();
+        return rest;
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    size_t end = buffer_.find("\n\n");
+    std::string reply = buffer_.substr(0, end + 2);
+    buffer_.erase(0, end + 2);
+    return reply;
+  }
+
+  // Reads exactly `bytes` bytes (or until EOF).
+  std::string ReadExactly(size_t bytes) {
+    std::string data = std::move(buffer_);
+    buffer_.clear();
+    char chunk[4096];
+    while (data.size() < bytes) {
+      size_t want = std::min(sizeof(chunk), bytes - data.size());
+      ssize_t n = ::recv(fd_, chunk, want, 0);
+      if (n <= 0) break;
+      data.append(chunk, static_cast<size_t>(n));
+    }
+    if (data.size() > bytes) {
+      buffer_ = data.substr(bytes);
+      data.resize(bytes);
+    }
+    return data;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;  // bytes received past the last returned reply
+};
+
+// The echo handler every basic test uses: "echo:<line>\n\n", quit closes.
+Handler EchoHandler() {
+  return [](const Request& request) {
+    if (request.line == "quit") return Response{"", /*close=*/true};
+    return Response{"echo:" + request.line + "\n\n", false};
+  };
+}
+
+TEST(NetServerTest, PipelinedStatementsAnswerInOrder) {
+  NetServer server({}, EchoHandler());
+  ASSERT_TRUE(server.Start(0).ok());
+
+  obs::Counter& pipelined = obs::GetCounter("net_requests_pipelined_total");
+  uint64_t pipelined_before = pipelined.value();
+
+  RawClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  // Ten statements in one send — one read on the server side.
+  std::string batch;
+  for (int i = 0; i < 10; ++i) {
+    batch += "stmt" + std::to_string(i) + "\n";
+  }
+  client.Send(batch);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(client.ReadReply(), "echo:stmt" + std::to_string(i) + "\n\n");
+  }
+  EXPECT_GE(pipelined.value(), pipelined_before + 1);
+  server.Stop();
+}
+
+TEST(NetServerTest, CrlfAndBlankLinesAreTolerated) {
+  NetServer server({}, EchoHandler());
+  ASSERT_TRUE(server.Start(0).ok());
+  RawClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  client.Send("a\r\n\r\n\nb\n");
+  EXPECT_EQ(client.ReadReply(), "echo:a\n\n");
+  EXPECT_EQ(client.ReadReply(), "echo:b\n\n");
+  server.Stop();
+}
+
+TEST(NetServerTest, CloseResponseEndsTheConnection) {
+  NetServer server({}, EchoHandler());
+  ASSERT_TRUE(server.Start(0).ok());
+  RawClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  client.Send("a\nquit\nnever-executed\n");
+  EXPECT_EQ(client.ReadReply(), "echo:a\n\n");
+  // quit answers nothing and closes; the third statement is dropped.
+  EXPECT_EQ(client.ReadReply(), "");
+  server.Stop();
+}
+
+TEST(NetServerTest, SlowReaderIsSuspendedWhileOthersProgress) {
+  constexpr size_t kPayload = 1 << 20;  // far beyond both socket buffers
+  NetServerOptions options;
+  options.outbuf_suspend_bytes = 4 * 1024;
+  options.outbuf_resume_bytes = 1024;
+  options.sndbuf_bytes = 4 * 1024;
+  NetServer server(std::move(options), [](const Request& request) {
+    if (request.line == "big") {
+      return Response{std::string(kPayload, 'x'), false};
+    }
+    return Response{"echo:" + request.line + "\n\n", false};
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  obs::Gauge& suspended = obs::GetGauge("net_suspended_connections");
+  obs::Counter& suspensions = obs::GetCounter("net_reads_suspended_total");
+  double suspended_before = suspended.value();
+  uint64_t suspensions_before = suspensions.value();
+
+  RawClient slow(server.port(), /*rcvbuf=*/4 * 1024);
+  ASSERT_TRUE(slow.connected());
+  slow.Send("big\n");
+  // The reply cannot fit the kernel buffers, the outbound buffer crosses
+  // the watermark, and the loop suspends the connection's reads.
+  EXPECT_TRUE(WaitFor([&] { return suspended.value() > suspended_before; }));
+  EXPECT_GT(suspensions.value(), suspensions_before);
+
+  // A second client is unaffected while the first is suspended.
+  RawClient fast(server.port());
+  ASSERT_TRUE(fast.connected());
+  fast.Send("hello\n");
+  EXPECT_EQ(fast.ReadReply(), "echo:hello\n\n");
+
+  // Draining the payload resumes the slow connection's reads...
+  EXPECT_EQ(slow.ReadExactly(kPayload).size(), kPayload);
+  EXPECT_TRUE(WaitFor([&] { return suspended.value() <= suspended_before; }));
+  // ...and it serves statements again.
+  slow.Send("after\n");
+  EXPECT_EQ(slow.ReadReply(), "echo:after\n\n");
+  server.Stop();
+}
+
+TEST(NetServerTest, AdmissionControlRejectsExcessConnections) {
+  NetServerOptions options;
+  options.max_connections = [] { return 2; };
+  NetServer server(std::move(options), EchoHandler());
+  ASSERT_TRUE(server.Start(0).ok());
+
+  obs::Counter& rejections = obs::GetCounter("net_admission_rejections_total");
+  uint64_t rejections_before = rejections.value();
+
+  RawClient a(server.port());
+  RawClient b(server.port());
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(b.connected());
+  // Round-trips guarantee both connections are registered on the loop
+  // before the third arrives.
+  a.Send("x\n");
+  EXPECT_EQ(a.ReadReply(), "echo:x\n\n");
+  b.Send("y\n");
+  EXPECT_EQ(b.ReadReply(), "echo:y\n\n");
+
+  RawClient c(server.port());
+  ASSERT_TRUE(c.connected());  // accepted by the kernel, rejected in-band
+  EXPECT_EQ(c.ReadReply(), "ERROR: server busy\n\n");
+  EXPECT_EQ(rejections.value(), rejections_before + 1);
+
+  // Closing an admitted connection frees the slot for a newcomer.
+  a.Close();
+  obs::Gauge& open = obs::GetGauge("net_connections_open");
+  EXPECT_TRUE(WaitFor([&] {
+    RawClient d(server.port());
+    if (!d.connected()) return false;
+    d.Send("z\n");
+    return d.ReadReply() == "echo:z\n\n";
+  }));
+  (void)open;
+  server.Stop();
+}
+
+TEST(NetServerTest, FullQueueShedsWithFastError) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> handler_entered{0};
+
+  NetServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  NetServer server(std::move(options), [&](const Request& request) {
+    if (request.line == "block") {
+      handler_entered.fetch_add(1);
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return release; });
+    }
+    return Response{"done:" + request.line + "\n\n", false};
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  obs::Counter& shed = obs::GetCounter("net_requests_shed_total");
+  obs::Gauge& depth = obs::GetGauge("net_queue_depth");
+  uint64_t shed_before = shed.value();
+  double depth_before = depth.value();
+
+  // A occupies the only worker...
+  RawClient a(server.port());
+  ASSERT_TRUE(a.connected());
+  a.Send("block\n");
+  ASSERT_TRUE(WaitFor([&] { return handler_entered.load() == 1; }));
+  // ...B fills the only queue slot...
+  RawClient b(server.port());
+  ASSERT_TRUE(b.connected());
+  b.Send("queued\n");
+  ASSERT_TRUE(WaitFor([&] { return depth.value() >= depth_before + 1; }));
+  // ...so C's request is shed immediately, without blocking the loop.
+  RawClient c(server.port());
+  ASSERT_TRUE(c.connected());
+  c.Send("shed-me\n");
+  EXPECT_EQ(c.ReadReply(), "ERROR: server overloaded, request queue full\n\n");
+  EXPECT_EQ(shed.value(), shed_before + 1);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  EXPECT_EQ(a.ReadReply(), "done:block\n\n");
+  EXPECT_EQ(b.ReadReply(), "done:queued\n\n");
+  server.Stop();
+}
+
+TEST(NetServerTest, ClientClosingMidStatementFreesTheSlot) {
+  NetServerOptions options;
+  options.max_connections = [] { return 1; };
+  NetServer server(std::move(options), EchoHandler());
+  ASSERT_TRUE(server.Start(0).ok());
+
+  obs::Gauge& open = obs::GetGauge("net_connections_open");
+  double open_before = open.value();
+  {
+    RawClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    client.Send("partial statement without a newline");
+    EXPECT_TRUE(WaitFor([&] { return open.value() == open_before + 1; }));
+  }  // abrupt close mid-statement
+  // The loop reaps the connection: no wedged slot, no leaked gauge.
+  EXPECT_TRUE(WaitFor([&] { return open.value() == open_before; }));
+
+  // With max_connections = 1, the freed slot admits a fresh client.
+  RawClient next(server.port());
+  ASSERT_TRUE(next.connected());
+  next.Send("hello\n");
+  EXPECT_EQ(next.ReadReply(), "echo:hello\n\n");
+  server.Stop();
+}
+
+TEST(NetServerTest, HalfCloseStillAnswersPipelinedWork) {
+  NetServer server({}, EchoHandler());
+  ASSERT_TRUE(server.Start(0).ok());
+  RawClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  client.Send("a\nb\n");
+  ::shutdown(client.fd(), SHUT_WR);  // half-close: done sending
+  EXPECT_EQ(client.ReadReply(), "echo:a\n\n");
+  EXPECT_EQ(client.ReadReply(), "echo:b\n\n");
+  EXPECT_EQ(client.ReadReply(), "");  // then the server closes
+  server.Stop();
+}
+
+TEST(NetServerTest, StopUnblocksClientsAndIsIdempotent) {
+  NetServer server({}, EchoHandler());
+  ASSERT_TRUE(server.Start(0).ok());
+  RawClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  server.Stop();
+  server.Stop();  // idempotent
+  std::string data = "x\n";
+  (void)::send(client.fd(), data.data(), data.size(), MSG_NOSIGNAL);
+  EXPECT_EQ(client.ReadReply(), "");  // terminates, never hangs
+
+  // A stopped server restarts cleanly.
+  ASSERT_TRUE(server.Start(0).ok());
+  RawClient again(server.port());
+  ASSERT_TRUE(again.connected());
+  again.Send("y\n");
+  EXPECT_EQ(again.ReadReply(), "echo:y\n\n");
+  server.Stop();
+}
+
+TEST(NetServerTest, LifecycleHooksReportRequestCounts) {
+  std::atomic<int> opens{0};
+  std::atomic<int> closes{0};
+  std::atomic<uint64_t> last_requests{0};
+  NetServerOptions options;
+  options.on_open = [&] { opens.fetch_add(1); };
+  options.on_close = [&](uint64_t requests, double millis) {
+    closes.fetch_add(1);
+    last_requests.store(requests);
+    EXPECT_GE(millis, 0.0);
+  };
+  NetServer server(std::move(options), EchoHandler());
+  ASSERT_TRUE(server.Start(0).ok());
+  {
+    RawClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    client.Send("a\nb\n");
+    EXPECT_EQ(client.ReadReply(), "echo:a\n\n");
+    EXPECT_EQ(client.ReadReply(), "echo:b\n\n");
+  }
+  EXPECT_TRUE(WaitFor([&] { return closes.load() == 1; }));
+  EXPECT_EQ(opens.load(), 1);
+  EXPECT_EQ(last_requests.load(), 2u);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace tsviz::net

@@ -41,22 +41,30 @@ class TestClient {
   }
 
   // Reads until the blank-line terminator; returns the payload without it.
+  // Pipelined replies may share one recv, so leftover bytes stay buffered
+  // for the next call.
   std::string ReadReply() {
-    std::string reply;
     char chunk[4096];
-    while (reply.find("\n\n") == std::string::npos) {
+    while (buffer_.find("\n\n") == std::string::npos) {
       ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n <= 0) break;
-      reply.append(chunk, static_cast<size_t>(n));
+      if (n <= 0) {
+        std::string rest = std::move(buffer_);
+        buffer_.clear();
+        return rest;
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
     }
-    size_t end = reply.find("\n\n");
-    return end == std::string::npos ? reply : reply.substr(0, end + 1);
+    size_t end = buffer_.find("\n\n");
+    std::string reply = buffer_.substr(0, end + 1);
+    buffer_.erase(0, end + 2);
+    return reply;
   }
 
   int fd() const { return fd_; }
 
  private:
   int fd_ = -1;
+  std::string buffer_;  // bytes received past the last returned reply
 };
 
 class ServerTest : public ::testing::Test {
@@ -195,6 +203,86 @@ TEST_F(ServerTest, StopIsIdempotentAndUnblocksClients) {
   (void)::send(client.fd(), data.data(), data.size(), MSG_NOSIGNAL);
   std::string reply = client.ReadReply();
   EXPECT_TRUE(reply.empty() || reply.rfind("ERROR", 0) == 0) << reply;
+}
+
+TEST_F(ServerTest, PipelinedStatementsInOneSendAnswerInOrder) {
+  TestClient client(server_->port());
+  std::string batch =
+      "SELECT COUNT(v) FROM s1\n"
+      "SELECT MIN_VALUE(v) FROM s1\n"
+      "SELECT MAX_VALUE(v) FROM s1\n";
+  ASSERT_EQ(::send(client.fd(), batch.data(), batch.size(), 0),
+            static_cast<ssize_t>(batch.size()));
+  EXPECT_NE(client.ReadReply().find("100"), std::string::npos);
+  EXPECT_NE(client.ReadReply().find(",0"), std::string::npos);
+  EXPECT_NE(client.ReadReply().find("99"), std::string::npos);
+}
+
+TEST_F(ServerTest, InsertOverTheWire) {
+  TestClient client(server_->port());
+  client.Send("INSERT INTO wired VALUES (10, 1.5), (20, 2.5), (30, -1)");
+  std::string reply = client.ReadReply();
+  EXPECT_NE(reply.find("series,points"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("wired,3"), std::string::npos) << reply;
+
+  // Inserted points buffer in the memtable; FLUSH makes them queryable.
+  client.Send("FLUSH wired");
+  EXPECT_NE(client.ReadReply().find("wired,flush,OK"), std::string::npos);
+  client.Send("SELECT COUNT(v) FROM wired");
+  EXPECT_NE(client.ReadReply().find("3"), std::string::npos);
+  client.Send("SELECT MAX_VALUE(v) FROM wired");
+  EXPECT_NE(client.ReadReply().find("2.5"), std::string::npos);
+
+  client.Send("INSERT INTO wired VALUES (1.5, 2)");  // non-integer timestamp
+  EXPECT_EQ(client.ReadReply().rfind("ERROR:", 0), 0u);
+}
+
+TEST_F(ServerTest, MaxConnectionsRejectsWithBusyError) {
+  TestClient a(server_->port());
+  a.Send("SET max_connections = 1");
+  EXPECT_NE(a.ReadReply().find("max_connections"), std::string::npos);
+
+  // `a` holds the only slot; the newcomer gets the in-band busy error.
+  TestClient b(server_->port());
+  EXPECT_EQ(b.ReadReply(), "ERROR: server busy\n");
+
+  a.Send("SET max_connections = 1024");  // restore for the other tests
+  EXPECT_NE(a.ReadReply().find("1024"), std::string::npos);
+}
+
+TEST_F(ServerTest, NetworkKnobsAreValidated) {
+  TestClient client(server_->port());
+  client.Send("SET listen_backlog = 0");
+  EXPECT_EQ(client.ReadReply().rfind("ERROR:", 0), 0u);
+  client.Send("SET listen_backlog = -5");
+  EXPECT_EQ(client.ReadReply().rfind("ERROR:", 0), 0u);
+  client.Send("SET listen_backlog = 2.5");
+  EXPECT_EQ(client.ReadReply().rfind("ERROR:", 0), 0u);
+  client.Send("SET listen_backlog = 128");
+  EXPECT_NE(client.ReadReply().find("listen_backlog,128"), std::string::npos);
+  client.Send("SET max_connections = 0");
+  EXPECT_EQ(client.ReadReply().rfind("ERROR:", 0), 0u);
+  EXPECT_EQ(db_->listen_backlog(), 128);
+}
+
+TEST(ServerLifecycleTest, ThreadPerConnModeServesTheSameProtocol) {
+  TempDir dir;
+  DatabaseConfig config;
+  config.root_dir = dir.path();
+  auto db = Database::Open(config);
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK((*db)->Write("s1", i, i * 1.0));
+  }
+  ASSERT_OK((*db)->FlushAll());
+  SqlServer server(db->get(), ServerMode::kThreadPerConn);
+  ASSERT_OK(server.Start(0));
+  TestClient client(server.port());
+  client.Send("SELECT COUNT(v) FROM s1");
+  EXPECT_NE(client.ReadReply().find("10"), std::string::npos);
+  client.Send("INSERT INTO s1 VALUES (100, 42)");
+  EXPECT_NE(client.ReadReply().find("s1,1"), std::string::npos);
+  server.Stop();
 }
 
 TEST(ServerLifecycleTest, StartTwiceRejected) {

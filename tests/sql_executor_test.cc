@@ -369,6 +369,50 @@ TEST_F(SqlExecutorTest, SetAdjustsRuntimeKnobs) {
   EXPECT_FALSE(ExecuteQuery(db_.get(), "SET parallelism", nullptr).ok());
 }
 
+TEST_F(SqlExecutorTest, InsertWritesPointsAndReportsCount) {
+  ResultSet result = MustQuery("INSERT INTO fresh VALUES (10, 1), (20, 2)");
+  EXPECT_EQ(result.columns(),
+            (std::vector<std::string>{"series", "points"}));
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(result.rows()[0][0], ResultSet::Cell(std::string("fresh")));
+  EXPECT_EQ(result.rows()[0][1], ResultSet::Cell(int64_t{2}));
+
+  // Inserted points buffer in the memtable like any write; FLUSH makes
+  // them visible to queries.
+  MustQuery("FLUSH fresh");
+  ResultSet count = MustQuery("SELECT COUNT(v) FROM fresh");
+  ASSERT_EQ(count.num_rows(), 1u);
+  EXPECT_EQ(count.rows()[0][1], ResultSet::Cell(int64_t{2}));
+
+  // Inserts into an existing series merge with its data (and invalidate the
+  // cached M4 results, same as Database::Write).
+  MustQuery("INSERT INTO s1 VALUES (2000, 42)");
+  MustQuery("FLUSH s1");
+  ResultSet max = MustQuery("SELECT MAX_VALUE(v) FROM s1 WHERE time = 2000");
+  ASSERT_EQ(max.num_rows(), 1u);
+  EXPECT_EQ(max.rows()[0][1], ResultSet::Cell(42.0));
+
+  // A bad series name fails without writing anything.
+  EXPECT_FALSE(
+      ExecuteQuery(db_.get(), "INSERT INTO 'a/b' VALUES (1, 2)", nullptr)
+          .ok());
+}
+
+TEST_F(SqlExecutorTest, SetNetworkKnobs) {
+  EXPECT_EQ(db_->max_connections(), 1024);
+  EXPECT_EQ(db_->listen_backlog(), 64);
+  MustQuery("SET max_connections = 8");
+  EXPECT_EQ(db_->max_connections(), 8);
+  MustQuery("SET listen_backlog = 256");
+  EXPECT_EQ(db_->listen_backlog(), 256);
+  EXPECT_FALSE(
+      ExecuteQuery(db_.get(), "SET max_connections = 0", nullptr).ok());
+  EXPECT_FALSE(
+      ExecuteQuery(db_.get(), "SET listen_backlog = 1.5", nullptr).ok());
+  EXPECT_EQ(db_->max_connections(), 8);
+  EXPECT_EQ(db_->listen_backlog(), 256);
+}
+
 // Every knob uses the same validation: zero, negative, and non-integer
 // values are rejected with the full knob catalog in the error, and the
 // rejected SET leaves the previous value in place.
@@ -385,6 +429,8 @@ TEST_F(SqlExecutorTest, SetRejectsBadValuesForEveryKnobWithoutMutating) {
        [&] { return double(db_->maintenance().memtable_flush_bytes()); }},
       {"compaction_files",
        [&] { return double(db_->maintenance().compaction_files()); }},
+      {"listen_backlog", [&] { return double(db_->listen_backlog()); }},
+      {"max_connections", [&] { return double(db_->max_connections()); }},
       {"parallelism", [&] { return double(db_->query_parallelism()); }},
       {"partition_interval_ms",
        [&] { return double(db_->partition_interval_ms()); }},

@@ -235,6 +235,44 @@ TEST(StatementParserTest, DumpTraceTakesAQuotedPath) {
       << status.ToString();
 }
 
+TEST(StatementParserTest, InsertParsesPointLists) {
+  ASSERT_OK_AND_ASSIGN(Statement stmt,
+                       ParseStatement("INSERT INTO s1 VALUES (10, 1.5)"));
+  ASSERT_TRUE(std::holds_alternative<InsertStatement>(stmt));
+  const auto& insert = std::get<InsertStatement>(stmt);
+  EXPECT_EQ(insert.series, "s1");
+  ASSERT_EQ(insert.points.size(), 1u);
+  EXPECT_EQ(insert.points[0].first, 10);
+  EXPECT_EQ(insert.points[0].second, 1.5);
+  EXPECT_TRUE(IsWriteStatement(stmt));
+
+  ASSERT_OK_AND_ASSIGN(
+      stmt, ParseStatement("insert into s2 values (1, -2), (2, 3e2)"));
+  const auto& multi = std::get<InsertStatement>(stmt);
+  EXPECT_EQ(multi.series, "s2");
+  ASSERT_EQ(multi.points.size(), 2u);
+  EXPECT_EQ(multi.points[0].first, 1);
+  EXPECT_EQ(multi.points[0].second, -2.0);
+  EXPECT_EQ(multi.points[1].first, 2);
+  EXPECT_EQ(multi.points[1].second, 300.0);
+}
+
+TEST(StatementParserTest, InsertRejectsMalformedInput) {
+  EXPECT_FALSE(ParseStatement("INSERT").ok());
+  EXPECT_FALSE(ParseStatement("INSERT INTO").ok());
+  EXPECT_FALSE(ParseStatement("INSERT INTO s1").ok());
+  EXPECT_FALSE(ParseStatement("INSERT INTO s1 VALUES").ok());
+  EXPECT_FALSE(ParseStatement("INSERT INTO s1 VALUES (1)").ok());
+  EXPECT_FALSE(ParseStatement("INSERT INTO s1 VALUES (1, 2").ok());
+  EXPECT_FALSE(ParseStatement("INSERT INTO s1 VALUES (1, 2),").ok());
+  EXPECT_FALSE(ParseStatement("INSERT INTO s1 VALUES (1, 2) extra").ok());
+  // Timestamps must be integers; values may be any number.
+  EXPECT_FALSE(ParseStatement("INSERT INTO s1 VALUES (1.5, 2)").ok());
+  Status status = ParseStatement("INSERT INTO s1 VALUES (1.5, 2)").status();
+  EXPECT_NE(status.ToString().find("integer timestamp"), std::string::npos)
+      << status.ToString();
+}
+
 TEST(StatementParserTest, SetSyntaxErrorNamesValidKnobs) {
   Status status = ParseStatement("SET parallelism =").status();
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);

@@ -7,6 +7,7 @@ Span names enter the tree three ways, all covered here:
   - obs::TraceSpan span(trace, "name")        -- phase spans
   - obs::Trace("name") / make_shared<obs::Trace>("name")  -- trace roots
   - TimedJob("name", ...)                     -- bg job phase spans
+  - node.Child("name")                        -- directly grafted nodes
 
 Usage: check_spans.py [repo_root]
 """
@@ -24,6 +25,7 @@ PATTERNS = [
     re.compile(r'Trace\s+\w+\(\s*"([a-z0-9_]+)"'),
     re.compile(r'Trace>\(\s*"([a-z0-9_]+)"', re.S),
     re.compile(r'TimedJob\(\s*"([a-z0-9_]+)"', re.S),
+    re.compile(r'\.Child\(\s*"([a-z0-9_]+)"', re.S),
 ]
 
 

@@ -36,6 +36,16 @@ for preset in "${presets[@]}"; do
   fi
 done
 
+# Same idea for the network subsystem: the event loop, worker pool, and
+# backpressure paths are where data races would live, so the net tests get
+# a dedicated standalone pass under tsan.
+for preset in "${presets[@]}"; do
+  if [ "$preset" = "tsan" ]; then
+    echo "=== [tsan] net subsystem ==="
+    ctest --preset tsan -L net --output-on-failure
+  fi
+done
+
 echo "=== metrics catalog lint ==="
 python3 tools/check_metrics.py
 

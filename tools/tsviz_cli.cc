@@ -14,13 +14,16 @@
 //   tsviz_cli sql     --db DIR "SELECT M4(v) FROM s GROUP BY SPANS(100)"
 //                     [--csv FILE]
 //   tsviz_cli compact --db DIR [--series NAME]
-//   tsviz_cli serve   --db DIR [--port N]        (line-protocol SQL server)
+//   tsviz_cli serve   --db DIR [--port N]        (line-protocol SQL server:
+//                     epoll event loop, pipelined statements, admission
+//                     control -- see docs/NETWORKING.md)
 //
 // Every subcommand also accepts --partition_interval_ms W: series created
 // by the invocation store their files in time-partitioned groups of width
 // W (existing series keep the width pinned in their partition.meta).
 //
 // The sql subcommand accepts every server statement, notably:
+//   INSERT INTO s VALUES (t, v)[, (t, v) ...]   ingest points through SQL
 //   FLUSH [series]                 persist memtables to data files
 //   COMPACT [series]               merge each partition's files into one
 //   SHOW METRICS                   Prometheus text exposition of all metrics
@@ -30,7 +33,8 @@
 //   SHOW PROFILE [RESET]           merged span trees from sampled traces
 //   DUMP TRACE '<path>'            export the recorder as Chrome trace JSON
 //   SET <knob> = <n>               runtime knobs: autoflush_bytes,
-//                                  compaction_files, page_cache_bytes,
+//                                  compaction_files, listen_backlog,
+//                                  max_connections, page_cache_bytes,
 //                                  parallelism, partition_interval_ms,
 //                                  result_cache_capacity, slow_query_millis,
 //                                  trace_sample_every, ttl_ms
@@ -104,6 +108,7 @@ int Usage() {
       "\n"
       "sql statements (tsviz_cli sql --db DIR \"<statement>\"):\n"
       "  SELECT M4(v) FROM s WHERE time >= a AND time < b GROUP BY SPANS(w)\n"
+      "  INSERT INTO s VALUES (t, v)[, (t, v) ...]\n"
       "  EXPLAIN [ANALYZE] SELECT ...   plan / traced run with stat: rows\n"
       "  FLUSH [series]                 persist memtables to data files\n"
       "  COMPACT [series]               merge partition files\n"
