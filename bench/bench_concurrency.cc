@@ -12,6 +12,14 @@
 // BENCH_concurrency.json summary into the working directory with the
 // headline ratio: event-loop over thread-per-connection throughput on the
 // mixed workload at the highest client count.
+//
+// A second axis (`--series N`, default 64) measures the sharded series
+// catalog: a mixed ingest+M4 workload spread round-robin over N series,
+// run against a 1-shard and a 16-shard database. Each cell records
+// throughput plus the `catalog_lock_wait_millis` delta (count = catalog
+// acquisitions, sum = pure contention wait) into the JSON's
+// "multi_series" section — on a single-core host the throughput gap
+// collapses, but the lock-wait column still shows what sharding removes.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -36,6 +44,7 @@
 #include "common/logging.h"
 #include "db/database.h"
 #include "harness.h"
+#include "obs/metrics.h"
 #include "server/server.h"
 
 namespace tsviz::bench {
@@ -181,6 +190,59 @@ void RunClient(int port, Workload load, double deadline_budget_ms,
   }
 }
 
+// One multi-series catalog cell: N clients spraying mixed ingest+M4 over
+// `num_series` series against a database with `shards` catalog shards.
+struct MultiSeriesCell {
+  size_t shards = 0;
+  int clients = 0;
+  uint64_t statements = 0;
+  uint64_t errors = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double stmts_per_sec = 0.0;
+  uint64_t lock_wait_count = 0;  // catalog lock acquisitions in the cell
+  double lock_wait_sum_ms = 0.0;  // contention wait accumulated in the cell
+};
+
+void RunMultiSeriesClient(int port, int client_id, int num_series,
+                          int64_t span_end, double deadline_budget_ms,
+                          ClientTally* tally) {
+  Client client(port);
+  if (!client.connected()) {
+    tally->connect_failed = true;
+    return;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(
+          static_cast<int64_t>(deadline_budget_ms * 1000));
+  uint64_t iter = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const int series =
+        static_cast<int>((iter + static_cast<uint64_t>(client_id)) %
+                         static_cast<uint64_t>(num_series));
+    std::string stmt;
+    if ((iter & 1) == 1) {
+      int64_t ts = g_ingest_ts.fetch_add(1, std::memory_order_relaxed);
+      stmt = "INSERT INTO m" + std::to_string(series) + " VALUES (" +
+             std::to_string(ts) + ", 1.0)";
+    } else {
+      stmt = "SELECT M4(v) FROM m" + std::to_string(series) +
+             " WHERE time >= 0 AND time < " + std::to_string(span_end) +
+             " GROUP BY SPANS(20)";
+    }
+    const auto start = std::chrono::steady_clock::now();
+    if (!client.Send(stmt)) break;
+    std::string reply = client.ReadReply();
+    const auto stop = std::chrono::steady_clock::now();
+    if (reply.empty()) break;
+    if (reply.rfind("ERROR:", 0) == 0) ++tally->errors;
+    tally->latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(stop - start).count());
+    ++iter;
+  }
+}
+
 double Percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
   size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size()));
@@ -200,7 +262,7 @@ std::string FormatRatio(double r) {
   return buf;
 }
 
-int Run() {
+int Run(int num_series) {
   const double scale = ScaleFromEnv();
   // 20k seeded points at the default 0.05 scale; TSVIZ_SCALE=1 reproduces a
   // 400k-point read target.
@@ -309,6 +371,92 @@ int Run() {
   std::error_code ec;
   fs::remove_all(root, ec);
 
+  // --- Multi-series catalog axis: 1 shard vs 16 shards -------------------
+  constexpr int kMultiSeriesClients = 16;
+  constexpr int kSeedPointsPerSeries = 400;
+  const int64_t span_end = kSeedPointsPerSeries * 10;
+  std::vector<MultiSeriesCell> multi_cells;
+  obs::Histogram& lock_wait = obs::GetHistogram("catalog_lock_wait_millis");
+  for (size_t shards : {size_t{1}, size_t{16}}) {
+    std::string multi_template =
+        (fs::temp_directory_path() / "tsviz_bench_conc_ms_XXXXXX").string();
+    std::vector<char> mbuf(multi_template.begin(), multi_template.end());
+    mbuf.push_back('\0');
+    if (::mkdtemp(mbuf.data()) == nullptr) {
+      std::fprintf(stderr, "mkdtemp failed\n");
+      return 1;
+    }
+    const std::string multi_root(mbuf.data());
+    DatabaseConfig multi_config;
+    multi_config.root_dir = multi_root;
+    multi_config.series_defaults.points_per_chunk = 200;
+    multi_config.series_defaults.memtable_flush_threshold = 4096;
+    multi_config.catalog_shards = shards;
+    auto multi_opened = Database::Open(multi_config);
+    if (!multi_opened.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   multi_opened.status().ToString().c_str());
+      return 1;
+    }
+    std::unique_ptr<Database> multi_db = std::move(multi_opened).value();
+    for (int s = 0; s < num_series; ++s) {
+      const std::string name = "m" + std::to_string(s);
+      for (int i = 0; i < kSeedPointsPerSeries; ++i) {
+        TSVIZ_CHECK(multi_db->Write(name, static_cast<int64_t>(i) * 10,
+                                    static_cast<double>(i % 97))
+                        .ok());
+      }
+    }
+    TSVIZ_CHECK(multi_db->FlushAll().ok());
+
+    SqlServer server(multi_db.get(), ServerMode::kEventLoop);
+    if (Status s = server.Start(0); !s.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const uint64_t wait_count_before = lock_wait.count();
+    const double wait_sum_before = lock_wait.sum();
+    std::vector<ClientTally> tallies(kMultiSeriesClients);
+    std::vector<std::thread> threads;
+    threads.reserve(kMultiSeriesClients);
+    const auto wall_start = std::chrono::steady_clock::now();
+    for (int c = 0; c < kMultiSeriesClients; ++c) {
+      threads.emplace_back(RunMultiSeriesClient, server.port(), c, num_series,
+                           span_end, kCellMillis * 2,
+                           &tallies[static_cast<size_t>(c)]);
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - wall_start)
+                               .count();
+    server.Stop();
+
+    MultiSeriesCell cell;
+    cell.shards = shards;
+    cell.clients = kMultiSeriesClients;
+    cell.lock_wait_count = lock_wait.count() - wait_count_before;
+    cell.lock_wait_sum_ms = lock_wait.sum() - wait_sum_before;
+    std::vector<double> all;
+    for (const ClientTally& t : tallies) {
+      if (t.connect_failed) ++cell.errors;
+      cell.errors += t.errors;
+      all.insert(all.end(), t.latencies_ms.begin(), t.latencies_ms.end());
+    }
+    std::sort(all.begin(), all.end());
+    cell.statements = all.size();
+    cell.p50_ms = Percentile(all, 0.50);
+    cell.p99_ms = Percentile(all, 0.99);
+    cell.stmts_per_sec =
+        wall_ms > 0.0
+            ? static_cast<double>(all.size()) * 1000.0 / wall_ms
+            : 0.0;
+    multi_cells.push_back(cell);
+
+    multi_db.reset();
+    std::error_code mec;
+    fs::remove_all(multi_root, mec);
+  }
+
   const unsigned cores = std::thread::hardware_concurrency();
   std::printf(
       "Concurrency: SQL-over-TCP, mode x workload x clients "
@@ -338,6 +486,21 @@ int Run() {
   std::printf("total in-band errors: %llu\n",
               static_cast<unsigned long long>(total_errors));
 
+  std::printf("\nMulti-series catalog axis (%d series, %d clients, "
+              "mixed ingest+M4):\n",
+              num_series, multi_cells.empty() ? 0 : multi_cells[0].clients);
+  ResultTable multi_table({"shards", "stmts", "errors", "p50_ms", "p99_ms",
+                           "stmts_per_sec", "lock_acqs", "lock_wait_ms"});
+  for (const MultiSeriesCell& c : multi_cells) {
+    multi_table.AddRow({std::to_string(c.shards),
+                        std::to_string(c.statements),
+                        std::to_string(c.errors), FormatMillis(c.p50_ms),
+                        FormatMillis(c.p99_ms), FormatRate(c.stmts_per_sec),
+                        std::to_string(c.lock_wait_count),
+                        FormatMillis(c.lock_wait_sum_ms)});
+  }
+  multi_table.Print();
+
   std::ofstream json("BENCH_concurrency.json");
   if (!json.good()) {
     std::fprintf(stderr, "cannot open BENCH_concurrency.json\n");
@@ -361,6 +524,23 @@ int Run() {
          << ", \"stmts_per_sec\": " << FormatRate(c.stmts_per_sec) << "}";
   }
   json << "\n  ],\n"
+       << "  \"multi_series\": {\"series\": " << num_series
+       << ", \"cells\": [";
+  for (size_t i = 0; i < multi_cells.size(); ++i) {
+    const MultiSeriesCell& c = multi_cells[i];
+    if (i > 0) json << ",";
+    json << "\n    {\"catalog_shards\": " << c.shards
+         << ", \"clients\": " << c.clients
+         << ", \"statements\": " << c.statements
+         << ", \"errors\": " << c.errors
+         << ", \"p50_ms\": " << FormatMillis(c.p50_ms)
+         << ", \"p99_ms\": " << FormatMillis(c.p99_ms)
+         << ", \"stmts_per_sec\": " << FormatRate(c.stmts_per_sec)
+         << ", \"catalog_lock_acquisitions\": " << c.lock_wait_count
+         << ", \"catalog_lock_wait_ms\": " << FormatMillis(c.lock_wait_sum_ms)
+         << "}";
+  }
+  json << "\n  ]},\n"
        << "  \"event_loop_over_thread_per_conn_mixed_" << max_clients
        << "_clients\": " << FormatRatio(ratio) << ",\n"
        << "  \"total_errors\": " << total_errors << "\n}\n";
@@ -374,4 +554,16 @@ int Run() {
 }  // namespace
 }  // namespace tsviz::bench
 
-int main() { return tsviz::bench::Run(); }
+int main(int argc, char** argv) {
+  int num_series = 64;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--series") == 0 && i + 1 < argc) {
+      num_series = std::atoi(argv[++i]);
+      if (num_series < 1) num_series = 1;
+    } else {
+      std::fprintf(stderr, "usage: %s [--series N]\n", argv[0]);
+      return 2;
+    }
+  }
+  return tsviz::bench::Run(num_series);
+}

@@ -182,67 +182,86 @@ size_t MaintenanceManager::Tick() {
   const int64_t ttl = ttl_.load();
   size_t enqueued = 0;
   double memtable_bytes_total = 0;
-  for (auto& [name, store] : catalog_->ListStoresForMaintenance()) {
-    const size_t mem_bytes = store->memtable_bytes();
-    memtable_bytes_total += static_cast<double>(mem_bytes);
-
-    if (flush_bytes > 0 && mem_bytes >= flush_bytes) {
-      ScheduleFlush(name, store);
-      ++enqueued;
-    }
-    // Evaluate every trigger before enqueueing anything: a worker may run
-    // the first job (and its chase compaction) while this tick is still
-    // inspecting the store, and decisions taken from the post-job state
-    // would drop triggers the pre-job state warranted.
-    const bool partitioned = store->partition_interval() > 0;
-    const TimeRange interval = store->DataInterval();
-    // Cheap snapshot pre-check: only enqueue when data actually sits
-    // below the watermark (ExpireTtl itself re-checks under its lock).
-    const bool want_ttl =
-        ttl > 0 && !interval.Empty() && interval.end >= kMinTimestamp + ttl &&
-        (interval.end - ttl > interval.start ||
-         (partitioned && store->CountFullyExpiredPartitions(ttl) > 0));
-    // Fully-expired flat files are reclaimed by a compaction chasing the
-    // expiry tombstone; fully-expired partitions are unlinked by the
-    // expiry job itself, so `want_ttl` already covers them.
-    const bool want_expiry_compact =
-        ttl > 0 && !partitioned && store->CountFullyExpiredFiles(ttl) > 0;
-    std::vector<int64_t> hot_partitions;
-    if (partitioned && compact_files > 0) {
-      // Per-partition trigger: a partition accumulating files compacts
-      // alone; cold partitions are never rewritten on its account.
-      // Named view: the range-init temporary would drop the state snapshot
-      // before the loop body runs (C++17 range-for lifetime rules).
-      const StoreView view = store->CurrentView();
-      for (const StorePartition& part : view.partitions()) {
-        if (part.files.size() >= compact_files) {
-          hot_partitions.push_back(part.index);
-        }
-      }
-    }
-    const size_t num_files = store->NumFiles();
-    const bool want_flat_compact =
-        want_expiry_compact ||
-        (!partitioned && compact_files > 0 && num_files >= compact_files) ||
-        (options_.compaction_overlap > 0 && num_files > 1 &&
-         store->OverlapFraction() >= options_.compaction_overlap);
-
-    if (want_ttl) {
-      // The expiry tombstone and the reclaim compaction are separate
-      // jobs; coalescing keeps each at most once in the queue.
-      ScheduleTtl(name, store, ttl);
-      ++enqueued;
-    }
-    for (int64_t index : hot_partitions) {
-      ScheduleCompactPartition(name, store, index);
-      ++enqueued;
-    }
-    if (want_flat_compact) {
-      ScheduleCompact(name, store);
-      ++enqueued;
+  // Shard-by-shard walk: each ListShardStoresForMaintenance snapshot takes
+  // one shard lock, so a tick over a large catalog never blocks lookups on
+  // more than one shard at a time. Per-store trigger semantics are
+  // unchanged from the single-map days.
+  const size_t num_shards = catalog_->NumMaintenanceShards();
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    for (auto& [name, store] :
+         catalog_->ListShardStoresForMaintenance(shard)) {
+      enqueued += TickStore(name, store, flush_bytes, compact_files, ttl,
+                            &memtable_bytes_total);
     }
   }
   MemtableBytesGauge().Set(memtable_bytes_total);
+  return enqueued;
+}
+
+size_t MaintenanceManager::TickStore(const std::string& name,
+                                     const std::shared_ptr<TsStore>& store,
+                                     size_t flush_bytes, size_t compact_files,
+                                     int64_t ttl,
+                                     double* memtable_bytes_total) {
+  size_t enqueued = 0;
+  const size_t mem_bytes = store->memtable_bytes();
+  *memtable_bytes_total += static_cast<double>(mem_bytes);
+
+  if (flush_bytes > 0 && mem_bytes >= flush_bytes) {
+    ScheduleFlush(name, store);
+    ++enqueued;
+  }
+  // Evaluate every trigger before enqueueing anything: a worker may run
+  // the first job (and its chase compaction) while this tick is still
+  // inspecting the store, and decisions taken from the post-job state
+  // would drop triggers the pre-job state warranted.
+  const bool partitioned = store->partition_interval() > 0;
+  const TimeRange interval = store->DataInterval();
+  // Cheap snapshot pre-check: only enqueue when data actually sits
+  // below the watermark (ExpireTtl itself re-checks under its lock).
+  const bool want_ttl =
+      ttl > 0 && !interval.Empty() && interval.end >= kMinTimestamp + ttl &&
+      (interval.end - ttl > interval.start ||
+       (partitioned && store->CountFullyExpiredPartitions(ttl) > 0));
+  // Fully-expired flat files are reclaimed by a compaction chasing the
+  // expiry tombstone; fully-expired partitions are unlinked by the
+  // expiry job itself, so `want_ttl` already covers them.
+  const bool want_expiry_compact =
+      ttl > 0 && !partitioned && store->CountFullyExpiredFiles(ttl) > 0;
+  std::vector<int64_t> hot_partitions;
+  if (partitioned && compact_files > 0) {
+    // Per-partition trigger: a partition accumulating files compacts
+    // alone; cold partitions are never rewritten on its account.
+    // Named view: the range-init temporary would drop the state snapshot
+    // before the loop body runs (C++17 range-for lifetime rules).
+    const StoreView view = store->CurrentView();
+    for (const StorePartition& part : view.partitions()) {
+      if (part.files.size() >= compact_files) {
+        hot_partitions.push_back(part.index);
+      }
+    }
+  }
+  const size_t num_files = store->NumFiles();
+  const bool want_flat_compact =
+      want_expiry_compact ||
+      (!partitioned && compact_files > 0 && num_files >= compact_files) ||
+      (options_.compaction_overlap > 0 && num_files > 1 &&
+       store->OverlapFraction() >= options_.compaction_overlap);
+
+  if (want_ttl) {
+    // The expiry tombstone and the reclaim compaction are separate
+    // jobs; coalescing keeps each at most once in the queue.
+    ScheduleTtl(name, store, ttl);
+    ++enqueued;
+  }
+  for (int64_t index : hot_partitions) {
+    ScheduleCompactPartition(name, store, index);
+    ++enqueued;
+  }
+  if (want_flat_compact) {
+    ScheduleCompact(name, store);
+    ++enqueued;
+  }
   return enqueued;
 }
 

@@ -56,6 +56,17 @@ class StoreCatalog {
   virtual ~StoreCatalog() = default;
   virtual std::vector<std::pair<std::string, std::shared_ptr<TsStore>>>
   ListStoresForMaintenance() = 0;
+
+  // Sharded catalogs expose per-shard iteration so a policy tick holds at
+  // most one shard's lock at a time instead of snapshotting the whole
+  // catalog at once. Defaults model a single shard holding everything, so
+  // unsharded implementations need not override.
+  virtual size_t NumMaintenanceShards() const { return 1; }
+  virtual std::vector<std::pair<std::string, std::shared_ptr<TsStore>>>
+  ListShardStoresForMaintenance(size_t shard) {
+    (void)shard;
+    return ListStoresForMaintenance();
+  }
 };
 
 // Drives the policy: a periodic "tick" job on the scheduler examines every
@@ -121,6 +132,13 @@ class MaintenanceManager {
   JobScheduler& scheduler() { return scheduler_; }
 
  private:
+  // One store's policy evaluation (flush/compaction/TTL triggers); returns
+  // the number of jobs enqueued and accumulates the memtable footprint.
+  size_t TickStore(const std::string& name,
+                   const std::shared_ptr<TsStore>& store, size_t flush_bytes,
+                   size_t compact_files, int64_t ttl,
+                   double* memtable_bytes_total);
+
   StoreCatalog* catalog_;
   const MaintenanceOptions options_;
   std::atomic<size_t> memtable_flush_bytes_;

@@ -1,0 +1,219 @@
+#include "db/catalog.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/stats.h"
+#include "obs/metrics.h"
+
+namespace tsviz {
+
+namespace {
+
+// Process default for DatabaseConfig::catalog_shards == 0; adjustable via
+// `SET catalog_shards` (applies at the next Database::Open).
+std::atomic<size_t> g_default_catalog_shards{16};
+
+constexpr size_t kMaxCatalogShards = 1024;
+
+// FNV-1a over the series name: deterministic across platforms (unlike
+// std::hash), so a test can pick series names that collide or spread.
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+obs::Histogram& LockWaitMillis() {
+  static obs::Histogram& h = obs::GetHistogram(
+      "catalog_lock_wait_millis",
+      "Time spent waiting for a contended catalog shard lock (uncontended "
+      "acquisitions record 0)");
+  return h;
+}
+obs::Counter& LookupsTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "catalog_lookups_total", "Series lookups against the sharded catalog");
+  return c;
+}
+obs::Counter& CreatesTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "catalog_creates_total", "Series inserted into the catalog");
+  return c;
+}
+obs::Counter& DropsTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "catalog_drops_total", "Series removed from the catalog");
+  return c;
+}
+obs::Gauge& SeriesOpen() {
+  static obs::Gauge& g = obs::GetGauge(
+      "catalog_series_open", "Series currently open across all catalogs");
+  return g;
+}
+obs::Gauge& ShardsGauge() {
+  static obs::Gauge& g = obs::GetGauge(
+      "catalog_shards",
+      "Shard count of the most recently opened catalog");
+  return g;
+}
+
+// Timed acquisitions: the uncontended try-lock path records a zero sample
+// without reading the clock, so the histogram's count is the acquisition
+// count and its sum is pure contention wait.
+void LockSharedTimed(std::shared_mutex& mutex) {
+  if (mutex.try_lock_shared()) {
+    LockWaitMillis().Observe(0.0);
+    return;
+  }
+  Timer timer;
+  mutex.lock_shared();
+  LockWaitMillis().Observe(timer.ElapsedMillis());
+}
+
+void LockExclusiveTimed(std::shared_mutex& mutex) {
+  if (mutex.try_lock()) {
+    LockWaitMillis().Observe(0.0);
+    return;
+  }
+  Timer timer;
+  mutex.lock();
+  LockWaitMillis().Observe(timer.ElapsedMillis());
+}
+
+}  // namespace
+
+size_t DefaultCatalogShards() {
+  return g_default_catalog_shards.load(std::memory_order_relaxed);
+}
+
+void SetDefaultCatalogShards(size_t shards) {
+  g_default_catalog_shards.store(
+      std::clamp<size_t>(shards, 1, kMaxCatalogShards),
+      std::memory_order_relaxed);
+}
+
+SeriesCatalog::SeriesCatalog(size_t shards) {
+  if (shards == 0) shards = DefaultCatalogShards();
+  shards = std::clamp<size_t>(shards, 1, kMaxCatalogShards);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  ShardsGauge().Set(static_cast<double>(shards));
+}
+
+size_t SeriesCatalog::ShardOf(const std::string& name) const {
+  return static_cast<size_t>(HashName(name) % shards_.size());
+}
+
+std::shared_ptr<TsStore> SeriesCatalog::Find(const std::string& name) const {
+  LookupsTotal().Inc();
+  const Shard& shard = shard_for(name);
+  LockSharedTimed(shard.mutex);
+  std::shared_lock<std::shared_mutex> lock(shard.mutex, std::adopt_lock);
+  auto it = shard.series.find(name);
+  return it == shard.series.end() ? nullptr : it->second;
+}
+
+Result<std::shared_ptr<TsStore>> SeriesCatalog::FindOrCreate(
+    const std::string& name,
+    const std::function<Result<std::unique_ptr<TsStore>>()>& factory,
+    bool* created) {
+  if (created != nullptr) *created = false;
+  if (std::shared_ptr<TsStore> existing = Find(name)) return existing;
+
+  // Build outside any lock: TsStore::Open reads the directory, replays the
+  // WAL, and may write a manifest — none of which should stall lookups of
+  // unrelated series on this shard. Two racing creators both build; the
+  // insert below picks one winner and the loser's store (opened on the same
+  // directory, read-only so far) is discarded.
+  TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<TsStore> built, factory());
+  std::shared_ptr<TsStore> store = std::move(built);
+
+  Shard& shard = shard_for(name);
+  LockExclusiveTimed(shard.mutex);
+  std::unique_lock<std::shared_mutex> lock(shard.mutex, std::adopt_lock);
+  auto [it, inserted] = shard.series.emplace(name, store);
+  if (!inserted) return it->second;  // lost the race; winner's store stands
+  CreatesTotal().Inc();
+  SeriesOpen().Add(1);
+  if (created != nullptr) *created = true;
+  return store;
+}
+
+void SeriesCatalog::Insert(const std::string& name,
+                           std::shared_ptr<TsStore> store) {
+  Shard& shard = shard_for(name);
+  LockExclusiveTimed(shard.mutex);
+  std::unique_lock<std::shared_mutex> lock(shard.mutex, std::adopt_lock);
+  auto [it, inserted] = shard.series.insert_or_assign(name, std::move(store));
+  (void)it;
+  if (inserted) {
+    CreatesTotal().Inc();
+    SeriesOpen().Add(1);
+  }
+}
+
+std::shared_ptr<TsStore> SeriesCatalog::Remove(const std::string& name) {
+  Shard& shard = shard_for(name);
+  LockExclusiveTimed(shard.mutex);
+  std::unique_lock<std::shared_mutex> lock(shard.mutex, std::adopt_lock);
+  auto it = shard.series.find(name);
+  if (it == shard.series.end()) return nullptr;
+  std::shared_ptr<TsStore> store = std::move(it->second);
+  shard.series.erase(it);
+  DropsTotal().Inc();
+  SeriesOpen().Add(-1);
+  return store;
+}
+
+std::vector<std::string> SeriesCatalog::ListNames() const {
+  std::vector<std::string> names;
+  for (const auto& shard : shards_) {
+    LockSharedTimed(shard->mutex);
+    std::shared_lock<std::shared_mutex> lock(shard->mutex, std::adopt_lock);
+    for (const auto& [name, store] : shard->series) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<TsStore>>>
+SeriesCatalog::ListAll() const {
+  std::vector<std::pair<std::string, std::shared_ptr<TsStore>>> out;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    auto shard = ListShard(i);
+    out.insert(out.end(), std::make_move_iterator(shard.begin()),
+               std::make_move_iterator(shard.end()));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<TsStore>>>
+SeriesCatalog::ListShard(size_t index) const {
+  std::vector<std::pair<std::string, std::shared_ptr<TsStore>>> out;
+  const Shard& shard = *shards_[index];
+  LockSharedTimed(shard.mutex);
+  std::shared_lock<std::shared_mutex> lock(shard.mutex, std::adopt_lock);
+  out.reserve(shard.series.size());
+  for (const auto& [name, store] : shard.series) out.emplace_back(name, store);
+  return out;
+}
+
+size_t SeriesCatalog::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    LockSharedTimed(shard->mutex);
+    std::shared_lock<std::shared_mutex> lock(shard->mutex, std::adopt_lock);
+    total += shard->series.size();
+  }
+  return total;
+}
+
+}  // namespace tsviz

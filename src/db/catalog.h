@@ -1,0 +1,115 @@
+#ifndef TSVIZ_DB_CATALOG_H_
+#define TSVIZ_DB_CATALOG_H_
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/store.h"
+
+namespace tsviz {
+
+// Process-wide default shard count used when DatabaseConfig::catalog_shards
+// is 0. `SET catalog_shards = n` updates it; like the shared page cache's
+// capacity it is process state, so the change applies to the next
+// Database::Open rather than to any catalog already built (a catalog cannot
+// re-hash its series while lookups run against it).
+size_t DefaultCatalogShards();
+void SetDefaultCatalogShards(size_t shards);
+
+// Sharded series catalog: the series map split into a fixed array of N
+// shards (FNV-1a hash of the series name -> shard), each with its own
+// reader-writer lock and std::map. Lookups, creates and drops touch exactly
+// one shard's lock, so ingest and query traffic over distinct series stops
+// serializing on a single database-wide mutex; cross-shard listings
+// (ListSeries, maintenance ticks) take one shard at a time and merge the
+// per-shard snapshots, never holding two locks at once.
+//
+// The hot GetSeries path is reader-friendly twice over: it takes the shard's
+// std::shared_mutex in shared mode (concurrent lookups on one shard never
+// exclude each other), and the uncontended acquisition is a try-lock that
+// skips the clock reads — only a contended acquisition measures its wait,
+// into the `catalog_lock_wait_millis` histogram that quantifies exactly the
+// serialization this structure removes.
+//
+// Thread-safe; stores are handed out as shared_ptr (or raw pointers whose
+// lifetime the caller bounds by the database) exactly like the pre-sharding
+// Database did.
+class SeriesCatalog {
+ public:
+  // `shards` is clamped to [1, 1024]; 0 uses DefaultCatalogShards().
+  explicit SeriesCatalog(size_t shards);
+
+  SeriesCatalog(const SeriesCatalog&) = delete;
+  SeriesCatalog& operator=(const SeriesCatalog&) = delete;
+
+  size_t num_shards() const { return shards_.size(); }
+
+  // The shard a series name routes to (exposed for per-shard iteration and
+  // tests).
+  size_t ShardOf(const std::string& name) const;
+
+  // Fast path: shared-lock lookup, nullptr when absent.
+  std::shared_ptr<TsStore> Find(const std::string& name) const;
+
+  // Finds `name`, or inserts the store built by `factory` (called without
+  // any shard lock held — store opening does disk I/O). Two concurrent
+  // creators of one name race benignly: both build, one wins the insert,
+  // the loser's store is discarded and `created` (optional) reports who won.
+  Result<std::shared_ptr<TsStore>> FindOrCreate(
+      const std::string& name,
+      const std::function<Result<std::unique_ptr<TsStore>>()>& factory,
+      bool* created = nullptr);
+
+  // Inserts without a factory (discovery at Open). Replaces any existing
+  // entry.
+  void Insert(const std::string& name, std::shared_ptr<TsStore> store);
+
+  // Removes and returns the entry, nullptr when absent.
+  std::shared_ptr<TsStore> Remove(const std::string& name);
+
+  // Sorted names across every shard (snapshot-merge: one shard lock at a
+  // time).
+  std::vector<std::string> ListNames() const;
+
+  // Every live (name, store) pair across all shards, sorted by name.
+  std::vector<std::pair<std::string, std::shared_ptr<TsStore>>> ListAll()
+      const;
+
+  // One shard's (name, store) pairs in that shard's map order — the
+  // per-shard maintenance iteration: a policy tick walks shard by shard and
+  // never holds more than one shard's lock.
+  std::vector<std::pair<std::string, std::shared_ptr<TsStore>>> ListShard(
+      size_t shard) const;
+
+  // Total series across all shards (sums per-shard sizes, one lock at a
+  // time; racy against concurrent creates, like any container size).
+  size_t size() const;
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::map<std::string, std::shared_ptr<TsStore>> series;
+  };
+
+  Shard& shard_for(const std::string& name) {
+    return *shards_[ShardOf(name)];
+  }
+  const Shard& shard_for(const std::string& name) const {
+    return *shards_[ShardOf(name)];
+  }
+
+  // unique_ptr keeps Shard addresses stable and sidesteps the
+  // non-movability of shared_mutex under vector growth.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace tsviz
+
+#endif  // TSVIZ_DB_CATALOG_H_

@@ -13,6 +13,17 @@ namespace tsviz {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+bool IsKnownSetKnob(const std::string& name) {
+  for (const char* knob : kSetKnobNames) {
+    if (name == knob) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 bool IsValidSeriesName(const std::string& name) {
   if (name.empty() || name.size() > 128) return false;
   if (name == "." || name == "..") return false;
@@ -51,14 +62,20 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseConfig config) {
 }
 
 Database::~Database() {
-  // Stop maintenance before the series map is torn down: no job may touch a
+  // Stop maintenance before the catalog is torn down: no job may touch a
   // store while the database destructs.
   if (maintenance_ != nullptr) maintenance_->Stop();
 }
 
 Status Database::ApplySetting(const std::string& name, double value) {
-  // Every rejection names the valid knobs, and fires before any state is
-  // touched — a bad SET never half-applies.
+  // Membership first: a name outside the X-macro catalog is rejected before
+  // any handler can see it, so a knob cannot be handled without being
+  // listed. Every rejection names the valid knobs, and fires before any
+  // state is touched — a bad SET never half-applies.
+  if (!IsKnownSetKnob(name)) {
+    return Status::InvalidArgument("unknown setting '" + name +
+                                   "'; valid knobs: " + kValidSetKnobs);
+  }
   const bool allows_zero =
       name == "durable_fsync" || name.rfind("faultfs_", 0) == 0 ||
       name == "trace_sample_every" || name == "slow_query_millis";
@@ -71,23 +88,16 @@ Status Database::ApplySetting(const std::string& name, double value) {
   }
   if (name == "durable_fsync") {
     const bool durable = value != 0;
-    {
-      std::lock_guard<std::mutex> lock(settings_mutex_);
-      config_.series_defaults.durable_fsync = durable;
-    }
+    durable_fsync_.store(durable, std::memory_order_relaxed);
     for (auto& [series_name, store] : ListStoresForMaintenance()) {
       store->set_durable_fsync(durable);
     }
     return Status::OK();
   }
   if (name.rfind("faultfs_", 0) == 0) {
-    // Strips the prefix and forwards to the fault-injection env; unknown
-    // field names come back here so the error lists the SQL-level knobs.
-    if (!SetFaultKnob(name.substr(8), static_cast<uint64_t>(value)).ok()) {
-      return Status::InvalidArgument("unknown setting '" + name +
-                                     "'; valid knobs: " + kValidSetKnobs);
-    }
-    return Status::OK();
+    // Strips the prefix and forwards to the fault-injection env. The
+    // membership check above already guarantees the field name is known.
+    return SetFaultKnob(name.substr(8), static_cast<uint64_t>(value));
   }
   if (name == "read_tolerance") {
     return Status::InvalidArgument(
@@ -96,8 +106,8 @@ Status Database::ApplySetting(const std::string& name, double value) {
         std::string(kValidSetKnobs));
   }
   if (name == "parallelism") {
-    std::lock_guard<std::mutex> lock(settings_mutex_);
-    query_parallelism_ = static_cast<int>(value);
+    query_parallelism_.store(static_cast<int>(value),
+                             std::memory_order_relaxed);
     return Status::OK();
   }
   if (name == "page_cache_bytes") {
@@ -107,6 +117,12 @@ Status Database::ApplySetting(const std::string& name, double value) {
   }
   if (name == "result_cache_capacity") {
     result_cache_.set_capacity(static_cast<size_t>(value));
+    return Status::OK();
+  }
+  if (name == "catalog_shards") {
+    // Process-wide default, consumed at the next Database::Open; the live
+    // catalog keeps its shard count (it cannot re-hash under lookups).
+    SetDefaultCatalogShards(static_cast<size_t>(value));
     return Status::OK();
   }
   if (name == "autoflush_bytes") {
@@ -146,13 +162,14 @@ Status Database::ApplySetting(const std::string& name, double value) {
   if (name == "partition_interval_ms") {
     // Applies to series created after this point; an existing series keeps
     // the interval pinned in its partition.meta manifest.
-    std::lock_guard<std::mutex> lock(settings_mutex_);
-    config_.series_defaults.partition_interval_ms =
-        static_cast<int64_t>(value);
+    partition_interval_ms_.store(static_cast<int64_t>(value),
+                                 std::memory_order_relaxed);
     return Status::OK();
   }
-  return Status::InvalidArgument("unknown setting '" + name +
-                                 "'; valid knobs: " + kValidSetKnobs);
+  // Listed in TSVIZ_SET_KNOBS but not handled above — the drift test
+  // exercises every listed knob, so this cannot ship silently.
+  return Status::Internal("setting '" + name +
+                          "' is listed but has no handler");
 }
 
 Status Database::ApplySetting(const std::string& name,
@@ -173,16 +190,25 @@ Status Database::ApplySetting(const std::string& name,
       kValidSetKnobs);
 }
 
+StoreConfig Database::CurrentSeriesDefaults() const {
+  StoreConfig store_config = config_.series_defaults;
+  store_config.partition_interval_ms =
+      partition_interval_ms_.load(std::memory_order_relaxed);
+  store_config.durable_fsync =
+      durable_fsync_.load(std::memory_order_relaxed);
+  return store_config;
+}
+
 Status Database::Discover() {
-  std::lock_guard<std::mutex> lock(series_mutex_);
   for (const auto& entry : fs::directory_iterator(config_.root_dir)) {
     if (!entry.is_directory()) continue;
     std::string name = entry.path().filename().string();
     if (!IsValidSeriesName(name)) continue;
-    StoreConfig store_config = config_.series_defaults;
+    StoreConfig store_config = CurrentSeriesDefaults();
     store_config.data_dir = entry.path().string();
-    TSVIZ_ASSIGN_OR_RETURN(series_[name],
+    TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<TsStore> store,
                            TsStore::Open(std::move(store_config)));
+    catalog_.Insert(name, std::move(store));
   }
   return Status::OK();
 }
@@ -191,73 +217,62 @@ Result<TsStore*> Database::GetOrCreateSeries(const std::string& name) {
   if (!IsValidSeriesName(name)) {
     return Status::InvalidArgument("invalid series name: " + name);
   }
-  std::lock_guard<std::mutex> lock(series_mutex_);
-  auto it = series_.find(name);
-  if (it == series_.end()) {
-    StoreConfig store_config;
-    {
-      // series_defaults is runtime-mutable (SET partition_interval_ms);
-      // copy it under the settings lock.
-      std::lock_guard<std::mutex> settings_lock(settings_mutex_);
-      store_config = config_.series_defaults;
-    }
-    store_config.data_dir = config_.root_dir + "/" + name;
-    TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<TsStore> store,
-                           TsStore::Open(std::move(store_config)));
-    it = series_.emplace(name, std::move(store)).first;
-  }
-  return it->second.get();
+  TSVIZ_ASSIGN_OR_RETURN(
+      std::shared_ptr<TsStore> store,
+      catalog_.FindOrCreate(name, [this, &name] {
+        StoreConfig store_config = CurrentSeriesDefaults();
+        store_config.data_dir = config_.root_dir + "/" + name;
+        return TsStore::Open(std::move(store_config));
+      }));
+  // The raw pointer stays valid until DropSeries: the catalog keeps its own
+  // shared_ptr reference — same contract as before sharding.
+  return store.get();
 }
 
 Result<TsStore*> Database::GetSeries(const std::string& name) {
-  std::lock_guard<std::mutex> lock(series_mutex_);
-  auto it = series_.find(name);
-  if (it == series_.end()) {
+  std::shared_ptr<TsStore> store = catalog_.Find(name);
+  if (store == nullptr) {
     return Status::NotFound("no such series: " + name);
   }
-  return it->second.get();
+  return store.get();
 }
 
 Result<std::shared_ptr<TsStore>> Database::GetSeriesShared(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(series_mutex_);
-  auto it = series_.find(name);
-  if (it == series_.end()) {
+  std::shared_ptr<TsStore> store = catalog_.Find(name);
+  if (store == nullptr) {
     return Status::NotFound("no such series: " + name);
   }
-  return it->second;
+  return store;
 }
 
 std::vector<std::string> Database::ListSeries() const {
-  std::lock_guard<std::mutex> lock(series_mutex_);
-  std::vector<std::string> names;
-  names.reserve(series_.size());
-  for (const auto& [name, store] : series_) names.push_back(name);
-  return names;
+  return catalog_.ListNames();
 }
 
 std::vector<std::pair<std::string, std::shared_ptr<TsStore>>>
 Database::ListStoresForMaintenance() {
-  std::lock_guard<std::mutex> lock(series_mutex_);
-  std::vector<std::pair<std::string, std::shared_ptr<TsStore>>> out;
-  out.reserve(series_.size());
-  for (const auto& [name, store] : series_) out.emplace_back(name, store);
-  return out;
+  return catalog_.ListAll();
+}
+
+size_t Database::NumMaintenanceShards() const {
+  return catalog_.num_shards();
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<TsStore>>>
+Database::ListShardStoresForMaintenance(size_t shard) {
+  return catalog_.ListShard(shard);
 }
 
 Status Database::DropSeries(const std::string& name) {
-  std::shared_ptr<TsStore> store;
-  {
-    std::lock_guard<std::mutex> lock(series_mutex_);
-    auto it = series_.find(name);
-    if (it == series_.end()) {
-      return Status::NotFound("no such series: " + name);
-    }
-    store = std::move(it->second);
-    series_.erase(it);  // no new maintenance job can pick the series up
+  std::shared_ptr<TsStore> store = catalog_.Remove(name);
+  if (store == nullptr) {
+    return Status::NotFound("no such series: " + name);
   }
-  // Wait out any job already running against the store, then release the
-  // last reference so its files close before the directory is removed.
+  // The catalog no longer hands the series out, so no new maintenance job
+  // can pick it up. Wait out any job already running against the store,
+  // then release the last reference so its files close before the
+  // directory is removed.
   if (maintenance_ != nullptr) maintenance_->Quiesce(name);
   store.reset();
   std::error_code ec;
@@ -286,6 +301,12 @@ Status Database::CompactAll() {
 Status Database::Write(const std::string& series, Timestamp t, Value v) {
   TSVIZ_ASSIGN_OR_RETURN(TsStore * store, GetOrCreateSeries(series));
   return store->Write(t, v);
+}
+
+Status Database::WriteBatch(const std::string& series,
+                            const std::vector<Point>& points) {
+  TSVIZ_ASSIGN_OR_RETURN(TsStore * store, GetOrCreateSeries(series));
+  return store->WriteBatch(points);
 }
 
 Status Database::DeleteRange(const std::string& series,

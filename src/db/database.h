@@ -2,9 +2,7 @@
 #define TSVIZ_DB_DATABASE_H_
 
 #include <atomic>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -12,6 +10,7 @@
 
 #include "bg/maintenance.h"
 #include "common/status.h"
+#include "db/catalog.h"
 #include "m4/cache.h"
 #include "m4/m4_lsm.h"
 #include "m4/m4_types.h"
@@ -20,16 +19,58 @@
 
 namespace tsviz {
 
-// The runtime knobs ApplySetting accepts, in the order error messages list
-// them. Shared with the SQL layer so parser errors and executor errors
-// agree on the catalog.
-inline constexpr char kValidSetKnobs[] =
-    "autoflush_bytes, compaction_files, durable_fsync, faultfs_eio_every, "
-    "faultfs_fsync_fail_every, faultfs_seed, faultfs_short_read_every, "
-    "faultfs_torn_append_every, listen_backlog, max_connections, "
-    "page_cache_bytes, parallelism, partition_interval_ms, read_tolerance, "
-    "recorder_capacity_bytes, result_cache_capacity, slow_query_millis, "
-    "trace_sample_every, ttl_ms";
+// The runtime knobs `SET <name> = <value>` accepts, alphabetically. Single
+// source of truth: this X-macro generates both the error-message catalog
+// (kValidSetKnobs) and the name table (kSetKnobNames) that ApplySetting
+// validates against and the drift test iterates — a new knob added here is
+// automatically part of the error message, the membership check, and the
+// test; a knob handled in ApplySetting but missing here is rejected before
+// its handler can run.
+#define TSVIZ_SET_KNOBS(X)      \
+  X(autoflush_bytes)            \
+  X(catalog_shards)             \
+  X(compaction_files)           \
+  X(durable_fsync)              \
+  X(faultfs_eio_every)          \
+  X(faultfs_fsync_fail_every)   \
+  X(faultfs_seed)               \
+  X(faultfs_short_read_every)   \
+  X(faultfs_torn_append_every)  \
+  X(listen_backlog)             \
+  X(max_connections)            \
+  X(page_cache_bytes)           \
+  X(parallelism)                \
+  X(partition_interval_ms)      \
+  X(read_tolerance)             \
+  X(recorder_capacity_bytes)    \
+  X(result_cache_capacity)      \
+  X(slow_query_millis)          \
+  X(trace_sample_every)         \
+  X(ttl_ms)
+
+inline constexpr const char* kSetKnobNames[] = {
+#define TSVIZ_SET_KNOB_NAME(knob) #knob,
+    TSVIZ_SET_KNOBS(TSVIZ_SET_KNOB_NAME)
+#undef TSVIZ_SET_KNOB_NAME
+};
+
+inline constexpr size_t kNumSetKnobs =
+    sizeof(kSetKnobNames) / sizeof(kSetKnobNames[0]);
+
+namespace internal {
+// ", knob1, knob2, ..." — the comma-first form concatenates at compile time;
+// kValidSetKnobs skips the leading separator.
+inline constexpr char kValidSetKnobsWithLeadingSep[] =
+#define TSVIZ_SET_KNOB_JOIN(knob) ", " #knob
+    TSVIZ_SET_KNOBS(TSVIZ_SET_KNOB_JOIN)
+#undef TSVIZ_SET_KNOB_JOIN
+    ;
+}  // namespace internal
+
+// The knob catalog as error messages list it. Shared with the SQL layer so
+// parser errors and executor errors agree.
+inline constexpr const char* kValidSetKnobs =
+    internal::kValidSetKnobsWithLeadingSep + 2;
 
 struct DatabaseConfig {
   // Root directory; each series lives in its own subdirectory.
@@ -51,6 +92,12 @@ struct DatabaseConfig {
   // cache at open. Runtime override: `SET page_cache_bytes = n`.
   std::optional<size_t> page_cache_bytes;
 
+  // Series-catalog shard count; 0 uses the process default
+  // (DefaultCatalogShards(), runtime-adjustable via `SET catalog_shards`,
+  // which applies at the next Open — a live catalog cannot re-hash under
+  // concurrent lookups). Clamped to [1, 1024].
+  size_t catalog_shards = 0;
+
   // Background maintenance policy (auto-flush, triggered compaction, TTL).
   // The manager exists either way — SHOW JOBS and the runtime knobs always
   // work — but the policy loop only runs between StartMaintenance and
@@ -63,9 +110,12 @@ struct DatabaseConfig {
 // IoTDB manages one chunk stream per (device, measurement) path — while each
 // series keeps the single-series semantics the paper defines.
 //
-// Thread-safe: the series map is guarded by a mutex, stores are internally
-// synchronized, and background maintenance jobs hold shared_ptr references
-// so DropSeries cannot pull a store out from under a running job.
+// Thread-safe: the series map is a SeriesCatalog (N shards, each with its
+// own reader-writer lock), stores are internally synchronized, and
+// background maintenance jobs hold shared_ptr references so DropSeries
+// cannot pull a store out from under a running job. Runtime settings read
+// on hot paths (query_parallelism, partition_interval_ms, durable_fsync)
+// are relaxed atomics — no per-query lock.
 class Database : public bg::StoreCatalog {
  public:
   static Result<std::unique_ptr<Database>> Open(DatabaseConfig config);
@@ -79,14 +129,16 @@ class Database : public bg::StoreCatalog {
   // restricted to [A-Za-z0-9_.-] (they become directory names).
   Result<TsStore*> GetOrCreateSeries(const std::string& name);
 
-  // The store for an existing series; kNotFound if absent.
+  // The store for an existing series; kNotFound if absent. Hot path: one
+  // shard's shared lock, concurrent with every other shard and with other
+  // readers of the same shard.
   Result<TsStore*> GetSeries(const std::string& name);
 
   // Shared-ownership variant for callers that must outlive a concurrent
   // DropSeries (background jobs, long scans).
   Result<std::shared_ptr<TsStore>> GetSeriesShared(const std::string& name);
 
-  // Sorted list of series names.
+  // Sorted list of series names (snapshot-merged across shards).
   std::vector<std::string> ListSeries() const;
 
   // Removes a series and its on-disk data, after quiescing its background
@@ -102,6 +154,13 @@ class Database : public bg::StoreCatalog {
   // Convenience write/delete/query forwarding to the named series
   // (creating it for writes).
   Status Write(const std::string& series, Timestamp t, Value v);
+
+  // Batched ingest: all `points` land in the named series under one store
+  // lock acquisition and one WAL write (TsStore::WriteBatch). All-or-
+  // nothing validation; empty batch is a no-op.
+  Status WriteBatch(const std::string& series,
+                    const std::vector<Point>& points);
+
   Status DeleteRange(const std::string& series, const TimeRange& range);
   Result<M4Result> QueryM4(const std::string& series, const M4Query& query,
                            QueryStats* stats,
@@ -115,6 +174,7 @@ class Database : public bg::StoreCatalog {
   // with kInvalidArgument listing the valid knobs, without mutating any
   // state. `partition_interval_ms` applies to series created after the
   // SET; existing series keep the interval pinned in their partition.meta.
+  // `catalog_shards` updates the process default, consumed at next Open.
   Status ApplySetting(const std::string& name, double value);
 
   // Bare-word knobs: `SET read_tolerance = degrade|strict`. Numeric knobs
@@ -123,8 +183,7 @@ class Database : public bg::StoreCatalog {
 
   // The partition interval newly created series will use.
   int64_t partition_interval_ms() const {
-    std::lock_guard<std::mutex> lock(settings_mutex_);
-    return config_.series_defaults.partition_interval_ms;
+    return partition_interval_ms_.load(std::memory_order_relaxed);
   }
 
   // Background maintenance lifecycle; the server binds these to its own
@@ -134,15 +193,23 @@ class Database : public bg::StoreCatalog {
   bg::MaintenanceManager& maintenance() { return *maintenance_; }
 
   // bg::StoreCatalog: every live series, as shared_ptrs that keep the
-  // stores alive for the duration of a maintenance job.
+  // stores alive for the duration of a maintenance job. The per-shard
+  // variants let the policy tick walk shard by shard, holding at most one
+  // shard's lock at a time.
   std::vector<std::pair<std::string, std::shared_ptr<TsStore>>>
   ListStoresForMaintenance() override;
+  size_t NumMaintenanceShards() const override;
+  std::vector<std::pair<std::string, std::shared_ptr<TsStore>>>
+  ListShardStoresForMaintenance(size_t shard) override;
+
+  // The sharded series catalog (exposed for tests and SHOW-style tooling).
+  const SeriesCatalog& catalog() const { return catalog_; }
+  size_t catalog_shards() const { return catalog_.num_shards(); }
 
   // The M4 result cache shared by every SELECT against this database.
   M4QueryCache& result_cache() { return result_cache_; }
   int query_parallelism() const {
-    std::lock_guard<std::mutex> lock(settings_mutex_);
-    return query_parallelism_;
+    return query_parallelism_.load(std::memory_order_relaxed);
   }
 
   // Network admission cap (`SET max_connections`): the server evaluates it
@@ -162,20 +229,27 @@ class Database : public bg::StoreCatalog {
   explicit Database(DatabaseConfig config)
       : config_(std::move(config)),
         query_parallelism_(config_.query_parallelism),
-        result_cache_(config_.m4_result_cache_capacity) {}
+        partition_interval_ms_(config_.series_defaults.partition_interval_ms),
+        durable_fsync_(config_.series_defaults.durable_fsync),
+        result_cache_(config_.m4_result_cache_capacity),
+        catalog_(config_.catalog_shards) {}
 
   Status Discover();
 
+  // config_.series_defaults with the runtime-adjustable fields
+  // (partition_interval_ms, durable_fsync) read from their atomics.
+  StoreConfig CurrentSeriesDefaults() const;
+
   DatabaseConfig config_;
-  // Guards query_parallelism_ and the runtime-adjustable parts of
-  // config_.series_defaults (partition_interval_ms).
-  mutable std::mutex settings_mutex_;
-  int query_parallelism_;
+  // Hot-path settings: SELECT reads query_parallelism_ and series creation
+  // reads partition_interval_ms_/durable_fsync_ without any lock.
+  std::atomic<int> query_parallelism_;
+  std::atomic<int64_t> partition_interval_ms_;
+  std::atomic<bool> durable_fsync_;
   std::atomic<int> max_connections_{1024};
   std::atomic<int> listen_backlog_{64};
   M4QueryCache result_cache_;
-  mutable std::mutex series_mutex_;  // guards series_
-  std::map<std::string, std::shared_ptr<TsStore>> series_;
+  SeriesCatalog catalog_;
   std::unique_ptr<bg::MaintenanceManager> maintenance_;
 };
 

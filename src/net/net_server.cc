@@ -99,6 +99,13 @@ obs::Histogram& QueueWaitMillis() {
       "Time a request waited in the bounded queue before a worker ran it");
   return h;
 }
+obs::Counter& BatchedStatementsTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "batch_net_accumulated_total",
+      "Statements appended to a batched net work item beyond its first "
+      "(worker-side batch accumulation)");
+  return c;
+}
 
 }  // namespace
 
@@ -254,14 +261,49 @@ void NetServer::WorkerThread() {
   WorkItem item;
   while (queue_.Pop(&item)) {
     QueueDepth().Add(-1);
-    Request request;
-    request.line = std::move(item.line);
-    request.queue_wait_millis = NowMillis() - item.enqueued_at_millis;
-    QueueWaitMillis().Observe(request.queue_wait_millis);
-    Response response = handler_(request);
+    const double queue_wait_millis = NowMillis() - item.enqueued_at_millis;
+    QueueWaitMillis().Observe(queue_wait_millis);
+
+    Completion completion;
+    completion.conn_id = item.conn_id;
+    if (item.lines.size() > 1 && options_.batch_handler) {
+      // Batched item: one handler invocation answers the whole run. The
+      // handler returns one Response per request; a close stops delivery
+      // of anything after it (the connection is going away).
+      std::vector<Request> requests;
+      requests.reserve(item.lines.size());
+      for (std::string& line : item.lines) {
+        Request request;
+        request.line = std::move(line);
+        request.queue_wait_millis = queue_wait_millis;
+        requests.push_back(std::move(request));
+      }
+      std::vector<Response> responses = options_.batch_handler(requests);
+      for (Response& response : responses) {
+        completion.payload += response.payload;
+        ++completion.requests;
+        if (response.close) {
+          completion.close = true;
+          break;
+        }
+      }
+    } else {
+      for (std::string& line : item.lines) {
+        Request request;
+        request.line = std::move(line);
+        request.queue_wait_millis = queue_wait_millis;
+        Response response = handler_(request);
+        completion.payload += response.payload;
+        ++completion.requests;
+        if (response.close) {
+          completion.close = true;
+          break;
+        }
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(completions_mutex_);
-      completions_.push_back({item.conn_id, std::move(response)});
+      completions_.push_back(std::move(completion));
     }
     uint64_t one = 1;
     ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
@@ -418,9 +460,24 @@ void NetServer::MaybeDispatch(Connection* conn) {
     }
     WorkItem item;
     item.conn_id = conn->id;
-    item.line = std::move(conn->pending.front());
+    item.lines.push_back(std::move(conn->pending.front()));
     conn->pending.pop_front();
+    // Batch accumulation: extend the item with the run of consecutive
+    // batchable statements already parsed for this connection. The batch
+    // handler preserves per-statement replies, so observable behavior
+    // matches one-at-a-time dispatch minus the per-statement round trips.
+    if (options_.batchable && options_.batch_handler &&
+        options_.batchable(item.lines.front())) {
+      while (item.lines.size() < options_.max_batch &&
+             !conn->pending.empty() &&
+             options_.batchable(conn->pending.front())) {
+        item.lines.push_back(std::move(conn->pending.front()));
+        conn->pending.pop_front();
+        BatchedStatementsTotal().Inc();
+      }
+    }
     item.enqueued_at_millis = NowMillis();
+    const size_t item_statements = item.lines.size();
     if (queue_.TryPush(std::move(item))) {
       QueueDepth().Add(1);
       conn->executing = true;  // one in flight keeps responses in order
@@ -428,9 +485,12 @@ void NetServer::MaybeDispatch(Connection* conn) {
     }
     // Queue full: shed with a fast in-band error instead of stalling the
     // loop or queueing unboundedly. In-order because it answers exactly
-    // the request that would have been next.
-    RequestsShedTotal().Inc();
-    AppendOutput(conn, options_.shed_reply);
+    // the requests that would have been next (every statement of a shed
+    // batch gets its own reply).
+    RequestsShedTotal().Inc(item_statements);
+    for (size_t i = 0; i < item_statements; ++i) {
+      AppendOutput(conn, options_.shed_reply);
+    }
   }
 }
 
@@ -445,11 +505,11 @@ void NetServer::DrainCompletions() {
     if (it == conns_.end()) continue;  // connection closed mid-flight
     Connection* conn = it->second.get();
     conn->executing = false;
-    ++conn->requests;
-    if (!completion.response.payload.empty()) {
-      AppendOutput(conn, completion.response.payload);
+    conn->requests += completion.requests;
+    if (!completion.payload.empty()) {
+      AppendOutput(conn, completion.payload);
     }
-    if (completion.response.close) {
+    if (completion.close) {
       conn->want_close = true;
       conn->pending.clear();
     }

@@ -57,6 +57,13 @@ struct Response {
 // Executed on a worker thread, never on the event loop.
 using Handler = std::function<Response(const Request&)>;
 
+// Batch variant: a burst of consecutive requests from one connection,
+// dispatched to a worker as one unit. Must return exactly one Response per
+// request, in order; responses after the first `close == true` are ignored
+// (the connection is closing). Executed on a worker thread.
+using BatchHandler =
+    std::function<std::vector<Response>(const std::vector<Request>&)>;
+
 struct NetServerOptions {
   int listen_backlog = 64;
 
@@ -81,6 +88,21 @@ struct NetServerOptions {
   // SO_SNDBUF for accepted sockets; 0 keeps the kernel default. Tests
   // shrink it to make slow-reader backpressure deterministic.
   int sndbuf_bytes = 0;
+
+  // Worker-side batch accumulation. When both hooks are set, a run of
+  // consecutive pending statements for which `batchable` returns true
+  // (evaluated on the event loop — keep it a cheap prefix check) is
+  // dispatched to a worker as ONE work item and executed via
+  // `batch_handler`, which owns cross-statement coalescing (e.g. many
+  // single-point INSERTs into one store write). In-order replies and the
+  // one-item-in-flight-per-connection invariant are unchanged; a shed
+  // batch sheds every statement it carried, each with its own shed_reply.
+  // Unset (the default), dispatch is strictly one statement per item.
+  std::function<bool(const std::string& line)> batchable;
+  BatchHandler batch_handler;
+
+  // Statements one batched work item may carry.
+  size_t max_batch = 128;
 
   std::string busy_reply = "ERROR: server busy\n\n";
   std::string shed_reply = "ERROR: server overloaded, request queue full\n\n";
@@ -116,13 +138,17 @@ class NetServer {
 
   struct WorkItem {
     uint64_t conn_id = 0;
-    std::string line;
+    // One statement per entry; more than one only when the batch hooks
+    // accumulated a run. All entries execute on one worker invocation.
+    std::vector<std::string> lines;
     double enqueued_at_millis = 0;  // loop-relative steady clock
   };
 
   struct Completion {
     uint64_t conn_id = 0;
-    Response response;
+    std::string payload;    // per-statement payloads concatenated in order
+    uint64_t requests = 0;  // statements this completion answers
+    bool close = false;     // a statement asked to close the connection
   };
 
   void LoopThread();

@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 
@@ -39,6 +40,22 @@ obs::Counter& ConnectionsCounter() {
   static obs::Counter& counter = obs::GetCounter(
       "server_connections_total", "Client connections accepted");
   return counter;
+}
+
+// The event loop's batch predicate: a cheap prefix check for INSERT (any
+// case, leading whitespace allowed). Runs on the loop thread for every
+// pending statement, so no parsing here — the worker-side batch executor
+// handles whatever actually arrives.
+bool LooksLikeInsert(const std::string& line) {
+  const size_t start = line.find_first_not_of(" \t");
+  if (start == std::string::npos || line.size() - start < 6) return false;
+  static constexpr char kInsert[] = "insert";
+  for (size_t i = 0; i < 6; ++i) {
+    const char c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(line[start + i])));
+    if (c != kInsert[i]) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -88,6 +105,52 @@ SqlServer::Reply SqlServer::ExecuteLine(const std::string& line,
   return Reply{std::move(reply), /*close=*/false};
 }
 
+std::vector<net::Response> SqlServer::ExecuteBatch(
+    const std::vector<net::Request>& requests) {
+  static obs::Counter& queries = obs::GetCounter(
+      "server_queries_total", "SQL statements executed");
+  static obs::Counter& errors = obs::GetCounter(
+      "server_query_errors_total", "SQL statements that returned an error");
+  static obs::Histogram& query_millis = obs::GetHistogram(
+      "server_query_millis", "Per-statement latency as seen by the server");
+
+  std::vector<std::string> lines;
+  lines.reserve(requests.size());
+  for (const net::Request& request : requests) lines.push_back(request.line);
+  sql::RecordContext context;
+  context.net_queue_wait_millis =
+      requests.empty() ? -1.0 : requests.front().queue_wait_millis;
+
+  Timer timer;
+  std::vector<Result<sql::ResultSet>> results;
+  {
+    // Every line in the burst matched the INSERT prefix predicate — all
+    // writes — so one write_mutex_ hold covers the whole batch (a
+    // stray non-write line would just execute under the lock, harmlessly).
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    results = sql::ExecuteInsertBatch(db_, lines, context);
+  }
+  const double per_statement_millis =
+      results.empty() ? 0.0 : timer.ElapsedMillis() / results.size();
+
+  std::vector<net::Response> responses;
+  responses.reserve(results.size());
+  for (Result<sql::ResultSet>& result : results) {
+    queries.Inc();
+    std::string payload;
+    if (result.ok()) {
+      payload = result->ToCsv();
+    } else {
+      errors.Inc();
+      payload = "ERROR: " + result.status().ToString() + "\n";
+    }
+    payload += "\n";  // blank-line terminator
+    query_millis.Observe(per_statement_millis);
+    responses.push_back(net::Response{std::move(payload), /*close=*/false});
+  }
+  return responses;
+}
+
 void SqlServer::RecordConnectionOpened() {
   ConnectionsCounter().Inc();
   obs::RecordedEvent event;
@@ -120,6 +183,14 @@ Status SqlServer::Start(int port) {
     options.on_open = [this] { RecordConnectionOpened(); };
     options.on_close = [this](uint64_t requests, double millis) {
       RecordConnectionClosed(requests, millis);
+    };
+    // Worker-side batch accumulation: consecutive pipelined INSERTs ride
+    // one work item and coalesce into batched store writes.
+    options.batchable = [](const std::string& line) {
+      return LooksLikeInsert(line);
+    };
+    options.batch_handler = [this](const std::vector<net::Request>& batch) {
+      return ExecuteBatch(batch);
     };
     auto server = std::make_unique<net::NetServer>(
         std::move(options), [this](const net::Request& request) {

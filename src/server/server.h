@@ -81,6 +81,15 @@ class SqlServer {
   // `queue_wait_millis` < 0 means the statement never sat in a queue.
   Reply ExecuteLine(const std::string& line, double queue_wait_millis);
 
+  // Batch path for the event loop's worker-side accumulation: a burst of
+  // consecutive INSERT-shaped lines from one connection, executed under a
+  // single write_mutex_ hold with runs of single-point INSERTs to the same
+  // series coalesced into one store write (sql::ExecuteInsertBatch).
+  // Returns one in-order Response per line, each formatted exactly as
+  // ExecuteLine would have.
+  std::vector<net::Response> ExecuteBatch(
+      const std::vector<net::Request>& requests);
+
   void RecordConnectionOpened();
   void RecordConnectionClosed(uint64_t statements, double millis);
 

@@ -607,8 +607,16 @@ Result<ResultSet> ExecuteStatement(Database* db, const Statement& statement,
   }
   if (const InsertStatement* insert =
           std::get_if<InsertStatement>(&statement)) {
-    for (const auto& [t, v] : insert->points) {
-      TSVIZ_RETURN_IF_ERROR(db->Write(insert->series, t, v));
+    if (insert->points.size() == 1) {
+      TSVIZ_RETURN_IF_ERROR(db->Write(insert->series, insert->points[0].first,
+                                      insert->points[0].second));
+    } else {
+      // Multi-row INSERT: one store append + one WAL write for the whole
+      // statement instead of one of each per row.
+      std::vector<Point> points;
+      points.reserve(insert->points.size());
+      for (const auto& [t, v] : insert->points) points.push_back(Point{t, v});
+      TSVIZ_RETURN_IF_ERROR(db->WriteBatch(insert->series, points));
     }
     ResultSet result({"series", "points"});
     result.AddRow({ResultSet::Cell(insert->series),
@@ -721,6 +729,112 @@ Result<ResultSet> ExecuteQuery(Database* db, const std::string& statement,
                                QueryStats* stats) {
   TSVIZ_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(statement));
   return ExecuteRecorded(db, stmt, statement, stats);
+}
+
+namespace {
+
+obs::Counter& CoalescedStatementsTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "batch_insert_coalesced_total",
+      "Single-point INSERT statements coalesced into a batched store "
+      "write");
+  return c;
+}
+obs::Counter& CoalescedGroupsTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "batch_insert_groups_total",
+      "Coalesced INSERT groups written via WriteBatch (each covers >= 2 "
+      "statements)");
+  return c;
+}
+
+}  // namespace
+
+std::vector<Result<ResultSet>> ExecuteInsertBatch(
+    Database* db, const std::vector<std::string>& lines,
+    const RecordContext& context) {
+  const size_t n = lines.size();
+  std::vector<Result<ResultSet>> results;
+  results.reserve(n);
+
+  // Parse everything up front so run detection can look ahead without
+  // re-parsing.
+  std::vector<Result<Statement>> parsed;
+  parsed.reserve(n);
+  for (const std::string& line : lines) parsed.push_back(ParseStatement(line));
+
+  // The coalescible shape: a well-parsed single-point INSERT into a validly
+  // named series. Anything else (parse error, multi-row INSERT, invalid
+  // name) drops out of the run and executes — and errors — individually.
+  auto coalescible = [&parsed](size_t i) -> const InsertStatement* {
+    if (!parsed[i].ok()) return nullptr;
+    const InsertStatement* insert = std::get_if<InsertStatement>(&*parsed[i]);
+    if (insert == nullptr || insert->points.size() != 1) return nullptr;
+    if (!IsValidSeriesName(insert->series)) return nullptr;
+    return insert;
+  };
+
+  size_t i = 0;
+  while (i < n) {
+    const InsertStatement* first = coalescible(i);
+    size_t run = 1;
+    if (first != nullptr) {
+      while (i + run < n) {
+        const InsertStatement* next = coalescible(i + run);
+        if (next == nullptr || next->series != first->series) break;
+        ++run;
+      }
+    }
+    if (first == nullptr || run == 1) {
+      // Exactly the unbatched path: parse errors reply without recording
+      // (matching SqlServer::ExecuteLine), everything else goes through the
+      // flight recorder.
+      if (!parsed[i].ok()) {
+        results.push_back(parsed[i].status());
+      } else {
+        results.push_back(
+            ExecuteRecorded(db, *parsed[i], lines[i], nullptr, context));
+      }
+      ++i;
+      continue;
+    }
+
+    // A run of >= 2 consecutive single-point INSERTs into one series: one
+    // WriteBatch (one store-lock acquisition, one WAL write), per-statement
+    // replies and recorder events preserved. A failed batch write reports
+    // the same error on every statement of the run.
+    std::vector<Point> points;
+    points.reserve(run);
+    for (size_t k = i; k < i + run; ++k) {
+      const InsertStatement* insert = coalescible(k);
+      points.push_back(Point{insert->points[0].first,
+                             insert->points[0].second});
+    }
+    Timer timer;
+    Status status = db->WriteBatch(first->series, points);
+    const double per_statement_millis = timer.ElapsedMillis() / run;
+    CoalescedStatementsTotal().Inc(run);
+    CoalescedGroupsTotal().Inc();
+    for (size_t k = i; k < i + run; ++k) {
+      obs::RecordedEvent event;
+      event.kind = obs::EventKind::kQuery;
+      event.millis = per_statement_millis;
+      event.statement = lines[k];
+      event.status = status.ok() ? "OK" : status.ToString();
+      event.rows = status.ok() ? 1 : 0;
+      obs::FlightRecorder::Instance().Record(std::move(event));
+      if (status.ok()) {
+        ResultSet result({"series", "points"});
+        result.AddRow({ResultSet::Cell(first->series),
+                       ResultSet::Cell(static_cast<int64_t>(1))});
+        results.push_back(std::move(result));
+      } else {
+        results.push_back(status);
+      }
+    }
+    i += run;
+  }
+  return results;
 }
 
 }  // namespace tsviz::sql

@@ -2,6 +2,7 @@
 #define TSVIZ_SQL_EXECUTOR_H_
 
 #include <string>
+#include <vector>
 
 #include "common/stats.h"
 #include "common/status.h"
@@ -57,6 +58,20 @@ Result<ResultSet> ExecuteRecorded(Database* db, const Statement& statement,
                                   const std::string& text,
                                   QueryStats* stats = nullptr,
                                   const RecordContext& context = {});
+
+// Executes a pipelined burst of statements and returns one result per line,
+// in order. Runs of >= 2 consecutive single-point INSERTs into the same
+// series are coalesced into one Database::WriteBatch — one store-lock
+// acquisition and one physical WAL write for the whole run — while
+// per-statement replies and flight-recorder events are preserved (a failed
+// coalesced write reports the same error on each statement of its run).
+// Every other line (parse errors, multi-row INSERTs, non-INSERTs, invalid
+// series names) executes exactly as ExecuteQuery would. The net worker
+// calls this for bursts its batch predicate selected; callers must handle
+// any line mix.
+std::vector<Result<ResultSet>> ExecuteInsertBatch(
+    Database* db, const std::vector<std::string>& lines,
+    const RecordContext& context = {});
 
 // Executes an already-parsed top-level statement. SHOW METRICS renders the
 // process metrics registry as Prometheus text, one exposition line per row;

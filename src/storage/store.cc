@@ -224,9 +224,19 @@ Status TsStore::Recover() {
   // creation order; across groups order does not matter for the version
   // counter (we take the max).
   std::map<int64_t, std::vector<std::pair<uint64_t, std::string>>> found;
-  for (const auto& entry : fs::directory_iterator(config_.data_dir)) {
+  // The error_code overloads keep a concurrently dropped directory (another
+  // thread's DropSeries removing files, which runs outside catalog locks)
+  // from escalating into an uncaught filesystem_error.
+  std::error_code scan_ec;
+  fs::directory_iterator dir_it(config_.data_dir, scan_ec);
+  if (scan_ec) {
+    return Status::IoError("cannot scan data dir " + config_.data_dir + ": " +
+                           scan_ec.message());
+  }
+  for (const auto& entry : dir_it) {
     std::string name = entry.path().filename().string();
-    if (entry.is_regular_file()) {
+    std::error_code type_ec;
+    if (entry.is_regular_file(type_ec)) {
       if (name.ends_with(".tmp")) {
         // A write (data file, manifest, mods rewrite) that died before its
         // commit rename; the finished artifact either exists under its
@@ -241,11 +251,15 @@ Status TsStore::Recover() {
           found[kLegacyPartitionIndex].emplace_back(*id, entry.path().string());
         }
       }
-    } else if (entry.is_directory()) {
+    } else if (entry.is_directory(type_ec)) {
       auto index = ParsePartitionDirIndex(name);
       if (!index.ok()) continue;
-      for (const auto& sub : fs::directory_iterator(entry.path())) {
-        if (!sub.is_regular_file()) continue;
+      std::error_code sub_ec;
+      fs::directory_iterator sub_it(entry.path(), sub_ec);
+      if (sub_ec) continue;  // Partition dir vanished between list and open.
+      for (const auto& sub : sub_it) {
+        std::error_code sub_type_ec;
+        if (!sub.is_regular_file(sub_type_ec)) continue;
         std::string sub_name = sub.path().filename().string();
         if (sub_name.ends_with(".tmp")) {
           (void)GetEnv()->RemoveFile(sub.path().string());
@@ -445,6 +459,31 @@ size_t TsStore::memtable_bytes() const {
   return memtable_.ApproxBytes();
 }
 
+namespace {
+
+// The write-path lock cost the batch API amortizes: one Inc per mutex_
+// acquisition taken to apply writes (one per single-point Write, one per
+// WriteBatch however many points it carries).
+obs::Counter& WriteLockAcquisitionsTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "store_write_lock_acquisitions_total",
+      "Store-lock acquisitions taken by the write path (one per single "
+      "Write; one per whole WriteBatch)");
+  return c;
+}
+obs::Counter& BatchWritesTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "batch_writes_total", "WriteBatch calls applied to a store");
+  return c;
+}
+obs::Counter& BatchPointsTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "batch_points_total", "Points ingested through WriteBatch");
+  return c;
+}
+
+}  // namespace
+
 Status TsStore::Write(Timestamp t, Value v) {
   if (!std::isfinite(v)) {
     // NaN/Inf would poison the value-ordered chunk statistics (BP/TP) and
@@ -454,6 +493,7 @@ Status TsStore::Write(Timestamp t, Value v) {
   bool flush_now = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    WriteLockAcquisitionsTotal().Inc();
     if (wal_ != nullptr) {
       TSVIZ_RETURN_IF_ERROR(wal_->AppendPut(Point{t, v}));
     }
@@ -470,6 +510,30 @@ Status TsStore::WriteAll(const std::vector<Point>& points) {
   for (const Point& p : points) {
     TSVIZ_RETURN_IF_ERROR(Write(p.t, p.v));
   }
+  return Status::OK();
+}
+
+Status TsStore::WriteBatch(const std::vector<Point>& points) {
+  // All-or-nothing validation before any state is touched.
+  for (const Point& p : points) {
+    if (!std::isfinite(p.v)) {
+      return Status::InvalidArgument("value must be finite");
+    }
+  }
+  if (points.empty()) return Status::OK();
+  bool flush_now = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    WriteLockAcquisitionsTotal().Inc();
+    if (wal_ != nullptr) {
+      TSVIZ_RETURN_IF_ERROR(wal_->AppendPuts(points));
+    }
+    for (const Point& p : points) memtable_.Put(p.t, p.v);
+    flush_now = memtable_.size() >= config_.memtable_flush_threshold;
+  }
+  BatchWritesTotal().Inc();
+  BatchPointsTotal().Inc(points.size());
+  if (flush_now) return Flush();
   return Status::OK();
 }
 

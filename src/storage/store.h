@@ -130,6 +130,14 @@ class TsStore {
   // Writes points in the given (possibly out-of-order) arrival order.
   Status WriteAll(const std::vector<Point>& points);
 
+  // Batched ingest: validates every point up front, then applies the whole
+  // batch under ONE store-lock acquisition and ONE physical WAL write
+  // (WalWriter::AppendPuts), versus N of each for N single Writes. The
+  // memtable-size flush trigger is evaluated once after the batch, so the
+  // memtable may transiently overshoot the threshold by the batch size.
+  // Rejects the whole batch (writing nothing) if any value is non-finite.
+  Status WriteBatch(const std::vector<Point>& points);
+
   // Appends a range tombstone with the next version number.
   Status DeleteRange(const TimeRange& range);
 

@@ -31,6 +31,31 @@ std::string EncodeBody(const WalRecord& record) {
 // One record is type byte + two fixed64 + fixed64 checksum.
 constexpr size_t kRecordSize = 1 + 16 + 8;
 
+// Appends a checksummed record to `entry` (does not touch the file).
+void EncodeRecord(const WalRecord& record, std::string* entry) {
+  std::string body = EncodeBody(record);
+  entry->append(body);
+  PutFixed64(entry, Fnv1a64(body));
+}
+
+obs::Counter& AppendsTotal() {
+  static obs::Counter& c =
+      obs::GetCounter("wal_appends_total", "WAL records appended");
+  return c;
+}
+obs::Counter& BytesTotal() {
+  static obs::Counter& c =
+      obs::GetCounter("wal_bytes_total", "WAL bytes written");
+  return c;
+}
+obs::Counter& PhysicalWritesTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "wal_physical_writes_total",
+      "write(2) calls issued to WAL segments (a batched append counts "
+      "once however many records it carries)");
+  return c;
+}
+
 }  // namespace
 
 WalWriter::WalWriter(std::unique_ptr<WritableFile> file, std::string path,
@@ -51,9 +76,9 @@ Status WalWriter::AppendRecord(const WalRecord& record) {
   if (broken_) {
     return Status::IoError("wal " + path_ + " is in a failed state");
   }
-  std::string body = EncodeBody(record);
-  std::string entry = body;
-  PutFixed64(&entry, Fnv1a64(body));
+  std::string entry;
+  entry.reserve(kRecordSize);
+  EncodeRecord(record, &entry);
   const uint64_t size_before = file_->size();
   if (Status status = file_->Append(entry); !status.ok()) {
     // Erase any torn prefix so the corruption stays at the (replayable)
@@ -63,12 +88,37 @@ Status WalWriter::AppendRecord(const WalRecord& record) {
     }
     return status;
   }
-  static obs::Counter& appends_total =
-      obs::GetCounter("wal_appends_total", "WAL records appended");
-  static obs::Counter& bytes_total =
-      obs::GetCounter("wal_bytes_total", "WAL bytes written");
-  appends_total.Inc();
-  bytes_total.Inc(entry.size());
+  AppendsTotal().Inc();
+  BytesTotal().Inc(entry.size());
+  PhysicalWritesTotal().Inc();
+  return Status::OK();
+}
+
+Status WalWriter::AppendPuts(const std::vector<Point>& points) {
+  if (points.empty()) return Status::OK();
+  if (broken_) {
+    return Status::IoError("wal " + path_ + " is in a failed state");
+  }
+  std::string entry;
+  entry.reserve(points.size() * kRecordSize);
+  for (const Point& p : points) {
+    WalRecord record;
+    record.type = WalRecord::Type::kPut;
+    record.point = p;
+    EncodeRecord(record, &entry);
+  }
+  const uint64_t size_before = file_->size();
+  if (Status status = file_->Append(entry); !status.ok()) {
+    // Same torn-prefix erasure as the single-record path: a failed batch
+    // must not leave a partial batch mid-log once later appends succeed.
+    if (Status truncate = file_->Truncate(size_before); !truncate.ok()) {
+      broken_ = true;
+    }
+    return status;
+  }
+  AppendsTotal().Inc(points.size());
+  BytesTotal().Inc(entry.size());
+  PhysicalWritesTotal().Inc();
   return Status::OK();
 }
 

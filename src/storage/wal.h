@@ -54,6 +54,13 @@ class WalWriter {
   Status AppendPut(const Point& p);
   Status AppendDelete(const TimeRange& range);
 
+  // Batched put: all records are encoded into one buffer and land in a
+  // single write(2), so an N-point ingest batch costs one physical WAL
+  // interaction instead of N. Each record keeps its own checksum — replay
+  // is unchanged, and a torn tail mid-batch replays the batch's prefix,
+  // exactly like N separate appends interrupted at the same byte.
+  Status AppendPuts(const std::vector<Point>& points);
+
   void set_durable(bool durable) { durable_ = durable; }
 
   // Discards the log contents (after a successful flush).

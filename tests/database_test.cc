@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <memory>
 
+#include "obs/recorder.h"
+#include "storage/page_cache.h"
 #include "storage/quarantine.h"
 #include "test_util.h"
 
@@ -192,6 +194,56 @@ TEST(DatabaseTest, SettingsReachTheMaintenancePolicy) {
   EXPECT_EQ(db->maintenance().memtable_flush_bytes(), 4096u);
   EXPECT_EQ(db->maintenance().compaction_files(), 5u);
   EXPECT_EQ(db->maintenance().ttl(), 86400000);
+}
+
+// Drift protection for the knob catalog. The TSVIZ_SET_KNOBS X-macro is the
+// single source of truth: every name it lists must be accepted by
+// ApplySetting (a knob listed but missing its handler falls through to
+// kInternal and fails here), and the error-message catalog must be exactly
+// the ", "-join of the name table. The inverse drift — a knob handled in
+// ApplySetting but absent from the list — is impossible by construction,
+// because membership is checked before any handler runs.
+TEST(DatabaseTest, KnobCatalogHasNoDrift) {
+  // Several knobs mutate process-wide state; snapshot it for restoration so
+  // this test leaves no residue in later tests (faultfs_* especially: an
+  // eio_every=1 left armed would fail every subsequent I/O in the binary).
+  size_t shards_before = DefaultCatalogShards();
+  size_t page_cache_before = SharedPageCache::Instance().capacity_bytes();
+  ReadTolerance tolerance_before = GetReadTolerance();
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Instance();
+  uint64_t sample_before = recorder.trace_sample_every();
+  double slow_before = recorder.slow_query_millis();
+
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> db,
+                       Database::Open(TestConfig(dir.path())));
+  for (size_t i = 0; i < kNumSetKnobs; ++i) {
+    std::string knob = kSetKnobNames[i];
+    Status status = knob == "read_tolerance"
+                        ? db->ApplySetting(knob, std::string("degrade"))
+                        : db->ApplySetting(knob, 1);
+    EXPECT_TRUE(status.ok()) << knob << ": " << status.ToString();
+  }
+
+  std::string joined;
+  for (size_t i = 0; i < kNumSetKnobs; ++i) {
+    if (i) joined += ", ";
+    joined += kSetKnobNames[i];
+  }
+  EXPECT_EQ(std::string(kValidSetKnobs), joined);
+
+  // Restore process-wide state.
+  for (const char* knob :
+       {"faultfs_seed", "faultfs_eio_every", "faultfs_short_read_every",
+        "faultfs_torn_append_every", "faultfs_fsync_fail_every"}) {
+    ASSERT_OK(db->ApplySetting(knob, 0));
+  }
+  SetDefaultCatalogShards(shards_before);
+  SharedPageCache::Instance().set_capacity_bytes(page_cache_before);
+  SetReadTolerance(tolerance_before);
+  recorder.set_trace_sample_every(sample_before);
+  recorder.set_slow_query_millis(slow_before);
+  recorder.set_capacity_bytes(obs::FlightRecorder::kDefaultCapacityBytes);
 }
 
 TEST(DatabaseTest, QueryM4PerSeries) {

@@ -138,6 +138,137 @@ TEST(NetServerTest, PipelinedStatementsAnswerInOrder) {
   server.Stop();
 }
 
+// A run of consecutive batchable statements pending on one connection is
+// dispatched as ONE work item to the batch handler; non-batchable lines and
+// singleton runs still go through the per-statement handler. Replies stay in
+// order. The test pins the worker on a gate statement so the burst is fully
+// parsed into the pending queue before dispatch — making the accumulation
+// deterministic.
+TEST(NetServerTest, ConsecutiveBatchableLinesDispatchAsOneItem) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> gate_entered{false};
+  std::atomic<int> batch_calls{0};
+  std::atomic<int> largest_batch{0};
+
+  NetServerOptions options;
+  options.workers = 1;
+  options.batchable = [](const std::string& line) {
+    return !line.empty() && line[0] == 'b';
+  };
+  options.batch_handler = [&](const std::vector<Request>& requests) {
+    batch_calls++;
+    int size = static_cast<int>(requests.size());
+    int prev = largest_batch.load();
+    while (prev < size && !largest_batch.compare_exchange_weak(prev, size)) {
+    }
+    std::vector<Response> out;
+    for (const Request& request : requests) {
+      out.push_back({"echo:" + request.line + "\n\n", false});
+    }
+    return out;
+  };
+  Handler handler = [&](const Request& request) {
+    if (request.line == "gate") {
+      gate_entered = true;
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return release; });
+    }
+    return Response{"echo:" + request.line + "\n\n", false};
+  };
+  NetServer server(options, handler);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  obs::Counter& accumulated = obs::GetCounter("batch_net_accumulated_total");
+  uint64_t accumulated_before = accumulated.value();
+
+  RawClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  client.Send("gate\n");
+  ASSERT_TRUE(WaitFor([&] { return gate_entered.load(); }));
+  // The worker is pinned; these five lines can only pile up as pending.
+  client.Send("b1\nb2\nb3\nplain\nb4\n");
+  // Let the loop absorb the burst before releasing the gate.
+  std::this_thread::sleep_for(100ms);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+
+  EXPECT_EQ(client.ReadReply(), "echo:gate\n\n");
+  for (const char* expected : {"b1", "b2", "b3", "plain", "b4"}) {
+    EXPECT_EQ(client.ReadReply(), std::string("echo:") + expected + "\n\n");
+  }
+  // b1..b3 ran as one batched item; plain and the singleton b4 did not.
+  EXPECT_EQ(batch_calls.load(), 1);
+  EXPECT_EQ(largest_batch.load(), 3);
+  EXPECT_EQ(accumulated.value() - accumulated_before, 2u);
+  server.Stop();
+}
+
+// A shed batch answers every statement it carried with its own shed reply.
+TEST(NetServerTest, ShedBatchAnswersEveryStatement) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> gate_entered{false};
+
+  NetServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;  // the gate occupies the only slot's successor
+  options.batchable = [](const std::string& line) {
+    return !line.empty() && line[0] == 'b';
+  };
+  options.batch_handler = [&](const std::vector<Request>& requests) {
+    std::vector<Response> out;
+    for (const Request& request : requests) {
+      out.push_back({"echo:" + request.line + "\n\n", false});
+    }
+    return out;
+  };
+  Handler handler = [&](const Request& request) {
+    if (request.line == "gate") {
+      gate_entered = true;
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return release; });
+    }
+    return Response{"echo:" + request.line + "\n\n", false};
+  };
+  NetServer server(options, handler);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // Pin the only worker on the gate, then occupy the queue's only slot from
+  // a second connection (each connection holds at most one item in flight,
+  // so a third connection is what overflows the queue).
+  RawClient gatekeeper(server.port());
+  ASSERT_TRUE(gatekeeper.connected());
+  gatekeeper.Send("gate\n");
+  ASSERT_TRUE(WaitFor([&] { return gate_entered.load(); }));
+  RawClient occupier(server.port());
+  ASSERT_TRUE(occupier.connected());
+  occupier.Send("y\n");
+  std::this_thread::sleep_for(50ms);
+
+  RawClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  client.Send("b1\nb2\nb3\n");
+  // Each statement of the shed batch gets its own error reply.
+  std::string shed = NetServerOptions{}.shed_reply;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(client.ReadReply(), shed) << "statement " << i;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  EXPECT_EQ(gatekeeper.ReadReply(), "echo:gate\n\n");
+  EXPECT_EQ(occupier.ReadReply(), "echo:y\n\n");
+  server.Stop();
+}
+
 TEST(NetServerTest, CrlfAndBlankLinesAreTolerated) {
   NetServer server({}, EchoHandler());
   ASSERT_TRUE(server.Start(0).ok());

@@ -11,6 +11,7 @@
 #include "common/env.h"
 #include "common/random.h"
 #include "m4/m4_udf.h"
+#include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "obs/trace.h"
 #include "storage/quarantine.h"
@@ -845,6 +846,82 @@ TEST_P(SqlM4Property, SqlMatchesOperator) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SqlM4Property,
                          ::testing::Range(uint64_t{1}, uint64_t{16}));
+
+// --- ExecuteInsertBatch: the net worker's coalescing path ---------------
+
+TEST_F(SqlExecutorTest, InsertBatchCoalescesRunsPerSeries) {
+  obs::Counter& coalesced = obs::GetCounter("batch_insert_coalesced_total");
+  obs::Counter& groups = obs::GetCounter("batch_insert_groups_total");
+  obs::Counter& locks = obs::GetCounter("store_write_lock_acquisitions_total");
+  uint64_t coalesced0 = coalesced.value();
+  uint64_t groups0 = groups.value();
+  uint64_t locks0 = locks.value();
+
+  // Two runs (3x a, 2x b) split by the series switch; the final singleton c
+  // executes unbatched.
+  std::vector<std::string> lines = {
+      "INSERT INTO a VALUES (10, 1)",  "INSERT INTO a VALUES (20, 2)",
+      "INSERT INTO a VALUES (30, 3)",  "INSERT INTO b VALUES (10, 4)",
+      "INSERT INTO b VALUES (20, 5)",  "INSERT INTO c VALUES (10, 6)",
+  };
+  std::vector<Result<ResultSet>> results =
+      ExecuteInsertBatch(db_.get(), lines);
+  ASSERT_EQ(results.size(), lines.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << i << ": " << results[i].status().ToString();
+    // Every reply is per-statement: one row reporting (series, 1 point) —
+    // indistinguishable from six unbatched executions.
+    ASSERT_EQ(results[i]->num_rows(), 1u);
+    EXPECT_EQ(results[i]->rows()[0][1], ResultSet::Cell(int64_t{1}));
+  }
+  EXPECT_EQ(coalesced.value() - coalesced0, 5u);  // 3 + 2, singleton excluded
+  EXPECT_EQ(groups.value() - groups0, 2u);
+  // 2 batched writes + 1 plain write = 3 lock acquisitions for 6 statements.
+  EXPECT_EQ(locks.value() - locks0, 3u);
+
+  // The points all landed.
+  auto a = db_->GetSeries("a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)->memtable_size(), 3u);
+}
+
+TEST_F(SqlExecutorTest, InsertBatchKeepsPerStatementErrorsInOrder) {
+  std::vector<std::string> lines = {
+      "INSERT INTO a VALUES (10, 1)",
+      "this is not sql",
+      "INSERT INTO a VALUES (20, 2)",
+      "SELECT COUNT(v) FROM s1",
+      "INSERT INTO a VALUES (30, 3)",
+  };
+  std::vector<Result<ResultSet>> results =
+      ExecuteInsertBatch(db_.get(), lines);
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());  // the parse error answers only line 1
+  EXPECT_TRUE(results[2].ok());
+  ASSERT_TRUE(results[3].ok());
+  EXPECT_EQ(results[3]->columns()[0], "span_start");  // SELECT ran as itself
+  EXPECT_TRUE(results[4].ok());
+  auto a = db_->GetSeries("a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a)->memtable_size(), 3u);
+}
+
+TEST_F(SqlExecutorTest, InsertBatchFailureReportsEveryStatementOfTheRun) {
+  // 1e999 overflows to +inf, which the storage layer rejects — the whole
+  // coalesced run fails, and every statement of it reports the error.
+  std::vector<std::string> lines = {
+      "INSERT INTO bad VALUES (10, 1e999)",
+      "INSERT INTO bad VALUES (20, 1e999)",
+  };
+  std::vector<Result<ResultSet>> results =
+      ExecuteInsertBatch(db_.get(), lines);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& result : results) {
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
 
 }  // namespace
 }  // namespace tsviz::sql

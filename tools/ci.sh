@@ -46,6 +46,16 @@ for preset in "${presets[@]}"; do
   fi
 done
 
+# The sharded series catalog's concurrency hammer (creates/drops/listings/
+# maintenance ticks racing across shards) only bites with the race detector
+# on, so the catalog label gets the same standalone tsan pass.
+for preset in "${presets[@]}"; do
+  if [ "$preset" = "tsan" ]; then
+    echo "=== [tsan] sharded catalog ==="
+    ctest --preset tsan -L catalog --output-on-failure
+  fi
+done
+
 echo "=== metrics catalog lint ==="
 python3 tools/check_metrics.py
 
