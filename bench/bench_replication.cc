@@ -1,0 +1,411 @@
+// Replication: follower-read throughput vs primary-only under a mixed
+// ingest+M4 load over loopback.
+//
+// One primary database ingests a steady INSERT stream for the whole run.
+// Readers issue M4 SELECTs either at the primary itself (baseline: reads
+// and writes contend on one node) or at a live follower attached over the
+// WAL-shipping relay (reads move off the primary; the follower applies the
+// ingest stream concurrently with serving). Each cell spawns N reader
+// clients plus the fixed writer pool for a wall budget and reports read
+// throughput, read latency percentiles, and write throughput.
+//
+// Besides bench_results/replication.{csv,json} this writes a
+// BENCH_replication.json summary into the working directory with the
+// headline ratio: follower-read over primary-only read throughput at the
+// highest reader count, plus the follower's applied watermark and lag at
+// the end of the run (proof the follower was live, not a stale snapshot).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "db/database.h"
+#include "harness.h"
+#include "net/client_channel.h"
+#include "server/server.h"
+
+namespace tsviz::bench {
+namespace {
+
+constexpr int kReaderCounts[] = {1, 2, 4, 8};
+constexpr int kWriters = 2;
+constexpr double kCellMillis = 300.0;  // wall budget per (mode, N) cell
+constexpr int kIoTimeoutMs = 5000;
+
+struct CellResult {
+  std::string mode;  // primary_only | follower_reads
+  int readers = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t errors = 0;
+  double read_p50_ms = 0.0;
+  double read_p99_ms = 0.0;
+  double reads_per_sec = 0.0;
+  double writes_per_sec = 0.0;
+};
+
+struct Tally {
+  std::vector<double> latencies_ms;
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+};
+
+// Timestamps for INSERTs: globally unique and increasing so the ingest
+// series never sees duplicate keys; starts past the seeded read data.
+std::atomic<int64_t> g_ingest_ts{100'000'000};
+
+bool IsError(const std::vector<std::string>& reply) {
+  return reply.empty() || reply[0].rfind("ERROR:", 0) == 0;
+}
+
+void RunReader(int port, const std::string& m4_query,
+               std::chrono::steady_clock::time_point deadline, Tally* tally) {
+  auto conn = net::ClientChannel::Connect("127.0.0.1", port, kIoTimeoutMs);
+  if (!conn.ok()) {
+    ++tally->errors;
+    return;
+  }
+  std::unique_ptr<net::ClientChannel> channel = std::move(conn).value();
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto start = std::chrono::steady_clock::now();
+    auto reply = channel->Call(m4_query, kIoTimeoutMs);
+    const auto stop = std::chrono::steady_clock::now();
+    if (!reply.ok()) break;
+    if (IsError(reply.value())) {
+      ++tally->errors;
+      continue;
+    }
+    ++tally->ok;
+    tally->latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(stop - start).count());
+  }
+}
+
+void RunWriter(int port, std::chrono::steady_clock::time_point deadline,
+               Tally* tally) {
+  auto conn = net::ClientChannel::Connect("127.0.0.1", port, kIoTimeoutMs);
+  if (!conn.ok()) {
+    ++tally->errors;
+    return;
+  }
+  std::unique_ptr<net::ClientChannel> channel = std::move(conn).value();
+  while (std::chrono::steady_clock::now() < deadline) {
+    int64_t ts = g_ingest_ts.fetch_add(1, std::memory_order_relaxed);
+    std::string stmt =
+        "INSERT INTO ingest VALUES (" + std::to_string(ts) + ", 1.0)";
+    auto reply = channel->Call(stmt, kIoTimeoutMs);
+    if (!reply.ok()) break;
+    if (IsError(reply.value())) {
+      ++tally->errors;
+    } else {
+      ++tally->ok;
+    }
+  }
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+std::string FormatRate(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", r);
+  return buf;
+}
+
+std::string FormatRatio(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", r);
+  return buf;
+}
+
+Result<std::string> MakeTempDir(const char* tag) {
+  namespace fs = std::filesystem;
+  std::string tmpl =
+      (fs::temp_directory_path() / (std::string("tsviz_bench_") + tag +
+                                    "_XXXXXX"))
+          .string();
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    return Status::IoError("mkdtemp failed");
+  }
+  return std::string(buf.data());
+}
+
+Result<std::unique_ptr<Database>> OpenDb(const std::string& root) {
+  DatabaseConfig config;
+  config.root_dir = root;
+  config.series_defaults.points_per_chunk = 200;
+  config.series_defaults.memtable_flush_threshold = 4096;
+  return Database::Open(config);
+}
+
+// One (mode, readers) cell: reader clients against `read_port`, the fixed
+// writer pool against `write_port`.
+CellResult RunCell(const std::string& mode, int readers, int read_port,
+                   int write_port, const std::string& m4_query) {
+  std::vector<Tally> read_tallies(static_cast<size_t>(readers));
+  std::vector<Tally> write_tallies(kWriters);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(readers) + kWriters);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto deadline =
+      wall_start + std::chrono::microseconds(
+                       static_cast<int64_t>(kCellMillis * 1000));
+  for (int c = 0; c < readers; ++c) {
+    threads.emplace_back(RunReader, read_port, std::cref(m4_query), deadline,
+                         &read_tallies[static_cast<size_t>(c)]);
+  }
+  for (int c = 0; c < kWriters; ++c) {
+    threads.emplace_back(RunWriter, write_port, deadline,
+                         &write_tallies[static_cast<size_t>(c)]);
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+
+  CellResult cell;
+  cell.mode = mode;
+  cell.readers = readers;
+  std::vector<double> all;
+  for (const Tally& t : read_tallies) {
+    cell.reads += t.ok;
+    cell.errors += t.errors;
+    all.insert(all.end(), t.latencies_ms.begin(), t.latencies_ms.end());
+  }
+  for (const Tally& t : write_tallies) {
+    cell.writes += t.ok;
+    cell.errors += t.errors;
+  }
+  std::sort(all.begin(), all.end());
+  cell.read_p50_ms = Percentile(all, 0.50);
+  cell.read_p99_ms = Percentile(all, 0.99);
+  if (wall_ms > 0.0) {
+    cell.reads_per_sec = static_cast<double>(cell.reads) * 1000.0 / wall_ms;
+    cell.writes_per_sec = static_cast<double>(cell.writes) * 1000.0 / wall_ms;
+  }
+  return cell;
+}
+
+int Run() {
+  const double scale = ScaleFromEnv();
+  const size_t points =
+      static_cast<size_t>(20000.0 * std::max(scale / 0.05, 1.0));
+
+  auto primary_dir = MakeTempDir("repl_p");
+  auto follower_dir = MakeTempDir("repl_f");
+  if (!primary_dir.ok() || !follower_dir.ok()) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+
+  auto opened = OpenDb(primary_dir.value());
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Database> primary = std::move(opened).value();
+  for (size_t i = 0; i < points; ++i) {
+    TSVIZ_CHECK(primary
+                    ->Write("t", static_cast<int64_t>(i) * 10,
+                            static_cast<double>(i % 997))
+                    .ok());
+  }
+  TSVIZ_CHECK(primary->FlushAll().ok());
+
+  // ~100 points per span: decode-bound queries short enough that a 300 ms
+  // cell completes many of them.
+  const int64_t range_end = static_cast<int64_t>(points) * 10;
+  const int64_t w = std::clamp<int64_t>(static_cast<int64_t>(points) / 100,
+                                        50, 2000);
+  const std::string m4_query =
+      "SELECT M4(v) FROM t WHERE time >= 0 AND time < " +
+      std::to_string(range_end) + " GROUP BY SPANS(" + std::to_string(w) +
+      ")";
+
+  SqlServer primary_server(primary.get());
+  if (Status s = primary_server.Start(0); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  ResultTable table({"mode", "readers", "reads", "writes", "errors",
+                     "read_p50_ms", "read_p99_ms", "reads_per_sec",
+                     "writes_per_sec"});
+  std::vector<CellResult> cells;
+
+  // --- Baseline: every client hits the primary ---------------------------
+  for (int readers : kReaderCounts) {
+    cells.push_back(RunCell("primary_only", readers, primary_server.port(),
+                            primary_server.port(), m4_query));
+  }
+
+  // --- Follower reads: attach a replica, point the readers at it ---------
+  if (Status s = primary->EnablePrimary(0); !s.ok()) {
+    std::fprintf(stderr, "EnablePrimary failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto fopened = OpenDb(follower_dir.value());
+  if (!fopened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 fopened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Database> follower = std::move(fopened).value();
+  if (Status s = follower->EnableReplica("127.0.0.1", primary->repl_port());
+      !s.ok()) {
+    std::fprintf(stderr, "EnableReplica failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  // Wait for the bootstrap to catch up before timing: the cells should
+  // measure steady-state streaming, not the initial history transfer.
+  const auto catchup_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (true) {
+    ReplicationStatus fs = follower->replication_status();
+    ReplicationStatus ps = primary->replication_status();
+    if (fs.state == "STREAMING" && fs.last_seq == ps.last_seq) break;
+    if (std::chrono::steady_clock::now() > catchup_deadline) {
+      std::fprintf(stderr, "follower never caught up (state %s, %llu/%llu)\n",
+                   fs.state.c_str(),
+                   static_cast<unsigned long long>(fs.last_seq),
+                   static_cast<unsigned long long>(ps.last_seq));
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  SqlServer follower_server(follower.get());
+  if (Status s = follower_server.Start(0); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  for (int readers : kReaderCounts) {
+    cells.push_back(RunCell("follower_reads", readers, follower_server.port(),
+                            primary_server.port(), m4_query));
+  }
+
+  const ReplicationStatus final_status = follower->replication_status();
+  follower_server.Stop();
+  primary_server.Stop();
+
+  for (const CellResult& c : cells) {
+    table.AddRow({c.mode, std::to_string(c.readers), std::to_string(c.reads),
+                  std::to_string(c.writes), std::to_string(c.errors),
+                  FormatMillis(c.read_p50_ms), FormatMillis(c.read_p99_ms),
+                  FormatRate(c.reads_per_sec),
+                  FormatRate(c.writes_per_sec)});
+  }
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf(
+      "Replication: follower-read vs primary-only throughput, mixed "
+      "ingest+M4 (points=%zu w=%lld writers=%d cell=%.0fms cores=%u)\n\n",
+      points, static_cast<long long>(w), kWriters, kCellMillis, cores);
+  table.Print();
+  if (Status s = table.WriteCsv("replication"); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  }
+
+  // Headline: follower-read over primary-only read throughput at the
+  // highest reader count.
+  const int max_readers = kReaderCounts[std::size(kReaderCounts) - 1];
+  double primary_reads = 0.0, follower_reads = 0.0;
+  double primary_combined = 0.0, follower_combined = 0.0;
+  uint64_t total_errors = 0;
+  for (const CellResult& c : cells) {
+    total_errors += c.errors;
+    if (c.readers != max_readers) continue;
+    if (c.mode == "primary_only") {
+      primary_reads = c.reads_per_sec;
+      primary_combined = c.reads_per_sec + c.writes_per_sec;
+    }
+    if (c.mode == "follower_reads") {
+      follower_reads = c.reads_per_sec;
+      follower_combined = c.reads_per_sec + c.writes_per_sec;
+    }
+  }
+  const double ratio = follower_reads / std::max(primary_reads, 1e-3);
+  // On a single-core host the read-only ratio understates the win: moving
+  // readers off the primary mostly shows up as recovered write throughput,
+  // so the combined (reads+writes) ratio is the honest headline there.
+  const double combined_ratio =
+      follower_combined / std::max(primary_combined, 1e-3);
+  std::printf("\nfollower-read / primary-only read throughput "
+              "(%d readers): %.2fx\n",
+              max_readers, ratio);
+  std::printf("follower / primary combined reads+writes throughput "
+              "(%d readers): %.2fx\n",
+              max_readers, combined_ratio);
+  std::printf("follower at end of run: state=%s applied_seq=%llu "
+              "lag_ms=%lld divergences=%llu\n",
+              final_status.state.c_str(),
+              static_cast<unsigned long long>(final_status.last_seq),
+              static_cast<long long>(final_status.lag_ms),
+              static_cast<unsigned long long>(final_status.divergences));
+
+  std::ofstream json("BENCH_replication.json");
+  if (!json.good()) {
+    std::fprintf(stderr, "cannot open BENCH_replication.json\n");
+    return 1;
+  }
+  json << "{\n"
+       << "  \"name\": \"replication\",\n"
+       << "  \"cpu_cores\": " << cores << ",\n"
+       << "  \"workload\": {\"points\": " << points << ", \"w\": " << w
+       << ", \"writers\": " << kWriters
+       << ", \"cell_millis\": " << FormatRatio(kCellMillis) << "},\n"
+       << "  \"cells\": [";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    if (i > 0) json << ",";
+    json << "\n    {\"mode\": \"" << c.mode
+         << "\", \"readers\": " << c.readers << ", \"reads\": " << c.reads
+         << ", \"writes\": " << c.writes << ", \"errors\": " << c.errors
+         << ", \"read_p50_ms\": " << FormatMillis(c.read_p50_ms)
+         << ", \"read_p99_ms\": " << FormatMillis(c.read_p99_ms)
+         << ", \"reads_per_sec\": " << FormatRate(c.reads_per_sec)
+         << ", \"writes_per_sec\": " << FormatRate(c.writes_per_sec) << "}";
+  }
+  json << "\n  ],\n"
+       << "  \"follower_over_primary_reads_" << max_readers
+       << "_readers\": " << FormatRatio(ratio) << ",\n"
+       << "  \"follower_over_primary_combined_" << max_readers
+       << "_readers\": " << FormatRatio(combined_ratio) << ",\n"
+       << "  \"follower_final\": {\"state\": \"" << final_status.state
+       << "\", \"applied_seq\": " << final_status.last_seq
+       << ", \"lag_ms\": " << final_status.lag_ms
+       << ", \"divergences\": " << final_status.divergences << "},\n"
+       << "  \"total_errors\": " << total_errors << "\n}\n";
+  if (!json.good()) {
+    std::fprintf(stderr, "short write to BENCH_replication.json\n");
+    return 1;
+  }
+
+  follower.reset();
+  primary.reset();
+  std::error_code ec;
+  std::filesystem::remove_all(primary_dir.value(), ec);
+  std::filesystem::remove_all(follower_dir.value(), ec);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsviz::bench
+
+int main() { return tsviz::bench::Run(); }

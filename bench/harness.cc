@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/random.h"
@@ -14,6 +15,13 @@
 #include "m4/m4_udf.h"
 #include "storage/page_cache.h"
 #include "workload/ooo.h"
+
+// Build provenance, stamped by bench/CMakeLists.txt via `git describe
+// --always --dirty`. Bench numbers are meaningless without knowing which
+// tree produced them.
+#ifndef TSVIZ_GIT_DESCRIBE
+#define TSVIZ_GIT_DESCRIBE "unknown"
+#endif
 
 namespace tsviz::bench {
 
@@ -206,7 +214,10 @@ Status ResultTable::WriteCsv(const std::string& name) const {
     }
     json << "]";
   };
-  json << "{\n  \"name\": \"" << escape(name) << "\",\n  \"columns\": ";
+  json << "{\n  \"name\": \"" << escape(name)
+       << "\",\n  \"git_describe\": \"" << escape(TSVIZ_GIT_DESCRIBE)
+       << "\",\n  \"hw_concurrency\": " << std::thread::hardware_concurrency()
+       << ",\n  \"columns\": ";
   write_array(columns_);
   json << ",\n  \"rows\": [";
   for (size_t r = 0; r < rows_.size(); ++r) {

@@ -90,8 +90,9 @@ class ResultTable {
   void Print() const;
 
   // Writes bench_results/<name>.csv plus a bench_results/<name>.json
-  // sidecar holding the same rows and a snapshot of the process metrics
-  // registry (directory created on demand).
+  // sidecar holding the same rows, the build provenance (`git_describe`,
+  // `hw_concurrency`), and a snapshot of the process metrics registry
+  // (directory created on demand).
   Status WriteCsv(const std::string& name) const;
 
  private:

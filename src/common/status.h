@@ -17,6 +17,7 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kUnavailable,
 };
 
 // Error-or-success return type for all fallible library operations. The
@@ -50,10 +51,24 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  // Whether retrying the same operation later may succeed without any code
+  // or data change. Transient conditions — a replica that is still syncing
+  // or lagging (kUnavailable) and I/O errors (kIoError, which the fault
+  // injection Env surfaces for transient disk trouble) — are retryable;
+  // semantic errors (bad arguments, corruption, missing series) are not.
+  // The replication relay's backoff loop and the SQL error text both key on
+  // this classification instead of matching message strings.
+  bool retryable() const {
+    return code_ == StatusCode::kUnavailable || code_ == StatusCode::kIoError;
+  }
 
   // Human-readable "CODE: message" form for logs and test failures.
   std::string ToString() const;

@@ -2,7 +2,9 @@
 #define TSVIZ_DB_DATABASE_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -15,6 +17,10 @@
 #include "m4/m4_lsm.h"
 #include "m4/m4_types.h"
 #include "m4/span.h"
+#include "repl/applier.h"
+#include "repl/log.h"
+#include "repl/relay.h"
+#include "repl/target.h"
 #include "storage/store.h"
 
 namespace tsviz {
@@ -36,13 +42,17 @@ namespace tsviz {
   X(faultfs_seed)               \
   X(faultfs_short_read_every)   \
   X(faultfs_torn_append_every)  \
+  X(idle_timeout_ms)            \
   X(listen_backlog)             \
   X(max_connections)            \
+  X(max_staleness_ms)           \
   X(page_cache_bytes)           \
   X(parallelism)                \
   X(partition_interval_ms)      \
   X(read_tolerance)             \
   X(recorder_capacity_bytes)    \
+  X(repl_listen_port)           \
+  X(replica_of)                 \
   X(result_cache_capacity)      \
   X(slow_query_millis)          \
   X(trace_sample_every)         \
@@ -105,6 +115,27 @@ struct DatabaseConfig {
   bg::MaintenanceOptions maintenance;
 };
 
+// Replication role of a Database. A primary appends every mutation to a
+// replication log and serves it to followers through a Relay; a replica is
+// read-only for clients — an Applier replays the primary's log into its
+// stores. Standalone (the default) has no replication machinery at all.
+enum class ReplicationRole { kStandalone, kPrimary, kReplica };
+
+const char* ReplicationRoleName(ReplicationRole role);
+
+// Snapshot for SHOW REPLICATION.
+struct ReplicationStatus {
+  ReplicationRole role = ReplicationRole::kStandalone;
+  std::string state;        // primary: SERVING; replica: the applier state
+  int listen_port = 0;      // primary relay port
+  std::string primary;      // replica: host:port it follows
+  uint64_t last_seq = 0;    // primary: log end; replica: applied watermark
+  uint64_t primary_seq = 0; // replica: last observed primary log end
+  int64_t lag_ms = 0;       // replica staleness (0 on primary/standalone)
+  uint64_t reconnects = 0;
+  uint64_t divergences = 0;
+};
+
 // Multi-series façade over TsStore: one LSM store per named series under a
 // shared root, discovered on open. This is the shape of a real deployment —
 // IoTDB manages one chunk stream per (device, measurement) path — while each
@@ -116,7 +147,13 @@ struct DatabaseConfig {
 // cannot pull a store out from under a running job. Runtime settings read
 // on hot paths (query_parallelism, partition_interval_ms, durable_fsync)
 // are relaxed atomics — no per-query lock.
-class Database : public bg::StoreCatalog {
+//
+// Replication: `SET repl_listen_port = p` makes this database a primary
+// (every Write/WriteBatch/DeleteRange/DropSeries is logged before it is
+// applied, and a Relay serves the log); `SET replica_of = 'host:port'`
+// makes it a replica (client writes are rejected kUnavailable, an Applier
+// replays the primary's log through the ReplicaTarget methods).
+class Database : public bg::StoreCatalog, public repl::ReplicaTarget {
  public:
   static Result<std::unique_ptr<Database>> Open(DatabaseConfig config);
 
@@ -225,6 +262,67 @@ class Database : public bg::StoreCatalog {
     return listen_backlog_.load(std::memory_order_relaxed);
   }
 
+  // Per-connection idle timeout (`SET idle_timeout_ms`, 0 = off): the
+  // server's event loop evaluates it on every sweep, so a runtime change
+  // applies to live connections.
+  int64_t idle_timeout_ms() const {
+    return idle_timeout_ms_.load(std::memory_order_relaxed);
+  }
+
+  // Staleness bound for follower reads (`SET max_staleness_ms`, 0 = no
+  // bound).
+  int64_t max_staleness_ms() const {
+    return max_staleness_ms_.load(std::memory_order_relaxed);
+  }
+
+  // --- Replication -------------------------------------------------------
+
+  ReplicationRole replication_role() const {
+    return static_cast<ReplicationRole>(
+        role_cached_.load(std::memory_order_relaxed));
+  }
+  bool IsReplica() const {
+    return replication_role() == ReplicationRole::kReplica;
+  }
+
+  // Becomes a primary serving the replication log on `port` (0 picks an
+  // ephemeral port — tests). On a restarted primary this replays the log
+  // tail past the durable applied watermark, so a record logged but not
+  // yet applied when the process died is not lost. Knob handler for
+  // `SET repl_listen_port`.
+  Status EnablePrimary(int port);
+  Status DisablePrimary();
+
+  // Becomes a replica of `host:port`. Knob handler for `SET replica_of`;
+  // "off" maps to DisableReplica.
+  Status EnableReplica(const std::string& host, int port);
+  Status DisableReplica();
+
+  // Current replica staleness in ms (0 unless this is a replica).
+  int64_t replication_lag_ms() const;
+
+  // OK unless this is a replica that must not serve reads right now:
+  // quarantined (SYNCING after divergence) or lagging past
+  // max_staleness_ms. Both rejections are retryable.
+  Status CheckReplicaRead() const;
+
+  ReplicationStatus replication_status() const;
+
+  // The relay's bound port (primary only; 0 otherwise). Tests use this
+  // with `repl_listen_port = 0` ephemeral binds.
+  int repl_port() const;
+
+  // repl::ReplicaTarget — the applier's write path into this database.
+  // Effect-idempotent by construction: re-putting the same points,
+  // re-deleting the same range and re-dropping an absent series are all
+  // no-ops on the final state.
+  Status ApplyPutBatch(const std::string& series,
+                       const std::vector<Point>& points) override;
+  Status ApplyDeleteRange(const std::string& series,
+                          const TimeRange& range) override;
+  Status ApplyDropSeries(const std::string& series) override;
+  Status WipeForResync() override;
+
  private:
   explicit Database(DatabaseConfig config)
       : config_(std::move(config)),
@@ -240,6 +338,26 @@ class Database : public bg::StoreCatalog {
   // (partition_interval_ms, durable_fsync) read from their atomics.
   StoreConfig CurrentSeriesDefaults() const;
 
+  // Raw mutators that skip both the replica write rejection and the
+  // primary's replication hook — used by the standalone path, the
+  // ReplicaTarget methods, and primary-side apply/replay.
+  Status WriteBatchLocal(const std::string& series,
+                         const std::vector<Point>& points);
+  Status DeleteRangeLocal(const std::string& series, const TimeRange& range);
+  Status DropSeriesLocal(const std::string& name);
+
+  // Primary write path: append to the replication log, then apply locally.
+  // Serialized on repl_mutex_ so log order is apply order.
+  Status PrimaryMutate(repl::ReplOp op, const std::string& series,
+                       std::string payload,
+                       const std::function<Status()>& apply);
+  // Applies one logged record locally (log replay on a restarted primary).
+  Status ApplyLoggedRecord(const repl::ReplRecord& record);
+  // Lazily persists the primary's applied watermark (repl/applied).
+  void NotePrimaryAppliedLocked(uint64_t seq, bool force);
+  std::string ReplDir() const { return config_.root_dir + "/repl"; }
+  void SubmitReplHeartbeatLocked();
+
   DatabaseConfig config_;
   // Hot-path settings: SELECT reads query_parallelism_ and series creation
   // reads partition_interval_ms_/durable_fsync_ without any lock.
@@ -248,9 +366,25 @@ class Database : public bg::StoreCatalog {
   std::atomic<bool> durable_fsync_;
   std::atomic<int> max_connections_{1024};
   std::atomic<int> listen_backlog_{64};
+  std::atomic<int64_t> idle_timeout_ms_{0};
+  std::atomic<int64_t> max_staleness_ms_{0};
   M4QueryCache result_cache_;
   SeriesCatalog catalog_;
   std::unique_ptr<bg::MaintenanceManager> maintenance_;
+
+  // Replication state. repl_mutex_ guards the role and the machinery AND
+  // serializes the primary's {log append; store apply} pairs so the log
+  // order is the apply order. role_cached_ mirrors role_ for the lock-free
+  // hot-path check on every client write.
+  mutable std::mutex repl_mutex_;
+  ReplicationRole role_ = ReplicationRole::kStandalone;
+  std::atomic<int> role_cached_{0};
+  std::unique_ptr<repl::ReplLog> repl_log_;
+  std::unique_ptr<repl::Relay> relay_;
+  std::unique_ptr<repl::Applier> applier_;
+  uint64_t primary_applied_seq_ = 0;   // guarded by repl_mutex_
+  uint64_t primary_persisted_seq_ = 0; // last value written to repl/applied
+  bool heartbeat_submitted_ = false;
 };
 
 // Whether `name` is a legal series name.

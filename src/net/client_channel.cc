@@ -1,0 +1,167 @@
+#include "net/client_channel.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace tsviz::net {
+
+namespace {
+
+int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ClientChannel::ClientChannel(int fd) : fd_(fd) {}
+
+ClientChannel::~ClientChannel() { Close(); }
+
+void ClientChannel::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::unique_ptr<ClientChannel>> ClientChannel::Connect(
+    const std::string& host, int port, int connect_timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    Status status = Status::Unavailable("connect " + host + ":" +
+                                        std::to_string(port) + ": " +
+                                        std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    int ready = ::poll(&pfd, 1, connect_timeout_ms);
+    if (ready <= 0) {
+      ::close(fd);
+      return Status::Unavailable("connect " + host + ":" +
+                                 std::to_string(port) + " timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return Status::Unavailable("connect " + host + ":" +
+                                 std::to_string(port) + ": " +
+                                 std::strerror(err != 0 ? err : errno));
+    }
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<ClientChannel>(new ClientChannel(fd));
+}
+
+Status ClientChannel::SendLine(std::string_view line) {
+  if (fd_ < 0) return Status::Unavailable("channel is closed");
+  std::string framed(line);
+  framed.push_back('\n');
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // The socket stayed non-blocking from connect; a full send buffer
+        // on a one-line request means the peer stopped reading.
+        pollfd pfd{fd_, POLLOUT, 0};
+        if (::poll(&pfd, 1, 1000) > 0) continue;
+      }
+      Status status =
+          Status::Unavailable(std::string("send: ") + std::strerror(errno));
+      Close();
+      return status;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ClientChannel::ReadReply(
+    int read_timeout_ms) {
+  if (fd_ < 0) return Status::Unavailable("channel is closed");
+  const int64_t deadline = NowMillis() + read_timeout_ms;
+  // A reply ends at the first blank line ("\n\n" overall, or a reply that
+  // is nothing but "\n").
+  for (;;) {
+    size_t scan_from = 0;
+    size_t pos;
+    std::vector<std::string> lines;
+    bool complete = false;
+    while ((pos = inbuf_.find('\n', scan_from)) != std::string::npos) {
+      std::string line = inbuf_.substr(scan_from, pos - scan_from);
+      scan_from = pos + 1;
+      if (line.empty()) {
+        complete = true;
+        break;
+      }
+      lines.push_back(std::move(line));
+    }
+    if (complete) {
+      inbuf_.erase(0, scan_from);
+      return lines;
+    }
+    const int64_t remaining = deadline - NowMillis();
+    if (remaining <= 0) {
+      Close();
+      return Status::Unavailable("read timed out");
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (ready <= 0) {
+      Close();
+      return Status::Unavailable(ready == 0 ? "read timed out"
+                                            : std::string("poll: ") +
+                                                  std::strerror(errno));
+    }
+    char buf[4096];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      Close();
+      return Status::Unavailable("peer closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      Close();
+      return Status::Unavailable(std::string("recv: ") +
+                                 std::strerror(errno));
+    }
+    inbuf_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<std::vector<std::string>> ClientChannel::Call(std::string_view line,
+                                                     int read_timeout_ms) {
+  TSVIZ_RETURN_IF_ERROR(SendLine(line));
+  return ReadReply(read_timeout_ms);
+}
+
+}  // namespace tsviz::net

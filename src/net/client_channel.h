@@ -1,0 +1,52 @@
+#ifndef TSVIZ_NET_CLIENT_CHANNEL_H_
+#define TSVIZ_NET_CLIENT_CHANNEL_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tsviz::net {
+
+// Blocking client side of the newline-delimited protocol NetServer speaks:
+// one request line out, one blank-line-terminated reply back. Every
+// operation carries an explicit timeout — the replication applier (and any
+// other embedded client) must never hang on a dead peer; a timed-out or
+// failed operation poisons the channel (kUnavailable, retryable), and the
+// caller reconnects.
+class ClientChannel {
+ public:
+  // Connects to host:port with a bounded wait (non-blocking connect +
+  // poll). kUnavailable on refusal or timeout.
+  static Result<std::unique_ptr<ClientChannel>> Connect(
+      const std::string& host, int port, int connect_timeout_ms);
+
+  ~ClientChannel();
+  ClientChannel(const ClientChannel&) = delete;
+  ClientChannel& operator=(const ClientChannel&) = delete;
+
+  // Writes `line` plus the newline framing.
+  Status SendLine(std::string_view line);
+
+  // Reads one reply: every line up to (excluding) the blank terminator
+  // line. The timeout bounds the whole reply, not each read(2).
+  Result<std::vector<std::string>> ReadReply(int read_timeout_ms);
+
+  // One request-reply round trip.
+  Result<std::vector<std::string>> Call(std::string_view line,
+                                        int read_timeout_ms);
+
+  void Close();
+
+ private:
+  explicit ClientChannel(int fd);
+
+  int fd_ = -1;
+  std::string inbuf_;  // bytes read past the previous reply's terminator
+};
+
+}  // namespace tsviz::net
+
+#endif  // TSVIZ_NET_CLIENT_CHANNEL_H_

@@ -99,6 +99,13 @@ obs::Histogram& QueueWaitMillis() {
       "Time a request waited in the bounded queue before a worker ran it");
   return h;
 }
+obs::Counter& IdleClosedTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "net_idle_closed_total",
+      "Connections closed by the idle-timeout sweep (no bytes received and "
+      "nothing in flight for idle_timeout_ms)");
+  return c;
+}
 obs::Counter& BatchedStatementsTotal() {
   static obs::Counter& c = obs::GetCounter(
       "batch_net_accumulated_total",
@@ -126,6 +133,7 @@ struct NetServer::Connection {
   bool broken = false;              // socket errored; close at MaybeFinish
   uint64_t requests = 0;            // handler invocations served
   double opened_at_millis = 0;
+  double last_activity_millis = 0;  // last inbound bytes (or open/completion)
 
   size_t outbuf_pending() const { return outbuf.size() - outbuf_offset; }
 };
@@ -314,13 +322,24 @@ void NetServer::WorkerThread() {
 void NetServer::LoopThread() {
   epoll_event events[64];
   while (!stopping_.load(std::memory_order_relaxed)) {
-    int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    // With an idle timeout configured the loop must wake on its own to run
+    // the sweep; a quarter of the timeout bounds the detection latency
+    // without spinning. -1 (block forever) otherwise — idle sessions cost
+    // nothing.
+    const int64_t idle_ms =
+        options_.idle_timeout_ms ? options_.idle_timeout_ms() : 0;
+    const int wait_ms =
+        idle_ms > 0
+            ? static_cast<int>(std::clamp<int64_t>(idle_ms / 4, 10, 1000))
+            : -1;
+    int n = ::epoll_wait(epoll_fd_, events, 64, wait_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       TSVIZ_ERROR << "epoll_wait" << Field("errno", std::strerror(errno));
       break;
     }
     WakeupsTotal().Inc();
+    if (idle_ms > 0) SweepIdle();
     for (int i = 0; i < n && !stopping_.load(std::memory_order_relaxed);
          ++i) {
       uint64_t id = events[i].data.u64;
@@ -367,13 +386,15 @@ void NetServer::HandleAccept() {
     if (cap > 0 && conns_.size() >= static_cast<size_t>(cap)) {
       // Admission control: a fast in-band error beats a silent hang. The
       // reply is small enough for the empty socket buffer, so one
-      // best-effort non-blocking send is all it gets.
+      // best-effort non-blocking send is all it gets. Count before sending:
+      // a client that reads the busy reply must already see the counter
+      // incremented.
+      AdmissionRejectionsTotal().Inc();
       SetNonBlocking(fd);
       ssize_t ignored = ::send(fd, options_.busy_reply.data(),
                                options_.busy_reply.size(), MSG_NOSIGNAL);
       (void)ignored;
       ::close(fd);
-      AdmissionRejectionsTotal().Inc();
       continue;
     }
     if (!SetNonBlocking(fd)) {
@@ -391,6 +412,7 @@ void NetServer::HandleAccept() {
     conn->id = next_conn_id_++;
     conn->fd = fd;
     conn->opened_at_millis = NowMillis();
+    conn->last_activity_millis = conn->opened_at_millis;
     conn->interest = EPOLLIN;
     epoll_event ev{};
     ev.events = conn->interest;
@@ -405,6 +427,30 @@ void NetServer::HandleAccept() {
   }
 }
 
+void NetServer::SweepIdle() {
+  const int64_t idle_ms =
+      options_.idle_timeout_ms ? options_.idle_timeout_ms() : 0;
+  if (idle_ms <= 0) return;
+  const double now = NowMillis();
+  std::vector<Connection*> victims;
+  for (auto& [id, conn] : conns_) {
+    // Only a truly quiescent connection is eligible: no statement running
+    // at the workers, nothing parsed but undispatched, nothing unwritten.
+    // Anything else is latency, not idleness.
+    if (conn->executing || !conn->pending.empty() ||
+        conn->outbuf_pending() > 0 || !conn->inbuf.empty()) {
+      continue;
+    }
+    if (now - conn->last_activity_millis > static_cast<double>(idle_ms)) {
+      victims.push_back(conn.get());
+    }
+  }
+  for (Connection* conn : victims) {
+    IdleClosedTotal().Inc();
+    CloseConnection(conn);
+  }
+}
+
 void NetServer::HandleReadable(Connection* conn) {
   char chunk[16384];
   size_t read_this_event = 0;
@@ -413,6 +459,7 @@ void NetServer::HandleReadable(Connection* conn) {
     if (n > 0) {
       conn->inbuf.append(chunk, static_cast<size_t>(n));
       read_this_event += static_cast<size_t>(n);
+      conn->last_activity_millis = NowMillis();
       continue;
     }
     if (n == 0) {
@@ -506,6 +553,7 @@ void NetServer::DrainCompletions() {
     Connection* conn = it->second.get();
     conn->executing = false;
     conn->requests += completion.requests;
+    conn->last_activity_millis = NowMillis();
     if (!completion.payload.empty()) {
       AppendOutput(conn, completion.payload);
     }

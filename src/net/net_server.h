@@ -85,6 +85,14 @@ struct NetServerOptions {
   // connections immediately. Null means unlimited.
   std::function<int()> max_connections;
 
+  // Per-connection idle timeout in milliseconds, evaluated each sweep so
+  // `SET idle_timeout_ms` applies to connections already open. A connection
+  // that has sent no bytes for this long — and has nothing queued, in
+  // flight, or unwritten — is closed (`net_idle_closed_total`). Null or a
+  // non-positive value disables the sweep (the default: dashboards hold
+  // connections open for hours legitimately).
+  std::function<int64_t()> idle_timeout_ms;
+
   // SO_SNDBUF for accepted sockets; 0 keeps the kernel default. Tests
   // shrink it to make slow-reader backpressure deterministic.
   int sndbuf_bytes = 0;
@@ -155,6 +163,8 @@ class NetServer {
   void WorkerThread();
 
   void HandleAccept();
+  // Closes connections idle past the configured timeout; no-op when off.
+  void SweepIdle();
   void HandleReadable(Connection* conn);
   void HandleWritable(Connection* conn);
   void ParseInbuf(Connection* conn);

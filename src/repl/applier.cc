@@ -1,0 +1,399 @@
+#include "repl/applier.h"
+
+#include <chrono>
+#include <functional>
+#include <random>
+#include <sstream>
+
+#include "common/env.h"
+#include "net/client_channel.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
+
+namespace tsviz::repl {
+
+namespace {
+
+obs::Counter& AppliedTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "repl_records_applied_total", "Replicated records applied locally");
+  return c;
+}
+obs::Counter& WatermarkCommitsTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "repl_watermark_commits_total", "Durable follower watermark commits");
+  return c;
+}
+obs::Counter& ReconnectsTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "repl_reconnects_total",
+      "Relay channel connect attempts after a failure (backoff loop turns)");
+  return c;
+}
+obs::Counter& ResyncsTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "repl_resyncs_total",
+      "Divergence quarantines: follower wiped and re-bootstrapped");
+  return c;
+}
+obs::Gauge& LagGauge() {
+  static obs::Gauge& g = obs::GetGauge(
+      "repl_lag_ms", "Follower staleness (ms since last fully caught up)");
+  return g;
+}
+
+int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string Hex64(uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string hex(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    hex[static_cast<size_t>(i)] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return hex;
+}
+
+}  // namespace
+
+const char* ApplierStateName(ApplierState state) {
+  switch (state) {
+    case ApplierState::kConnecting:
+      return "CONNECTING";
+    case ApplierState::kSyncing:
+      return "SYNCING";
+    case ApplierState::kStreaming:
+      return "STREAMING";
+    case ApplierState::kStopped:
+      return "STOPPED";
+  }
+  return "UNKNOWN";
+}
+
+Applier::Applier(ReplicaTarget* target, ApplierOptions options)
+    : target_(target), options_(std::move(options)) {}
+
+Applier::~Applier() { Stop(); }
+
+std::string Applier::primary_address() const {
+  return options_.host + ":" + std::to_string(options_.port);
+}
+
+Status Applier::Start() {
+  if (started_) return Status::OK();
+  bool resync_pending = false;
+  LoadWatermark(&resync_pending);
+  if (resync_pending) {
+    // The previous process died between marking the resync and completing
+    // the wipe; finish it before pulling anything.
+    TSVIZ_RETURN_IF_ERROR(BeginResync());
+  }
+  last_caught_up_millis_.store(NowMillis(), std::memory_order_relaxed);
+  caught_up_.store(false, std::memory_order_relaxed);
+  state_.store(ApplierState::kConnecting, std::memory_order_relaxed);
+  stop_ = false;
+  started_ = true;
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void Applier::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) return;
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+  state_.store(ApplierState::kStopped, std::memory_order_relaxed);
+}
+
+int64_t Applier::lag_ms() const {
+  if (caught_up_.load(std::memory_order_relaxed)) return 0;
+  return NowMillis() - last_caught_up_millis_.load(std::memory_order_relaxed);
+}
+
+void Applier::NoteCaughtUp(bool caught_up) {
+  if (caught_up) {
+    last_caught_up_millis_.store(NowMillis(), std::memory_order_relaxed);
+  }
+  caught_up_.store(caught_up, std::memory_order_relaxed);
+  LagGauge().Set(static_cast<double>(lag_ms()));
+}
+
+bool Applier::SleepInterruptible(int millis) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  stop_cv_.wait_for(lock, std::chrono::milliseconds(millis),
+                    [this] { return stop_; });
+  return !stop_;
+}
+
+bool Applier::Backoff(int attempt) {
+  // Capped exponential backoff with full jitter: delay in
+  // [base, min(cap, base * 2^attempt)], so a herd of followers does not
+  // re-strike a restarted primary in lockstep.
+  int64_t ceiling = options_.backoff_base_ms;
+  for (int i = 0; i < attempt && ceiling < options_.backoff_cap_ms; ++i) {
+    ceiling *= 2;
+  }
+  if (ceiling > options_.backoff_cap_ms) ceiling = options_.backoff_cap_ms;
+  static thread_local std::mt19937_64 rng(
+      static_cast<uint64_t>(NowMillis()) ^
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  std::uniform_int_distribution<int64_t> jitter(options_.backoff_base_ms,
+                                                ceiling);
+  return SleepInterruptible(static_cast<int>(jitter(rng)));
+}
+
+void Applier::LoadWatermark(bool* resync_pending) {
+  *resync_pending = false;
+  applied_seq_.store(0, std::memory_order_relaxed);
+  chain_ = kChainSeed;
+  auto read = GetEnv()->ReadFileToString(options_.watermark_path);
+  if (!read.ok()) return;  // missing or unreadable: replay from 0 is safe
+  std::istringstream in(*read);
+  uint64_t seq = 0;
+  std::string chain_hex, flag;
+  in >> seq >> chain_hex >> flag;
+  uint64_t chain = 0;
+  if (chain_hex.size() != 16) return;
+  for (char c : chain_hex) {
+    int nibble;
+    if (c >= '0' && c <= '9') nibble = c - '0';
+    else if (c >= 'a' && c <= 'f') nibble = c - 'a' + 10;
+    else return;  // corrupt: treat as missing
+    chain = (chain << 4) | static_cast<uint64_t>(nibble);
+  }
+  if (flag == "syncing") {
+    *resync_pending = true;
+    return;
+  }
+  if (flag != "ok") return;
+  applied_seq_.store(seq, std::memory_order_relaxed);
+  chain_ = chain;
+}
+
+Status Applier::CommitWatermark(uint64_t seq, uint64_t chain, bool syncing) {
+  std::string content = std::to_string(seq) + " " + Hex64(chain) + " " +
+                        (syncing ? "syncing" : "ok") + "\n";
+  TSVIZ_CRASHPOINT("repl.watermark.before_commit");
+  TSVIZ_RETURN_IF_ERROR(
+      WriteFileAtomic(options_.watermark_path, content, options_.durable));
+  TSVIZ_CRASHPOINT("repl.watermark.after_commit");
+  WatermarkCommitsTotal().Inc();
+  return Status::OK();
+}
+
+Status Applier::BeginResync() {
+  // Order matters for crash safety: first durably mark the resync (a crash
+  // from here re-wipes on restart), then wipe, then clear the mark with the
+  // reset watermark. A stale watermark must never outlive wiped data — that
+  // would leave a silent hole of records the primary will not re-ship.
+  ResyncsTotal().Inc();
+  TSVIZ_RETURN_IF_ERROR(CommitWatermark(0, kChainSeed, /*syncing=*/true));
+  TSVIZ_RETURN_IF_ERROR(target_->WipeForResync());
+  TSVIZ_RETURN_IF_ERROR(CommitWatermark(0, kChainSeed, /*syncing=*/false));
+  applied_seq_.store(0, std::memory_order_relaxed);
+  chain_ = kChainSeed;
+  return Status::OK();
+}
+
+Status Applier::ApplyRecord(const ReplRecord& record) {
+  switch (record.op) {
+    case ReplOp::kPutBatch: {
+      TSVIZ_ASSIGN_OR_RETURN(std::vector<Point> points,
+                             DecodePointsPayload(record.payload));
+      return target_->ApplyPutBatch(record.series, points);
+    }
+    case ReplOp::kDeleteRange: {
+      TSVIZ_ASSIGN_OR_RETURN(TimeRange range,
+                             DecodeRangePayload(record.payload));
+      return target_->ApplyDeleteRange(record.series, range);
+    }
+    case ReplOp::kDropSeries:
+      return target_->ApplyDropSeries(record.series);
+  }
+  return Status::Corruption("repl record has unknown op");
+}
+
+void Applier::StreamFrom(net::ClientChannel* channel) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_) return;
+    }
+    const uint64_t applied = applied_seq_.load(std::memory_order_relaxed);
+    std::string request = "RPULL " + std::to_string(applied + 1) + " " +
+                          Hex64(chain_) + " " +
+                          std::to_string(options_.pull_max);
+    auto reply = channel->Call(request, options_.read_timeout_ms);
+    if (!reply.ok() || reply->empty()) {
+      NoteCaughtUp(false);
+      return;  // channel poisoned: reconnect with backoff
+    }
+    std::istringstream head(reply->front());
+    std::string verb;
+    uint64_t primary_last = 0;
+    head >> verb >> primary_last;
+
+    if (verb == "DIVERGED") {
+      divergences_.fetch_add(1, std::memory_order_relaxed);
+      state_.store(ApplierState::kSyncing, std::memory_order_relaxed);
+      NoteCaughtUp(false);
+      if (Status status = BeginResync(); !status.ok()) {
+        // Quarantine holds (state stays SYNCING, reads stay rejected);
+        // retry the wipe on the next session.
+        return;
+      }
+      continue;  // re-pull from seq 1
+    }
+    if (verb != "OK") {
+      NoteCaughtUp(false);
+      return;  // protocol error or relay-side failure: reconnect
+    }
+    primary_seq_.store(primary_last, std::memory_order_relaxed);
+
+    // Decode and chain-verify every shipped record before applying any:
+    // a torn or corrupted reply must not half-apply.
+    std::vector<ReplRecord> records;
+    records.reserve(reply->size() - 1);
+    uint64_t chain = chain_;
+    bool poisoned = false;
+    for (size_t i = 1; i < reply->size(); ++i) {
+      const std::string& line = (*reply)[i];
+      if (line.size() < 2 || line[0] != 'R' || line[1] != ' ') {
+        poisoned = true;
+        break;
+      }
+      auto bytes = HexDecode(std::string_view(line).substr(2));
+      if (!bytes.ok()) {
+        poisoned = true;
+        break;
+      }
+      std::string_view cursor = *bytes;
+      auto record = DecodeFrame(&cursor, chain);
+      if (!record.ok() || !cursor.empty() ||
+          record->seq != applied + records.size() + 1) {
+        poisoned = true;
+        break;
+      }
+      chain = record->chain;
+      records.push_back(std::move(*record));
+    }
+    if (poisoned) {
+      // The primary's chain proof passed but the bytes we got do not
+      // verify: wire corruption. Drop the channel and re-pull.
+      NoteCaughtUp(false);
+      return;
+    }
+
+    if (!records.empty()) {
+      // One span tree per applied batch, recorded like a bg job so DUMP
+      // TRACE shows replication work alongside flush/compaction.
+      auto trace = std::make_shared<obs::Trace>("repl_apply");
+      const auto batch_start = std::chrono::steady_clock::now();
+      Status status;
+      {
+        obs::TraceSpan span(trace.get(), "repl_apply_batch");
+        for (const ReplRecord& record : records) {
+          status = ApplyRecord(record);
+          if (!status.ok() && !status.retryable()) {
+            // A deterministic (semantic) failure would re-fail on every
+            // replay and wedge the follower forever. The primary
+            // pre-validates before logging, so this means the replica's
+            // local state disagrees; skip the record, keep the stream
+            // moving, and leave the evidence in a counter.
+            static obs::Counter& skipped = obs::GetCounter(
+                "repl_apply_skipped_total",
+                "Replicated records skipped after a non-retryable local "
+                "apply failure");
+            skipped.Inc();
+            status = Status::OK();
+            continue;
+          }
+          if (!status.ok()) break;
+          AppliedTotal().Inc();
+        }
+      }
+      const double batch_millis =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - batch_start)
+              .count();
+      static obs::Histogram& apply_millis = obs::GetHistogram(
+          "repl_apply_millis", "Wall time applying one pulled batch (ms)");
+      apply_millis.Observe(batch_millis);
+      trace->root().millis = batch_millis;
+      obs::RecordedEvent event;
+      event.kind = obs::EventKind::kBgJob;
+      event.millis = batch_millis;
+      event.statement = "repl apply " + std::to_string(records.size()) +
+                        " records through seq " +
+                        std::to_string(records.back().seq);
+      event.status = status.ok() ? "OK" : status.ToString();
+      event.trace = std::move(trace);
+      obs::FlightRecorder::Instance().Record(std::move(event));
+      if (!status.ok()) {
+        // Local apply failure (e.g. injected I/O error). Nothing was
+        // watermark-committed; back off and replay the batch.
+        NoteCaughtUp(false);
+        return;
+      }
+      TSVIZ_CRASHPOINT("repl.apply.after_apply");
+      const uint64_t new_applied = records.back().seq;
+      if (Status status2 = CommitWatermark(new_applied, chain,
+                                           /*syncing=*/false);
+          !status2.ok()) {
+        // Applied but not committed: restart replays from the old
+        // watermark; effect-idempotent ops make that safe.
+        NoteCaughtUp(false);
+        return;
+      }
+      applied_seq_.store(new_applied, std::memory_order_relaxed);
+      chain_ = chain;
+    }
+
+    const uint64_t now_applied = applied_seq_.load(std::memory_order_relaxed);
+    const bool caught_up = now_applied >= primary_last;
+    NoteCaughtUp(caught_up);
+    if (caught_up) {
+      state_.store(ApplierState::kStreaming, std::memory_order_relaxed);
+      if (!SleepInterruptible(options_.poll_interval_ms)) return;
+    }
+    // Behind: loop immediately for the next chunk.
+  }
+}
+
+void Applier::Run() {
+  int attempt = 0;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_) return;
+    }
+    if (state_.load(std::memory_order_relaxed) != ApplierState::kSyncing) {
+      state_.store(ApplierState::kConnecting, std::memory_order_relaxed);
+    }
+    LagGauge().Set(static_cast<double>(lag_ms()));
+    ReconnectsTotal().Inc();
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+    auto channel = net::ClientChannel::Connect(options_.host, options_.port,
+                                               options_.connect_timeout_ms);
+    if (!channel.ok()) {
+      if (!Backoff(attempt++)) return;
+      continue;
+    }
+    attempt = 0;
+    StreamFrom(channel->get());
+    // The session ended (error or divergence-with-failed-wipe); pace the
+    // reconnect so a flapping primary is not hammered.
+    if (!Backoff(attempt++)) return;
+  }
+}
+
+}  // namespace tsviz::repl

@@ -1,0 +1,133 @@
+#ifndef TSVIZ_REPL_APPLIER_H_
+#define TSVIZ_REPL_APPLIER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "repl/record.h"
+#include "repl/target.h"
+
+namespace tsviz::net {
+class ClientChannel;
+}  // namespace tsviz::net
+
+namespace tsviz::repl {
+
+// Follower lifecycle as SHOW REPLICATION reports it.
+//
+//   kConnecting: no live channel to the primary (initial state, and after
+//                any channel error; reconnects use capped exponential
+//                backoff with jitter). Reads are governed by the staleness
+//                bound alone — lag keeps growing while disconnected.
+//   kSyncing:    quarantined after a DIVERGED reply: the local history was
+//                not a prefix of the primary's log, so the follower wiped
+//                itself and is re-bootstrapping from seq 0. Follower
+//                SELECTs are rejected (retryable) until it catches up.
+//   kStreaming:  caught up; serving reads within the staleness bound.
+enum class ApplierState { kConnecting, kSyncing, kStreaming, kStopped };
+
+const char* ApplierStateName(ApplierState state);
+
+struct ApplierOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  // Durable follower watermark: "<applied_seq> <chain_hex> <ok|syncing>".
+  std::string watermark_path;
+  bool durable = false;          // fsync the watermark commits
+
+  int connect_timeout_ms = 1000;
+  int read_timeout_ms = 2000;
+  int backoff_base_ms = 50;      // first retry delay
+  int backoff_cap_ms = 2000;     // exponential growth stops here
+  int poll_interval_ms = 50;     // idle pull cadence (doubles as heartbeat)
+  size_t pull_max = 256;         // records per pull
+};
+
+// The follower side: a single thread that pulls records from the primary's
+// relay, verifies each record's chain hash, applies it through the
+// ReplicaTarget, and durably commits its watermark. Crash points bracket
+// the watermark commit (repl.watermark.before_commit / after_commit) and
+// follow each applied batch (repl.apply.after_apply), so the fork-kill
+// torture can die at every ordering the protocol exposes; recovery replays
+// from the watermark and the effect-idempotent ops reconverge.
+class Applier {
+ public:
+  // `target` must outlive the applier.
+  Applier(ReplicaTarget* target, ApplierOptions options);
+  ~Applier();
+
+  Applier(const Applier&) = delete;
+  Applier& operator=(const Applier&) = delete;
+
+  // Loads (or re-initializes) the watermark and starts the pull thread. A
+  // watermark left mid-resync re-wipes before the first pull.
+  Status Start();
+  void Stop();
+
+  ApplierState state() const {
+    return state_.load(std::memory_order_relaxed);
+  }
+  uint64_t applied_seq() const {
+    return applied_seq_.load(std::memory_order_relaxed);
+  }
+  // Last primary log end observed in a pull reply (0 before first contact).
+  uint64_t observed_primary_seq() const {
+    return primary_seq_.load(std::memory_order_relaxed);
+  }
+  // Milliseconds since the follower last held the primary's full log
+  // (applied_seq == primary end in a reply); 0 while caught up. Grows
+  // monotonically while disconnected, which is exactly what the staleness
+  // bound must see.
+  int64_t lag_ms() const;
+  uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+  uint64_t divergences() const {
+    return divergences_.load(std::memory_order_relaxed);
+  }
+  std::string primary_address() const;
+
+ private:
+  void Run();
+  // One connected session; returns when the channel dies or Stop is called.
+  void StreamFrom(net::ClientChannel* channel);
+  Status ApplyRecord(const ReplRecord& record);
+  Status CommitWatermark(uint64_t seq, uint64_t chain, bool syncing);
+  // Reads the watermark file; missing/corrupt resets to (0, seed, ok) —
+  // re-replaying from 0 is always safe, the ops are effect-idempotent.
+  void LoadWatermark(bool* resync_pending);
+  Status BeginResync();
+  // Sleeps with capped exponential backoff + jitter; false when stopping.
+  bool Backoff(int attempt);
+  bool SleepInterruptible(int millis);
+  void NoteCaughtUp(bool caught_up);
+
+  ReplicaTarget* target_;
+  const ApplierOptions options_;
+
+  std::thread thread_;
+  std::mutex mutex_;                 // guards stop_ for the sleep cv
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  bool started_ = false;
+
+  std::atomic<ApplierState> state_{ApplierState::kStopped};
+  std::atomic<uint64_t> applied_seq_{0};
+  std::atomic<uint64_t> primary_seq_{0};
+  std::atomic<uint64_t> reconnects_{0};
+  std::atomic<uint64_t> divergences_{0};
+  std::atomic<bool> caught_up_{false};
+  std::atomic<int64_t> last_caught_up_millis_{0};
+
+  uint64_t chain_ = kChainSeed;  // pull-thread only (after Start)
+};
+
+}  // namespace tsviz::repl
+
+#endif  // TSVIZ_REPL_APPLIER_H_

@@ -1,0 +1,170 @@
+#include "repl/log.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace tsviz::repl {
+
+namespace {
+
+obs::Counter& LogAppendsTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "repl_log_appends_total", "Records appended to the replication log");
+  return c;
+}
+obs::Counter& LogBytesTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "repl_log_bytes_total", "Bytes appended to the replication log");
+  return c;
+}
+
+}  // namespace
+
+ReplLog::ReplLog(std::string path, std::unique_ptr<WritableFile> file,
+                 bool durable)
+    : path_(std::move(path)), file_(std::move(file)), durable_(durable) {}
+
+ReplLog::~ReplLog() = default;
+
+Result<std::unique_ptr<ReplLog>> ReplLog::Open(const std::string& path,
+                                               bool durable) {
+  Env* env = GetEnv();
+  std::string content;
+  auto read = env->ReadFileToString(path);
+  if (read.ok()) {
+    content = std::move(read).value();
+  } else if (read.status().code() != StatusCode::kNotFound) {
+    return read.status();
+  }
+
+  // Scan whole frames, verifying the chain as we go. Any structural or
+  // chain mismatch — including a seq that is not dense — ends the scan:
+  // everything after it is a torn tail to truncate away.
+  std::vector<uint64_t> end_offsets;
+  std::vector<uint64_t> chains;
+  uint64_t prev_chain = kChainSeed;
+  std::string_view cursor = content;
+  uint64_t good_size = 0;
+  while (!cursor.empty()) {
+    auto record = DecodeFrame(&cursor, prev_chain);
+    if (!record.ok()) break;
+    if (record->seq != end_offsets.size() + 1) break;
+    good_size = static_cast<uint64_t>(content.size() - cursor.size());
+    end_offsets.push_back(good_size);
+    chains.push_back(record->chain);
+    prev_chain = record->chain;
+  }
+
+  TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                         env->NewAppendableFile(path));
+  if (file->size() > good_size) {
+    TSVIZ_RETURN_IF_ERROR(file->Truncate(good_size));
+  }
+  auto log = std::unique_ptr<ReplLog>(
+      new ReplLog(path, std::move(file), durable));
+  log->end_offsets_ = std::move(end_offsets);
+  log->chains_ = std::move(chains);
+  return log;
+}
+
+Status ReplLog::Append(ReplOp op, const std::string& series,
+                       std::string payload, uint64_t* seq_out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (broken_) {
+    return Status::IoError("repl log " + path_ + " is in a failed state");
+  }
+  ReplRecord record;
+  record.seq = end_offsets_.size() + 1;
+  record.op = op;
+  record.series = series;
+  record.payload = std::move(payload);
+  const uint64_t prev_chain = chains_.empty() ? kChainSeed : chains_.back();
+  record.chain =
+      ChainHash(prev_chain, record.seq, op, series, record.payload);
+
+  std::string frame;
+  EncodeFrame(record, &frame);
+  const uint64_t size_before = file_->size();
+  if (Status status = file_->Append(frame); !status.ok()) {
+    // Torn-prefix erasure, same contract as WalWriter: a failed append must
+    // not leave partial bytes mid-log once later appends succeed.
+    if (Status truncate = file_->Truncate(size_before); !truncate.ok()) {
+      broken_ = true;
+    }
+    return status;
+  }
+  if (durable_) {
+    TSVIZ_RETURN_IF_ERROR(file_->Sync());
+  }
+  end_offsets_.push_back(size_before + frame.size());
+  chains_.push_back(record.chain);
+  LogAppendsTotal().Inc();
+  LogBytesTotal().Inc(frame.size());
+  if (seq_out != nullptr) *seq_out = record.seq;
+  return Status::OK();
+}
+
+uint64_t ReplLog::last_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return end_offsets_.size();
+}
+
+Result<uint64_t> ReplLog::ChainAt(uint64_t seq) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (seq == 0) return kChainSeed;
+  if (seq > chains_.size()) {
+    return Status::OutOfRange("no repl record at seq " + std::to_string(seq));
+  }
+  return chains_[seq - 1];
+}
+
+Result<std::vector<ReplRecord>> ReplLog::Read(uint64_t from_seq,
+                                              size_t max_records) const {
+  uint64_t start = 0;
+  uint64_t end = 0;
+  uint64_t prev_chain = kChainSeed;
+  uint64_t want = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t last = end_offsets_.size();
+    if (from_seq == 0 || from_seq > last + 1) {
+      return Status::OutOfRange("repl read from seq " +
+                                std::to_string(from_seq) + " outside log");
+    }
+    if (from_seq == last + 1 || max_records == 0) {
+      return std::vector<ReplRecord>{};
+    }
+    const uint64_t to_seq =
+        std::min<uint64_t>(last, from_seq + max_records - 1);
+    start = from_seq == 1 ? 0 : end_offsets_[from_seq - 2];
+    end = end_offsets_[to_seq - 1];
+    prev_chain = from_seq == 1 ? kChainSeed : chains_[from_seq - 2];
+    want = to_seq - from_seq + 1;
+  }
+  // Committed frames are immutable bytes; decode them outside the lock so a
+  // slow (or fault-injected) read never stalls the write path.
+  TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                         GetEnv()->NewRandomAccessFile(path_));
+  std::string bytes;
+  TSVIZ_RETURN_IF_ERROR(file->Read(start, end - start, &bytes));
+  std::vector<ReplRecord> records;
+  records.reserve(want);
+  std::string_view cursor = bytes;
+  for (uint64_t i = 0; i < want; ++i) {
+    // A short or torn read fails the chain check here rather than shipping
+    // bad bytes to a follower.
+    TSVIZ_ASSIGN_OR_RETURN(ReplRecord record,
+                           DecodeFrame(&cursor, prev_chain));
+    prev_chain = record.chain;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+void ReplLog::set_durable(bool durable) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  durable_ = durable;
+}
+
+}  // namespace tsviz::repl

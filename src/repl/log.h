@@ -1,0 +1,79 @@
+#ifndef TSVIZ_REPL_LOG_H_
+#define TSVIZ_REPL_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "repl/record.h"
+
+namespace tsviz::repl {
+
+// The primary's replication log: every Database-level mutation is appended
+// here (sequenced, chain-hashed) before it is applied to the store, and the
+// relay serves followers straight out of this file. All I/O goes through
+// the Env, so the fault-injection environment covers it.
+//
+// Open is torn-tail tolerant: a crash mid-append leaves a partial frame at
+// the tail, which Open truncates away — the same contract as the store WAL.
+// Sequence numbers are dense from 1; the in-memory index maps seq -> byte
+// offset so resumable pulls are O(1) seeks, not log scans.
+//
+// Thread-safe: appends (the Database write path) and reads (relay worker
+// threads) synchronize on an internal mutex; the file bytes of committed
+// records are immutable, so reads re-open the file per call and decode
+// outside any lock a writer needs.
+class ReplLog {
+ public:
+  // Opens (creating if missing) the log at `path`. With `durable` every
+  // append fsyncs, matching the durable_fsync store contract.
+  static Result<std::unique_ptr<ReplLog>> Open(const std::string& path,
+                                               bool durable);
+
+  ~ReplLog();
+  ReplLog(const ReplLog&) = delete;
+  ReplLog& operator=(const ReplLog&) = delete;
+
+  // Appends the next record (seq = last_seq()+1), returning its assigned
+  // seq through *seq_out (optional). A failed append truncates the torn
+  // prefix back out, exactly like WalWriter.
+  Status Append(ReplOp op, const std::string& series, std::string payload,
+                uint64_t* seq_out = nullptr);
+
+  uint64_t last_seq() const;
+
+  // Chain value after record `seq` (kChainSeed for seq 0); kOutOfRange past
+  // the log's end. This is what a follower at watermark `seq` must present.
+  Result<uint64_t> ChainAt(uint64_t seq) const;
+
+  // Records from_seq .. from_seq+max_records-1 (clamped to the log end),
+  // re-decoded from the file through the Env. kOutOfRange if from_seq is 0
+  // or past last_seq()+1; an empty vector when from_seq == last_seq()+1.
+  Result<std::vector<ReplRecord>> Read(uint64_t from_seq,
+                                       size_t max_records) const;
+
+  void set_durable(bool durable);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  ReplLog(std::string path, std::unique_ptr<WritableFile> file, bool durable);
+
+  std::string path_;
+  mutable std::mutex mutex_;
+  std::unique_ptr<WritableFile> file_;
+  bool durable_;
+  bool broken_ = false;
+  // end_offsets_[i] / chains_[i] describe record seq i+1: the file offset
+  // just past its frame and the chain value after it.
+  std::vector<uint64_t> end_offsets_;
+  std::vector<uint64_t> chains_;
+};
+
+}  // namespace tsviz::repl
+
+#endif  // TSVIZ_REPL_LOG_H_

@@ -1,0 +1,159 @@
+#include "repl/record.h"
+
+#include <cstring>
+
+#include "encoding/varint.h"
+
+namespace tsviz::repl {
+
+namespace {
+
+std::string EncodeBody(uint64_t seq, ReplOp op, std::string_view series,
+                       std::string_view payload) {
+  std::string body;
+  body.reserve(8 + 1 + 4 + series.size() + payload.size());
+  PutFixed64(&body, seq);
+  body.push_back(static_cast<char>(op));
+  PutFixed32(&body, static_cast<uint32_t>(series.size()));
+  body.append(series);
+  body.append(payload);
+  return body;
+}
+
+}  // namespace
+
+std::string EncodePointsPayload(const std::vector<Point>& points) {
+  std::string payload;
+  payload.reserve(points.size() * 16);
+  for (const Point& p : points) {
+    PutFixed64(&payload, static_cast<uint64_t>(p.t));
+    uint64_t bits;
+    std::memcpy(&bits, &p.v, sizeof(bits));
+    PutFixed64(&payload, bits);
+  }
+  return payload;
+}
+
+Result<std::vector<Point>> DecodePointsPayload(std::string_view payload) {
+  if (payload.size() % 16 != 0) {
+    return Status::Corruption("repl put payload is not whole points");
+  }
+  std::vector<Point> points;
+  points.reserve(payload.size() / 16);
+  while (!payload.empty()) {
+    TSVIZ_ASSIGN_OR_RETURN(uint64_t t, GetFixed64(&payload));
+    TSVIZ_ASSIGN_OR_RETURN(uint64_t bits, GetFixed64(&payload));
+    Point p;
+    p.t = static_cast<Timestamp>(t);
+    std::memcpy(&p.v, &bits, sizeof(p.v));
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::string EncodeRangePayload(const TimeRange& range) {
+  std::string payload;
+  PutFixed64(&payload, static_cast<uint64_t>(range.start));
+  PutFixed64(&payload, static_cast<uint64_t>(range.end));
+  return payload;
+}
+
+Result<TimeRange> DecodeRangePayload(std::string_view payload) {
+  if (payload.size() != 16) {
+    return Status::Corruption("repl delete payload is not a range");
+  }
+  TSVIZ_ASSIGN_OR_RETURN(uint64_t start, GetFixed64(&payload));
+  TSVIZ_ASSIGN_OR_RETURN(uint64_t end, GetFixed64(&payload));
+  return TimeRange(static_cast<Timestamp>(start), static_cast<Timestamp>(end));
+}
+
+uint64_t ChainHash(uint64_t prev_chain, uint64_t seq, ReplOp op,
+                   std::string_view series, std::string_view payload) {
+  std::string seed;
+  PutFixed64(&seed, prev_chain);
+  seed += EncodeBody(seq, op, series, payload);
+  return Fnv1a64(seed);
+}
+
+void EncodeFrame(const ReplRecord& record, std::string* out) {
+  std::string body =
+      EncodeBody(record.seq, record.op, record.series, record.payload);
+  PutFixed32(out, static_cast<uint32_t>(body.size()));
+  out->append(body);
+  PutFixed64(out, record.chain);
+}
+
+Result<ReplRecord> DecodeFrame(std::string_view* cursor,
+                               uint64_t prev_chain) {
+  std::string_view in = *cursor;
+  TSVIZ_ASSIGN_OR_RETURN(uint32_t body_len, GetFixed32(&in));
+  // Sanity bound: a body shorter than its fixed fields or larger than the
+  // remaining input is structurally torn.
+  if (body_len < 8 + 1 + 4 || in.size() < body_len + 8) {
+    return Status::Corruption("repl frame torn");
+  }
+  std::string_view body = in.substr(0, body_len);
+  std::string_view rest = body;
+  TSVIZ_ASSIGN_OR_RETURN(uint64_t seq, GetFixed64(&rest));
+  auto op = static_cast<ReplOp>(rest[0]);
+  if (op != ReplOp::kPutBatch && op != ReplOp::kDeleteRange &&
+      op != ReplOp::kDropSeries) {
+    return Status::Corruption("repl frame has unknown op");
+  }
+  rest.remove_prefix(1);
+  TSVIZ_ASSIGN_OR_RETURN(uint32_t series_len, GetFixed32(&rest));
+  if (rest.size() < series_len) {
+    return Status::Corruption("repl frame series torn");
+  }
+  ReplRecord record;
+  record.seq = seq;
+  record.op = op;
+  record.series = std::string(rest.substr(0, series_len));
+  record.payload = std::string(rest.substr(series_len));
+
+  std::string_view chain_view = in.substr(body_len, 8);
+  TSVIZ_ASSIGN_OR_RETURN(record.chain, GetFixed64(&chain_view));
+
+  std::string seed;
+  PutFixed64(&seed, prev_chain);
+  seed += body;
+  if (Fnv1a64(seed) != record.chain) {
+    return Status::Corruption("repl frame chain mismatch at seq " +
+                              std::to_string(seq));
+  }
+  cursor->remove_prefix(4 + body_len + 8);
+  return record;
+}
+
+std::string HexEncode(std::string_view bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string hex;
+  hex.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    hex.push_back(kDigits[c >> 4]);
+    hex.push_back(kDigits[c & 0xf]);
+  }
+  return hex;
+}
+
+Result<std::string> HexDecode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::Corruption("odd-length hex");
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  std::string bytes;
+  bytes.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nibble(hex[i]);
+    int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return Status::Corruption("bad hex digit");
+    bytes.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return bytes;
+}
+
+}  // namespace tsviz::repl

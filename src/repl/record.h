@@ -1,0 +1,78 @@
+#ifndef TSVIZ_REPL_RECORD_H_
+#define TSVIZ_REPL_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_range.h"
+#include "common/types.h"
+
+namespace tsviz::repl {
+
+// The replicated operation set. Replication hooks at the Database level, so
+// these mirror the Database mutators, not the SQL surface: a put batch (one
+// INSERT burst or a synthesized bootstrap baseline), a range delete, and a
+// series drop.
+enum class ReplOp : uint8_t {
+  kPutBatch = 1,
+  kDeleteRange = 2,
+  kDropSeries = 3,
+};
+
+// One replicated record, identical on disk (replication log) and on the
+// wire (hex-encoded inside a relay reply line).
+//
+// Frame layout:
+//   fixed32 body_len | body | fixed64 chain
+//   body = fixed64 seq | u8 op | fixed32 series_len | series | payload
+//
+// `chain` is a chained FNV-1a: chain_n = FNV(chain_{n-1} || body_n). It is
+// simultaneously the per-record checksum (a torn or bit-flipped record
+// fails to verify) and the divergence detector (two logs that ever differed
+// in any earlier record can never present the same chain value again).
+struct ReplRecord {
+  uint64_t seq = 0;
+  ReplOp op = ReplOp::kPutBatch;
+  std::string series;
+  std::string payload;
+  uint64_t chain = 0;
+
+  friend bool operator==(const ReplRecord&, const ReplRecord&) = default;
+};
+
+// Chain value "before any record" (FNV-1a 64-bit offset basis). A follower
+// at watermark 0 presents this seed.
+inline constexpr uint64_t kChainSeed = 0xcbf29ce484222325ull;
+
+// Payload codecs per op. kDropSeries has an empty payload.
+std::string EncodePointsPayload(const std::vector<Point>& points);
+Result<std::vector<Point>> DecodePointsPayload(std::string_view payload);
+std::string EncodeRangePayload(const TimeRange& range);
+Result<TimeRange> DecodeRangePayload(std::string_view payload);
+
+// The chain hash a record with these fields must carry, given the previous
+// record's chain (or kChainSeed for seq 1).
+uint64_t ChainHash(uint64_t prev_chain, uint64_t seq, ReplOp op,
+                   std::string_view series, std::string_view payload);
+
+// Appends the record's frame bytes to *out. record.chain must already be
+// set (use ChainHash).
+void EncodeFrame(const ReplRecord& record, std::string* out);
+
+// Decodes one frame from *cursor (advanced past it) and verifies the chain
+// against `prev_chain`. kCorruption on any structural, checksum, or chain
+// mismatch — the caller treats that as a torn tail (log) or a poisoned
+// connection (wire).
+Result<ReplRecord> DecodeFrame(std::string_view* cursor, uint64_t prev_chain);
+
+// Hex codec for shipping binary frames over the newline-delimited net
+// framing.
+std::string HexEncode(std::string_view bytes);
+Result<std::string> HexDecode(std::string_view hex);
+
+}  // namespace tsviz::repl
+
+#endif  // TSVIZ_REPL_RECORD_H_

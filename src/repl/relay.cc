@@ -1,0 +1,129 @@
+#include "repl/relay.h"
+
+#include <cstdint>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace tsviz::repl {
+
+namespace {
+
+obs::Counter& PullsTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "repl_pulls_total", "RPULL requests served by the relay");
+  return c;
+}
+obs::Counter& ShippedTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "repl_records_shipped_total", "Records shipped to followers");
+  return c;
+}
+obs::Counter& DivergenceTotal() {
+  static obs::Counter& c = obs::GetCounter(
+      "repl_divergence_total",
+      "Pulls answered DIVERGED (follower chain proof failed)");
+  return c;
+}
+
+bool ParseUint(const std::string& token, uint64_t* out) {
+  if (token.empty()) return false;
+  uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseHex64(const std::string& token, uint64_t* out) {
+  if (token.empty() || token.size() > 16) return false;
+  uint64_t value = 0;
+  for (char c : token) {
+    int nibble;
+    if (c >= '0' && c <= '9') nibble = c - '0';
+    else if (c >= 'a' && c <= 'f') nibble = c - 'a' + 10;
+    else return false;
+    value = (value << 4) | static_cast<uint64_t>(nibble);
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Relay::Relay(ReplLog* log, RelayOptions options)
+    : log_(log), options_(options) {}
+
+Relay::~Relay() { Stop(); }
+
+Status Relay::Start() {
+  if (server_ != nullptr) return Status::OK();
+  net::NetServerOptions net_options;
+  net_options.listen_backlog = options_.listen_backlog;
+  net_options.workers = options_.workers;
+  auto server = std::make_unique<net::NetServer>(
+      net_options, [this](const net::Request& request) {
+        net::Response response;
+        response.payload = Handle(request.line) + "\n";
+        return response;
+      });
+  TSVIZ_RETURN_IF_ERROR(server->Start(options_.port));
+  server_ = std::move(server);
+  return Status::OK();
+}
+
+void Relay::Stop() {
+  if (server_ != nullptr) {
+    server_->Stop();
+    server_.reset();
+  }
+}
+
+int Relay::port() const {
+  return server_ != nullptr ? server_->port() : options_.port;
+}
+
+std::string Relay::Handle(const std::string& line) {
+  std::istringstream in(line);
+  std::string verb, seq_token, chain_token, max_token;
+  in >> verb >> seq_token >> chain_token >> max_token;
+  uint64_t from_seq = 0;
+  uint64_t chain = 0;
+  uint64_t max_records = 0;
+  if (verb != "RPULL" || !ParseUint(seq_token, &from_seq) ||
+      !ParseHex64(chain_token, &chain) || !ParseUint(max_token, &max_records) ||
+      from_seq == 0) {
+    return "ERROR: expected RPULL <from_seq> <chain> <max>\n";
+  }
+  PullsTotal().Inc();
+  pulls_.fetch_add(1, std::memory_order_relaxed);
+
+  const uint64_t last = log_->last_seq();
+  // The chain proof: the follower's record from_seq-1 must carry the same
+  // chain hash as ours. A follower past our end, or presenting a different
+  // chain, has a history that is not a prefix of this log (primary
+  // re-initialized, or one side corrupted) — it must re-bootstrap.
+  auto expected = log_->ChainAt(from_seq - 1);
+  if (!expected.ok() || *expected != chain) {
+    DivergenceTotal().Inc();
+    divergences_.fetch_add(1, std::memory_order_relaxed);
+    return "DIVERGED " + std::to_string(last) + "\n";
+  }
+
+  auto records = log_->Read(from_seq, max_records);
+  if (!records.ok()) {
+    return "ERROR: " + records.status().ToString() + "\n";
+  }
+  std::string reply = "OK " + std::to_string(last) + "\n";
+  for (const ReplRecord& record : *records) {
+    std::string frame;
+    EncodeFrame(record, &frame);
+    reply += "R " + HexEncode(frame) + "\n";
+  }
+  ShippedTotal().Inc(records->size());
+  return reply;
+}
+
+}  // namespace tsviz::repl

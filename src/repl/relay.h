@@ -1,0 +1,70 @@
+#ifndef TSVIZ_REPL_RELAY_H_
+#define TSVIZ_REPL_RELAY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "net/net_server.h"
+#include "repl/log.h"
+
+namespace tsviz::repl {
+
+// The primary side of WAL shipping: a second NetServer (own listener, own
+// small worker pool) serving the pull protocol straight out of the
+// replication log. Pull-based so the primary holds no per-follower state —
+// a follower resumes from its own durable watermark and an idle pull
+// doubles as the liveness heartbeat.
+//
+// Protocol (newline-delimited, blank-line-terminated like the SQL port):
+//   request:  RPULL <from_seq> <chain_hex16> <max>
+//     from_seq  first sequence wanted (watermark + 1)
+//     chain     the chain hash after record from_seq-1 (kChainSeed at 0),
+//               proving the follower's prefix matches the primary's log
+//   reply:    OK <last_seq>        then one "R <hex-frame>" line per record
+//             DIVERGED <last_seq>  chain proof failed: the follower's
+//                                  history is not a prefix of ours — it
+//                                  must wipe and re-bootstrap from seq 0
+//             ERROR: <status>      malformed request or log read failure
+struct RelayOptions {
+  int port = 0;  // 0 picks an ephemeral port (tests)
+  int listen_backlog = 16;
+  int workers = 2;
+  size_t max_records_per_pull = 256;
+};
+
+class Relay {
+ public:
+  // `log` must outlive the relay.
+  Relay(ReplLog* log, RelayOptions options);
+  ~Relay();
+
+  Relay(const Relay&) = delete;
+  Relay& operator=(const Relay&) = delete;
+
+  Status Start();
+  void Stop();
+
+  // Bound port (valid after Start; differs from options.port when 0).
+  int port() const;
+
+  uint64_t pulls() const { return pulls_.load(std::memory_order_relaxed); }
+  uint64_t divergences_reported() const {
+    return divergences_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::string Handle(const std::string& line);
+
+  ReplLog* log_;
+  RelayOptions options_;
+  std::unique_ptr<net::NetServer> server_;
+  std::atomic<uint64_t> pulls_{0};
+  std::atomic<uint64_t> divergences_{0};
+};
+
+}  // namespace tsviz::repl
+
+#endif  // TSVIZ_REPL_RELAY_H_

@@ -1,0 +1,40 @@
+#ifndef TSVIZ_REPL_TARGET_H_
+#define TSVIZ_REPL_TARGET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_range.h"
+#include "common/types.h"
+
+namespace tsviz::repl {
+
+// What the Applier needs from the follower's database, as an interface so
+// repl/ does not depend on db/ (the same cycle-break as bg::StoreCatalog:
+// the lower layer defines the interface, Database implements it).
+//
+// Every method must be effect-idempotent: the applier replays from its
+// durable watermark after a crash, so any suffix of records can be applied
+// more than once. Re-putting the same (t, v) points, re-deleting the same
+// range, and re-dropping an absent series must all converge to the same
+// final state.
+class ReplicaTarget {
+ public:
+  virtual ~ReplicaTarget() = default;
+
+  virtual Status ApplyPutBatch(const std::string& series,
+                               const std::vector<Point>& points) = 0;
+  virtual Status ApplyDeleteRange(const std::string& series,
+                                  const TimeRange& range) = 0;
+  // Dropping a series that does not exist is OK (idempotent replay).
+  virtual Status ApplyDropSeries(const std::string& series) = 0;
+
+  // Removes every local series and its data. Called when the primary
+  // reports divergence, before re-bootstrapping from seq 0.
+  virtual Status WipeForResync() = 0;
+};
+
+}  // namespace tsviz::repl
+
+#endif  // TSVIZ_REPL_TARGET_H_

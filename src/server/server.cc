@@ -79,6 +79,8 @@ SqlServer::Reply SqlServer::ExecuteLine(const std::string& line,
     errors.Inc();
     reply = "ERROR: " + parsed.status().ToString() + "\n";
   } else {
+    const bool is_select =
+        std::holds_alternative<sql::SelectStatement>(*parsed);
     // Reads run lock-free against the immutable chunk snapshot; only write
     // statements serialize on the storage single-writer contract.
     // Statements route through the flight recorder, so the history a client
@@ -95,9 +97,16 @@ SqlServer::Reply SqlServer::ExecuteLine(const std::string& line,
     }();
     if (result.ok()) {
       reply = result->ToCsv();
+      if (is_select && db_->IsReplica()) {
+        // Follower reads advertise their staleness in-band: clients see
+        // exactly how old the answer may be without a second round trip.
+        reply += "replica_lag_ms," +
+                 std::to_string(db_->replication_lag_ms()) + "\n";
+      }
     } else {
       errors.Inc();
-      reply = "ERROR: " + result.status().ToString() + "\n";
+      reply = "ERROR: " + result.status().ToString() +
+              (result.status().retryable() ? " (retryable)" : "") + "\n";
     }
   }
   query_millis.Observe(timer.ElapsedMillis());
@@ -142,7 +151,8 @@ std::vector<net::Response> SqlServer::ExecuteBatch(
       payload = result->ToCsv();
     } else {
       errors.Inc();
-      payload = "ERROR: " + result.status().ToString() + "\n";
+      payload = "ERROR: " + result.status().ToString() +
+                (result.status().retryable() ? " (retryable)" : "") + "\n";
     }
     payload += "\n";  // blank-line terminator
     query_millis.Observe(per_statement_millis);
@@ -180,6 +190,7 @@ Status SqlServer::Start(int port) {
     net::NetServerOptions options;
     options.listen_backlog = db_->listen_backlog();
     options.max_connections = [db = db_] { return db->max_connections(); };
+    options.idle_timeout_ms = [db = db_] { return db->idle_timeout_ms(); };
     options.on_open = [this] { RecordConnectionOpened(); };
     options.on_close = [this](uint64_t requests, double millis) {
       RecordConnectionClosed(requests, millis);

@@ -182,12 +182,21 @@ struct DumpTraceStatement {
                          const DumpTraceStatement&) = default;
 };
 
+// SHOW REPLICATION: the node's replication role and progress (role, state,
+// sequence numbers, lag, reconnect/divergence counters), one key,value row
+// per field.
+struct ShowReplicationStatement {
+  friend bool operator==(const ShowReplicationStatement&,
+                         const ShowReplicationStatement&) = default;
+};
+
 // Any parseable top-level statement.
 using Statement =
     std::variant<SelectStatement, ShowMetricsStatement, SetStatement,
                  FlushStatement, CompactStatement, InsertStatement,
                  ShowJobsStatement, ShowSeriesStatement, ShowQueriesStatement,
-                 ShowProfileStatement, DumpTraceStatement>;
+                 ShowProfileStatement, DumpTraceStatement,
+                 ShowReplicationStatement>;
 
 // True when executing the statement mutates database state; the server uses
 // this to decide whether a query needs the write lock. SET mutates database

@@ -558,6 +558,38 @@ Result<ResultSet> DumpTrace(const std::string& path) {
   return result;
 }
 
+// SHOW REPLICATION: key,value rows describing the node's replication role
+// and progress. On a standalone node it still answers (role STANDALONE) so
+// tooling can probe any node with one statement.
+ResultSet ShowReplication(Database* db) {
+  const ReplicationStatus rs = db->replication_status();
+  ResultSet result({"key", "value"});
+  auto add = [&result](const std::string& key, const std::string& value) {
+    result.AddRow({ResultSet::Cell(key), ResultSet::Cell(value)});
+  };
+  add("role", ReplicationRoleName(rs.role));
+  add("state", rs.state);
+  switch (rs.role) {
+    case ReplicationRole::kStandalone:
+      break;
+    case ReplicationRole::kPrimary:
+      add("listen_port", std::to_string(rs.listen_port));
+      add("last_seq", std::to_string(rs.last_seq));
+      add("divergences", std::to_string(rs.divergences));
+      break;
+    case ReplicationRole::kReplica:
+      add("primary", rs.primary);
+      add("applied_seq", std::to_string(rs.last_seq));
+      add("primary_seq", std::to_string(rs.primary_seq));
+      add("lag_ms", std::to_string(rs.lag_ms));
+      add("max_staleness_ms", std::to_string(db->max_staleness_ms()));
+      add("reconnects", std::to_string(rs.reconnects));
+      add("divergences", std::to_string(rs.divergences));
+      break;
+  }
+  return result;
+}
+
 ResultSet ShowJobs(Database* db) {
   ResultSet result({"id", "key", "type", "state", "periodic", "runs",
                     "last_millis", "last_status"});
@@ -589,6 +621,9 @@ Result<ResultSet> ExecuteStatement(Database* db, const Statement& statement,
   }
   if (std::holds_alternative<ShowQueriesStatement>(statement)) {
     return ShowQueries();
+  }
+  if (std::holds_alternative<ShowReplicationStatement>(statement)) {
+    return ShowReplication(db);
   }
   if (const ShowProfileStatement* profile =
           std::get_if<ShowProfileStatement>(&statement)) {
@@ -642,6 +677,10 @@ Result<ResultSet> ExecuteStatement(Database* db, const Statement& statement,
     return result;
   }
   const SelectStatement& stmt = std::get<SelectStatement>(statement);
+  // Bounded-staleness gate: on a replica past its staleness bound (or
+  // quarantined mid-resync) the SELECT fails retryably instead of serving
+  // arbitrarily old data.
+  TSVIZ_RETURN_IF_ERROR(db->CheckReplicaRead());
   TSVIZ_ASSIGN_OR_RETURN(TsStore * store, db->GetSeries(stmt.series));
   ExecOptions options;
   options.result_cache = &db->result_cache();

@@ -348,6 +348,11 @@ Result<Statement> ParseStatement(const std::string& statement) {
         tokens[2].type == TokenType::kEnd) {
       return Statement(ShowQueriesStatement{});
     }
+    if (tokens.size() == 3 && tokens[1].type == TokenType::kIdentifier &&
+        IdentEquals(tokens[1].text, "REPLICATION") &&
+        tokens[2].type == TokenType::kEnd) {
+      return Statement(ShowReplicationStatement{});
+    }
     if (tokens.size() >= 3 && tokens[1].type == TokenType::kIdentifier &&
         IdentEquals(tokens[1].text, "PROFILE")) {
       if (tokens.size() == 3 && tokens[2].type == TokenType::kEnd) {
@@ -364,8 +369,8 @@ Result<Statement> ParseStatement(const std::string& statement) {
         !IdentEquals(tokens[1].text, "METRICS") ||
         tokens[2].type != TokenType::kEnd) {
       return Status::InvalidArgument(
-          "expected SHOW METRICS, SHOW JOBS, SHOW SERIES, SHOW QUERIES or "
-          "SHOW PROFILE [RESET]");
+          "expected SHOW METRICS, SHOW JOBS, SHOW SERIES, SHOW QUERIES, "
+          "SHOW REPLICATION or SHOW PROFILE [RESET]");
     }
     return Statement(ShowMetricsStatement{});
   }
@@ -456,10 +461,14 @@ Result<Statement> ParseStatement(const std::string& statement) {
   }
   if (!tokens.empty() && tokens[0].type == TokenType::kIdentifier &&
       IdentEquals(tokens[0].text, "SET")) {
+    // The value is a number, a bare word (enum knobs), or a quoted string
+    // (SET replica_of = '127.0.0.1:7001' — host:port does not lex as one
+    // identifier).
     if (tokens.size() != 5 || tokens[1].type != TokenType::kIdentifier ||
         tokens[2].type != TokenType::kEq ||
         (tokens[3].type != TokenType::kNumber &&
-         tokens[3].type != TokenType::kIdentifier) ||
+         tokens[3].type != TokenType::kIdentifier &&
+         tokens[3].type != TokenType::kString) ||
         tokens[4].type != TokenType::kEnd) {
       return Status::InvalidArgument(
           std::string("expected SET <name> = <value>; valid knobs: ") +

@@ -185,20 +185,23 @@ Status WalWriter::RotateTo(const std::string& old_path) {
   return Status::OK();
 }
 
-Result<std::vector<WalRecord>> ReadWal(const std::string& path,
-                                       bool* truncated_tail) {
-  if (truncated_tail != nullptr) *truncated_tail = false;
-  std::vector<WalRecord> records;
+Result<WalSegmentSlice> ReadWalFrom(const std::string& path,
+                                    uint64_t offset) {
+  WalSegmentSlice slice;
+  slice.next_offset = offset;
   auto read = GetEnv()->ReadFileToString(path);
   if (!read.ok()) {
     if (read.status().code() == StatusCode::kNotFound) {
-      return records;  // no log yet
+      return slice;  // no log yet
     }
     return read.status();
   }
   const std::string content = std::move(read).value();
+  if (offset > content.size()) {
+    return Status::InvalidArgument("wal offset past end of " + path);
+  }
 
-  std::string_view cursor = content;
+  std::string_view cursor = std::string_view(content).substr(offset);
   while (cursor.size() >= kRecordSize) {
     std::string_view body = cursor.substr(0, kRecordSize - 8);
     std::string_view checksum_view = cursor.substr(kRecordSize - 8, 8);
@@ -222,11 +225,19 @@ Result<std::vector<WalRecord>> ReadWal(const std::string& path,
     } else {
       break;  // unknown type: treat as corruption boundary
     }
-    records.push_back(record);
+    slice.records.push_back(record);
     cursor.remove_prefix(kRecordSize);
+    slice.next_offset += kRecordSize;
   }
-  if (!cursor.empty() && truncated_tail != nullptr) *truncated_tail = true;
-  return records;
+  slice.truncated_tail = !cursor.empty();
+  return slice;
+}
+
+Result<std::vector<WalRecord>> ReadWal(const std::string& path,
+                                       bool* truncated_tail) {
+  TSVIZ_ASSIGN_OR_RETURN(WalSegmentSlice slice, ReadWalFrom(path, 0));
+  if (truncated_tail != nullptr) *truncated_tail = slice.truncated_tail;
+  return std::move(slice.records);
 }
 
 }  // namespace tsviz

@@ -99,6 +99,25 @@ class WalWriter {
 Result<std::vector<WalRecord>> ReadWal(const std::string& path,
                                        bool* truncated_tail = nullptr);
 
+// One incremental read of a WAL segment, for consumers that tail a live log
+// (replication relays, tools) instead of replaying it whole.
+struct WalSegmentSlice {
+  std::vector<WalRecord> records;
+  // Byte offset just past the last whole record decoded; pass it back as
+  // the next call's `offset` to resume. Never points into a record.
+  uint64_t next_offset = 0;
+  // A checksum/size mismatch stopped the decode before the end of the
+  // segment. On a live log this is usually an append racing the read and
+  // clears on the next call; after a crash it marks the torn tail.
+  bool truncated_tail = false;
+};
+
+// Decodes whole records from byte `offset` to the end of the segment.
+// `offset` must be a record boundary previously returned in next_offset (or
+// 0). A missing file yields an empty slice with next_offset == offset, so
+// tailing a not-yet-created log is not an error.
+Result<WalSegmentSlice> ReadWalFrom(const std::string& path, uint64_t offset);
+
 }  // namespace tsviz
 
 #endif  // TSVIZ_STORAGE_WAL_H_

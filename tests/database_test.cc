@@ -219,9 +219,20 @@ TEST(DatabaseTest, KnobCatalogHasNoDrift) {
                        Database::Open(TestConfig(dir.path())));
   for (size_t i = 0; i < kNumSetKnobs; ++i) {
     std::string knob = kSetKnobNames[i];
-    Status status = knob == "read_tolerance"
-                        ? db->ApplySetting(knob, std::string("degrade"))
-                        : db->ApplySetting(knob, 1);
+    // Word-valued and role-changing knobs get their no-op spellings:
+    // read_tolerance takes a word, replica_of = off and
+    // repl_listen_port = 0 disable roles that were never enabled (binding
+    // a relay port or dialing a primary is replication's own test's job).
+    Status status;
+    if (knob == "read_tolerance") {
+      status = db->ApplySetting(knob, std::string("degrade"));
+    } else if (knob == "replica_of") {
+      status = db->ApplySetting(knob, std::string("off"));
+    } else if (knob == "repl_listen_port") {
+      status = db->ApplySetting(knob, 0);
+    } else {
+      status = db->ApplySetting(knob, 1);
+    }
     EXPECT_TRUE(status.ok()) << knob << ": " << status.ToString();
   }
 

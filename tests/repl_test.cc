@@ -1,0 +1,532 @@
+// Replication subsystem tests: record framing and chain hashing, the
+// primary's replication log, and end-to-end primary/follower pairs over
+// loopback — bootstrap, live streaming, watermark resume, divergence
+// quarantine + resync, follower read gating (read-only writes, bounded
+// staleness) and the SQL/server surface (SHOW REPLICATION, SET replica_of,
+// the replica_lag_ms trailer row).
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "db/database.h"
+#include "net/client_channel.h"
+#include "repl/log.h"
+#include "repl/record.h"
+#include "server/server.h"
+#include "sql/executor.h"
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+using repl::ChainHash;
+using repl::DecodeFrame;
+using repl::EncodeFrame;
+using repl::HexDecode;
+using repl::HexEncode;
+using repl::kChainSeed;
+using repl::ReplLog;
+using repl::ReplOp;
+using repl::ReplRecord;
+
+DatabaseConfig TestConfig(const std::string& root) {
+  DatabaseConfig config;
+  config.root_dir = root;
+  config.series_defaults.points_per_chunk = 50;
+  config.series_defaults.memtable_flush_threshold = 100000;
+  return config;
+}
+
+// Polls `pred` until it holds or `deadline_ms` passes.
+bool WaitUntil(const std::function<bool()>& pred, int deadline_ms = 15000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+// The follower has applied everything the primary has logged and left the
+// SYNCING quarantine.
+bool CaughtUp(Database& follower, Database& primary) {
+  const ReplicationStatus fs = follower.replication_status();
+  const ReplicationStatus ps = primary.replication_status();
+  return fs.state == "STREAMING" && fs.last_seq == ps.last_seq;
+}
+
+void AssertM4Identical(Database& got_db, Database& want_db,
+                       const std::string& series, Timestamp start,
+                       Timestamp end, int64_t spans,
+                       const std::string& label) {
+  const M4Query query{start, end, spans};
+  M4Result got;
+  M4Result want;
+  ASSERT_OK_AND_ASSIGN(got, got_db.QueryM4(series, query, nullptr));
+  ASSERT_OK_AND_ASSIGN(want, want_db.QueryM4(series, query, nullptr));
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].has_data, want[i].has_data) << label << " span " << i;
+    if (!got[i].has_data) continue;
+    EXPECT_EQ(got[i].first, want[i].first) << label << " span " << i;
+    EXPECT_EQ(got[i].last, want[i].last) << label << " span " << i;
+    EXPECT_EQ(got[i].bottom, want[i].bottom) << label << " span " << i;
+    EXPECT_EQ(got[i].top, want[i].top) << label << " span " << i;
+  }
+}
+
+// --- record framing ------------------------------------------------------
+
+TEST(ReplRecordTest, FrameRoundTripsAndChains) {
+  ReplRecord first;
+  first.seq = 1;
+  first.op = ReplOp::kPutBatch;
+  first.series = "temp";
+  first.payload = repl::EncodePointsPayload({{10, 1.5}, {20, -2.5}});
+  first.chain =
+      ChainHash(kChainSeed, first.seq, first.op, first.series, first.payload);
+
+  ReplRecord second;
+  second.seq = 2;
+  second.op = ReplOp::kDeleteRange;
+  second.series = "temp";
+  second.payload = repl::EncodeRangePayload(TimeRange(5, 15));
+  second.chain = ChainHash(first.chain, second.seq, second.op, second.series,
+                           second.payload);
+
+  std::string bytes;
+  EncodeFrame(first, &bytes);
+  EncodeFrame(second, &bytes);
+
+  std::string_view cursor = bytes;
+  ASSERT_OK_AND_ASSIGN(ReplRecord got1, DecodeFrame(&cursor, kChainSeed));
+  EXPECT_EQ(got1, first);
+  ASSERT_OK_AND_ASSIGN(ReplRecord got2, DecodeFrame(&cursor, got1.chain));
+  EXPECT_EQ(got2, second);
+  EXPECT_TRUE(cursor.empty());
+
+  ASSERT_OK_AND_ASSIGN(std::vector<Point> points,
+                       repl::DecodePointsPayload(got1.payload));
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].t, 10);
+  EXPECT_EQ(points[1].v, -2.5);
+  ASSERT_OK_AND_ASSIGN(TimeRange range,
+                       repl::DecodeRangePayload(got2.payload));
+  EXPECT_EQ(range, TimeRange(5, 15));
+}
+
+TEST(ReplRecordTest, CorruptionAndWrongChainAreDetected) {
+  ReplRecord record;
+  record.seq = 1;
+  record.op = ReplOp::kDropSeries;
+  record.series = "doomed";
+  record.chain = ChainHash(kChainSeed, 1, record.op, record.series, "");
+  std::string bytes;
+  EncodeFrame(record, &bytes);
+
+  // Every single-byte flip must fail the decode: the chain hash covers the
+  // whole body and the trailing hash itself cannot be forged.
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x01);
+    std::string_view cursor = mutated;
+    EXPECT_FALSE(DecodeFrame(&cursor, kChainSeed).ok()) << "byte " << i;
+  }
+  // A pristine frame against the wrong previous chain is a divergence, not
+  // a valid record.
+  std::string_view cursor = bytes;
+  EXPECT_FALSE(DecodeFrame(&cursor, kChainSeed ^ 1).ok());
+  // A truncated frame is a torn tail.
+  std::string torn = bytes.substr(0, bytes.size() - 3);
+  cursor = torn;
+  EXPECT_FALSE(DecodeFrame(&cursor, kChainSeed).ok());
+}
+
+TEST(ReplRecordTest, HexCodec) {
+  const std::string bytes("\x00\x7f\xff\x10zz", 6);
+  const std::string hex = HexEncode(bytes);
+  EXPECT_EQ(hex, "007fff107a7a");
+  ASSERT_OK_AND_ASSIGN(std::string back, HexDecode(hex));
+  EXPECT_EQ(back, bytes);
+  EXPECT_FALSE(HexDecode("abc").ok());   // odd length
+  EXPECT_FALSE(HexDecode("zz").ok());    // bad digit
+}
+
+// --- the replication log -------------------------------------------------
+
+TEST(ReplLogTest, AppendReadChainAndReopen) {
+  TempDir dir;
+  const std::string path = dir.path() + "/log";
+  uint64_t chain5 = 0;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<ReplLog> log,
+                         ReplLog::Open(path, /*durable=*/false));
+    EXPECT_EQ(log->last_seq(), 0u);
+    ASSERT_OK_AND_ASSIGN(uint64_t seed, log->ChainAt(0));
+    EXPECT_EQ(seed, kChainSeed);
+    for (uint64_t i = 1; i <= 5; ++i) {
+      uint64_t seq = 0;
+      const ReplOp op = i % 2 ? ReplOp::kPutBatch : ReplOp::kDeleteRange;
+      const std::string payload =
+          i % 2 ? repl::EncodePointsPayload(
+                      {{static_cast<Timestamp>(i), 1.0 * i}})
+                : repl::EncodeRangePayload(TimeRange(0, i));
+      ASSERT_OK(log->Append(op, "s" + std::to_string(i), payload, &seq));
+      EXPECT_EQ(seq, i);
+    }
+    EXPECT_EQ(log->last_seq(), 5u);
+    ASSERT_OK_AND_ASSIGN(chain5, log->ChainAt(5));
+    EXPECT_FALSE(log->ChainAt(6).ok());
+
+    ASSERT_OK_AND_ASSIGN(std::vector<ReplRecord> all, log->Read(1, 100));
+    ASSERT_EQ(all.size(), 5u);
+    EXPECT_EQ(all[0].seq, 1u);
+    EXPECT_EQ(all[4].series, "s5");
+    ASSERT_OK_AND_ASSIGN(std::vector<ReplRecord> mid, log->Read(3, 2));
+    ASSERT_EQ(mid.size(), 2u);
+    EXPECT_EQ(mid[0].seq, 3u);
+    EXPECT_EQ(mid[1].seq, 4u);
+    ASSERT_OK_AND_ASSIGN(std::vector<ReplRecord> none, log->Read(6, 10));
+    EXPECT_TRUE(none.empty());
+    EXPECT_FALSE(log->Read(0, 1).ok());
+    EXPECT_FALSE(log->Read(7, 1).ok());
+  }
+  // Reopen: the index rebuilds from the file and the chain continues.
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ReplLog> log,
+                       ReplLog::Open(path, /*durable=*/false));
+  EXPECT_EQ(log->last_seq(), 5u);
+  ASSERT_OK_AND_ASSIGN(uint64_t chain5_again, log->ChainAt(5));
+  EXPECT_EQ(chain5_again, chain5);
+  uint64_t seq = 0;
+  ASSERT_OK(log->Append(ReplOp::kDropSeries, "s1", "", &seq));
+  EXPECT_EQ(seq, 6u);
+}
+
+TEST(ReplLogTest, TornTailTruncatedOnOpen) {
+  TempDir dir;
+  const std::string path = dir.path() + "/log";
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<ReplLog> log,
+                         ReplLog::Open(path, false));
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_OK(log->Append(ReplOp::kPutBatch, "s",
+                            repl::EncodePointsPayload({{i, 1.0}})));
+    }
+  }
+  {
+    // Simulate a crash mid-append: garbage (a plausible length prefix with
+    // a short body) lands past the last committed record.
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f.write("\x40\x00\x00\x00partial", 11);
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ReplLog> log, ReplLog::Open(path, false));
+  EXPECT_EQ(log->last_seq(), 3u);
+  // The torn bytes are gone: the next append lands cleanly and re-reads.
+  uint64_t seq = 0;
+  ASSERT_OK(log->Append(ReplOp::kPutBatch, "s",
+                        repl::EncodePointsPayload({{9, 9.0}}), &seq));
+  EXPECT_EQ(seq, 4u);
+  ASSERT_OK_AND_ASSIGN(std::vector<ReplRecord> all, log->Read(1, 100));
+  ASSERT_EQ(all.size(), 4u);
+}
+
+// --- end-to-end primary/follower pairs -----------------------------------
+
+TEST(ReplicationTest, BootstrapAndLiveStreamingConverge) {
+  TempDir primary_dir;
+  TempDir follower_dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> primary,
+                       Database::Open(TestConfig(primary_dir.path())));
+  // Pre-replication history: the baseline bootstrap must carry it over.
+  std::vector<Point> history;
+  for (int64_t t = 0; t < 200; ++t) {
+    history.push_back({t, static_cast<double>(t) * 0.5});
+  }
+  ASSERT_OK(primary->WriteBatch("temp", history));
+  ASSERT_OK(primary->Write("doomed", 1, 1.0));
+  ASSERT_OK(primary->EnablePrimary(0));
+  const int port = primary->repl_port();
+  ASSERT_GT(port, 0);
+  EXPECT_EQ(primary->replication_role(), ReplicationRole::kPrimary);
+
+  // Live mutations after the log exists: every replicated op kind.
+  std::vector<Point> live;
+  for (int64_t t = 200; t < 400; ++t) {
+    live.push_back({t, 1000.0 - static_cast<double>(t)});
+  }
+  ASSERT_OK(primary->WriteBatch("temp", live));
+  ASSERT_OK(primary->DeleteRange("temp", TimeRange(50, 99)));
+  ASSERT_OK(primary->DropSeries("doomed"));
+
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> follower,
+                       Database::Open(TestConfig(follower_dir.path())));
+  ASSERT_OK(follower->EnableReplica("127.0.0.1", port));
+  EXPECT_TRUE(follower->IsReplica());
+  ASSERT_TRUE(WaitUntil([&] { return CaughtUp(*follower, *primary); }))
+      << "follower state: " << follower->replication_status().state
+      << " applied " << follower->replication_status().last_seq << "/"
+      << primary->replication_status().last_seq;
+
+  ASSERT_OK(primary->FlushAll());
+  ASSERT_OK(follower->FlushAll());
+  EXPECT_EQ(follower->ListSeries(), std::vector<std::string>{"temp"});
+  AssertM4Identical(*follower, *primary, "temp", 0, 400, 25, "bootstrap");
+
+  // Still live: another burst streams through and converges again.
+  ASSERT_OK(primary->WriteBatch("temp", {{400, 7.0}, {401, -7.0}}));
+  ASSERT_TRUE(WaitUntil([&] { return CaughtUp(*follower, *primary); }));
+  AssertM4Identical(*follower, *primary, "temp", 0, 402, 25, "live burst");
+
+  const ReplicationStatus status = follower->replication_status();
+  EXPECT_EQ(status.role, ReplicationRole::kReplica);
+  EXPECT_EQ(status.primary, "127.0.0.1:" + std::to_string(port));
+  EXPECT_EQ(status.divergences, 0u);
+  EXPECT_EQ(follower->replication_lag_ms(), 0);
+  ASSERT_OK(follower->CheckReplicaRead());
+}
+
+TEST(ReplicationTest, FollowerResumesFromDurableWatermark) {
+  TempDir primary_dir;
+  TempDir follower_dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> primary,
+                       Database::Open(TestConfig(primary_dir.path())));
+  ASSERT_OK(primary->EnablePrimary(0));
+  const int port = primary->repl_port();
+  ASSERT_OK(primary->WriteBatch("s", {{1, 1.0}, {2, 2.0}, {3, 3.0}}));
+
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> follower,
+                       Database::Open(TestConfig(follower_dir.path())));
+  ASSERT_OK(follower->EnableReplica("127.0.0.1", port));
+  ASSERT_TRUE(WaitUntil([&] { return CaughtUp(*follower, *primary); }));
+  const uint64_t applied_before = follower->replication_status().last_seq;
+  ASSERT_GT(applied_before, 0u);
+  ASSERT_OK(follower->DisableReplica());
+  EXPECT_EQ(follower->replication_role(), ReplicationRole::kStandalone);
+
+  // The durable watermark survives the detach.
+  std::ifstream watermark(follower_dir.path() + "/repl/watermark");
+  uint64_t persisted = 0;
+  watermark >> persisted;
+  EXPECT_EQ(persisted, applied_before);
+
+  // New history lands while the follower is away; re-attach resumes from
+  // the watermark (no divergence, no wipe) and converges.
+  ASSERT_OK(primary->WriteBatch("s", {{4, 4.0}, {5, 5.0}}));
+  ASSERT_OK(primary->DeleteRange("s", TimeRange(2, 2)));
+  ASSERT_OK(follower->EnableReplica("127.0.0.1", port));
+  ASSERT_TRUE(WaitUntil([&] { return CaughtUp(*follower, *primary); }));
+  EXPECT_GT(follower->replication_status().last_seq, applied_before);
+  EXPECT_EQ(follower->replication_status().divergences, 0u);
+  ASSERT_OK(primary->FlushAll());
+  ASSERT_OK(follower->FlushAll());
+  AssertM4Identical(*follower, *primary, "s", 0, 6, 3, "resume");
+}
+
+TEST(ReplicationTest, DivergenceQuarantinesAndResyncs) {
+  TempDir a_dir;
+  TempDir b_dir;
+  TempDir follower_dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> a,
+                       Database::Open(TestConfig(a_dir.path())));
+  ASSERT_OK(a->EnablePrimary(0));
+  ASSERT_OK(a->WriteBatch("alpha", {{1, 1.0}, {2, 2.0}}));
+
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> follower,
+                       Database::Open(TestConfig(follower_dir.path())));
+  ASSERT_OK(follower->EnableReplica("127.0.0.1", a->repl_port()));
+  ASSERT_TRUE(WaitUntil([&] { return CaughtUp(*follower, *a); }));
+  ASSERT_OK(follower->DisableReplica());
+
+  // A different primary with an incompatible history: the follower's
+  // watermark chain can never verify against B's log.
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> b,
+                       Database::Open(TestConfig(b_dir.path())));
+  ASSERT_OK(b->EnablePrimary(0));
+  ASSERT_OK(b->WriteBatch("beta", {{1, -1.0}, {2, -2.0}, {3, -3.0}}));
+
+  ASSERT_OK(follower->EnableReplica("127.0.0.1", b->repl_port()));
+  ASSERT_TRUE(WaitUntil([&] { return CaughtUp(*follower, *b); }))
+      << "state: " << follower->replication_status().state;
+  const ReplicationStatus status = follower->replication_status();
+  EXPECT_GE(status.divergences, 1u);
+  // The wipe dropped A's history; only B's survives the resync.
+  EXPECT_EQ(follower->ListSeries(), std::vector<std::string>{"beta"});
+  ASSERT_OK(b->FlushAll());
+  ASSERT_OK(follower->FlushAll());
+  AssertM4Identical(*follower, *b, "beta", 0, 4, 2, "post-resync");
+}
+
+TEST(ReplicationTest, FollowerRejectsClientWritesRetryably) {
+  TempDir primary_dir;
+  TempDir follower_dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> primary,
+                       Database::Open(TestConfig(primary_dir.path())));
+  ASSERT_OK(primary->EnablePrimary(0));
+  ASSERT_OK(primary->Write("s", 1, 1.0));
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> follower,
+                       Database::Open(TestConfig(follower_dir.path())));
+  ASSERT_OK(follower->EnableReplica("127.0.0.1", primary->repl_port()));
+  ASSERT_TRUE(WaitUntil([&] { return CaughtUp(*follower, *primary); }));
+
+  for (const Status& rejected :
+       {follower->Write("s", 9, 9.0),
+        follower->WriteBatch("s", {{9, 9.0}}),
+        follower->DeleteRange("s", TimeRange(0, 9)),
+        follower->DropSeries("s")}) {
+    EXPECT_EQ(rejected.code(), StatusCode::kUnavailable);
+    EXPECT_TRUE(rejected.retryable());
+    EXPECT_NE(rejected.ToString().find("read-only replica"),
+              std::string::npos);
+  }
+  // The SQL surface reports the same rejection.
+  const Status sql =
+      sql::ExecuteQuery(follower.get(), "INSERT INTO s VALUES (9, 9.0)")
+          .status();
+  EXPECT_EQ(sql.code(), StatusCode::kUnavailable);
+
+  // Becoming a primary while a replica is a guarded transition.
+  EXPECT_EQ(follower->EnablePrimary(0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(primary->EnableReplica("127.0.0.1", 9).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ReplicationTest, BoundedStalenessGatesFollowerReads) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> follower,
+                       Database::Open(TestConfig(dir.path())));
+  // A primary that never answers: lag grows from the moment of attach.
+  ASSERT_OK(follower->EnableReplica("127.0.0.1", 1));
+  ASSERT_OK(follower->ApplySetting("max_staleness_ms", 1));
+  ASSERT_TRUE(WaitUntil([&] { return !follower->CheckReplicaRead().ok(); },
+                        5000));
+  const Status stale = follower->CheckReplicaRead();
+  EXPECT_EQ(stale.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(stale.retryable());
+  EXPECT_NE(stale.ToString().find("max_staleness_ms"), std::string::npos);
+
+  // The executor's SELECT path enforces the bound before touching series.
+  const Status select =
+      sql::ExecuteQuery(follower.get(), "SELECT v FROM anything").status();
+  EXPECT_EQ(select.code(), StatusCode::kUnavailable);
+  EXPECT_NE(select.ToString().find("max_staleness_ms"), std::string::npos);
+
+  // No bound (0): reads are governed by the application again.
+  ASSERT_OK(follower->ApplySetting("max_staleness_ms", 0));
+  EXPECT_OK(follower->CheckReplicaRead());
+}
+
+// --- SQL and server surface ----------------------------------------------
+
+std::string RowValue(const sql::ResultSet& rows, const std::string& key) {
+  const std::string csv = rows.ToCsv();
+  const std::string needle = key + ",";
+  size_t pos = csv.find(needle);
+  if (pos == std::string::npos) return "<missing " + key + ">";
+  pos += needle.size();
+  return csv.substr(pos, csv.find('\n', pos) - pos);
+}
+
+TEST(ReplicationSqlTest, ShowReplicationAndSetKnobs) {
+  TempDir primary_dir;
+  TempDir follower_dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> primary,
+                       Database::Open(TestConfig(primary_dir.path())));
+  ASSERT_OK_AND_ASSIGN(sql::ResultSet rows,
+                       sql::ExecuteQuery(primary.get(), "SHOW REPLICATION"));
+  EXPECT_EQ(RowValue(rows, "role"), "STANDALONE");
+
+  // SET repl_listen_port = 0 on a standalone node is a no-op disable; an
+  // ephemeral bind comes from the Database API (SQL has no port 0 idiom
+  // that would be useful to a real deployment, but it works the same way).
+  ASSERT_OK(primary->EnablePrimary(0));
+  const int port = primary->repl_port();
+  ASSERT_OK(primary->WriteBatch("temp", {{1, 1.0}, {2, 2.0}}));
+  ASSERT_OK_AND_ASSIGN(rows,
+                       sql::ExecuteQuery(primary.get(), "SHOW REPLICATION"));
+  EXPECT_EQ(RowValue(rows, "role"), "PRIMARY");
+  EXPECT_EQ(RowValue(rows, "state"), "SERVING");
+  EXPECT_EQ(RowValue(rows, "listen_port"), std::to_string(port));
+
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> follower,
+                       Database::Open(TestConfig(follower_dir.path())));
+  // Attach through SQL: the quoted-string SET form.
+  ASSERT_OK(sql::ExecuteQuery(
+                follower.get(),
+                "SET replica_of = '127.0.0.1:" + std::to_string(port) + "'")
+                .status());
+  ASSERT_TRUE(WaitUntil([&] { return CaughtUp(*follower, *primary); }));
+  ASSERT_OK_AND_ASSIGN(rows,
+                       sql::ExecuteQuery(follower.get(), "SHOW REPLICATION"));
+  EXPECT_EQ(RowValue(rows, "role"), "REPLICA");
+  EXPECT_EQ(RowValue(rows, "state"), "STREAMING");
+  EXPECT_EQ(RowValue(rows, "primary"),
+            "127.0.0.1:" + std::to_string(port));
+
+  // Detach through SQL: the bare-word form.
+  ASSERT_OK(sql::ExecuteQuery(follower.get(), "SET replica_of = off")
+                .status());
+  ASSERT_OK_AND_ASSIGN(rows,
+                       sql::ExecuteQuery(follower.get(), "SHOW REPLICATION"));
+  EXPECT_EQ(RowValue(rows, "role"), "STANDALONE");
+
+  // Malformed targets are rejected without changing the role.
+  EXPECT_FALSE(
+      sql::ExecuteQuery(follower.get(), "SET replica_of = 'noport'").ok());
+  EXPECT_EQ(RowValue(rows, "role"), "STANDALONE");
+}
+
+TEST(ReplicationServerTest, FollowerSelectCarriesLagRowAndRetryableErrors) {
+  TempDir primary_dir;
+  TempDir follower_dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> primary,
+                       Database::Open(TestConfig(primary_dir.path())));
+  ASSERT_OK(primary->EnablePrimary(0));
+  ASSERT_OK(primary->WriteBatch("temp", {{1, 1.0}, {2, 2.0}, {3, 3.0}}));
+
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> follower,
+                       Database::Open(TestConfig(follower_dir.path())));
+  ASSERT_OK(follower->EnableReplica("127.0.0.1", primary->repl_port()));
+  ASSERT_TRUE(WaitUntil([&] { return CaughtUp(*follower, *primary); }));
+  ASSERT_OK(follower->FlushAll());
+
+  SqlServer server(follower.get());
+  ASSERT_OK(server.Start(0));
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<net::ClientChannel> client,
+      net::ClientChannel::Connect("127.0.0.1", server.port(), 1000));
+
+  // A follower SELECT reply ends with the replica_lag_ms trailer row.
+  ASSERT_OK_AND_ASSIGN(std::vector<std::string> reply,
+                       client->Call("SELECT count(v) FROM temp", 2000));
+  ASSERT_GE(reply.size(), 2u);
+  EXPECT_EQ(reply.back().rfind("replica_lag_ms,", 0), 0u) << reply.back();
+
+  // A rejected follower write names the condition and flags retryability.
+  ASSERT_OK_AND_ASSIGN(reply,
+                       client->Call("INSERT INTO temp VALUES (9, 9.0)", 2000));
+  ASSERT_EQ(reply.size(), 1u);
+  EXPECT_EQ(reply[0].rfind("ERROR: ", 0), 0u);
+  EXPECT_NE(reply[0].find("read-only replica"), std::string::npos);
+  EXPECT_NE(reply[0].find("(retryable)"), std::string::npos);
+
+  // Non-retryable errors carry no such suffix.
+  ASSERT_OK_AND_ASSIGN(reply, client->Call("SELECT v FROM ghost", 2000));
+  ASSERT_EQ(reply.size(), 1u);
+  EXPECT_EQ(reply[0].rfind("ERROR: ", 0), 0u);
+  EXPECT_EQ(reply[0].find("(retryable)"), std::string::npos);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace tsviz

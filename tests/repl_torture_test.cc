@@ -1,0 +1,300 @@
+// Crash and fault torture for the replication subsystem.
+//
+// The torture script drives a primary/follower pair over loopback through
+// every replication crash point: the primary's {log append, store apply}
+// window and both sides of the follower's watermark commit. Each crash test
+// forks a child that runs BOTH databases, arms exactly one crash point, and
+// dies at it (the applier thread and the write path both live in the
+// child). The parent then recovers by re-running the whole deterministic
+// script against the surviving directories and asserts the follower's M4
+// representation is bit-identical to the primary's and to a twin pair that
+// never crashed. The equivalence argument is the same as the storage
+// torture's: the script is deterministic, every replicated op is
+// effect-idempotent, and replay from any watermark re-applies a suffix
+// whose re-execution cannot change the final state.
+//
+// The fault sweeps then run the live pair under randomized EIO, short-read
+// and torn-append injection: any Status outcome is acceptable while faults
+// are armed, but neither process may crash, and after the injection stops
+// (plus a restart, the recovery a real deployment would perform) the pair
+// must reconverge bit-identically.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "db/database.h"
+#include "test_util.h"
+
+namespace tsviz {
+namespace {
+
+// Every replication crash point registered in src/repl and src/db.
+// tools/check_crashpoints.py verifies this file mentions each repl.* point,
+// and CrashPointDiscovery verifies the script actually reaches them.
+const char* const kReplCrashPoints[] = {
+    "repl.log.after_append",
+    "repl.apply.after_apply",
+    "repl.watermark.before_commit",
+    "repl.watermark.after_commit",
+};
+
+DatabaseConfig ReplConfig(const std::string& root) {
+  DatabaseConfig config;
+  config.root_dir = root;
+  config.series_defaults.points_per_chunk = 50;
+  config.series_defaults.memtable_flush_threshold = 100000;
+  return config;
+}
+
+// Blocks until the follower has applied the primary's whole log (state
+// STREAMING, sequence numbers equal); a bounded wait so a wedged child
+// reports an error instead of hanging the fork harness.
+Status AwaitCatchUp(Database& follower, Database& primary, int deadline_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  for (;;) {
+    const ReplicationStatus fs = follower.replication_status();
+    const ReplicationStatus ps = primary.replication_status();
+    if (fs.state == "STREAMING" && fs.last_seq == ps.last_seq) {
+      return Status::OK();
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::Unavailable(
+          "follower stuck at " + std::to_string(fs.last_seq) + "/" +
+          std::to_string(ps.last_seq) + " in state " + fs.state);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+// The deterministic workload. Must traverse every name in kReplCrashPoints
+// and every replicated op (put batch, range delete, series drop), across
+// both the bootstrap and the live-streaming phase.
+Status RunReplTortureScript(const std::string& primary_dir,
+                            const std::string& follower_dir) {
+  TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<Database> primary,
+                         Database::Open(ReplConfig(primary_dir)));
+  // Pre-replication history: carried to followers by the bootstrap
+  // baseline on the first EnablePrimary, by log replay afterwards.
+  std::vector<Point> history;
+  for (int64_t t = 0; t < 150; ++t) {
+    history.push_back({t, static_cast<double>(t) * 0.5});
+  }
+  TSVIZ_RETURN_IF_ERROR(primary->WriteBatch("t", history));
+  TSVIZ_RETURN_IF_ERROR(primary->EnablePrimary(0));
+
+  // Live mutations: logged before applied (repl.log.after_append).
+  std::vector<Point> live;
+  for (int64_t t = 150; t < 300; ++t) {
+    live.push_back({t, 1000.0 - static_cast<double>(t)});
+  }
+  TSVIZ_RETURN_IF_ERROR(primary->WriteBatch("t", live));
+  TSVIZ_RETURN_IF_ERROR(primary->Write("victim", 1, 1.0));
+  TSVIZ_RETURN_IF_ERROR(primary->Write("victim", 2, 2.0));
+  TSVIZ_RETURN_IF_ERROR(primary->DeleteRange("t", TimeRange(40, 79)));
+  TSVIZ_RETURN_IF_ERROR(primary->DropSeries("victim"));
+
+  TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<Database> follower,
+                         Database::Open(ReplConfig(follower_dir)));
+  TSVIZ_RETURN_IF_ERROR(
+      follower->EnableReplica("127.0.0.1", primary->repl_port()));
+  TSVIZ_RETURN_IF_ERROR(AwaitCatchUp(*follower, *primary, 30000));
+
+  // Streaming-phase records: applied while the follower is caught up, so
+  // the watermark commit points are traversed past the bootstrap too.
+  TSVIZ_RETURN_IF_ERROR(primary->WriteBatch(
+      "t", {{300, 3.0}, {301, -3.0}, {302, 30.0}}));
+  TSVIZ_RETURN_IF_ERROR(AwaitCatchUp(*follower, *primary, 30000));
+
+  TSVIZ_RETURN_IF_ERROR(primary->FlushAll());
+  TSVIZ_RETURN_IF_ERROR(follower->FlushAll());
+  return Status::OK();
+}
+
+Result<M4Result> QueryReplResult(const std::string& dir) {
+  TSVIZ_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                         Database::Open(ReplConfig(dir)));
+  const M4Query query{0, 303, 25};
+  return db->QueryM4("t", query, nullptr);
+}
+
+// Strict equality: recovery must reproduce the exact representation.
+void AssertResultsIdentical(const M4Result& got, const M4Result& want,
+                            const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].has_data, want[i].has_data) << label << " span " << i;
+    if (!got[i].has_data) continue;
+    EXPECT_EQ(got[i].first, want[i].first) << label << " span " << i;
+    EXPECT_EQ(got[i].last, want[i].last) << label << " span " << i;
+    EXPECT_EQ(got[i].bottom, want[i].bottom) << label << " span " << i;
+    EXPECT_EQ(got[i].top, want[i].top) << label << " span " << i;
+  }
+}
+
+// The script must reach every registered replication crash point, or the
+// kill tests below are vacuous.
+TEST(ReplTortureTest, CrashPointDiscovery) {
+  TempDir primary_dir;
+  TempDir follower_dir;
+  ASSERT_OK(RunReplTortureScript(primary_dir.path(), follower_dir.path()));
+  const std::vector<std::string> seen = SeenCrashPoints();
+  for (const char* name : kReplCrashPoints) {
+    EXPECT_TRUE(std::find(seen.begin(), seen.end(), name) != seen.end())
+        << "replication torture script never reached crash point " << name;
+  }
+}
+
+TEST(ReplTortureTest, KillAtEveryCrashPointRecoversBitIdentical) {
+  // The never-crashed twin pair, computed once.
+  TempDir twin_primary;
+  TempDir twin_follower;
+  ASSERT_OK(RunReplTortureScript(twin_primary.path(), twin_follower.path()));
+  M4Result twin;
+  ASSERT_OK_AND_ASSIGN(twin, QueryReplResult(twin_follower.path()));
+  ASSERT_FALSE(twin.empty());
+  M4Result twin_on_primary;
+  ASSERT_OK_AND_ASSIGN(twin_on_primary, QueryReplResult(twin_primary.path()));
+  AssertResultsIdentical(twin, twin_on_primary, "twin pair");
+
+  for (const char* name : kReplCrashPoints) {
+    TempDir primary_dir;
+    TempDir follower_dir;
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: both databases live here, so the armed point kills the
+      // whole pair no matter which side (write path or applier thread)
+      // traverses it. Completing the script means the point was never
+      // reached; report that distinctly.
+      ArmCrashPoint(name);
+      const Status status =
+          RunReplTortureScript(primary_dir.path(), follower_dir.path());
+      std::_Exit(status.ok() ? 0 : 3);
+    }
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFEXITED(wstatus)) << name;
+    ASSERT_EQ(WEXITSTATUS(wstatus), kCrashPointExitCode)
+        << name << ": child exited " << WEXITSTATUS(wstatus)
+        << " (0 = script completed without reaching the point, 3 = script "
+           "error before the point)";
+
+    // Recover: re-run the whole script. The primary replays its log tail
+    // past the applied watermark; the follower resumes from its durable
+    // watermark (re-wiping first if it died mid-resync).
+    const Status recovery =
+        RunReplTortureScript(primary_dir.path(), follower_dir.path());
+    ASSERT_TRUE(recovery.ok())
+        << "recovery after " << name << ": " << recovery.ToString();
+    M4Result follower_result;
+    ASSERT_OK_AND_ASSIGN(follower_result,
+                         QueryReplResult(follower_dir.path()));
+    M4Result primary_result;
+    ASSERT_OK_AND_ASSIGN(primary_result, QueryReplResult(primary_dir.path()));
+    AssertResultsIdentical(follower_result, primary_result,
+                           std::string(name) + " follower vs primary");
+    AssertResultsIdentical(follower_result, twin,
+                           std::string(name) + " follower vs twin");
+  }
+}
+
+// Randomized fault sweeps over a live pair. Faults attach to files opened
+// after SetFaultConfig: relay log reads (re-opened per pull), watermark
+// commits, and any series created during the faulty window all run under
+// injection. Any operation may fail with a Status; nothing may crash. After
+// the injection stops, both sides restart — the recovery a crashed-disk
+// deployment performs — and must reconverge bit-identically.
+TEST(ReplTortureTest, FaultSweepNeverCrashesAndReconverges) {
+  int reattached = 0;
+  for (int fault_kind = 0; fault_kind < 3; ++fault_kind) {
+    for (const uint64_t start : {3u, 11u}) {
+      TempDir primary_dir;
+      TempDir follower_dir;
+      // Clean setup: a streaming pair with real history.
+      ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> primary,
+                           Database::Open(ReplConfig(primary_dir.path())));
+      std::vector<Point> history;
+      for (int64_t t = 0; t < 100; ++t) {
+        history.push_back({t, static_cast<double>(t)});
+      }
+      ASSERT_OK(primary->WriteBatch("t", history));
+      ASSERT_OK(primary->EnablePrimary(0));
+      ASSERT_OK_AND_ASSIGN(std::unique_ptr<Database> follower,
+                           Database::Open(ReplConfig(follower_dir.path())));
+      ASSERT_OK(follower->EnableReplica("127.0.0.1", primary->repl_port()));
+      ASSERT_OK(AwaitCatchUp(*follower, *primary, 30000));
+
+      // The faulty window: every outcome must be a Status, never a crash.
+      FaultConfig config;
+      config.seed = start * 131 + static_cast<uint64_t>(fault_kind);
+      config.start_after = start;
+      if (fault_kind == 0) {
+        config.eio_every = 5;
+      } else if (fault_kind == 1) {
+        config.short_read_every = 5;
+      } else {
+        config.torn_append_every = 5;
+      }
+      SetFaultConfig(config);
+      for (int64_t burst = 0; burst < 10; ++burst) {
+        std::vector<Point> points;
+        for (int64_t t = 0; t < 20; ++t) {
+          points.push_back({100 + burst * 20 + t,
+                            static_cast<double>(burst * 20 + t) * -1.5});
+        }
+        (void)primary->WriteBatch("t", points);
+        // A series created under injection exercises the apply-side WAL
+        // and store-creation failure paths on both ends.
+        (void)primary->Write("hot" + std::to_string(burst), 1, 1.0);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      SetFaultConfig(FaultConfig{});
+
+      // Restart both sides under a clean env: the primary replays its log
+      // tail past the applied watermark (healing any append-applied gaps),
+      // the follower resumes from its durable watermark with fresh file
+      // handles. Then the pair must reconverge.
+      follower.reset();
+      primary.reset();
+      ASSERT_OK_AND_ASSIGN(primary,
+                           Database::Open(ReplConfig(primary_dir.path())));
+      ASSERT_OK(primary->EnablePrimary(0));
+      ASSERT_OK(primary->WriteBatch("t", {{900, 9.0}, {901, -9.0}}));
+      ASSERT_OK_AND_ASSIGN(follower,
+                           Database::Open(ReplConfig(follower_dir.path())));
+      ASSERT_OK(follower->EnableReplica("127.0.0.1", primary->repl_port()));
+      ++reattached;
+      ASSERT_OK(AwaitCatchUp(*follower, *primary, 30000));
+      ASSERT_OK(primary->FlushAll());
+      ASSERT_OK(follower->FlushAll());
+
+      const M4Query query{0, 1000, 25};
+      M4Result on_primary;
+      ASSERT_OK_AND_ASSIGN(on_primary,
+                           primary->QueryM4("t", query, nullptr));
+      M4Result on_follower;
+      ASSERT_OK_AND_ASSIGN(on_follower,
+                           follower->QueryM4("t", query, nullptr));
+      AssertResultsIdentical(
+          on_follower, on_primary,
+          "kind " + std::to_string(fault_kind) + " start " +
+              std::to_string(start));
+    }
+  }
+  EXPECT_EQ(reattached, 6);
+}
+
+}  // namespace
+}  // namespace tsviz

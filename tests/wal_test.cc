@@ -231,6 +231,79 @@ TEST(StoreWalTest, TornWalTailRecoversPrefix) {
   EXPECT_EQ(store->memtable_size(), 29u);
 }
 
+// A crash mid-AppendPuts: the batch's single write(2) stops partway through
+// a record. Recovery replays a PREFIX OF WHOLE RECORDS — some of the batch
+// may survive, but never a partial point, and the surviving batch records
+// are exactly its leading run.
+TEST(StoreWalTest, TornBatchAppendRecoversWholeRecordPrefix) {
+  TempDir dir;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                         TsStore::Open(WalConfig(dir.path())));
+    for (int i = 0; i < 10; ++i) ASSERT_OK(store->Write(i, i * 2.0));
+    std::vector<Point> batch;
+    for (int64_t t = 100; t < 120; ++t) {
+      batch.push_back({t, static_cast<double>(t) * 3.0});
+    }
+    ASSERT_OK(store->WriteBatch(batch));
+    // No Flush(): the store dies with the batch only in the WAL.
+  }
+  // Chop into the middle of a batch record (each put record is 25 bytes;
+  // 37 removes the last record and tears the one before it).
+  const std::string path = dir.path() + "/wal.log";
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 37);
+
+  bool truncated = false;
+  ASSERT_OK_AND_ASSIGN(std::vector<WalRecord> records,
+                       ReadWal(path, &truncated));
+  EXPECT_TRUE(truncated);
+  ASSERT_EQ(records.size(), 28u);  // 10 singles + 18 whole batch records
+  for (size_t i = 10; i < records.size(); ++i) {
+    // The surviving batch records are its exact leading run, bit-intact.
+    const auto t = static_cast<Timestamp>(100 + (i - 10));
+    EXPECT_EQ(records[i].point, (Point{t, static_cast<double>(t) * 3.0}))
+        << "record " << i;
+  }
+
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(WalConfig(dir.path())));
+  EXPECT_EQ(store->memtable_size(), 28u);
+  ASSERT_OK(store->Flush());
+  ASSERT_OK_AND_ASSIGN(std::vector<Point> merged,
+                       ReadMergedSeries(*store, TimeRange(0, 200), nullptr));
+  ASSERT_EQ(merged.size(), 28u);
+  EXPECT_EQ(merged.back(), (Point{117, 351.0}));
+}
+
+// A torn batch write the process survives: the injected fault tears the
+// write(2) mid-buffer, AppendPuts reports the error after truncating the
+// torn bytes back out, and the memtable never sees the batch — the
+// all-or-nothing contract holds in-process, and a reopen agrees.
+TEST(StoreWalTest, TornBatchAppendFailsAtomicallyInProcess) {
+  TempDir dir;
+  FaultConfig config;
+  config.start_after = 5;      // let the warm-up singles through
+  config.torn_append_every = 1;
+  SetFaultConfig(config);
+  {
+    auto store_or = TsStore::Open(WalConfig(dir.path()));
+    ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+    std::unique_ptr<TsStore>& store = store_or.value();
+    for (int i = 0; i < 5; ++i) ASSERT_OK(store->Write(i, 1.0));
+    std::vector<Point> batch;
+    for (int64_t t = 100; t < 120; ++t) batch.push_back({t, 9.0});
+    const Status torn = store->WriteBatch(batch);
+    EXPECT_FALSE(torn.ok());
+    EXPECT_TRUE(torn.retryable());
+    EXPECT_EQ(store->memtable_size(), 5u);  // batch never half-applied
+  }
+  SetFaultConfig(FaultConfig{});
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<TsStore> store,
+                       TsStore::Open(WalConfig(dir.path())));
+  EXPECT_EQ(store->memtable_size(), 5u);
+}
+
 TEST(StoreWalTest, DisabledWalLosesMemtableQuietly) {
   TempDir dir;
   {

@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
 """Lints crash-point coverage: every TSVIZ_CRASHPOINT("...") registered in
-src/ must appear in tests/fault_torture_test.cc (whose discovery test then
-proves the torture script actually reaches it). A crash point nobody
-tortures is a recovery guarantee nobody checks. Run from anywhere; wired
-into ctest as `check_crashpoints`.
+src/ must appear in the torture test that exercises its subsystem — storage
+points (flush.*, wal.*, compact.*, ttl.*) in tests/fault_torture_test.cc,
+replication points (repl.*) in tests/repl_torture_test.cc — whose discovery
+tests then prove the torture scripts actually reach them. A crash point
+nobody tortures is a recovery guarantee nobody checks. Run from anywhere;
+wired into ctest as `check_crashpoints`.
 
 Usage: check_crashpoints.py [repo_root]
 """
@@ -22,14 +24,22 @@ def registered_crashpoints(src_root: Path) -> set[str]:
     return names
 
 
+def torture_test_for(name: str) -> str:
+    if name.startswith("repl."):
+        return "repl_torture_test.cc"
+    return "fault_torture_test.cc"
+
+
 def main() -> int:
     root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
         __file__).resolve().parent.parent
-    test_path = root / "tests" / "fault_torture_test.cc"
-    if not test_path.is_file():
-        print(f"check_crashpoints: missing {test_path}", file=sys.stderr)
-        return 1
-    test_source = test_path.read_text(encoding="utf-8")
+    sources: dict[str, str] = {}
+    for test_name in ("fault_torture_test.cc", "repl_torture_test.cc"):
+        test_path = root / "tests" / test_name
+        if not test_path.is_file():
+            print(f"check_crashpoints: missing {test_path}", file=sys.stderr)
+            return 1
+        sources[test_name] = test_path.read_text(encoding="utf-8")
 
     names = registered_crashpoints(root / "src")
     if not names:
@@ -37,12 +47,14 @@ def main() -> int:
               "the regex is probably stale", file=sys.stderr)
         return 1
 
-    missing = sorted(n for n in names if f'"{n}"' not in test_source)
+    missing = sorted(n for n in names
+                     if f'"{n}"' not in sources[torture_test_for(n)])
     if missing:
         print("check_crashpoints: crash points registered in src/ but never "
-              "exercised by tests/fault_torture_test.cc:", file=sys.stderr)
+              "exercised by their torture test:", file=sys.stderr)
         for name in missing:
-            print(f"  {name}", file=sys.stderr)
+            print(f"  {name} (expected in tests/{torture_test_for(name)})",
+                  file=sys.stderr)
         return 1
 
     print(f"check_crashpoints: {len(names)} crash points, all tortured")

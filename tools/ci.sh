@@ -56,6 +56,17 @@ for preset in "${presets[@]}"; do
   fi
 done
 
+# Replication: the relay workers, applier thread, heartbeat and client
+# reads all race, so the repl label gets a standalone tsan pass; the
+# fork-kill replication torture additionally carries the torture label, so
+# the asan torture rerun above covers its crash-recovery paths too.
+for preset in "${presets[@]}"; do
+  if [ "$preset" = "tsan" ]; then
+    echo "=== [tsan] replication ==="
+    ctest --preset tsan -L repl --output-on-failure
+  fi
+done
+
 echo "=== metrics catalog lint ==="
 python3 tools/check_metrics.py
 

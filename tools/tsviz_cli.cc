@@ -31,13 +31,20 @@
 //   SHOW SERIES                    per-series partition/file/chunk counts
 //   SHOW QUERIES                   flight-recorder statement history
 //   SHOW PROFILE [RESET]           merged span trees from sampled traces
+//   SHOW REPLICATION               role, state, watermark, lag
 //   DUMP TRACE '<path>'            export the recorder as Chrome trace JSON
 //   SET <knob> = <n>               runtime knobs: autoflush_bytes,
-//                                  compaction_files, listen_backlog,
-//                                  max_connections, page_cache_bytes,
+//                                  compaction_files, idle_timeout_ms,
+//                                  listen_backlog, max_connections,
+//                                  max_staleness_ms, page_cache_bytes,
 //                                  parallelism, partition_interval_ms,
-//                                  result_cache_capacity, slow_query_millis,
-//                                  trace_sample_every, ttl_ms
+//                                  repl_listen_port, result_cache_capacity,
+//                                  slow_query_millis, trace_sample_every,
+//                                  ttl_ms
+//   SET repl_listen_port = <port>  become a replication primary (0 stops)
+//   SET replica_of = '<host>:<p>'  follow a primary (read-only; 'off'
+//                                  detaches); max_staleness_ms bounds how
+//                                  stale a follower SELECT may be
 //   EXPLAIN [ANALYZE] SELECT ...   plan / traced execution with stat:
 //                                  counters (partitions_pruned, ...)
 
@@ -114,7 +121,9 @@ int Usage() {
       "  COMPACT [series]               merge partition files\n"
       "  SHOW METRICS | JOBS | SERIES   metrics, scheduler, storage shape\n"
       "  SHOW QUERIES | PROFILE [RESET] flight-recorder history / profile\n"
+      "  SHOW REPLICATION               role, state, watermark, lag\n"
       "  DUMP TRACE '<path>'            recorder as Chrome trace JSON\n"
+      "  SET replica_of = '<host>:<p>'  follow a primary ('off' detaches)\n"
       "  SET <knob> = <n>               %s\n"
       "\n"
       "(see the header of tools/tsviz_cli.cc for per-subcommand flags)\n",
